@@ -1,0 +1,73 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: pipeline
+/// construction with consistent settings, simple fixed-width table
+/// printing, and geometric means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_BENCH_BENCHUTIL_H
+#define CHIMERA_BENCH_BENCHUTIL_H
+
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace bench {
+
+/// The seed every bench records with (arbitrary but fixed, so bench
+/// output is reproducible run-to-run).
+inline const uint64_t BenchSeed = 2012;
+
+inline std::unique_ptr<core::ChimeraPipeline> pipelineFor(
+    workloads::WorkloadKind Kind, unsigned Workers = 4) {
+  std::string Err;
+  auto P = workloads::buildPipeline(Kind, Workers, &Err);
+  if (!P) {
+    std::fprintf(stderr, "failed to build %s: %s\n",
+                 workloads::workloadInfo(Kind).Name, Err.c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+inline void requireOk(const rt::ExecutionResult &R, const char *What) {
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s failed: %s\n", What, R.Error.c_str());
+    std::exit(1);
+  }
+}
+
+inline double overheadOf(const rt::ExecutionResult &Run,
+                         const rt::ExecutionResult &Native) {
+  return static_cast<double>(Run.Stats.MakespanCycles) /
+         static_cast<double>(Native.Stats.MakespanCycles);
+}
+
+inline double geomean(const std::vector<double> &Values) {
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+inline void hrule(unsigned Width) {
+  for (unsigned I = 0; I != Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace chimera
+
+#endif // CHIMERA_BENCH_BENCHUTIL_H

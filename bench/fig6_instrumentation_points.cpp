@@ -1,0 +1,67 @@
+//===- bench/fig6_instrumentation_points.cpp - Paper Figure 6 --------------===//
+//
+// Reproduces Figure 6: the proportion of dynamic weak-lock operations
+// relative to total dynamic memory operations, per instrumentation
+// configuration. The paper's point: naive instrumentation touches ~14%
+// of memory operations; the full optimization stack reduces weak-lock
+// operations to ~0.02% of memory operations. Our synthetic programs are
+// hot-loop dominated, so the absolute percentages are higher, but the
+// orders-of-magnitude reduction is the reproduced shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+using namespace chimera::workloads;
+using instrument::PlannerOptions;
+
+int main() {
+  struct Config {
+    const char *Name;
+    PlannerOptions Opts;
+  };
+  const Config Configs[] = {
+      {"instr", PlannerOptions::naive()},
+      {"inst+func", PlannerOptions::functionOnly()},
+      {"inst+loop", PlannerOptions::loopOnly()},
+      {"inst+bb+loop+func", PlannerOptions::full()},
+  };
+
+  std::printf("Figure 6: weak-lock operations per 100 dynamic memory "
+              "operations (4 workers)\n\n");
+  std::printf("%-10s %12s %12s %12s %18s\n", "app", "instr", "inst+func",
+              "inst+loop", "inst+bb+loop+func");
+  hrule(70);
+
+  std::vector<std::vector<double>> PerConfig(4);
+
+  for (WorkloadKind K : allWorkloads()) {
+    auto P = pipelineFor(K, /*Workers=*/4);
+    std::printf("%-10s", workloadInfo(K).Name);
+    for (unsigned C = 0; C != 4; ++C) {
+      P->setPlannerOptions(Configs[C].Opts);
+      auto Rec = P->record(BenchSeed);
+      requireOk(Rec, Configs[C].Name);
+      // Acquire+release both hit the log, as in the paper's counting.
+      double Ratio = 200.0 *
+                     static_cast<double>(Rec.Stats.weakAcquiresTotal()) /
+                     static_cast<double>(Rec.Stats.MemOps);
+      PerConfig[C].push_back(Ratio);
+      std::printf("  %*.2f%%", C == 3 ? 16 : 10, Ratio);
+    }
+    std::printf("\n");
+  }
+
+  hrule(70);
+  std::printf("%-10s", "geomean");
+  for (unsigned C = 0; C != 4; ++C)
+    std::printf("  %*.2f%%", C == 3 ? 16 : 10, geomean(PerConfig[C]));
+  std::printf("\n\npaper reference: ~14%% of dynamic memory operations "
+              "naively -> ~0.02%% with all optimizations (their "
+              "programs have far more non-racy background code than "
+              "our kernels, so absolute levels differ; the reduction "
+              "factor is the comparable quantity)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- examples/debug_race.cpp - Reproducing a heisenbug -------------------===//
+//
+// The paper's motivating use case: a program with an atomicity violation
+// fails only under rare schedules. With Chimera you record production
+// runs cheaply; when the bug strikes, the recording replays the exact
+// failing execution as many times as the debugger needs.
+//
+// The bug here is a classic check-then-act: a worker tests a bank
+// balance and then withdraws, but the balance may change in between, so
+// the account occasionally goes negative.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace chimera;
+
+const char *Bank = R"(
+int balance = 6;
+int overdrafts;
+int tids[4];
+
+void customer(int rounds) {
+  int r;
+  for (r = 0; r < rounds; r++) {
+    if (balance >= 2) {
+      // Atomicity violation: the balance can change between the check
+      // above and the withdrawal below.
+      int after = balance - 2;
+      balance = after;
+      if (after < 0) {
+        overdrafts = overdrafts + 1;
+      }
+    } else {
+      balance = balance + 3;
+    }
+  }
+}
+
+int main() {
+  int j;
+  for (j = 0; j < 4; j++) {
+    tids[j] = spawn(customer, 300);
+  }
+  for (j = 0; j < 4; j++) {
+    join(tids[j]);
+  }
+  output(overdrafts);
+  output(balance);
+  return 0;
+}
+)";
+
+int main() {
+  core::PipelineConfig Config;
+  Config.Name = "bank";
+  Config.ProfileRuns = 8;
+  std::string Error;
+  auto Pipeline =
+      core::ChimeraPipeline::fromSource(Bank, Bank, Config, &Error);
+  if (!Pipeline) {
+    std::fprintf(stderr, "compile error:\n%s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("recording production runs until the overdraft bug "
+              "strikes...\n");
+
+  // Chimera records every run (cheaply — that is the point of the
+  // paper). We scan seeds to emulate many production executions.
+  for (uint64_t Seed = 1; Seed <= 300; ++Seed) {
+    auto Recording = Pipeline->record(Seed);
+    if (!Recording.Ok) {
+      std::fprintf(stderr, "record failed: %s\n", Recording.Error.c_str());
+      return 1;
+    }
+    uint64_t Overdrafts = Recording.Output[0];
+    if (Overdrafts == 0)
+      continue;
+
+    std::printf("\nrun with seed %llu FAILED: %llu overdraft(s), final "
+                "balance %lld\n",
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(Overdrafts),
+                static_cast<long long>(
+                    static_cast<int64_t>(Recording.Output[1])));
+    std::printf("record overhead was modest: %llu weak-lock ops over "
+                "%llu memory ops\n",
+                static_cast<unsigned long long>(
+                    Recording.Stats.weakAcquiresTotal()),
+                static_cast<unsigned long long>(Recording.Stats.MemOps));
+
+    std::printf("\nreplaying the failing execution three times:\n");
+    for (int Round = 1; Round <= 3; ++Round) {
+      auto Replay = Pipeline->replay(Recording.Log);
+      bool Match = Replay.Ok && Replay.StateHash == Recording.StateHash;
+      std::printf("  replay #%d: overdrafts = %llu, balance = %lld, "
+                  "bit-exact = %s\n",
+                  Round,
+                  static_cast<unsigned long long>(Replay.Output[0]),
+                  static_cast<long long>(
+                      static_cast<int64_t>(Replay.Output[1])),
+                  Match ? "yes" : "NO");
+      if (!Match)
+        return 1;
+    }
+    std::printf("\nthe failing interleaving is now a deterministic test "
+                "case.\n");
+    return 0;
+  }
+
+  std::printf("no overdraft in 300 recorded runs — the bug is rare; "
+              "rerun with more seeds.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- examples/quickstart.cpp - Chimera in five minutes -------------------===//
+//
+// The smallest end-to-end tour of the public API: compile a racy MiniC
+// program, let Chimera find and guard its races, record one execution,
+// and replay it deterministically.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "replay/LogCodec.h"
+
+#include <cstdio>
+
+using namespace chimera;
+
+// A classic lost-update bug: four workers increment a shared counter
+// without a lock. Different schedules produce different final values —
+// until Chimera records one and pins it down.
+const char *Program = R"(
+int counter;
+int tids[4];
+
+void worker(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int t = counter;
+    counter = t + 1;
+  }
+}
+
+int main() {
+  int j;
+  for (j = 0; j < 4; j++) {
+    tids[j] = spawn(worker, 500);
+  }
+  for (j = 0; j < 4; j++) {
+    join(tids[j]);
+  }
+  output(counter);
+  return 0;
+}
+)";
+
+int main() {
+  // 1. Build the pipeline: parse, type-check, lower to IR.
+  core::PipelineConfig Config;
+  Config.Name = "quickstart";
+  Config.ProfileRuns = 10;
+  std::string Error;
+  auto Pipeline =
+      core::ChimeraPipeline::fromSource(Program, Program, Config, &Error);
+  if (!Pipeline) {
+    std::fprintf(stderr, "compile error:\n%s\n", Error.c_str());
+    return 1;
+  }
+
+  // 2. Static race detection (our RELAY port).
+  const race::RaceReport &Races = Pipeline->raceReport();
+  std::printf("== static analysis ==\n");
+  std::printf("potential race pairs found: %zu\n", Races.Pairs.size());
+  std::printf("%s\n", Races.str(Pipeline->originalModule()).c_str());
+
+  // 3. The instrumentation plan (profiling + symbolic bounds decide the
+  //    weak-lock granularities).
+  std::printf("== instrumentation plan ==\n%s\n",
+              Pipeline->plan().summary(Pipeline->originalModule()).c_str());
+
+  // 4. Show the nondeterminism: three native runs, three answers.
+  std::printf("== native runs (uninstrumented, schedule-dependent) ==\n");
+  for (uint64_t Seed : {1, 2, 3})
+    std::printf("  seed %llu -> counter = %llu\n",
+                static_cast<unsigned long long>(Seed),
+                static_cast<unsigned long long>(
+                    Pipeline->runOriginalNative(Seed).Output[0]));
+
+  // 5. Record once, replay twice: identical results, by construction.
+  std::printf("\n== record & replay ==\n");
+  auto Recording = Pipeline->record(/*Seed=*/42);
+  if (!Recording.Ok) {
+    std::fprintf(stderr, "record failed: %s\n", Recording.Error.c_str());
+    return 1;
+  }
+  std::printf("recorded: counter = %llu, %llu log records\n",
+              static_cast<unsigned long long>(Recording.Output[0]),
+              static_cast<unsigned long long>(Recording.Stats.LogEvents));
+
+  replay::LogSizes Sizes = replay::measureLog(Recording.Log);
+  std::printf("log sizes: input %llu B (compressed %llu B), order %llu B "
+              "(compressed %llu B)\n",
+              static_cast<unsigned long long>(Sizes.InputRaw),
+              static_cast<unsigned long long>(Sizes.InputCompressed),
+              static_cast<unsigned long long>(Sizes.OrderRaw),
+              static_cast<unsigned long long>(Sizes.OrderCompressed));
+
+  for (int Round = 1; Round <= 2; ++Round) {
+    auto Replay = Pipeline->replay(Recording.Log);
+    bool Match = Replay.Ok && Replay.StateHash == Recording.StateHash;
+    std::printf("replay #%d: counter = %llu, bit-exact = %s\n", Round,
+                static_cast<unsigned long long>(Replay.Output[0]),
+                Match ? "yes" : "NO");
+    if (!Match)
+      return 1;
+  }
+
+  std::printf("\nevery weak-lock acquisition the recorder logged: %llu "
+              "(vs %llu memory operations)\n",
+              static_cast<unsigned long long>(
+                  Recording.Stats.weakAcquiresTotal()),
+              static_cast<unsigned long long>(Recording.Stats.MemOps));
+  return 0;
+}

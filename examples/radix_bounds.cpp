@@ -1,0 +1,96 @@
+//===- examples/radix_bounds.cpp - Paper Figure 4, live --------------------===//
+//
+// Walks through the paper's Figure 4 on our radix workload: the symbolic
+// bounds analysis derives a precise address range for the rank-zeroing
+// loop (ranged loop-lock, fully parallel across workers), fails on the
+// key-dependent histogram loop (small body, unranged loop-lock), and the
+// planner's decisions are printed next to the per-loop analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "bounds/BoundsAnalysis.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace chimera;
+using namespace chimera::workloads;
+
+namespace {
+
+void analyzeFunction(const ir::Module &M, const char *Name) {
+  const ir::Function *F = M.findFunction(Name);
+  if (!F)
+    return;
+  analysis::LoopInfo Loops(*F);
+  bounds::BoundsAnalysis BA(M, *F, Loops);
+
+  std::printf("function %s: %zu loop(s)\n", Name, Loops.numLoops());
+  for (const auto &L : Loops.loops()) {
+    std::printf("  loop (header bb%u, depth %u%s):\n", L->Header, L->Depth,
+                L->ContainsCall ? ", contains call-like op" : "");
+
+    auto Induction = BA.analyzeInduction(L.get());
+    if (Induction.Found)
+      std::printf("    induction r%u, step %lld, range [%s, %s]\n",
+                  Induction.Var, static_cast<long long>(Induction.Step),
+                  Induction.Lower.str().c_str(),
+                  Induction.Upper.str().c_str());
+    else
+      std::printf("    no counted-loop induction recognized\n");
+
+    for (ir::BlockId B : L->Blocks) {
+      for (const ir::Instruction &Inst : F->block(B).Insts) {
+        if (!Inst.isMemoryAccess())
+          continue;
+        bounds::AddressBounds Bounds = BA.addressBounds(L.get(), Inst.Ident);
+        std::printf("    %-5s line %2u: ",
+                    Inst.Op == ir::Opcode::Store ? "store" : "load",
+                    Inst.Loc.Line);
+        if (Bounds.Valid)
+          std::printf("bounds [%s, %s]\n", Bounds.Lo.str().c_str(),
+                      Bounds.Hi.str().c_str());
+        else
+          std::printf("bounds underivable (-INF..+INF in the paper's "
+                      "Figure 4 notation)\n");
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::string Error;
+  auto Pipeline = buildPipeline(WorkloadKind::Radix, 4, &Error);
+  if (!Pipeline) {
+    std::fprintf(stderr, "build failed: %s\n", Error.c_str());
+    return 1;
+  }
+  const ir::Module &M = Pipeline->originalModule();
+
+  std::printf("=== symbolic address bounds for radix (paper Figure 4) "
+              "===\n\n");
+  std::printf("register atoms: rN+%u denotes the value of rN at the "
+              "loop preheader\n\n",
+              bounds::BoundsAnalysis::PreheaderAtomBase);
+
+  // The two loops of Figure 4 live in these functions.
+  analyzeFunction(M, "zero_rank");  // rank[j] = 0       -> precise bounds.
+  analyzeFunction(M, "count_keys"); // rank[key>>s & m]++ -> underivable.
+  analyzeFunction(M, "copy_back");  // dst[i] = src[i]   -> precise bounds.
+
+  std::printf("=== resulting plan ===\n%s\n",
+              Pipeline->plan().summary(M).c_str());
+
+  std::printf("weak-lock table of the instrumented module:\n");
+  const ir::Module &I = Pipeline->instrumentedModule();
+  for (size_t Id = 0; Id != I.WeakLocks.size(); ++Id)
+    std::printf("  wl%-3zu %-12s %s%s\n", Id,
+                ir::weakLockGranularityName(I.WeakLocks[Id].Granularity),
+                I.WeakLocks[Id].Name.c_str(),
+                I.WeakLocks[Id].HasRange ? "  [ranged]" : "");
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- analysis/CallGraph.cpp - Call graph and SCC order -------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+CallGraph::CallGraph(const Module &M) {
+  uint32_t N = static_cast<uint32_t>(M.Functions.size());
+  Callees.resize(N);
+  Callers.resize(N);
+  MultiSpawn.assign(N, false);
+
+  std::vector<unsigned> SpawnCount(N, 0);
+
+  for (uint32_t F = 0; F != N; ++F) {
+    const Function &Func = M.function(F);
+    LoopInfo Loops(Func);
+    for (BlockId B = 0; B != Func.numBlocks(); ++B) {
+      bool InLoop = Loops.innermostLoop(B) != nullptr;
+      for (const Instruction &Inst : Func.block(B).Insts) {
+        if (Inst.Op != Opcode::Call && Inst.Op != Opcode::Spawn)
+          continue;
+        Callees[F].push_back(Inst.Id);
+        Callers[Inst.Id].push_back(F);
+        if (Inst.Op == Opcode::Spawn) {
+          SpawnTargets.push_back(Inst.Id);
+          SpawnCount[Inst.Id] += InLoop ? 2 : 1;
+        }
+      }
+    }
+  }
+
+  auto dedup = [](std::vector<uint32_t> &V) {
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+  };
+  for (uint32_t F = 0; F != N; ++F) {
+    dedup(Callees[F]);
+    dedup(Callers[F]);
+  }
+  dedup(SpawnTargets);
+
+  for (uint32_t F = 0; F != N; ++F)
+    MultiSpawn[F] = SpawnCount[F] >= 2;
+
+  ThreadRoots = SpawnTargets;
+  ThreadRoots.push_back(M.MainFunction);
+  dedup(ThreadRoots);
+
+  computeSccs();
+}
+
+void CallGraph::computeSccs() {
+  // Tarjan's algorithm; SCCs come out in reverse topological order of the
+  // condensation, i.e. callee-first — exactly the bottom-up order RELAY
+  // wants.
+  uint32_t N = numFunctions();
+  SccIds.assign(N, ~0u);
+  std::vector<uint32_t> Index(N, ~0u), LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+
+  std::function<void(uint32_t)> strongConnect = [&](uint32_t V) {
+    Index[V] = LowLink[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+
+    for (uint32_t W : Callees[V]) {
+      if (Index[W] == ~0u) {
+        strongConnect(W);
+        LowLink[V] = std::min(LowLink[V], LowLink[W]);
+      } else if (OnStack[W]) {
+        LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+    }
+
+    if (LowLink[V] == Index[V]) {
+      std::vector<uint32_t> Scc;
+      for (;;) {
+        uint32_t W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        SccIds[W] = NumSccs;
+        Scc.push_back(W);
+        if (W == V)
+          break;
+      }
+      std::sort(Scc.begin(), Scc.end());
+      Sccs.push_back(std::move(Scc));
+      ++NumSccs;
+    }
+  };
+
+  for (uint32_t V = 0; V != N; ++V)
+    if (Index[V] == ~0u)
+      strongConnect(V);
+}
+
+std::vector<uint32_t> CallGraph::reachableFrom(uint32_t Root) const {
+  std::vector<bool> Seen(numFunctions(), false);
+  std::vector<uint32_t> Work = {Root}, Result;
+  Seen[Root] = true;
+  while (!Work.empty()) {
+    uint32_t F = Work.back();
+    Work.pop_back();
+    Result.push_back(F);
+    for (uint32_t C : Callees[F])
+      if (!Seen[C]) {
+        Seen[C] = true;
+        Work.push_back(C);
+      }
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

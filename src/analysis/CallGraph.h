@@ -1,0 +1,84 @@
+//===- analysis/CallGraph.h - Call graph and SCC order ----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over a module's functions (Call and Spawn edges), Tarjan
+/// SCC condensation, and the bottom-up order RELAY composes function
+/// summaries in (paper §3.1). Also identifies thread entry points: main
+/// plus every spawn target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_CALLGRAPH_H
+#define CHIMERA_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+class CallGraph {
+public:
+  explicit CallGraph(const ir::Module &M);
+
+  const std::vector<uint32_t> &callees(uint32_t FuncId) const {
+    return Callees[FuncId];
+  }
+  const std::vector<uint32_t> &callers(uint32_t FuncId) const {
+    return Callers[FuncId];
+  }
+
+  /// Functions directly spawned as threads.
+  const std::vector<uint32_t> &spawnTargets() const { return SpawnTargets; }
+
+  /// Thread roots: main plus all spawn targets (deduplicated).
+  const std::vector<uint32_t> &threadRoots() const { return ThreadRoots; }
+
+  /// True if \p Target is spawned more than once statically, or from
+  /// inside a loop — i.e. two dynamic instances may run concurrently.
+  /// (A conservative analysis would assume yes; we track the distinction
+  /// so tests can exercise both.)
+  bool mayHaveConcurrentInstances(uint32_t FuncId) const {
+    return MultiSpawn[FuncId];
+  }
+
+  /// SCC id per function; SCCs are numbered in bottom-up (callee-first)
+  /// topological order.
+  uint32_t sccId(uint32_t FuncId) const { return SccIds[FuncId]; }
+  uint32_t numSccs() const { return NumSccs; }
+
+  /// Function ids grouped by SCC, in bottom-up order.
+  const std::vector<std::vector<uint32_t>> &bottomUpSccs() const {
+    return Sccs;
+  }
+
+  /// All functions reachable from \p Root (inclusive).
+  std::vector<uint32_t> reachableFrom(uint32_t Root) const;
+
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Callees.size());
+  }
+
+private:
+  void computeSccs();
+
+  std::vector<std::vector<uint32_t>> Callees;
+  std::vector<std::vector<uint32_t>> Callers;
+  std::vector<uint32_t> SpawnTargets;
+  std::vector<uint32_t> ThreadRoots;
+  std::vector<bool> MultiSpawn;
+  std::vector<uint32_t> SccIds;
+  std::vector<std::vector<uint32_t>> Sccs;
+  uint32_t NumSccs = 0;
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_CALLGRAPH_H

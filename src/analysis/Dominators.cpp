@@ -1,0 +1,77 @@
+//===- analysis/Dominators.cpp - Dominator computation ---------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+Dominators::Dominators(const Function &Func) {
+  uint32_t N = Func.numBlocks();
+  Idom.assign(N, NoBlock);
+  RpoIndex.assign(N, ~0u);
+  Preds.resize(N);
+
+  // Postorder DFS from the entry.
+  std::vector<BlockId> Postorder;
+  std::vector<uint8_t> State(N, 0); // 0 = unseen, 1 = open, 2 = done.
+  std::function<void(BlockId)> dfs = [&](BlockId B) {
+    State[B] = 1;
+    for (BlockId S : Func.successors(B)) {
+      Preds[S].push_back(B);
+      if (State[S] == 0)
+        dfs(S);
+    }
+    State[B] = 2;
+    Postorder.push_back(B);
+  };
+  dfs(0);
+
+  RPO.assign(Postorder.rbegin(), Postorder.rend());
+  for (uint32_t I = 0; I != RPO.size(); ++I)
+    RpoIndex[RPO[I]] = I;
+
+  // Cooper–Harvey–Kennedy iteration.
+  auto intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : RPO) {
+      if (B == 0)
+        continue;
+      BlockId NewIdom = NoBlock;
+      for (BlockId P : Preds[B]) {
+        if (Idom[P] == NoBlock)
+          continue; // Unprocessed or unreachable predecessor.
+        NewIdom = NewIdom == NoBlock ? P : intersect(P, NewIdom);
+      }
+      assert(NewIdom != NoBlock && "reachable block with no processed pred");
+      if (Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(BlockId A, BlockId B) const {
+  if (!reachable(A) || !reachable(B))
+    return false;
+  while (B != A && B != 0)
+    B = Idom[B];
+  return B == A;
+}

@@ -1,0 +1,57 @@
+//===- analysis/Dominators.h - Dominator computation ------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative dominator analysis over a function's CFG (Cooper-Harvey-
+/// Kennedy style on reverse postorder). Used by LoopInfo to find natural
+/// loops via back edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_DOMINATORS_H
+#define CHIMERA_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+class Dominators {
+public:
+  explicit Dominators(const ir::Function &Func);
+
+  /// Immediate dominator of \p Block; the entry block's idom is itself.
+  /// Unreachable blocks report NoBlock.
+  ir::BlockId idom(ir::BlockId Block) const { return Idom[Block]; }
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(ir::BlockId A, ir::BlockId B) const;
+
+  bool reachable(ir::BlockId Block) const {
+    return Idom[Block] != ir::NoBlock;
+  }
+
+  /// Blocks in reverse postorder of the CFG (reachable blocks only).
+  const std::vector<ir::BlockId> &reversePostorder() const { return RPO; }
+
+  /// Predecessor lists (computed as a side product; handy for clients).
+  const std::vector<ir::BlockId> &preds(ir::BlockId Block) const {
+    return Preds[Block];
+  }
+
+private:
+  std::vector<ir::BlockId> Idom;
+  std::vector<ir::BlockId> RPO;
+  std::vector<uint32_t> RpoIndex;
+  std::vector<std::vector<ir::BlockId>> Preds;
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_DOMINATORS_H

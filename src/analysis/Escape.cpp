@@ -1,0 +1,36 @@
+//===- analysis/Escape.cpp - Thread-escape analysis ------------------------===//
+
+#include "analysis/Escape.h"
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+EscapeAnalysis::EscapeAnalysis(const Module &M, const PointsTo &PT) {
+  Escaping.assign(PT.numObjects(), false);
+
+  // Globals are shared by construction.
+  for (uint32_t Obj = 0; Obj != PT.numObjects(); ++Obj)
+    if (PT.objects()[Obj].Kind == MemObject::Kind::Global)
+      Escaping[Obj] = true;
+
+  // Heap sites escape when their pointer is handed to a spawned thread.
+  for (uint32_t F = 0; F != M.Functions.size(); ++F) {
+    for (const BasicBlock &BB : M.function(F).Blocks) {
+      for (const Instruction &Inst : BB.Insts) {
+        if (Inst.Op != Opcode::Spawn)
+          continue;
+        for (Reg Arg : Inst.Args)
+          for (uint32_t Obj : PT.pointsTo(F, Arg))
+            Escaping[Obj] = true;
+      }
+    }
+  }
+}
+
+uint32_t EscapeAnalysis::numEscaping() const {
+  uint32_t Count = 0;
+  for (bool E : Escaping)
+    Count += E;
+  return Count;
+}

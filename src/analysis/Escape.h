@@ -1,0 +1,42 @@
+//===- analysis/Escape.h - Thread-escape analysis ---------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determines which abstract objects can be reached by more than one
+/// thread. Globals always escape; a heap allocation site escapes when its
+/// pointer flows into a spawn argument. The race detector only considers
+/// accesses to escaping objects — mirroring the paper's filtering of race
+/// warnings on heapified locals that never escape their function (§6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_ESCAPE_H
+#define CHIMERA_ANALYSIS_ESCAPE_H
+
+#include "analysis/PointsTo.h"
+
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+class EscapeAnalysis {
+public:
+  EscapeAnalysis(const ir::Module &M, const PointsTo &PT);
+
+  bool escapes(uint32_t ObjId) const { return Escaping[ObjId]; }
+
+  /// Number of escaping objects (diagnostics).
+  uint32_t numEscaping() const;
+
+private:
+  std::vector<bool> Escaping;
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_ESCAPE_H

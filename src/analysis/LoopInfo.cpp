@@ -1,0 +1,121 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ----------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+bool Loop::contains(BlockId B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+bool Loop::contains(const Loop *Other) const {
+  return Other != this && contains(Other->Header);
+}
+
+LoopInfo::LoopInfo(const Function &Func) {
+  Dominators Dom(Func);
+  uint32_t N = Func.numBlocks();
+  BlockLoop.assign(N, nullptr);
+
+  // Collect back edges grouped by header.
+  std::map<BlockId, std::vector<BlockId>> BackEdges;
+  for (BlockId B = 0; B != N; ++B) {
+    if (!Dom.reachable(B))
+      continue;
+    for (BlockId S : Func.successors(B))
+      if (Dom.dominates(S, B))
+        BackEdges[S].push_back(B);
+  }
+
+  // Build each natural loop: header + everything that reaches a latch
+  // without passing through the header.
+  for (auto &[Header, Latches] : BackEdges) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+
+    std::vector<bool> InLoop(N, false);
+    InLoop[Header] = true;
+    std::vector<BlockId> Work = Latches;
+    for (BlockId Latch : Latches)
+      InLoop[Latch] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      if (B == Header)
+        continue;
+      for (BlockId P : Dom.preds(B))
+        if (Dom.reachable(P) && !InLoop[P]) {
+          InLoop[P] = true;
+          Work.push_back(P);
+        }
+    }
+    for (BlockId B = 0; B != N; ++B)
+      if (InLoop[B])
+        L->Blocks.push_back(B);
+
+    // Unique out-of-loop predecessor of the header = preheader.
+    BlockId Pre = NoBlock;
+    bool Unique = true;
+    for (BlockId P : Dom.preds(Header)) {
+      if (InLoop[P])
+        continue;
+      if (Pre == NoBlock)
+        Pre = P;
+      else
+        Unique = false;
+    }
+    L->Preheader = Unique ? Pre : NoBlock;
+
+    for (BlockId B : L->Blocks)
+      for (const Instruction &Inst : Func.block(B).Insts)
+        if (isCallLike(Inst.Op))
+          L->ContainsCall = true;
+
+    Loops.push_back(std::move(L));
+  }
+
+  // Establish nesting: parent = smallest strictly-containing loop.
+  for (auto &L : Loops) {
+    Loop *Best = nullptr;
+    for (auto &Candidate : Loops) {
+      if (Candidate.get() == L.get() || !Candidate->contains(L.get()))
+        continue;
+      if (!Best || Best->contains(Candidate.get()))
+        Best = Candidate.get();
+    }
+    L->Parent = Best;
+  }
+  for (auto &L : Loops) {
+    unsigned Depth = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++Depth;
+    L->Depth = Depth;
+  }
+
+  // Innermost loop per block: the deepest loop containing it.
+  for (auto &L : Loops)
+    for (BlockId B : L->Blocks)
+      if (!BlockLoop[B] || BlockLoop[B]->Depth < L->Depth)
+        BlockLoop[B] = L.get();
+}
+
+const Loop *LoopInfo::innermostLoop(BlockId Block) const {
+  assert(Block < BlockLoop.size() && "block id out of range");
+  return BlockLoop[Block];
+}
+
+const Loop *LoopInfo::outermostLoop(BlockId Block) const {
+  const Loop *L = innermostLoop(Block);
+  while (L && L->Parent)
+    L = L->Parent;
+  return L;
+}

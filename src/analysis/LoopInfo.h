@@ -1,0 +1,66 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop detection from back edges (an edge latch->header where
+/// the header dominates the latch). Codegen guarantees every loop has a
+/// unique preheader; symbolic-bounds instrumentation hoists range
+/// computations there (paper §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_LOOPINFO_H
+#define CHIMERA_ANALYSIS_LOOPINFO_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+struct Loop {
+  ir::BlockId Header = ir::NoBlock;
+  /// The single in-loop predecessor(s) of the header via back edges.
+  std::vector<ir::BlockId> Latches;
+  /// Unique predecessor of the header outside the loop; NoBlock if the
+  /// loop has no (unique) preheader.
+  ir::BlockId Preheader = ir::NoBlock;
+  /// All blocks in the loop (header included), sorted.
+  std::vector<ir::BlockId> Blocks;
+  Loop *Parent = nullptr;
+  unsigned Depth = 1;
+  bool ContainsCall = false;
+
+  bool contains(ir::BlockId B) const;
+  bool contains(const Loop *Other) const;
+};
+
+class LoopInfo {
+public:
+  explicit LoopInfo(const ir::Function &Func);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p Block, or null.
+  const Loop *innermostLoop(ir::BlockId Block) const;
+
+  /// Outermost loop containing \p Block, or null.
+  const Loop *outermostLoop(ir::BlockId Block) const;
+
+  size_t numLoops() const { return Loops.size(); }
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  /// Innermost loop per block (null if none).
+  std::vector<Loop *> BlockLoop;
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_LOOPINFO_H

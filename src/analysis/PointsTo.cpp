@@ -1,0 +1,227 @@
+//===- analysis/PointsTo.cpp - Flow-insensitive points-to analysis ---------===//
+
+#include "analysis/PointsTo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <numeric>
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+std::string MemObject::name(const Module &M) const {
+  if (Kind == Kind::Global)
+    return "@" + M.Globals[GlobalId].Name;
+  return "heap:" + M.function(FuncId).Name + "#" + std::to_string(Alloc);
+}
+
+namespace {
+
+/// Copy-edge constraint program shared by both solvers.
+struct Constraints {
+  std::vector<std::pair<uint32_t, uint32_t>> Copies; ///< (From, To) vars.
+  std::vector<std::pair<uint32_t, uint32_t>> Bases;  ///< (Var, Obj).
+};
+
+} // namespace
+
+PointsTo::PointsTo(const Module &M, PointsToFlavor Flavor) : M(M) {
+  FuncBase.resize(M.Functions.size());
+  NumVars = 0;
+  for (uint32_t F = 0; F != M.Functions.size(); ++F) {
+    FuncBase[F] = NumVars;
+    NumVars += M.function(F).NumRegs;
+  }
+
+  buildObjects(M);
+  ObjWords = (numObjects() + 63) / 64;
+  Pts.assign(NumVars, std::vector<uint64_t>(ObjWords, 0));
+
+  if (Flavor == PointsToFlavor::Andersen)
+    solveAndersen(M);
+  else
+    solveSteensgaard(M);
+}
+
+void PointsTo::buildObjects(const Module &M) {
+  for (uint32_t G = 0; G != M.Globals.size(); ++G) {
+    MemObject Obj;
+    Obj.Kind = MemObject::Kind::Global;
+    Obj.GlobalId = G;
+    Objects.push_back(Obj);
+  }
+  for (uint32_t F = 0; F != M.Functions.size(); ++F) {
+    for (const BasicBlock &BB : M.function(F).Blocks) {
+      for (const Instruction &Inst : BB.Insts) {
+        if (Inst.Op != Opcode::Alloc)
+          continue;
+        MemObject Obj;
+        Obj.Kind = MemObject::Kind::HeapSite;
+        Obj.FuncId = F;
+        Obj.Alloc = Inst.Ident;
+        uint32_t Id = static_cast<uint32_t>(Objects.size());
+        Objects.push_back(Obj);
+        AllocSiteIds.push_back(
+            {(static_cast<uint64_t>(F) << 32) | Inst.Ident, Id});
+      }
+    }
+  }
+  std::sort(AllocSiteIds.begin(), AllocSiteIds.end());
+}
+
+static uint32_t lookupAllocSite(
+    const std::vector<std::pair<uint64_t, uint32_t>> &Sites, uint32_t FuncId,
+    InstId Ident) {
+  uint64_t Key = (static_cast<uint64_t>(FuncId) << 32) | Ident;
+  auto It = std::lower_bound(Sites.begin(), Sites.end(),
+                             std::make_pair(Key, 0u));
+  assert(It != Sites.end() && It->first == Key && "unknown alloc site");
+  return It->second;
+}
+
+static Constraints buildConstraints(
+    const Module &M, const std::vector<uint32_t> &FuncBase,
+    const std::vector<std::pair<uint64_t, uint32_t>> &AllocSites) {
+  Constraints C;
+  auto var = [&](uint32_t F, Reg R) { return FuncBase[F] + R; };
+
+  for (uint32_t F = 0; F != M.Functions.size(); ++F) {
+    for (const BasicBlock &BB : M.function(F).Blocks) {
+      for (const Instruction &Inst : BB.Insts) {
+        switch (Inst.Op) {
+        case Opcode::AddrGlobal:
+          C.Bases.push_back({var(F, Inst.Dst), Inst.Id});
+          break;
+        case Opcode::Alloc:
+          C.Bases.push_back(
+              {var(F, Inst.Dst), lookupAllocSite(AllocSites, F, Inst.Ident)});
+          break;
+        case Opcode::Move:
+          C.Copies.push_back({var(F, Inst.A), var(F, Inst.Dst)});
+          break;
+        case Opcode::PtrAdd:
+          // Field-insensitive: the result references the same objects as
+          // the base (this is the Steensgaard/Andersen conservatism the
+          // paper's symbolic-bounds optimization compensates for).
+          C.Copies.push_back({var(F, Inst.A), var(F, Inst.Dst)});
+          break;
+        case Opcode::Call:
+        case Opcode::Spawn:
+          for (uint32_t I = 0; I != Inst.Args.size(); ++I)
+            C.Copies.push_back(
+                {var(F, Inst.Args[I]), var(Inst.Id, static_cast<Reg>(I))});
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+  return C;
+}
+
+void PointsTo::solveAndersen(const Module &M) {
+  Constraints C = buildConstraints(M, FuncBase, AllocSiteIds);
+
+  std::vector<std::vector<uint32_t>> Succ(NumVars);
+  for (auto &[From, To] : C.Copies)
+    Succ[From].push_back(To);
+
+  std::deque<uint32_t> Work;
+  std::vector<bool> Queued(NumVars, false);
+  auto enqueue = [&](uint32_t V) {
+    if (!Queued[V]) {
+      Queued[V] = true;
+      Work.push_back(V);
+    }
+  };
+
+  for (auto &[V, Obj] : C.Bases) {
+    Pts[V][Obj >> 6] |= 1ull << (Obj & 63);
+    enqueue(V);
+  }
+
+  while (!Work.empty()) {
+    uint32_t V = Work.front();
+    Work.pop_front();
+    Queued[V] = false;
+    for (uint32_t To : Succ[V]) {
+      bool Changed = false;
+      for (uint32_t W = 0; W != ObjWords; ++W) {
+        uint64_t Merged = Pts[To][W] | Pts[V][W];
+        if (Merged != Pts[To][W]) {
+          Pts[To][W] = Merged;
+          Changed = true;
+        }
+      }
+      if (Changed)
+        enqueue(To);
+    }
+  }
+}
+
+void PointsTo::solveSteensgaard(const Module &M) {
+  Constraints C = buildConstraints(M, FuncBase, AllocSiteIds);
+
+  // Union-find over pointer variables: every assignment unifies both
+  // sides (the hallmark of Steensgaard's O(n α(n)) analysis).
+  std::vector<uint32_t> Parent(NumVars);
+  std::iota(Parent.begin(), Parent.end(), 0);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t V) {
+    while (Parent[V] != V) {
+      Parent[V] = Parent[Parent[V]];
+      V = Parent[V];
+    }
+    return V;
+  };
+
+  for (auto &[From, To] : C.Copies)
+    Parent[find(From)] = find(To);
+
+  for (auto &[V, Obj] : C.Bases) {
+    uint32_t R = find(V);
+    Pts[R][Obj >> 6] |= 1ull << (Obj & 63);
+  }
+
+  // Materialize each variable's set from its representative.
+  for (uint32_t V = 0; V != NumVars; ++V) {
+    uint32_t R = find(V);
+    if (R != V)
+      Pts[V] = Pts[R];
+  }
+}
+
+std::vector<uint32_t> PointsTo::pointsTo(uint32_t FuncId, Reg R) const {
+  std::vector<uint32_t> Result;
+  const auto &Bits = Pts[varId(FuncId, R)];
+  for (uint32_t W = 0; W != ObjWords; ++W) {
+    uint64_t Word = Bits[W];
+    while (Word) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+      Result.push_back(W * 64 + Bit);
+      Word &= Word - 1;
+    }
+  }
+  return Result;
+}
+
+bool PointsTo::mayAlias(uint32_t FuncA, Reg RegA, uint32_t FuncB,
+                        Reg RegB) const {
+  const auto &A = Pts[varId(FuncA, RegA)];
+  const auto &B = Pts[varId(FuncB, RegB)];
+  for (uint32_t W = 0; W != ObjWords; ++W)
+    if (A[W] & B[W])
+      return true;
+  return false;
+}
+
+std::vector<uint32_t> PointsTo::accessedObjects(uint32_t FuncId,
+                                                InstId Ident) const {
+  const Function &Func = M.function(FuncId);
+  const Instruction *Inst = Func.findInst(Ident);
+  assert(Inst && Inst->isMemoryAccess() && "not a memory access");
+  return pointsTo(FuncId, Inst->A);
+}

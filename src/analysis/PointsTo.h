@@ -1,0 +1,93 @@
+//===- analysis/PointsTo.h - Flow-insensitive points-to analysis -*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program, flow- and context-insensitive points-to analysis in the
+/// two flavors RELAY combines (paper §3.1/§6.2): Andersen's
+/// inclusion-based analysis and Steensgaard's unification-based analysis.
+///
+/// Abstract objects are (a) global variables — field-insensitive, so a
+/// whole array is one object, which is precisely the conservatism that
+/// makes RELAY report false races on partitioned arrays like radix's
+/// `rank` — and (b) heap allocation sites.
+///
+/// Pointer variables are (function, register) pairs. MiniC cannot store
+/// pointers into memory (arrays hold ints), so pointers flow only through
+/// registers and call/spawn argument bindings, which keeps the constraint
+/// system small without changing the phenomena the paper studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_POINTSTO_H
+#define CHIMERA_ANALYSIS_POINTSTO_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+/// An abstract memory object.
+struct MemObject {
+  enum class Kind : uint8_t { Global, HeapSite } Kind = Kind::Global;
+  uint32_t GlobalId = 0;  ///< For Kind::Global.
+  uint32_t FuncId = 0;    ///< For Kind::HeapSite: allocating function...
+  ir::InstId Alloc = 0;   ///< ...and the Alloc instruction.
+  std::string name(const ir::Module &M) const;
+};
+
+enum class PointsToFlavor : uint8_t { Andersen, Steensgaard };
+
+class PointsTo {
+public:
+  PointsTo(const ir::Module &M,
+           PointsToFlavor Flavor = PointsToFlavor::Andersen);
+
+  /// All abstract objects (index = object id).
+  const std::vector<MemObject> &objects() const { return Objects; }
+
+  /// Object ids register (FuncId, R) may point to, sorted.
+  std::vector<uint32_t> pointsTo(uint32_t FuncId, ir::Reg R) const;
+
+  /// True when the two pointer registers may reference a common object.
+  bool mayAlias(uint32_t FuncA, ir::Reg RegA, uint32_t FuncB,
+                ir::Reg RegB) const;
+
+  /// Object-id set of the address operand of a Load/Store instruction.
+  /// \p Ident must name a memory access in \p FuncId.
+  std::vector<uint32_t> accessedObjects(uint32_t FuncId,
+                                        ir::InstId Ident) const;
+
+  uint32_t numObjects() const {
+    return static_cast<uint32_t>(Objects.size());
+  }
+
+private:
+  uint32_t varId(uint32_t FuncId, ir::Reg R) const {
+    return FuncBase[FuncId] + R;
+  }
+  void buildObjects(const ir::Module &M);
+  void solveAndersen(const ir::Module &M);
+  void solveSteensgaard(const ir::Module &M);
+
+  const ir::Module &M;
+  std::vector<MemObject> Objects;
+  std::vector<uint32_t> FuncBase; ///< First var id of each function.
+  uint32_t NumVars = 0;
+  /// Per pointer-variable bitset of object ids.
+  std::vector<std::vector<uint64_t>> Pts;
+  uint32_t ObjWords = 0;
+  /// Heap-site object id per (FuncId, InstId) Alloc, for constraint
+  /// generation.
+  std::vector<std::pair<uint64_t, uint32_t>> AllocSiteIds;
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_POINTSTO_H

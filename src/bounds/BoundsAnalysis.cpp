@@ -1,0 +1,414 @@
+//===- bounds/BoundsAnalysis.cpp - Symbolic address bounds -----------------===//
+
+#include "bounds/BoundsAnalysis.h"
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace chimera;
+using namespace chimera::bounds;
+using namespace chimera::ir;
+using analysis::Loop;
+
+BoundsAnalysis::BoundsAnalysis(const Module &M, const Function &Func,
+                               const analysis::LoopInfo &LI)
+    : M(M), Func(Func), LI(LI) {
+  for (BlockId B = 0; B != Func.numBlocks(); ++B) {
+    const BasicBlock &BB = Func.block(B);
+    for (uint32_t I = 0; I != BB.Insts.size(); ++I) {
+      const Instruction &Inst = BB.Insts[I];
+      if (Inst.Dst != NoReg)
+        Defs[Inst.Dst].push_back({B, I, &Inst});
+    }
+  }
+}
+
+bool BoundsAnalysis::definedIn(const Loop *L, Reg R) const {
+  auto It = Defs.find(R);
+  if (It == Defs.end())
+    return false;
+  for (const DefSite &D : It->second)
+    if (L->contains(D.Block))
+      return true;
+  return false;
+}
+
+AffineExpr BoundsAnalysis::exprOf(Reg R, const Loop *Target,
+                                  const std::vector<Reg> &InductionVars,
+                                  unsigned Depth) const {
+  if (Depth > 64)
+    return AffineExpr::invalid();
+  if (std::find(InductionVars.begin(), InductionVars.end(), R) !=
+      InductionVars.end())
+    return AffineExpr::reg(R); // System variable (current-iteration value).
+  {
+    // A register whose only definition is a constant is that constant
+    // everywhere; resolving it keeps bounds expressions tight.
+    auto It = Defs.find(R);
+    if (It != Defs.end() && It->second.size() == 1 &&
+        It->second[0].Inst->Op == Opcode::ConstInt)
+      return AffineExpr::constant(It->second[0].Inst->Imm);
+  }
+  if (!definedIn(Target, R))
+    return AffineExpr::reg(preheaderAtom(R)); // Loop-invariant.
+
+  auto It = Defs.find(R);
+  if (It == Defs.end() || It->second.size() != 1)
+    return AffineExpr::invalid(); // Multi-def non-induction register.
+  const Instruction &Inst = *It->second[0].Inst;
+
+  auto sub = [&](Reg Operand) {
+    return exprOf(Operand, Target, InductionVars, Depth + 1);
+  };
+
+  switch (Inst.Op) {
+  case Opcode::ConstInt:
+    return AffineExpr::constant(Inst.Imm);
+  case Opcode::Move:
+    return sub(Inst.A);
+  case Opcode::Unary:
+    if (Inst.UOp == UnOp::Neg)
+      return sub(Inst.A).negate();
+    return AffineExpr::invalid();
+  case Opcode::Binary:
+    switch (Inst.BOp) {
+    case BinOp::Add:
+      return sub(Inst.A).add(sub(Inst.B));
+    case BinOp::Sub:
+      return sub(Inst.A).sub(sub(Inst.B));
+    case BinOp::Mul:
+      return sub(Inst.A).mul(sub(Inst.B));
+    case BinOp::Shl: {
+      AffineExpr Shift = sub(Inst.B);
+      if (Shift.isConstant() && Shift.constantValue() >= 0 &&
+          Shift.constantValue() < 62)
+        return sub(Inst.A).mulConst(int64_t(1)
+                                    << Shift.constantValue());
+      return AffineExpr::invalid();
+    }
+    default:
+      // Modulo, bitwise masks, comparisons: the unsupported arithmetic
+      // the paper cites as its second imprecision source (§5.2).
+      return AffineExpr::invalid();
+    }
+  case Opcode::PtrAdd:
+    return sub(Inst.A).add(sub(Inst.B));
+  case Opcode::AddrGlobal: {
+    AffineExpr Base =
+        AffineExpr::constant(static_cast<int64_t>(M.Globals[Inst.Id].BaseAddr));
+    if (Inst.A == NoReg)
+      return Base;
+    return Base.add(sub(Inst.A));
+  }
+  default:
+    // Loads, calls, inputs: values the analysis cannot bound (e.g.
+    // radix's rank[key_from[j]] — paper §5.2's first imprecision).
+    return AffineExpr::invalid();
+  }
+}
+
+AffineExpr BoundsAnalysis::initValueAt(
+    Reg R, const Loop *L, const Loop *Target,
+    const std::vector<Reg> &InductionVars) const {
+  // Fallback for the lock's own loop: the runtime value of R at the
+  // preheader is always a sound starting point.
+  AffineExpr Fallback = L == Target ? AffineExpr::reg(preheaderAtom(R))
+                                    : AffineExpr::invalid();
+  if (L->Preheader == NoBlock)
+    return Fallback;
+
+  analysis::Dominators Dom(Func);
+  auto It = Defs.find(R);
+  if (It == Defs.end())
+    return Fallback;
+
+  // Latest definition dominating the inner preheader. Dominating blocks
+  // are totally ordered, so "latest" is well-defined.
+  const DefSite *Best = nullptr;
+  for (const DefSite &D : It->second) {
+    if (!Dom.dominates(D.Block, L->Preheader))
+      continue;
+    if (!Best) {
+      Best = &D;
+      continue;
+    }
+    bool Later = Best->Block == D.Block ? D.Index > Best->Index
+                                        : Dom.dominates(Best->Block, D.Block);
+    if (Later)
+      Best = &D;
+  }
+  if (!Best)
+    return Fallback;
+
+  // Expand the defining instruction's value.
+  const Instruction &Inst = *Best->Inst;
+  AffineExpr Resolved = AffineExpr::invalid();
+  switch (Inst.Op) {
+  case Opcode::ConstInt:
+    Resolved = AffineExpr::constant(Inst.Imm);
+    break;
+  case Opcode::Move:
+    Resolved = exprOf(Inst.A, Target, InductionVars, 0);
+    break;
+  default:
+    break;
+  }
+  return Resolved.valid() ? Resolved : Fallback;
+}
+
+static BinOp swapComparison(BinOp Op) {
+  switch (Op) {
+  case BinOp::Lt: return BinOp::Gt;
+  case BinOp::Le: return BinOp::Ge;
+  case BinOp::Gt: return BinOp::Lt;
+  case BinOp::Ge: return BinOp::Le;
+  default: return Op;
+  }
+}
+
+static BinOp negateComparison(BinOp Op) {
+  switch (Op) {
+  case BinOp::Lt: return BinOp::Ge;
+  case BinOp::Le: return BinOp::Gt;
+  case BinOp::Gt: return BinOp::Le;
+  case BinOp::Ge: return BinOp::Lt;
+  default: return Op;
+  }
+}
+
+namespace {
+
+/// Internal induction result shared with addressBounds.
+struct InductionImpl {
+  bool Found = false;
+  Reg Var = NoReg;
+  int64_t Step = 0;
+  AffineExpr Lower;
+  AffineExpr Upper;
+};
+
+} // namespace
+
+/// Core counted-loop recognizer; Target frames invariance.
+static InductionImpl analyzeInductionImpl(
+    const BoundsAnalysis &BA, const Module &M, const Function &Func,
+    const Loop *L, const Loop *Target, const std::vector<Reg> &OuterVars,
+    const std::map<Reg, std::vector<std::pair<BlockId, const Instruction *>>>
+        &DefsInLoop,
+    const std::function<AffineExpr(Reg)> &ExprOf,
+    const std::function<AffineExpr(Reg)> &InitOf) {
+  (void)BA;
+  (void)M;
+  (void)Target;
+  (void)OuterVars;
+  InductionImpl Result;
+
+  const BasicBlock &Header = Func.block(L->Header);
+  if (!Header.hasTerminator())
+    return Result;
+  const Instruction &Term = Header.terminator();
+  if (Term.Op != Opcode::CondBr)
+    return Result;
+
+  bool TrueInLoop = L->contains(Term.Succ0);
+  bool FalseInLoop = L->contains(Term.Succ1);
+  if (TrueInLoop == FalseInLoop)
+    return Result;
+
+  // The condition register must be a comparison computed in the header.
+  const Instruction *Cmp = nullptr;
+  for (const Instruction &Inst : Header.Insts)
+    if (Inst.Dst == Term.A && Inst.Op == Opcode::Binary)
+      Cmp = &Inst;
+  if (!Cmp)
+    return Result;
+  BinOp Op = Cmp->BOp;
+  if (Op != BinOp::Lt && Op != BinOp::Le && Op != BinOp::Gt &&
+      Op != BinOp::Ge)
+    return Result;
+  if (!TrueInLoop)
+    Op = negateComparison(Op);
+
+  // Try each side as the induction variable.
+  for (int Side = 0; Side != 2; ++Side) {
+    Reg Var = Side == 0 ? Cmp->A : Cmp->B;
+    Reg BoundReg = Side == 0 ? Cmp->B : Cmp->A;
+    BinOp NOp = Side == 0 ? Op : swapComparison(Op);
+
+    // The variable must have exactly one definition inside the loop, of
+    // the shape Var = Var ± const.
+    auto It = DefsInLoop.find(Var);
+    if (It == DefsInLoop.end() || It->second.size() != 1)
+      continue;
+    const Instruction *StepDef = It->second[0].second;
+
+    // Accept `Move Var <- t` where t = Var ± const, or a direct Binary.
+    const Instruction *Arith = StepDef;
+    if (StepDef->Op == Opcode::Move) {
+      auto TmpIt = DefsInLoop.find(StepDef->A);
+      if (TmpIt == DefsInLoop.end() || TmpIt->second.size() != 1)
+        continue;
+      Arith = TmpIt->second[0].second;
+    }
+    if (Arith->Op != Opcode::Binary &&
+        !(Arith->Op == Opcode::PtrAdd))
+      continue;
+
+    int64_t Step = 0;
+    if (Arith->Op == Opcode::PtrAdd || Arith->BOp == BinOp::Add) {
+      Reg Other;
+      if (Arith->A == Var)
+        Other = Arith->B;
+      else if (Arith->B == Var)
+        Other = Arith->A;
+      else
+        continue;
+      AffineExpr StepExpr = ExprOf(Other);
+      if (!StepExpr.isConstant())
+        continue;
+      Step = StepExpr.constantValue();
+    } else if (Arith->BOp == BinOp::Sub && Arith->A == Var) {
+      AffineExpr StepExpr = ExprOf(Arith->B);
+      if (!StepExpr.isConstant())
+        continue;
+      Step = -StepExpr.constantValue();
+    } else {
+      continue;
+    }
+    if (Step == 0)
+      continue;
+
+    AffineExpr Bound = ExprOf(BoundReg);
+    if (!Bound.valid())
+      continue;
+    AffineExpr Init = InitOf(Var);
+    if (!Init.valid())
+      continue;
+
+    // Staying-in-loop condition: Var NOp Bound holds for every body
+    // execution.
+    AffineExpr Lower, Upper;
+    if (Step > 0) {
+      if (NOp == BinOp::Lt)
+        Upper = Bound.addConst(-1);
+      else if (NOp == BinOp::Le)
+        Upper = Bound;
+      else
+        continue;
+      Lower = Init;
+    } else {
+      if (NOp == BinOp::Gt)
+        Lower = Bound.addConst(1);
+      else if (NOp == BinOp::Ge)
+        Lower = Bound;
+      else
+        continue;
+      Upper = Init;
+    }
+
+    Result.Found = true;
+    Result.Var = Var;
+    Result.Step = Step;
+    Result.Lower = Lower;
+    Result.Upper = Upper;
+    return Result;
+  }
+  return Result;
+}
+
+BoundsAnalysis::Induction BoundsAnalysis::analyzeInduction(
+    const Loop *L) const {
+  // Defs restricted to the loop body.
+  std::map<Reg, std::vector<std::pair<BlockId, const Instruction *>>>
+      DefsInLoop;
+  for (const auto &[R, Sites] : Defs)
+    for (const DefSite &D : Sites)
+      if (L->contains(D.Block))
+        DefsInLoop[R].push_back({D.Block, D.Inst});
+
+  std::vector<Reg> NoVars;
+  InductionImpl Impl = analyzeInductionImpl(
+      *this, M, Func, L, L, NoVars, DefsInLoop,
+      [&](Reg R) { return exprOf(R, L, NoVars, 0); },
+      [&](Reg R) { return initValueAt(R, L, L, NoVars); });
+
+  Induction Out;
+  Out.Found = Impl.Found;
+  Out.Var = Impl.Var;
+  Out.Step = Impl.Step;
+  Out.Lower = Impl.Lower;
+  Out.Upper = Impl.Upper;
+  return Out;
+}
+
+AddressBounds BoundsAnalysis::addressBounds(const Loop *L,
+                                            InstId Ident) const {
+  AddressBounds Out;
+
+  Function::InstPos Pos = Func.findInstPos(Ident);
+  if (!Pos.valid() || !L->contains(Pos.Block))
+    return Out;
+  const Instruction &Access = Func.block(Pos.Block).Insts[Pos.Index];
+  if (!Access.isMemoryAccess())
+    return Out;
+
+  // Loop chain from L (outermost frame) down to the access.
+  std::vector<const Loop *> Chain; // Outer -> inner.
+  for (const Loop *Cur = LI.innermostLoop(Pos.Block); Cur;
+       Cur = Cur->Parent) {
+    Chain.push_back(Cur);
+    if (Cur == L)
+      break;
+  }
+  if (Chain.empty() || Chain.back() != L)
+    return Out;
+  std::reverse(Chain.begin(), Chain.end()); // Now outermost (L) first.
+
+  // Recognize induction variables outermost-first so inner bounds may
+  // reference outer variables.
+  std::vector<Reg> IVars;
+  ConstraintSystem System; // Filled innermost-first below.
+  std::vector<VarConstraint> Constraints; // Outer -> inner.
+
+  for (const Loop *Cur : Chain) {
+    std::map<Reg, std::vector<std::pair<BlockId, const Instruction *>>>
+        DefsInLoop;
+    for (const auto &[R, Sites] : Defs)
+      for (const DefSite &D : Sites)
+        if (Cur->contains(D.Block))
+          DefsInLoop[R].push_back({D.Block, D.Inst});
+
+    InductionImpl Impl = analyzeInductionImpl(
+        *this, M, Func, Cur, L, IVars, DefsInLoop,
+        [&](Reg R) { return exprOf(R, L, IVars, 0); },
+        [&](Reg R) { return initValueAt(R, Cur, L, IVars); });
+    if (Impl.Found) {
+      IVars.push_back(Impl.Var);
+      Constraints.push_back({Impl.Var, Impl.Lower, Impl.Upper});
+    }
+  }
+
+  AffineExpr Addr = exprOf(Access.A, L, IVars, 0);
+  if (!Addr.valid())
+    return Out;
+
+  for (auto It = Constraints.rbegin(); It != Constraints.rend(); ++It)
+    System.addVariable(It->Var, It->Lower, It->Upper);
+
+  BoundsResult FM = eliminate(System, Addr);
+  if (!FM.valid())
+    return Out;
+
+  // Only preheader atoms may remain.
+  auto OnlyAtoms = [](Reg R) { return isPreheaderAtom(R); };
+  if (!FM.Min.usesOnly(OnlyAtoms) || !FM.Max.usesOnly(OnlyAtoms))
+    return Out;
+
+  Out.Valid = true;
+  Out.Lo = FM.Min;
+  Out.Hi = FM.Max;
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- bounds/BoundsAnalysis.h - Symbolic address bounds --------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic address-bounds analysis for racy loop accesses (paper §5,
+/// after Rugina & Rinard). For a memory access inside a loop nest, it
+/// derives affine lower/upper bounds — over values readable at the
+/// target loop's preheader — for the word address the access can touch
+/// in any iteration. The instrumenter materializes the bounds in the
+/// preheader and guards the loop with a ranged weak-lock.
+///
+/// Register atoms come in two flavors: a *system variable* is a loop
+/// induction register being eliminated; a *preheader atom* (register id
+/// offset by PreheaderAtomBase) stands for "the value register r holds
+/// when the target loop's preheader executes". Final bounds contain only
+/// preheader atoms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_BOUNDS_BOUNDSANALYSIS_H
+#define CHIMERA_BOUNDS_BOUNDSANALYSIS_H
+
+#include "analysis/LoopInfo.h"
+#include "bounds/FourierMotzkin.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+namespace chimera {
+namespace bounds {
+
+/// Result of bounding one access over one loop.
+struct AddressBounds {
+  bool Valid = false;
+  /// Inclusive word-address bounds, affine over preheader atoms.
+  AffineExpr Lo;
+  AffineExpr Hi;
+};
+
+class BoundsAnalysis {
+public:
+  /// Atom encoding: preheaderAtom(r) denotes r's value at the target
+  /// loop's preheader.
+  static constexpr ir::Reg PreheaderAtomBase = 1u << 20;
+  static ir::Reg preheaderAtom(ir::Reg R) { return R + PreheaderAtomBase; }
+  static bool isPreheaderAtom(ir::Reg R) { return R >= PreheaderAtomBase; }
+  static ir::Reg stripAtom(ir::Reg R) { return R - PreheaderAtomBase; }
+
+  BoundsAnalysis(const ir::Module &M, const ir::Function &Func,
+                 const analysis::LoopInfo &LI);
+
+  /// Bounds of the address operand of access \p Ident over all
+  /// iterations of \p L (which must contain the access).
+  AddressBounds addressBounds(const analysis::Loop *L,
+                              ir::InstId Ident) const;
+
+  /// Detected induction variable of \p L, if its header matches the
+  /// canonical counted-loop shape. Exposed for tests.
+  struct Induction {
+    bool Found = false;
+    ir::Reg Var = ir::NoReg;
+    int64_t Step = 0;
+    AffineExpr Lower; ///< Over preheader atoms / outer induction vars.
+    AffineExpr Upper;
+  };
+  Induction analyzeInduction(const analysis::Loop *L) const;
+
+private:
+  struct DefSite {
+    ir::BlockId Block = ir::NoBlock;
+    uint32_t Index = 0;
+    const ir::Instruction *Inst = nullptr;
+  };
+
+  bool definedIn(const analysis::Loop *L, ir::Reg R) const;
+  /// Expands \p R into an affine expression. \p Target is the lock's
+  /// loop (invariance frame); \p InductionVars maps induction registers
+  /// (treated as raw system variables) of the loop chain.
+  AffineExpr exprOf(ir::Reg R, const analysis::Loop *Target,
+                    const std::vector<ir::Reg> &InductionVars,
+                    unsigned Depth) const;
+  /// Value of \p R when \p L's preheader runs, by expanding the latest
+  /// dominating definition (used for inner-loop induction starts).
+  AffineExpr initValueAt(ir::Reg R, const analysis::Loop *L,
+                         const analysis::Loop *Target,
+                         const std::vector<ir::Reg> &InductionVars) const;
+
+  const ir::Module &M;
+  const ir::Function &Func;
+  const analysis::LoopInfo &LI;
+  std::map<ir::Reg, std::vector<DefSite>> Defs;
+};
+
+} // namespace bounds
+} // namespace chimera
+
+#endif // CHIMERA_BOUNDS_BOUNDSANALYSIS_H

@@ -1,0 +1,21 @@
+//===- bounds/ConstraintSystem.cpp - Induction-variable constraints --------===//
+
+#include "bounds/ConstraintSystem.h"
+
+using namespace chimera;
+using namespace chimera::bounds;
+
+bool ConstraintSystem::hasVariable(ir::Reg R) const {
+  for (const VarConstraint &V : Vars)
+    if (V.Var == R)
+      return true;
+  return false;
+}
+
+std::string ConstraintSystem::str() const {
+  std::string Out;
+  for (const VarConstraint &V : Vars)
+    Out += V.Lower.str() + " <= r" + std::to_string(V.Var) +
+           " <= " + V.Upper.str() + "\n";
+  return Out;
+}

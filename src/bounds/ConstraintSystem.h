@@ -1,0 +1,55 @@
+//===- bounds/ConstraintSystem.h - Induction-variable constraints *- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A constraint system over loop induction variables: each variable is
+/// boxed by affine lower/upper bounds that may reference *outer*
+/// induction variables (nested loops) and loop-invariant registers. This
+/// is the linear-program the paper hands to lpsolve (§6.1); we solve it
+/// exactly with Fourier-Motzkin-style elimination instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_BOUNDS_CONSTRAINTSYSTEM_H
+#define CHIMERA_BOUNDS_CONSTRAINTSYSTEM_H
+
+#include "bounds/SymbolicExpr.h"
+
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace bounds {
+
+/// Box constraints for one induction variable.
+struct VarConstraint {
+  ir::Reg Var = ir::NoReg;
+  AffineExpr Lower; ///< Var >= Lower.
+  AffineExpr Upper; ///< Var <= Upper.
+};
+
+/// Induction variables ordered innermost-first; a variable's bounds may
+/// reference any *later* (outer) variable or invariants, never earlier
+/// ones.
+class ConstraintSystem {
+public:
+  void addVariable(ir::Reg Var, AffineExpr Lower, AffineExpr Upper) {
+    Vars.push_back({Var, std::move(Lower), std::move(Upper)});
+  }
+
+  const std::vector<VarConstraint> &variables() const { return Vars; }
+  bool hasVariable(ir::Reg R) const;
+
+  std::string str() const;
+
+private:
+  std::vector<VarConstraint> Vars;
+};
+
+} // namespace bounds
+} // namespace chimera
+
+#endif // CHIMERA_BOUNDS_CONSTRAINTSYSTEM_H

@@ -1,0 +1,39 @@
+//===- bounds/FourierMotzkin.cpp - Variable elimination --------------------===//
+
+#include "bounds/FourierMotzkin.h"
+
+using namespace chimera;
+using namespace chimera::bounds;
+
+BoundsResult chimera::bounds::eliminate(const ConstraintSystem &System,
+                                        const AffineExpr &Target) {
+  BoundsResult Result;
+  Result.Min = Target;
+  Result.Max = Target;
+
+  // Innermost-first: each substitution may introduce outer variables,
+  // which later rounds eliminate in turn.
+  for (const VarConstraint &V : System.variables()) {
+    if (!Result.valid())
+      return Result;
+
+    int64_t MinCoeff = Result.Min.coeff(V.Var);
+    if (MinCoeff != 0)
+      Result.Min = Result.Min.substitute(
+          V.Var, MinCoeff > 0 ? V.Lower : V.Upper);
+
+    int64_t MaxCoeff = Result.Max.coeff(V.Var);
+    if (MaxCoeff != 0)
+      Result.Max = Result.Max.substitute(
+          V.Var, MaxCoeff > 0 ? V.Upper : V.Lower);
+  }
+
+  // Any residual system variable (e.g. introduced by an outer bound that
+  // references an inner variable, which would be malformed) invalidates
+  // the result.
+  for (const VarConstraint &V : System.variables()) {
+    if (Result.Min.coeff(V.Var) != 0 || Result.Max.coeff(V.Var) != 0)
+      return {AffineExpr::invalid(), AffineExpr::invalid()};
+  }
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- bounds/FourierMotzkin.h - Variable elimination -----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fourier-Motzkin-style elimination of induction variables from an
+/// affine target expression: each variable is replaced by its lower or
+/// upper bound according to its coefficient's sign, innermost-first, so
+/// inner bounds that mention outer variables are themselves eliminated
+/// in later rounds. The result is the exact min/max of the target over
+/// the box, expressed over loop-invariant registers only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_BOUNDS_FOURIERMOTZKIN_H
+#define CHIMERA_BOUNDS_FOURIERMOTZKIN_H
+
+#include "bounds/ConstraintSystem.h"
+
+namespace chimera {
+namespace bounds {
+
+/// Min/max of an affine target over a constraint box.
+struct BoundsResult {
+  AffineExpr Min;
+  AffineExpr Max;
+  bool valid() const { return Min.valid() && Max.valid(); }
+};
+
+/// Eliminates every system variable from \p Target. Returns invalid
+/// expressions when any needed bound is itself invalid or the target is
+/// not affine.
+BoundsResult eliminate(const ConstraintSystem &System,
+                       const AffineExpr &Target);
+
+} // namespace bounds
+} // namespace chimera
+
+#endif // CHIMERA_BOUNDS_FOURIERMOTZKIN_H

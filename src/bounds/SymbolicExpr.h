@@ -1,0 +1,85 @@
+//===- bounds/SymbolicExpr.h - Affine symbolic expressions ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions over virtual registers: c0 + Σ ci·r_i. These are
+/// the symbolic values the bounds analysis (paper §5) manipulates. A
+/// register atom stands for "the value this register holds at the loop
+/// preheader", so a bound expression can be materialized as IR that the
+/// instrumenter hoists into the preheader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_BOUNDS_SYMBOLICEXPR_H
+#define CHIMERA_BOUNDS_SYMBOLICEXPR_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace chimera {
+namespace bounds {
+
+/// An affine expression over registers, or the lattice top "not affine".
+class AffineExpr {
+public:
+  /// The invalid (non-affine / unknown) expression.
+  static AffineExpr invalid();
+  static AffineExpr constant(int64_t Value);
+  static AffineExpr reg(ir::Reg R);
+
+  bool valid() const { return Valid; }
+  bool isConstant() const { return Valid && Coeffs.empty(); }
+  int64_t constantValue() const { return Const; }
+
+  int64_t coeff(ir::Reg R) const;
+  const std::map<ir::Reg, int64_t> &coeffs() const { return Coeffs; }
+
+  AffineExpr add(const AffineExpr &O) const;
+  AffineExpr sub(const AffineExpr &O) const;
+  AffineExpr negate() const;
+  AffineExpr mulConst(int64_t Factor) const;
+  /// Product; valid only when at least one side is constant.
+  AffineExpr mul(const AffineExpr &O) const;
+  AffineExpr addConst(int64_t Value) const;
+
+  /// Replaces register \p R with \p Replacement (used by the
+  /// Fourier-Motzkin elimination step).
+  AffineExpr substitute(ir::Reg R, const AffineExpr &Replacement) const;
+
+  /// True when every register mentioned satisfies \p Pred.
+  template <typename Predicate> bool usesOnly(Predicate Pred) const {
+    if (!Valid)
+      return false;
+    for (const auto &[R, C] : Coeffs)
+      if (C != 0 && !Pred(R))
+        return false;
+    return true;
+  }
+
+  /// Evaluates given concrete register values (tests).
+  int64_t evaluate(const std::map<ir::Reg, int64_t> &Values) const;
+
+  bool operator==(const AffineExpr &O) const {
+    return Valid == O.Valid && Const == O.Const && Coeffs == O.Coeffs;
+  }
+
+  std::string str() const;
+
+private:
+  bool Valid = true;
+  int64_t Const = 0;
+  std::map<ir::Reg, int64_t> Coeffs; ///< Zero coefficients are erased.
+
+  void normalize();
+};
+
+} // namespace bounds
+} // namespace chimera
+
+#endif // CHIMERA_BOUNDS_SYMBOLICEXPR_H

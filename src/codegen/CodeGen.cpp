@@ -1,0 +1,559 @@
+//===- codegen/CodeGen.cpp - MiniC AST to Chimera IR lowering --------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "ir/IRBuilder.h"
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::ir;
+
+namespace {
+
+class FunctionLowering {
+public:
+  FunctionLowering(const Program &Prog, const FunctionDecl &Decl,
+                   Function &Func)
+      : Prog(Prog), Decl(Decl), Func(Func), Builder(Func) {}
+
+  void run() {
+    Func.Name = Decl.Name;
+    Func.Index = Decl.Index;
+    Func.NumParams = static_cast<uint32_t>(Decl.Params.size());
+    Func.ReturnsVoid = Decl.ReturnsVoid;
+    for (const ParamDecl &Param : Decl.Params)
+      Func.ParamTypes.push_back(Param.IsPtr ? IRType::Ptr : IRType::Int);
+    // Registers: params, then local slots, then temporaries.
+    Func.NumRegs = Func.NumParams + Decl.NumLocals;
+
+    BlockId Entry = Func.addBlock();
+    Builder.setInsertBlock(Entry);
+
+    lowerBlock(*Decl.Body);
+
+    if (!Builder.blockClosed()) {
+      // Implicit return; non-void functions fall back to returning 0.
+      if (Func.ReturnsVoid)
+        Builder.ret();
+      else
+        Builder.ret(Builder.constInt(0));
+    }
+  }
+
+private:
+  Reg localReg(unsigned LocalIndex) const {
+    return Func.NumParams + LocalIndex;
+  }
+
+  Reg varReg(const Symbol &Sym) const {
+    switch (Sym.Kind) {
+    case SymbolKind::Param:
+      return Sym.Index;
+    case SymbolKind::Local:
+      return localReg(Sym.Index);
+    default:
+      assert(false && "not a register-backed symbol");
+      return NoReg;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Reg lowerExpr(const Expr *E) {
+    Builder.setLoc(E->Loc);
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+      return Builder.constInt(cast<IntLitExpr>(E)->Value);
+
+    case ExprKind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(E);
+      const Symbol &Sym = Ref->Sym;
+      switch (Sym.Kind) {
+      case SymbolKind::Param:
+      case SymbolKind::Local:
+        return varReg(Sym);
+      case SymbolKind::Global:
+        if (Sym.ArraySize)
+          return Builder.addrGlobal(Sym.Index); // Array decays to pointer.
+        return Builder.load(Builder.addrGlobal(Sym.Index));
+      default:
+        assert(false && "Sema let a non-value symbol through");
+        return Builder.constInt(0);
+      }
+    }
+
+    case ExprKind::Index: {
+      const auto *Index = cast<IndexExpr>(E);
+      return Builder.load(lowerAddress(Index));
+    }
+
+    case ExprKind::Unary: {
+      const auto *Un = cast<UnaryExpr>(E);
+      Reg Sub = lowerExpr(Un->Sub.get());
+      Builder.setLoc(Un->Loc);
+      return Builder.unary(Un->Op == UnaryOp::Neg ? UnOp::Neg : UnOp::Not,
+                           Sub);
+    }
+
+    case ExprKind::Binary:
+      return lowerBinary(cast<BinaryExpr>(E));
+
+    case ExprKind::Call:
+      return lowerCall(cast<CallExpr>(E), /*WantResult=*/true);
+
+    case ExprKind::AddrOf: {
+      const auto *Addr = cast<AddrOfExpr>(E);
+      const Symbol &Sym = Addr->Sym;
+      Reg Index = Addr->Index ? lowerExpr(Addr->Index.get()) : NoReg;
+      Builder.setLoc(Addr->Loc);
+      if (Sym.Kind == SymbolKind::Global)
+        return Builder.addrGlobal(Sym.Index, Index);
+      // &p[i] over a pointer local/param.
+      Reg Base = varReg(Sym);
+      return Index == NoReg ? Base : Builder.ptrAdd(Base, Index);
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return NoReg;
+  }
+
+  /// Lowers `base[index]` to the address of the accessed word.
+  Reg lowerAddress(const IndexExpr *Index) {
+    // Global array: fold the index into AddrGlobal so analyses see the
+    // object directly.
+    if (const auto *Ref = dynCast<VarRefExpr>(Index->Base.get())) {
+      if (Ref->Sym.Kind == SymbolKind::Global && Ref->Sym.ArraySize) {
+        Reg Idx = lowerExpr(Index->Index.get());
+        Builder.setLoc(Index->Loc);
+        return Builder.addrGlobal(Ref->Sym.Index, Idx);
+      }
+    }
+    Reg Base = lowerExpr(Index->Base.get());
+    Reg Idx = lowerExpr(Index->Index.get());
+    Builder.setLoc(Index->Loc);
+    return Builder.ptrAdd(Base, Idx);
+  }
+
+  Reg lowerBinary(const BinaryExpr *Bin) {
+    if (Bin->Op == BinaryOp::LAnd || Bin->Op == BinaryOp::LOr)
+      return lowerShortCircuit(Bin);
+
+    Reg LHS = lowerExpr(Bin->LHS.get());
+    Reg RHS = lowerExpr(Bin->RHS.get());
+    Builder.setLoc(Bin->Loc);
+
+    // Pointer arithmetic is element-scaled PtrAdd.
+    if (Bin->LHS->Type == MiniType::Ptr &&
+        (Bin->Op == BinaryOp::Add || Bin->Op == BinaryOp::Sub)) {
+      Reg Offset =
+          Bin->Op == BinaryOp::Sub ? Builder.unary(UnOp::Neg, RHS) : RHS;
+      return Builder.ptrAdd(LHS, Offset);
+    }
+
+    BinOp Op;
+    switch (Bin->Op) {
+    case BinaryOp::Add: Op = BinOp::Add; break;
+    case BinaryOp::Sub: Op = BinOp::Sub; break;
+    case BinaryOp::Mul: Op = BinOp::Mul; break;
+    case BinaryOp::Div: Op = BinOp::Div; break;
+    case BinaryOp::Rem: Op = BinOp::Rem; break;
+    case BinaryOp::And: Op = BinOp::And; break;
+    case BinaryOp::Or: Op = BinOp::Or; break;
+    case BinaryOp::Xor: Op = BinOp::Xor; break;
+    case BinaryOp::Shl: Op = BinOp::Shl; break;
+    case BinaryOp::Shr: Op = BinOp::Shr; break;
+    case BinaryOp::Lt: Op = BinOp::Lt; break;
+    case BinaryOp::Le: Op = BinOp::Le; break;
+    case BinaryOp::Gt: Op = BinOp::Gt; break;
+    case BinaryOp::Ge: Op = BinOp::Ge; break;
+    case BinaryOp::Eq: Op = BinOp::Eq; break;
+    case BinaryOp::Ne: Op = BinOp::Ne; break;
+    default:
+      assert(false && "logical ops handled above");
+      Op = BinOp::Add;
+    }
+    return Builder.binary(Op, LHS, RHS);
+  }
+
+  Reg lowerShortCircuit(const BinaryExpr *Bin) {
+    bool IsAnd = Bin->Op == BinaryOp::LAnd;
+    // The merge register is written on two paths, like a local slot.
+    Reg Result = Func.newReg();
+
+    Reg LHS = lowerExpr(Bin->LHS.get());
+    Builder.setLoc(Bin->Loc);
+    Reg LHSBool = normalizeBool(LHS);
+
+    BlockId RHSBlock = Func.addBlock();
+    BlockId MergeBlock = Func.addBlock();
+
+    Builder.moveInto(Result, LHSBool);
+    if (IsAnd)
+      Builder.condBr(LHSBool, RHSBlock, MergeBlock);
+    else
+      Builder.condBr(LHSBool, MergeBlock, RHSBlock);
+
+    Builder.setInsertBlock(RHSBlock);
+    Reg RHS = lowerExpr(Bin->RHS.get());
+    Builder.setLoc(Bin->Loc);
+    Builder.moveInto(Result, normalizeBool(RHS));
+    Builder.br(MergeBlock);
+
+    Builder.setInsertBlock(MergeBlock);
+    return Result;
+  }
+
+  Reg normalizeBool(Reg Value) {
+    return Builder.binary(BinOp::Ne, Value, Builder.constInt(0));
+  }
+
+  Reg lowerCall(const CallExpr *Call, bool WantResult) {
+    switch (Call->Builtin) {
+    case BuiltinKind::None: {
+      std::vector<Reg> Args;
+      for (const auto &Arg : Call->Args)
+        Args.push_back(lowerExpr(Arg.get()));
+      Builder.setLoc(Call->Loc);
+      const FunctionDecl &Callee = *Prog.Functions[Call->CalleeIndex];
+      return Builder.call(Call->CalleeIndex, Args,
+                          WantResult && !Callee.ReturnsVoid);
+    }
+    case BuiltinKind::Lock:
+      Builder.setLoc(Call->Loc);
+      Builder.mutexLock(syncArg(Call, 0));
+      return NoReg;
+    case BuiltinKind::Unlock:
+      Builder.setLoc(Call->Loc);
+      Builder.mutexUnlock(syncArg(Call, 0));
+      return NoReg;
+    case BuiltinKind::BarrierWait:
+      Builder.setLoc(Call->Loc);
+      Builder.barrierWait(syncArg(Call, 0));
+      return NoReg;
+    case BuiltinKind::CondWait:
+      Builder.setLoc(Call->Loc);
+      Builder.condWait(syncArg(Call, 0), syncArg(Call, 1));
+      return NoReg;
+    case BuiltinKind::CondSignal:
+      Builder.setLoc(Call->Loc);
+      Builder.condSignal(syncArg(Call, 0));
+      return NoReg;
+    case BuiltinKind::CondBroadcast:
+      Builder.setLoc(Call->Loc);
+      Builder.condBroadcast(syncArg(Call, 0));
+      return NoReg;
+    case BuiltinKind::Spawn: {
+      std::vector<Reg> Args;
+      for (size_t I = 1; I != Call->Args.size(); ++I)
+        Args.push_back(lowerExpr(Call->Args[I].get()));
+      Builder.setLoc(Call->Loc);
+      return Builder.spawn(Call->SpawnTarget, Args);
+    }
+    case BuiltinKind::Join: {
+      Reg Tid = lowerExpr(Call->Args[0].get());
+      Builder.setLoc(Call->Loc);
+      Builder.join(Tid);
+      return NoReg;
+    }
+    case BuiltinKind::Alloc: {
+      Reg Size = lowerExpr(Call->Args[0].get());
+      Builder.setLoc(Call->Loc);
+      return Builder.alloc(Size);
+    }
+    case BuiltinKind::Input:
+      Builder.setLoc(Call->Loc);
+      return Builder.input();
+    case BuiltinKind::NetRecv:
+      Builder.setLoc(Call->Loc);
+      return Builder.netRecv();
+    case BuiltinKind::FileRead:
+      Builder.setLoc(Call->Loc);
+      return Builder.fileRead();
+    case BuiltinKind::Output: {
+      Reg Value = lowerExpr(Call->Args[0].get());
+      Builder.setLoc(Call->Loc);
+      Builder.output(Value);
+      return NoReg;
+    }
+    case BuiltinKind::Yield:
+      Builder.setLoc(Call->Loc);
+      Builder.yield();
+      return NoReg;
+    }
+    assert(false && "unhandled builtin");
+    return NoReg;
+  }
+
+  uint32_t syncArg(const CallExpr *Call, unsigned ArgIdx) const {
+    const auto *Ref = cast<VarRefExpr>(Call->Args[ArgIdx].get());
+    return Ref->Sym.Index;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerBlock(const BlockStmt &Block) {
+    for (const auto &S : Block.Stmts) {
+      if (Builder.blockClosed())
+        return; // Code after return/break/continue is unreachable.
+      lowerStmt(S.get());
+    }
+  }
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case StmtKind::Decl: {
+      const auto *Decl = cast<DeclStmt>(S);
+      if (Decl->Init) {
+        Reg Init = lowerExpr(Decl->Init.get());
+        Builder.setLoc(Decl->Loc);
+        Builder.moveInto(localReg(Decl->LocalIndex), Init);
+      }
+      return;
+    }
+    case StmtKind::Assign:
+      lowerAssign(cast<AssignStmt>(S));
+      return;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      Reg Cond = lowerExpr(If->Cond.get());
+      Builder.setLoc(If->Loc);
+      BlockId ThenBlock = Func.addBlock();
+      BlockId ElseBlock = If->Else ? Func.addBlock() : NoBlock;
+      BlockId MergeBlock = Func.addBlock();
+      Builder.condBr(Cond, ThenBlock,
+                     If->Else ? ElseBlock : MergeBlock);
+
+      Builder.setInsertBlock(ThenBlock);
+      lowerStmt(If->Then.get());
+      if (!Builder.blockClosed())
+        Builder.br(MergeBlock);
+
+      if (If->Else) {
+        Builder.setInsertBlock(ElseBlock);
+        lowerStmt(If->Else.get());
+        if (!Builder.blockClosed())
+          Builder.br(MergeBlock);
+      }
+
+      Builder.setInsertBlock(MergeBlock);
+      return;
+    }
+    case StmtKind::While: {
+      const auto *While = cast<WhileStmt>(S);
+      // The current block becomes the loop preheader.
+      BlockId Header = Func.addBlock();
+      Builder.br(Header);
+
+      Builder.setInsertBlock(Header);
+      Reg Cond = lowerExpr(While->Cond.get());
+      Builder.setLoc(While->Loc);
+      BlockId Body = Func.addBlock();
+      BlockId Exit = Func.addBlock();
+      Builder.condBr(Cond, Body, Exit);
+
+      LoopTargets.push_back({Exit, Header});
+      Builder.setInsertBlock(Body);
+      lowerStmt(While->Body.get());
+      if (!Builder.blockClosed())
+        Builder.br(Header);
+      LoopTargets.pop_back();
+
+      Builder.setInsertBlock(Exit);
+      return;
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      if (For->Init)
+        lowerStmt(For->Init.get());
+
+      BlockId Header = Func.addBlock();
+      Builder.br(Header); // Current block is the preheader.
+
+      Builder.setInsertBlock(Header);
+      BlockId Body = Func.addBlock();
+      BlockId Step = Func.addBlock();
+      BlockId Exit = Func.addBlock();
+      if (For->Cond) {
+        Reg Cond = lowerExpr(For->Cond.get());
+        Builder.setLoc(For->Loc);
+        Builder.condBr(Cond, Body, Exit);
+      } else {
+        Builder.br(Body);
+      }
+
+      LoopTargets.push_back({Exit, Step});
+      Builder.setInsertBlock(Body);
+      lowerStmt(For->Body.get());
+      if (!Builder.blockClosed())
+        Builder.br(Step);
+      LoopTargets.pop_back();
+
+      Builder.setInsertBlock(Step);
+      if (For->Step)
+        lowerStmt(For->Step.get());
+      if (!Builder.blockClosed())
+        Builder.br(Header);
+
+      Builder.setInsertBlock(Exit);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      Reg Value = Ret->Value ? lowerExpr(Ret->Value.get()) : NoReg;
+      Builder.setLoc(Ret->Loc);
+      Builder.ret(Value);
+      return;
+    }
+    case StmtKind::Break:
+      assert(!LoopTargets.empty() && "Sema admits break only inside loops");
+      Builder.setLoc(S->Loc);
+      Builder.br(LoopTargets.back().BreakTarget);
+      return;
+    case StmtKind::Continue:
+      assert(!LoopTargets.empty() &&
+             "Sema admits continue only inside loops");
+      Builder.setLoc(S->Loc);
+      Builder.br(LoopTargets.back().ContinueTarget);
+      return;
+    case StmtKind::Block:
+      lowerBlock(*cast<BlockStmt>(S));
+      return;
+    case StmtKind::Expr:
+      lowerCall(dynCast<CallExpr>(cast<ExprStmt>(S)->E.get())
+                    ? cast<CallExpr>(cast<ExprStmt>(S)->E.get())
+                    : nullptr,
+                cast<ExprStmt>(S));
+      return;
+    }
+    assert(false && "unhandled statement kind");
+  }
+
+  /// Expression statements: calls lower without a result; any other
+  /// expression is evaluated for (the absence of) side effects.
+  void lowerCall(const CallExpr *Call, const ExprStmt *S) {
+    if (Call)
+      lowerCall(Call, /*WantResult=*/false);
+    else
+      lowerExpr(S->E.get());
+  }
+
+  void lowerAssign(const AssignStmt *Assign) {
+    // Resolve target address or register first (C evaluates the lvalue
+    // once for compound assignment).
+    const Expr *Target = Assign->Target.get();
+
+    if (const auto *Ref = dynCast<VarRefExpr>(Target)) {
+      const Symbol &Sym = Ref->Sym;
+      if (Sym.Kind == SymbolKind::Local || Sym.Kind == SymbolKind::Param) {
+        Reg Slot = varReg(Sym);
+        Reg Value = lowerExpr(Assign->Value.get());
+        Builder.setLoc(Assign->Loc);
+        if (Assign->Op == AssignOp::Assign) {
+          Builder.moveInto(Slot, Value);
+        } else if (Ref->Type == MiniType::Ptr) {
+          Reg Off = Assign->Op == AssignOp::Sub
+                        ? Builder.unary(UnOp::Neg, Value)
+                        : Value;
+          Builder.moveInto(Slot, Builder.ptrAdd(Slot, Off));
+        } else {
+          BinOp Op = Assign->Op == AssignOp::Add ? BinOp::Add : BinOp::Sub;
+          Builder.moveInto(Slot, Builder.binary(Op, Slot, Value));
+        }
+        return;
+      }
+      assert(Sym.Kind == SymbolKind::Global && !Sym.ArraySize &&
+             "Sema validated the assign target");
+      Reg Value = lowerExpr(Assign->Value.get());
+      Builder.setLoc(Assign->Loc);
+      Reg Addr = Builder.addrGlobal(Sym.Index);
+      if (Assign->Op == AssignOp::Assign) {
+        Builder.store(Addr, Value);
+      } else {
+        Reg Old = Builder.load(Addr);
+        BinOp Op = Assign->Op == AssignOp::Add ? BinOp::Add : BinOp::Sub;
+        Builder.store(Addr, Builder.binary(Op, Old, Value));
+      }
+      return;
+    }
+
+    const auto *Index = cast<IndexExpr>(Target);
+    Reg Addr = lowerAddress(Index);
+    Reg Value = lowerExpr(Assign->Value.get());
+    Builder.setLoc(Assign->Loc);
+    if (Assign->Op == AssignOp::Assign) {
+      Builder.store(Addr, Value);
+    } else {
+      Reg Old = Builder.load(Addr);
+      BinOp Op = Assign->Op == AssignOp::Add ? BinOp::Add : BinOp::Sub;
+      Builder.store(Addr, Builder.binary(Op, Old, Value));
+    }
+  }
+
+  struct LoopTarget {
+    BlockId BreakTarget;
+    BlockId ContinueTarget;
+  };
+
+  const Program &Prog;
+  const FunctionDecl &Decl;
+  Function &Func;
+  IRBuilder Builder;
+  std::vector<LoopTarget> LoopTargets;
+};
+
+} // namespace
+
+std::unique_ptr<Module> chimera::generateIR(const Program &Prog,
+                                            const std::string &ModuleName) {
+  auto M = std::make_unique<Module>();
+  M->Name = ModuleName;
+
+  for (const GlobalVarDecl &G : Prog.Globals) {
+    GlobalVar Var;
+    Var.Name = G.Name;
+    Var.SizeWords = G.ArraySize ? G.ArraySize : 1;
+    Var.Init = G.Init;
+    M->Globals.push_back(std::move(Var));
+  }
+
+  for (const SyncDecl &S : Prog.Syncs) {
+    SyncObject Obj;
+    Obj.Name = S.Name;
+    switch (S.Kind) {
+    case SyncObjectKind::Mutex: Obj.Kind = SyncKind::Mutex; break;
+    case SyncObjectKind::Barrier: Obj.Kind = SyncKind::Barrier; break;
+    case SyncObjectKind::Cond: Obj.Kind = SyncKind::Cond; break;
+    }
+    Obj.Parties = S.PartiesValue;
+    M->Syncs.push_back(std::move(Obj));
+  }
+
+  for (const auto &Decl : Prog.Functions) {
+    auto Func = std::make_unique<Function>();
+    FunctionLowering(Prog, *Decl, *Func).run();
+    M->Functions.push_back(std::move(Func));
+  }
+
+  M->MainFunction = Prog.findFunction("main")->Index;
+  M->layoutGlobals();
+  return M;
+}
+
+std::unique_ptr<Module> chimera::compileMiniC(const std::string &Source,
+                                              const std::string &ModuleName,
+                                              std::string *Error) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndCheck(Source, Diags);
+  if (!Prog) {
+    if (Error)
+      *Error = Diags.str();
+    return nullptr;
+  }
+  return generateIR(*Prog, ModuleName);
+}

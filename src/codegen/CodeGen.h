@@ -1,0 +1,47 @@
+//===- codegen/CodeGen.h - MiniC AST to Chimera IR lowering -----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a Sema-checked MiniC Program into a Chimera IR Module.
+///
+/// Conventions established here and relied on downstream:
+///  - registers [0, NumParams) are parameters, the next NumLocals
+///    registers back MiniC locals, all later registers are
+///    single-assignment temporaries;
+///  - global-array accesses `a[i]` lower to AddrGlobal+Load/Store so that
+///    analyses can read off the accessed object and index expression;
+///  - every loop has a unique preheader block (its only entry edge from
+///    outside the loop), which the bounds instrumentation uses to hoist
+///    range computations;
+///  - `&&`/`||` become short-circuit control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_CODEGEN_CODEGEN_H
+#define CHIMERA_CODEGEN_CODEGEN_H
+
+#include "ir/Module.h"
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace chimera {
+
+/// Lowers \p Prog (which must have passed Sema) to an IR module named
+/// \p ModuleName. Globals are laid out; the result passes verifyModule.
+std::unique_ptr<ir::Module> generateIR(const Program &Prog,
+                                       const std::string &ModuleName);
+
+/// Convenience: parse, check, and lower \p Source. Returns null and fills
+/// \p Error on front-end failure.
+std::unique_ptr<ir::Module> compileMiniC(const std::string &Source,
+                                         const std::string &ModuleName,
+                                         std::string *Error = nullptr);
+
+} // namespace chimera
+
+#endif // CHIMERA_CODEGEN_CODEGEN_H

@@ -1,0 +1,5 @@
+//===- core/Options.cpp - Pipeline configuration ---------------------------===//
+
+#include "core/Options.h"
+
+// Header-only for now; this TU anchors the library target.

@@ -1,0 +1,46 @@
+//===- core/Options.h - Pipeline configuration ------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration for the end-to-end Chimera pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_CORE_OPTIONS_H
+#define CHIMERA_CORE_OPTIONS_H
+
+#include "instrument/Planner.h"
+#include "runtime/CostModel.h"
+
+#include <cstdint>
+#include <string>
+
+namespace chimera {
+namespace core {
+
+struct PipelineConfig {
+  std::string Name = "program";
+
+  /// Simulated cores for evaluation runs.
+  unsigned NumCores = 8;
+
+  /// Profiling environment (paper: 20 runs, 2 workers, small inputs —
+  /// inputs vary because each run uses a different seed).
+  unsigned ProfileRuns = 20;
+  unsigned ProfileCores = 8;
+  uint64_t ProfileSeedBase = 90001;
+
+  instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
+  rt::CostModel Costs = rt::CostModel::defaultModel();
+
+  /// Weak-lock revocation threshold (cycles).
+  uint64_t WeakLockTimeout = 500'000'000;
+};
+
+} // namespace core
+} // namespace chimera
+
+#endif // CHIMERA_CORE_OPTIONS_H

@@ -1,0 +1,199 @@
+//===- core/Pipeline.cpp - End-to-end Chimera pipeline ---------------------===//
+
+#include "core/Pipeline.h"
+
+#include "codegen/CodeGen.h"
+#include "ir/Verifier.h"
+#include "profile/Profiler.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::core;
+
+std::unique_ptr<ChimeraPipeline> ChimeraPipeline::fromSource(
+    const std::string &EvalSource, const std::string &ProfileSource,
+    PipelineConfig Config, std::string *Error) {
+  auto P = std::unique_ptr<ChimeraPipeline>(new ChimeraPipeline());
+  P->Config = std::move(Config);
+
+  P->EvalModule = compileMiniC(EvalSource, P->Config.Name, Error);
+  if (!P->EvalModule)
+    return nullptr;
+
+  if (ProfileSource == EvalSource || ProfileSource.empty()) {
+    P->ProfileModule = P->EvalModule->clone();
+  } else {
+    P->ProfileModule =
+        compileMiniC(ProfileSource, P->Config.Name + ".profile", Error);
+    if (!P->ProfileModule)
+      return nullptr;
+    // Profile and eval sources must have the same IR shape (they may
+    // differ only in constants) so that function ids transfer.
+    if (P->ProfileModule->Functions.size() !=
+            P->EvalModule->Functions.size() ||
+        P->ProfileModule->totalInstructions() !=
+            P->EvalModule->totalInstructions()) {
+      if (Error)
+        *Error = "profile source has a different shape than eval source";
+      return nullptr;
+    }
+  }
+
+  std::vector<std::string> Problems = ir::verifyModule(*P->EvalModule);
+  if (!Problems.empty()) {
+    if (Error) {
+      *Error = "IR verification failed:";
+      for (const std::string &Problem : Problems)
+        *Error += "\n  " + Problem;
+    }
+    return nullptr;
+  }
+  return P;
+}
+
+void ChimeraPipeline::computeAnalyses() {
+  if (CG)
+    return;
+  CG = std::make_unique<analysis::CallGraph>(*EvalModule);
+  PT = std::make_unique<analysis::PointsTo>(*EvalModule,
+                                            analysis::PointsToFlavor::Andersen);
+  Escape = std::make_unique<analysis::EscapeAnalysis>(*EvalModule, *PT);
+}
+
+const race::RaceReport &ChimeraPipeline::raceReport() {
+  if (!Races) {
+    computeAnalyses();
+    race::RelayDetector Detector(*EvalModule, *CG, *PT, *Escape);
+    Races = std::make_unique<race::RaceReport>(Detector.detect());
+  }
+  return *Races;
+}
+
+const profile::ProfileData &ChimeraPipeline::profileData() {
+  if (!Profile) {
+    Profile = std::make_unique<profile::ProfileData>();
+    // Vary both the input seed and the core count across runs (the
+    // paper profiles over "a variety of inputs"; machine diversity
+    // makes the observed-concurrency union more robust).
+    const unsigned CoreVariants[] = {Config.ProfileCores, 2, 4, 8};
+    for (unsigned Run = 0; Run != Config.ProfileRuns; ++Run) {
+      profile::ConcurrencyProfiler Prof;
+      rt::MachineOptions MO;
+      MO.Mode = rt::ExecMode::Native;
+      MO.NumCores = CoreVariants[Run % 4];
+      MO.Seed = Config.ProfileSeedBase + Run;
+      MO.Costs = Config.Costs;
+      MO.Observer = &Prof;
+      rt::Machine Machine(*ProfileModule, MO);
+      rt::ExecutionResult Result = Machine.run();
+      assert(Result.Ok && "profile run failed");
+      (void)Result;
+      Profile->merge(Prof.finish());
+    }
+  }
+  return *Profile;
+}
+
+const instrument::InstrumentationPlan &ChimeraPipeline::plan() {
+  if (!Plan) {
+    const race::RaceReport &Report = raceReport();
+    // Without the function-lock optimization the planner ignores the
+    // profile, so don't pay for profile runs.
+    profile::ProfileData Empty;
+    const profile::ProfileData &Prof =
+        Config.Planner.UseFunctionLocks ? profileData() : Empty;
+    Plan = std::make_unique<instrument::InstrumentationPlan>(
+        instrument::planInstrumentation(*EvalModule, Report, Prof,
+                                        Config.Planner));
+  }
+  return *Plan;
+}
+
+const ir::Module &ChimeraPipeline::instrumentedModule() {
+  if (!Instrumented) {
+    Instrumented = instrument::instrumentModule(*EvalModule, plan());
+    std::vector<std::string> Problems = ir::verifyModule(*Instrumented);
+    assert(Problems.empty() && "instrumented module failed verification");
+    (void)Problems;
+  }
+  return *Instrumented;
+}
+
+void ChimeraPipeline::setPlannerOptions(
+    const instrument::PlannerOptions &Opts) {
+  Config.Planner = Opts;
+  Plan.reset();
+  Instrumented.reset();
+}
+
+rt::ExecutionResult ChimeraPipeline::runOriginalNative(
+    uint64_t Seed, rt::ExecutionObserver *Obs) {
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Native;
+  MO.NumCores = Config.NumCores;
+  MO.Seed = Seed;
+  MO.Costs = Config.Costs;
+  MO.Observer = Obs;
+  rt::Machine Machine(*EvalModule, MO);
+  return Machine.run();
+}
+
+rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Native;
+  MO.NumCores = Config.NumCores;
+  MO.Seed = Seed;
+  MO.Costs = Config.Costs;
+  MO.WeakLockTimeout = Config.WeakLockTimeout;
+  rt::Machine Machine(instrumentedModule(), MO);
+  return Machine.run();
+}
+
+rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
+                                            rt::ExecutionObserver *Obs) {
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Record;
+  MO.NumCores = Config.NumCores;
+  MO.Seed = Seed;
+  MO.Costs = Config.Costs;
+  MO.WeakLockTimeout = Config.WeakLockTimeout;
+  MO.Observer = Obs;
+  rt::Machine Machine(instrumentedModule(), MO);
+  return Machine.run();
+}
+
+rt::ExecutionResult ChimeraPipeline::replay(const rt::ExecutionLog &Log,
+                                            rt::ExecutionObserver *Obs) {
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Replay;
+  MO.NumCores = Config.NumCores;
+  MO.Seed = 0xdeadbeef; // Replay must not depend on the seed.
+  MO.Costs = Config.Costs;
+  MO.WeakLockTimeout = Config.WeakLockTimeout;
+  MO.ReplayLog = &Log;
+  MO.Observer = Obs;
+  rt::Machine Machine(instrumentedModule(), MO);
+  return Machine.run();
+}
+
+ChimeraPipeline::RecordReplayOutcome ChimeraPipeline::recordAndReplay(
+    uint64_t Seed) {
+  RecordReplayOutcome Outcome;
+  Outcome.Record = record(Seed);
+  if (!Outcome.Record.Ok)
+    return Outcome;
+  Outcome.Replay = replay(Outcome.Record.Log);
+  Outcome.Deterministic = Outcome.Replay.Ok &&
+                          Outcome.Replay.StateHash ==
+                              Outcome.Record.StateHash;
+  return Outcome;
+}
+
+uint64_t ChimeraPipeline::dynamicRaceCount(uint64_t Seed) {
+  race::DynamicDetector Detector;
+  rt::ExecutionResult Result = record(Seed, &Detector);
+  assert(Result.Ok && "dynamic race check run failed");
+  (void)Result;
+  return Detector.raceCount();
+}

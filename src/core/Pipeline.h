@@ -1,0 +1,109 @@
+//===- core/Pipeline.h - End-to-end Chimera pipeline ------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point (paper Figure 1): compile MiniC, run the RELAY
+/// static race detector, profile concurrent function pairs over many
+/// inputs, plan weak-lock granularities, instrument, then record and
+/// replay on the simulated multicore.
+///
+/// Typical use:
+/// \code
+///   std::string Error;
+///   auto P = core::ChimeraPipeline::fromSource(EvalSrc, ProfileSrc,
+///                                              Config, &Error);
+///   auto Outcome = P->recordAndReplay(/*Seed=*/42);
+///   assert(Outcome.Deterministic);
+/// \endcode
+///
+/// Profile and evaluation sources may differ only in global initializer
+/// values and barrier party counts (the paper profiles smaller inputs
+/// and fewer workers); the pipeline asserts the IR shape matches so
+/// analysis results transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_CORE_PIPELINE_H
+#define CHIMERA_CORE_PIPELINE_H
+
+#include "core/Options.h"
+#include "instrument/Instrumenter.h"
+#include "race/DynamicDetector.h"
+#include "race/RelayDetector.h"
+#include "runtime/Machine.h"
+
+#include <memory>
+#include <string>
+
+namespace chimera {
+namespace core {
+
+class ChimeraPipeline {
+public:
+  /// Compiles and assembles a pipeline. \p ProfileSource may equal
+  /// \p EvalSource. Returns null and sets \p Error on failure.
+  static std::unique_ptr<ChimeraPipeline> fromSource(
+      const std::string &EvalSource, const std::string &ProfileSource,
+      PipelineConfig Config, std::string *Error);
+
+  const PipelineConfig &config() const { return Config; }
+
+  // -- Lazily computed stages.
+  const ir::Module &originalModule() const { return *EvalModule; }
+  const race::RaceReport &raceReport();
+  const profile::ProfileData &profileData();
+  const instrument::InstrumentationPlan &plan();
+  const ir::Module &instrumentedModule();
+
+  /// Re-plans under different optimizations (invalidates cached plan and
+  /// instrumented module).
+  void setPlannerOptions(const instrument::PlannerOptions &Opts);
+
+  // -- Executions.
+  rt::ExecutionResult runOriginalNative(uint64_t Seed,
+                                        rt::ExecutionObserver *Obs =
+                                            nullptr);
+  rt::ExecutionResult runInstrumentedNative(uint64_t Seed);
+  rt::ExecutionResult record(uint64_t Seed,
+                             rt::ExecutionObserver *Obs = nullptr);
+  rt::ExecutionResult replay(const rt::ExecutionLog &Log,
+                             rt::ExecutionObserver *Obs = nullptr);
+
+  struct RecordReplayOutcome {
+    rt::ExecutionResult Record;
+    rt::ExecutionResult Replay;
+    bool Deterministic = false;
+  };
+  /// Records with \p Seed, replays the log, compares state hashes.
+  RecordReplayOutcome recordAndReplay(uint64_t Seed);
+
+  /// Runs the dynamic happens-before oracle over a recording of the
+  /// instrumented program; returns the number of races it finds (the
+  /// paper's invariant: zero).
+  uint64_t dynamicRaceCount(uint64_t Seed);
+
+private:
+  ChimeraPipeline() = default;
+
+  void computeAnalyses();
+
+  PipelineConfig Config;
+  std::unique_ptr<ir::Module> EvalModule;
+  std::unique_ptr<ir::Module> ProfileModule;
+
+  std::unique_ptr<analysis::CallGraph> CG;
+  std::unique_ptr<analysis::PointsTo> PT;
+  std::unique_ptr<analysis::EscapeAnalysis> Escape;
+  std::unique_ptr<race::RaceReport> Races;
+  std::unique_ptr<profile::ProfileData> Profile;
+  std::unique_ptr<instrument::InstrumentationPlan> Plan;
+  std::unique_ptr<ir::Module> Instrumented;
+};
+
+} // namespace core
+} // namespace chimera
+
+#endif // CHIMERA_CORE_PIPELINE_H

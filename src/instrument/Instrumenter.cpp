@@ -1,0 +1,321 @@
+//===- instrument/Instrumenter.cpp - Weak-lock IR rewriting ----------------===//
+
+#include "instrument/Instrumenter.h"
+
+#include "bounds/BoundsAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace chimera;
+using namespace chimera::instrument;
+using namespace chimera::ir;
+
+namespace {
+
+/// Rewrites one function according to its FunctionPlan.
+class FunctionRewriter {
+public:
+  FunctionRewriter(Function &F, const FunctionPlan &Plan) : F(F), Plan(Plan) {
+    // Loop guards indexed by preheader; loop membership and exit-edge
+    // targets precomputed.
+    for (const LoopGuard &G : Plan.Loops) {
+      GuardsByPreheader[G.Preheader].push_back(&G);
+      for (BlockId B : G.LoopBlocks)
+        LoopMembership[B].push_back(&G);
+      for (BlockId B : G.LoopBlocks)
+        for (BlockId S : F.successors(B))
+          if (!std::binary_search(G.LoopBlocks.begin(), G.LoopBlocks.end(),
+                                  S))
+            ExitReleases[S].insert(G.LockId);
+    }
+    for (const BlockGuard &G : Plan.Blocks)
+      BlockGuards[G.Block].push_back(G.LockId);
+    for (const InstrGuard &G : Plan.Instrs)
+      InstrGuards[G.Ident].push_back(G.LockId);
+    for (auto &[Block, Guards] : GuardsByPreheader)
+      std::sort(Guards.begin(), Guards.end(),
+                [](const LoopGuard *A, const LoopGuard *B) {
+                  return A->LockId < B->LockId;
+                });
+    for (auto &[Ident, Locks] : InstrGuards)
+      std::sort(Locks.begin(), Locks.end());
+    for (auto &[Block, Locks] : BlockGuards)
+      std::sort(Locks.begin(), Locks.end());
+  }
+
+  void run() {
+    uint32_t NumBlocks = F.numBlocks();
+    for (BlockId B = 0; B != NumBlocks; ++B)
+      rewriteBlock(B);
+  }
+
+private:
+  Instruction makeInst(Opcode Op) {
+    Instruction Inst;
+    Inst.Op = Op;
+    Inst.Ident = F.newInstId();
+    return Inst;
+  }
+
+  void emitAcquire(std::vector<Instruction> &Out, uint32_t LockId,
+                   WeakLockGranularity Gran, Reg Lo = NoReg,
+                   Reg Hi = NoReg) {
+    Instruction Inst = makeInst(Opcode::WeakAcquire);
+    Inst.Imm = LockId;
+    Inst.Id2 = static_cast<uint32_t>(Gran);
+    Inst.A = Lo;
+    Inst.B = Hi;
+    Out.push_back(std::move(Inst));
+  }
+
+  void emitRelease(std::vector<Instruction> &Out, uint32_t LockId,
+                   WeakLockGranularity Gran) {
+    Instruction Inst = makeInst(Opcode::WeakRelease);
+    Inst.Imm = LockId;
+    Inst.Id2 = static_cast<uint32_t>(Gran);
+    Out.push_back(std::move(Inst));
+  }
+
+  /// Materializes an affine bound expression; returns the result
+  /// register. Atoms refer to registers read at the emission point.
+  Reg emitAffine(std::vector<Instruction> &Out,
+                 const bounds::AffineExpr &E) {
+    Instruction Const = makeInst(Opcode::ConstInt);
+    Const.Imm = E.constantValue();
+    Const.Dst = F.newReg();
+    Reg Acc = Const.Dst;
+    Out.push_back(std::move(Const));
+
+    for (const auto &[Atom, Coeff] : E.coeffs()) {
+      assert(bounds::BoundsAnalysis::isPreheaderAtom(Atom) &&
+             "bound expression contains a loop-variant register");
+      Reg Source = bounds::BoundsAnalysis::stripAtom(Atom);
+      Reg Term = Source;
+      if (Coeff != 1) {
+        Instruction CoeffInst = makeInst(Opcode::ConstInt);
+        CoeffInst.Imm = Coeff;
+        CoeffInst.Dst = F.newReg();
+        Reg CoeffReg = CoeffInst.Dst;
+        Out.push_back(std::move(CoeffInst));
+
+        Instruction Mul = makeInst(Opcode::Binary);
+        Mul.BOp = BinOp::Mul;
+        Mul.A = Source;
+        Mul.B = CoeffReg;
+        Mul.Dst = F.newReg();
+        Term = Mul.Dst;
+        Out.push_back(std::move(Mul));
+      }
+      Instruction Add = makeInst(Opcode::Binary);
+      Add.BOp = BinOp::Add;
+      Add.A = Acc;
+      Add.B = Term;
+      Add.Dst = F.newReg();
+      Acc = Add.Dst;
+      Out.push_back(std::move(Add));
+    }
+    return Acc;
+  }
+
+  /// Branchless signed min: B + ((A - B) & ((A - B) >> 63)).
+  Reg emitMin(std::vector<Instruction> &Out, Reg A, Reg B) {
+    return emitMinMax(Out, A, B, /*WantMin=*/true);
+  }
+  Reg emitMax(std::vector<Instruction> &Out, Reg A, Reg B) {
+    return emitMinMax(Out, A, B, /*WantMin=*/false);
+  }
+
+  Reg emitMinMax(std::vector<Instruction> &Out, Reg A, Reg B,
+                 bool WantMin) {
+    auto binary = [&](BinOp Op, Reg X, Reg Y) {
+      Instruction Inst = makeInst(Opcode::Binary);
+      Inst.BOp = Op;
+      Inst.A = X;
+      Inst.B = Y;
+      Inst.Dst = F.newReg();
+      Reg R = Inst.Dst;
+      Out.push_back(std::move(Inst));
+      return R;
+    };
+    Instruction C = makeInst(Opcode::ConstInt);
+    C.Imm = 63;
+    C.Dst = F.newReg();
+    Reg SixtyThree = C.Dst;
+    Out.push_back(std::move(C));
+
+    Reg Diff = binary(BinOp::Sub, A, B);          // A - B
+    Reg Sign = binary(BinOp::Shr, Diff, SixtyThree); // arithmetic >> 63
+    Reg Masked = binary(BinOp::And, Diff, Sign);  // A<B ? A-B : 0
+    if (WantMin)
+      return binary(BinOp::Add, B, Masked);       // min(A, B)
+    return binary(BinOp::Sub, A, Masked);         // max(A, B)
+  }
+
+  /// Locks held when control is inside \p B, in acquisition order:
+  /// function locks, then loop locks (outer to inner), then the block
+  /// lock. Used for release/reacquire around calls and before returns.
+  struct HeldInfo {
+    std::vector<std::pair<uint32_t, WeakLockGranularity>> Ordered;
+  };
+
+  HeldInfo heldIn(BlockId B) const {
+    HeldInfo Info;
+    for (uint32_t Lock : Plan.EntryLocks)
+      Info.Ordered.push_back({Lock, WeakLockGranularity::Function});
+
+    auto It = LoopMembership.find(B);
+    if (It != LoopMembership.end()) {
+      // Outer loops first: more blocks = outer.
+      std::vector<const LoopGuard *> Guards = It->second;
+      std::sort(Guards.begin(), Guards.end(),
+                [](const LoopGuard *X, const LoopGuard *Y) {
+                  if (X->LoopBlocks.size() != Y->LoopBlocks.size())
+                    return X->LoopBlocks.size() > Y->LoopBlocks.size();
+                  return X->LockId < Y->LockId;
+                });
+      for (const LoopGuard *G : Guards)
+        Info.Ordered.push_back({G->LockId, WeakLockGranularity::Loop});
+    }
+
+    auto BIt = BlockGuards.find(B);
+    if (BIt != BlockGuards.end())
+      for (uint32_t Lock : BIt->second)
+        Info.Ordered.push_back({Lock, WeakLockGranularity::BasicBlock});
+    return Info;
+  }
+
+  void rewriteBlock(BlockId B) {
+    std::vector<Instruction> Old = std::move(F.block(B).Insts);
+    std::vector<Instruction> Out;
+    Out.reserve(Old.size() + 8);
+
+    // 1. Loop-lock releases for loops this block exits.
+    auto ExitIt = ExitReleases.find(B);
+    if (ExitIt != ExitReleases.end())
+      for (auto It = ExitIt->second.rbegin(); It != ExitIt->second.rend();
+           ++It)
+        emitRelease(Out, *It, WeakLockGranularity::Loop);
+
+    // 2. Function entry: acquire entry locks.
+    if (B == 0)
+      for (uint32_t Lock : Plan.EntryLocks)
+        emitAcquire(Out, Lock, WeakLockGranularity::Function);
+
+    // 3. Basic-block locks.
+    auto BGIt = BlockGuards.find(B);
+    if (BGIt != BlockGuards.end())
+      for (uint32_t Lock : BGIt->second)
+        emitAcquire(Out, Lock, WeakLockGranularity::BasicBlock);
+
+    HeldInfo Held = heldIn(B);
+
+    for (Instruction &Inst : Old) {
+      bool IsTerminator = Inst.isTerminator();
+
+      if (IsTerminator) {
+        // Basic-block locks release first: a block can simultaneously
+        // be bb-guarded and the preheader of a loop guarded by the same
+        // lock, and the lock classes must also never interleave
+        // (bb locks are innermost, §2.3).
+        if (BGIt != BlockGuards.end())
+          for (auto It = BGIt->second.rbegin(); It != BGIt->second.rend();
+               ++It)
+            emitRelease(Out, *It, WeakLockGranularity::BasicBlock);
+
+        // Loop-lock acquisition in the preheader, before its terminator.
+        auto PreIt = GuardsByPreheader.find(B);
+        if (PreIt != GuardsByPreheader.end()) {
+          for (const LoopGuard *G : PreIt->second) {
+            if (G->HasRange) {
+              assert(!G->LoList.empty() && "ranged guard without bounds");
+              Reg Lo = emitAffine(Out, G->LoList[0]);
+              Reg Hi = emitAffine(Out, G->HiList[0]);
+              for (size_t I = 1; I != G->LoList.size(); ++I) {
+                Lo = emitMin(Out, Lo, emitAffine(Out, G->LoList[I]));
+                Hi = emitMax(Out, Hi, emitAffine(Out, G->HiList[I]));
+              }
+              emitAcquire(Out, G->LockId, WeakLockGranularity::Loop, Lo,
+                          Hi);
+              LoopRangeRegs[G->LockId] = {Lo, Hi};
+            } else {
+              emitAcquire(Out, G->LockId, WeakLockGranularity::Loop);
+            }
+          }
+        }
+
+        // Returns release everything still held.
+        if (Inst.Op == Opcode::Ret) {
+          for (auto It = Held.Ordered.rbegin(); It != Held.Ordered.rend();
+               ++It)
+            if (It->second != WeakLockGranularity::BasicBlock)
+              emitRelease(Out, It->first, It->second);
+        }
+
+        Out.push_back(std::move(Inst));
+        continue;
+      }
+
+      // Calls: release every held lock (reverse), call, reacquire.
+      // The planner guarantees loop and block locks never cover calls,
+      // so only function locks are involved, but the general form keeps
+      // the invariant obvious.
+      if (Inst.Op == Opcode::Call) {
+        for (auto It = Held.Ordered.rbegin(); It != Held.Ordered.rend();
+             ++It)
+          emitRelease(Out, It->first, It->second);
+        Out.push_back(std::move(Inst));
+        for (const auto &[Lock, Gran] : Held.Ordered) {
+          auto RangeIt = LoopRangeRegs.find(Lock);
+          if (Gran == WeakLockGranularity::Loop &&
+              RangeIt != LoopRangeRegs.end())
+            emitAcquire(Out, Lock, Gran, RangeIt->second.first,
+                        RangeIt->second.second);
+          else
+            emitAcquire(Out, Lock, Gran);
+        }
+        continue;
+      }
+
+      // Instruction guards.
+      auto IGIt = InstrGuards.find(Inst.Ident);
+      if (IGIt != InstrGuards.end()) {
+        for (uint32_t Lock : IGIt->second)
+          emitAcquire(Out, Lock, WeakLockGranularity::Instr);
+        Out.push_back(std::move(Inst));
+        for (auto It = IGIt->second.rbegin(); It != IGIt->second.rend();
+             ++It)
+          emitRelease(Out, *It, WeakLockGranularity::Instr);
+        continue;
+      }
+
+      Out.push_back(std::move(Inst));
+    }
+
+    F.block(B).Insts = std::move(Out);
+  }
+
+  Function &F;
+  const FunctionPlan &Plan;
+  std::map<BlockId, std::vector<const LoopGuard *>> GuardsByPreheader;
+  std::map<BlockId, std::vector<const LoopGuard *>> LoopMembership;
+  std::map<BlockId, std::set<uint32_t>> ExitReleases;
+  std::map<BlockId, std::vector<uint32_t>> BlockGuards;
+  std::map<InstId, std::vector<uint32_t>> InstrGuards;
+  std::map<uint32_t, std::pair<Reg, Reg>> LoopRangeRegs;
+};
+
+} // namespace
+
+std::unique_ptr<Module> chimera::instrument::instrumentModule(
+    const Module &M, const InstrumentationPlan &Plan) {
+  std::unique_ptr<Module> Clone = M.clone();
+  Clone->WeakLocks = Plan.Locks;
+  for (const auto &[FuncId, FP] : Plan.Functions) {
+    FunctionRewriter Rewriter(Clone->function(FuncId), FP);
+    Rewriter.run();
+  }
+  return Clone;
+}

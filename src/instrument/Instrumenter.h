@@ -1,0 +1,44 @@
+//===- instrument/Instrumenter.h - Weak-lock IR rewriting -------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites a module according to an InstrumentationPlan:
+///
+///  - function-locks: acquired (ascending id) at function entry,
+///    released before every Ret, and released/reacquired around every
+///    call so nested instrumented regions never interleave lock classes
+///    (paper §2.3);
+///  - loop-locks: range expressions materialized in the preheader,
+///    acquired there, released at every loop exit edge target;
+///  - basic-block locks: acquired at block start, released before the
+///    terminator (blocks containing calls were demoted by the planner);
+///  - instruction locks: acquired/released immediately around the racy
+///    instruction.
+///
+/// Every emitted WeakAcquire/WeakRelease carries its site granularity in
+/// Id2 so the runtime can classify log records per Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_INSTRUMENT_INSTRUMENTER_H
+#define CHIMERA_INSTRUMENT_INSTRUMENTER_H
+
+#include "instrument/Plan.h"
+
+#include <memory>
+
+namespace chimera {
+namespace instrument {
+
+/// Returns an instrumented deep copy of \p M. The clone's WeakLocks
+/// table is Plan.Locks; the original module is untouched.
+std::unique_ptr<ir::Module> instrumentModule(const ir::Module &M,
+                                             const InstrumentationPlan &Plan);
+
+} // namespace instrument
+} // namespace chimera
+
+#endif // CHIMERA_INSTRUMENT_INSTRUMENTER_H

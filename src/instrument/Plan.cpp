@@ -1,0 +1,26 @@
+//===- instrument/Plan.cpp - Instrumentation plan types --------------------===//
+
+#include "instrument/Plan.h"
+
+using namespace chimera;
+using namespace chimera::instrument;
+
+std::string InstrumentationPlan::summary(const ir::Module &M) const {
+  std::string Out;
+  Out += "weak-locks: " + std::to_string(Locks.size()) + "\n";
+  Out += "race pairs: " + std::to_string(PairsTotal) +
+         " (function-covered " + std::to_string(PairsFunctionCovered) +
+         ")\n";
+  Out += "guard sites: loop+range " + std::to_string(SidesLoopRanged) +
+         ", loop " + std::to_string(SidesLoopUnranged) + ", basic-block " +
+         std::to_string(SidesBasicBlock) + ", instruction " +
+         std::to_string(SidesInstr) + "\n";
+  for (const auto &[FuncId, FP] : Functions) {
+    Out += "  " + M.function(FuncId).Name + ": entry locks " +
+           std::to_string(FP.EntryLocks.size()) + ", loops " +
+           std::to_string(FP.Loops.size()) + ", blocks " +
+           std::to_string(FP.Blocks.size()) + ", instrs " +
+           std::to_string(FP.Instrs.size()) + "\n";
+  }
+  return Out;
+}

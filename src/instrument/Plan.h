@@ -1,0 +1,94 @@
+//===- instrument/Plan.h - Instrumentation plan types -----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation plan: which weak-locks exist, and where each is
+/// acquired and at what granularity. The Planner produces it from the
+/// race report + profile + bounds analyses; the Instrumenter rewrites a
+/// module clone from it.
+///
+/// Lock identity follows the paper: every uncovered race-pair gets one
+/// weak-lock shared by both sides (each side guarded at its own
+/// granularity), and every used clique of non-concurrent racy functions
+/// gets one function-lock (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_INSTRUMENT_PLAN_H
+#define CHIMERA_INSTRUMENT_PLAN_H
+
+#include "bounds/SymbolicExpr.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace instrument {
+
+/// A weak-lock acquisition site at loop granularity. When several racy
+/// accesses of the same pair fall in the same loop, the guard protects
+/// the union of their ranges: each (Lo, Hi) pair is materialized in the
+/// preheader and folded with branchless min/max.
+struct LoopGuard {
+  uint32_t LockId = 0;
+  ir::BlockId Header = ir::NoBlock;     ///< Identifies the loop.
+  ir::BlockId Preheader = ir::NoBlock;  ///< Where bounds are computed.
+  std::vector<ir::BlockId> LoopBlocks;  ///< For exit detection.
+  bool HasRange = false;
+  std::vector<bounds::AffineExpr> LoList; ///< Over preheader atoms.
+  std::vector<bounds::AffineExpr> HiList;
+};
+
+/// A weak-lock acquisition around one basic block.
+struct BlockGuard {
+  uint32_t LockId = 0;
+  ir::BlockId Block = ir::NoBlock;
+};
+
+/// A weak-lock acquisition around one instruction.
+struct InstrGuard {
+  uint32_t LockId = 0;
+  ir::InstId Ident = ir::NoInst;
+};
+
+/// All guards within one function.
+struct FunctionPlan {
+  /// Function-locks acquired at entry, released at exit (sorted ids).
+  std::vector<uint32_t> EntryLocks;
+  std::vector<LoopGuard> Loops;
+  std::vector<BlockGuard> Blocks;
+  std::vector<InstrGuard> Instrs;
+
+  bool empty() const {
+    return EntryLocks.empty() && Loops.empty() && Blocks.empty() &&
+           Instrs.empty();
+  }
+};
+
+struct InstrumentationPlan {
+  /// Weak-lock table; index = lock id (becomes Module::WeakLocks).
+  std::vector<ir::WeakLockMeta> Locks;
+  /// Per function id.
+  std::map<uint32_t, FunctionPlan> Functions;
+
+  // Planning statistics (reported by benches/tests).
+  uint64_t PairsTotal = 0;
+  uint64_t PairsFunctionCovered = 0;
+  uint64_t SidesLoopRanged = 0;
+  uint64_t SidesLoopUnranged = 0;
+  uint64_t SidesBasicBlock = 0;
+  uint64_t SidesInstr = 0;
+
+  std::string summary(const ir::Module &M) const;
+};
+
+} // namespace instrument
+} // namespace chimera
+
+#endif // CHIMERA_INSTRUMENT_PLAN_H

@@ -1,0 +1,355 @@
+//===- instrument/Planner.cpp - Weak-lock granularity planning -------------===//
+
+#include "instrument/Planner.h"
+
+#include "analysis/LoopInfo.h"
+#include "bounds/BoundsAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+
+using namespace chimera;
+using namespace chimera::instrument;
+using namespace chimera::ir;
+using analysis::Loop;
+using analysis::LoopInfo;
+
+namespace {
+
+/// Per-function analysis caches.
+struct FuncContext {
+  std::unique_ptr<LoopInfo> Loops;
+  std::unique_ptr<bounds::BoundsAnalysis> Bounds;
+};
+
+/// Outcome of choosing a guard for one side of a race pair.
+enum class SideKind { LoopRanged, LoopUnranged, Block, Instr };
+
+struct SideChoice {
+  SideKind Kind = SideKind::Instr;
+  const Loop *L = nullptr;
+  bounds::AddressBounds Bounds;
+  BlockId Block = NoBlock;
+  InstId Ident = NoInst;
+};
+
+uint64_t staticLoopSize(const Function &F, const Loop *L) {
+  uint64_t Size = 0;
+  for (BlockId B : L->Blocks)
+    Size += F.block(B).Insts.size();
+  return Size;
+}
+
+bool blockContainsCall(const BasicBlock &BB) {
+  for (const Instruction &Inst : BB.Insts)
+    if (isCallLike(Inst.Op))
+      return true;
+  return false;
+}
+
+SideChoice chooseSide(const ir::Module &M, const Function &F,
+                      FuncContext &Ctx, const race::RacyAccess &Access,
+                      const PlannerOptions &Opts) {
+  SideChoice Choice;
+  Choice.Ident = Access.Ident;
+
+  Function::InstPos Pos = F.findInstPos(Access.Ident);
+  assert(Pos.valid() && "racy access not found in function");
+  Choice.Block = Pos.Block;
+
+  if (!Ctx.Loops)
+    Ctx.Loops = std::make_unique<LoopInfo>(F);
+  if (!Ctx.Bounds)
+    Ctx.Bounds = std::make_unique<bounds::BoundsAnalysis>(M, F, *Ctx.Loops);
+
+  if (Opts.UseLoopLocks) {
+    // Outermost loop with precise-enough bounds wins (§5.3). Loops
+    // containing calls are skipped: the bounds analysis is
+    // intra-procedural.
+    std::vector<const Loop *> Chain; // Innermost -> outermost.
+    for (const Loop *L = Ctx.Loops->innermostLoop(Pos.Block); L;
+         L = L->Parent)
+      Chain.push_back(L);
+
+    bool SawDegenerate = false;
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+      const Loop *L = *It;
+      if (L->ContainsCall || L->Preheader == NoBlock)
+        continue;
+      bounds::AddressBounds B = Ctx.Bounds->addressBounds(L, Access.Ident);
+      if (!B.Valid)
+        continue;
+      // A degenerate range (the access touches one loop-invariant cell,
+      // e.g. pfscan's `if (c > maxlen) maxlen = c`) means any loop-level
+      // lock — ranged or not — would serialize the whole loop against
+      // every peer touching that cell; the paper observes that
+      // instruction granularity is the right choice there (§7.3).
+      if (B.Lo == B.Hi) {
+        SawDegenerate = true;
+        continue;
+      }
+      Choice.Kind = SideKind::LoopRanged;
+      Choice.L = L;
+      Choice.Bounds = B;
+      return Choice;
+    }
+
+    // Imprecise bounds everywhere: if the innermost eligible loop is
+    // small, serializing it is cheaper than per-iteration locking —
+    // unless the target is a single hot cell (see above).
+    if (!SawDegenerate) {
+      for (const Loop *L : Chain) {
+        if (L->ContainsCall || L->Preheader == NoBlock)
+          continue;
+        if (staticLoopSize(F, L) <= Opts.LoopBodyThreshold) {
+          Choice.Kind = SideKind::LoopUnranged;
+          Choice.L = L;
+          return Choice;
+        }
+        break; // Only the innermost eligible loop is considered.
+      }
+    }
+  }
+
+  if (Opts.UseBasicBlockLocks && !blockContainsCall(F.block(Pos.Block))) {
+    Choice.Kind = SideKind::Block;
+    return Choice;
+  }
+
+  Choice.Kind = SideKind::Instr;
+  return Choice;
+}
+
+std::string lineOf(const Function &F, InstId Ident) {
+  const Instruction *Inst = F.findInst(Ident);
+  return Inst ? std::to_string(Inst->Loc.Line) : "?";
+}
+
+} // namespace
+
+InstrumentationPlan chimera::instrument::planInstrumentation(
+    const ir::Module &M, const race::RaceReport &Report,
+    const profile::ProfileData &Profile, const PlannerOptions &Opts) {
+  InstrumentationPlan Plan;
+  Plan.PairsTotal = Report.Pairs.size();
+
+  std::map<uint32_t, FuncContext> Contexts;
+
+  // Step 1: clique function-locks for non-concurrent racy function pairs.
+  //
+  // Beyond the paper's non-concurrency test we require (a) that neither
+  // function directly performs a blocking thread operation (spawn, join,
+  // barrier, cond-wait) — holding a weak-lock across those invites
+  // pathological revocation storms — and (b) that neither function was
+  // self-concurrent in profiling, so a function-lock never serializes
+  // parallel instances of a hot worker function ("...without
+  // significantly compromising parallelism", §4).
+  std::set<std::pair<uint32_t, uint32_t>> CoveredFuncPairs;
+  if (Opts.UseFunctionLocks) {
+    auto hasBlockingOp = [&](uint32_t FuncId) {
+      for (const BasicBlock &BB : M.function(FuncId).Blocks)
+        for (const Instruction &Inst : BB.Insts)
+          switch (Inst.Op) {
+          case Opcode::Spawn:
+          case Opcode::Join:
+          case Opcode::BarrierWait:
+          case Opcode::CondWait:
+            return true;
+          default:
+            break;
+          }
+      return false;
+    };
+
+    std::vector<uint32_t> RacyFuncs;
+    for (const race::RacyAccess &A : Report.racyInstructions())
+      RacyFuncs.push_back(A.FuncId);
+    profile::ConcurrencyGraph CG(RacyFuncs, Profile);
+
+    std::vector<std::pair<uint32_t, uint32_t>> Eligible;
+    for (auto [A, B] : Report.racyFunctionPairs()) {
+      if (hasBlockingOp(A) || hasBlockingOp(B))
+        continue;
+      if (!CG.selfNonConcurrent(A) || !CG.selfNonConcurrent(B))
+        continue;
+      Eligible.push_back({A, B});
+    }
+
+    profile::CliqueResult Cliques = assignFunctionLocks(Eligible, CG);
+    CoveredFuncPairs = Cliques.Covered;
+
+    for (const profile::FunctionLockPlan &FL : Cliques.Locks) {
+      uint32_t LockId = static_cast<uint32_t>(Plan.Locks.size());
+      WeakLockMeta Meta;
+      Meta.Granularity = WeakLockGranularity::Function;
+      Meta.Name = "func:";
+      for (size_t I = 0; I != FL.CliqueFunctions.size(); ++I) {
+        if (I)
+          Meta.Name += "+";
+        Meta.Name += M.function(FL.CliqueFunctions[I]).Name;
+      }
+      Plan.Locks.push_back(std::move(Meta));
+      for (uint32_t F : FL.Acquirers)
+        Plan.Functions[F].EntryLocks.push_back(LockId);
+    }
+    for (auto &[F, FP] : Plan.Functions) {
+      std::sort(FP.EntryLocks.begin(), FP.EntryLocks.end());
+      FP.EntryLocks.erase(
+          std::unique(FP.EntryLocks.begin(), FP.EntryLocks.end()),
+          FP.EntryLocks.end());
+    }
+  }
+
+  // Step 2: per-pair locks for everything else.
+  for (const race::RacePair &Pair : Report.Pairs) {
+    uint32_t FA = Pair.A.FuncId, FB = Pair.B.FuncId;
+    auto FuncPair = std::make_pair(std::min(FA, FB), std::max(FA, FB));
+    if (CoveredFuncPairs.count(FuncPair)) {
+      ++Plan.PairsFunctionCovered;
+      continue;
+    }
+
+    uint32_t LockId = static_cast<uint32_t>(Plan.Locks.size());
+    WeakLockMeta Meta;
+    Meta.Granularity = WeakLockGranularity::Instr;
+    Meta.Name = "pair:" + M.function(FA).Name + ":" +
+                lineOf(M.function(FA), Pair.A.Ident) + "+" +
+                M.function(FB).Name + ":" +
+                lineOf(M.function(FB), Pair.B.Ident);
+    Plan.Locks.push_back(std::move(Meta));
+
+    // Both sides share LockId; a self-pair has one distinct side.
+    std::vector<const race::RacyAccess *> Sides = {&Pair.A};
+    if (Pair.B.FuncId != Pair.A.FuncId || Pair.B.Ident != Pair.A.Ident)
+      Sides.push_back(&Pair.B);
+
+    std::vector<SideChoice> Choices;
+    for (const race::RacyAccess *Side : Sides)
+      Choices.push_back(chooseSide(M, M.function(Side->FuncId),
+                                   Contexts[Side->FuncId], *Side, Opts));
+
+    // Reconcile nesting between sides in the same function: the same
+    // lock must not be acquired at a loop's preheader and again inside
+    // that loop (recursive acquisition). Promote the inner side to the
+    // outer loop; when its range is re-derivable over that loop it
+    // joins the union, otherwise the merged guard becomes unranged.
+    if (Choices.size() == 2 && Sides[0]->FuncId == Sides[1]->FuncId) {
+      FuncContext &Ctx = Contexts[Sides[0]->FuncId];
+      auto isLoopKind = [](const SideChoice &C) {
+        return C.Kind == SideKind::LoopRanged ||
+               C.Kind == SideKind::LoopUnranged;
+      };
+      auto promoteInto = [&](SideChoice &Inner, const Loop *Outer) {
+        bounds::AddressBounds B =
+            Ctx.Bounds->addressBounds(Outer, Inner.Ident);
+        Inner.L = Outer;
+        Inner.Kind =
+            B.Valid ? SideKind::LoopRanged : SideKind::LoopUnranged;
+        Inner.Bounds = B;
+      };
+      for (int I = 0; I != 2; ++I) {
+        SideChoice &Outer = Choices[I];
+        SideChoice &Inner = Choices[1 - I];
+        if (!isLoopKind(Outer))
+          continue;
+        if (isLoopKind(Inner)) {
+          if (Inner.L != Outer.L && Outer.L->contains(Inner.L))
+            promoteInto(Inner, Outer.L);
+        } else if (Outer.L->contains(Inner.Block)) {
+          promoteInto(Inner, Outer.L);
+        }
+      }
+    }
+
+    WeakLockGranularity Coarsest = WeakLockGranularity::Instr;
+    for (size_t SideIdx = 0; SideIdx != Sides.size(); ++SideIdx) {
+      const race::RacyAccess *Side = Sides[SideIdx];
+      SideChoice &Choice = Choices[SideIdx];
+      FunctionPlan &FP = Plan.Functions[Side->FuncId];
+
+      switch (Choice.Kind) {
+      case SideKind::LoopRanged:
+      case SideKind::LoopUnranged: {
+        LoopGuard Guard;
+        Guard.LockId = LockId;
+        Guard.Header = Choice.L->Header;
+        Guard.Preheader = Choice.L->Preheader;
+        Guard.LoopBlocks = Choice.L->Blocks;
+        Guard.HasRange = Choice.Kind == SideKind::LoopRanged;
+        if (Guard.HasRange) {
+          Guard.LoList.push_back(Choice.Bounds.Lo);
+          Guard.HiList.push_back(Choice.Bounds.Hi);
+          ++Plan.SidesLoopRanged;
+        } else {
+          ++Plan.SidesLoopUnranged;
+        }
+
+        // Both sides of a pair may pick the same loop: one acquisition
+        // protecting the union of the ranges. An unranged side makes
+        // the merged guard unranged.
+        bool Merged = false;
+        for (LoopGuard &Existing : FP.Loops) {
+          if (Existing.LockId == LockId && Existing.Header == Guard.Header) {
+            if (!Existing.HasRange || !Guard.HasRange) {
+              Existing.HasRange = false;
+              Existing.LoList.clear();
+              Existing.HiList.clear();
+            } else {
+              Existing.LoList.insert(Existing.LoList.end(),
+                                     Guard.LoList.begin(),
+                                     Guard.LoList.end());
+              Existing.HiList.insert(Existing.HiList.end(),
+                                     Guard.HiList.begin(),
+                                     Guard.HiList.end());
+            }
+            Merged = true;
+            break;
+          }
+        }
+        if (!Merged)
+          FP.Loops.push_back(std::move(Guard));
+        Coarsest = std::min(Coarsest, WeakLockGranularity::Loop);
+        break;
+      }
+      case SideKind::Block: {
+        bool Exists = false;
+        for (const BlockGuard &G : FP.Blocks)
+          if (G.LockId == LockId && G.Block == Choice.Block)
+            Exists = true;
+        if (!Exists)
+          FP.Blocks.push_back({LockId, Choice.Block});
+        ++Plan.SidesBasicBlock;
+        Coarsest = std::min(Coarsest, WeakLockGranularity::BasicBlock);
+        break;
+      }
+      case SideKind::Instr: {
+        bool Exists = false;
+        for (const InstrGuard &G : FP.Instrs)
+          if (G.LockId == LockId && G.Ident == Choice.Ident)
+            Exists = true;
+        if (!Exists)
+          FP.Instrs.push_back({LockId, Choice.Ident});
+        ++Plan.SidesInstr;
+        break;
+      }
+      }
+    }
+    Plan.Locks[LockId].Granularity = Coarsest;
+    Plan.Locks[LockId].HasRange = false;
+    for (const auto &[F, FP] : Plan.Functions)
+      for (const LoopGuard &G : FP.Loops)
+        if (G.LockId == LockId && G.HasRange)
+          Plan.Locks[LockId].HasRange = true;
+  }
+
+  // Drop empty per-function plans (e.g. created by dedup passes).
+  for (auto It = Plan.Functions.begin(); It != Plan.Functions.end();) {
+    if (It->second.empty())
+      It = Plan.Functions.erase(It);
+    else
+      ++It;
+  }
+  return Plan;
+}

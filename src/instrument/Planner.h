@@ -1,0 +1,67 @@
+//===- instrument/Planner.h - Weak-lock granularity planning ----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's granularity decision procedure (§2.2, §4, §5.3):
+///
+///  1. Race pairs whose functions were never concurrent in any profile
+///     run share clique function-locks.
+///  2. Each remaining pair gets its own weak-lock; each side is guarded
+///     at loop granularity with a symbolic address range when bounds are
+///     derivable (loops containing calls are skipped — the analysis is
+///     intra-procedural), at unranged loop granularity when the loop
+///     body is small, at basic-block granularity otherwise, demoted to
+///     instruction granularity when the block contains a call.
+///
+/// The optimization toggles correspond to the configurations of the
+/// paper's Figure 5 ("instr", "inst+func", "inst+loop",
+/// "inst+bb+loop+func").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_INSTRUMENT_PLANNER_H
+#define CHIMERA_INSTRUMENT_PLANNER_H
+
+#include "instrument/Plan.h"
+#include "profile/CliqueAnalysis.h"
+#include "profile/Profiler.h"
+#include "race/RelayDetector.h"
+
+namespace chimera {
+namespace instrument {
+
+struct PlannerOptions {
+  bool UseFunctionLocks = true;
+  bool UseLoopLocks = true;
+  bool UseBasicBlockLocks = true;
+  /// Static instruction-count threshold under which an imprecise-bounds
+  /// loop is still guarded at loop granularity (paper §5.3's
+  /// loop-body-threshold; we substitute a static size estimate for their
+  /// profiled per-iteration cost).
+  uint64_t LoopBodyThreshold = 48;
+
+  static PlannerOptions naive() {
+    return {false, false, false, 48};
+  }
+  static PlannerOptions functionOnly() {
+    return {true, false, false, 48};
+  }
+  static PlannerOptions loopOnly() {
+    return {false, true, false, 48};
+  }
+  static PlannerOptions full() { return {true, true, true, 48}; }
+};
+
+/// Produces the instrumentation plan for \p M.
+InstrumentationPlan planInstrumentation(const ir::Module &M,
+                                        const race::RaceReport &Report,
+                                        const profile::ProfileData &Profile,
+                                        const PlannerOptions &Opts);
+
+} // namespace instrument
+} // namespace chimera
+
+#endif // CHIMERA_INSTRUMENT_PLANNER_H

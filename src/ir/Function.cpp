@@ -1,0 +1,38 @@
+//===- ir/Function.cpp - Chimera IR functions and blocks -------------------===//
+
+#include "ir/Function.h"
+
+using namespace chimera::ir;
+
+std::vector<BlockId> Function::successors(BlockId Id) const {
+  const BasicBlock &BB = block(Id);
+  if (!BB.hasTerminator())
+    return {};
+  const Instruction &Term = BB.terminator();
+  switch (Term.Op) {
+  case Opcode::Br:
+    return {Term.Succ0};
+  case Opcode::CondBr:
+    return {Term.Succ0, Term.Succ1};
+  default:
+    return {};
+  }
+}
+
+const Instruction *Function::findInst(InstId Ident) const {
+  for (const BasicBlock &BB : Blocks)
+    for (const Instruction &Inst : BB.Insts)
+      if (Inst.Ident == Ident)
+        return &Inst;
+  return nullptr;
+}
+
+Function::InstPos Function::findInstPos(InstId Ident) const {
+  for (BlockId B = 0; B != numBlocks(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    for (uint32_t I = 0; I != BB.Insts.size(); ++I)
+      if (BB.Insts[I].Ident == Ident)
+        return {B, I};
+  }
+  return {};
+}

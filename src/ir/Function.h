@@ -1,0 +1,99 @@
+//===- ir/Function.h - Chimera IR functions and blocks ----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functions own a vector of basic blocks addressed by index; block
+/// indices are stable (new blocks append), which instrumentation relies
+/// on. Register conventions: registers [0, NumParams) hold the incoming
+/// arguments; codegen gives each expression temporary a fresh register so
+/// temporaries are single-assignment, while registers backing MiniC locals
+/// may be re-assigned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_FUNCTION_H
+#define CHIMERA_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace ir {
+
+struct BasicBlock {
+  std::vector<Instruction> Insts;
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+  const Instruction &terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back();
+  }
+};
+
+class Function {
+public:
+  std::string Name;
+  uint32_t Index = 0;          ///< Id within the module.
+  uint32_t NumParams = 0;
+  std::vector<IRType> ParamTypes;
+  bool ReturnsVoid = false;
+  uint32_t NumRegs = 0;        ///< Total virtual registers used.
+
+  std::vector<BasicBlock> Blocks; ///< Blocks[0] is the entry block.
+
+  /// Creates an empty block and returns its id.
+  BlockId addBlock() {
+    Blocks.emplace_back();
+    return static_cast<BlockId>(Blocks.size() - 1);
+  }
+
+  BasicBlock &block(BlockId Id) {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+  const BasicBlock &block(BlockId Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return NumRegs++; }
+
+  /// Allocates the next function-unique instruction id.
+  InstId newInstId() { return NextInstId++; }
+
+  /// Successor block ids of \p Id (empty for Ret-terminated blocks).
+  std::vector<BlockId> successors(BlockId Id) const;
+
+  /// Finds the instruction with identity \p Ident; returns null if absent.
+  /// O(instructions); fine for analysis-time lookups.
+  const Instruction *findInst(InstId Ident) const;
+
+  /// Position of an instruction inside the function.
+  struct InstPos {
+    BlockId Block = NoBlock;
+    uint32_t Index = 0;
+    bool valid() const { return Block != NoBlock; }
+  };
+
+  /// Locates \p Ident; InstPos.valid() is false if absent.
+  InstPos findInstPos(InstId Ident) const;
+
+private:
+  InstId NextInstId = 0;
+};
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_FUNCTION_H

@@ -1,0 +1,187 @@
+//===- ir/IRBuilder.cpp - Chimera IR construction helper -------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace chimera::ir;
+
+Instruction &IRBuilder::emit(Opcode Op) {
+  assert(!blockClosed() && "emitting into a terminated block");
+  BasicBlock &BB = Func.block(CurBlock);
+  BB.Insts.emplace_back();
+  Instruction &Inst = BB.Insts.back();
+  Inst.Op = Op;
+  Inst.Ident = Func.newInstId();
+  Inst.Loc = CurLoc;
+  return Inst;
+}
+
+Reg IRBuilder::constInt(int64_t Value) {
+  Instruction &Inst = emit(Opcode::ConstInt);
+  Inst.Imm = Value;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::move(Reg Src) {
+  Instruction &Inst = emit(Opcode::Move);
+  Inst.A = Src;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+void IRBuilder::moveInto(Reg Dst, Reg Src) {
+  Instruction &Inst = emit(Opcode::Move);
+  Inst.A = Src;
+  Inst.Dst = Dst;
+}
+
+Reg IRBuilder::unary(UnOp Op, Reg A) {
+  Instruction &Inst = emit(Opcode::Unary);
+  Inst.UOp = Op;
+  Inst.A = A;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::binary(BinOp Op, Reg A, Reg B) {
+  Instruction &Inst = emit(Opcode::Binary);
+  Inst.BOp = Op;
+  Inst.A = A;
+  Inst.B = B;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::addrGlobal(uint32_t GlobalId, Reg Index) {
+  Instruction &Inst = emit(Opcode::AddrGlobal);
+  Inst.Id = GlobalId;
+  Inst.A = Index;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::ptrAdd(Reg Base, Reg Offset) {
+  Instruction &Inst = emit(Opcode::PtrAdd);
+  Inst.A = Base;
+  Inst.B = Offset;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::load(Reg Addr) {
+  Instruction &Inst = emit(Opcode::Load);
+  Inst.A = Addr;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+void IRBuilder::store(Reg Addr, Reg Value) {
+  Instruction &Inst = emit(Opcode::Store);
+  Inst.A = Addr;
+  Inst.B = Value;
+}
+
+void IRBuilder::br(BlockId Target) {
+  Instruction &Inst = emit(Opcode::Br);
+  Inst.Succ0 = Target;
+}
+
+void IRBuilder::condBr(Reg Cond, BlockId TrueTarget, BlockId FalseTarget) {
+  Instruction &Inst = emit(Opcode::CondBr);
+  Inst.A = Cond;
+  Inst.Succ0 = TrueTarget;
+  Inst.Succ1 = FalseTarget;
+}
+
+void IRBuilder::ret(Reg Value) {
+  Instruction &Inst = emit(Opcode::Ret);
+  Inst.A = Value;
+}
+
+Reg IRBuilder::call(uint32_t FuncId, const std::vector<Reg> &Args,
+                    bool WantResult) {
+  Instruction &Inst = emit(Opcode::Call);
+  Inst.Id = FuncId;
+  Inst.Args = Args;
+  Inst.Dst = WantResult ? Func.newReg() : NoReg;
+  return Inst.Dst;
+}
+
+Reg IRBuilder::spawn(uint32_t FuncId, const std::vector<Reg> &Args) {
+  Instruction &Inst = emit(Opcode::Spawn);
+  Inst.Id = FuncId;
+  Inst.Args = Args;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+void IRBuilder::join(Reg Tid) {
+  Instruction &Inst = emit(Opcode::Join);
+  Inst.A = Tid;
+}
+
+void IRBuilder::mutexLock(uint32_t MutexId) {
+  emit(Opcode::MutexLock).Id = MutexId;
+}
+
+void IRBuilder::mutexUnlock(uint32_t MutexId) {
+  emit(Opcode::MutexUnlock).Id = MutexId;
+}
+
+void IRBuilder::barrierWait(uint32_t BarrierId) {
+  emit(Opcode::BarrierWait).Id = BarrierId;
+}
+
+void IRBuilder::condWait(uint32_t CondId, uint32_t MutexId) {
+  Instruction &Inst = emit(Opcode::CondWait);
+  Inst.Id = CondId;
+  Inst.Id2 = MutexId;
+}
+
+void IRBuilder::condSignal(uint32_t CondId) {
+  emit(Opcode::CondSignal).Id = CondId;
+}
+
+void IRBuilder::condBroadcast(uint32_t CondId) {
+  emit(Opcode::CondBroadcast).Id = CondId;
+}
+
+Reg IRBuilder::alloc(Reg NumWords) {
+  Instruction &Inst = emit(Opcode::Alloc);
+  Inst.A = NumWords;
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::input() {
+  Instruction &Inst = emit(Opcode::Input);
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::netRecv() {
+  Instruction &Inst = emit(Opcode::NetRecv);
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+Reg IRBuilder::fileRead() {
+  Instruction &Inst = emit(Opcode::FileRead);
+  Inst.Dst = Func.newReg();
+  return Inst.Dst;
+}
+
+void IRBuilder::output(Reg Value) { emit(Opcode::Output).A = Value; }
+
+void IRBuilder::yield() { emit(Opcode::Yield); }
+
+void IRBuilder::weakAcquire(int64_t LockId, Reg RangeLo, Reg RangeHi) {
+  Instruction &Inst = emit(Opcode::WeakAcquire);
+  Inst.Imm = LockId;
+  Inst.A = RangeLo;
+  Inst.B = RangeHi;
+}
+
+void IRBuilder::weakRelease(int64_t LockId) {
+  emit(Opcode::WeakRelease).Imm = LockId;
+}

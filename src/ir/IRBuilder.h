@@ -1,0 +1,83 @@
+//===- ir/IRBuilder.h - Chimera IR construction helper ----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Append-only builder for Chimera IR, in the style of llvm::IRBuilder:
+/// it tracks an insertion block, allocates fresh result registers and
+/// instruction ids, and offers one method per opcode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_IRBUILDER_H
+#define CHIMERA_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace chimera {
+namespace ir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &Func) : Func(Func) {}
+
+  void setInsertBlock(BlockId Block) { CurBlock = Block; }
+  BlockId insertBlock() const { return CurBlock; }
+  void setLoc(SourceLoc Loc) { CurLoc = Loc; }
+  Function &function() { return Func; }
+
+  /// True if the current block already ends in a terminator (emitting
+  /// more code would be unreachable).
+  bool blockClosed() const { return Func.block(CurBlock).hasTerminator(); }
+
+  Reg constInt(int64_t Value);
+  Reg move(Reg Src);
+  /// Emits `Dst = Src` into an existing register (for MiniC locals).
+  void moveInto(Reg Dst, Reg Src);
+  Reg unary(UnOp Op, Reg A);
+  Reg binary(BinOp Op, Reg A, Reg B);
+
+  Reg addrGlobal(uint32_t GlobalId, Reg Index = NoReg);
+  Reg ptrAdd(Reg Base, Reg Offset);
+  Reg load(Reg Addr);
+  void store(Reg Addr, Reg Value);
+
+  void br(BlockId Target);
+  void condBr(Reg Cond, BlockId TrueTarget, BlockId FalseTarget);
+  void ret(Reg Value = NoReg);
+
+  Reg call(uint32_t FuncId, const std::vector<Reg> &Args, bool WantResult);
+  Reg spawn(uint32_t FuncId, const std::vector<Reg> &Args);
+  void join(Reg Tid);
+
+  void mutexLock(uint32_t MutexId);
+  void mutexUnlock(uint32_t MutexId);
+  void barrierWait(uint32_t BarrierId);
+  void condWait(uint32_t CondId, uint32_t MutexId);
+  void condSignal(uint32_t CondId);
+  void condBroadcast(uint32_t CondId);
+
+  Reg alloc(Reg NumWords);
+  Reg input();
+  Reg netRecv();
+  Reg fileRead();
+  void output(Reg Value);
+  void yield();
+
+  void weakAcquire(int64_t LockId, Reg RangeLo = NoReg, Reg RangeHi = NoReg);
+  void weakRelease(int64_t LockId);
+
+private:
+  Instruction &emit(Opcode Op);
+
+  Function &Func;
+  BlockId CurBlock = 0;
+  SourceLoc CurLoc;
+};
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_IRBUILDER_H

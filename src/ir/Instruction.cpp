@@ -1,0 +1,107 @@
+//===- ir/Instruction.cpp - Chimera IR instructions ------------------------===//
+
+#include "ir/Instruction.h"
+
+using namespace chimera::ir;
+
+const char *chimera::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt: return "const";
+  case Opcode::Move: return "move";
+  case Opcode::Unary: return "unary";
+  case Opcode::Binary: return "binary";
+  case Opcode::AddrGlobal: return "addrg";
+  case Opcode::PtrAdd: return "ptradd";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::Br: return "br";
+  case Opcode::CondBr: return "condbr";
+  case Opcode::Ret: return "ret";
+  case Opcode::Call: return "call";
+  case Opcode::Spawn: return "spawn";
+  case Opcode::Join: return "join";
+  case Opcode::MutexLock: return "mutex_lock";
+  case Opcode::MutexUnlock: return "mutex_unlock";
+  case Opcode::BarrierWait: return "barrier_wait";
+  case Opcode::CondWait: return "cond_wait";
+  case Opcode::CondSignal: return "cond_signal";
+  case Opcode::CondBroadcast: return "cond_broadcast";
+  case Opcode::Alloc: return "alloc";
+  case Opcode::Input: return "input";
+  case Opcode::NetRecv: return "net_recv";
+  case Opcode::FileRead: return "file_read";
+  case Opcode::Output: return "output";
+  case Opcode::Yield: return "yield";
+  case Opcode::WeakAcquire: return "weak_acquire";
+  case Opcode::WeakRelease: return "weak_release";
+  }
+  return "?";
+}
+
+const char *chimera::ir::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add: return "add";
+  case BinOp::Sub: return "sub";
+  case BinOp::Mul: return "mul";
+  case BinOp::Div: return "div";
+  case BinOp::Rem: return "rem";
+  case BinOp::And: return "and";
+  case BinOp::Or: return "or";
+  case BinOp::Xor: return "xor";
+  case BinOp::Shl: return "shl";
+  case BinOp::Shr: return "shr";
+  case BinOp::Lt: return "lt";
+  case BinOp::Le: return "le";
+  case BinOp::Gt: return "gt";
+  case BinOp::Ge: return "ge";
+  case BinOp::Eq: return "eq";
+  case BinOp::Ne: return "ne";
+  }
+  return "?";
+}
+
+bool chimera::ir::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool chimera::ir::isCallLike(Opcode Op) {
+  switch (Op) {
+  case Opcode::Call:
+  case Opcode::Spawn:
+  case Opcode::Join:
+  case Opcode::MutexLock:
+  case Opcode::MutexUnlock:
+  case Opcode::BarrierWait:
+  case Opcode::CondWait:
+  case Opcode::CondSignal:
+  case Opcode::CondBroadcast:
+  case Opcode::Alloc:
+  case Opcode::Input:
+  case Opcode::NetRecv:
+  case Opcode::FileRead:
+  case Opcode::Output:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool chimera::ir::isMemoryAccess(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+bool chimera::ir::isSyncOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::MutexLock:
+  case Opcode::MutexUnlock:
+  case Opcode::BarrierWait:
+  case Opcode::CondWait:
+  case Opcode::CondSignal:
+  case Opcode::CondBroadcast:
+  case Opcode::Spawn:
+  case Opcode::Join:
+    return true;
+  default:
+    return false;
+  }
+}

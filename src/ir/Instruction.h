@@ -1,0 +1,154 @@
+//===- ir/Instruction.h - Chimera IR instructions ---------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction set of the Chimera IR: a register machine over 64-bit words
+/// with explicit memory operations, structured synchronization intrinsics
+/// (the happens-before sources the recorder logs), and the weak-lock
+/// operations that Chimera's instrumenter inserts.
+///
+/// Memory is word-addressed. Pointer values are word addresses; PtrAdd
+/// performs element (word) arithmetic, so there is no separate scaling.
+///
+/// Every instruction carries a function-unique, never-reused InstId so
+/// analysis results (e.g. race pairs) remain valid identifiers across
+/// instrumentation, which inserts new instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_INSTRUCTION_H
+#define CHIMERA_IR_INSTRUCTION_H
+
+#include "ir/Type.h"
+#include "lang/Token.h" // SourceLoc
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace ir {
+
+/// A virtual register index within a function.
+using Reg = uint32_t;
+/// Sentinel meaning "no register" (e.g. void call result).
+inline const Reg NoReg = ~0u;
+
+/// A function-unique instruction identity (see file comment).
+using InstId = uint32_t;
+inline const InstId NoInst = ~0u;
+
+/// A basic-block index within a function.
+using BlockId = uint32_t;
+inline const BlockId NoBlock = ~0u;
+
+enum class Opcode : uint8_t {
+  // Data movement and arithmetic.
+  ConstInt,   ///< Dst = Imm
+  Move,       ///< Dst = A
+  Unary,      ///< Dst = UnOp A
+  Binary,     ///< Dst = A BinOp B
+
+  // Memory.
+  AddrGlobal, ///< Dst = &global[Id] + (A == NoReg ? 0 : A)   (word address)
+  PtrAdd,     ///< Dst = A + B   (A pointer, B words)
+  Load,       ///< Dst = mem[A]
+  Store,      ///< mem[A] = B
+
+  // Control flow (block terminators).
+  Br,         ///< goto Succ0
+  CondBr,     ///< A != 0 ? goto Succ0 : goto Succ1
+  Ret,        ///< return (A == NoReg ? void : A)
+
+  // Calls.
+  Call,       ///< Dst? = call function[Id](Args...)
+
+  // Thread management.
+  Spawn,      ///< Dst = new thread running function[Id](Args...)
+  Join,       ///< join thread id in A
+
+  // Synchronization intrinsics (Id = sync object id).
+  MutexLock,
+  MutexUnlock,
+  BarrierWait,
+  CondWait,   ///< Id = cond, Id2 = mutex
+  CondSignal,
+  CondBroadcast,
+
+  // Nondeterministic input / output / misc runtime services.
+  Alloc,      ///< Dst = heap pointer to A fresh words
+  Input,      ///< Dst = device input word (fast)
+  NetRecv,    ///< Dst = network word (long blocking latency)
+  FileRead,   ///< Dst = file word (medium blocking latency)
+  Output,     ///< append A to the program output stream
+  Yield,      ///< scheduling hint
+
+  // Chimera instrumentation (Imm = weak-lock id).
+  WeakAcquire, ///< acquire weak-lock Imm; if A != NoReg, range [A, B] words
+  WeakRelease, ///< release weak-lock Imm
+};
+
+const char *opcodeName(Opcode Op);
+
+enum class UnOp : uint8_t { Neg, Not };
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+};
+
+const char *binOpName(BinOp Op);
+
+/// Returns true for opcodes that terminate a basic block.
+bool isTerminator(Opcode Op);
+
+/// Returns true for the opcodes that access program memory (the accesses a
+/// race detector cares about).
+bool isMemoryAccess(Opcode Op);
+
+/// Returns true for original-program synchronization operations (not
+/// weak-locks).
+bool isSyncOp(Opcode Op);
+
+/// Returns true for operations that are function calls at the C level
+/// (calls, thread/sync operations, syscalls, allocation). The paper's
+/// loop-lock placement excludes loops containing calls (§5.3), and a
+/// weak-lock must never be held across one of these inside a guarded
+/// basic block.
+bool isCallLike(Opcode Op);
+
+/// A single IR instruction. Fields are used per-opcode as documented on
+/// Opcode; unused fields hold their sentinel values.
+struct Instruction {
+  Opcode Op = Opcode::Yield;
+  UnOp UOp = UnOp::Neg;
+  BinOp BOp = BinOp::Add;
+
+  Reg Dst = NoReg;
+  Reg A = NoReg;
+  Reg B = NoReg;
+
+  int64_t Imm = 0;   ///< ConstInt value or weak-lock id.
+  uint32_t Id = 0;   ///< Global / function / sync-object id.
+  uint32_t Id2 = 0;  ///< Secondary id (CondWait's mutex).
+
+  BlockId Succ0 = NoBlock;
+  BlockId Succ1 = NoBlock;
+
+  std::vector<Reg> Args; ///< Call/Spawn arguments.
+
+  InstId Ident = NoInst;
+  SourceLoc Loc;
+
+  bool isTerminator() const { return ir::isTerminator(Op); }
+  bool isMemoryAccess() const { return ir::isMemoryAccess(Op); }
+  bool isSyncOp() const { return ir::isSyncOp(Op); }
+  bool isStore() const { return Op == Opcode::Store; }
+};
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_INSTRUCTION_H

@@ -1,0 +1,69 @@
+//===- ir/Module.cpp - Chimera IR modules ----------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace chimera::ir;
+
+const char *chimera::ir::weakLockGranularityName(WeakLockGranularity G) {
+  switch (G) {
+  case WeakLockGranularity::Function: return "function";
+  case WeakLockGranularity::Loop: return "loop";
+  case WeakLockGranularity::BasicBlock: return "basic-block";
+  case WeakLockGranularity::Instr: return "instruction";
+  }
+  return "?";
+}
+
+void Module::layoutGlobals() {
+  uint64_t Addr = GlobalBase;
+  for (GlobalVar &G : Globals) {
+    G.BaseAddr = Addr;
+    Addr += G.SizeWords;
+  }
+  GlobalWords = Addr - GlobalBase;
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+uint32_t Module::globalContaining(uint64_t Addr) const {
+  // Globals are laid out in declaration order, so binary search by base.
+  if (Globals.empty() || Addr < GlobalBase ||
+      Addr >= GlobalBase + GlobalWords)
+    return ~0u;
+  uint32_t Lo = 0, Hi = static_cast<uint32_t>(Globals.size());
+  while (Lo + 1 < Hi) {
+    uint32_t Mid = (Lo + Hi) / 2;
+    if (Globals[Mid].BaseAddr <= Addr)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  const GlobalVar &G = Globals[Lo];
+  return Addr < G.BaseAddr + G.SizeWords ? Lo : ~0u;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto Copy = std::make_unique<Module>();
+  Copy->Name = Name;
+  Copy->Globals = Globals;
+  Copy->Syncs = Syncs;
+  Copy->WeakLocks = WeakLocks;
+  Copy->MainFunction = MainFunction;
+  Copy->GlobalWords = GlobalWords;
+  for (const auto &F : Functions)
+    Copy->Functions.push_back(std::make_unique<Function>(*F));
+  return Copy;
+}
+
+uint64_t Module::totalInstructions() const {
+  uint64_t Total = 0;
+  for (const auto &F : Functions)
+    for (const BasicBlock &BB : F->Blocks)
+      Total += BB.Insts.size();
+  return Total;
+}

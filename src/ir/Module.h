@@ -1,0 +1,105 @@
+//===- ir/Module.h - Chimera IR modules -------------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is the unit the whole pipeline flows through: codegen emits
+/// one, the static analyses read it, the instrumenter clones and rewrites
+/// it, and the runtime executes it. Besides functions it carries global
+/// variable layout, synchronization objects, and — after instrumentation —
+/// the weak-lock table describing every lock Chimera inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_MODULE_H
+#define CHIMERA_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace ir {
+
+/// A global scalar or array. Globals live contiguously in the simulated
+/// global segment; BaseAddr is assigned by Module::layoutGlobals.
+struct GlobalVar {
+  std::string Name;
+  uint32_t SizeWords = 1;
+  int64_t Init = 0;       ///< Initial value for every word.
+  uint64_t BaseAddr = 0;
+};
+
+enum class SyncKind : uint8_t { Mutex, Barrier, Cond };
+
+struct SyncObject {
+  SyncKind Kind = SyncKind::Mutex;
+  std::string Name;
+  uint32_t Parties = 0; ///< Barrier party count.
+};
+
+/// Weak-lock granularities, ordered by acquisition precedence (paper
+/// §2.3): Function-locks are acquired before Loop-locks, which are
+/// acquired before BasicBlock/Instr locks. The enum order encodes that.
+enum class WeakLockGranularity : uint8_t { Function, Loop, BasicBlock, Instr };
+
+const char *weakLockGranularityName(WeakLockGranularity G);
+
+/// Metadata for one weak-lock the instrumenter created.
+struct WeakLockMeta {
+  WeakLockGranularity Granularity = WeakLockGranularity::Instr;
+  std::string Name;     ///< Debug label, e.g. "func:interf+bndry".
+  bool HasRange = false;///< Loop-locks with symbolic bounds guard a range.
+};
+
+class Module {
+public:
+  std::string Name;
+  std::vector<GlobalVar> Globals;
+  std::vector<SyncObject> Syncs;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<WeakLockMeta> WeakLocks;
+  uint32_t MainFunction = 0;
+
+  /// Word address where the global segment starts.
+  static constexpr uint64_t GlobalBase = 0x1000;
+  /// Word address where the heap starts.
+  static constexpr uint64_t HeapBase = 0x1000000;
+
+  /// Assigns BaseAddr to every global. Must be called once after all
+  /// globals are added and before execution.
+  void layoutGlobals();
+
+  /// Total words of global storage (after layoutGlobals).
+  uint64_t globalSegmentWords() const { return GlobalWords; }
+
+  Function *findFunction(const std::string &Name) const;
+
+  Function &function(uint32_t Index) const {
+    assert(Index < Functions.size() && "function index out of range");
+    return *Functions[Index];
+  }
+
+  /// Maps a word address to the global containing it; returns ~0u if the
+  /// address is not in the global segment.
+  uint32_t globalContaining(uint64_t Addr) const;
+
+  /// Deep-copies the module (instrumentation works on a clone so analysis
+  /// results keep referring to the original).
+  std::unique_ptr<Module> clone() const;
+
+  /// Total instruction count across all functions (static size metric).
+  uint64_t totalInstructions() const;
+
+private:
+  uint64_t GlobalWords = 0;
+};
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_MODULE_H

@@ -1,0 +1,31 @@
+//===- ir/Printer.h - Chimera IR textual dump -------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR modules/functions as text for debugging, golden tests, and
+/// the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_PRINTER_H
+#define CHIMERA_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace chimera {
+namespace ir {
+
+std::string printInstruction(const Module &M, const Function &F,
+                             const Instruction &Inst);
+std::string printFunction(const Module &M, const Function &F);
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_PRINTER_H

@@ -1,0 +1,12 @@
+//===- ir/Type.cpp - Chimera IR types --------------------------------------===//
+
+#include "ir/Type.h"
+
+const char *chimera::ir::irTypeName(IRType Type) {
+  switch (Type) {
+  case IRType::Int: return "int";
+  case IRType::Ptr: return "ptr";
+  case IRType::Void: return "void";
+  }
+  return "?";
+}

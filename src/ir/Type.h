@@ -1,0 +1,28 @@
+//===- ir/Type.h - Chimera IR types -----------------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Chimera IR is word-oriented: every value is a 64-bit word that is
+/// either an integer or a pointer (a word-granular address into simulated
+/// memory). Types exist to keep the verifier and analyses honest about
+/// which registers carry addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_TYPE_H
+#define CHIMERA_IR_TYPE_H
+
+namespace chimera {
+namespace ir {
+
+enum class IRType { Int, Ptr, Void };
+
+const char *irTypeName(IRType Type);
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_TYPE_H

@@ -1,0 +1,224 @@
+//===- ir/Verifier.cpp - Chimera IR structural checks ----------------------===//
+
+#include "ir/Verifier.h"
+
+#include <unordered_set>
+
+using namespace chimera;
+using namespace chimera::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    checkModule();
+    for (const auto &F : M.Functions)
+      checkFunction(*F);
+    return std::move(Problems);
+  }
+
+private:
+  void problem(const Function &F, const Instruction *Inst,
+               const std::string &Message) {
+    std::string Out = "in " + F.Name;
+    if (Inst)
+      Out += " (" + std::string(opcodeName(Inst->Op)) + " #" +
+             std::to_string(Inst->Ident) + ")";
+    Out += ": " + Message;
+    Problems.push_back(std::move(Out));
+  }
+
+  void checkModule() {
+    if (M.Functions.empty()) {
+      Problems.push_back("module has no functions");
+      return;
+    }
+    if (M.MainFunction >= M.Functions.size())
+      Problems.push_back("main function index out of range");
+  }
+
+  void checkReg(const Function &F, const Instruction &Inst, Reg R,
+                const char *What, bool Required) {
+    if (R == NoReg) {
+      if (Required)
+        problem(F, &Inst, std::string("missing required ") + What);
+      return;
+    }
+    if (R >= F.NumRegs)
+      problem(F, &Inst, std::string(What) + " register out of range");
+  }
+
+  void checkSync(const Function &F, const Instruction &Inst, uint32_t Id,
+                 SyncKind Kind, const char *What) {
+    if (Id >= M.Syncs.size()) {
+      problem(F, &Inst, std::string(What) + " sync id out of range");
+      return;
+    }
+    if (M.Syncs[Id].Kind != Kind)
+      problem(F, &Inst, std::string(What) + " refers to wrong sync kind");
+  }
+
+  void checkBlockRef(const Function &F, const Instruction &Inst,
+                     BlockId Target) {
+    if (Target >= F.numBlocks())
+      problem(F, &Inst, "branch target out of range");
+  }
+
+  void checkCallee(const Function &F, const Instruction &Inst) {
+    if (Inst.Id >= M.Functions.size()) {
+      problem(F, &Inst, "callee index out of range");
+      return;
+    }
+    const Function &Callee = M.function(Inst.Id);
+    if (Inst.Args.size() != Callee.NumParams)
+      problem(F, &Inst,
+              "call passes " + std::to_string(Inst.Args.size()) +
+                  " args but '" + Callee.Name + "' takes " +
+                  std::to_string(Callee.NumParams));
+    for (Reg Arg : Inst.Args)
+      checkReg(F, Inst, Arg, "call argument", /*Required=*/true);
+    if (Inst.Op == Opcode::Call && Inst.Dst != NoReg && Callee.ReturnsVoid)
+      problem(F, &Inst, "void callee used with a result register");
+  }
+
+  void checkFunction(const Function &F) {
+    if (F.Blocks.empty()) {
+      problem(F, nullptr, "function has no blocks");
+      return;
+    }
+    if (F.NumParams > F.NumRegs)
+      problem(F, nullptr, "parameter registers exceed register count");
+    if (F.ParamTypes.size() != F.NumParams)
+      problem(F, nullptr, "param type list does not match param count");
+
+    std::unordered_set<InstId> SeenIds;
+    for (BlockId B = 0; B != F.numBlocks(); ++B) {
+      const BasicBlock &BB = F.block(B);
+      if (!BB.hasTerminator()) {
+        problem(F, nullptr,
+                "block " + std::to_string(B) + " lacks a terminator");
+        continue;
+      }
+      for (uint32_t I = 0; I != BB.Insts.size(); ++I) {
+        const Instruction &Inst = BB.Insts[I];
+        if (!SeenIds.insert(Inst.Ident).second)
+          problem(F, &Inst, "duplicate instruction id");
+        if (Inst.isTerminator() != (I + 1 == BB.Insts.size()))
+          problem(F, &Inst, Inst.isTerminator()
+                                ? "terminator in the middle of a block"
+                                : "non-terminator at end of block");
+        checkInstruction(F, Inst);
+      }
+    }
+  }
+
+  void checkInstruction(const Function &F, const Instruction &Inst) {
+    switch (Inst.Op) {
+    case Opcode::ConstInt:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      break;
+    case Opcode::Move:
+    case Opcode::Unary:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      checkReg(F, Inst, Inst.A, "operand", true);
+      break;
+    case Opcode::Binary:
+    case Opcode::PtrAdd:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      checkReg(F, Inst, Inst.A, "lhs", true);
+      checkReg(F, Inst, Inst.B, "rhs", true);
+      break;
+    case Opcode::AddrGlobal:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      checkReg(F, Inst, Inst.A, "index", false);
+      if (Inst.Id >= M.Globals.size())
+        problem(F, &Inst, "global id out of range");
+      break;
+    case Opcode::Load:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      checkReg(F, Inst, Inst.A, "address", true);
+      break;
+    case Opcode::Store:
+      checkReg(F, Inst, Inst.A, "address", true);
+      checkReg(F, Inst, Inst.B, "value", true);
+      break;
+    case Opcode::Br:
+      checkBlockRef(F, Inst, Inst.Succ0);
+      break;
+    case Opcode::CondBr:
+      checkReg(F, Inst, Inst.A, "condition", true);
+      checkBlockRef(F, Inst, Inst.Succ0);
+      checkBlockRef(F, Inst, Inst.Succ1);
+      break;
+    case Opcode::Ret:
+      checkReg(F, Inst, Inst.A, "return value", false);
+      if (!F.ReturnsVoid && Inst.A == NoReg)
+        problem(F, &Inst, "non-void function returns no value");
+      break;
+    case Opcode::Call:
+    case Opcode::Spawn:
+      checkCallee(F, Inst);
+      if (Inst.Op == Opcode::Spawn)
+        checkReg(F, Inst, Inst.Dst, "thread id dst", true);
+      break;
+    case Opcode::Join:
+      checkReg(F, Inst, Inst.A, "thread id", true);
+      break;
+    case Opcode::MutexLock:
+    case Opcode::MutexUnlock:
+      checkSync(F, Inst, Inst.Id, SyncKind::Mutex, "mutex op");
+      break;
+    case Opcode::BarrierWait:
+      checkSync(F, Inst, Inst.Id, SyncKind::Barrier, "barrier op");
+      break;
+    case Opcode::CondWait:
+      checkSync(F, Inst, Inst.Id, SyncKind::Cond, "cond op");
+      checkSync(F, Inst, Inst.Id2, SyncKind::Mutex, "cond-wait mutex");
+      break;
+    case Opcode::CondSignal:
+    case Opcode::CondBroadcast:
+      checkSync(F, Inst, Inst.Id, SyncKind::Cond, "cond op");
+      break;
+    case Opcode::Alloc:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      checkReg(F, Inst, Inst.A, "size", true);
+      break;
+    case Opcode::Input:
+    case Opcode::NetRecv:
+    case Opcode::FileRead:
+      checkReg(F, Inst, Inst.Dst, "dst", true);
+      break;
+    case Opcode::Output:
+      checkReg(F, Inst, Inst.A, "value", true);
+      break;
+    case Opcode::Yield:
+      break;
+    case Opcode::WeakAcquire:
+      if (Inst.Imm < 0 ||
+          static_cast<size_t>(Inst.Imm) >= M.WeakLocks.size())
+        problem(F, &Inst, "weak-lock id out of range");
+      checkReg(F, Inst, Inst.A, "range lo", false);
+      checkReg(F, Inst, Inst.B, "range hi", false);
+      if ((Inst.A == NoReg) != (Inst.B == NoReg))
+        problem(F, &Inst, "weak-lock range must give both bounds or none");
+      break;
+    case Opcode::WeakRelease:
+      if (Inst.Imm < 0 ||
+          static_cast<size_t>(Inst.Imm) >= M.WeakLocks.size())
+        problem(F, &Inst, "weak-lock id out of range");
+      break;
+    }
+  }
+
+  const Module &M;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> chimera::ir::verifyModule(const Module &M) {
+  return VerifierImpl(M).run();
+}

@@ -1,0 +1,32 @@
+//===- ir/Verifier.h - Chimera IR structural checks -------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validity checks for Chimera IR modules: terminated blocks,
+/// in-range registers/blocks/ids, matching call arities, correctly-typed
+/// sync-object references. Run after codegen and after instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_IR_VERIFIER_H
+#define CHIMERA_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace ir {
+
+/// Verifies \p M; returns a list of human-readable problems (empty when
+/// the module is well-formed).
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace chimera
+
+#endif // CHIMERA_IR_VERIFIER_H

@@ -1,0 +1,69 @@
+//===- lang/Ast.cpp - MiniC abstract syntax tree ---------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace chimera;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const char *chimera::miniTypeName(MiniType Type) {
+  switch (Type) {
+  case MiniType::Int: return "int";
+  case MiniType::Ptr: return "int*";
+  case MiniType::Void: return "void";
+  }
+  return "?";
+}
+
+const char *chimera::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Rem: return "%";
+  case BinaryOp::And: return "&";
+  case BinaryOp::Or: return "|";
+  case BinaryOp::Xor: return "^";
+  case BinaryOp::Shl: return "<<";
+  case BinaryOp::Shr: return ">>";
+  case BinaryOp::Lt: return "<";
+  case BinaryOp::Le: return "<=";
+  case BinaryOp::Gt: return ">";
+  case BinaryOp::Ge: return ">=";
+  case BinaryOp::Eq: return "==";
+  case BinaryOp::Ne: return "!=";
+  case BinaryOp::LAnd: return "&&";
+  case BinaryOp::LOr: return "||";
+  }
+  return "?";
+}
+
+const char *chimera::builtinKindName(BuiltinKind Kind) {
+  switch (Kind) {
+  case BuiltinKind::None: return "none";
+  case BuiltinKind::Lock: return "lock";
+  case BuiltinKind::Unlock: return "unlock";
+  case BuiltinKind::BarrierWait: return "barrier_wait";
+  case BuiltinKind::CondWait: return "cond_wait";
+  case BuiltinKind::CondSignal: return "cond_signal";
+  case BuiltinKind::CondBroadcast: return "cond_broadcast";
+  case BuiltinKind::Spawn: return "spawn";
+  case BuiltinKind::Join: return "join";
+  case BuiltinKind::Alloc: return "alloc";
+  case BuiltinKind::Input: return "input";
+  case BuiltinKind::NetRecv: return "net_recv";
+  case BuiltinKind::FileRead: return "file_read";
+  case BuiltinKind::Output: return "output";
+  case BuiltinKind::Yield: return "yield";
+  }
+  return "?";
+}
+
+FunctionDecl *Program::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}

@@ -1,0 +1,448 @@
+//===- lang/Ast.h - MiniC abstract syntax tree ------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC. MiniC is deliberately small but covers exactly the
+/// features Chimera's analyses need to exhibit the paper's phenomena:
+///
+///  - global scalars and arrays, heap allocation, `int*` pointers
+///    (points-to imprecision, symbolic bounds);
+///  - functions, loops, calls (RELAY's bottom-up summaries, loop-locks);
+///  - pthread-style sync: mutex/lock/unlock, barriers, condition
+///    variables, spawn/join (lockset analysis sees only mutexes, so
+///    barrier- and fork/join-ordered code yields false races);
+///  - nondeterministic input builtins (what the recorder must log).
+///
+/// Nodes are resolved in place by Sema (see the `Sym` fields); ownership is
+/// strictly tree-shaped via std::unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_LANG_AST_H
+#define CHIMERA_LANG_AST_H
+
+#include "lang/Token.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+/// MiniC surface types. All scalars are 64-bit signed integers; the only
+/// pointer type is pointer-to-int (arrays decay to it).
+enum class MiniType { Int, Ptr, Void };
+
+const char *miniTypeName(MiniType Type);
+
+/// What a resolved identifier refers to.
+enum class SymbolKind {
+  Unresolved,
+  Local,    ///< Function-local scalar or pointer; Index is the local slot.
+  Param,    ///< Function parameter; Index is the parameter position.
+  Global,   ///< Global scalar or array; Index is the global id.
+  Mutex,    ///< Index is the sync-object id.
+  Barrier,  ///< Index is the sync-object id.
+  Cond,     ///< Index is the sync-object id.
+  Function, ///< Index is the function id.
+};
+
+/// Resolution record Sema attaches to identifier references.
+struct Symbol {
+  SymbolKind Kind = SymbolKind::Unresolved;
+  unsigned Index = 0;
+  MiniType Type = MiniType::Int; ///< Value type when read (Int or Ptr).
+  unsigned ArraySize = 0;        ///< Nonzero for global arrays.
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind { IntLit, VarRef, Index, Unary, Binary, Call, AddrOf };
+
+class Expr {
+public:
+  virtual ~Expr();
+
+  ExprKind getKind() const { return Kind; }
+  SourceLoc Loc;
+  /// Value type, filled in by Sema.
+  MiniType Type = MiniType::Int;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Loc(Loc), Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+
+  int64_t Value;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IntLit;
+  }
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+
+  std::string Name;
+  Symbol Sym;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::VarRef;
+  }
+};
+
+/// `base[index]` where base names a global array, a pointer-typed local or
+/// parameter, or a pointer-valued expression.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, ExprPtr Base, ExprPtr Index)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  ExprPtr Base;
+  ExprPtr Index;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Index;
+  }
+};
+
+enum class UnaryOp { Neg, Not };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, ExprPtr Sub)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOp Op;
+  ExprPtr Sub;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Unary;
+  }
+};
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LAnd, LOr,
+};
+
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+};
+
+/// Built-in operations, recognized by name at call sites.
+enum class BuiltinKind {
+  None,          ///< A user-function call.
+  Lock,          ///< lock(m)
+  Unlock,        ///< unlock(m)
+  BarrierWait,   ///< barrier_wait(b)
+  CondWait,      ///< cond_wait(c, m)
+  CondSignal,    ///< cond_signal(c)
+  CondBroadcast, ///< cond_broadcast(c)
+  Spawn,         ///< spawn(f, args...) -> thread id
+  Join,          ///< join(tid)
+  Alloc,         ///< alloc(nwords) -> int*
+  Input,         ///< input() -> nondeterministic word (device)
+  NetRecv,       ///< net_recv() -> word, long blocking latency
+  FileRead,      ///< file_read() -> word, medium blocking latency
+  Output,        ///< output(x): append to the program's output stream
+  Yield,         ///< yield(): scheduling hint
+};
+
+const char *builtinKindName(BuiltinKind Kind);
+
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+
+  /// Filled by Sema.
+  BuiltinKind Builtin = BuiltinKind::None;
+  unsigned CalleeIndex = 0;   ///< User function id when Builtin == None.
+  unsigned SpawnTarget = 0;   ///< Spawned function id when Builtin == Spawn.
+
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Call; }
+};
+
+/// `&name` or `&name[index]`; yields a pointer into a global array or
+/// pointer target.
+class AddrOfExpr : public Expr {
+public:
+  AddrOfExpr(SourceLoc Loc, std::string Name, ExprPtr Index)
+      : Expr(ExprKind::AddrOf, Loc), Name(std::move(Name)),
+        Index(std::move(Index)) {}
+
+  std::string Name;
+  ExprPtr Index; ///< May be null for `&name`.
+  Symbol Sym;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::AddrOf;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Decl, Assign, If, While, For, Return, Break, Continue, Block, Expr,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt();
+
+  StmtKind getKind() const { return Kind; }
+  SourceLoc Loc;
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Loc(Loc), Kind(Kind) {}
+
+private:
+  StmtKind Kind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `int x = e;` or `int* p = e;`
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, std::string Name, bool IsPtr, ExprPtr Init)
+      : Stmt(StmtKind::Decl, Loc), Name(std::move(Name)), IsPtr(IsPtr),
+        Init(std::move(Init)) {}
+
+  std::string Name;
+  bool IsPtr;
+  ExprPtr Init; ///< May be null.
+  unsigned LocalIndex = 0; ///< Filled by Sema.
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Decl; }
+};
+
+enum class AssignOp { Assign, Add, Sub };
+
+/// `lvalue = e;`, `lvalue += e;`, `lvalue -= e;` (and `++`/`--` sugar).
+/// The target is a VarRefExpr or IndexExpr.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(SourceLoc Loc, ExprPtr Target, AssignOp Op, ExprPtr Value)
+      : Stmt(StmtKind::Assign, Loc), Target(std::move(Target)), Op(Op),
+        Value(std::move(Value)) {}
+
+  ExprPtr Target;
+  AssignOp Op;
+  ExprPtr Value;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Assign;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, ExprPtr Cond, StmtPtr Body)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+
+  ExprPtr Cond;
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::While;
+  }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, StmtPtr Init, ExprPtr Cond, StmtPtr Step,
+          StmtPtr Body)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)),
+        Cond(std::move(Cond)), Step(std::move(Step)), Body(std::move(Body)) {}
+
+  StmtPtr Init; ///< May be null.
+  ExprPtr Cond; ///< May be null (meaning `true`).
+  StmtPtr Step; ///< May be null.
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, ExprPtr Value)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+
+  ExprPtr Value; ///< May be null.
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Break;
+  }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Continue;
+  }
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, std::vector<StmtPtr> Stmts)
+      : Stmt(StmtKind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  std::vector<StmtPtr> Stmts;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Block;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, ExprPtr E)
+      : Stmt(StmtKind::Expr, Loc), E(std::move(E)) {}
+
+  ExprPtr E;
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Expr; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations / Program
+//===----------------------------------------------------------------------===//
+
+/// `int g;`, `int g = 7;`, or `int a[100];` at file scope.
+struct GlobalVarDecl {
+  SourceLoc Loc;
+  std::string Name;
+  unsigned ArraySize = 0; ///< 0 for scalars.
+  int64_t Init = 0;       ///< Scalar initializer.
+};
+
+enum class SyncObjectKind { Mutex, Barrier, Cond };
+
+/// `mutex m;`, `barrier b(4);`, `cond c;` at file scope.
+struct SyncDecl {
+  SourceLoc Loc;
+  SyncObjectKind Kind;
+  std::string Name;
+  ExprPtr Parties; ///< Barrier party count; constant-folded by Sema.
+  unsigned PartiesValue = 0;
+};
+
+struct ParamDecl {
+  SourceLoc Loc;
+  std::string Name;
+  bool IsPtr = false;
+};
+
+struct FunctionDecl {
+  SourceLoc Loc;
+  std::string Name;
+  bool ReturnsVoid = false;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+
+  /// Filled by Sema.
+  unsigned Index = 0;
+  unsigned NumLocals = 0;
+  bool IsSpawnTarget = false;
+};
+
+/// A parsed MiniC translation unit.
+struct Program {
+  std::vector<GlobalVarDecl> Globals;
+  std::vector<SyncDecl> Syncs;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  /// Returns the function named \p Name or null.
+  FunctionDecl *findFunction(const std::string &Name) const;
+};
+
+/// LLVM-style dyn_cast helpers for the small AST hierarchies.
+template <typename To, typename From> To *dynCast(From *Node) {
+  return Node && To::classof(Node) ? static_cast<To *>(Node) : nullptr;
+}
+template <typename To, typename From> const To *dynCast(const From *Node) {
+  return Node && To::classof(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+template <typename To, typename From> To *cast(From *Node) {
+  assert(Node && To::classof(Node) && "cast to wrong AST node type");
+  return static_cast<To *>(Node);
+}
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(Node && To::classof(Node) && "cast to wrong AST node type");
+  return static_cast<const To *>(Node);
+}
+template <typename To, typename From> bool isa(const From *Node) {
+  assert(Node && "isa on null node");
+  return To::classof(Node);
+}
+
+} // namespace chimera
+
+#endif // CHIMERA_LANG_AST_H

@@ -1,0 +1,56 @@
+//===- lang/Diagnostics.h - Front-end error reporting -----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects front-end diagnostics instead of printing them, so callers
+/// (tests, the pipeline) decide how to surface them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_LANG_DIAGNOSTICS_H
+#define CHIMERA_LANG_DIAGNOSTICS_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const { return Loc.str() + ": error: " + Message; }
+};
+
+/// Accumulates diagnostics produced by the lexer, parser, and sema.
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({Loc, Message});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined by newlines; convenient for test assertions.
+  std::string str() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += D.str();
+      Out += '\n';
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace chimera
+
+#endif // CHIMERA_LANG_DIAGNOSTICS_H

@@ -1,0 +1,241 @@
+//===- lang/Lexer.cpp - MiniC lexer ----------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace chimera;
+
+const char *chimera::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of input";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwMutex: return "'mutex'";
+  case TokenKind::KwBarrier: return "'barrier'";
+  case TokenKind::KwCond: return "'cond'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Semicolon: return "';'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::PlusAssign: return "'+='";
+  case TokenKind::MinusAssign: return "'-='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Shl: return "'<<'";
+  case TokenKind::Shr: return "'>>'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEq: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEq: return "'>='";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string Source, DiagEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advanced past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token Tok = lexToken();
+    bool Done = Tok.is(TokenKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (Done)
+      return Tokens;
+  }
+}
+
+Token Lexer::lexToken() {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"void", TokenKind::KwVoid},
+      {"mutex", TokenKind::KwMutex},     {"barrier", TokenKind::KwBarrier},
+      {"cond", TokenKind::KwCond},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+  };
+
+  skipTrivia();
+
+  Token Tok;
+  Tok.Loc = loc();
+  if (Pos >= Source.size()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end()) {
+      Tok.Kind = It->second;
+    } else {
+      Tok.Kind = TokenKind::Identifier;
+      Tok.Text = std::move(Text);
+    }
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = 0;
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      bool AnyDigit = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        int Nibble = std::isdigit(static_cast<unsigned char>(D))
+                         ? D - '0'
+                         : std::tolower(D) - 'a' + 10;
+        Value = Value * 16 + Nibble;
+        AnyDigit = true;
+      }
+      if (!AnyDigit)
+        Diags.error(Tok.Loc, "expected hexadecimal digits after '0x'");
+    } else {
+      Value = C - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + (advance() - '0');
+    }
+    Tok.Kind = TokenKind::IntLiteral;
+    Tok.IntValue = Value;
+    return Tok;
+  }
+
+  switch (C) {
+  case '(': Tok.Kind = TokenKind::LParen; return Tok;
+  case ')': Tok.Kind = TokenKind::RParen; return Tok;
+  case '{': Tok.Kind = TokenKind::LBrace; return Tok;
+  case '}': Tok.Kind = TokenKind::RBrace; return Tok;
+  case '[': Tok.Kind = TokenKind::LBracket; return Tok;
+  case ']': Tok.Kind = TokenKind::RBracket; return Tok;
+  case ',': Tok.Kind = TokenKind::Comma; return Tok;
+  case ';': Tok.Kind = TokenKind::Semicolon; return Tok;
+  case '+':
+    Tok.Kind = match('+') ? TokenKind::PlusPlus
+               : match('=') ? TokenKind::PlusAssign
+                            : TokenKind::Plus;
+    return Tok;
+  case '-':
+    Tok.Kind = match('-') ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusAssign
+                            : TokenKind::Minus;
+    return Tok;
+  case '*': Tok.Kind = TokenKind::Star; return Tok;
+  case '/': Tok.Kind = TokenKind::Slash; return Tok;
+  case '%': Tok.Kind = TokenKind::Percent; return Tok;
+  case '^': Tok.Kind = TokenKind::Caret; return Tok;
+  case '&':
+    Tok.Kind = match('&') ? TokenKind::AmpAmp : TokenKind::Amp;
+    return Tok;
+  case '|':
+    Tok.Kind = match('|') ? TokenKind::PipePipe : TokenKind::Pipe;
+    return Tok;
+  case '<':
+    Tok.Kind = match('<')   ? TokenKind::Shl
+               : match('=') ? TokenKind::LessEq
+                            : TokenKind::Less;
+    return Tok;
+  case '>':
+    Tok.Kind = match('>')   ? TokenKind::Shr
+               : match('=') ? TokenKind::GreaterEq
+                            : TokenKind::Greater;
+    return Tok;
+  case '=':
+    Tok.Kind = match('=') ? TokenKind::EqEq : TokenKind::Assign;
+    return Tok;
+  case '!':
+    Tok.Kind = match('=') ? TokenKind::NotEq : TokenKind::Bang;
+    return Tok;
+  default:
+    Diags.error(Tok.Loc, std::string("unexpected character '") + C + "'");
+    return lexToken(); // Skip and continue; Eof terminates recursion.
+  }
+}

@@ -1,0 +1,48 @@
+//===- lang/Lexer.h - MiniC lexer -------------------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports `//` and `/* */` comments,
+/// decimal and hex integer literals, and the operator set in Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_LANG_LEXER_H
+#define CHIMERA_LANG_LEXER_H
+
+#include "lang/Diagnostics.h"
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagEngine &Diags);
+
+  /// Lexes the whole input; the result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  SourceLoc loc() const { return {Line, Col}; }
+
+  std::string Source;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace chimera
+
+#endif // CHIMERA_LANG_LEXER_H

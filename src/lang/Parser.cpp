@@ -1,0 +1,463 @@
+//===- lang/Parser.cpp - MiniC recursive-descent parser --------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+
+#include <cassert>
+
+using namespace chimera;
+
+Parser::Parser(std::vector<Token> Tokens, DiagEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = std::min(Pos + Ahead, Tokens.size() - 1);
+  return Tokens[Index];
+}
+
+const Token &Parser::advance() {
+  const Token &Tok = Tokens[Pos];
+  if (!Tok.is(TokenKind::Eof))
+    ++Pos;
+  return Tok;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+const Token &Parser::expect(TokenKind Kind, const char *Context) {
+  if (check(Kind))
+    return advance();
+  Diags.error(peek().Loc, std::string("expected ") + tokenKindName(Kind) +
+                              " " + Context + ", found " +
+                              tokenKindName(peek().Kind));
+  return peek();
+}
+
+void Parser::synchronizeToSemicolon() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::Semicolon) &&
+         !check(TokenKind::RBrace))
+    advance();
+  accept(TokenKind::Semicolon);
+}
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  while (!check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    parseTopLevel(*Prog);
+    if (Pos == Before) {
+      // Defensive progress guarantee on malformed input.
+      Diags.error(peek().Loc, "unexpected token at top level");
+      advance();
+    }
+  }
+  return Prog;
+}
+
+void Parser::parseTopLevel(Program &Prog) {
+  SourceLoc Loc = peek().Loc;
+
+  if (accept(TokenKind::KwMutex)) {
+    SyncDecl Decl;
+    Decl.Loc = Loc;
+    Decl.Kind = SyncObjectKind::Mutex;
+    Decl.Name = expect(TokenKind::Identifier, "in mutex declaration").Text;
+    expect(TokenKind::Semicolon, "after mutex declaration");
+    Prog.Syncs.push_back(std::move(Decl));
+    return;
+  }
+
+  if (accept(TokenKind::KwBarrier)) {
+    SyncDecl Decl;
+    Decl.Loc = Loc;
+    Decl.Kind = SyncObjectKind::Barrier;
+    Decl.Name = expect(TokenKind::Identifier, "in barrier declaration").Text;
+    expect(TokenKind::LParen, "after barrier name");
+    Decl.Parties = parseExpr();
+    expect(TokenKind::RParen, "after barrier party count");
+    expect(TokenKind::Semicolon, "after barrier declaration");
+    Prog.Syncs.push_back(std::move(Decl));
+    return;
+  }
+
+  if (accept(TokenKind::KwCond)) {
+    SyncDecl Decl;
+    Decl.Loc = Loc;
+    Decl.Kind = SyncObjectKind::Cond;
+    Decl.Name =
+        expect(TokenKind::Identifier, "in condition-variable declaration")
+            .Text;
+    expect(TokenKind::Semicolon, "after condition-variable declaration");
+    Prog.Syncs.push_back(std::move(Decl));
+    return;
+  }
+
+  if (accept(TokenKind::KwVoid)) {
+    parseGlobalOrFunction(Prog, /*ReturnsVoid=*/true);
+    return;
+  }
+  if (accept(TokenKind::KwInt)) {
+    parseGlobalOrFunction(Prog, /*ReturnsVoid=*/false);
+    return;
+  }
+
+  Diags.error(Loc, "expected a declaration at top level");
+  synchronizeToSemicolon();
+}
+
+void Parser::parseGlobalOrFunction(Program &Prog, bool ReturnsVoid) {
+  SourceLoc Loc = peek().Loc;
+  std::string Name = expect(TokenKind::Identifier, "in declaration").Text;
+
+  if (check(TokenKind::LParen)) {
+    Prog.Functions.push_back(parseFunctionRest(Loc, std::move(Name),
+                                               ReturnsVoid));
+    return;
+  }
+
+  if (ReturnsVoid) {
+    Diags.error(Loc, "global variables must have type 'int'");
+    synchronizeToSemicolon();
+    return;
+  }
+
+  GlobalVarDecl Decl;
+  Decl.Loc = Loc;
+  Decl.Name = std::move(Name);
+  if (accept(TokenKind::LBracket)) {
+    const Token &Size = expect(TokenKind::IntLiteral, "as array size");
+    if (Size.is(TokenKind::IntLiteral)) {
+      if (Size.IntValue <= 0)
+        Diags.error(Size.Loc, "array size must be positive");
+      else
+        Decl.ArraySize = static_cast<unsigned>(Size.IntValue);
+    }
+    expect(TokenKind::RBracket, "after array size");
+  } else if (accept(TokenKind::Assign)) {
+    bool Negative = accept(TokenKind::Minus);
+    const Token &Init = expect(TokenKind::IntLiteral, "as global initializer");
+    if (Init.is(TokenKind::IntLiteral))
+      Decl.Init = Negative ? -Init.IntValue : Init.IntValue;
+  }
+  expect(TokenKind::Semicolon, "after global variable");
+  Prog.Globals.push_back(std::move(Decl));
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunctionRest(SourceLoc Loc,
+                                                        std::string Name,
+                                                        bool ReturnsVoid) {
+  auto Func = std::make_unique<FunctionDecl>();
+  Func->Loc = Loc;
+  Func->Name = std::move(Name);
+  Func->ReturnsVoid = ReturnsVoid;
+
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl Param;
+      Param.Loc = peek().Loc;
+      expect(TokenKind::KwInt, "as parameter type");
+      Param.IsPtr = accept(TokenKind::Star);
+      Param.Name = expect(TokenKind::Identifier, "as parameter name").Text;
+      Func->Params.push_back(std::move(Param));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  Func->Body = parseBlock();
+  return Func;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    Stmts.push_back(parseStmt());
+    if (Pos == Before) {
+      Diags.error(peek().Loc, "unexpected token in block");
+      advance();
+    }
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return std::make_unique<BlockStmt>(Loc, std::move(Stmts));
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+
+  if (check(TokenKind::LBrace))
+    return parseBlock();
+
+  if (accept(TokenKind::KwIf)) {
+    expect(TokenKind::LParen, "after 'if'");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "after if condition");
+    StmtPtr Then = parseStmt();
+    StmtPtr Else;
+    if (accept(TokenKind::KwElse))
+      Else = parseStmt();
+    return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  if (accept(TokenKind::KwWhile)) {
+    expect(TokenKind::LParen, "after 'while'");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "after while condition");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+  }
+
+  if (accept(TokenKind::KwFor)) {
+    expect(TokenKind::LParen, "after 'for'");
+    StmtPtr Init;
+    if (!check(TokenKind::Semicolon))
+      Init = parseSimpleStmt();
+    expect(TokenKind::Semicolon, "after for-init");
+    ExprPtr Cond;
+    if (!check(TokenKind::Semicolon))
+      Cond = parseExpr();
+    expect(TokenKind::Semicolon, "after for-condition");
+    StmtPtr Step;
+    if (!check(TokenKind::RParen))
+      Step = parseSimpleStmt();
+    expect(TokenKind::RParen, "after for-step");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<ForStmt>(Loc, std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body));
+  }
+
+  if (accept(TokenKind::KwReturn)) {
+    ExprPtr Value;
+    if (!check(TokenKind::Semicolon))
+      Value = parseExpr();
+    expect(TokenKind::Semicolon, "after return");
+    return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+  }
+
+  if (accept(TokenKind::KwBreak)) {
+    expect(TokenKind::Semicolon, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+
+  if (accept(TokenKind::KwContinue)) {
+    expect(TokenKind::Semicolon, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+
+  StmtPtr Simple = parseSimpleStmt();
+  expect(TokenKind::Semicolon, "after statement");
+  return Simple;
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokenKind::KwInt))
+    return parseDeclStmtRest(Loc);
+  ExprPtr Lead = parseExpr();
+  return parseAssignOrExprRest(std::move(Lead), Loc);
+}
+
+StmtPtr Parser::parseDeclStmtRest(SourceLoc Loc) {
+  bool IsPtr = accept(TokenKind::Star);
+  std::string Name = expect(TokenKind::Identifier, "in declaration").Text;
+  ExprPtr Init;
+  if (accept(TokenKind::Assign))
+    Init = parseExpr();
+  return std::make_unique<DeclStmt>(Loc, std::move(Name), IsPtr,
+                                    std::move(Init));
+}
+
+StmtPtr Parser::parseAssignOrExprRest(ExprPtr Lead, SourceLoc Loc) {
+  if (accept(TokenKind::Assign)) {
+    ExprPtr Value = parseExpr();
+    return std::make_unique<AssignStmt>(Loc, std::move(Lead), AssignOp::Assign,
+                                        std::move(Value));
+  }
+  if (accept(TokenKind::PlusAssign)) {
+    ExprPtr Value = parseExpr();
+    return std::make_unique<AssignStmt>(Loc, std::move(Lead), AssignOp::Add,
+                                        std::move(Value));
+  }
+  if (accept(TokenKind::MinusAssign)) {
+    ExprPtr Value = parseExpr();
+    return std::make_unique<AssignStmt>(Loc, std::move(Lead), AssignOp::Sub,
+                                        std::move(Value));
+  }
+  if (accept(TokenKind::PlusPlus)) {
+    auto One = std::make_unique<IntLitExpr>(Loc, 1);
+    return std::make_unique<AssignStmt>(Loc, std::move(Lead), AssignOp::Add,
+                                        std::move(One));
+  }
+  if (accept(TokenKind::MinusMinus)) {
+    auto One = std::make_unique<IntLitExpr>(Loc, 1);
+    return std::make_unique<AssignStmt>(Loc, std::move(Lead), AssignOp::Sub,
+                                        std::move(One));
+  }
+  return std::make_unique<ExprStmt>(Loc, std::move(Lead));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binding power; higher binds tighter. 0 means "not a binary operator".
+static unsigned binaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe: return 1;
+  case TokenKind::AmpAmp: return 2;
+  case TokenKind::Pipe: return 3;
+  case TokenKind::Caret: return 4;
+  case TokenKind::Amp: return 5;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq: return 6;
+  case TokenKind::Less:
+  case TokenKind::LessEq:
+  case TokenKind::Greater:
+  case TokenKind::GreaterEq: return 7;
+  case TokenKind::Shl:
+  case TokenKind::Shr: return 8;
+  case TokenKind::Plus:
+  case TokenKind::Minus: return 9;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent: return 10;
+  default: return 0;
+  }
+}
+
+static BinaryOp binaryOpFor(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe: return BinaryOp::LOr;
+  case TokenKind::AmpAmp: return BinaryOp::LAnd;
+  case TokenKind::Pipe: return BinaryOp::Or;
+  case TokenKind::Caret: return BinaryOp::Xor;
+  case TokenKind::Amp: return BinaryOp::And;
+  case TokenKind::EqEq: return BinaryOp::Eq;
+  case TokenKind::NotEq: return BinaryOp::Ne;
+  case TokenKind::Less: return BinaryOp::Lt;
+  case TokenKind::LessEq: return BinaryOp::Le;
+  case TokenKind::Greater: return BinaryOp::Gt;
+  case TokenKind::GreaterEq: return BinaryOp::Ge;
+  case TokenKind::Shl: return BinaryOp::Shl;
+  case TokenKind::Shr: return BinaryOp::Shr;
+  case TokenKind::Plus: return BinaryOp::Add;
+  case TokenKind::Minus: return BinaryOp::Sub;
+  case TokenKind::Star: return BinaryOp::Mul;
+  case TokenKind::Slash: return BinaryOp::Div;
+  case TokenKind::Percent: return BinaryOp::Rem;
+  default: assert(false && "not a binary operator"); return BinaryOp::Add;
+  }
+}
+
+ExprPtr Parser::parseExpr() { return parseBinaryRHS(1, parseUnary()); }
+
+ExprPtr Parser::parseBinaryRHS(unsigned MinPrec, ExprPtr LHS) {
+  for (;;) {
+    unsigned Prec = binaryPrecedence(peek().Kind);
+    if (Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = peek().Loc;
+    BinaryOp Op = binaryOpFor(advance().Kind);
+    ExprPtr RHS = parseUnary();
+    // All MiniC binary operators are left-associative, so fold any
+    // tighter-binding operators into RHS first.
+    unsigned NextPrec = binaryPrecedence(peek().Kind);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+    LHS = std::make_unique<BinaryExpr>(Loc, Op, std::move(LHS),
+                                       std::move(RHS));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = peek().Loc;
+  if (accept(TokenKind::Minus))
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Neg, parseUnary());
+  if (accept(TokenKind::Bang))
+    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Not, parseUnary());
+  if (accept(TokenKind::Amp)) {
+    std::string Name =
+        expect(TokenKind::Identifier, "after '&'").Text;
+    ExprPtr Index;
+    if (accept(TokenKind::LBracket)) {
+      Index = parseExpr();
+      expect(TokenKind::RBracket, "after '&' index");
+    }
+    return std::make_unique<AddrOfExpr>(Loc, std::move(Name),
+                                        std::move(Index));
+  }
+  return parsePostfix(parsePrimary());
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  while (accept(TokenKind::LBracket)) {
+    SourceLoc Loc = Base->Loc;
+    ExprPtr Index = parseExpr();
+    expect(TokenKind::RBracket, "after index expression");
+    Base = std::make_unique<IndexExpr>(Loc, std::move(Base),
+                                       std::move(Index));
+  }
+  return Base;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+
+  if (check(TokenKind::IntLiteral)) {
+    int64_t Value = advance().IntValue;
+    return std::make_unique<IntLitExpr>(Loc, Value);
+  }
+
+  if (check(TokenKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (accept(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseExpr());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      return std::make_unique<CallExpr>(Loc, std::move(Name),
+                                        std::move(Args));
+    }
+    return std::make_unique<VarRefExpr>(Loc, std::move(Name));
+  }
+
+  if (accept(TokenKind::LParen)) {
+    ExprPtr Inner = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+
+  Diags.error(Loc, std::string("expected an expression, found ") +
+                       tokenKindName(peek().Kind));
+  advance();
+  return std::make_unique<IntLitExpr>(Loc, 0);
+}
+
+std::unique_ptr<Program> chimera::parseAndCheck(const std::string &Source,
+                                                DiagEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return nullptr;
+  Sema S(Diags);
+  if (!S.check(*Prog))
+    return nullptr;
+  return Prog;
+}

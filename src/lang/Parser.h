@@ -1,0 +1,70 @@
+//===- lang/Parser.h - MiniC recursive-descent parser -----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the AST in lang/Ast.h. Binary
+/// operators are parsed with precedence climbing; `x++;` / `x--;` are
+/// desugared to compound assignments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_LANG_PARSER_H
+#define CHIMERA_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace chimera {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagEngine &Diags);
+
+  /// Parses a whole translation unit. On error, diagnostics are recorded
+  /// and a best-effort partial Program is still returned.
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool accept(TokenKind Kind);
+  const Token &expect(TokenKind Kind, const char *Context);
+  void synchronizeToSemicolon();
+
+  void parseTopLevel(Program &Prog);
+  void parseGlobalOrFunction(Program &Prog, bool ReturnsVoid);
+  std::unique_ptr<FunctionDecl> parseFunctionRest(SourceLoc Loc,
+                                                  std::string Name,
+                                                  bool ReturnsVoid);
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseSimpleStmt(); ///< Decl/assign/expr, no trailing ';'.
+  StmtPtr parseDeclStmtRest(SourceLoc Loc);
+  StmtPtr parseAssignOrExprRest(ExprPtr Lead, SourceLoc Loc);
+
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRHS(unsigned MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix(ExprPtr Base);
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Convenience: lex, parse, and sema-check \p Source in one call.
+/// Returns null and populates \p Diags on any error.
+std::unique_ptr<Program> parseAndCheck(const std::string &Source,
+                                       DiagEngine &Diags);
+
+} // namespace chimera
+
+#endif // CHIMERA_LANG_PARSER_H

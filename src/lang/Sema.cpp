@@ -1,0 +1,539 @@
+//===- lang/Sema.cpp - MiniC semantic analysis -----------------------------===//
+
+#include "lang/Sema.h"
+
+#include <cassert>
+
+using namespace chimera;
+
+bool Sema::check(Program &Prog) {
+  this->Prog = &Prog;
+  declareGlobals(Prog);
+
+  for (auto &Func : Prog.Functions)
+    checkFunction(*Func);
+
+  if (!Prog.findFunction("main"))
+    Diags.error({1, 1}, "program has no 'main' function");
+  else if (!Prog.findFunction("main")->Params.empty())
+    Diags.error(Prog.findFunction("main")->Loc,
+                "'main' must take no parameters");
+
+  return !Diags.hasErrors();
+}
+
+void Sema::declareGlobals(Program &Prog) {
+  auto declare = [&](const std::string &Name, SourceLoc Loc, Symbol Sym) {
+    if (!GlobalScope.emplace(Name, Sym).second)
+      Diags.error(Loc, "redefinition of '" + Name + "'");
+  };
+
+  for (unsigned I = 0; I != Prog.Globals.size(); ++I) {
+    const GlobalVarDecl &G = Prog.Globals[I];
+    Symbol Sym;
+    Sym.Kind = SymbolKind::Global;
+    Sym.Index = I;
+    Sym.ArraySize = G.ArraySize;
+    // An array name used as a value decays to a pointer.
+    Sym.Type = G.ArraySize ? MiniType::Ptr : MiniType::Int;
+    declare(G.Name, G.Loc, Sym);
+  }
+
+  for (unsigned I = 0; I != Prog.Syncs.size(); ++I) {
+    SyncDecl &S = Prog.Syncs[I];
+    Symbol Sym;
+    switch (S.Kind) {
+    case SyncObjectKind::Mutex: Sym.Kind = SymbolKind::Mutex; break;
+    case SyncObjectKind::Barrier: Sym.Kind = SymbolKind::Barrier; break;
+    case SyncObjectKind::Cond: Sym.Kind = SymbolKind::Cond; break;
+    }
+    Sym.Index = I;
+    declare(S.Name, S.Loc, Sym);
+
+    if (S.Kind == SyncObjectKind::Barrier) {
+      int64_t Parties = 0;
+      if (!S.Parties || !foldConstant(S.Parties.get(), Parties) ||
+          Parties <= 0)
+        Diags.error(S.Loc,
+                    "barrier party count must be a positive constant");
+      else
+        S.PartiesValue = static_cast<unsigned>(Parties);
+    }
+  }
+
+  for (unsigned I = 0; I != Prog.Functions.size(); ++I) {
+    FunctionDecl &F = *Prog.Functions[I];
+    F.Index = I;
+    Symbol Sym;
+    Sym.Kind = SymbolKind::Function;
+    Sym.Index = I;
+    declare(F.Name, F.Loc, Sym);
+  }
+}
+
+bool Sema::foldConstant(const Expr *E, int64_t &Out) const {
+  if (const auto *Lit = dynCast<IntLitExpr>(E)) {
+    Out = Lit->Value;
+    return true;
+  }
+  if (const auto *Un = dynCast<UnaryExpr>(E)) {
+    int64_t Sub;
+    if (!foldConstant(Un->Sub.get(), Sub))
+      return false;
+    Out = Un->Op == UnaryOp::Neg ? -Sub : !Sub;
+    return true;
+  }
+  if (const auto *Bin = dynCast<BinaryExpr>(E)) {
+    int64_t L, R;
+    if (!foldConstant(Bin->LHS.get(), L) || !foldConstant(Bin->RHS.get(), R))
+      return false;
+    switch (Bin->Op) {
+    case BinaryOp::Add: Out = L + R; return true;
+    case BinaryOp::Sub: Out = L - R; return true;
+    case BinaryOp::Mul: Out = L * R; return true;
+    case BinaryOp::Div:
+      if (R == 0)
+        return false;
+      Out = L / R;
+      return true;
+    case BinaryOp::Shl: Out = L << (R & 63); return true;
+    default: return false;
+    }
+  }
+  return false;
+}
+
+void Sema::pushScope() { LocalScopes.emplace_back(); }
+void Sema::popScope() { LocalScopes.pop_back(); }
+
+Symbol *Sema::resolve(const std::string &Name, SourceLoc Loc) {
+  for (auto It = LocalScopes.rbegin(); It != LocalScopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  auto Found = GlobalScope.find(Name);
+  if (Found != GlobalScope.end())
+    return &Found->second;
+  Diags.error(Loc, "use of undeclared identifier '" + Name + "'");
+  return nullptr;
+}
+
+void Sema::checkFunction(FunctionDecl &Func) {
+  CurFunc = &Func;
+  NextLocal = 0;
+  LoopDepth = 0;
+  LocalScopes.clear();
+  pushScope();
+
+  for (unsigned I = 0; I != Func.Params.size(); ++I) {
+    const ParamDecl &Param = Func.Params[I];
+    Symbol Sym;
+    Sym.Kind = SymbolKind::Param;
+    Sym.Index = I;
+    Sym.Type = Param.IsPtr ? MiniType::Ptr : MiniType::Int;
+    if (!LocalScopes.back().emplace(Param.Name, Sym).second)
+      Diags.error(Param.Loc,
+                  "redefinition of parameter '" + Param.Name + "'");
+  }
+
+  if (Func.Body)
+    for (auto &S : Func.Body->Stmts)
+      checkStmt(S.get());
+
+  popScope();
+  Func.NumLocals = NextLocal;
+  CurFunc = nullptr;
+}
+
+void Sema::declareLocal(DeclStmt *Decl) {
+  Symbol Sym;
+  Sym.Kind = SymbolKind::Local;
+  Sym.Index = NextLocal++;
+  Sym.Type = Decl->IsPtr ? MiniType::Ptr : MiniType::Int;
+  Decl->LocalIndex = Sym.Index;
+  if (!LocalScopes.back().emplace(Decl->Name, Sym).second)
+    Diags.error(Decl->Loc, "redefinition of '" + Decl->Name +
+                               "' in the same scope");
+}
+
+void Sema::checkStmt(Stmt *S) {
+  switch (S->getKind()) {
+  case StmtKind::Decl: {
+    auto *Decl = cast<DeclStmt>(S);
+    if (Decl->Init) {
+      MiniType InitTy = checkExpr(Decl->Init.get());
+      MiniType WantTy = Decl->IsPtr ? MiniType::Ptr : MiniType::Int;
+      if (InitTy != WantTy)
+        Diags.error(Decl->Loc, std::string("cannot initialize '") +
+                                   miniTypeName(WantTy) + "' with '" +
+                                   miniTypeName(InitTy) + "'");
+    }
+    declareLocal(Decl);
+    return;
+  }
+  case StmtKind::Assign: {
+    auto *Assign = cast<AssignStmt>(S);
+    MiniType TargetTy;
+    if (auto *Ref = dynCast<VarRefExpr>(Assign->Target.get())) {
+      TargetTy = checkExpr(Ref);
+      if (Ref->Sym.Kind == SymbolKind::Global && Ref->Sym.ArraySize)
+        Diags.error(Ref->Loc, "cannot assign to array '" + Ref->Name + "'");
+      else if (Ref->Sym.Kind != SymbolKind::Local &&
+               Ref->Sym.Kind != SymbolKind::Param &&
+               Ref->Sym.Kind != SymbolKind::Global &&
+               Ref->Sym.Kind != SymbolKind::Unresolved)
+        Diags.error(Ref->Loc, "'" + Ref->Name + "' is not assignable");
+    } else if (isa<IndexExpr>(Assign->Target.get())) {
+      TargetTy = checkExpr(Assign->Target.get());
+    } else {
+      Diags.error(Assign->Loc, "assignment target must be a variable or "
+                               "an indexed element");
+      TargetTy = MiniType::Int;
+    }
+    MiniType ValueTy = checkExpr(Assign->Value.get());
+    if (Assign->Op != AssignOp::Assign) {
+      // += / -= support ptr += int as pointer arithmetic.
+      if (TargetTy == MiniType::Ptr && ValueTy != MiniType::Int)
+        Diags.error(Assign->Loc, "pointer adjustment needs an int");
+      else if (TargetTy == MiniType::Int && ValueTy != MiniType::Int)
+        Diags.error(Assign->Loc, "compound assignment needs int operands");
+    } else if (TargetTy != ValueTy) {
+      Diags.error(Assign->Loc, std::string("cannot assign '") +
+                                   miniTypeName(ValueTy) + "' to '" +
+                                   miniTypeName(TargetTy) + "'");
+    }
+    return;
+  }
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    checkExpr(If->Cond.get());
+    checkStmt(If->Then.get());
+    if (If->Else)
+      checkStmt(If->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    auto *While = cast<WhileStmt>(S);
+    checkExpr(While->Cond.get());
+    ++LoopDepth;
+    checkStmt(While->Body.get());
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    pushScope();
+    if (For->Init)
+      checkStmt(For->Init.get());
+    if (For->Cond)
+      checkExpr(For->Cond.get());
+    if (For->Step)
+      checkStmt(For->Step.get());
+    ++LoopDepth;
+    checkStmt(For->Body.get());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    assert(CurFunc && "return outside function");
+    if (CurFunc->ReturnsVoid && Ret->Value)
+      Diags.error(Ret->Loc, "void function cannot return a value");
+    if (!CurFunc->ReturnsVoid && !Ret->Value)
+      Diags.error(Ret->Loc, "non-void function must return a value");
+    if (Ret->Value && checkExpr(Ret->Value.get()) == MiniType::Void)
+      Diags.error(Ret->Loc, "cannot return a void value");
+    return;
+  }
+  case StmtKind::Break:
+    if (!LoopDepth)
+      Diags.error(S->Loc, "'break' outside of a loop");
+    return;
+  case StmtKind::Continue:
+    if (!LoopDepth)
+      Diags.error(S->Loc, "'continue' outside of a loop");
+    return;
+  case StmtKind::Block: {
+    auto *Block = cast<BlockStmt>(S);
+    pushScope();
+    for (auto &Sub : Block->Stmts)
+      checkStmt(Sub.get());
+    popScope();
+    return;
+  }
+  case StmtKind::Expr:
+    checkExpr(cast<ExprStmt>(S)->E.get());
+    return;
+  }
+  assert(false && "unhandled statement kind");
+}
+
+MiniType Sema::checkExpr(Expr *E) {
+  switch (E->getKind()) {
+  case ExprKind::IntLit:
+    E->Type = MiniType::Int;
+    return E->Type;
+
+  case ExprKind::VarRef: {
+    auto *Ref = cast<VarRefExpr>(E);
+    if (Symbol *Sym = resolve(Ref->Name, Ref->Loc)) {
+      Ref->Sym = *Sym;
+      switch (Sym->Kind) {
+      case SymbolKind::Local:
+      case SymbolKind::Param:
+      case SymbolKind::Global:
+        E->Type = Sym->Type;
+        break;
+      case SymbolKind::Mutex:
+      case SymbolKind::Barrier:
+      case SymbolKind::Cond:
+      case SymbolKind::Function:
+        // Only valid in specific builtin argument positions; checkCall
+        // rewrites those cases before evaluating argument types.
+        Diags.error(Ref->Loc, "'" + Ref->Name +
+                                  "' cannot be used as a value here");
+        E->Type = MiniType::Int;
+        break;
+      case SymbolKind::Unresolved:
+        E->Type = MiniType::Int;
+        break;
+      }
+    }
+    return E->Type;
+  }
+
+  case ExprKind::Index: {
+    auto *Index = cast<IndexExpr>(E);
+    MiniType BaseTy = checkExpr(Index->Base.get());
+    if (BaseTy != MiniType::Ptr)
+      Diags.error(Index->Loc, "indexed base must be an array or pointer");
+    if (checkExpr(Index->Index.get()) != MiniType::Int)
+      Diags.error(Index->Loc, "array index must be an int");
+    E->Type = MiniType::Int;
+    return E->Type;
+  }
+
+  case ExprKind::Unary: {
+    auto *Un = cast<UnaryExpr>(E);
+    if (checkExpr(Un->Sub.get()) != MiniType::Int)
+      Diags.error(Un->Loc, "unary operator needs an int operand");
+    E->Type = MiniType::Int;
+    return E->Type;
+  }
+
+  case ExprKind::Binary: {
+    auto *Bin = cast<BinaryExpr>(E);
+    MiniType L = checkExpr(Bin->LHS.get());
+    MiniType R = checkExpr(Bin->RHS.get());
+    switch (Bin->Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      if (L == MiniType::Ptr && R == MiniType::Int) {
+        E->Type = MiniType::Ptr; // Pointer arithmetic, element-scaled.
+        return E->Type;
+      }
+      break;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (L == MiniType::Ptr && R == MiniType::Ptr) {
+        E->Type = MiniType::Int;
+        return E->Type;
+      }
+      break;
+    default:
+      break;
+    }
+    if (L != MiniType::Int || R != MiniType::Int)
+      Diags.error(Bin->Loc, std::string("invalid operands to '") +
+                                binaryOpSpelling(Bin->Op) + "' ('" +
+                                miniTypeName(L) + "' and '" +
+                                miniTypeName(R) + "')");
+    E->Type = MiniType::Int;
+    return E->Type;
+  }
+
+  case ExprKind::Call:
+    return checkCall(cast<CallExpr>(E));
+
+  case ExprKind::AddrOf: {
+    auto *Addr = cast<AddrOfExpr>(E);
+    if (Symbol *Sym = resolve(Addr->Name, Addr->Loc)) {
+      Addr->Sym = *Sym;
+      bool IsVar = Sym->Kind == SymbolKind::Global ||
+                   ((Sym->Kind == SymbolKind::Local ||
+                     Sym->Kind == SymbolKind::Param) &&
+                    Sym->Type == MiniType::Ptr);
+      if (!IsVar)
+        Diags.error(Addr->Loc,
+                    "'&' requires a global variable or pointer target");
+      if (Addr->Index && Sym->Kind == SymbolKind::Global && !Sym->ArraySize)
+        Diags.error(Addr->Loc, "cannot index a scalar global");
+    }
+    if (Addr->Index && checkExpr(Addr->Index.get()) != MiniType::Int)
+      Diags.error(Addr->Loc, "'&' index must be an int");
+    E->Type = MiniType::Ptr;
+    return E->Type;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return MiniType::Int;
+}
+
+void Sema::checkBuiltinSyncArg(CallExpr *Call, unsigned ArgIdx,
+                               SymbolKind Expected, const char *What) {
+  if (ArgIdx >= Call->Args.size())
+    return; // Arity error reported by the caller.
+  auto *Ref = dynCast<VarRefExpr>(Call->Args[ArgIdx].get());
+  Symbol *Sym = Ref ? resolve(Ref->Name, Ref->Loc) : nullptr;
+  if (!Ref || !Sym || Sym->Kind != Expected) {
+    Diags.error(Call->Loc, std::string("argument ") +
+                               std::to_string(ArgIdx + 1) + " of '" +
+                               Call->Callee + "' must name a " + What);
+    return;
+  }
+  Ref->Sym = *Sym;
+  Ref->Type = MiniType::Int; // Sync handles flow as opaque ids.
+}
+
+MiniType Sema::checkCall(CallExpr *Call) {
+  struct BuiltinSig {
+    BuiltinKind Kind;
+    int Arity; ///< -1 for variadic (spawn).
+    MiniType Result;
+  };
+  static const std::unordered_map<std::string, BuiltinSig> Builtins = {
+      {"lock", {BuiltinKind::Lock, 1, MiniType::Void}},
+      {"unlock", {BuiltinKind::Unlock, 1, MiniType::Void}},
+      {"barrier_wait", {BuiltinKind::BarrierWait, 1, MiniType::Void}},
+      {"cond_wait", {BuiltinKind::CondWait, 2, MiniType::Void}},
+      {"cond_signal", {BuiltinKind::CondSignal, 1, MiniType::Void}},
+      {"cond_broadcast", {BuiltinKind::CondBroadcast, 1, MiniType::Void}},
+      {"spawn", {BuiltinKind::Spawn, -1, MiniType::Int}},
+      {"join", {BuiltinKind::Join, 1, MiniType::Void}},
+      {"alloc", {BuiltinKind::Alloc, 1, MiniType::Ptr}},
+      {"input", {BuiltinKind::Input, 0, MiniType::Int}},
+      {"net_recv", {BuiltinKind::NetRecv, 0, MiniType::Int}},
+      {"file_read", {BuiltinKind::FileRead, 0, MiniType::Int}},
+      {"output", {BuiltinKind::Output, 1, MiniType::Void}},
+      {"yield", {BuiltinKind::Yield, 0, MiniType::Void}},
+  };
+
+  auto It = Builtins.find(Call->Callee);
+  if (It != Builtins.end()) {
+    const BuiltinSig &Sig = It->second;
+    Call->Builtin = Sig.Kind;
+
+    if (Sig.Arity >= 0 &&
+        Call->Args.size() != static_cast<size_t>(Sig.Arity)) {
+      Diags.error(Call->Loc, "'" + Call->Callee + "' expects " +
+                                 std::to_string(Sig.Arity) + " argument(s)");
+      Call->Type = Sig.Result;
+      return Call->Type;
+    }
+
+    switch (Sig.Kind) {
+    case BuiltinKind::Lock:
+    case BuiltinKind::Unlock:
+      checkBuiltinSyncArg(Call, 0, SymbolKind::Mutex, "mutex");
+      break;
+    case BuiltinKind::BarrierWait:
+      checkBuiltinSyncArg(Call, 0, SymbolKind::Barrier, "barrier");
+      break;
+    case BuiltinKind::CondWait:
+      checkBuiltinSyncArg(Call, 0, SymbolKind::Cond, "condition variable");
+      checkBuiltinSyncArg(Call, 1, SymbolKind::Mutex, "mutex");
+      break;
+    case BuiltinKind::CondSignal:
+    case BuiltinKind::CondBroadcast:
+      checkBuiltinSyncArg(Call, 0, SymbolKind::Cond, "condition variable");
+      break;
+    case BuiltinKind::Spawn: {
+      if (Call->Args.empty()) {
+        Diags.error(Call->Loc, "'spawn' needs a function to start");
+        break;
+      }
+      auto *Ref = dynCast<VarRefExpr>(Call->Args[0].get());
+      Symbol *Sym = Ref ? resolve(Ref->Name, Ref->Loc) : nullptr;
+      if (!Ref || !Sym || Sym->Kind != SymbolKind::Function) {
+        Diags.error(Call->Loc,
+                    "first argument of 'spawn' must name a function");
+        break;
+      }
+      Ref->Sym = *Sym;
+      Ref->Type = MiniType::Int;
+      Call->SpawnTarget = Sym->Index;
+      FunctionDecl &Target = *Prog->Functions[Sym->Index];
+      Target.IsSpawnTarget = true;
+      if (Call->Args.size() - 1 != Target.Params.size()) {
+        Diags.error(Call->Loc, "'spawn' passes " +
+                                   std::to_string(Call->Args.size() - 1) +
+                                   " argument(s) but '" + Target.Name +
+                                   "' takes " +
+                                   std::to_string(Target.Params.size()));
+        break;
+      }
+      for (unsigned I = 1; I != Call->Args.size(); ++I) {
+        MiniType ArgTy = checkExpr(Call->Args[I].get());
+        MiniType WantTy = Target.Params[I - 1].IsPtr ? MiniType::Ptr
+                                                     : MiniType::Int;
+        if (ArgTy != WantTy)
+          Diags.error(Call->Args[I]->Loc,
+                      std::string("spawn argument type mismatch: expected "
+                                  "'") +
+                          miniTypeName(WantTy) + "', got '" +
+                          miniTypeName(ArgTy) + "'");
+      }
+      break;
+    }
+    case BuiltinKind::Join:
+    case BuiltinKind::Alloc:
+    case BuiltinKind::Output:
+      if (!Call->Args.empty() &&
+          checkExpr(Call->Args[0].get()) != MiniType::Int)
+        Diags.error(Call->Loc, "'" + Call->Callee + "' expects an int");
+      break;
+    case BuiltinKind::Input:
+    case BuiltinKind::NetRecv:
+    case BuiltinKind::FileRead:
+    case BuiltinKind::Yield:
+      break;
+    case BuiltinKind::None:
+      assert(false && "builtin table contains None");
+      break;
+    }
+    Call->Type = Sig.Result;
+    return Call->Type;
+  }
+
+  // User-function call.
+  FunctionDecl *Callee = Prog->findFunction(Call->Callee);
+  if (!Callee) {
+    Diags.error(Call->Loc, "call to undeclared function '" + Call->Callee +
+                               "'");
+    Call->Type = MiniType::Int;
+    return Call->Type;
+  }
+  Call->CalleeIndex = Callee->Index;
+  if (Call->Args.size() != Callee->Params.size()) {
+    Diags.error(Call->Loc, "'" + Call->Callee + "' takes " +
+                               std::to_string(Callee->Params.size()) +
+                               " argument(s), got " +
+                               std::to_string(Call->Args.size()));
+  }
+  for (unsigned I = 0; I != Call->Args.size(); ++I) {
+    MiniType ArgTy = checkExpr(Call->Args[I].get());
+    if (I < Callee->Params.size()) {
+      MiniType WantTy =
+          Callee->Params[I].IsPtr ? MiniType::Ptr : MiniType::Int;
+      if (ArgTy != WantTy)
+        Diags.error(Call->Args[I]->Loc,
+                    std::string("argument type mismatch: expected '") +
+                        miniTypeName(WantTy) + "', got '" +
+                        miniTypeName(ArgTy) + "'");
+    }
+  }
+  Call->Type = Callee->ReturnsVoid ? MiniType::Void : MiniType::Int;
+  return Call->Type;
+}

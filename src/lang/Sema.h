@@ -1,0 +1,62 @@
+//===- lang/Sema.h - MiniC semantic analysis --------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for MiniC. Sema annotates the AST in
+/// place: identifier references get Symbol records, calls get builtin /
+/// callee resolution, expressions get types, and functions get local-slot
+/// counts. Codegen assumes a Sema-checked tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_LANG_SEMA_H
+#define CHIMERA_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "lang/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chimera {
+
+class Sema {
+public:
+  explicit Sema(DiagEngine &Diags) : Diags(Diags) {}
+
+  /// Checks \p Prog; returns true when no errors were found.
+  bool check(Program &Prog);
+
+private:
+  void declareGlobals(Program &Prog);
+  void checkFunction(FunctionDecl &Func);
+  void checkStmt(Stmt *S);
+  /// Returns the expression's type; annotates E->Type.
+  MiniType checkExpr(Expr *E);
+  MiniType checkCall(CallExpr *Call);
+  void checkBuiltinSyncArg(CallExpr *Call, unsigned ArgIdx,
+                           SymbolKind Expected, const char *What);
+  Symbol *resolve(const std::string &Name, SourceLoc Loc);
+  void pushScope();
+  void popScope();
+  void declareLocal(DeclStmt *Decl);
+  bool foldConstant(const Expr *E, int64_t &Out) const;
+
+  DiagEngine &Diags;
+  Program *Prog = nullptr;
+  FunctionDecl *CurFunc = nullptr;
+  unsigned LoopDepth = 0;
+  unsigned NextLocal = 0;
+
+  std::unordered_map<std::string, Symbol> GlobalScope;
+  // Innermost scope last; each maps name -> symbol.
+  std::vector<std::unordered_map<std::string, Symbol>> LocalScopes;
+};
+
+} // namespace chimera
+
+#endif // CHIMERA_LANG_SEMA_H

@@ -1,0 +1,103 @@
+//===- lang/Token.h - MiniC tokens ------------------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for MiniC, the small C-like input language Chimera
+/// analyzes and instruments. MiniC plays the role CIL-processed C plays in
+/// the paper: a language with functions, loops, global/heap arrays,
+/// pointers, and explicit pthread-style synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_LANG_TOKEN_H
+#define CHIMERA_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace chimera {
+
+/// A position in MiniC source, 1-based.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwMutex,
+  KwBarrier,
+  KwCond,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+
+  // Operators.
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,// -=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,        // & (address-of and bitwise-and)
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  PlusPlus,   // ++ (statement-level increment sugar)
+  MinusMinus, // --
+};
+
+/// Returns a human-readable spelling for diagnostics ("'('", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   // Identifier spelling.
+  int64_t IntValue = 0; // IntLiteral value.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace chimera
+
+#endif // CHIMERA_LANG_TOKEN_H

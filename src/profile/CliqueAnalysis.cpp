@@ -1,0 +1,95 @@
+//===- profile/CliqueAnalysis.cpp - Function-lock assignment ---------------===//
+
+#include "profile/CliqueAnalysis.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace chimera;
+using namespace chimera::profile;
+
+CliqueResult chimera::profile::assignFunctionLocks(
+    const std::vector<std::pair<uint32_t, uint32_t>> &RacyFunctionPairs,
+    const ConcurrencyGraph &CG) {
+  CliqueResult Result;
+
+  std::vector<std::vector<unsigned>> Cliques =
+      greedyMaximalCliques(CG.graph());
+
+  // Isolated racy functions (no non-concurrency edge) still form
+  // singleton cliques if they are non-concurrent with themselves — a
+  // function-lock serializes their instances.
+  std::vector<bool> InSomeClique(CG.numNodes(), false);
+  for (const auto &Clique : Cliques)
+    for (unsigned Node : Clique)
+      InSomeClique[Node] = true;
+  for (unsigned Node = 0; Node != CG.numNodes(); ++Node)
+    if (!InSomeClique[Node])
+      Cliques.push_back({Node});
+
+  // Candidate cliques per pair.
+  struct PairInfo {
+    std::pair<uint32_t, uint32_t> Pair;
+    std::vector<size_t> Candidates;
+  };
+  std::vector<PairInfo> Pairs;
+  std::vector<size_t> CandidateCount(Cliques.size(), 0);
+
+  for (auto [A, B] : RacyFunctionPairs) {
+    if (A > B)
+      std::swap(A, B);
+    bool Coverable =
+        A == B ? CG.selfNonConcurrent(A) : CG.nonConcurrent(A, B);
+    if (!Coverable) {
+      Result.Uncovered.push_back({A, B});
+      continue;
+    }
+    uint32_t NodeA = CG.nodeOf(A), NodeB = CG.nodeOf(B);
+    PairInfo Info;
+    Info.Pair = {A, B};
+    for (size_t C = 0; C != Cliques.size(); ++C) {
+      const auto &Clique = Cliques[C];
+      bool HasA = std::binary_search(Clique.begin(), Clique.end(), NodeA);
+      bool HasB = std::binary_search(Clique.begin(), Clique.end(), NodeB);
+      if (HasA && HasB) {
+        Info.Candidates.push_back(C);
+        ++CandidateCount[C];
+      }
+    }
+    if (Info.Candidates.empty()) {
+      // Non-concurrent but no common clique (can happen for self-pairs
+      // whose node sits in cliques not listed); fall back to uncovered.
+      Result.Uncovered.push_back({A, B});
+      continue;
+    }
+    Pairs.push_back(std::move(Info));
+  }
+
+  // Greedy: each pair goes to its candidate clique with the most
+  // candidate pairs (paper §4.2's tie-break).
+  std::map<size_t, FunctionLockPlan> Plans;
+  for (const PairInfo &Info : Pairs) {
+    size_t Best = Info.Candidates[0];
+    for (size_t C : Info.Candidates)
+      if (CandidateCount[C] > CandidateCount[Best])
+        Best = C;
+
+    FunctionLockPlan &Plan = Plans[Best];
+    if (Plan.CliqueFunctions.empty())
+      for (unsigned Node : Cliques[Best])
+        Plan.CliqueFunctions.push_back(CG.funcOf(Node));
+    Plan.CoveredPairs.push_back(Info.Pair);
+    Plan.Acquirers.push_back(Info.Pair.first);
+    Plan.Acquirers.push_back(Info.Pair.second);
+    Result.Covered.insert(Info.Pair);
+  }
+
+  for (auto &[CliqueIdx, Plan] : Plans) {
+    std::sort(Plan.Acquirers.begin(), Plan.Acquirers.end());
+    Plan.Acquirers.erase(
+        std::unique(Plan.Acquirers.begin(), Plan.Acquirers.end()),
+        Plan.Acquirers.end());
+    Result.Locks.push_back(std::move(Plan));
+  }
+  return Result;
+}

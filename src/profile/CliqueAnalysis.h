@@ -1,0 +1,56 @@
+//===- profile/CliqueAnalysis.h - Function-lock assignment ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clique analysis (paper §4.2): maximal cliques of the non-concurrency
+/// graph share one function-lock, so a function involved in several
+/// non-concurrent race pairs acquires one lock instead of many. A racy
+/// function pair belonging to several cliques is assigned greedily to
+/// the clique covering the most pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_PROFILE_CLIQUEANALYSIS_H
+#define CHIMERA_PROFILE_CLIQUEANALYSIS_H
+
+#include "profile/ConcurrencyGraph.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace chimera {
+namespace profile {
+
+/// One shared function-lock and what it covers.
+struct FunctionLockPlan {
+  /// Functions of the clique (module function ids).
+  std::vector<uint32_t> CliqueFunctions;
+  /// Functions that actually acquire the lock (endpoints of covered
+  /// pairs).
+  std::vector<uint32_t> Acquirers;
+  /// Racy function pairs (First <= Second) this lock covers.
+  std::vector<std::pair<uint32_t, uint32_t>> CoveredPairs;
+};
+
+struct CliqueResult {
+  std::vector<FunctionLockPlan> Locks;
+  /// Racy function pairs covered by some function-lock.
+  std::set<std::pair<uint32_t, uint32_t>> Covered;
+  /// Racy function pairs that remain (concurrent functions).
+  std::vector<std::pair<uint32_t, uint32_t>> Uncovered;
+};
+
+/// Assigns function-locks for \p RacyFunctionPairs (pairs may have equal
+/// elements: a function racing with another instance of itself).
+CliqueResult assignFunctionLocks(
+    const std::vector<std::pair<uint32_t, uint32_t>> &RacyFunctionPairs,
+    const ConcurrencyGraph &CG);
+
+} // namespace profile
+} // namespace chimera
+
+#endif // CHIMERA_PROFILE_CLIQUEANALYSIS_H

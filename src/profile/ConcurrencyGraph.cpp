@@ -1,0 +1,37 @@
+//===- profile/ConcurrencyGraph.cpp - Non-concurrency graph ----------------===//
+
+#include "profile/ConcurrencyGraph.h"
+
+#include <algorithm>
+
+using namespace chimera;
+using namespace chimera::profile;
+
+ConcurrencyGraph::ConcurrencyGraph(
+    const std::vector<uint32_t> &RacyFunctions, const ProfileData &Profile)
+    : Functions(RacyFunctions), Profile(Profile) {
+  std::sort(Functions.begin(), Functions.end());
+  Functions.erase(std::unique(Functions.begin(), Functions.end()),
+                  Functions.end());
+  for (uint32_t I = 0; I != Functions.size(); ++I)
+    NodeIndex[Functions[I]] = I;
+
+  G.resize(numNodes());
+  for (uint32_t I = 0; I != numNodes(); ++I)
+    for (uint32_t J = I + 1; J != numNodes(); ++J)
+      if (!Profile.concurrent(Functions[I], Functions[J]))
+        G.addEdge(I, J);
+}
+
+uint32_t ConcurrencyGraph::nodeOf(uint32_t FuncId) const {
+  auto It = NodeIndex.find(FuncId);
+  return It == NodeIndex.end() ? ~0u : It->second;
+}
+
+bool ConcurrencyGraph::nonConcurrent(uint32_t FuncA, uint32_t FuncB) const {
+  return !Profile.concurrent(FuncA, FuncB);
+}
+
+bool ConcurrencyGraph::selfNonConcurrent(uint32_t FuncId) const {
+  return !Profile.concurrent(FuncId, FuncId);
+}

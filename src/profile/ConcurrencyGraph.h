@@ -1,0 +1,61 @@
+//===- profile/ConcurrencyGraph.h - Non-concurrency graph -------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph of paper Figure 3(c): nodes are the functions that contain
+/// at least one potentially racy instruction; an edge connects two
+/// functions never observed concurrent in any profile run (plus a
+/// self-concurrency fact per function). CliqueAnalysis covers this graph
+/// to assign shared function-locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_PROFILE_CONCURRENCYGRAPH_H
+#define CHIMERA_PROFILE_CONCURRENCYGRAPH_H
+
+#include "profile/Profiler.h"
+#include "support/Graph.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace chimera {
+namespace profile {
+
+class ConcurrencyGraph {
+public:
+  /// \p RacyFunctions: module function ids of functions containing races.
+  ConcurrencyGraph(const std::vector<uint32_t> &RacyFunctions,
+                   const ProfileData &Profile);
+
+  /// Node index of a function; ~0u if the function is not racy.
+  uint32_t nodeOf(uint32_t FuncId) const;
+  uint32_t funcOf(uint32_t Node) const { return Functions[Node]; }
+  uint32_t numNodes() const {
+    return static_cast<uint32_t>(Functions.size());
+  }
+
+  /// True when the two racy functions were never concurrent (the solid
+  /// edges of Figure 3).
+  bool nonConcurrent(uint32_t FuncA, uint32_t FuncB) const;
+
+  /// True when two instances of \p FuncId were never concurrent.
+  bool selfNonConcurrent(uint32_t FuncId) const;
+
+  const UndirectedGraph &graph() const { return G; }
+
+private:
+  std::vector<uint32_t> Functions; ///< Sorted function ids (node order).
+  std::map<uint32_t, uint32_t> NodeIndex;
+  const ProfileData &Profile;
+  UndirectedGraph G;
+};
+
+} // namespace profile
+} // namespace chimera
+
+#endif // CHIMERA_PROFILE_CONCURRENCYGRAPH_H

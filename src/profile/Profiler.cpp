@@ -1,0 +1,61 @@
+//===- profile/Profiler.cpp - Concurrent-function profiling ----------------===//
+
+#include "profile/Profiler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace chimera;
+using namespace chimera::profile;
+
+void ConcurrencyProfiler::onThreadStart(uint32_t, uint32_t, uint32_t,
+                                        uint64_t) {
+  // The paired onFunctionEnter records the root activation.
+}
+
+void ConcurrencyProfiler::onFunctionEnter(uint32_t Tid, uint32_t FuncId,
+                                          uint64_t Now) {
+  Events.push_back({Now, NextSeq++, Tid, FuncId, true});
+}
+
+void ConcurrencyProfiler::onFunctionExit(uint32_t Tid, uint32_t FuncId,
+                                         uint64_t Now) {
+  Events.push_back({Now, NextSeq++, Tid, FuncId, false});
+}
+
+ProfileData ConcurrencyProfiler::finish() const {
+  std::vector<Event> Sorted = Events;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Event &A, const Event &B) {
+              return std::tie(A.Time, A.Seq) < std::tie(B.Time, B.Seq);
+            });
+
+  ProfileData Data;
+  // Active multiset per thread (a function can be on a stack twice via
+  // recursion).
+  std::map<uint32_t, std::map<uint32_t, unsigned>> Active;
+
+  for (const Event &E : Sorted) {
+    if (E.IsEnter) {
+      // Every function currently active on another thread overlaps E.
+      for (const auto &[OtherTid, Funcs] : Active) {
+        if (OtherTid == E.Tid)
+          continue;
+        for (const auto &[Func, Count] : Funcs) {
+          if (Count == 0)
+            continue;
+          uint32_t A = std::min(E.FuncId, Func);
+          uint32_t B = std::max(E.FuncId, Func);
+          Data.ConcurrentPairs.insert({A, B});
+        }
+      }
+      ++Active[E.Tid][E.FuncId];
+    } else {
+      auto &Funcs = Active[E.Tid];
+      auto It = Funcs.find(E.FuncId);
+      if (It != Funcs.end() && It->second > 0)
+        --It->second;
+    }
+  }
+  return Data;
+}

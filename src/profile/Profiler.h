@@ -1,0 +1,75 @@
+//===- profile/Profiler.h - Concurrent-function profiling -------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chimera's offline profiler (paper §4): it observes executions over a
+/// set of representative inputs and records which pairs of functions
+/// were ever active concurrently in different threads (a function is
+/// "active" while it is anywhere on a thread's call stack). Racy pairs
+/// whose functions were never concurrent in any profile run are
+/// candidates for coarse function-granularity weak-locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_PROFILE_PROFILER_H
+#define CHIMERA_PROFILE_PROFILER_H
+
+#include "runtime/Observer.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace chimera {
+namespace profile {
+
+/// Aggregated profile knowledge across runs.
+struct ProfileData {
+  /// Unordered function pairs (First <= Second) observed concurrent.
+  std::set<std::pair<uint32_t, uint32_t>> ConcurrentPairs;
+
+  bool concurrent(uint32_t A, uint32_t B) const {
+    if (A > B)
+      std::swap(A, B);
+    return ConcurrentPairs.count({A, B}) != 0;
+  }
+
+  void merge(const ProfileData &Other) {
+    ConcurrentPairs.insert(Other.ConcurrentPairs.begin(),
+                           Other.ConcurrentPairs.end());
+  }
+
+  size_t numPairs() const { return ConcurrentPairs.size(); }
+};
+
+/// Observer for a single profiled execution. Attach to a Machine, run,
+/// then call finish() to obtain the run's ProfileData.
+class ConcurrencyProfiler : public rt::ExecutionObserver {
+public:
+  void onThreadStart(uint32_t Tid, uint32_t ParentTid, uint32_t FuncId,
+                     uint64_t Now) override;
+  void onFunctionEnter(uint32_t Tid, uint32_t FuncId, uint64_t Now) override;
+  void onFunctionExit(uint32_t Tid, uint32_t FuncId, uint64_t Now) override;
+
+  /// Post-processes the event stream into concurrency facts.
+  ProfileData finish() const;
+
+private:
+  struct Event {
+    uint64_t Time = 0;
+    uint64_t Seq = 0; ///< Tie-break for equal simulated times.
+    uint32_t Tid = 0;
+    uint32_t FuncId = 0;
+    bool IsEnter = false;
+  };
+  std::vector<Event> Events;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace profile
+} // namespace chimera
+
+#endif // CHIMERA_PROFILE_PROFILER_H

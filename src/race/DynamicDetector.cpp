@@ -1,0 +1,175 @@
+//===- race/DynamicDetector.cpp - Happens-before race oracle ---------------===//
+
+#include "race/DynamicDetector.h"
+
+using namespace chimera;
+using namespace chimera::race;
+using namespace chimera::rt;
+
+std::string DynamicRace::str() const {
+  return "race @" + std::to_string(Addr) + ": t" + std::to_string(TidA) +
+         (WriteA ? " write" : " read") + " (f" + std::to_string(FuncA) +
+         "#" + std::to_string(InstA) + ") vs t" + std::to_string(TidB) +
+         (WriteB ? " write" : " read") + " (f" + std::to_string(FuncB) +
+         "#" + std::to_string(InstB) + ")";
+}
+
+VectorClock &DynamicDetector::threadClock(uint32_t Tid) {
+  if (Tid >= ThreadClocks.size()) {
+    ThreadClocks.resize(Tid + 1);
+    FinalClocks.resize(Tid + 1);
+  }
+  return ThreadClocks[Tid];
+}
+
+void DynamicDetector::onThreadStart(uint32_t Tid, uint32_t ParentTid,
+                                    uint32_t, uint64_t) {
+  VectorClock &Child = threadClock(Tid);
+  if (ParentTid != Tid) {
+    VectorClock &Parent = threadClock(ParentTid);
+    Child.join(Parent);
+    Parent.tick(ParentTid);
+  }
+  Child.tick(Tid);
+}
+
+void DynamicDetector::onThreadFinish(uint32_t Tid, uint64_t) {
+  threadClock(Tid); // Ensure sized.
+  FinalClocks[Tid] = ThreadClocks[Tid];
+}
+
+void DynamicDetector::onJoin(uint32_t ParentTid, uint32_t ChildTid,
+                             uint64_t) {
+  threadClock(ChildTid);
+  threadClock(ParentTid).join(FinalClocks[ChildTid]);
+}
+
+void DynamicDetector::reportRace(const AccessInfo &Prev, uint32_t Tid,
+                                 bool PrevWrite, bool IsWrite, uint64_t Addr,
+                                 uint32_t FuncId, ir::InstId Ident) {
+  ++NumRaces;
+  if (Races.size() >= MaxRaces)
+    return;
+  DynamicRace R;
+  R.Addr = Addr;
+  R.TidA = Prev.Tid;
+  R.TidB = Tid;
+  R.WriteA = PrevWrite;
+  R.WriteB = IsWrite;
+  R.FuncA = Prev.FuncId;
+  R.FuncB = FuncId;
+  R.InstA = Prev.Ident;
+  R.InstB = Ident;
+  Races.push_back(R);
+}
+
+void DynamicDetector::onMemoryAccess(uint32_t Tid, uint64_t Addr,
+                                     bool IsWrite, uint32_t FuncId,
+                                     ir::InstId Ident, uint64_t) {
+  VectorClock &VC = threadClock(Tid);
+  AddrHistory &H = Addresses[Addr];
+  uint64_t MyClock = VC.get(Tid);
+
+  // Previous write must happen-before this access.
+  if (H.LastWrite.Clock != 0 && H.LastWrite.Tid != Tid &&
+      !VC.covers({H.LastWrite.Tid, H.LastWrite.Clock}))
+    reportRace(H.LastWrite, Tid, /*PrevWrite=*/true, IsWrite, Addr, FuncId,
+               Ident);
+
+  if (IsWrite) {
+    // All previous reads must happen-before a write.
+    for (const AccessInfo &Read : H.Reads)
+      if (Read.Tid != Tid && !VC.covers({Read.Tid, Read.Clock}))
+        reportRace(Read, Tid, /*PrevWrite=*/false, IsWrite, Addr, FuncId,
+                   Ident);
+    H.LastWrite = {Tid, MyClock, FuncId, Ident};
+    H.Reads.clear();
+    return;
+  }
+
+  // Record/update this thread's read.
+  for (AccessInfo &Read : H.Reads) {
+    if (Read.Tid == Tid) {
+      Read = {Tid, MyClock, FuncId, Ident};
+      return;
+    }
+  }
+  H.Reads.push_back({Tid, MyClock, FuncId, Ident});
+}
+
+void DynamicDetector::acquireEdge(uint32_t Tid, const VectorClock &From) {
+  threadClock(Tid).join(From);
+}
+
+void DynamicDetector::releaseEdge(uint32_t Tid, VectorClock &Into) {
+  VectorClock &VC = threadClock(Tid);
+  Into.join(VC);
+  VC.tick(Tid);
+}
+
+void DynamicDetector::onSync(uint32_t Tid, ObservedSync Kind, uint32_t ObjId,
+                             uint64_t Aux, uint64_t) {
+  switch (Kind) {
+  case ObservedSync::MutexLock:
+    acquireEdge(Tid, MutexClocks[ObjId]);
+    break;
+  case ObservedSync::MutexUnlock:
+    releaseEdge(Tid, MutexClocks[ObjId]);
+    break;
+  case ObservedSync::BarrierArrive:
+    releaseEdge(Tid, BarrierClocks[(static_cast<uint64_t>(ObjId) << 32) |
+                                   Aux]);
+    break;
+  case ObservedSync::BarrierLeave:
+    acquireEdge(Tid, BarrierClocks[(static_cast<uint64_t>(ObjId) << 32) |
+                                   Aux]);
+    break;
+  case ObservedSync::CondWaitBlock:
+    // The mutex release is reported separately; waiting itself adds no
+    // edge until the wake.
+    break;
+  case ObservedSync::CondWaitWake:
+    acquireEdge(Tid, CondClocks[ObjId]);
+    break;
+  case ObservedSync::CondSignal:
+  case ObservedSync::CondBroadcast:
+    releaseEdge(Tid, CondClocks[ObjId]);
+    break;
+  case ObservedSync::WeakAcquire:
+  case ObservedSync::WeakRelease:
+    // Delivered via onWeak with range information.
+    break;
+  }
+}
+
+void DynamicDetector::onWeak(uint32_t Tid, bool IsAcquire, uint32_t LockId,
+                             bool HasRange, uint64_t Lo, uint64_t Hi,
+                             uint64_t) {
+  std::vector<RangedRelease> &Releases = WeakClocks[LockId];
+
+  if (IsAcquire) {
+    // Join the release clocks of every conflicting prior critical
+    // section. Unranged acquisitions conflict with everything.
+    for (const RangedRelease &R : Releases) {
+      bool Overlaps = !HasRange || !R.HasRange ||
+                      (R.Lo <= Hi && Lo <= R.Hi);
+      if (Overlaps)
+        acquireEdge(Tid, R.Clock);
+    }
+    return;
+  }
+
+  // Release: fold into an existing identical interval or append.
+  for (RangedRelease &R : Releases) {
+    if (R.HasRange == HasRange && R.Lo == Lo && R.Hi == Hi) {
+      releaseEdge(Tid, R.Clock);
+      return;
+    }
+  }
+  RangedRelease New;
+  New.HasRange = HasRange;
+  New.Lo = Lo;
+  New.Hi = Hi;
+  releaseEdge(Tid, New.Clock);
+  Releases.push_back(std::move(New));
+}

@@ -1,0 +1,112 @@
+//===- race/DynamicDetector.h - Happens-before race oracle ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FastTrack-style dynamic happens-before race detector implemented as
+/// an ExecutionObserver. Chimera's central invariant — a transformed
+/// program is data-race-free under the new synchronization (paper §2.4)
+/// — is checked by running this oracle over executions of instrumented
+/// modules, with weak-lock acquire/release treated as synchronization.
+///
+/// Ranged (loop) weak-locks admit concurrent holders of disjoint ranges,
+/// so their happens-before edges are interval-qualified: an acquire of
+/// range R joins only the release clocks of overlapping intervals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RACE_DYNAMICDETECTOR_H
+#define CHIMERA_RACE_DYNAMICDETECTOR_H
+
+#include "runtime/Observer.h"
+#include "runtime/VectorClock.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chimera {
+namespace race {
+
+/// One dynamic race: two unordered accesses to the same address.
+struct DynamicRace {
+  uint64_t Addr = 0;
+  uint32_t TidA = 0, TidB = 0;
+  bool WriteA = false, WriteB = false;
+  uint32_t FuncA = 0, FuncB = 0;
+  ir::InstId InstA = 0, InstB = 0;
+
+  std::string str() const;
+};
+
+class DynamicDetector : public rt::ExecutionObserver {
+public:
+  /// At most \p MaxRaces are retained (detection continues for counting).
+  explicit DynamicDetector(size_t MaxRaces = 64) : MaxRaces(MaxRaces) {}
+
+  const std::vector<DynamicRace> &races() const { return Races; }
+  uint64_t raceCount() const { return NumRaces; }
+
+  // ExecutionObserver implementation.
+  void onThreadStart(uint32_t Tid, uint32_t ParentTid, uint32_t FuncId,
+                     uint64_t Now) override;
+  void onThreadFinish(uint32_t Tid, uint64_t Now) override;
+  void onJoin(uint32_t ParentTid, uint32_t ChildTid, uint64_t Now) override;
+  void onMemoryAccess(uint32_t Tid, uint64_t Addr, bool IsWrite,
+                      uint32_t FuncId, ir::InstId Ident,
+                      uint64_t Now) override;
+  void onSync(uint32_t Tid, rt::ObservedSync Kind, uint32_t ObjId,
+              uint64_t Aux, uint64_t Now) override;
+  void onWeak(uint32_t Tid, bool IsAcquire, uint32_t LockId, bool HasRange,
+              uint64_t Lo, uint64_t Hi, uint64_t Now) override;
+
+private:
+  struct AccessInfo {
+    uint32_t Tid = 0;
+    uint64_t Clock = 0;
+    uint32_t FuncId = 0;
+    ir::InstId Ident = 0;
+  };
+  struct AddrHistory {
+    AccessInfo LastWrite;           ///< Clock 0 = no write yet.
+    std::vector<AccessInfo> Reads;  ///< Reads since the last write.
+  };
+
+  /// Interval-qualified release clock for ranged weak-locks.
+  struct RangedRelease {
+    bool HasRange = false;
+    uint64_t Lo = 0, Hi = 0;
+    rt::VectorClock Clock;
+  };
+
+  rt::VectorClock &threadClock(uint32_t Tid);
+  void reportRace(const AccessInfo &Prev, uint32_t Tid, bool PrevWrite,
+                  bool IsWrite, uint64_t Addr, uint32_t FuncId,
+                  ir::InstId Ident);
+  void acquireEdge(uint32_t Tid, const rt::VectorClock &From);
+  void releaseEdge(uint32_t Tid, rt::VectorClock &Into);
+
+  size_t MaxRaces;
+  uint64_t NumRaces = 0;
+  std::vector<DynamicRace> Races;
+
+  std::vector<rt::VectorClock> ThreadClocks;
+  std::vector<rt::VectorClock> FinalClocks; ///< Per finished thread.
+  std::unordered_map<uint32_t, rt::VectorClock> MutexClocks;
+  std::unordered_map<uint32_t, rt::VectorClock> CondClocks;
+  /// Barrier generation clocks: key = (obj << 32) | generation.
+  std::map<uint64_t, rt::VectorClock> BarrierClocks;
+  /// Per weak-lock: release intervals (unranged collapses to one entry).
+  std::unordered_map<uint32_t, std::vector<RangedRelease>> WeakClocks;
+
+  std::unordered_map<uint64_t, AddrHistory> Addresses;
+};
+
+} // namespace race
+} // namespace chimera
+
+#endif // CHIMERA_RACE_DYNAMICDETECTOR_H

@@ -1,0 +1,101 @@
+//===- race/Lockset.cpp - Locksets for static race detection ---------------===//
+
+#include "race/Lockset.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::race;
+
+Lockset::Lockset(std::vector<uint32_t> Ids) : Ids(std::move(Ids)) {
+  std::sort(this->Ids.begin(), this->Ids.end());
+  this->Ids.erase(std::unique(this->Ids.begin(), this->Ids.end()),
+                  this->Ids.end());
+}
+
+Lockset Lockset::top() {
+  Lockset L;
+  L.Top = true;
+  return L;
+}
+
+void Lockset::insert(uint32_t MutexId) {
+  assert(!Top && "inserting into the top lockset");
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), MutexId);
+  if (It == Ids.end() || *It != MutexId)
+    Ids.insert(It, MutexId);
+}
+
+void Lockset::erase(uint32_t MutexId) {
+  assert(!Top && "erasing from the top lockset");
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), MutexId);
+  if (It != Ids.end() && *It == MutexId)
+    Ids.erase(It);
+}
+
+bool Lockset::contains(uint32_t MutexId) const {
+  if (Top)
+    return true;
+  return std::binary_search(Ids.begin(), Ids.end(), MutexId);
+}
+
+Lockset Lockset::intersect(const Lockset &A, const Lockset &B) {
+  if (A.Top)
+    return B;
+  if (B.Top)
+    return A;
+  Lockset Out;
+  std::set_intersection(A.Ids.begin(), A.Ids.end(), B.Ids.begin(),
+                        B.Ids.end(), std::back_inserter(Out.Ids));
+  return Out;
+}
+
+Lockset Lockset::unite(const Lockset &A, const Lockset &B) {
+  if (A.Top || B.Top)
+    return top();
+  Lockset Out;
+  std::set_union(A.Ids.begin(), A.Ids.end(), B.Ids.begin(), B.Ids.end(),
+                 std::back_inserter(Out.Ids));
+  return Out;
+}
+
+Lockset Lockset::subtract(const Lockset &A, const Lockset &B) {
+  assert(!A.Top && "subtracting from the top lockset");
+  if (B.Top)
+    return Lockset();
+  Lockset Out;
+  std::set_difference(A.Ids.begin(), A.Ids.end(), B.Ids.begin(),
+                      B.Ids.end(), std::back_inserter(Out.Ids));
+  return Out;
+}
+
+bool Lockset::disjoint(const Lockset &A, const Lockset &B) {
+  if (A.Top)
+    return B.empty();
+  if (B.Top)
+    return A.empty();
+  auto AI = A.Ids.begin();
+  auto BI = B.Ids.begin();
+  while (AI != A.Ids.end() && BI != B.Ids.end()) {
+    if (*AI == *BI)
+      return false;
+    if (*AI < *BI)
+      ++AI;
+    else
+      ++BI;
+  }
+  return true;
+}
+
+std::string Lockset::str() const {
+  if (Top)
+    return "{T}";
+  std::string Out = "{";
+  for (size_t I = 0; I != Ids.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(Ids[I]);
+  }
+  return Out + "}";
+}

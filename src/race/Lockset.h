@@ -1,0 +1,64 @@
+//===- race/Lockset.h - Locksets for static race detection ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lockset is the set of mutexes known (must-analysis) to be held at a
+/// program point (paper §3.1). Represented as a small sorted vector of
+/// mutex sync-object ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RACE_LOCKSET_H
+#define CHIMERA_RACE_LOCKSET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace race {
+
+class Lockset {
+public:
+  Lockset() = default;
+  explicit Lockset(std::vector<uint32_t> Ids);
+
+  /// The "all locks" top element of the must-held lattice (used to seed
+  /// the intersection-based dataflow).
+  static Lockset top();
+  bool isTop() const { return Top; }
+
+  void insert(uint32_t MutexId);
+  void erase(uint32_t MutexId);
+  bool contains(uint32_t MutexId) const;
+  bool empty() const { return !Top && Ids.empty(); }
+  size_t size() const { return Ids.size(); }
+
+  /// Lattice meet for must-analysis.
+  static Lockset intersect(const Lockset &A, const Lockset &B);
+  /// Set union (lifting callee-relative locksets into a caller context).
+  static Lockset unite(const Lockset &A, const Lockset &B);
+  /// Set difference (A minus B).
+  static Lockset subtract(const Lockset &A, const Lockset &B);
+  /// True when the sets share no lock — the racy condition.
+  static bool disjoint(const Lockset &A, const Lockset &B);
+
+  bool operator==(const Lockset &O) const {
+    return Top == O.Top && Ids == O.Ids;
+  }
+
+  const std::vector<uint32_t> &ids() const { return Ids; }
+  std::string str() const;
+
+private:
+  bool Top = false;
+  std::vector<uint32_t> Ids; ///< Sorted, unique.
+};
+
+} // namespace race
+} // namespace chimera
+
+#endif // CHIMERA_RACE_LOCKSET_H

@@ -1,0 +1,38 @@
+//===- replay/DeterminismChecker.cpp - Replay validation -------------------===//
+
+#include "replay/DeterminismChecker.h"
+
+using namespace chimera;
+using namespace chimera::replay;
+
+DeterminismVerdict chimera::replay::checkDeterminism(
+    const rt::ExecutionResult &Record, const rt::ExecutionResult &Replay) {
+  DeterminismVerdict Verdict;
+
+  if (!Record.Ok) {
+    Verdict.Reason = "recording failed: " + Record.Error;
+    return Verdict;
+  }
+  if (!Replay.Ok) {
+    Verdict.Reason = "replay failed: " + Replay.Error;
+    return Verdict;
+  }
+  if (Record.Output.size() != Replay.Output.size()) {
+    Verdict.Reason = "output length mismatch (" +
+                     std::to_string(Record.Output.size()) + " vs " +
+                     std::to_string(Replay.Output.size()) + ")";
+    return Verdict;
+  }
+  for (size_t I = 0; I != Record.Output.size(); ++I) {
+    if (Record.Output[I] != Replay.Output[I]) {
+      Verdict.Reason = "output diverges at index " + std::to_string(I);
+      return Verdict;
+    }
+  }
+  if (Record.StateHash != Replay.StateHash) {
+    Verdict.Reason = "final memory state hash mismatch";
+    return Verdict;
+  }
+  Verdict.Deterministic = true;
+  return Verdict;
+}

@@ -1,0 +1,37 @@
+//===- replay/DeterminismChecker.h - Replay validation ----------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares a recorded execution against its replay: final memory/output
+/// fingerprints, output streams, and success states. Used by tests and
+/// by the benches to assert every reported replay was actually
+/// deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_DETERMINISMCHECKER_H
+#define CHIMERA_REPLAY_DETERMINISMCHECKER_H
+
+#include "runtime/Machine.h"
+
+#include <string>
+
+namespace chimera {
+namespace replay {
+
+struct DeterminismVerdict {
+  bool Deterministic = false;
+  std::string Reason; ///< Empty when deterministic.
+};
+
+/// Checks that \p Replay faithfully reproduced \p Record.
+DeterminismVerdict checkDeterminism(const rt::ExecutionResult &Record,
+                                    const rt::ExecutionResult &Replay);
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_DETERMINISMCHECKER_H

@@ -1,0 +1,119 @@
+//===- replay/LogCodec.cpp - Log serialization and sizing ------------------===//
+
+#include "replay/LogCodec.h"
+
+#include "support/Compressor.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::replay;
+using namespace chimera::rt;
+
+std::vector<uint8_t> chimera::replay::encodeInputLog(
+    const ExecutionLog &Log) {
+  std::vector<uint8_t> Out;
+  appendVarint(Out, Log.PerThreadInputs.size());
+  for (const auto &Inputs : Log.PerThreadInputs) {
+    appendVarint(Out, Inputs.size());
+    for (const InputEvent &E : Inputs) {
+      Out.push_back(static_cast<uint8_t>(E.Kind));
+      appendVarint(Out, E.Value);
+    }
+  }
+  return Out;
+}
+
+std::vector<uint8_t> chimera::replay::encodeOrderLog(
+    const ExecutionLog &Log) {
+  std::vector<uint8_t> Out;
+  appendVarint(Out, Log.NumSyncObjects);
+  appendVarint(Out, Log.NumWeakLocks);
+  appendVarint(Out, Log.NumThreads);
+  appendVarint(Out, Log.PerObject.size());
+  for (const auto &Seq : Log.PerObject) {
+    appendVarint(Out, Seq.size());
+    for (const OrderedEvent &E : Seq) {
+      // (tid, op) packs into one small varint; tids are small.
+      appendVarint(Out,
+                   (static_cast<uint64_t>(E.Tid) << 4) |
+                       static_cast<uint64_t>(E.Op));
+    }
+  }
+  appendVarint(Out, Log.Revocations.size());
+  for (const RevocationEvent &R : Log.Revocations) {
+    appendVarint(Out, R.Tid);
+    appendVarint(Out, R.LockId);
+    appendVarint(Out, R.Instret);
+  }
+  return Out;
+}
+
+std::vector<uint8_t> chimera::replay::encodeLog(const ExecutionLog &Log) {
+  std::vector<uint8_t> Out = encodeOrderLog(Log);
+  std::vector<uint8_t> Inputs = encodeInputLog(Log);
+  appendVarint(Out, Inputs.size());
+  Out.insert(Out.end(), Inputs.begin(), Inputs.end());
+  return Out;
+}
+
+ExecutionLog chimera::replay::decodeLog(const std::vector<uint8_t> &Bytes) {
+  ExecutionLog Log;
+  size_t Pos = 0;
+
+  Log.NumSyncObjects = static_cast<uint32_t>(readVarint(Bytes, Pos));
+  Log.NumWeakLocks = static_cast<uint32_t>(readVarint(Bytes, Pos));
+  Log.NumThreads = static_cast<uint32_t>(readVarint(Bytes, Pos));
+
+  uint64_t NumObjects = readVarint(Bytes, Pos);
+  Log.PerObject.resize(NumObjects);
+  for (auto &Seq : Log.PerObject) {
+    uint64_t Len = readVarint(Bytes, Pos);
+    Seq.reserve(Len);
+    for (uint64_t I = 0; I != Len; ++I) {
+      uint64_t Packed = readVarint(Bytes, Pos);
+      OrderedEvent E;
+      E.Tid = static_cast<uint32_t>(Packed >> 4);
+      E.Op = static_cast<OrderedOp>(Packed & 0xf);
+      Seq.push_back(E);
+    }
+  }
+
+  uint64_t NumRevocations = readVarint(Bytes, Pos);
+  for (uint64_t I = 0; I != NumRevocations; ++I) {
+    RevocationEvent R;
+    R.Tid = static_cast<uint32_t>(readVarint(Bytes, Pos));
+    R.LockId = static_cast<uint32_t>(readVarint(Bytes, Pos));
+    R.Instret = readVarint(Bytes, Pos);
+    Log.Revocations.push_back(R);
+  }
+
+  uint64_t InputBytes = readVarint(Bytes, Pos);
+  (void)InputBytes;
+  uint64_t NumThreadsInputs = readVarint(Bytes, Pos);
+  Log.PerThreadInputs.resize(NumThreadsInputs);
+  for (auto &Inputs : Log.PerThreadInputs) {
+    uint64_t Len = readVarint(Bytes, Pos);
+    Inputs.reserve(Len);
+    for (uint64_t I = 0; I != Len; ++I) {
+      InputEvent E;
+      assert(Pos < Bytes.size() && "truncated input log");
+      E.Kind = static_cast<InputKind>(Bytes[Pos++]);
+      E.Value = readVarint(Bytes, Pos);
+      Inputs.push_back(E);
+    }
+  }
+  assert(Pos == Bytes.size() && "trailing bytes in encoded log");
+  return Log;
+}
+
+LogSizes chimera::replay::measureLog(const ExecutionLog &Log) {
+  LogSizes Sizes;
+  std::vector<uint8_t> Inputs = encodeInputLog(Log);
+  std::vector<uint8_t> Order = encodeOrderLog(Log);
+  Sizes.InputRaw = Inputs.size();
+  Sizes.InputCompressed = compressedSize(Inputs);
+  Sizes.OrderRaw = Order.size();
+  Sizes.OrderCompressed = compressedSize(Order);
+  return Sizes;
+}

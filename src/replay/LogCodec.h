@@ -1,0 +1,53 @@
+//===- replay/LogCodec.h - Log serialization and sizing ---------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes ExecutionLogs to a compact varint byte format and back, and
+/// reports the compressed sizes Table 2 lists (the paper reports
+/// gzip-compressed input and order logs; we use the from-scratch LZ codec
+/// in support/Compressor.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_LOGCODEC_H
+#define CHIMERA_REPLAY_LOGCODEC_H
+
+#include "runtime/ExecutionLog.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace replay {
+
+/// Byte sizes of a serialized log, raw and compressed.
+struct LogSizes {
+  uint64_t InputRaw = 0;
+  uint64_t InputCompressed = 0;
+  uint64_t OrderRaw = 0;
+  uint64_t OrderCompressed = 0;
+};
+
+/// Serializes only the nondeterministic-input portion.
+std::vector<uint8_t> encodeInputLog(const rt::ExecutionLog &Log);
+
+/// Serializes only the per-object order portion (sync + weak-locks +
+/// revocations).
+std::vector<uint8_t> encodeOrderLog(const rt::ExecutionLog &Log);
+
+/// Serializes a whole log.
+std::vector<uint8_t> encodeLog(const rt::ExecutionLog &Log);
+
+/// Inverse of encodeLog. Asserts on malformed input.
+rt::ExecutionLog decodeLog(const std::vector<uint8_t> &Bytes);
+
+/// Raw and compressed sizes of the two log families.
+LogSizes measureLog(const rt::ExecutionLog &Log);
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_LOGCODEC_H

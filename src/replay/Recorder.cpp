@@ -1,0 +1,17 @@
+//===- replay/Recorder.cpp - Recording convenience API ---------------------===//
+
+#include "replay/Recorder.h"
+
+using namespace chimera;
+
+rt::ExecutionResult chimera::replay::recordExecution(
+    const ir::Module &M, uint64_t Seed, unsigned NumCores,
+    rt::ExecutionObserver *Obs) {
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Record;
+  MO.Seed = Seed;
+  MO.NumCores = NumCores;
+  MO.Observer = Obs;
+  rt::Machine Machine(M, MO);
+  return Machine.run();
+}

@@ -1,0 +1,30 @@
+//===- replay/Recorder.h - Recording convenience API ------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin convenience wrapper over Machine's record mode for clients that
+/// don't need the full pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_RECORDER_H
+#define CHIMERA_REPLAY_RECORDER_H
+
+#include "runtime/Machine.h"
+
+namespace chimera {
+namespace replay {
+
+/// Records an execution of \p M (which should already be instrumented if
+/// it contains races).
+rt::ExecutionResult recordExecution(const ir::Module &M, uint64_t Seed,
+                                    unsigned NumCores = 4,
+                                    rt::ExecutionObserver *Obs = nullptr);
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_RECORDER_H

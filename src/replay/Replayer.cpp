@@ -1,0 +1,18 @@
+//===- replay/Replayer.cpp - Replay convenience API ------------------------===//
+
+#include "replay/Replayer.h"
+
+using namespace chimera;
+
+rt::ExecutionResult chimera::replay::replayExecution(
+    const ir::Module &M, const rt::ExecutionLog &Log, unsigned NumCores,
+    rt::ExecutionObserver *Obs) {
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Replay;
+  MO.Seed = 0xfeedface;
+  MO.NumCores = NumCores;
+  MO.ReplayLog = &Log;
+  MO.Observer = Obs;
+  rt::Machine Machine(M, MO);
+  return Machine.run();
+}

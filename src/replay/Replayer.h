@@ -1,0 +1,30 @@
+//===- replay/Replayer.h - Replay convenience API ---------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin convenience wrapper over Machine's replay mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_REPLAYER_H
+#define CHIMERA_REPLAY_REPLAYER_H
+
+#include "runtime/Machine.h"
+
+namespace chimera {
+namespace replay {
+
+/// Replays \p Log against \p M. The seed intentionally differs from any
+/// recording seed: replay correctness cannot depend on it.
+rt::ExecutionResult replayExecution(const ir::Module &M,
+                                    const rt::ExecutionLog &Log,
+                                    unsigned NumCores = 4,
+                                    rt::ExecutionObserver *Obs = nullptr);
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_REPLAYER_H

@@ -1,0 +1,5 @@
+//===- runtime/CostModel.cpp - Simulated cycle costs -----------------------===//
+
+#include "runtime/CostModel.h"
+
+// Currently header-only; this TU anchors the library target.

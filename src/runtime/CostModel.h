@@ -1,0 +1,64 @@
+//===- runtime/CostModel.h - Simulated cycle costs --------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle costs for the execution simulator. The paper measures wall-clock
+/// on an 8-core Xeon; we substitute simulated cycles. The constants are
+/// chosen so the *relative* costs mirror the mechanisms that produce the
+/// paper's shapes: ALU/memory ops are cheap; lock and log operations cost
+/// tens of cycles (atomic RMW + fence + log append); syscalls cost
+/// hundreds of CPU cycles plus a blocking latency during which the core
+/// runs other threads (so I/O-bound programs hide recording overhead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_COSTMODEL_H
+#define CHIMERA_RUNTIME_COSTMODEL_H
+
+#include <cstdint>
+
+namespace chimera {
+namespace rt {
+
+struct CostModel {
+  // Per-instruction CPU costs (cycles).
+  uint64_t Alu = 1;
+  uint64_t Load = 2;
+  uint64_t Store = 2;
+  uint64_t Branch = 1;
+  uint64_t Call = 6;
+  uint64_t Ret = 4;
+  uint64_t AllocOp = 30;
+
+  // Synchronization (uninstrumented program ops).
+  uint64_t SyncOp = 40;
+
+  // Chimera instrumentation.
+  uint64_t WeakLockOp = 35;    ///< Weak-lock acquire/release CPU cost.
+  uint64_t RangeCheck = 12;    ///< Extra cost of a ranged (loop) acquire.
+  uint64_t LogEvent = 45;      ///< Appending one record to a log buffer.
+
+  // Syscall-like operations: CPU portion + blocking latency during which
+  // the core is free to run other threads.
+  uint64_t SyscallCpu = 350;
+  uint64_t InputLatency = 1200;
+  uint64_t FileLatency = 9000;
+  uint64_t NetLatency = 60000;
+  uint64_t OutputCpu = 250;
+  uint64_t OutputLatency = 800;
+
+  // Thread management.
+  uint64_t SpawnCost = 1500;
+  uint64_t JoinCost = 40;
+
+  /// The default model used by all benchmarks.
+  static CostModel defaultModel() { return CostModel(); }
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_COSTMODEL_H

@@ -1,0 +1,43 @@
+//===- runtime/ExecutionLog.cpp - Record/replay log structures -------------===//
+
+#include "runtime/ExecutionLog.h"
+
+using namespace chimera::rt;
+
+const char *chimera::rt::orderedOpName(OrderedOp Op) {
+  switch (Op) {
+  case OrderedOp::MutexLock: return "mutex_lock";
+  case OrderedOp::MutexUnlock: return "mutex_unlock";
+  case OrderedOp::BarrierArrive: return "barrier_arrive";
+  case OrderedOp::CondWaitBegin: return "cond_wait_begin";
+  case OrderedOp::CondSignal: return "cond_signal";
+  case OrderedOp::CondBroadcast: return "cond_broadcast";
+  case OrderedOp::Output: return "output";
+  case OrderedOp::SpawnThread: return "spawn";
+  case OrderedOp::JoinThread: return "join";
+  case OrderedOp::WeakAcquire: return "weak_acquire";
+  case OrderedOp::WeakRelease: return "weak_release";
+  }
+  return "?";
+}
+
+uint64_t ExecutionLog::totalOrderedEvents() const {
+  uint64_t Total = 0;
+  for (const auto &Seq : PerObject)
+    Total += Seq.size();
+  return Total;
+}
+
+uint64_t ExecutionLog::totalInputEvents() const {
+  uint64_t Total = 0;
+  for (const auto &Seq : PerThreadInputs)
+    Total += Seq.size();
+  return Total;
+}
+
+void ExecutionLog::clear() {
+  PerObject.clear();
+  PerThreadInputs.clear();
+  Revocations.clear();
+  NumSyncObjects = NumWeakLocks = NumThreads = 0;
+}

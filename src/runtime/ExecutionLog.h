@@ -1,0 +1,110 @@
+//===- runtime/ExecutionLog.h - Record/replay log structures ----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logs Chimera records and replays (paper §2.2): nondeterministic
+/// input values per thread, and per-object total orders over every
+/// happens-before-relevant operation — original synchronization, output,
+/// thread creation, and the weak-locks the instrumenter added — plus
+/// weak-lock revocation points (paper §2.3).
+///
+/// Ordered-object id space: ids [0, NumSyncs) are the program's sync
+/// objects; then two pseudo-objects (output stream, thread table); then
+/// one object per weak-lock. Replay enforces, per object, exactly the
+/// recorded sequence of (thread, operation) pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_EXECUTIONLOG_H
+#define CHIMERA_RUNTIME_EXECUTIONLOG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// Operations that appear in per-object order logs.
+enum class OrderedOp : uint8_t {
+  MutexLock,
+  MutexUnlock,
+  BarrierArrive,
+  CondWaitBegin, ///< Queued on the condvar (mutex release logged separately).
+  CondSignal,
+  CondBroadcast,
+  Output,
+  SpawnThread,
+  JoinThread,
+  WeakAcquire,
+  WeakRelease,
+};
+
+const char *orderedOpName(OrderedOp Op);
+
+/// One entry in an object's total order.
+struct OrderedEvent {
+  uint32_t Tid = 0;
+  OrderedOp Op = OrderedOp::MutexLock;
+
+  bool operator==(const OrderedEvent &O) const {
+    return Tid == O.Tid && Op == O.Op;
+  }
+};
+
+/// Kinds of nondeterministic input the recorder captures.
+enum class InputKind : uint8_t { Input, NetRecv, FileRead };
+
+struct InputEvent {
+  InputKind Kind = InputKind::Input;
+  uint64_t Value = 0;
+};
+
+/// A forced weak-lock release (timeout revocation): thread \p Tid was
+/// preempted after executing \p Instret instructions while holding
+/// weak-lock \p LockId.
+struct RevocationEvent {
+  uint32_t Tid = 0;
+  uint32_t LockId = 0;
+  uint64_t Instret = 0;
+};
+
+/// Everything needed to deterministically replay one recorded execution.
+struct ExecutionLog {
+  /// PerObject[obj] is the total order of operations on ordered object
+  /// `obj` (see the id-space note in the file comment).
+  std::vector<std::vector<OrderedEvent>> PerObject;
+
+  /// PerThreadInputs[tid] is the sequence of input values thread `tid`
+  /// consumed.
+  std::vector<std::vector<InputEvent>> PerThreadInputs;
+
+  std::vector<RevocationEvent> Revocations;
+
+  /// Mapping parameters fixed at record time.
+  uint32_t NumSyncObjects = 0;
+  uint32_t NumWeakLocks = 0;
+  uint32_t NumThreads = 0;
+
+  uint32_t outputObject() const { return NumSyncObjects; }
+  uint32_t threadTableObject() const { return NumSyncObjects + 1; }
+  uint32_t weakLockObject(uint32_t LockId) const {
+    return NumSyncObjects + 2 + LockId;
+  }
+  uint32_t numOrderedObjects() const {
+    return NumSyncObjects + 2 + NumWeakLocks;
+  }
+
+  /// Sizes used by the benchmark tables.
+  uint64_t totalOrderedEvents() const;
+  uint64_t totalInputEvents() const;
+
+  void clear();
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_EXECUTIONLOG_H

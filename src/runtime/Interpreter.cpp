@@ -1,0 +1,427 @@
+//===- runtime/Interpreter.cpp - Per-instruction execution -----------------===//
+//
+// Implements Machine's instruction dispatch and the pre-instruction
+// pending-operation handling (cond-wait mutex reacquisition, forced
+// weak-lock release/reacquisition after revocations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::rt;
+using namespace chimera::ir;
+
+uint64_t Machine::reg(Thread &T, Reg R) const {
+  Frame &F = T.frame();
+  assert(R < F.Regs.size() && "register out of range");
+  return F.Regs[R];
+}
+
+void Machine::setReg(Thread &T, Reg R, uint64_t Value) {
+  Frame &F = T.frame();
+  assert(R < F.Regs.size() && "register out of range");
+  F.Regs[R] = Value;
+}
+
+void Machine::advance(Thread &T) {
+  Frame &F = T.frame();
+  assert(F.InstIdx < F.Func->block(F.Block).Insts.size() &&
+         "advance past end of block");
+  ++F.InstIdx;
+  ++T.Instret;
+  ++Stats.Instructions;
+}
+
+//===----------------------------------------------------------------------===//
+// Pending operations (run before the next instruction)
+//===----------------------------------------------------------------------===//
+
+Machine::Step Machine::execPending(Thread &T, unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+
+  // 1. Replay: a recorded revocation due at this instruction boundary.
+  if (isReplay() && T.Tid < RevocationCursor.size()) {
+    auto &Pending = PendingRevocations[T.Tid];
+    uint32_t &Cursor = RevocationCursor[T.Tid];
+    if (Cursor < Pending.size()) {
+      const RevocationEvent &Rev = Pending[Cursor];
+      if (Rev.Instret == T.Instret && T.holdsWeak(Rev.LockId)) {
+        uint32_t Obj = Log.weakLockObject(Rev.LockId);
+        if (!gateOpen(Obj, T.Tid, OrderedOp::WeakRelease)) {
+          blockOnGate(T, Obj, Now);
+          return Step::Blocked;
+        }
+        ++Cursor;
+        Step S = doWeakRelease(T, Rev.LockId, Core, /*Forced=*/true);
+        if (S == Step::Fault)
+          return S;
+      }
+    }
+  }
+
+  // 2. Cond-wait mutex reacquisition.
+  if (PendingMutex[T.Tid] >= 0) {
+    uint32_t MutexId = static_cast<uint32_t>(PendingMutex[T.Tid]);
+    SyncState &Mx = Syncs.state(MutexId);
+
+    if (isReplay()) {
+      if (!gateOpen(MutexId, T.Tid, OrderedOp::MutexLock)) {
+        blockOnGate(T, MutexId, Now);
+        return Step::Blocked;
+      }
+      assert(Mx.Owner == -1 && "replay order admitted lock on held mutex");
+      Mx.Owner = T.Tid;
+      PendingMutex[T.Tid] = -1;
+      Sched.advanceCore(Core, Opts.Costs.SyncOp);
+      Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+      ++Stats.SyncOps;
+      gateAdvance(MutexId, Now);
+      if (Opts.Observer)
+        Opts.Observer->onSync(T.Tid, ObservedSync::MutexLock, MutexId, 0,
+                              Now);
+    } else if (Mx.Owner == -1) {
+      Mx.Owner = T.Tid;
+      PendingMutex[T.Tid] = -1;
+      Sched.advanceCore(Core, Opts.Costs.SyncOp);
+      Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+      ++Stats.SyncOps;
+      if (isRecord())
+        recordOrdered(MutexId, T.Tid, OrderedOp::MutexLock, Core);
+      if (Opts.Observer)
+        Opts.Observer->onSync(T.Tid, ObservedSync::MutexLock, MutexId, 0,
+                              Now);
+    } else {
+      // Queue behind the owner; the grant path recognizes PendingMutex.
+      Mx.MutexWaiters.push_back(T.Tid);
+      T.State = ThreadState::Blocked;
+      T.Reason = BlockReason::Mutex;
+      T.WaitObject = MutexId;
+      T.BlockStart = Now;
+      return Step::Blocked;
+    }
+  }
+
+  // 3. Forced weak-lock reacquisitions, in revocation order.
+  while (!T.PendingReacquire.empty()) {
+    HeldWeakLock Next = T.PendingReacquire.front();
+    uint32_t Obj = Log.weakLockObject(Next.LockId);
+    unsigned Gran = Next.SiteGran;
+
+    if (isReplay()) {
+      if (!gateOpen(Obj, T.Tid, OrderedOp::WeakAcquire)) {
+        blockOnGate(T, Obj, Now);
+        return Step::Blocked;
+      }
+      WeakRequest Req{T.Tid, Next.HasRange, Next.Lo, Next.Hi, Now,
+                      Next.SiteGran};
+      if (!Weak.tryAcquire(Next.LockId, Req)) {
+        fail("replay divergence: forced reacquisition infeasible");
+        return Step::Fault;
+      }
+      T.PendingReacquire.erase(T.PendingReacquire.begin());
+      T.HeldWeak.push_back(Next);
+      ++Stats.WeakAcquires[Gran];
+      chargeWeakCpu(Gran, Opts.Costs.WeakLockOp, Core);
+      gateAdvance(Obj, Now);
+      if (Opts.Observer)
+        Opts.Observer->onWeak(T.Tid, /*IsAcquire=*/true, Next.LockId,
+                              Next.HasRange, Next.Lo, Next.Hi, Now);
+      continue;
+    }
+
+    WeakRequest Req{T.Tid, Next.HasRange, Next.Lo, Next.Hi, Now,
+                    Next.SiteGran};
+    if (Weak.tryAcquire(Next.LockId, Req)) {
+      T.PendingReacquire.erase(T.PendingReacquire.begin());
+      T.HeldWeak.push_back(Next);
+      ++Stats.WeakAcquires[Gran];
+      chargeWeakCpu(Gran, Opts.Costs.WeakLockOp, Core);
+      if (isRecord())
+        recordOrdered(Obj, T.Tid, OrderedOp::WeakAcquire, Core);
+      if (Opts.Observer)
+        Opts.Observer->onWeak(T.Tid, /*IsAcquire=*/true, Next.LockId,
+                              Next.HasRange, Next.Lo, Next.Hi, Now);
+      continue;
+    }
+
+    Weak.enqueue(Next.LockId, Req);
+    T.State = ThreadState::Blocked;
+    T.Reason = BlockReason::WeakLock;
+    T.WaitObject = Next.LockId;
+    T.BlockStart = Now;
+    return Step::Blocked; // grantWeakWaiters pops PendingReacquire.
+  }
+
+  return Step::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t evalBinary(BinOp Op, uint64_t A, uint64_t B, bool &DivByZero) {
+  int64_t SA = static_cast<int64_t>(A);
+  int64_t SB = static_cast<int64_t>(B);
+  switch (Op) {
+  case BinOp::Add: return A + B;
+  case BinOp::Sub: return A - B;
+  case BinOp::Mul: return A * B;
+  case BinOp::Div:
+    if (B == 0) {
+      DivByZero = true;
+      return 0;
+    }
+    return static_cast<uint64_t>(SA / SB);
+  case BinOp::Rem:
+    if (B == 0) {
+      DivByZero = true;
+      return 0;
+    }
+    return static_cast<uint64_t>(SA % SB);
+  case BinOp::And: return A & B;
+  case BinOp::Or: return A | B;
+  case BinOp::Xor: return A ^ B;
+  case BinOp::Shl: return A << (B & 63);
+  case BinOp::Shr: return static_cast<uint64_t>(SA >> (B & 63));
+  case BinOp::Lt: return SA < SB;
+  case BinOp::Le: return SA <= SB;
+  case BinOp::Gt: return SA > SB;
+  case BinOp::Ge: return SA >= SB;
+  case BinOp::Eq: return A == B;
+  case BinOp::Ne: return A != B;
+  }
+  assert(false && "unhandled binary opcode");
+  return 0;
+}
+
+} // namespace
+
+Machine::Step Machine::finishFrame(Thread &T, uint64_t RetValue,
+                                   bool HasValue, uint64_t Now) {
+  Frame Callee = std::move(T.Stack.back());
+  T.Stack.pop_back();
+  ++T.Instret;
+  ++Stats.Instructions;
+  if (Opts.Observer)
+    Opts.Observer->onFunctionExit(T.Tid, Callee.Func->Index, Now);
+
+  if (T.Stack.empty()) {
+    T.RetValue = HasValue ? RetValue : 0;
+    finishThread(T, Now);
+    return Step::Finished;
+  }
+
+  if (Callee.RetDst != NoReg) {
+    assert(HasValue && "value-expecting call returned void");
+    T.frame().Regs[Callee.RetDst] = RetValue;
+  }
+  return Step::Continue;
+}
+
+Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
+  Frame &F = T.frame();
+  const BasicBlock &BB = F.Func->block(F.Block);
+  assert(F.InstIdx < BB.Insts.size() && "instruction index out of range");
+  const Instruction &Inst = BB.Insts[F.InstIdx];
+  uint64_t Now = Sched.coreTime(Core);
+
+  auto charge = [&](uint64_t Cycles) {
+    Sched.advanceCore(Core, Cycles);
+    Stats.CpuBusyCycles += Cycles;
+  };
+
+  switch (Inst.Op) {
+  case Opcode::ConstInt:
+    setReg(T, Inst.Dst, static_cast<uint64_t>(Inst.Imm));
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Continue;
+
+  case Opcode::Move:
+    setReg(T, Inst.Dst, reg(T, Inst.A));
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Continue;
+
+  case Opcode::Unary: {
+    uint64_t A = reg(T, Inst.A);
+    uint64_t V = Inst.UOp == UnOp::Neg
+                     ? static_cast<uint64_t>(-static_cast<int64_t>(A))
+                     : static_cast<uint64_t>(A == 0);
+    setReg(T, Inst.Dst, V);
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Continue;
+  }
+
+  case Opcode::Binary: {
+    bool DivByZero = false;
+    uint64_t V = evalBinary(Inst.BOp, reg(T, Inst.A), reg(T, Inst.B),
+                            DivByZero);
+    if (DivByZero) {
+      fail("division by zero in " + F.Func->Name + " (line " +
+           std::to_string(Inst.Loc.Line) + ")");
+      return Step::Fault;
+    }
+    setReg(T, Inst.Dst, V);
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Continue;
+  }
+
+  case Opcode::AddrGlobal: {
+    assert(Inst.Id < M.Globals.size() && "global id out of range");
+    uint64_t Addr = M.Globals[Inst.Id].BaseAddr;
+    if (Inst.A != NoReg)
+      Addr += reg(T, Inst.A);
+    setReg(T, Inst.Dst, Addr);
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Continue;
+  }
+
+  case Opcode::PtrAdd:
+    setReg(T, Inst.Dst, reg(T, Inst.A) + reg(T, Inst.B));
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Continue;
+
+  case Opcode::Load: {
+    uint64_t Addr = reg(T, Inst.A);
+    if (!Mem.valid(Addr)) {
+      fail("invalid load address in " + F.Func->Name + " (line " +
+           std::to_string(Inst.Loc.Line) + ")");
+      return Step::Fault;
+    }
+    setReg(T, Inst.Dst, Mem.load(Addr));
+    ++Stats.MemOps;
+    charge(Opts.Costs.Load);
+    if (Opts.Observer)
+      Opts.Observer->onMemoryAccess(T.Tid, Addr, /*IsWrite=*/false,
+                                    F.Func->Index, Inst.Ident, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  case Opcode::Store: {
+    uint64_t Addr = reg(T, Inst.A);
+    if (!Mem.valid(Addr)) {
+      fail("invalid store address in " + F.Func->Name + " (line " +
+           std::to_string(Inst.Loc.Line) + ")");
+      return Step::Fault;
+    }
+    Mem.store(Addr, reg(T, Inst.B));
+    ++Stats.MemOps;
+    charge(Opts.Costs.Store);
+    if (Opts.Observer)
+      Opts.Observer->onMemoryAccess(T.Tid, Addr, /*IsWrite=*/true,
+                                    F.Func->Index, Inst.Ident, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  case Opcode::Br:
+    F.Block = Inst.Succ0;
+    F.InstIdx = 0;
+    ++T.Instret;
+    ++Stats.Instructions;
+    charge(Opts.Costs.Branch);
+    return Step::Continue;
+
+  case Opcode::CondBr:
+    F.Block = reg(T, Inst.A) != 0 ? Inst.Succ0 : Inst.Succ1;
+    F.InstIdx = 0;
+    ++T.Instret;
+    ++Stats.Instructions;
+    charge(Opts.Costs.Branch);
+    return Step::Continue;
+
+  case Opcode::Ret: {
+    bool HasValue = Inst.A != NoReg;
+    uint64_t Value = HasValue ? reg(T, Inst.A) : 0;
+    charge(Opts.Costs.Ret);
+    return finishFrame(T, Value, HasValue, Now);
+  }
+
+  case Opcode::Call: {
+    const Function &Callee = M.function(Inst.Id);
+    Frame NewFrame;
+    NewFrame.Func = &Callee;
+    NewFrame.Regs.assign(Callee.NumRegs, 0);
+    for (size_t I = 0; I != Inst.Args.size(); ++I)
+      NewFrame.Regs[I] = reg(T, Inst.Args[I]);
+    NewFrame.RetDst = Inst.Dst;
+    charge(Opts.Costs.Call);
+    advance(T); // Caller resumes after the call.
+    T.Stack.push_back(std::move(NewFrame));
+    if (Opts.Observer)
+      Opts.Observer->onFunctionEnter(T.Tid, Callee.Index, Now);
+    return Step::Continue;
+  }
+
+  case Opcode::Spawn:
+    return doSpawn(T, Inst, Core);
+
+  case Opcode::Join:
+    return doJoin(T, static_cast<uint32_t>(reg(T, Inst.A)), Core);
+
+  case Opcode::MutexLock:
+    return doMutexLock(T, Inst.Id, Core);
+  case Opcode::MutexUnlock:
+    return doMutexUnlock(T, Inst.Id, Core);
+  case Opcode::BarrierWait:
+    return doBarrierWait(T, Inst.Id, Core);
+  case Opcode::CondWait:
+    return doCondWait(T, Inst.Id, Inst.Id2, Core);
+  case Opcode::CondSignal:
+    return doCondSignal(T, Inst.Id, /*Broadcast=*/false, Core);
+  case Opcode::CondBroadcast:
+    return doCondSignal(T, Inst.Id, /*Broadcast=*/true, Core);
+
+  case Opcode::Alloc: {
+    uint64_t Words = reg(T, Inst.A);
+    uint64_t Addr = Mem.allocate(Words);
+    if (!Addr) {
+      fail("heap exhausted allocating " + std::to_string(Words) + " words");
+      return Step::Fault;
+    }
+    setReg(T, Inst.Dst, Addr);
+    charge(Opts.Costs.AllocOp);
+    advance(T);
+    return Step::Continue;
+  }
+
+  case Opcode::Input:
+    return doInputOp(T, InputKind::Input, Inst.Dst, Core);
+  case Opcode::NetRecv:
+    return doInputOp(T, InputKind::NetRecv, Inst.Dst, Core);
+  case Opcode::FileRead:
+    return doInputOp(T, InputKind::FileRead, Inst.Dst, Core);
+  case Opcode::Output:
+    return doOutput(T, reg(T, Inst.A), Core);
+
+  case Opcode::Yield:
+    charge(Opts.Costs.Alu);
+    advance(T);
+    return Step::Yielded;
+
+  case Opcode::WeakAcquire: {
+    bool HasRange = Inst.A != NoReg;
+    uint64_t Lo = HasRange ? reg(T, Inst.A) : 0;
+    uint64_t Hi = HasRange ? reg(T, Inst.B) : 0;
+    return doWeakAcquire(T, static_cast<uint32_t>(Inst.Imm),
+                         /*SiteGran=*/Inst.Id2 & 3, HasRange, Lo, Hi, Core);
+  }
+
+  case Opcode::WeakRelease:
+    return doWeakRelease(T, static_cast<uint32_t>(Inst.Imm), Core,
+                         /*Forced=*/false);
+  }
+  assert(false && "unhandled opcode");
+  return Step::Fault;
+}

@@ -1,0 +1,1003 @@
+//===- runtime/Machine.cpp - The Chimera execution simulator ---------------===//
+//
+// Top-level scheduling loop, synchronization semantics, weak-lock
+// handling, and record/replay order enforcement. Per-instruction
+// interpretation lives in Interpreter.cpp.
+//
+// Instruction-advance convention: every operation that completes calls
+// advance() (or manipulates Block/InstIdx for terminators) exactly once,
+// either inline or out-of-band in the waker that completes it. The
+// dispatcher never advances.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::rt;
+using ir::WeakLockGranularity;
+
+ExecutionObserver::~ExecutionObserver() = default;
+void ExecutionObserver::onThreadStart(uint32_t, uint32_t, uint32_t,
+                                      uint64_t) {}
+void ExecutionObserver::onThreadFinish(uint32_t, uint64_t) {}
+void ExecutionObserver::onJoin(uint32_t, uint32_t, uint64_t) {}
+void ExecutionObserver::onFunctionEnter(uint32_t, uint32_t, uint64_t) {}
+void ExecutionObserver::onFunctionExit(uint32_t, uint32_t, uint64_t) {}
+void ExecutionObserver::onMemoryAccess(uint32_t, uint64_t, bool, uint32_t,
+                                       ir::InstId, uint64_t) {}
+void ExecutionObserver::onSync(uint32_t, ObservedSync, uint32_t, uint64_t,
+                               uint64_t) {}
+void ExecutionObserver::onWeak(uint32_t, bool, uint32_t, bool, uint64_t,
+                               uint64_t, uint64_t) {}
+
+Machine::Machine(const ir::Module &M, MachineOptions Opts)
+    : M(M), Opts(Opts) {
+  assert((Opts.Mode != ExecMode::Replay || Opts.ReplayLog) &&
+         "replay mode requires a log");
+
+  Mem.init(M);
+  Syncs.init(M);
+  Weak.init(static_cast<uint32_t>(M.WeakLocks.size()));
+  Sched.init(Opts.NumCores);
+  SchedRng.reseed(Opts.Seed * 0x9e3779b97f4a7c15ull + 1);
+  InputRng.reseed(Opts.Seed * 0xd1b54a32d192ed03ull + 2);
+
+  Log.NumSyncObjects = static_cast<uint32_t>(M.Syncs.size());
+  Log.NumWeakLocks = static_cast<uint32_t>(M.WeakLocks.size());
+  Log.PerObject.resize(Log.numOrderedObjects());
+  GateWaiters.resize(Log.numOrderedObjects());
+
+  if (isReplay()) {
+    const ExecutionLog &RL = *Opts.ReplayLog;
+    assert(RL.NumSyncObjects == Log.NumSyncObjects &&
+           RL.NumWeakLocks == Log.NumWeakLocks &&
+           "replay log does not match this module");
+    GateCursor.assign(RL.numOrderedObjects(), 0);
+    InputCursor.assign(RL.NumThreads, 0);
+    PendingRevocations.resize(RL.NumThreads);
+    for (const RevocationEvent &Rev : RL.Revocations)
+      if (Rev.Tid < PendingRevocations.size())
+        PendingRevocations[Rev.Tid].push_back(Rev);
+    RevocationCursor.assign(RL.NumThreads, 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Thread lifecycle
+//===----------------------------------------------------------------------===//
+
+void Machine::startThread(uint32_t FuncId,
+                          const std::vector<uint64_t> &Args,
+                          uint32_t ParentTid, uint64_t Now) {
+  const ir::Function &Func = M.function(FuncId);
+  assert(Args.size() == Func.NumParams && "spawn argument count mismatch");
+
+  auto T = std::make_unique<Thread>();
+  T->Tid = static_cast<uint32_t>(Threads.size());
+  T->State = ThreadState::Ready;
+  T->ReadyTime = Now;
+
+  Frame F;
+  F.Func = &Func;
+  F.Regs.assign(Func.NumRegs, 0);
+  std::copy(Args.begin(), Args.end(), F.Regs.begin());
+  T->Stack.push_back(std::move(F));
+
+  uint32_t Tid = T->Tid;
+  Threads.push_back(std::move(T));
+  PendingMutex.push_back(-1);
+  Sched.addReady(Tid, Now);
+  ++Stats.SpawnedThreads;
+
+  if (Opts.Observer) {
+    Opts.Observer->onThreadStart(Tid, ParentTid, FuncId, Now);
+    Opts.Observer->onFunctionEnter(Tid, FuncId, Now);
+  }
+}
+
+void Machine::makeReady(uint32_t Tid, uint64_t Now) {
+  Thread &T = *Threads[Tid];
+  assert(T.State != ThreadState::Finished && "waking a finished thread");
+  if (T.State == ThreadState::Ready || T.State == ThreadState::Running)
+    return;
+  T.State = ThreadState::Ready;
+  T.Reason = BlockReason::None;
+  T.ReadyTime = std::max(T.ReadyTime, Now);
+  Sched.addReady(Tid, T.ReadyTime);
+}
+
+void Machine::finishThread(Thread &T, uint64_t Now) {
+  T.State = ThreadState::Finished;
+  if (Opts.Observer)
+    Opts.Observer->onThreadFinish(T.Tid, Now);
+
+  if (!T.HeldWeak.empty())
+    fail("thread " + std::to_string(T.Tid) +
+         " finished while holding a weak-lock (instrumenter bug)");
+
+  // Joiners re-attempt their join instruction, which now completes.
+  for (uint32_t Joiner : T.JoinWaiters)
+    makeReady(Joiner, Now);
+  T.JoinWaiters.clear();
+}
+
+bool Machine::allFinished() const {
+  for (const auto &T : Threads)
+    if (T->State != ThreadState::Finished)
+      return false;
+  return true;
+}
+
+void Machine::fail(const std::string &Message) {
+  if (Failed)
+    return;
+  Failed = true;
+  Error = Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+bool Machine::wakeSleepers(uint64_t Now) {
+  if (!SleepingThreads)
+    return false;
+  bool Woke = false;
+  for (auto &T : Threads) {
+    if (T->State == ThreadState::Sleeping && T->WakeTime <= Now) {
+      T->State = ThreadState::Ready;
+      T->ReadyTime = std::max(T->ReadyTime, T->WakeTime);
+      Sched.addReady(T->Tid, T->ReadyTime);
+      --SleepingThreads;
+      Woke = true;
+    }
+  }
+  return Woke;
+}
+
+uint64_t Machine::nextWakeTime() const {
+  uint64_t Best = UINT64_MAX;
+  for (const auto &T : Threads)
+    if (T->State == ThreadState::Sleeping)
+      Best = std::min(Best, T->WakeTime);
+  return Best;
+}
+
+void Machine::reportStall() {
+  if (allFinished())
+    return;
+  std::string Who;
+  for (const auto &T : Threads) {
+    if (T->State == ThreadState::Finished)
+      continue;
+    Who += " t" + std::to_string(T->Tid) + "(";
+    switch (T->Reason) {
+    case BlockReason::None: Who += "none"; break;
+    case BlockReason::Mutex: Who += "mutex"; break;
+    case BlockReason::Barrier: Who += "barrier"; break;
+    case BlockReason::CondVar: Who += "cond"; break;
+    case BlockReason::Join: Who += "join"; break;
+    case BlockReason::WeakLock: Who += "weak"; break;
+    case BlockReason::ReplayGate: Who += "gate"; break;
+    }
+    Who += ")";
+  }
+  fail(std::string(isReplay() ? "replay divergence: no runnable thread"
+                              : "deadlock: no runnable thread") +
+       " —" + Who);
+}
+
+ExecutionResult Machine::run() {
+  CoreThread.assign(Opts.NumCores, -1);
+  CoreSliceEnd.assign(Opts.NumCores, 0);
+  startThread(M.MainFunction, {}, /*ParentTid=*/0, /*Now=*/0);
+
+  uint64_t WeakCheckTick = 0;
+  bool HasRevocations =
+      isReplay() && !Opts.ReplayLog->Revocations.empty();
+
+  while (!Failed && !allFinished()) {
+    unsigned Core = Sched.minTimeCore();
+    uint64_t Now = Sched.coreTime(Core);
+    wakeSleepers(Now);
+
+    // Forced releases recorded against blocked victims must be applied
+    // machine-side during replay, or their waiters would gate forever
+    // (in the recording, the kernel preempted the victim asynchronously).
+    if (HasRevocations) {
+      for (uint32_t Tid = 0; Tid != PendingRevocations.size(); ++Tid) {
+        auto &Pending = PendingRevocations[Tid];
+        uint32_t &Cursor = RevocationCursor[Tid];
+        while (Cursor < Pending.size()) {
+          const RevocationEvent &Rev = Pending[Cursor];
+          if (Rev.Tid >= Threads.size())
+            break; // Victim thread not spawned yet in this replay.
+          Thread &V = *Threads[Rev.Tid];
+          if (V.State == ThreadState::Running || V.Instret != Rev.Instret ||
+              !V.holdsWeak(Rev.LockId) ||
+              !gateOpen(Log.weakLockObject(Rev.LockId), Rev.Tid,
+                        OrderedOp::WeakRelease))
+            break;
+          doWeakRelease(V, Rev.LockId, Core, /*Forced=*/true);
+          ++Cursor;
+        }
+      }
+    }
+
+    if (!stepCore(Core)) {
+      // The core is idle with nothing runnable: advance its clock to the
+      // next event — a sleeper wake, another core's progress, or a
+      // weak-lock timeout rescue (paper §2.3's deadlock-breaking case).
+      uint64_t Wake = nextWakeTime();
+      for (unsigned C = 0; C != Opts.NumCores; ++C)
+        if (CoreThread[C] >= 0)
+          Wake = std::min(Wake, Sched.coreTime(C) + 1);
+      if (Wake == UINT64_MAX && !isReplay()) {
+        uint64_t Since = Weak.earliestWaiterSince();
+        // Saturate: an effectively-infinite timeout means no rescue.
+        if (Since != UINT64_MAX &&
+            Opts.WeakLockTimeout < UINT64_MAX - Since)
+          Wake = Since + Opts.WeakLockTimeout;
+      }
+      if (Wake == UINT64_MAX) {
+        reportStall();
+        break;
+      }
+      Sched.setCoreTime(Core, std::max(Now + 1, Wake));
+      if (!isReplay() && !M.WeakLocks.empty())
+        checkWeakTimeouts(Sched.coreTime(Core));
+      continue;
+    }
+
+    if (!isReplay() && !M.WeakLocks.empty() &&
+        (++WeakCheckTick & 0x3f) == 0)
+      checkWeakTimeouts(Sched.coreTime(Core));
+  }
+
+  ExecutionResult Result;
+  Result.Ok = !Failed && allFinished();
+  Result.Error = Error;
+  Result.Output = Output;
+  Stats.MakespanCycles = Sched.maxTime();
+  Result.Stats = Stats;
+
+  Hasher H;
+  Mem.hashInto(H);
+  H.addWord(0x5eed);
+  H.addWords(Output);
+  Result.StateHash = H.digest();
+
+  if (isRecord()) {
+    Log.NumThreads = static_cast<uint32_t>(Threads.size());
+    Log.PerThreadInputs.resize(Threads.size());
+    Result.Log = std::move(Log);
+  }
+  return Result;
+}
+
+bool Machine::stepCore(unsigned Core) {
+  // Bind a thread if the core is idle.
+  if (CoreThread[Core] < 0) {
+    if (!Sched.hasReady())
+      return false;
+    uint32_t Tid = Sched.popReady(isReplay() ? nullptr : &SchedRng,
+                                  Sched.coreTime(Core));
+    Thread &T = *Threads[Tid];
+    T.State = ThreadState::Running;
+    if (T.ReadyTime > Sched.coreTime(Core))
+      Sched.setCoreTime(Core, T.ReadyTime);
+    uint64_t Quantum =
+        isReplay() ? Opts.QuantumMin
+                   : SchedRng.nextInRange(Opts.QuantumMin, Opts.QuantumMax);
+    CoreThread[Core] = Tid;
+    CoreSliceEnd[Core] = Sched.coreTime(Core) + Quantum;
+  }
+
+  Thread &T = *Threads[CoreThread[Core]];
+  if (Failed) {
+    if (T.State == ThreadState::Running)
+      T.State = ThreadState::Faulted;
+    CoreThread[Core] = -1;
+    return true;
+  }
+
+  Step S = execPending(T, Core);
+  if (S == Step::Continue)
+    S = execInstruction(T, Core);
+
+  switch (S) {
+  case Step::Continue:
+    if (Stats.Instructions > Opts.MaxInstructions) {
+      fail("instruction budget exceeded (runaway program?)");
+      CoreThread[Core] = -1;
+      return true;
+    }
+    if (Sched.coreTime(Core) >= CoreSliceEnd[Core]) {
+      T.State = ThreadState::Ready;
+      T.ReadyTime = Sched.coreTime(Core);
+      Sched.addReady(T.Tid, T.ReadyTime);
+      CoreThread[Core] = -1;
+    }
+    return true;
+  case Step::Yielded:
+    T.State = ThreadState::Ready;
+    T.ReadyTime = Sched.coreTime(Core);
+    Sched.addReady(T.Tid, T.ReadyTime);
+    CoreThread[Core] = -1;
+    return true;
+  case Step::Blocked:
+    // Per-thread times are monotonic: when next woken, the thread
+    // resumes no earlier than where it blocked.
+    T.ReadyTime = std::max(T.ReadyTime, Sched.coreTime(Core));
+    if (T.State == ThreadState::Sleeping)
+      ++SleepingThreads;
+    CoreThread[Core] = -1;
+    return true;
+  case Step::Finished:
+  case Step::Fault:
+    CoreThread[Core] = -1;
+    return true;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Ordered-object helpers (record append / replay gates)
+//===----------------------------------------------------------------------===//
+
+void Machine::recordOrdered(uint32_t Obj, uint32_t Tid, OrderedOp Op,
+                            unsigned Core) {
+  assert(isRecord() && "recordOrdered outside record mode");
+  assert(Obj < Log.PerObject.size() && "ordered object out of range");
+  Log.PerObject[Obj].push_back({Tid, Op});
+  ++Stats.LogEvents;
+  Sched.advanceCore(Core, Opts.Costs.LogEvent);
+  Stats.CpuBusyCycles += Opts.Costs.LogEvent;
+}
+
+bool Machine::gateOpen(uint32_t Obj, uint32_t Tid, OrderedOp Op) const {
+  assert(isReplay() && "gateOpen outside replay mode");
+  const auto &Seq = Opts.ReplayLog->PerObject[Obj];
+  uint32_t Cursor = GateCursor[Obj];
+  if (Cursor >= Seq.size())
+    return false;
+  return Seq[Cursor].Tid == Tid && Seq[Cursor].Op == Op;
+}
+
+void Machine::gateAdvance(uint32_t Obj, uint64_t Now) {
+  assert(isReplay() && "gateAdvance outside replay mode");
+  ++GateCursor[Obj];
+  wakeGateWaiters(Obj, Now);
+}
+
+void Machine::blockOnGate(Thread &T, uint32_t Obj, uint64_t Now) {
+  T.State = ThreadState::Blocked;
+  T.Reason = BlockReason::ReplayGate;
+  T.WaitObject = Obj;
+  T.BlockStart = Now;
+  GateWaiters[Obj].push_back(T.Tid);
+}
+
+void Machine::wakeGateWaiters(uint32_t Obj, uint64_t Now) {
+  auto Waiters = std::move(GateWaiters[Obj]);
+  GateWaiters[Obj].clear();
+  for (uint32_t Tid : Waiters)
+    makeReady(Tid, Now);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutexes
+//===----------------------------------------------------------------------===//
+
+Machine::Step Machine::doMutexLock(Thread &T, uint32_t MutexId,
+                                   unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  SyncState &Mx = Syncs.state(MutexId);
+  assert(Mx.Kind == ir::SyncKind::Mutex && "lock on non-mutex");
+
+  if (isReplay()) {
+    if (!gateOpen(MutexId, T.Tid, OrderedOp::MutexLock)) {
+      blockOnGate(T, MutexId, Now);
+      return Step::Blocked;
+    }
+    assert(Mx.Owner == -1 && "replay order admitted lock on held mutex");
+    Mx.Owner = T.Tid;
+    Sched.advanceCore(Core, Opts.Costs.SyncOp);
+    Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+    ++Stats.SyncOps;
+    gateAdvance(MutexId, Now);
+    if (Opts.Observer)
+      Opts.Observer->onSync(T.Tid, ObservedSync::MutexLock, MutexId, 0, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  if (Mx.Owner == -1) {
+    Mx.Owner = T.Tid;
+    Sched.advanceCore(Core, Opts.Costs.SyncOp);
+    Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+    ++Stats.SyncOps;
+    if (isRecord())
+      recordOrdered(MutexId, T.Tid, OrderedOp::MutexLock, Core);
+    if (Opts.Observer)
+      Opts.Observer->onSync(T.Tid, ObservedSync::MutexLock, MutexId, 0, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  Mx.MutexWaiters.push_back(T.Tid);
+  T.State = ThreadState::Blocked;
+  T.Reason = BlockReason::Mutex;
+  T.WaitObject = MutexId;
+  T.BlockStart = Now;
+  return Step::Blocked;
+}
+
+void Machine::grantMutexToNextWaiter(uint32_t MutexId, uint64_t Now,
+                                     unsigned Core) {
+  assert(!isReplay() && "replay acquires mutexes via gates, not grants");
+  SyncState &Mx = Syncs.state(MutexId);
+  if (Mx.Owner != -1 || Mx.MutexWaiters.empty())
+    return;
+
+  uint32_t Tid = Mx.MutexWaiters.front();
+  Mx.MutexWaiters.pop_front();
+  Thread &W = *Threads[Tid];
+  Mx.Owner = Tid;
+  ++Stats.SyncOps;
+  if (isRecord())
+    recordOrdered(MutexId, Tid, OrderedOp::MutexLock, Core);
+  if (Opts.Observer)
+    Opts.Observer->onSync(Tid, ObservedSync::MutexLock, MutexId, 0, Now);
+
+  if (PendingMutex[Tid] == static_cast<int64_t>(MutexId)) {
+    // Cond-wait reacquisition completes out of band; the cond_wait
+    // instruction was already retired when the wait began.
+    PendingMutex[Tid] = -1;
+  } else {
+    advance(W); // The blocked MutexLock instruction completes now.
+  }
+  W.ReadyTime = std::max(W.ReadyTime, Now + Opts.Costs.SyncOp);
+  makeReady(Tid, Now);
+}
+
+Machine::Step Machine::doMutexUnlock(Thread &T, uint32_t MutexId,
+                                     unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  SyncState &Mx = Syncs.state(MutexId);
+  assert(Mx.Kind == ir::SyncKind::Mutex && "unlock on non-mutex");
+
+  if (Mx.Owner != static_cast<int64_t>(T.Tid)) {
+    fail("thread " + std::to_string(T.Tid) + " unlocked mutex '" +
+         M.Syncs[MutexId].Name + "' it does not own");
+    return Step::Fault;
+  }
+
+  if (isReplay()) {
+    if (!gateOpen(MutexId, T.Tid, OrderedOp::MutexUnlock)) {
+      blockOnGate(T, MutexId, Now);
+      return Step::Blocked;
+    }
+    Mx.Owner = -1;
+    Sched.advanceCore(Core, Opts.Costs.SyncOp);
+    Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+    ++Stats.SyncOps;
+    if (Opts.Observer)
+      Opts.Observer->onSync(T.Tid, ObservedSync::MutexUnlock, MutexId, 0,
+                            Now);
+    gateAdvance(MutexId, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  Mx.Owner = -1;
+  Sched.advanceCore(Core, Opts.Costs.SyncOp);
+  Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+  ++Stats.SyncOps;
+  if (isRecord())
+    recordOrdered(MutexId, T.Tid, OrderedOp::MutexUnlock, Core);
+  if (Opts.Observer)
+    Opts.Observer->onSync(T.Tid, ObservedSync::MutexUnlock, MutexId, 0, Now);
+  grantMutexToNextWaiter(MutexId, Now, Core);
+  advance(T);
+  return Step::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Barriers
+//===----------------------------------------------------------------------===//
+
+Machine::Step Machine::doBarrierWait(Thread &T, uint32_t BarrierId,
+                                     unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  SyncState &Ba = Syncs.state(BarrierId);
+  assert(Ba.Kind == ir::SyncKind::Barrier && "barrier_wait on non-barrier");
+  assert(Ba.Parties > 0 && "barrier with zero parties");
+
+  if (isReplay()) {
+    if (!gateOpen(BarrierId, T.Tid, OrderedOp::BarrierArrive)) {
+      blockOnGate(T, BarrierId, Now);
+      return Step::Blocked;
+    }
+    gateAdvance(BarrierId, Now);
+  } else if (isRecord()) {
+    recordOrdered(BarrierId, T.Tid, OrderedOp::BarrierArrive, Core);
+  }
+
+  Sched.advanceCore(Core, Opts.Costs.SyncOp);
+  Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+  ++Stats.SyncOps;
+  if (Opts.Observer)
+    Opts.Observer->onSync(T.Tid, ObservedSync::BarrierArrive, BarrierId,
+                          Ba.Generation, Now);
+
+  advance(T); // The arrival retires; waiting happens out of band.
+  Ba.Arrived.push_back(T.Tid);
+  Ba.ArrivedTimes.push_back(Sched.coreTime(Core));
+
+  if (Ba.Arrived.size() < Ba.Parties) {
+    T.State = ThreadState::Blocked;
+    T.Reason = BlockReason::Barrier;
+    T.WaitObject = BarrierId;
+    T.BlockStart = Now;
+    return Step::Blocked;
+  }
+
+  // Last arrival: release everyone. Core clocks drift apart, so the
+  // release instant is the maximum of all arrival timestamps — events
+  // after the barrier must not appear to precede events before it.
+  uint64_t Release = 0;
+  for (uint64_t ArriveTime : Ba.ArrivedTimes)
+    Release = std::max(Release, ArriveTime);
+  Sched.setCoreTime(Core, std::max(Sched.coreTime(Core), Release));
+  uint64_t Gen = Ba.Generation++;
+  for (uint32_t Tid : Ba.Arrived) {
+    if (Opts.Observer)
+      Opts.Observer->onSync(Tid, ObservedSync::BarrierLeave, BarrierId, Gen,
+                            Release);
+    if (Tid != T.Tid)
+      makeReady(Tid, Release);
+  }
+  Ba.Arrived.clear();
+  Ba.ArrivedTimes.clear();
+  return Step::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Condition variables
+//===----------------------------------------------------------------------===//
+
+Machine::Step Machine::doCondWait(Thread &T, uint32_t CondId,
+                                  uint32_t MutexId, unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  SyncState &Cv = Syncs.state(CondId);
+  SyncState &Mx = Syncs.state(MutexId);
+  assert(Cv.Kind == ir::SyncKind::Cond && "cond_wait on non-cond");
+
+  if (Mx.Owner != static_cast<int64_t>(T.Tid)) {
+    fail("cond_wait without holding the mutex");
+    return Step::Fault;
+  }
+
+  if (isReplay()) {
+    // The recorder appended CondWaitBegin and the internal MutexUnlock in
+    // one atomic step, so both gates must be open before consuming
+    // either; blocking on whichever is closed is safe (no cross-object
+    // cycle can involve the not-yet-consumed pair).
+    if (!gateOpen(CondId, T.Tid, OrderedOp::CondWaitBegin)) {
+      blockOnGate(T, CondId, Now);
+      return Step::Blocked;
+    }
+    if (!gateOpen(MutexId, T.Tid, OrderedOp::MutexUnlock)) {
+      blockOnGate(T, MutexId, Now);
+      return Step::Blocked;
+    }
+    gateAdvance(CondId, Now);
+    Mx.Owner = -1;
+    gateAdvance(MutexId, Now);
+  } else if (isRecord()) {
+    recordOrdered(CondId, T.Tid, OrderedOp::CondWaitBegin, Core);
+    recordOrdered(MutexId, T.Tid, OrderedOp::MutexUnlock, Core);
+    Mx.Owner = -1;
+  } else {
+    Mx.Owner = -1;
+  }
+
+  Sched.advanceCore(Core, Opts.Costs.SyncOp);
+  Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+  ++Stats.SyncOps;
+  if (Opts.Observer) {
+    Opts.Observer->onSync(T.Tid, ObservedSync::MutexUnlock, MutexId, 0, Now);
+    Opts.Observer->onSync(T.Tid, ObservedSync::CondWaitBlock, CondId, 0,
+                          Now);
+  }
+
+  Cv.CondWaiters.push_back(T.Tid);
+  T.State = ThreadState::Blocked;
+  T.Reason = BlockReason::CondVar;
+  T.WaitObject = CondId;
+  T.BlockStart = Now;
+  advance(T); // Execution continues after the cond_wait on wakeup.
+  PendingMutex[T.Tid] = MutexId;
+
+  if (!isReplay())
+    grantMutexToNextWaiter(MutexId, Now, Core);
+  return Step::Blocked;
+}
+
+Machine::Step Machine::doCondSignal(Thread &T, uint32_t CondId,
+                                    bool Broadcast, unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  SyncState &Cv = Syncs.state(CondId);
+  assert(Cv.Kind == ir::SyncKind::Cond && "signal on non-cond");
+  OrderedOp Op = Broadcast ? OrderedOp::CondBroadcast : OrderedOp::CondSignal;
+
+  if (isReplay()) {
+    if (!gateOpen(CondId, T.Tid, Op)) {
+      blockOnGate(T, CondId, Now);
+      return Step::Blocked;
+    }
+    gateAdvance(CondId, Now);
+  } else if (isRecord()) {
+    recordOrdered(CondId, T.Tid, Op, Core);
+  }
+
+  Sched.advanceCore(Core, Opts.Costs.SyncOp);
+  Stats.CpuBusyCycles += Opts.Costs.SyncOp;
+  ++Stats.SyncOps;
+  if (Opts.Observer)
+    Opts.Observer->onSync(T.Tid,
+                          Broadcast ? ObservedSync::CondBroadcast
+                                    : ObservedSync::CondSignal,
+                          CondId, 0, Now);
+
+  size_t NumToWake = Broadcast ? Cv.CondWaiters.size()
+                               : std::min<size_t>(1, Cv.CondWaiters.size());
+  for (size_t I = 0; I != NumToWake; ++I) {
+    uint32_t Tid = Cv.CondWaiters.front();
+    Cv.CondWaiters.pop_front();
+    if (Opts.Observer)
+      Opts.Observer->onSync(Tid, ObservedSync::CondWaitWake, CondId, 0, Now);
+    // The woken thread reacquires its mutex (PendingMutex set at wait
+    // time) before running user code; see execPending.
+    makeReady(Tid, Now);
+  }
+  advance(T);
+  return Step::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Threads: spawn / join
+//===----------------------------------------------------------------------===//
+
+Machine::Step Machine::doSpawn(Thread &T, const ir::Instruction &Inst,
+                               unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  uint32_t TableObj = Log.threadTableObject();
+
+  if (isReplay()) {
+    if (!gateOpen(TableObj, T.Tid, OrderedOp::SpawnThread)) {
+      blockOnGate(T, TableObj, Now);
+      return Step::Blocked;
+    }
+    gateAdvance(TableObj, Now);
+  } else if (isRecord()) {
+    recordOrdered(TableObj, T.Tid, OrderedOp::SpawnThread, Core);
+  }
+
+  Sched.advanceCore(Core, Opts.Costs.SpawnCost);
+  Stats.CpuBusyCycles += Opts.Costs.SpawnCost;
+
+  std::vector<uint64_t> Args;
+  Args.reserve(Inst.Args.size());
+  for (ir::Reg R : Inst.Args)
+    Args.push_back(reg(T, R));
+
+  uint32_t ChildTid = static_cast<uint32_t>(Threads.size());
+  startThread(Inst.Id, Args, T.Tid, Sched.coreTime(Core));
+  setReg(T, Inst.Dst, ChildTid);
+  advance(T);
+  return Step::Continue;
+}
+
+Machine::Step Machine::doJoin(Thread &T, uint32_t ChildTid, unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  if (ChildTid >= Threads.size() || ChildTid == T.Tid) {
+    fail("join on invalid thread id " + std::to_string(ChildTid));
+    return Step::Fault;
+  }
+  Thread &Child = *Threads[ChildTid];
+  uint32_t TableObj = Log.threadTableObject();
+
+  if (Child.State != ThreadState::Finished) {
+    Child.JoinWaiters.push_back(T.Tid);
+    T.State = ThreadState::Blocked;
+    T.Reason = BlockReason::Join;
+    T.WaitObject = ChildTid;
+    T.BlockStart = Now;
+    return Step::Blocked; // Re-executes once the child finishes.
+  }
+
+  if (isReplay()) {
+    if (!gateOpen(TableObj, T.Tid, OrderedOp::JoinThread)) {
+      blockOnGate(T, TableObj, Now);
+      return Step::Blocked;
+    }
+    gateAdvance(TableObj, Now);
+  } else if (isRecord()) {
+    recordOrdered(TableObj, T.Tid, OrderedOp::JoinThread, Core);
+  }
+
+  Sched.advanceCore(Core, Opts.Costs.JoinCost);
+  Stats.CpuBusyCycles += Opts.Costs.JoinCost;
+  ++Stats.SyncOps;
+  if (Opts.Observer)
+    Opts.Observer->onJoin(T.Tid, ChildTid, Now);
+  advance(T);
+  return Step::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// I/O
+//===----------------------------------------------------------------------===//
+
+Machine::Step Machine::doOutput(Thread &T, uint64_t Value, unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  uint32_t Obj = Log.outputObject();
+
+  if (isReplay()) {
+    if (!gateOpen(Obj, T.Tid, OrderedOp::Output)) {
+      blockOnGate(T, Obj, Now);
+      return Step::Blocked;
+    }
+    gateAdvance(Obj, Now);
+  } else if (isRecord()) {
+    recordOrdered(Obj, T.Tid, OrderedOp::Output, Core);
+  }
+
+  Output.push_back(Value);
+  ++Stats.OutputOps;
+  Sched.advanceCore(Core, Opts.Costs.OutputCpu);
+  Stats.CpuBusyCycles += Opts.Costs.OutputCpu;
+  advance(T);
+
+  if (!isReplay() && Opts.Costs.OutputLatency) {
+    T.State = ThreadState::Sleeping;
+    T.WakeTime = Sched.coreTime(Core) + Opts.Costs.OutputLatency;
+    return Step::Blocked;
+  }
+  return Step::Continue;
+}
+
+Machine::Step Machine::doInputOp(Thread &T, InputKind Kind, ir::Reg Dst,
+                                 unsigned Core) {
+  uint64_t Value = 0;
+  uint64_t Latency = 0;
+  switch (Kind) {
+  case InputKind::Input: Latency = Opts.Costs.InputLatency; break;
+  case InputKind::NetRecv: Latency = Opts.Costs.NetLatency; break;
+  case InputKind::FileRead: Latency = Opts.Costs.FileLatency; break;
+  }
+
+  if (isReplay()) {
+    uint32_t &Cursor = InputCursor[T.Tid];
+    const auto &Inputs = Opts.ReplayLog->PerThreadInputs[T.Tid];
+    if (Cursor >= Inputs.size() || Inputs[Cursor].Kind != Kind) {
+      fail("replay divergence: input log mismatch for thread " +
+           std::to_string(T.Tid));
+      return Step::Fault;
+    }
+    Value = Inputs[Cursor].Value;
+    ++Cursor;
+    Latency = 0; // Replay feeds inputs without waiting for devices.
+  } else {
+    Value = InputRng.next() & 0xffffffffull;
+    if (isRecord()) {
+      if (Log.PerThreadInputs.size() <= T.Tid)
+        Log.PerThreadInputs.resize(T.Tid + 1);
+      Log.PerThreadInputs[T.Tid].push_back({Kind, Value});
+      ++Stats.LogEvents;
+      Sched.advanceCore(Core, Opts.Costs.LogEvent);
+      Stats.CpuBusyCycles += Opts.Costs.LogEvent;
+    }
+  }
+
+  ++Stats.Syscalls;
+  Sched.advanceCore(Core, Opts.Costs.SyscallCpu);
+  Stats.CpuBusyCycles += Opts.Costs.SyscallCpu;
+  setReg(T, Dst, Value);
+  advance(T);
+
+  if (Latency) {
+    T.State = ThreadState::Sleeping;
+    T.WakeTime = Sched.coreTime(Core) + Latency;
+    return Step::Blocked;
+  }
+  return Step::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Weak-locks
+//===----------------------------------------------------------------------===//
+
+void Machine::chargeWeakCpu(unsigned SiteGran, uint64_t Cycles,
+                            unsigned Core) {
+  assert(SiteGran < 4 && "bad site granularity");
+  Sched.advanceCore(Core, Cycles);
+  Stats.CpuBusyCycles += Cycles;
+  Stats.WeakCpuCycles[SiteGran] += Cycles;
+}
+
+Machine::Step Machine::doWeakAcquire(Thread &T, uint32_t LockId,
+                                     unsigned SiteGran, bool HasRange,
+                                     uint64_t Lo, uint64_t Hi,
+                                     unsigned Core) {
+  uint64_t Now = Sched.coreTime(Core);
+  uint32_t Obj = Log.weakLockObject(LockId);
+  assert(!T.holdsWeak(LockId) && "recursive weak-lock acquisition");
+  if (HasRange && Lo > Hi)
+    std::swap(Lo, Hi);
+
+  if (isReplay()) {
+    if (!gateOpen(Obj, T.Tid, OrderedOp::WeakAcquire)) {
+      blockOnGate(T, Obj, Now);
+      return Step::Blocked;
+    }
+    WeakRequest Req{T.Tid, HasRange, Lo, Hi, Now,
+                    static_cast<uint8_t>(SiteGran)};
+    if (!Weak.tryAcquire(LockId, Req)) {
+      fail("replay divergence: weak-lock order infeasible");
+      return Step::Fault;
+    }
+    T.HeldWeak.push_back({LockId, HasRange, Lo, Hi,
+                          static_cast<uint8_t>(SiteGran)});
+    ++Stats.WeakAcquires[SiteGran];
+    chargeWeakCpu(SiteGran,
+                  Opts.Costs.WeakLockOp +
+                      (HasRange ? Opts.Costs.RangeCheck : 0),
+                  Core);
+    gateAdvance(Obj, Now);
+    if (Opts.Observer)
+      Opts.Observer->onWeak(T.Tid, /*IsAcquire=*/true, LockId, HasRange, Lo,
+                            Hi, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  WeakRequest Req{T.Tid, HasRange, Lo, Hi, Now,
+                  static_cast<uint8_t>(SiteGran)};
+  if (Weak.tryAcquire(LockId, Req)) {
+    T.HeldWeak.push_back({LockId, HasRange, Lo, Hi,
+                          static_cast<uint8_t>(SiteGran)});
+    ++Stats.WeakAcquires[SiteGran];
+    chargeWeakCpu(SiteGran,
+                  Opts.Costs.WeakLockOp +
+                      (HasRange ? Opts.Costs.RangeCheck : 0),
+                  Core);
+    if (isRecord())
+      recordOrdered(Obj, T.Tid, OrderedOp::WeakAcquire, Core);
+    if (Opts.Observer)
+      Opts.Observer->onWeak(T.Tid, /*IsAcquire=*/true, LockId, HasRange, Lo,
+                            Hi, Now);
+    advance(T);
+    return Step::Continue;
+  }
+
+  Weak.enqueue(LockId, Req);
+  T.State = ThreadState::Blocked;
+  T.Reason = BlockReason::WeakLock;
+  T.WaitObject = LockId;
+  T.BlockStart = Now;
+  return Step::Blocked;
+}
+
+void Machine::grantWeakWaiters(uint32_t LockId, uint64_t Now) {
+  assert(!isReplay() && "replay acquires weak-locks via gates");
+  std::vector<WeakRequest> Granted = Weak.grantWaiters(LockId, Now);
+  for (const WeakRequest &G : Granted) {
+    Thread &W = *Threads[G.Tid];
+    unsigned Gran = G.SiteGran;
+    W.HeldWeak.push_back({LockId, G.HasRange, G.Lo, G.Hi, G.SiteGran});
+    ++Stats.WeakAcquires[Gran];
+    Stats.WeakWaitCycles[Gran] += Now > W.BlockStart ? Now - W.BlockStart : 0;
+    Stats.WeakCpuCycles[Gran] += Opts.Costs.WeakLockOp;
+    if (isRecord()) {
+      Log.PerObject[Log.weakLockObject(LockId)].push_back(
+          {G.Tid, OrderedOp::WeakAcquire});
+      ++Stats.LogEvents;
+    }
+    if (Opts.Observer)
+      Opts.Observer->onWeak(G.Tid, /*IsAcquire=*/true, LockId, G.HasRange,
+                            G.Lo, G.Hi, Now);
+
+    // A forced-reacquisition grant resumes the thread where it was; a
+    // grant of a blocked WeakAcquire instruction completes it.
+    bool WasReacquire = false;
+    for (size_t I = 0; I != W.PendingReacquire.size(); ++I) {
+      if (W.PendingReacquire[I].LockId == LockId) {
+        W.PendingReacquire.erase(W.PendingReacquire.begin() + I);
+        WasReacquire = true;
+        break;
+      }
+    }
+    if (!WasReacquire)
+      advance(W);
+    W.ReadyTime = std::max(W.ReadyTime, Now + Opts.Costs.WeakLockOp);
+    makeReady(G.Tid, Now);
+  }
+}
+
+Machine::Step Machine::doWeakRelease(Thread &T, uint32_t LockId,
+                                     unsigned Core, bool Forced) {
+  uint64_t Now = Sched.coreTime(Core);
+  uint32_t Obj = Log.weakLockObject(LockId);
+
+  if (!T.holdsWeak(LockId)) {
+    fail("weak-release of unheld lock wl" + std::to_string(LockId));
+    return Step::Fault;
+  }
+
+  if (isReplay() && !Forced &&
+      !gateOpen(Obj, T.Tid, OrderedOp::WeakRelease)) {
+    blockOnGate(T, Obj, Now);
+    return Step::Blocked;
+  }
+
+  // Remove the hold, keeping the range info for a forced reacquisition.
+  HeldWeakLock Held;
+  for (size_t I = 0; I != T.HeldWeak.size(); ++I) {
+    if (T.HeldWeak[I].LockId == LockId) {
+      Held = T.HeldWeak[I];
+      T.HeldWeak.erase(T.HeldWeak.begin() + I);
+      break;
+    }
+  }
+  Weak.removeHolder(LockId, T.Tid);
+
+  if (Forced) {
+    T.PendingReacquire.push_back(Held);
+    ++Stats.Revocations;
+  }
+
+  chargeWeakCpu(Held.SiteGran, Opts.Costs.WeakLockOp, Core);
+  if (isRecord()) {
+    recordOrdered(Obj, T.Tid, OrderedOp::WeakRelease, Core);
+    if (Forced)
+      Log.Revocations.push_back({T.Tid, LockId, T.Instret});
+  } else if (isReplay()) {
+    assert(gateOpen(Obj, T.Tid, OrderedOp::WeakRelease) &&
+           "forced release out of recorded order");
+    gateAdvance(Obj, Now);
+  }
+  if (Opts.Observer)
+    Opts.Observer->onWeak(T.Tid, /*IsAcquire=*/false, LockId, Held.HasRange,
+                          Held.Lo, Held.Hi, Now);
+
+  if (!isReplay())
+    grantWeakWaiters(LockId, Now);
+
+  if (!Forced)
+    advance(T);
+  return Step::Continue;
+}
+
+void Machine::checkWeakTimeouts(uint64_t Now) {
+  WeakLockManager::Timeout TO = Weak.findTimeout(Now, Opts.WeakLockTimeout);
+  if (TO.Found)
+    performRevocation(TO, Now);
+}
+
+void Machine::performRevocation(const WeakLockManager::Timeout &TO,
+                                uint64_t Now) {
+  Thread &Victim = *Threads[TO.VictimTid];
+  assert(Victim.holdsWeak(TO.LockId) && "victim does not hold the lock");
+  // Forced release on behalf of the victim: the kernel preempts it at its
+  // current instruction count (paper §2.3 / DoublePlay mechanism).
+  unsigned Core = Sched.minTimeCore();
+  Sched.setCoreTime(Core, std::max(Sched.coreTime(Core), Now));
+  doWeakRelease(Victim, TO.LockId, Core, /*Forced=*/true);
+}

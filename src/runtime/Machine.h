@@ -1,0 +1,226 @@
+//===- runtime/Machine.h - The Chimera execution simulator ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multicore execution simulator that substitutes for the paper's
+/// modified Linux/pthreads testbed. It interprets Chimera IR on N
+/// simulated cores with a cycle cost model, supports three modes —
+///
+///  - Native: run the program; scheduler quanta and input values come
+///    from a seeded RNG, so runs are repeatable per seed but exhibit
+///    genuine cross-seed nondeterminism.
+///  - Record: Native plus logging — input values per thread, a total
+///    order per synchronization object (including Chimera's weak-locks,
+///    the output stream, and the thread table), and any weak-lock
+///    revocation points. Logging costs simulated cycles, which is what
+///    the paper's "recording overhead" measures.
+///  - Replay: inputs come from the log and every ordered operation is
+///    gated on its object's recorded sequence; blocking input latencies
+///    are skipped (so I/O-bound programs replay faster, as in the
+///    paper). Divergence (a gate that can never open, or an input-log
+///    mismatch) is detected and reported.
+///
+/// Weak-lock semantics (paper §2.3) including ranged loop-locks and
+/// timeout revocation are implemented here with WeakLockManager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_MACHINE_H
+#define CHIMERA_RUNTIME_MACHINE_H
+
+#include "ir/Module.h"
+#include "runtime/CostModel.h"
+#include "runtime/ExecutionLog.h"
+#include "runtime/Memory.h"
+#include "runtime/Observer.h"
+#include "runtime/Scheduler.h"
+#include "runtime/SyncObjects.h"
+#include "runtime/Thread.h"
+#include "runtime/WeakLock.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <string>
+
+namespace chimera {
+namespace rt {
+
+enum class ExecMode : uint8_t { Native, Record, Replay };
+
+struct MachineOptions {
+  ExecMode Mode = ExecMode::Native;
+  unsigned NumCores = 4;
+  uint64_t Seed = 1;
+  CostModel Costs = CostModel::defaultModel();
+
+  /// Scheduler quantum bounds in cycles (record/native draws uniformly;
+  /// replay uses QuantumMin).
+  uint64_t QuantumMin = 3000;
+  uint64_t QuantumMax = 9000;
+
+  /// Weak-lock revocation threshold in cycles. Generous by default so
+  /// that (as in the paper) benchmarks never time out; tests shrink it.
+  uint64_t WeakLockTimeout = 500'000'000;
+
+  /// Hard cap to catch runaway simulations.
+  uint64_t MaxInstructions = 2'000'000'000;
+
+  const ExecutionLog *ReplayLog = nullptr; ///< Required in Replay mode.
+  ExecutionObserver *Observer = nullptr;   ///< Optional event sink.
+};
+
+/// Counters collected during one run; the benchmark tables are printed
+/// from these.
+struct RunStats {
+  uint64_t MakespanCycles = 0;
+  uint64_t CpuBusyCycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t MemOps = 0;       ///< Dynamic loads+stores.
+  uint64_t SyncOps = 0;      ///< Original-program sync operations.
+  uint64_t Syscalls = 0;     ///< input/net_recv/file_read executed.
+  uint64_t OutputOps = 0;
+  uint64_t SpawnedThreads = 0;
+  uint64_t Revocations = 0;
+  uint64_t LogEvents = 0;    ///< Total log records appended (record mode).
+
+  // Indexed by ir::WeakLockGranularity.
+  uint64_t WeakAcquires[4] = {0, 0, 0, 0};
+  uint64_t WeakCpuCycles[4] = {0, 0, 0, 0};  ///< Lock-op + log CPU cost.
+  uint64_t WeakWaitCycles[4] = {0, 0, 0, 0}; ///< Contention stall time.
+
+  uint64_t weakAcquiresTotal() const {
+    return WeakAcquires[0] + WeakAcquires[1] + WeakAcquires[2] +
+           WeakAcquires[3];
+  }
+};
+
+struct ExecutionResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t StateHash = 0; ///< Memory + output fingerprint.
+  std::vector<uint64_t> Output;
+  RunStats Stats;
+  ExecutionLog Log; ///< Populated in Record mode.
+};
+
+class Machine {
+public:
+  Machine(const ir::Module &M, MachineOptions Opts);
+
+  /// Runs the program to completion (or fault); single use.
+  ExecutionResult run();
+
+private:
+  enum class Step : uint8_t {
+    Continue, ///< Instruction done, thread still on core.
+    Yielded,  ///< Thread goes back to the ready queue.
+    Blocked,  ///< Thread left the core (sleep/queue/gate).
+    Finished, ///< Thread completed.
+    Fault,    ///< Machine must stop.
+  };
+
+  // -- Top-level loop (Machine.cpp).
+  void startThread(uint32_t FuncId, const std::vector<uint64_t> &Args,
+                   uint32_t ParentTid, uint64_t Now);
+  /// Executes one instruction (plus pending ops) of the thread bound to
+  /// \p Core, binding a new thread first if the core is idle. Returns
+  /// false when the core could make no progress.
+  bool stepCore(unsigned Core);
+  bool wakeSleepers(uint64_t Now);
+  uint64_t nextWakeTime() const;
+  void fail(const std::string &Message);
+  bool allFinished() const;
+  void reportStall(); ///< Deadlock / replay divergence diagnosis.
+
+  // -- Per-instruction execution (Interpreter.cpp).
+  Step execInstruction(Thread &T, unsigned Core);
+  Step execPending(Thread &T, unsigned Core); ///< Revocations/reacquires.
+  void advance(Thread &T);          ///< Move past the current instruction.
+  uint64_t reg(Thread &T, ir::Reg R) const;
+  void setReg(Thread &T, ir::Reg R, uint64_t Value);
+  Step finishFrame(Thread &T, uint64_t RetValue, bool HasValue,
+                   uint64_t Now);
+
+  // -- Ordered-object helpers (Machine.cpp).
+  /// Record mode: appends (Tid, Op) to the object's order log.
+  void recordOrdered(uint32_t Obj, uint32_t Tid, OrderedOp Op,
+                     unsigned Core);
+  /// Replay mode: true when (Tid, Op) is next in the object's order.
+  bool gateOpen(uint32_t Obj, uint32_t Tid, OrderedOp Op) const;
+  /// Replay mode: consume the gate entry and wake gate waiters.
+  void gateAdvance(uint32_t Obj, uint64_t Now);
+  /// Blocks \p T at the replay gate of \p Obj.
+  void blockOnGate(Thread &T, uint32_t Obj, uint64_t Now);
+  void wakeGateWaiters(uint32_t Obj, uint64_t Now);
+  bool isReplay() const { return Opts.Mode == ExecMode::Replay; }
+  bool isRecord() const { return Opts.Mode == ExecMode::Record; }
+
+  // -- Synchronization implementations (Machine.cpp).
+  Step doMutexLock(Thread &T, uint32_t MutexId, unsigned Core);
+  Step doMutexUnlock(Thread &T, uint32_t MutexId, unsigned Core);
+  Step doBarrierWait(Thread &T, uint32_t BarrierId, unsigned Core);
+  Step doCondWait(Thread &T, uint32_t CondId, uint32_t MutexId,
+                  unsigned Core);
+  Step doCondSignal(Thread &T, uint32_t CondId, bool Broadcast,
+                    unsigned Core);
+  Step doSpawn(Thread &T, const ir::Instruction &Inst, unsigned Core);
+  Step doJoin(Thread &T, uint32_t ChildTid, unsigned Core);
+  Step doOutput(Thread &T, uint64_t Value, unsigned Core);
+  Step doInputOp(Thread &T, InputKind Kind, ir::Reg Dst, unsigned Core);
+  Step doWeakAcquire(Thread &T, uint32_t LockId, unsigned SiteGran,
+                     bool HasRange, uint64_t Lo, uint64_t Hi, unsigned Core);
+  Step doWeakRelease(Thread &T, uint32_t LockId, unsigned Core,
+                     bool Forced);
+
+  void grantMutexToNextWaiter(uint32_t MutexId, uint64_t Now,
+                              unsigned Core);
+  void grantWeakWaiters(uint32_t LockId, uint64_t Now);
+  void checkWeakTimeouts(uint64_t Now);
+  void performRevocation(const WeakLockManager::Timeout &TO, uint64_t Now);
+  void makeReady(uint32_t Tid, uint64_t Now);
+  void finishThread(Thread &T, uint64_t Now);
+
+  void chargeWeakCpu(unsigned SiteGran, uint64_t Cycles, unsigned Core);
+
+  const ir::Module &M;
+  MachineOptions Opts;
+  Memory Mem;
+  SyncObjectTable Syncs;
+  WeakLockManager Weak;
+  Scheduler Sched;
+  Rng SchedRng;
+  Rng InputRng;
+
+  std::vector<std::unique_ptr<Thread>> Threads;
+  /// Per-thread: pending mutex to acquire before the next instruction
+  /// (cond-wait wakeups). -1 when none.
+  std::vector<int64_t> PendingMutex;
+
+  ExecutionLog Log;                   ///< Being built (record mode).
+  std::vector<uint32_t> GateCursor;   ///< Replay per-object position.
+  std::vector<std::vector<uint32_t>> GateWaiters; ///< Tids per object.
+  std::vector<uint32_t> InputCursor;  ///< Replay per-thread input index.
+  std::vector<std::vector<RevocationEvent>> PendingRevocations;
+  std::vector<uint32_t> RevocationCursor;
+
+  std::vector<uint64_t> Output;
+  RunStats Stats;
+  std::string Error;
+  bool Failed = false;
+
+  /// Thread currently bound to each core (-1 = idle) and the end of its
+  /// scheduling quantum. Cores advance in near-lockstep — the main loop
+  /// always steps the minimum-clock core one instruction — so memory
+  /// operations of concurrent threads genuinely interleave.
+  std::vector<int64_t> CoreThread;
+  std::vector<uint64_t> CoreSliceEnd;
+  unsigned SleepingThreads = 0;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_MACHINE_H

@@ -1,0 +1,58 @@
+//===- runtime/Memory.cpp - Simulated word-addressed memory ----------------===//
+
+#include "runtime/Memory.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::rt;
+
+void Memory::init(const ir::Module &M, uint64_t HeapCapacityWords) {
+  GlobalSeg.assign(M.globalSegmentWords(), 0);
+  for (const ir::GlobalVar &G : M.Globals) {
+    uint64_t Offset = G.BaseAddr - ir::Module::GlobalBase;
+    for (uint32_t I = 0; I != G.SizeWords; ++I)
+      GlobalSeg[Offset + I] = static_cast<uint64_t>(G.Init);
+  }
+  HeapSeg.assign(HeapCapacityWords, 0);
+  HeapUsed = 0;
+}
+
+bool Memory::valid(uint64_t Addr) const {
+  if (Addr >= ir::Module::GlobalBase &&
+      Addr < ir::Module::GlobalBase + GlobalSeg.size())
+    return true;
+  return Addr >= ir::Module::HeapBase &&
+         Addr < ir::Module::HeapBase + HeapUsed;
+}
+
+uint64_t Memory::load(uint64_t Addr) const {
+  assert(valid(Addr) && "load from invalid address");
+  if (Addr >= ir::Module::HeapBase)
+    return HeapSeg[Addr - ir::Module::HeapBase];
+  return GlobalSeg[Addr - ir::Module::GlobalBase];
+}
+
+void Memory::store(uint64_t Addr, uint64_t Value) {
+  assert(valid(Addr) && "store to invalid address");
+  if (Addr >= ir::Module::HeapBase)
+    HeapSeg[Addr - ir::Module::HeapBase] = Value;
+  else
+    GlobalSeg[Addr - ir::Module::GlobalBase] = Value;
+}
+
+uint64_t Memory::allocate(uint64_t Words) {
+  if (Words == 0)
+    Words = 1;
+  if (HeapUsed + Words > HeapSeg.size())
+    return 0;
+  uint64_t Base = ir::Module::HeapBase + HeapUsed;
+  HeapUsed += Words;
+  return Base;
+}
+
+void Memory::hashInto(Hasher &H) const {
+  H.addWords(GlobalSeg);
+  for (uint64_t I = 0; I != HeapUsed; ++I)
+    H.addWord(HeapSeg[I]);
+}

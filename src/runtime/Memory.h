@@ -1,0 +1,58 @@
+//===- runtime/Memory.h - Simulated word-addressed memory -------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated machine's memory: a global segment (laid out by the
+/// Module) and a bump-allocated heap, both word-granular. Addresses are
+/// plain uint64 word indices; 0 is never valid, so it serves as null.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_MEMORY_H
+#define CHIMERA_RUNTIME_MEMORY_H
+
+#include "ir/Module.h"
+#include "support/Hash.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+class Memory {
+public:
+  /// Initializes segments from \p M (which must have laid-out globals).
+  void init(const ir::Module &M, uint64_t HeapCapacityWords = 1u << 22);
+
+  bool valid(uint64_t Addr) const;
+
+  /// Loads the word at \p Addr. \p Addr must be valid.
+  uint64_t load(uint64_t Addr) const;
+
+  /// Stores \p Value at \p Addr. \p Addr must be valid.
+  void store(uint64_t Addr, uint64_t Value);
+
+  /// Bump-allocates \p Words zeroed words; returns their base address or
+  /// 0 when the heap is exhausted.
+  uint64_t allocate(uint64_t Words);
+
+  uint64_t heapUsedWords() const { return HeapUsed; }
+
+  /// Mixes the full memory state into \p H (global segment + live heap),
+  /// used for record-vs-replay determinism comparison.
+  void hashInto(Hasher &H) const;
+
+private:
+  std::vector<uint64_t> GlobalSeg;
+  std::vector<uint64_t> HeapSeg;
+  uint64_t HeapUsed = 0;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_MEMORY_H

@@ -1,0 +1,63 @@
+//===- runtime/Scheduler.cpp - Multicore scheduling state ------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::rt;
+
+void Scheduler::init(unsigned NumCores) {
+  assert(NumCores > 0 && "need at least one core");
+  CoreTimes.assign(NumCores, 0);
+  ReadyQueue.clear();
+}
+
+unsigned Scheduler::minTimeCore() const {
+  unsigned Best = 0;
+  for (unsigned C = 1; C != CoreTimes.size(); ++C)
+    if (CoreTimes[C] < CoreTimes[Best])
+      Best = C;
+  return Best;
+}
+
+uint64_t Scheduler::maxTime() const {
+  return *std::max_element(CoreTimes.begin(), CoreTimes.end());
+}
+
+uint32_t Scheduler::popReady(Rng *Rand, uint64_t Now) {
+  assert(!ReadyQueue.empty() && "popReady on empty queue");
+
+  // Indices of threads runnable right now.
+  std::vector<size_t> Runnable;
+  for (size_t I = 0; I != ReadyQueue.size(); ++I)
+    if (ReadyQueue[I].ReadyTime <= Now)
+      Runnable.push_back(I);
+
+  size_t Index;
+  if (!Runnable.empty()) {
+    size_t Pick = Rand && Runnable.size() > 1
+                      ? static_cast<size_t>(Rand->nextBelow(Runnable.size()))
+                      : 0;
+    Index = Runnable[Pick];
+  } else {
+    Index = 0;
+    for (size_t I = 1; I != ReadyQueue.size(); ++I)
+      if (ReadyQueue[I].ReadyTime < ReadyQueue[Index].ReadyTime)
+        Index = I;
+  }
+  uint32_t Tid = ReadyQueue[Index].Tid;
+  ReadyQueue.erase(ReadyQueue.begin() + Index);
+  return Tid;
+}
+
+bool Scheduler::removeReady(uint32_t Tid) {
+  for (auto It = ReadyQueue.begin(); It != ReadyQueue.end(); ++It) {
+    if (It->Tid == Tid) {
+      ReadyQueue.erase(It);
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,78 @@
+//===- runtime/Scheduler.h - Multicore scheduling state ---------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Core clocks and the ready queue for the execution simulator. Each
+/// simulated core has its own cycle clock; the machine always runs the
+/// core with the smallest clock, which approximates a real multicore
+/// while keeping the whole simulation deterministic for a given RNG seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_SCHEDULER_H
+#define CHIMERA_RUNTIME_SCHEDULER_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+class Scheduler {
+public:
+  void init(unsigned NumCores);
+
+  unsigned numCores() const {
+    return static_cast<unsigned>(CoreTimes.size());
+  }
+
+  uint64_t coreTime(unsigned Core) const { return CoreTimes[Core]; }
+  void setCoreTime(unsigned Core, uint64_t Time) { CoreTimes[Core] = Time; }
+  void advanceCore(unsigned Core, uint64_t Cycles) {
+    CoreTimes[Core] += Cycles;
+  }
+
+  /// The core with the smallest clock (ties to the lowest index).
+  unsigned minTimeCore() const;
+
+  /// The largest core clock — the makespan once execution is done.
+  uint64_t maxTime() const;
+
+  void addReady(uint32_t Tid, uint64_t ReadyTime) {
+    ReadyQueue.push_back({Tid, ReadyTime});
+  }
+  bool hasReady() const { return !ReadyQueue.empty(); }
+  size_t readyCount() const { return ReadyQueue.size(); }
+
+  /// Removes and returns a ready thread. Threads already runnable at
+  /// \p Now are preferred (picking a future-ready thread would idle the
+  /// core); among those, a random pick when \p Rand is non-null
+  /// (record/native schedule nondeterminism), else the earliest-queued
+  /// (deterministic replay). With no runnable thread, returns the one
+  /// with the smallest ReadyTime.
+  uint32_t popReady(Rng *Rand, uint64_t Now);
+
+  /// Removes \p Tid from the ready queue if present (used when a thread
+  /// is force-transitioned while queued). Returns true if removed.
+  bool removeReady(uint32_t Tid);
+
+private:
+  struct ReadyEntry {
+    uint32_t Tid;
+    uint64_t ReadyTime;
+  };
+  std::vector<uint64_t> CoreTimes;
+  std::deque<ReadyEntry> ReadyQueue;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_SCHEDULER_H

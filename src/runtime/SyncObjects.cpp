@@ -1,0 +1,15 @@
+//===- runtime/SyncObjects.cpp - Runtime sync-object state -----------------===//
+
+#include "runtime/SyncObjects.h"
+
+using namespace chimera;
+using namespace chimera::rt;
+
+void SyncObjectTable::init(const ir::Module &M) {
+  States.clear();
+  States.resize(M.Syncs.size());
+  for (size_t I = 0; I != M.Syncs.size(); ++I) {
+    States[I].Kind = M.Syncs[I].Kind;
+    States[I].Parties = M.Syncs[I].Parties;
+  }
+}

@@ -1,0 +1,67 @@
+//===- runtime/SyncObjects.h - Runtime sync-object state --------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime state for the program's synchronization objects (mutexes,
+/// barriers, condition variables). Wait queues hold thread ids; the
+/// Machine moves threads between queues and the scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_SYNCOBJECTS_H
+#define CHIMERA_RUNTIME_SYNCOBJECTS_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// Runtime state of one sync object (only the fields for its kind are
+/// meaningful).
+struct SyncState {
+  ir::SyncKind Kind = ir::SyncKind::Mutex;
+
+  // Mutex.
+  int64_t Owner = -1; ///< Owning tid or -1.
+  std::deque<uint32_t> MutexWaiters;
+
+  // Barrier.
+  uint32_t Parties = 0;
+  std::vector<uint32_t> Arrived;
+  std::vector<uint64_t> ArrivedTimes;
+  uint64_t Generation = 0;
+
+  // Condition variable.
+  std::deque<uint32_t> CondWaiters;
+};
+
+class SyncObjectTable {
+public:
+  void init(const ir::Module &M);
+
+  SyncState &state(uint32_t SyncId) {
+    assert(SyncId < States.size() && "sync id out of range");
+    return States[SyncId];
+  }
+  const SyncState &state(uint32_t SyncId) const {
+    assert(SyncId < States.size() && "sync id out of range");
+    return States[SyncId];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(States.size()); }
+
+private:
+  std::vector<SyncState> States;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_SYNCOBJECTS_H

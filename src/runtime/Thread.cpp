@@ -1,0 +1,5 @@
+//===- runtime/Thread.cpp - Simulated threads ------------------------------===//
+
+#include "runtime/Thread.h"
+
+// Header-only for now; this TU anchors the library target.

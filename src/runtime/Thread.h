@@ -1,0 +1,103 @@
+//===- runtime/Thread.h - Simulated threads ---------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated thread contexts: a call stack of frames over the IR, the
+/// thread's scheduling state, and the weak-locks it currently holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_THREAD_H
+#define CHIMERA_RUNTIME_THREAD_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// One activation record.
+struct Frame {
+  const ir::Function *Func = nullptr;
+  ir::BlockId Block = 0;
+  uint32_t InstIdx = 0;
+  std::vector<uint64_t> Regs;
+  /// Caller register to receive the return value (NoReg for none); lives
+  /// in the frame *below* the callee's.
+  ir::Reg RetDst = ir::NoReg;
+};
+
+enum class ThreadState : uint8_t {
+  Ready,    ///< Runnable, waiting for a core.
+  Running,  ///< Currently on a core.
+  Sleeping, ///< Blocked until WakeTime (simulated I/O latency).
+  Blocked,  ///< Waiting on a sync object / weak-lock / replay gate.
+  Finished, ///< Ran to completion.
+  Faulted,  ///< Hit a runtime fault; machine stops.
+};
+
+/// What a Blocked thread is waiting for (used for wakeups and deadlock
+/// diagnostics).
+enum class BlockReason : uint8_t {
+  None,
+  Mutex,
+  Barrier,
+  CondVar,
+  Join,
+  WeakLock,
+  ReplayGate, ///< Waiting for its turn in a replayed per-object order.
+};
+
+/// A weak-lock held by a thread, with its optional address range.
+struct HeldWeakLock {
+  uint32_t LockId = 0;
+  bool HasRange = false;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  uint8_t SiteGran = 3; ///< ir::WeakLockGranularity of the acquire site.
+};
+
+struct Thread {
+  uint32_t Tid = 0;
+  ThreadState State = ThreadState::Ready;
+  BlockReason Reason = BlockReason::None;
+  uint32_t WaitObject = 0;  ///< Sync id / weak-lock id / ordered object.
+  uint64_t WakeTime = 0;    ///< For Sleeping threads.
+  uint64_t ReadyTime = 0;   ///< Simulated time the thread became runnable.
+  uint64_t BlockStart = 0;  ///< When the current block began (stall stats).
+
+  std::vector<Frame> Stack;
+  uint64_t Instret = 0;     ///< Instructions executed (revocation points).
+  uint64_t RetValue = 0;    ///< Thread function's return value.
+
+  std::vector<HeldWeakLock> HeldWeak; ///< Acquisition-ordered.
+  std::vector<uint32_t> JoinWaiters;  ///< Tids blocked joining on us.
+
+  /// Pending forced reacquisitions after a revocation, in order.
+  std::vector<HeldWeakLock> PendingReacquire;
+
+  bool runnable() const { return State == ThreadState::Ready; }
+  bool done() const { return State == ThreadState::Finished; }
+
+  Frame &frame() {
+    assert(!Stack.empty() && "thread has no frames");
+    return Stack.back();
+  }
+
+  bool holdsWeak(uint32_t LockId) const {
+    for (const HeldWeakLock &H : HeldWeak)
+      if (H.LockId == LockId)
+        return true;
+    return false;
+  }
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_THREAD_H

@@ -1,0 +1,31 @@
+//===- runtime/VectorClock.cpp - Vector clocks -----------------------------===//
+
+#include "runtime/VectorClock.h"
+
+#include <algorithm>
+
+using namespace chimera::rt;
+
+void VectorClock::join(const VectorClock &Other) {
+  if (Other.Clocks.size() > Clocks.size())
+    Clocks.resize(Other.Clocks.size(), 0);
+  for (size_t I = 0; I != Other.Clocks.size(); ++I)
+    Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
+}
+
+bool VectorClock::leq(const VectorClock &Other) const {
+  for (size_t I = 0; I != Clocks.size(); ++I)
+    if (Clocks[I] > Other.get(static_cast<uint32_t>(I)))
+      return false;
+  return true;
+}
+
+std::string VectorClock::str() const {
+  std::string Out = "[";
+  for (size_t I = 0; I != Clocks.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(Clocks[I]);
+  }
+  return Out + "]";
+}

@@ -1,0 +1,74 @@
+//===- runtime/VectorClock.h - Vector clocks --------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse vector clocks used by the dynamic happens-before race detector
+/// (the oracle that checks Chimera-transformed programs really are
+/// race-free under the new synchronization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_VECTORCLOCK_H
+#define CHIMERA_RUNTIME_VECTORCLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// A component of a vector clock: thread \p Tid at logical time \p Clock.
+struct Epoch {
+  uint32_t Tid = 0;
+  uint64_t Clock = 0;
+};
+
+/// A growable dense vector clock indexed by thread id.
+class VectorClock {
+public:
+  uint64_t get(uint32_t Tid) const {
+    return Tid < Clocks.size() ? Clocks[Tid] : 0;
+  }
+
+  void set(uint32_t Tid, uint64_t Value) {
+    grow(Tid);
+    Clocks[Tid] = Value;
+  }
+
+  /// Increments this thread's own component.
+  void tick(uint32_t Tid) {
+    grow(Tid);
+    ++Clocks[Tid];
+  }
+
+  /// Pointwise maximum with \p Other.
+  void join(const VectorClock &Other);
+
+  /// True if every component of *this is <= the matching one in Other,
+  /// i.e. *this happens-before-or-equals Other.
+  bool leq(const VectorClock &Other) const;
+
+  /// True if epoch (Tid, Clock) happens-before this clock.
+  bool covers(const Epoch &E) const { return E.Clock <= get(E.Tid); }
+
+  size_t size() const { return Clocks.size(); }
+
+  std::string str() const;
+
+private:
+  void grow(uint32_t Tid) {
+    if (Tid >= Clocks.size())
+      Clocks.resize(Tid + 1, 0);
+  }
+
+  std::vector<uint64_t> Clocks;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_VECTORCLOCK_H

@@ -1,0 +1,139 @@
+//===- runtime/WeakLock.cpp - Weak-lock manager ----------------------------===//
+
+#include "runtime/WeakLock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+using namespace chimera;
+using namespace chimera::rt;
+
+void WeakLockManager::init(uint32_t NumLocks) {
+  Locks.clear();
+  Locks.resize(NumLocks);
+}
+
+bool WeakLockManager::conflicts(const WeakRequest &A, bool HasRange,
+                                uint64_t Lo, uint64_t Hi) {
+  // An unranged acquisition excludes everything; ranged ones conflict
+  // only when the word intervals overlap.
+  if (!A.HasRange || !HasRange)
+    return true;
+  return A.Lo <= Hi && Lo <= A.Hi;
+}
+
+bool WeakLockManager::wouldConflict(uint32_t LockId, bool HasRange,
+                                    uint64_t Lo, uint64_t Hi) const {
+  assert(LockId < Locks.size() && "lock id out of range");
+  for (const WeakRequest &H : Locks[LockId].Holders)
+    if (conflicts(H, HasRange, Lo, Hi))
+      return true;
+  return false;
+}
+
+bool WeakLockManager::tryAcquire(uint32_t LockId, const WeakRequest &Req) {
+  assert(LockId < Locks.size() && "lock id out of range");
+  LockState &L = Locks[LockId];
+  // FIFO fairness: an incoming request must also queue behind existing
+  // waiters it conflicts with, or a stream of compatible acquirers could
+  // starve a waiter forever.
+  for (const WeakRequest &W : L.Waiters)
+    if (conflicts(W, Req.HasRange, Req.Lo, Req.Hi))
+      return false;
+  if (wouldConflict(LockId, Req.HasRange, Req.Lo, Req.Hi))
+    return false;
+  L.Holders.push_back(Req);
+  return true;
+}
+
+void WeakLockManager::enqueue(uint32_t LockId, const WeakRequest &Req) {
+  assert(LockId < Locks.size() && "lock id out of range");
+  Locks[LockId].Waiters.push_back(Req);
+}
+
+bool WeakLockManager::removeHolder(uint32_t LockId, uint32_t Tid) {
+  assert(LockId < Locks.size() && "lock id out of range");
+  auto &Holders = Locks[LockId].Holders;
+  for (size_t I = 0; I != Holders.size(); ++I) {
+    if (Holders[I].Tid == Tid) {
+      Holders.erase(Holders.begin() + I);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<WeakRequest> WeakLockManager::grantWaiters(uint32_t LockId,
+                                                       uint64_t Now) {
+  assert(LockId < Locks.size() && "lock id out of range");
+  LockState &L = Locks[LockId];
+  std::vector<WeakRequest> Granted;
+
+  // FIFO with compatibility skipping: grant the front waiter if it fits,
+  // and keep granting subsequent waiters whose ranges are also
+  // compatible. Stop at the first conflicting waiter to preserve
+  // fairness.
+  for (auto It = L.Waiters.begin(); It != L.Waiters.end();) {
+    if (wouldConflict(LockId, It->HasRange, It->Lo, It->Hi))
+      break;
+    WeakRequest Grant = *It;
+    Grant.Since = Now;
+    L.Holders.push_back(Grant);
+    Granted.push_back(Grant);
+    It = L.Waiters.erase(It);
+  }
+  return Granted;
+}
+
+WeakLockManager::Timeout WeakLockManager::findTimeout(uint64_t Now,
+                                                      uint64_t TimeoutCycles)
+    const {
+  Timeout Result;
+  for (uint32_t LockId = 0; LockId != Locks.size(); ++LockId) {
+    const LockState &L = Locks[LockId];
+    if (L.Waiters.empty())
+      continue;
+    const WeakRequest &Oldest = L.Waiters.front();
+    if (Now < Oldest.Since || Now - Oldest.Since < TimeoutCycles)
+      continue;
+    // Find a holder blocking the stalled waiter.
+    for (const WeakRequest &H : L.Holders) {
+      if (conflicts(H, Oldest.HasRange, Oldest.Lo, Oldest.Hi)) {
+        Result.Found = true;
+        Result.LockId = LockId;
+        Result.VictimTid = H.Tid;
+        Result.WaiterTid = Oldest.Tid;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+size_t WeakLockManager::numHolders(uint32_t LockId) const {
+  assert(LockId < Locks.size() && "lock id out of range");
+  return Locks[LockId].Holders.size();
+}
+
+size_t WeakLockManager::numWaiters(uint32_t LockId) const {
+  assert(LockId < Locks.size() && "lock id out of range");
+  return Locks[LockId].Waiters.size();
+}
+
+uint64_t WeakLockManager::earliestWaiterSince() const {
+  uint64_t Best = UINT64_MAX;
+  for (const LockState &L : Locks)
+    for (const WeakRequest &W : L.Waiters)
+      Best = std::min(Best, W.Since);
+  return Best;
+}
+
+const WeakRequest *WeakLockManager::holder(uint32_t LockId,
+                                           uint32_t Tid) const {
+  assert(LockId < Locks.size() && "lock id out of range");
+  for (const WeakRequest &H : Locks[LockId].Holders)
+    if (H.Tid == Tid)
+      return &H;
+  return nullptr;
+}

@@ -1,0 +1,106 @@
+//===- runtime/WeakLock.h - Weak-lock manager -------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chimera's weak-locks (paper §2.3). A weak-lock behaves like a mutex
+/// except that (a) loop-granularity locks carry a word-address range and
+/// two acquisitions conflict only when their ranges overlap (an unranged
+/// acquisition conflicts with everything), and (b) a waiter stalled past
+/// a timeout triggers *revocation*: the current owner is forced to
+/// release and later reacquire, splitting its critical section, so
+/// program-level waits inside weak-locked regions cannot deadlock.
+///
+/// The manager tracks holders and FIFO waiters per lock; the Machine owns
+/// thread state transitions and logging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_WEAKLOCK_H
+#define CHIMERA_RUNTIME_WEAKLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// An acquisition request / grant with its optional range.
+struct WeakRequest {
+  uint32_t Tid = 0;
+  bool HasRange = false;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  uint64_t Since = 0;   ///< Time the hold/wait began.
+  uint8_t SiteGran = 3; ///< ir::WeakLockGranularity of the acquire site.
+};
+
+class WeakLockManager {
+public:
+  void init(uint32_t NumLocks);
+
+  uint32_t numLocks() const { return static_cast<uint32_t>(Locks.size()); }
+
+  /// True if a new acquisition with the given range would conflict with a
+  /// current holder of \p LockId.
+  bool wouldConflict(uint32_t LockId, bool HasRange, uint64_t Lo,
+                     uint64_t Hi) const;
+
+  /// Attempts an immediate acquisition; on success records the holder.
+  bool tryAcquire(uint32_t LockId, const WeakRequest &Req);
+
+  /// Queues \p Req as a waiter (FIFO).
+  void enqueue(uint32_t LockId, const WeakRequest &Req);
+
+  /// Removes \p Tid as a holder of \p LockId. Returns true if it held it.
+  bool removeHolder(uint32_t LockId, uint32_t Tid);
+
+  /// Pops every waiter that can now run (FIFO, skipping conflicting ones)
+  /// and records them as holders. Returns the granted requests in order.
+  std::vector<WeakRequest> grantWaiters(uint32_t LockId, uint64_t Now);
+
+  /// A revocation opportunity: the oldest waiter stalled longer than
+  /// \p Timeout and the holder blocking it.
+  struct Timeout {
+    bool Found = false;
+    uint32_t LockId = 0;
+    uint32_t VictimTid = 0; ///< Holder to preempt.
+    uint32_t WaiterTid = 0; ///< Stalled thread.
+  };
+
+  /// Scans for a timed-out waiter (cheap linear scan; lock counts are
+  /// small). Returns the first one found.
+  Timeout findTimeout(uint64_t Now, uint64_t Timeout) const;
+
+  /// Number of threads currently holding / waiting on \p LockId.
+  size_t numHolders(uint32_t LockId) const;
+  size_t numWaiters(uint32_t LockId) const;
+
+  /// Earliest Since among all waiters across all locks; UINT64_MAX when
+  /// nothing is waiting. Drives timeout wakeups when every thread is
+  /// blocked.
+  uint64_t earliestWaiterSince() const;
+
+  /// The holder entry for (LockId, Tid); null if absent.
+  const WeakRequest *holder(uint32_t LockId, uint32_t Tid) const;
+
+private:
+  struct LockState {
+    std::vector<WeakRequest> Holders;
+    std::deque<WeakRequest> Waiters;
+  };
+
+  static bool conflicts(const WeakRequest &A, bool HasRange, uint64_t Lo,
+                        uint64_t Hi);
+
+  std::vector<LockState> Locks;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_WEAKLOCK_H

@@ -1,0 +1,134 @@
+//===- support/Compressor.cpp - Log compression ---------------------------===//
+
+#include "support/Compressor.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace chimera;
+
+void chimera::appendVarint(std::vector<uint8_t> &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(Value) | 0x80);
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(Value));
+}
+
+uint64_t chimera::readVarint(const std::vector<uint8_t> &Data, size_t &Pos) {
+  uint64_t Value = 0;
+  unsigned Shift = 0;
+  for (;;) {
+    assert(Pos < Data.size() && "truncated varint");
+    uint8_t Byte = Data[Pos++];
+    Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return Value;
+    Shift += 7;
+    assert(Shift < 64 && "varint too long");
+  }
+}
+
+uint64_t chimera::zigzagEncode(int64_t Value) {
+  return (static_cast<uint64_t>(Value) << 1) ^
+         static_cast<uint64_t>(Value >> 63);
+}
+
+int64_t chimera::zigzagDecode(uint64_t Value) {
+  return static_cast<int64_t>(Value >> 1) ^ -static_cast<int64_t>(Value & 1);
+}
+
+namespace {
+
+const size_t MinMatch = 4;
+const size_t MaxMatch = 254 + MinMatch; // Length code must fit a byte.
+const size_t WindowSize = 1 << 16;
+const unsigned HashBits = 15;
+
+unsigned hash4(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return (V * 2654435761u) >> (32 - HashBits);
+}
+
+} // namespace
+
+std::vector<uint8_t> chimera::lzCompress(const std::vector<uint8_t> &Input) {
+  // Token stream: <litLen varint> <literals> <matchLen byte> <dist varint>,
+  // repeated; matchLen 0 means "no match" (end-of-stream literals).
+  std::vector<uint8_t> Out;
+  appendVarint(Out, Input.size());
+
+  std::vector<size_t> Head(size_t(1) << HashBits, SIZE_MAX);
+  size_t Pos = 0, LitStart = 0;
+  const uint8_t *Data = Input.data();
+  size_t N = Input.size();
+
+  auto flushLiterals = [&](size_t End) {
+    appendVarint(Out, End - LitStart);
+    Out.insert(Out.end(), Data + LitStart, Data + End);
+  };
+
+  while (Pos + MinMatch <= N) {
+    unsigned H = hash4(Data + Pos);
+    size_t Cand = Head[H];
+    Head[H] = Pos;
+
+    size_t MatchLen = 0;
+    if (Cand != SIZE_MAX && Pos - Cand <= WindowSize &&
+        std::memcmp(Data + Cand, Data + Pos, MinMatch) == 0) {
+      MatchLen = MinMatch;
+      size_t Limit = std::min(MaxMatch, N - Pos);
+      while (MatchLen < Limit && Data[Cand + MatchLen] == Data[Pos + MatchLen])
+        ++MatchLen;
+    }
+
+    if (MatchLen < MinMatch) {
+      ++Pos;
+      continue;
+    }
+
+    flushLiterals(Pos);
+    Out.push_back(static_cast<uint8_t>(MatchLen - MinMatch + 1));
+    appendVarint(Out, Pos - Cand);
+    Pos += MatchLen;
+    LitStart = Pos;
+  }
+
+  // Trailing literals, terminated by matchLen sentinel 0.
+  flushLiterals(N);
+  Out.push_back(0);
+  return Out;
+}
+
+std::vector<uint8_t> chimera::lzDecompress(const std::vector<uint8_t> &Input) {
+  size_t Pos = 0;
+  uint64_t ExpectedSize = readVarint(Input, Pos);
+  std::vector<uint8_t> Out;
+  Out.reserve(ExpectedSize);
+
+  for (;;) {
+    uint64_t LitLen = readVarint(Input, Pos);
+    assert(Pos + LitLen <= Input.size() && "truncated literal run");
+    Out.insert(Out.end(), Input.begin() + Pos, Input.begin() + Pos + LitLen);
+    Pos += LitLen;
+
+    assert(Pos < Input.size() && "missing match token");
+    uint8_t LenCode = Input[Pos++];
+    if (LenCode == 0)
+      break;
+    size_t MatchLen = LenCode - 1 + MinMatch;
+    uint64_t Dist = readVarint(Input, Pos);
+    assert(Dist != 0 && Dist <= Out.size() && "bad match distance");
+    size_t From = Out.size() - Dist;
+    for (size_t I = 0; I != MatchLen; ++I)
+      Out.push_back(Out[From + I]); // May overlap; copy byte-by-byte.
+  }
+
+  assert(Out.size() == ExpectedSize && "decompressed size mismatch");
+  return Out;
+}
+
+size_t chimera::compressedSize(const std::vector<uint8_t> &Input) {
+  return lzCompress(Input).size();
+}

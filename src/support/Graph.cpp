@@ -1,0 +1,105 @@
+//===- support/Graph.cpp - Undirected graphs and clique covers ------------===//
+
+#include "support/Graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chimera;
+
+void UndirectedGraph::resize(unsigned NumNodes) {
+  unsigned Words = (NumNodes + 63) / 64;
+  Adj.resize(NumNodes);
+  for (auto &Row : Adj)
+    Row.resize(Words, 0);
+}
+
+void UndirectedGraph::addEdge(unsigned A, unsigned B) {
+  assert(A < numNodes() && B < numNodes() && "edge endpoint out of range");
+  if (A == B)
+    return;
+  setBit(A, B);
+  setBit(B, A);
+}
+
+bool UndirectedGraph::hasEdge(unsigned A, unsigned B) const {
+  assert(A < numNodes() && B < numNodes() && "edge endpoint out of range");
+  if (A == B)
+    return false;
+  return bit(A, B);
+}
+
+std::vector<unsigned> UndirectedGraph::neighbors(unsigned Node) const {
+  std::vector<unsigned> Result;
+  for (unsigned B = 0, E = numNodes(); B != E; ++B)
+    if (Node != B && bit(Node, B))
+      Result.push_back(B);
+  return Result;
+}
+
+unsigned UndirectedGraph::degree(unsigned Node) const {
+  unsigned Count = 0;
+  for (uint64_t Word : Adj[Node])
+    Count += static_cast<unsigned>(__builtin_popcountll(Word));
+  return Count;
+}
+
+unsigned UndirectedGraph::numEdges() const {
+  unsigned Total = 0;
+  for (unsigned N = 0, E = numNodes(); N != E; ++N)
+    Total += degree(N);
+  return Total / 2;
+}
+
+bool UndirectedGraph::isClique(const std::vector<unsigned> &Nodes) const {
+  for (size_t I = 0; I != Nodes.size(); ++I)
+    for (size_t J = I + 1; J != Nodes.size(); ++J)
+      if (!hasEdge(Nodes[I], Nodes[J]))
+        return false;
+  return true;
+}
+
+std::vector<std::vector<unsigned>> chimera::greedyMaximalCliques(
+    const UndirectedGraph &G) {
+  unsigned N = G.numNodes();
+
+  // Order nodes by decreasing degree, ties by id, so results are
+  // deterministic and dense cliques are found first.
+  std::vector<unsigned> Order(N);
+  for (unsigned I = 0; I != N; ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return G.degree(A) > G.degree(B);
+  });
+
+  std::vector<bool> Covered(N, false);
+  std::vector<std::vector<unsigned>> Cliques;
+
+  for (unsigned Seed : Order) {
+    if (Covered[Seed] || G.degree(Seed) == 0)
+      continue;
+
+    // Grow a maximal clique around Seed, preferring uncovered high-degree
+    // candidates so each new clique covers as many new nodes as possible.
+    std::vector<unsigned> Clique = {Seed};
+    for (unsigned Cand : Order) {
+      if (Cand == Seed)
+        continue;
+      bool AdjacentToAll = true;
+      for (unsigned Member : Clique)
+        if (!G.hasEdge(Cand, Member)) {
+          AdjacentToAll = false;
+          break;
+        }
+      if (AdjacentToAll)
+        Clique.push_back(Cand);
+    }
+
+    std::sort(Clique.begin(), Clique.end());
+    assert(G.isClique(Clique) && "greedy growth produced a non-clique");
+    for (unsigned Member : Clique)
+      Covered[Member] = true;
+    Cliques.push_back(std::move(Clique));
+  }
+  return Cliques;
+}

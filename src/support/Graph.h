@@ -1,0 +1,74 @@
+//===- support/Graph.h - Undirected graphs and clique covers ----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small undirected-graph utility used by Chimera's clique analysis
+/// (paper section 4.2): the profiler builds a graph whose nodes are racy
+/// functions and whose edges connect functions observed to be mutually
+/// non-concurrent; maximal cliques of that graph share one function-lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_GRAPH_H
+#define CHIMERA_SUPPORT_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+
+/// A dense undirected graph over node ids [0, NumNodes).
+class UndirectedGraph {
+public:
+  explicit UndirectedGraph(unsigned NumNodes = 0) { resize(NumNodes); }
+
+  /// Grows the graph to \p NumNodes nodes (existing edges are kept).
+  void resize(unsigned NumNodes);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Adj.size()); }
+
+  /// Adds the undirected edge {A, B}. Self-edges are ignored.
+  void addEdge(unsigned A, unsigned B);
+
+  bool hasEdge(unsigned A, unsigned B) const;
+
+  /// Returns the neighbor ids of \p Node in increasing order.
+  std::vector<unsigned> neighbors(unsigned Node) const;
+
+  unsigned degree(unsigned Node) const;
+
+  unsigned numEdges() const;
+
+  /// Returns true if every pair of nodes in \p Nodes is connected.
+  bool isClique(const std::vector<unsigned> &Nodes) const;
+
+private:
+  // Bitset adjacency rows; fine for the few hundred racy functions Chimera
+  // sees per program.
+  std::vector<std::vector<uint64_t>> Adj;
+
+  bool bit(unsigned A, unsigned B) const {
+    return (Adj[A][B >> 6] >> (B & 63)) & 1;
+  }
+  void setBit(unsigned A, unsigned B) { Adj[A][B >> 6] |= 1ull << (B & 63); }
+};
+
+/// Computes a greedy maximal-clique cover of \p G.
+///
+/// Mirrors the paper's greedy algorithm: repeatedly seed a clique from the
+/// highest-degree uncovered node, extend it greedily to a maximal clique
+/// (preferring high-degree candidates), and continue until every node with
+/// at least one edge is covered. A node can appear in multiple cliques, as
+/// in the paper's Figure 3(c) where `carol` belongs to two cliques.
+///
+/// \returns the cliques, each a sorted list of node ids, deterministic for
+/// a given graph.
+std::vector<std::vector<unsigned>> greedyMaximalCliques(
+    const UndirectedGraph &G);
+
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_GRAPH_H

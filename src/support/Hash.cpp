@@ -1,0 +1,37 @@
+//===- support/Hash.cpp - Streaming FNV-1a hashing ------------------------===//
+
+#include "support/Hash.h"
+
+using namespace chimera;
+
+static const uint64_t FnvPrime = 0x100000001b3ull;
+
+void Hasher::addBytes(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Size; ++I) {
+    State ^= Bytes[I];
+    State *= FnvPrime;
+  }
+}
+
+void Hasher::addWord(uint64_t Word) {
+  for (int I = 0; I != 8; ++I) {
+    State ^= (Word >> (I * 8)) & 0xff;
+    State *= FnvPrime;
+  }
+}
+
+void Hasher::addWords(const std::vector<uint64_t> &Words) {
+  for (uint64_t W : Words)
+    addWord(W);
+}
+
+void Hasher::addString(const std::string &Str) {
+  addBytes(Str.data(), Str.size());
+}
+
+uint64_t chimera::hashWords(const std::vector<uint64_t> &Words) {
+  Hasher H;
+  H.addWords(Words);
+  return H.digest();
+}

@@ -1,0 +1,51 @@
+//===- support/Hash.h - Streaming FNV-1a hashing ----------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming 64-bit FNV-1a hasher. Used to fingerprint final machine
+/// states (memory + output) so record and replay runs can be compared for
+/// bit-exact determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_HASH_H
+#define CHIMERA_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+/// Incremental FNV-1a over arbitrary byte and word streams.
+class Hasher {
+public:
+  /// Mixes \p Size raw bytes into the hash.
+  void addBytes(const void *Data, size_t Size);
+
+  /// Mixes a single 64-bit word (as its 8 little-endian bytes).
+  void addWord(uint64_t Word);
+
+  /// Mixes every element of \p Words.
+  void addWords(const std::vector<uint64_t> &Words);
+
+  /// Mixes the characters of \p Str.
+  void addString(const std::string &Str);
+
+  /// Returns the current digest.
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State = 0xcbf29ce484222325ull;
+};
+
+/// Convenience one-shot hash of a word vector.
+uint64_t hashWords(const std::vector<uint64_t> &Words);
+
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_HASH_H

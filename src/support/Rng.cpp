@@ -1,0 +1,55 @@
+//===- support/Rng.cpp - Deterministic pseudo-random numbers --------------===//
+
+#include "support/Rng.h"
+
+using namespace chimera;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void Rng::reseed(uint64_t Seed) {
+  // Scramble so that nearby seeds (0, 1, 2, ...) yield unrelated streams.
+  uint64_t S = Seed;
+  State = splitmix64(S);
+  if (State == 0)
+    State = 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Rng::next() {
+  // xorshift64* (Vigna). Period 2^64 - 1, never yields 0 from the raw
+  // xorshift state, output scrambled by the multiply.
+  uint64_t X = State;
+  X ^= X >> 12;
+  X ^= X << 25;
+  X ^= X >> 27;
+  State = X;
+  return X * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Multiply-shift rejection-free mapping is fine for simulation purposes;
+  // modulo bias is irrelevant here but we keep the debiased form anyway.
+  return next() % Bound;
+}
+
+uint64_t Rng::nextInRange(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "invalid range");
+  return Lo + nextBelow(Hi - Lo + 1);
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "chance denominator must be nonzero");
+  return nextBelow(Den) < Num;
+}
+
+Rng Rng::split() {
+  Rng Child;
+  Child.reseed(next());
+  return Child;
+}

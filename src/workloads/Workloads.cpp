@@ -1,0 +1,1195 @@
+//===- workloads/Workloads.cpp - The nine paper benchmarks -----------------===//
+
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace chimera;
+using namespace chimera::workloads;
+
+namespace {
+
+/// Replaces $W (workers), $S (scale) in a template. Only global
+/// initializers and barrier party counts may use them, keeping the IR
+/// shape identical between profile and evaluation configurations.
+std::string substitute(const char *Template, const WorkloadParams &P) {
+  std::string Out;
+  for (const char *C = Template; *C; ++C) {
+    if (*C == '$' && C[1] == 'W') {
+      Out += std::to_string(P.Workers);
+      ++C;
+    } else if (*C == '$' && C[1] == 'S') {
+      Out += std::to_string(P.Scale);
+      ++C;
+    } else {
+      Out += *C;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// aget — download accelerator (desktop). Workers fill disjoint chunks of
+// a shared buffer from the network; the real aget's progress counter
+// `bwritten` is updated without a lock (a known race). Decoding after the
+// download is a pure-compute loop with derivable bounds.
+//===----------------------------------------------------------------------===//
+
+const char *AgetSource = R"(
+int workers = $W;
+int scale = $S;
+int buf[16384];
+int bwritten;
+int report_buf[16];
+int tids[8];
+
+void download(int* base, int n, int id) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int v = net_recv();
+    base[i] = v & 255;
+    bwritten += 1;
+  }
+  report_buf[id] = n;
+}
+
+void decode(int* base, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    base[i] = (base[i] ^ 90) & 255;
+  }
+}
+
+void fetch(int* base, int n, int id) {
+  download(base, n, id);
+  decode(base, n);
+}
+
+void summarize(int total) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < total; i++) {
+    sum = (sum + buf[i]) & 1048575;
+  }
+  output(sum);
+  output(bwritten);
+  int j;
+  for (j = 0; j < 8; j++) {
+    output(report_buf[j]);
+  }
+}
+
+int main() {
+  int chunk = 96 * scale;
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(fetch, &buf[w * chunk], chunk, w);
+  }
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  summarize(workers * chunk);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// pfscan — parallel file scanner (desktop). Work queue with a condition
+// variable; per-worker stats partitions; a racy running-max update inside
+// an `if` in the hot scan loop (the case the paper discusses in §7.3);
+// and master-only merge phases separated by barriers — the function-lock
+// showcase.
+//===----------------------------------------------------------------------===//
+
+const char *PfscanSource = R"(
+int workers = $W;
+int scale = $S;
+int nfiles = 12;
+mutex qlock;
+cond qcond;
+int queue[64];
+int qhead;
+int qtail;
+int qdone;
+int matches;
+int maxlen;
+int stats[512];
+int summary[16];
+int grand[4];
+int tids[8];
+barrier phase($W);
+
+void enqueue_files() {
+  int i;
+  lock(qlock);
+  for (i = 0; i < nfiles; i++) {
+    queue[qtail] = 1 + (input() & 3);
+    qtail++;
+  }
+  qdone = 1;
+  cond_broadcast(qcond);
+  unlock(qlock);
+}
+
+int take_work() {
+  int job = 0;
+  lock(qlock);
+  while (qhead == qtail && qdone == 0) {
+    cond_wait(qcond, qlock);
+  }
+  if (qhead < qtail) {
+    job = queue[qhead];
+    qhead++;
+  }
+  unlock(qlock);
+  return job;
+}
+
+void scan_block(int* stat, int blocks) {
+  int b;
+  for (b = 0; b < blocks; b++) {
+    int data = file_read();
+    int len = 32 + (data & 255);
+    int found = 0;
+    int i;
+    for (i = 0; i < len; i++) {
+      int c = (data + i * 7) & 255;
+      if (c == 65) {
+        found++;
+      }
+    }
+    if (len > maxlen) {
+      maxlen = len;
+    }
+    stat[0] = stat[0] + found;
+    stat[1] = stat[1] + len;
+    lock(qlock);
+    matches = matches + found;
+    unlock(qlock);
+  }
+}
+
+void merge_found() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    summary[i & 15] = (summary[i & 15] + stats[i]) & 1048575;
+  }
+  grand[0] = 0;
+  int w;
+  for (w = 0; w < workers; w++) {
+    grand[0] = grand[0] + summary[w];
+  }
+}
+
+void merge_len() {
+  int i;
+  grand[1] = 0;
+  for (i = 0; i < 512; i++) {
+    grand[1] = (grand[1] + stats[i] * 3 + summary[i & 15]) & 1048575;
+  }
+}
+
+void worker(int id) {
+  int* stat = &stats[id * 64];
+  int job = take_work();
+  while (job != 0) {
+    scan_block(stat, job * scale);
+    job = take_work();
+  }
+  barrier_wait(phase);
+  if (id == 0) {
+    merge_found();
+  }
+  barrier_wait(phase);
+  if (id == workers - 1) {
+    merge_len();
+  }
+  barrier_wait(phase);
+}
+
+void report() {
+  output(matches);
+  output(maxlen);
+  output(grand[0]);
+  output(grand[1]);
+}
+
+int main() {
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  enqueue_files();
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  report();
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// pbzip2 — parallel block compressor (desktop). The producer reads file
+// blocks and hands them to compressing workers through a mutex/condvar
+// queue; blocks live in disjoint regions of shared in/out buffers, whose
+// cross-thread handoff RELAY cannot see (condvar ordering), giving false
+// races that ranged loop-locks absorb without serialization.
+//===----------------------------------------------------------------------===//
+
+const char *Pbzip2Source = R"(
+int workers = $W;
+int scale = $S;
+int nblocks = 16;
+int inbuf[16384];
+int outbuf[16384];
+int blockstate[64];
+mutex block_lock;
+cond block_cond;
+int next_block;
+int produced;
+int checksums[16];
+int tids[8];
+
+void fill_block(int* dst, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = file_read() & 255;
+  }
+}
+
+void read_input_blocks() {
+  int bs = 64 * scale;
+  int b;
+  for (b = 0; b < nblocks; b++) {
+    fill_block(&inbuf[b * bs], bs);
+    lock(block_lock);
+    blockstate[b] = 1;
+    produced++;
+    cond_broadcast(block_cond);
+    unlock(block_lock);
+  }
+}
+
+int claim_block() {
+  int mine = -1;
+  lock(block_lock);
+  while (next_block < nblocks && blockstate[next_block] == 0) {
+    cond_wait(block_cond, block_lock);
+  }
+  if (next_block < nblocks) {
+    mine = next_block;
+    next_block++;
+  }
+  unlock(block_lock);
+  return mine;
+}
+
+void compress_block(int* src, int* dst, int n) {
+  int acc = 7;
+  int i;
+  for (i = 0; i < n; i++) {
+    acc = (acc * 33 + src[i]) & 65535;
+    dst[i] = (src[i] ^ acc) & 255;
+  }
+}
+
+void worker(int id) {
+  int bs = 64 * scale;
+  int b = claim_block();
+  while (b >= 0) {
+    compress_block(&inbuf[b * bs], &outbuf[b * bs], bs);
+    checksums[id & 7] = checksums[id & 7] + 1;
+    b = claim_block();
+  }
+}
+
+void flush_output(int total) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < total; i++) {
+    sum = (sum + outbuf[i]) & 1048575;
+  }
+  output(sum);
+  int w;
+  for (w = 0; w < 8; w++) {
+    output(checksums[w]);
+  }
+}
+
+int main() {
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  read_input_blocks();
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  flush_output(nblocks * 64 * scale);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// knot — threaded web server (server). Main accepts requests from the
+// network into a queue; pool workers serve them out of a read-mostly
+// document cache initialized before the pool starts (an init-vs-worker
+// false race), with a racy hit counter. Heavily I/O-bound, so recording
+// cost hides behind network waits.
+//===----------------------------------------------------------------------===//
+
+const char *KnotSource = R"(
+int workers = $W;
+int scale = $S;
+mutex qm;
+cond qc;
+int reqq[256];
+int qh;
+int qt;
+int closing;
+int cache[2048];
+int hits;
+int served[8];
+int tids[8];
+
+void setup_cache() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    cache[i] = (i * 17) & 255;
+  }
+}
+
+int next_request() {
+  int r = -1;
+  lock(qm);
+  while (qh == qt && closing == 0) {
+    cond_wait(qc, qm);
+  }
+  if (qh < qt) {
+    r = reqq[qh & 255];
+    qh++;
+  }
+  unlock(qm);
+  return r;
+}
+
+int render(int doc) {
+  int sum = 0;
+  int i;
+  for (i = 0; i < 64; i++) {
+    sum = (sum + cache[doc + i]) & 65535;
+  }
+  return sum;
+}
+
+void serve(int id, int req) {
+  int body = render(req & 1023);
+  hits += 1;
+  served[id] = served[id] + 1;
+  output(body & 255);
+}
+
+void worker(int id) {
+  int r = next_request();
+  while (r >= 0) {
+    serve(id, r);
+    r = next_request();
+  }
+}
+
+void accept_loop() {
+  int n = 16 * scale;
+  int i;
+  for (i = 0; i < n; i++) {
+    int req = net_recv() & 1023;
+    lock(qm);
+    reqq[qt & 255] = req;
+    qt++;
+    reqq[qt & 255] = (req + 331) & 1023;
+    qt++;
+    cond_broadcast(qc);
+    unlock(qm);
+  }
+  lock(qm);
+  closing = 1;
+  cond_broadcast(qc);
+  unlock(qm);
+}
+
+void report() {
+  int w;
+  int tot = 0;
+  for (w = 0; w < workers; w++) {
+    tot = tot + served[w];
+  }
+  output(tot);
+  output(hits);
+}
+
+int main() {
+  setup_cache();
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  accept_loop();
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  report();
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// apache — larger web server (server). Adds virtual hosts, a mime table,
+// request parsing, per-worker scratch buffers whose hot clearing loop is
+// the paper's memset story (§7.3: a false self-race in a ~6M-iteration
+// loop rescued by loop-locks with accurate bounds), per-worker log
+// buffers, and barrier-phased master-only stat collection.
+//===----------------------------------------------------------------------===//
+
+const char *ApacheSource = R"(
+int workers = $W;
+int scale = $S;
+mutex qm;
+cond qc;
+int reqq[512];
+int qh;
+int qt;
+int closing;
+int vhosts[256];
+int mime[128];
+int docs[4096];
+int scratch_all[4096];
+int logbuf[1024];
+int logpos[8];
+int hits;
+int errors;
+int agg[64];
+int totals[8];
+int tids[8];
+barrier endphase($W);
+
+void init_vhosts() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    vhosts[i] = (i * 31 + 7) & 255;
+  }
+}
+
+void init_mime() {
+  int i;
+  for (i = 0; i < 128; i++) {
+    mime[i] = (i * 13 + 3) & 127;
+  }
+}
+
+void init_docs() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    docs[i] = (i * 29) & 255;
+  }
+}
+
+int next_request() {
+  int r = -1;
+  lock(qm);
+  while (qh == qt && closing == 0) {
+    cond_wait(qc, qm);
+  }
+  if (qh < qt) {
+    r = reqq[qh & 511];
+    qh++;
+  }
+  unlock(qm);
+  return r;
+}
+
+void clear_scratch(int* s, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    s[i] = 0;
+  }
+}
+
+int parse_request(int* s, int req) {
+  int host = vhosts[req & 255];
+  int kind = mime[(req >> 3) & 127];
+  s[0] = host;
+  s[1] = kind;
+  s[2] = req & 4095;
+  return s[2];
+}
+
+int build_response(int* s, int doc) {
+  int sum = s[0] + s[1];
+  int i;
+  for (i = 0; i < 96; i++) {
+    int d = docs[(doc + i) & 4095];
+    sum = (sum + d) & 65535;
+    s[4 + i] = d;
+  }
+  return sum;
+}
+
+void log_request(int id, int code) {
+  int p = logpos[id] & 127;
+  logbuf[id * 128 + p] = code;
+  logpos[id] = logpos[id] + 1;
+}
+
+void serve_one(int id, int* s, int req) {
+  clear_scratch(s, 128);
+  int doc = parse_request(s, req);
+  int body = build_response(s, doc);
+  if ((body & 63) == 0) {
+    errors += 1;
+  }
+  hits += 1;
+  log_request(id, body & 255);
+  output(body & 255);
+}
+
+void collect_hits() {
+  int w;
+  for (w = 0; w < workers; w++) {
+    agg[w] = logpos[w];
+  }
+  agg[32] = 0;
+  for (w = 0; w < workers; w++) {
+    agg[32] = agg[32] + agg[w];
+  }
+}
+
+void collect_errors() {
+  int w;
+  agg[33] = errors;
+  agg[34] = 0;
+  for (w = 0; w < workers; w++) {
+    agg[34] = agg[34] + agg[w];
+  }
+}
+
+void worker(int id) {
+  int* s = &scratch_all[id * 512];
+  int r = next_request();
+  while (r >= 0) {
+    serve_one(id, s, r);
+    totals[id] = totals[id] + 1;
+    r = next_request();
+  }
+  barrier_wait(endphase);
+  if (id == 0) {
+    collect_hits();
+  }
+  barrier_wait(endphase);
+  if (id == workers - 1) {
+    collect_errors();
+  }
+  barrier_wait(endphase);
+}
+
+void accept_loop() {
+  int n = 12 * scale;
+  int i;
+  for (i = 0; i < n; i++) {
+    int req = net_recv() & 4095;
+    lock(qm);
+    reqq[qt & 511] = req;
+    qt++;
+    reqq[qt & 511] = (req + 173) & 4095;
+    qt++;
+    reqq[qt & 511] = (req + 977) & 4095;
+    qt++;
+    reqq[qt & 511] = (req + 1511) & 4095;
+    qt++;
+    cond_broadcast(qc);
+    unlock(qm);
+  }
+  lock(qm);
+  closing = 1;
+  cond_broadcast(qc);
+  unlock(qm);
+}
+
+void report() {
+  output(hits);
+  output(errors);
+  output(agg[32]);
+  output(agg[34]);
+  int w;
+  int tot = 0;
+  for (w = 0; w < workers; w++) {
+    tot = tot + totals[w];
+  }
+  output(tot);
+}
+
+int main() {
+  init_vhosts();
+  init_mime();
+  init_docs();
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  accept_loop();
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  report();
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// ocean — barrier-phased grid stencil (scientific, SPLASH-2). Workers
+// relax disjoint row bands but read one neighbor row on each side, so the
+// ranged loop-locks of adjacent workers overlap at band boundaries —
+// the loop-lock contention that dominates ocean's overhead in Fig. 7.
+//===----------------------------------------------------------------------===//
+
+const char *OceanSource = R"(
+int workers = $W;
+int scale = $S;
+int iters = 6;
+int grid[8192];
+int newgrid[8192];
+int diffs[8];
+int tids[8];
+mutex dm;
+int totaldiff;
+barrier step($W);
+
+void init_grid(int total) {
+  int i;
+  for (i = 0; i < total; i++) {
+    grid[i] = (i * 7 + 11) & 1023;
+    newgrid[i] = 0;
+  }
+}
+
+void relax(int* src, int* dst, int n, int id) {
+  int d = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int up = src[i - 64];
+    int here = src[i];
+    int v = (up + here + here + here) >> 2;
+    dst[i] = v;
+    d = d + (v - here) * (v - here);
+  }
+  diffs[id] = d;
+}
+
+void reduce_diff(int id) {
+  lock(dm);
+  totaldiff = totaldiff + diffs[id];
+  unlock(dm);
+}
+
+void worker(int id) {
+  int band = 64 * scale;
+  int lo = 64 + id * band;
+  int t;
+  for (t = 0; t < iters; t++) {
+    relax(&grid[lo], &newgrid[lo], band, id);
+    reduce_diff(id);
+    barrier_wait(step);
+    relax(&newgrid[lo], &grid[lo], band, id);
+    barrier_wait(step);
+  }
+}
+
+void check_grid(int total) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < total; i++) {
+    sum = (sum + grid[i]) & 1048575;
+  }
+  output(sum);
+  output(totaldiff & 1048575);
+}
+
+int main() {
+  int band = 64 * scale;
+  init_grid(64 + workers * band + 64);
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  check_grid(64 + workers * band + 64);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// water — molecular dynamics (scientific, SPLASH-2). Barrier-separated
+// per-step phases: per-partition position/velocity updates (affine, loop
+// locks), an intra-molecular force loop that calls a helper — defeating
+// the intra-procedural bounds analysis, so it falls back to fine-grained
+// locks (paper §7.4) — and master-only energy/boundary phases that form
+// the non-concurrent cliques of Figs. 2 and 3.
+//===----------------------------------------------------------------------===//
+
+const char *WaterSource = R"(
+int workers = $W;
+int scale = $S;
+int npart = 96;
+int pos[1024];
+int vel[1024];
+int force[1024];
+int energy[8];
+int tids[8];
+barrier stepb($W);
+
+int cube(int x) {
+  return (x * x % 8191) * x % 8191;
+}
+
+void init_water(int total) {
+  int i;
+  for (i = 0; i < total; i++) {
+    pos[i] = (i * 37 + 5) & 32767;
+    vel[i] = (i * 11 + 3) & 255;
+    force[i] = 0;
+  }
+}
+
+void predic(int* p, int* v, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    p[i] = (p[i] + v[i]) & 32767;
+  }
+}
+
+void intraf(int* f, int* p, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 16) {
+    f[i] = (f[i] + cube(p[i] & 63)) & 32767;
+  }
+}
+
+void interf(int* f, int* p, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int a = p[i];
+    int b = p[n - 1 - i];
+    f[i] = (f[i] + a * 3 + b) & 32767;
+  }
+}
+
+void correc(int* v, int* f, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    v[i] = (v[i] + (f[i] >> 4)) & 255;
+  }
+}
+
+void kineti(int total) {
+  int e = 0;
+  int i;
+  for (i = 0; i < total; i++) {
+    e = (e + vel[i] * vel[i]) & 1048575;
+  }
+  energy[0] = e;
+}
+
+void poteng(int total) {
+  int e = 0;
+  int i;
+  for (i = 0; i < total; i++) {
+    e = (e + pos[i]) & 1048575;
+  }
+  energy[1] = e;
+}
+
+void bndry(int total) {
+  int i;
+  for (i = 0; i < total; i++) {
+    pos[i] = pos[i] & 16383;
+  }
+  for (i = 0; i < total; i++) {
+    force[i] = (force[i] + (pos[i] >> 8)) & 32767;
+  }
+  energy[2] = energy[0] + energy[1];
+}
+
+void worker(int id) {
+  int n = npart;
+  int* p = &pos[id * 96];
+  int* v = &vel[id * 96];
+  int* f = &force[id * 96];
+  int total = workers * npart;
+  int s;
+  int steps = scale;
+  for (s = 0; s < steps; s++) {
+    predic(p, v, n);
+    barrier_wait(stepb);
+    intraf(f, p, n);
+    interf(f, p, n);
+    barrier_wait(stepb);
+    correc(v, f, n);
+    barrier_wait(stepb);
+    if (id == 0) {
+      kineti(total);
+      poteng(total);
+    }
+    barrier_wait(stepb);
+    if (id == workers - 1) {
+      bndry(total);
+    }
+    barrier_wait(stepb);
+  }
+}
+
+void report(int total) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < total; i++) {
+    sum = (sum + pos[i] + vel[i]) & 1048575;
+  }
+  output(sum);
+  output(energy[0]);
+  output(energy[1]);
+  output(energy[2]);
+}
+
+int main() {
+  int total = workers * npart;
+  init_water(total);
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  report(total);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// fft — spectral transform (scientific, SPLASH-2). Butterfly passes over
+// disjoint chunks, then a transpose whose column-strided writes span the
+// whole matrix: every worker's ranged loop-lock overlaps every other's,
+// so the transpose serializes — fft's loop-lock contention in Fig. 7.
+//===----------------------------------------------------------------------===//
+
+const char *FftSource = R"(
+int workers = $W;
+int scale = $S;
+int data[8192];
+int tmp[8192];
+int tids[8];
+barrier fb($W);
+
+void init_data(int total) {
+  int seedv = input() & 1023;
+  int i;
+  for (i = 0; i < total; i++) {
+    data[i] = (i * 97 + seedv) & 4095;
+    tmp[i] = 0;
+  }
+}
+
+void butterfly(int* d, int n, int stride) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int a = d[i];
+    int b = d[i + stride];
+    d[i] = (a + b) & 4095;
+    d[i + stride] = (a - b) & 4095;
+  }
+}
+
+void transpose_band(int* src, int* dstbase, int rows, int row0) {
+  int r;
+  for (r = 0; r < rows; r++) {
+    int c;
+    for (c = 0; c < 64; c++) {
+      dstbase[c * 64 + row0 + r] = src[r * 64 + c];
+    }
+  }
+}
+
+void scale_band(int* d, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    d[i] = (d[i] * 3 + 1) & 4095;
+  }
+}
+
+void worker(int id) {
+  int rows = scale;
+  int chunk = rows * 64;
+  int lo = id * chunk;
+  int p;
+  for (p = 0; p < 3; p++) {
+    butterfly(&data[lo], chunk >> 1, chunk >> 1);
+    barrier_wait(fb);
+  }
+  transpose_band(&data[lo], &tmp[0], rows, id * rows);
+  barrier_wait(fb);
+  scale_band(&tmp[lo], chunk);
+  barrier_wait(fb);
+}
+
+void check(int total) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < total; i++) {
+    sum = (sum + tmp[i]) & 1048575;
+  }
+  output(sum);
+}
+
+int main() {
+  int rows = scale;
+  int total = workers * rows * 64;
+  init_data(total);
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  check(total);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// radix — radix sort (scientific, SPLASH-2), the paper's Figure 4.
+// Per-worker rank arrays carved out of one shared array: the zeroing
+// loop's bounds are derivable (ranged loop-lock, fully parallel); the
+// key-histogram loop's target depends on key values (underivable bounds,
+// small body, unranged loop-lock); a master prefix-sum phase between
+// passes.
+//===----------------------------------------------------------------------===//
+
+const char *RadixSource = R"(
+int workers = $W;
+int scale = $S;
+int keys_from[4096];
+int keys_to[4096];
+int rank_all[2048];
+int global_rank[256];
+int offsets[2048];
+int tids[8];
+mutex rm;
+barrier rb($W);
+
+void init_keys(int total) {
+  int i;
+  for (i = 0; i < total; i++) {
+    keys_from[i] = input() & 65535;
+  }
+}
+
+void zero_rank(int* rank, int n) {
+  int j;
+  for (j = 0; j < n; j++) {
+    rank[j] = 0;
+  }
+}
+
+void count_keys(int* rank, int* key, int n, int shift) {
+  int j;
+  for (j = 0; j < n; j++) {
+    int my_key = (key[j] >> shift) & 255;
+    rank[my_key] = rank[my_key] + 1;
+  }
+}
+
+void merge_rank(int* rank) {
+  int j;
+  lock(rm);
+  for (j = 0; j < 256; j++) {
+    global_rank[j] = global_rank[j] + rank[j];
+  }
+  unlock(rm);
+}
+
+void prefix_sum() {
+  int j;
+  int acc = 0;
+  for (j = 0; j < 256; j++) {
+    int c = global_rank[j];
+    offsets[j] = acc;
+    acc = acc + c;
+    global_rank[j] = 0;
+  }
+}
+
+void copy_back(int* dst, int* src, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    dst[i] = src[i];
+  }
+}
+
+void permute(int* key, int n, int shift, int id) {
+  int j;
+  for (j = 0; j < n; j++) {
+    int my_key = (key[j] >> shift) & 255;
+    int slot = offsets[my_key] + (id * 4 + ((j * 13) & 3));
+    keys_to[slot & 4095] = key[j];
+  }
+}
+
+void worker(int id) {
+  int n = 64 * scale;
+  int* key = &keys_from[id * n];
+  int* rank = &rank_all[id * 256];
+  int pass;
+  int shift = 0;
+  for (pass = 0; pass < 2; pass++) {
+    zero_rank(rank, 256);
+    count_keys(rank, key, n, shift);
+    merge_rank(rank);
+    barrier_wait(rb);
+    if (id == 0) {
+      prefix_sum();
+    }
+    barrier_wait(rb);
+    permute(key, n, shift, id);
+    barrier_wait(rb);
+    copy_back(key, &keys_to[id * n], n);
+    barrier_wait(rb);
+    shift = shift + 8;
+  }
+}
+
+void verify(int total) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < total; i++) {
+    sum = (sum + keys_from[i]) & 1048575;
+  }
+  output(sum);
+}
+
+int main() {
+  int total = workers * 64 * scale;
+  init_keys(total);
+  int w;
+  for (w = 0; w < workers; w++) {
+    tids[w] = spawn(worker, w);
+  }
+  for (w = 0; w < workers; w++) {
+    join(tids[w]);
+  }
+  verify(total);
+  return 0;
+}
+)";
+
+struct WorkloadEntry {
+  WorkloadInfo Info;
+  const char *Template;
+  WorkloadParams Profile;
+  unsigned EvalScale;
+};
+
+const WorkloadEntry Entries[] = {
+    {{WorkloadKind::Aget, "aget", "desktop",
+      "2 workers, 192-word chunks from local network",
+      "4/8 workers, 768-word chunks from remote network"},
+     AgetSource, {2, 2}, 8},
+    {{WorkloadKind::Pfscan, "pfscan", "desktop",
+      "2 workers, 12 small files", "4/8 workers, 12 large files"},
+     PfscanSource, {2, 2}, 10},
+    {{WorkloadKind::Pbzip2, "pbzip2", "desktop",
+      "2 workers, 16 x 128-word blocks", "4/8 workers, 16 x 512-word blocks"},
+     Pbzip2Source, {2, 2}, 8},
+    {{WorkloadKind::Knot, "knot", "server",
+      "2 workers, 32 requests", "4/8 workers, 160 requests"},
+     KnotSource, {2, 2}, 10},
+    {{WorkloadKind::Apache, "apache", "server",
+      "2 workers, 48 requests", "4/8 workers, 240 requests"},
+     ApacheSource, {2, 2}, 10},
+    {{WorkloadKind::Ocean, "ocean", "scientific",
+      "2 workers, 32-row bands, 6 iterations",
+      "4/8 workers, 96-row bands, 6 iterations"},
+     OceanSource, {2, 2}, 8},
+    {{WorkloadKind::Water, "water", "scientific",
+      "2 workers, 96 molecules/worker, 3 steps",
+      "4/8 workers, 96 molecules/worker, 8 steps"},
+     WaterSource, {2, 3}, 8},
+    {{WorkloadKind::Fft, "fft", "scientific",
+      "2 workers, 16-row bands", "4/8 workers, 64-row bands"},
+     FftSource, {2, 2}, 8},
+    {{WorkloadKind::Radix, "radix", "scientific",
+      "2 workers, 256 keys/worker, 2 passes",
+      "4/8 workers, 768 keys/worker, 2 passes"},
+     RadixSource, {2, 2}, 6},
+};
+
+const WorkloadEntry &entry(WorkloadKind Kind) {
+  for (const WorkloadEntry &E : Entries)
+    if (E.Info.Kind == Kind)
+      return E;
+  assert(false && "unknown workload");
+  return Entries[0];
+}
+
+} // namespace
+
+const std::vector<WorkloadKind> &chimera::workloads::allWorkloads() {
+  static const std::vector<WorkloadKind> All = {
+      WorkloadKind::Aget,   WorkloadKind::Pfscan, WorkloadKind::Pbzip2,
+      WorkloadKind::Knot,   WorkloadKind::Apache, WorkloadKind::Ocean,
+      WorkloadKind::Water,  WorkloadKind::Fft,    WorkloadKind::Radix,
+  };
+  return All;
+}
+
+const WorkloadInfo &chimera::workloads::workloadInfo(WorkloadKind Kind) {
+  return entry(Kind).Info;
+}
+
+std::string chimera::workloads::workloadSource(WorkloadKind Kind,
+                                               const WorkloadParams &P) {
+  return substitute(entry(Kind).Template, P);
+}
+
+WorkloadParams chimera::workloads::profileParams(WorkloadKind Kind) {
+  return entry(Kind).Profile;
+}
+
+WorkloadParams chimera::workloads::evalParams(WorkloadKind Kind,
+                                              unsigned Workers) {
+  WorkloadParams P;
+  P.Workers = Workers;
+  P.Scale = entry(Kind).EvalScale;
+  return P;
+}
+
+std::unique_ptr<core::ChimeraPipeline> chimera::workloads::buildPipeline(
+    WorkloadKind Kind, unsigned Workers, std::string *Error) {
+  core::PipelineConfig Config;
+  Config.Name = workloadInfo(Kind).Name;
+  Config.NumCores = 8;
+  Config.ProfileRuns = 20;
+  Config.ProfileCores = 8;
+  return core::ChimeraPipeline::fromSource(
+      workloadSource(Kind, evalParams(Kind, Workers)),
+      workloadSource(Kind, profileParams(Kind)), Config, Error);
+}
+
+unsigned chimera::workloads::workloadLineCount(WorkloadKind Kind) {
+  unsigned Lines = 0;
+  for (const char *C = entry(Kind).Template; *C; ++C)
+    if (*C == '\n')
+      ++Lines;
+  return Lines;
+}

@@ -1,0 +1,101 @@
+//===- workloads/Workloads.h - The nine paper benchmarks --------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC reimplementations of the paper's benchmark suite (Table 1):
+/// desktop (aget, pfscan, pbzip2), server (knot, apache), and scientific
+/// (ocean, water, fft, radix). Each program reproduces the sharing
+/// pattern that drives its counterpart's behavior in the paper:
+///
+///  - aget: workers fill disjoint buffer chunks from the network, plus
+///    the real aget's racy progress counter; I/O-dominated.
+///  - pfscan: work queue + condition variable, partitioned stats,
+///    master-only merge phases (function-lock material), and a racy
+///    max-tracking update inside an `if` in the hot scan loop (§7.3).
+///  - pbzip2: producer/consumer pipeline over disjoint blocks.
+///  - knot/apache: request servers; apache adds the hot memset-style
+///    scratch-clearing loop the paper highlights for loop-locks.
+///  - ocean: barrier-phased stencil with neighbor-row overlap
+///    (loop-lock contention).
+///  - water: barrier-separated phases, master-only energy/boundary
+///    phases (the Fig. 2/3 clique story), and a force loop containing a
+///    call (defeats the intra-procedural bounds analysis, §7.4).
+///  - fft: butterfly passes plus a transpose whose column-strided writes
+///    overlap across workers (contention).
+///  - radix: Fig. 4 verbatim — zeroing loop with precise bounds, and a
+///    key-dependent histogram loop whose bounds are underivable.
+///
+/// Programs are generated from templates so the profile environment
+/// (fewer workers, smaller inputs) differs from the evaluation
+/// environment only in global initializers and barrier party counts;
+/// the IR shape is identical and analysis results transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_WORKLOADS_WORKLOADS_H
+#define CHIMERA_WORKLOADS_WORKLOADS_H
+
+#include "core/Pipeline.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace workloads {
+
+enum class WorkloadKind {
+  Aget,
+  Pfscan,
+  Pbzip2,
+  Knot,
+  Apache,
+  Ocean,
+  Water,
+  Fft,
+  Radix,
+};
+
+struct WorkloadParams {
+  unsigned Workers = 4;
+  unsigned Scale = 8; ///< Problem-size multiplier.
+};
+
+struct WorkloadInfo {
+  WorkloadKind Kind;
+  const char *Name;
+  const char *Category; ///< "desktop" | "server" | "scientific".
+  const char *ProfileEnv;
+  const char *EvalEnv;
+};
+
+/// All nine workloads in Table 1 order.
+const std::vector<WorkloadKind> &allWorkloads();
+
+const WorkloadInfo &workloadInfo(WorkloadKind Kind);
+
+/// MiniC source for the given parameters.
+std::string workloadSource(WorkloadKind Kind, const WorkloadParams &Params);
+
+/// Paper-style profile environment: 2 workers, small inputs.
+WorkloadParams profileParams(WorkloadKind Kind);
+
+/// Evaluation environment: \p Workers workers, full inputs.
+WorkloadParams evalParams(WorkloadKind Kind, unsigned Workers = 4);
+
+/// Builds a ready-to-run pipeline (8 simulated cores, paper profiling
+/// setup). Returns null and sets \p Error on failure.
+std::unique_ptr<core::ChimeraPipeline> buildPipeline(WorkloadKind Kind,
+                                                     unsigned Workers,
+                                                     std::string *Error);
+
+/// Source line count (for the Table 1 LOC column).
+unsigned workloadLineCount(WorkloadKind Kind);
+
+} // namespace workloads
+} // namespace chimera
+
+#endif // CHIMERA_WORKLOADS_WORKLOADS_H

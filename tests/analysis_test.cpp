@@ -1,0 +1,317 @@
+//===- tests/analysis_test.cpp - CallGraph/Dominators/Loops/PointsTo -------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/Escape.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/PointsTo.h"
+#include "codegen/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::analysis;
+
+namespace {
+
+std::unique_ptr<ir::Module> compile(const std::string &Source) {
+  std::string Err;
+  auto M = compileMiniC(Source, "t", &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+uint32_t funcId(const ir::Module &M, const std::string &Name) {
+  ir::Function *F = M.findFunction(Name);
+  EXPECT_NE(F, nullptr) << Name;
+  return F ? F->Index : ~0u;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CallGraph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraph, EdgesAndRoots) {
+  auto M = compile("void leaf() { }\n"
+                   "void mid() { leaf(); }\n"
+                   "void w(int x) { mid(); }\n"
+                   "int main() { int t = spawn(w, 1); join(t); mid(); "
+                   "return 0; }");
+  CallGraph CG(*M);
+  uint32_t Main = funcId(*M, "main"), W = funcId(*M, "w"),
+           Mid = funcId(*M, "mid"), Leaf = funcId(*M, "leaf");
+
+  EXPECT_EQ(CG.callees(Main), (std::vector<uint32_t>{Mid, W}));
+  EXPECT_EQ(CG.callers(Leaf), (std::vector<uint32_t>{Mid}));
+  EXPECT_EQ(CG.spawnTargets(), (std::vector<uint32_t>{W}));
+  auto Roots = CG.threadRoots();
+  EXPECT_EQ(Roots.size(), 2u);
+  EXPECT_TRUE(std::count(Roots.begin(), Roots.end(), Main));
+  EXPECT_TRUE(std::count(Roots.begin(), Roots.end(), W));
+}
+
+TEST(CallGraph, SccBottomUpOrder) {
+  auto M = compile("void a() { }\n"
+                   "void b() { a(); }\n"
+                   "int main() { b(); return 0; }");
+  CallGraph CG(*M);
+  // a's SCC must come before b's, which precedes main's.
+  EXPECT_LT(CG.sccId(funcId(*M, "a")), CG.sccId(funcId(*M, "b")));
+  EXPECT_LT(CG.sccId(funcId(*M, "b")), CG.sccId(funcId(*M, "main")));
+}
+
+TEST(CallGraph, MutualRecursionIsOneScc) {
+  auto M = compile("int odd(int n) { if (n == 0) { return 0; } "
+                   "return even(n - 1); }\n"
+                   "int even(int n) { if (n == 0) { return 1; } "
+                   "return odd(n - 1); }\n"
+                   "int main() { return even(4); }");
+  CallGraph CG(*M);
+  EXPECT_EQ(CG.sccId(funcId(*M, "odd")), CG.sccId(funcId(*M, "even")));
+  EXPECT_NE(CG.sccId(funcId(*M, "odd")), CG.sccId(funcId(*M, "main")));
+}
+
+TEST(CallGraph, SpawnInLoopMeansConcurrentInstances) {
+  auto M = compile("int tids[4];\nvoid w(int x) { }\nvoid v(int x) { }\n"
+                   "int main() { int j; for (j = 0; j < 4; j++) { "
+                   "tids[j] = spawn(w, j); } int t = spawn(v, 0); "
+                   "join(t); return 0; }");
+  CallGraph CG(*M);
+  EXPECT_TRUE(CG.mayHaveConcurrentInstances(funcId(*M, "w")));
+  EXPECT_FALSE(CG.mayHaveConcurrentInstances(funcId(*M, "v")));
+}
+
+TEST(CallGraph, TwoStaticSpawnsMeanConcurrentInstances) {
+  auto M = compile("void w(int x) { }\n"
+                   "int main() { int a = spawn(w, 1); int b = spawn(w, 2); "
+                   "join(a); join(b); return 0; }");
+  CallGraph CG(*M);
+  EXPECT_TRUE(CG.mayHaveConcurrentInstances(funcId(*M, "w")));
+}
+
+TEST(CallGraph, ReachableFrom) {
+  auto M = compile("void a() { }\nvoid b() { a(); }\nvoid c() { }\n"
+                   "int main() { b(); return 0; }");
+  CallGraph CG(*M);
+  auto Reach = CG.reachableFrom(funcId(*M, "main"));
+  EXPECT_EQ(Reach.size(), 3u); // main, b, a — not c.
+  EXPECT_FALSE(std::count(Reach.begin(), Reach.end(), funcId(*M, "c")));
+}
+
+//===----------------------------------------------------------------------===//
+// Dominators & LoopInfo
+//===----------------------------------------------------------------------===//
+
+TEST(Dominators, EntryDominatesEverything) {
+  auto M = compile("int main() { int x = 0; if (x) { x = 1; } else "
+                   "{ x = 2; } while (x < 5) { x++; } return x; }");
+  const ir::Function &F = M->function(funcId(*M, "main"));
+  Dominators Dom(F);
+  for (ir::BlockId B = 0; B != F.numBlocks(); ++B)
+    if (Dom.reachable(B)) {
+      EXPECT_TRUE(Dom.dominates(0, B));
+    }
+}
+
+TEST(Dominators, BranchSidesDontDominateMerge) {
+  auto M = compile("int main() { int x = 0; if (x) { x = 1; } else "
+                   "{ x = 2; } return x; }");
+  const ir::Function &F = M->function(0);
+  Dominators Dom(F);
+  // Find the two successor blocks of the entry's CondBr.
+  auto Succ = F.successors(0);
+  ASSERT_EQ(Succ.size(), 2u);
+  // Neither branch side dominates the other.
+  EXPECT_FALSE(Dom.dominates(Succ[0], Succ[1]));
+  EXPECT_FALSE(Dom.dominates(Succ[1], Succ[0]));
+}
+
+TEST(LoopInfo, SimpleForLoop) {
+  auto M = compile("int main() { int s = 0; int i; "
+                   "for (i = 0; i < 10; i++) { s += i; } return s; }");
+  const ir::Function &F = M->function(0);
+  LoopInfo LI(F);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  const Loop &L = *LI.loops()[0];
+  EXPECT_NE(L.Preheader, ir::NoBlock);
+  EXPECT_EQ(L.Depth, 1u);
+  EXPECT_FALSE(L.ContainsCall);
+  EXPECT_TRUE(L.contains(L.Header));
+  // The preheader is outside the loop.
+  EXPECT_FALSE(L.contains(L.Preheader));
+}
+
+TEST(LoopInfo, NestedLoopsHaveDepths) {
+  auto M = compile("int main() { int s = 0; int i; int j; "
+                   "for (i = 0; i < 4; i++) { "
+                   "for (j = 0; j < 4; j++) { s++; } } return s; }");
+  const ir::Function &F = M->function(0);
+  LoopInfo LI(F);
+  ASSERT_EQ(LI.numLoops(), 2u);
+  const Loop *Outer = nullptr, *Inner = nullptr;
+  for (const auto &L : LI.loops())
+    (L->Depth == 1 ? Outer : Inner) = L.get();
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Parent, Outer);
+  EXPECT_TRUE(Outer->contains(Inner));
+  EXPECT_EQ(LI.outermostLoop(Inner->Header), Outer);
+}
+
+TEST(LoopInfo, CallLikeOpsMarkLoop) {
+  auto M = compile("int f() { return 1; }\n"
+                   "int main() { int s = 0; int i; "
+                   "for (i = 0; i < 3; i++) { s += f(); } "
+                   "int j; for (j = 0; j < 3; j++) { s += j; } "
+                   "int k; for (k = 0; k < 3; k++) { s += input(); } "
+                   "return s; }");
+  const ir::Function &F = M->function(funcId(*M, "main"));
+  LoopInfo LI(F);
+  ASSERT_EQ(LI.numLoops(), 3u);
+  unsigned WithCall = 0;
+  for (const auto &L : LI.loops())
+    WithCall += L->ContainsCall;
+  // The f() loop and the input() loop count; the pure loop does not.
+  EXPECT_EQ(WithCall, 2u);
+}
+
+TEST(LoopInfo, WhileLoopHasPreheader) {
+  auto M = compile("int main() { int x = 0; while (x < 5) { x++; } "
+                   "return x; }");
+  LoopInfo LI(M->function(0));
+  ASSERT_EQ(LI.numLoops(), 1u);
+  EXPECT_NE(LI.loops()[0]->Preheader, ir::NoBlock);
+}
+
+//===----------------------------------------------------------------------===//
+// PointsTo
+//===----------------------------------------------------------------------===//
+
+TEST(PointsTo, GlobalArrayAddressFlows) {
+  auto M = compile("int a[8];\nint b[8];\n"
+                   "void use(int* p) { p[0] = 1; }\n"
+                   "int main() { use(&a[0]); return 0; }");
+  PointsTo PT(*M);
+  const ir::Function &Use = M->function(funcId(*M, "use"));
+  // Parameter register 0 of use() points to a but not b.
+  auto Objs = PT.pointsTo(Use.Index, 0);
+  ASSERT_EQ(Objs.size(), 1u);
+  EXPECT_EQ(PT.objects()[Objs[0]].name(*M), "@a");
+}
+
+TEST(PointsTo, AndersenKeepsDistinctTargetsSeparate) {
+  auto M = compile("int a[8];\nint b[8];\n"
+                   "void ua(int* p) { p[0] = 1; }\n"
+                   "void ub(int* q) { q[0] = 2; }\n"
+                   "int main() { ua(a); ub(b); return 0; }");
+  PointsTo PT(*M, PointsToFlavor::Andersen);
+  uint32_t Ua = funcId(*M, "ua"), Ub = funcId(*M, "ub");
+  EXPECT_FALSE(PT.mayAlias(Ua, 0, Ub, 0));
+}
+
+TEST(PointsTo, SteensgaardMergesThroughSharedCallee) {
+  // Both arrays flow into the same parameter of `use`; Steensgaard's
+  // unification then says the two CALLER pointers alias each other,
+  // while Andersen keeps them apart. This is the precision gap the
+  // paper's §3.3 imprecision discussion rests on.
+  const char *Src = "int a[8];\nint b[8];\n"
+                    "void use(int* p) { p[0] = 1; }\n"
+                    "int main() { int* x = a; int* y = b; use(x); use(y); "
+                    "return 0; }";
+  auto M1 = compile(Src);
+  PointsTo Andersen(*M1, PointsToFlavor::Andersen);
+  PointsTo Steens(*M1, PointsToFlavor::Steensgaard);
+  uint32_t Main = funcId(*M1, "main");
+  const ir::Function &F = M1->function(Main);
+
+  // Find the registers holding x and y (locals 0 and 1 after params).
+  ir::Reg X = F.NumParams + 0, Y = F.NumParams + 1;
+  EXPECT_FALSE(Andersen.mayAlias(Main, X, Main, Y));
+  EXPECT_TRUE(Steens.mayAlias(Main, X, Main, Y));
+  // Both are sound: the callee's param may point to both in both.
+  uint32_t Use = funcId(*M1, "use");
+  EXPECT_EQ(Andersen.pointsTo(Use, 0).size(), 2u);
+  EXPECT_EQ(Steens.pointsTo(Use, 0).size(), 2u);
+}
+
+TEST(PointsTo, HeapSitesAreDistinct) {
+  auto M = compile("int main() { int* p = alloc(4); int* q = alloc(4); "
+                   "p[0] = q[0]; return 0; }");
+  PointsTo PT(*M);
+  const ir::Function &F = M->function(0);
+  ir::Reg P = F.NumParams + 0, Q = F.NumParams + 1;
+  EXPECT_FALSE(PT.mayAlias(0, P, 0, Q));
+}
+
+TEST(PointsTo, PtrAddKeepsObject) {
+  auto M = compile("int a[8];\n"
+                   "int main() { int* p = a; int* q = p + 3; "
+                   "return q[0]; }");
+  PointsTo PT(*M);
+  const ir::Function &F = M->function(0);
+  ir::Reg P = F.NumParams + 0, Q = F.NumParams + 1;
+  EXPECT_TRUE(PT.mayAlias(0, P, 0, Q));
+}
+
+TEST(PointsTo, SpawnArgsBindToParams) {
+  auto M = compile("int a[8];\nvoid w(int* p) { p[0] = 1; }\n"
+                   "int main() { int t = spawn(w, &a[2]); join(t); "
+                   "return 0; }");
+  PointsTo PT(*M);
+  uint32_t W = funcId(*M, "w");
+  auto Objs = PT.pointsTo(W, 0);
+  ASSERT_EQ(Objs.size(), 1u);
+  EXPECT_EQ(PT.objects()[Objs[0]].name(*M), "@a");
+}
+
+TEST(PointsTo, AccessedObjectsOfStore) {
+  auto M = compile("int a[8];\nint main() { a[3] = 5; return 0; }");
+  PointsTo PT(*M);
+  const ir::Function &F = M->function(0);
+  // Find the store instruction.
+  for (const auto &BB : F.Blocks)
+    for (const auto &Inst : BB.Insts)
+      if (Inst.Op == ir::Opcode::Store) {
+        auto Objs = PT.accessedObjects(0, Inst.Ident);
+        ASSERT_EQ(Objs.size(), 1u);
+        EXPECT_EQ(PT.objects()[Objs[0]].name(*M), "@a");
+        return;
+      }
+  FAIL() << "no store found";
+}
+
+//===----------------------------------------------------------------------===//
+// Escape analysis
+//===----------------------------------------------------------------------===//
+
+TEST(Escape, GlobalsAlwaysEscape) {
+  auto M = compile("int g;\nint main() { g = 1; return g; }");
+  PointsTo PT(*M);
+  EscapeAnalysis Escape(*M, PT);
+  EXPECT_TRUE(Escape.escapes(0));
+}
+
+TEST(Escape, ThreadLocalHeapDoesNotEscape) {
+  auto M = compile("void w(int* p) { p[0] = 1; }\n"
+                   "int main() { int* shared = alloc(4); "
+                   "int* priv = alloc(4); priv[0] = 2; "
+                   "int t = spawn(w, shared); join(t); return priv[0]; }");
+  PointsTo PT(*M);
+  EscapeAnalysis Escape(*M, PT);
+
+  uint32_t SharedObj = ~0u, PrivObj = ~0u;
+  const ir::Function &F = *M->findFunction("main");
+  ir::Reg Shared = F.NumParams + 0, Priv = F.NumParams + 1;
+  auto SO = PT.pointsTo(F.Index, Shared);
+  auto PO = PT.pointsTo(F.Index, Priv);
+  ASSERT_EQ(SO.size(), 1u);
+  ASSERT_EQ(PO.size(), 1u);
+  SharedObj = SO[0];
+  PrivObj = PO[0];
+
+  EXPECT_TRUE(Escape.escapes(SharedObj));
+  EXPECT_FALSE(Escape.escapes(PrivObj));
+  EXPECT_GE(Escape.numEscaping(), 1u);
+}

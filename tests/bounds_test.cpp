@@ -1,0 +1,366 @@
+//===- tests/bounds_test.cpp - Symbolic bounds analysis tests --------------===//
+
+#include "analysis/LoopInfo.h"
+#include "bounds/BoundsAnalysis.h"
+#include "codegen/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::bounds;
+
+namespace {
+
+/// Compiles, finds the (first) racy-looking memory access to \p Global
+/// in \p Func, and returns its bounds over the outermost loop.
+struct BoundsFixture {
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<analysis::LoopInfo> LI;
+  std::unique_ptr<BoundsAnalysis> BA;
+  const ir::Function *F = nullptr;
+
+  explicit BoundsFixture(const std::string &Source,
+                         const std::string &Func) {
+    std::string Err;
+    M = compileMiniC(Source, "t", &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    F = M->findFunction(Func);
+    EXPECT_NE(F, nullptr);
+    LI = std::make_unique<analysis::LoopInfo>(*F);
+    BA = std::make_unique<BoundsAnalysis>(*M, *F, *LI);
+  }
+
+  /// The Nth memory access (load or store) in the function.
+  ir::InstId access(unsigned N, bool WantStore) const {
+    unsigned Count = 0;
+    for (const auto &BB : F->Blocks)
+      for (const auto &Inst : BB.Insts)
+        if ((WantStore && Inst.Op == ir::Opcode::Store) ||
+            (!WantStore && Inst.Op == ir::Opcode::Load))
+          if (Count++ == N)
+            return Inst.Ident;
+    ADD_FAILURE() << "access not found";
+    return ir::NoInst;
+  }
+
+  const analysis::Loop *outerLoop() const {
+    for (const auto &L : LI->loops())
+      if (!L->Parent)
+        return L.get();
+    return nullptr;
+  }
+  const analysis::Loop *innerLoop() const {
+    const analysis::Loop *Best = nullptr;
+    for (const auto &L : LI->loops())
+      if (!Best || L->Depth > Best->Depth)
+        Best = L.get();
+    return Best;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AffineExpr algebra
+//===----------------------------------------------------------------------===//
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr X = AffineExpr::reg(1);
+  AffineExpr E = X.mulConst(3).addConst(5).add(AffineExpr::reg(2));
+  EXPECT_EQ(E.coeff(1), 3);
+  EXPECT_EQ(E.coeff(2), 1);
+  EXPECT_EQ(E.constantValue(), 5);
+  EXPECT_EQ(E.evaluate({{1, 10}, {2, 7}}), 42);
+}
+
+TEST(AffineExpr, SubtractionCancels) {
+  AffineExpr X = AffineExpr::reg(1);
+  AffineExpr Zero = X.sub(X);
+  EXPECT_TRUE(Zero.isConstant());
+  EXPECT_EQ(Zero.constantValue(), 0);
+}
+
+TEST(AffineExpr, NonLinearProductInvalid) {
+  AffineExpr X = AffineExpr::reg(1), Y = AffineExpr::reg(2);
+  EXPECT_FALSE(X.mul(Y).valid());
+  EXPECT_TRUE(X.mul(AffineExpr::constant(4)).valid());
+}
+
+TEST(AffineExpr, InvalidPropagates) {
+  AffineExpr Bad = AffineExpr::invalid();
+  EXPECT_FALSE(Bad.add(AffineExpr::constant(1)).valid());
+  EXPECT_FALSE(AffineExpr::constant(1).sub(Bad).valid());
+  EXPECT_FALSE(Bad.negate().valid());
+}
+
+TEST(AffineExpr, Substitute) {
+  // 2x + y, x := 3z + 1  =>  6z + y + 2.
+  AffineExpr E = AffineExpr::reg(1).mulConst(2).add(AffineExpr::reg(2));
+  AffineExpr Sub = AffineExpr::reg(3).mulConst(3).addConst(1);
+  AffineExpr Out = E.substitute(1, Sub);
+  EXPECT_EQ(Out.coeff(3), 6);
+  EXPECT_EQ(Out.coeff(2), 1);
+  EXPECT_EQ(Out.coeff(1), 0);
+  EXPECT_EQ(Out.constantValue(), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Fourier-Motzkin elimination
+//===----------------------------------------------------------------------===//
+
+TEST(FourierMotzkin, SingleVariableBox) {
+  // target = 10 + 2i, i in [a, b-1].
+  ConstraintSystem Sys;
+  ir::Reg I = 1, A = BoundsAnalysis::preheaderAtom(10),
+          B = BoundsAnalysis::preheaderAtom(11);
+  Sys.addVariable(I, AffineExpr::reg(A),
+                  AffineExpr::reg(B).addConst(-1));
+  AffineExpr Target = AffineExpr::reg(I).mulConst(2).addConst(10);
+  BoundsResult R = eliminate(Sys, Target);
+  ASSERT_TRUE(R.valid());
+  EXPECT_EQ(R.Min.evaluate({{A, 5}, {B, 9}}), 20);  // 10 + 2*5
+  EXPECT_EQ(R.Max.evaluate({{A, 5}, {B, 9}}), 26);  // 10 + 2*8
+}
+
+TEST(FourierMotzkin, NegativeCoefficientSwapsBounds) {
+  ConstraintSystem Sys;
+  ir::Reg I = 1, N = BoundsAnalysis::preheaderAtom(9);
+  Sys.addVariable(I, AffineExpr::constant(0),
+                  AffineExpr::reg(N).addConst(-1));
+  AffineExpr Target = AffineExpr::reg(I).mulConst(-1).addConst(100);
+  BoundsResult R = eliminate(Sys, Target);
+  ASSERT_TRUE(R.valid());
+  EXPECT_EQ(R.Min.evaluate({{N, 11}}), 90);  // 100 - 10
+  EXPECT_EQ(R.Max.evaluate({{N, 11}}), 100); // 100 - 0
+}
+
+TEST(FourierMotzkin, NestedVariables) {
+  // Inner j in [0, i], outer i in [0, n-1]; target = 10*i + j.
+  ConstraintSystem Sys;
+  ir::Reg J = 2, I = 1, N = BoundsAnalysis::preheaderAtom(9);
+  Sys.addVariable(J, AffineExpr::constant(0), AffineExpr::reg(I));
+  Sys.addVariable(I, AffineExpr::constant(0),
+                  AffineExpr::reg(N).addConst(-1));
+  AffineExpr Target = AffineExpr::reg(I).mulConst(10).add(AffineExpr::reg(J));
+  BoundsResult R = eliminate(Sys, Target);
+  ASSERT_TRUE(R.valid());
+  EXPECT_EQ(R.Min.evaluate({{N, 5}}), 0);
+  EXPECT_EQ(R.Max.evaluate({{N, 5}}), 44); // 10*4 + 4
+}
+
+TEST(FourierMotzkin, InvalidBoundInvalidates) {
+  ConstraintSystem Sys;
+  Sys.addVariable(1, AffineExpr::invalid(), AffineExpr::constant(10));
+  BoundsResult R = eliminate(Sys, AffineExpr::reg(1));
+  EXPECT_FALSE(R.valid());
+}
+
+//===----------------------------------------------------------------------===//
+// Induction recognition
+//===----------------------------------------------------------------------===//
+
+TEST(Induction, SimpleCountedLoop) {
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n) { int i; for (i = 0; i < n; i++) { "
+                   "a[i] = i; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  auto Ind = Fx.BA->analyzeInduction(Fx.outerLoop());
+  ASSERT_TRUE(Ind.Found);
+  EXPECT_EQ(Ind.Step, 1);
+  ASSERT_TRUE(Ind.Lower.valid());
+  ASSERT_TRUE(Ind.Upper.valid());
+}
+
+TEST(Induction, DownwardLoop) {
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n) { int i; for (i = n; i > 0; i -= 2) { "
+                   "a[i] = i; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  auto Ind = Fx.BA->analyzeInduction(Fx.outerLoop());
+  ASSERT_TRUE(Ind.Found);
+  EXPECT_EQ(Ind.Step, -2);
+}
+
+TEST(Induction, WhileLoopWithManualIncrement) {
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n) { int i = 0; while (i < n) { a[i] = 1; "
+                   "i = i + 3; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  auto Ind = Fx.BA->analyzeInduction(Fx.outerLoop());
+  ASSERT_TRUE(Ind.Found);
+  EXPECT_EQ(Ind.Step, 3);
+}
+
+TEST(Induction, DataDependentStepNotRecognized) {
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n, int s) { int i; "
+                   "for (i = 0; i < n; i += s) { a[i] = 1; } }\n"
+                   "int main() { f(8, 2); return 0; }",
+                   "f");
+  auto Ind = Fx.BA->analyzeInduction(Fx.outerLoop());
+  EXPECT_FALSE(Ind.Found); // Step is not a compile-time constant.
+}
+
+//===----------------------------------------------------------------------===//
+// Address bounds (paper §5 / Figure 4 patterns)
+//===----------------------------------------------------------------------===//
+
+TEST(Bounds, PointerParamPlusInduction) {
+  // Figure 4's first loop: rank[j], j in [0, n).
+  BoundsFixture Fx("int rank_all[512];\n"
+                   "void zero_rank(int* rank, int n) { int j; "
+                   "for (j = 0; j < n; j++) { rank[j] = 0; } }\n"
+                   "int main() { zero_rank(&rank_all[0], 8); return 0; }",
+                   "zero_rank");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  // Lo = rank (the base pointer param), Hi = rank + n - 1.
+  ir::Reg RankAtom = BoundsAnalysis::preheaderAtom(0); // Param 0.
+  ir::Reg NAtom = BoundsAnalysis::preheaderAtom(1);    // Param 1.
+  EXPECT_EQ(B.Lo.coeff(RankAtom), 1);
+  EXPECT_EQ(B.Lo.constantValue(), 0);
+  EXPECT_EQ(B.Hi.coeff(RankAtom), 1);
+  EXPECT_EQ(B.Hi.coeff(NAtom), 1);
+  EXPECT_EQ(B.Hi.constantValue(), -1);
+}
+
+TEST(Bounds, DataDependentIndexUnderivable) {
+  // Figure 4's second loop: rank[key[j] & mask] has no derivable bounds
+  // (the paper's first imprecision source, §5.2).
+  BoundsFixture Fx("int rank_all[512];\nint keys[64];\n"
+                   "void count(int* rank, int n) { int j; "
+                   "for (j = 0; j < n; j++) { int k = keys[j] & 255; "
+                   "rank[k] = rank[k] + 1; } }\n"
+                   "int main() { count(&rank_all[0], 8); return 0; }",
+                   "count");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  EXPECT_FALSE(B.Valid);
+}
+
+TEST(Bounds, MaskedArithmeticUnderivable) {
+  // The paper's second imprecision source: unsupported operators.
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n) { int i; for (i = 0; i < n; i++) { "
+                   "a[i & 7] = 1; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  EXPECT_FALSE(B.Valid);
+}
+
+TEST(Bounds, GlobalArrayConstantBase) {
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n) { int i; for (i = 0; i < n; i++) { "
+                   "a[i + 3] = 1; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  int64_t Base =
+      static_cast<int64_t>(Fx.M->Globals[0].BaseAddr);
+  // At runtime with n = 8: addresses [base+3, base+10].
+  ir::Reg NAtom = BoundsAnalysis::preheaderAtom(0);
+  EXPECT_EQ(B.Lo.evaluate({{NAtom, 8}}), Base + 3);
+  EXPECT_EQ(B.Hi.evaluate({{NAtom, 8}}), Base + 10);
+}
+
+TEST(Bounds, ScaledInductionVariable) {
+  BoundsFixture Fx("int a[512];\n"
+                   "void f(int n) { int i; for (i = 0; i < n; i++) { "
+                   "a[i * 8 + 2] = 1; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  int64_t Base = static_cast<int64_t>(Fx.M->Globals[0].BaseAddr);
+  ir::Reg NAtom = BoundsAnalysis::preheaderAtom(0);
+  EXPECT_EQ(B.Lo.evaluate({{NAtom, 4}}), Base + 2);
+  EXPECT_EQ(B.Hi.evaluate({{NAtom, 4}}), Base + 26); // 3*8+2.
+}
+
+TEST(Bounds, NestedLoopMatrixRows) {
+  // ocean/fft pattern: base[i*64 + j] over i in [0, rows), j in [0, 64).
+  BoundsFixture Fx("int grid[4096];\n"
+                   "void f(int* base, int rows) { int i; int j; "
+                   "for (i = 0; i < rows; i++) { "
+                   "for (j = 0; j < 64; j++) { base[i * 64 + j] = 1; } } }\n"
+                   "int main() { f(&grid[0], 4); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  ir::Reg BaseAtom = BoundsAnalysis::preheaderAtom(0);
+  ir::Reg RowsAtom = BoundsAnalysis::preheaderAtom(1);
+  // Lo = base; Hi = base + 64*rows - 1 (i=rows-1, j=63).
+  EXPECT_EQ(B.Lo.evaluate({{BaseAtom, 1000}, {RowsAtom, 4}}), 1000);
+  EXPECT_EQ(B.Hi.evaluate({{BaseAtom, 1000}, {RowsAtom, 4}}), 1255);
+}
+
+TEST(Bounds, InnerLoopOnly) {
+  // Bounds over just the inner loop: i is invariant there.
+  BoundsFixture Fx("int grid[4096];\n"
+                   "void f(int* base, int rows) { int i; int j; "
+                   "for (i = 0; i < rows; i++) { "
+                   "for (j = 0; j < 64; j++) { base[i * 64 + j] = 1; } } }\n"
+                   "int main() { f(&grid[0], 4); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.innerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  // Hi - Lo == 63 regardless of symbol values.
+  AffineExpr Width = B.Hi.sub(B.Lo);
+  ASSERT_TRUE(Width.isConstant());
+  EXPECT_EQ(Width.constantValue(), 63);
+}
+
+TEST(Bounds, LoopInvariantCellIsDegenerate) {
+  // pfscan's maxlen: a single cell, Lo == Hi.
+  BoundsFixture Fx("int maxv;\nint a[64];\n"
+                   "void f(int n) { int i; for (i = 0; i < n; i++) { "
+                   "if (a[i] > maxv) { maxv = a[i]; } } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  // The store to maxv.
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  EXPECT_TRUE(B.Lo == B.Hi);
+}
+
+TEST(Bounds, NegativeOffsetsInStencil) {
+  // ocean's neighbor access src[i - 64].
+  BoundsFixture Fx("int grid[4096];\n"
+                   "void f(int* src, int n) { int i; "
+                   "for (i = 0; i < n; i++) { src[i - 64] = src[i]; } }\n"
+                   "int main() { f(&grid[64], 8); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  ASSERT_TRUE(B.Valid);
+  ir::Reg SrcAtom = BoundsAnalysis::preheaderAtom(0);
+  ir::Reg NAtom = BoundsAnalysis::preheaderAtom(1);
+  EXPECT_EQ(B.Lo.evaluate({{SrcAtom, 500}, {NAtom, 8}}), 500 - 64);
+  EXPECT_EQ(B.Hi.evaluate({{SrcAtom, 500}, {NAtom, 8}}), 500 - 57);
+}
+
+TEST(Bounds, MultiDefLocalInvalidates) {
+  // The base pointer is reassigned inside the loop: not expressible.
+  BoundsFixture Fx("int a[64];\nint b[64];\n"
+                   "void f(int n, int flag) { int i; int* p = a; "
+                   "for (i = 0; i < n; i++) { "
+                   "p[i] = 1; if (flag) { p = b; } } }\n"
+                   "int main() { f(8, 0); return 0; }",
+                   "f");
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  EXPECT_FALSE(B.Valid);
+}
+
+TEST(Bounds, AccessOutsideLoopInvalid) {
+  BoundsFixture Fx("int a[64];\n"
+                   "void f(int n) { a[0] = 1; int i; "
+                   "for (i = 0; i < n; i++) { a[i] = 2; } }\n"
+                   "int main() { f(8); return 0; }",
+                   "f");
+  // access(0): the a[0] store outside the loop.
+  auto B = Fx.BA->addressBounds(Fx.outerLoop(), Fx.access(0, true));
+  EXPECT_FALSE(B.Valid);
+}

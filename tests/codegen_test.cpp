@@ -1,0 +1,207 @@
+//===- tests/codegen_test.cpp - AST-to-IR lowering structure ---------------===//
+//
+// Structural properties of the generated IR that downstream analyses
+// rely on (documented in codegen/CodeGen.h): register conventions, loop
+// preheaders, short-circuit lowering, and global-array addressing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "codegen/CodeGen.h"
+#include "ir/Printer.h"
+#include "runtime/Machine.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::ir;
+
+namespace {
+
+std::unique_ptr<Module> compile(const std::string &Source) {
+  std::string Err;
+  auto M = compileMiniC(Source, "t", &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  EXPECT_TRUE(verifyModule(*M).empty());
+  return M;
+}
+
+unsigned countOp(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const auto &BB : F.Blocks)
+    for (const auto &Inst : BB.Insts)
+      N += Inst.Op == Op;
+  return N;
+}
+
+} // namespace
+
+TEST(CodeGen, ParamsOccupyLowRegisters) {
+  auto M = compile("int f(int a, int* p) { return a + p[0]; }\n"
+                   "int main() { return 0; }");
+  const Function &F = *M->findFunction("f");
+  EXPECT_EQ(F.NumParams, 2u);
+  EXPECT_EQ(F.ParamTypes[0], IRType::Int);
+  EXPECT_EQ(F.ParamTypes[1], IRType::Ptr);
+  EXPECT_GE(F.NumRegs, 2u);
+}
+
+TEST(CodeGen, TemporariesAreSingleAssignment) {
+  // Every register above params+locals must be written exactly once —
+  // the property the bounds analysis def-chain walker depends on.
+  auto M = compile("int a[16];\n"
+                   "int f(int n) { int s = 0; int i; "
+                   "for (i = 0; i < n; i++) { s = s + a[i] * 3 - 1; } "
+                   "return s; }\n"
+                   "int main() { return f(4); }");
+  const Function &F = *M->findFunction("f");
+  unsigned NumSlots = F.NumParams + 2; // Two locals (s, i).
+  std::vector<unsigned> DefCount(F.NumRegs, 0);
+  for (const auto &BB : F.Blocks)
+    for (const auto &Inst : BB.Insts)
+      if (Inst.Dst != NoReg)
+        ++DefCount[Inst.Dst];
+  for (Reg R = NumSlots; R != F.NumRegs; ++R)
+    EXPECT_LE(DefCount[R], 1u) << "temporary r" << R << " multi-defined";
+}
+
+TEST(CodeGen, EveryLoopHasUniquePreheader) {
+  auto M = compile(
+      "int a[64];\n"
+      "int main() { int i; int j; int s = 0; "
+      "for (i = 0; i < 8; i++) { for (j = 0; j < i; j++) { s += a[j]; } } "
+      "while (s > 0) { s -= 3; } return s; }");
+  const Function &F = *M->findFunction("main");
+  analysis::LoopInfo LI(F);
+  ASSERT_EQ(LI.numLoops(), 3u);
+  for (const auto &L : LI.loops())
+    EXPECT_NE(L->Preheader, NoBlock);
+}
+
+TEST(CodeGen, GlobalArrayIndexFoldsIntoAddrGlobal) {
+  // `a[i]` lowers to AddrGlobal(a, i) so analyses read the object
+  // directly rather than chasing pointer arithmetic.
+  auto M = compile("int a[8];\nint main() { int i = 3; a[i] = 1; "
+                   "return a[i]; }");
+  const Function &F = *M->findFunction("main");
+  EXPECT_EQ(countOp(F, Opcode::AddrGlobal), 2u);
+  EXPECT_EQ(countOp(F, Opcode::PtrAdd), 0u);
+}
+
+TEST(CodeGen, PointerIndexUsesPtrAdd) {
+  auto M = compile("int a[8];\nint main() { int* p = a; p[2] = 1; "
+                   "return p[2]; }");
+  const Function &F = *M->findFunction("main");
+  EXPECT_EQ(countOp(F, Opcode::PtrAdd), 2u);
+}
+
+TEST(CodeGen, ShortCircuitCreatesBranches) {
+  auto M = compile("int main() { int a = 1; int b = 0; "
+                   "int c = a && b; int d = a || b; return c + d; }");
+  const Function &F = *M->findFunction("main");
+  // Two short-circuit expressions -> at least two CondBr beyond none.
+  EXPECT_GE(countOp(F, Opcode::CondBr), 2u);
+}
+
+TEST(CodeGen, CompoundAssignLoadsThenStores) {
+  auto M = compile("int g;\nint main() { g += 5; return g; }");
+  const Function &F = *M->findFunction("main");
+  EXPECT_GE(countOp(F, Opcode::Load), 1u);
+  EXPECT_GE(countOp(F, Opcode::Store), 1u);
+}
+
+TEST(CodeGen, UnreachableCodeAfterReturnDropped) {
+  auto M = compile("int main() { return 1; }");
+  const Function &F = *M->findFunction("main");
+  unsigned Rets = countOp(F, Opcode::Ret);
+  EXPECT_EQ(Rets, 1u);
+}
+
+TEST(CodeGen, VoidFunctionGetsImplicitReturn) {
+  auto M = compile("void f() { int x = 1; x++; }\n"
+                   "int main() { f(); return 0; }");
+  const Function &F = *M->findFunction("f");
+  EXPECT_EQ(countOp(F, Opcode::Ret), 1u);
+  EXPECT_TRUE(F.ReturnsVoid);
+}
+
+TEST(CodeGen, SyncBuiltinsLowerToIntrinsics) {
+  auto M = compile("mutex m;\nbarrier b(1);\ncond c;\n"
+                   "int main() { lock(m); cond_signal(c); unlock(m); "
+                   "barrier_wait(b); yield(); output(input()); "
+                   "return 0; }");
+  const Function &F = *M->findFunction("main");
+  EXPECT_EQ(countOp(F, Opcode::MutexLock), 1u);
+  EXPECT_EQ(countOp(F, Opcode::MutexUnlock), 1u);
+  EXPECT_EQ(countOp(F, Opcode::CondSignal), 1u);
+  EXPECT_EQ(countOp(F, Opcode::BarrierWait), 1u);
+  EXPECT_EQ(countOp(F, Opcode::Yield), 1u);
+  EXPECT_EQ(countOp(F, Opcode::Input), 1u);
+  EXPECT_EQ(countOp(F, Opcode::Output), 1u);
+  EXPECT_EQ(countOp(F, Opcode::Call), 0u);
+}
+
+TEST(CodeGen, SpawnCarriesArguments) {
+  auto M = compile("int a[4];\nvoid w(int x, int* p) { p[0] = x; }\n"
+                   "int main() { int t = spawn(w, 7, &a[1]); join(t); "
+                   "return a[1]; }");
+  const Function &F = *M->findFunction("main");
+  bool Found = false;
+  for (const auto &BB : F.Blocks)
+    for (const auto &Inst : BB.Insts)
+      if (Inst.Op == Opcode::Spawn) {
+        Found = true;
+        EXPECT_EQ(Inst.Args.size(), 2u);
+        EXPECT_EQ(Inst.Id, M->findFunction("w")->Index);
+        EXPECT_NE(Inst.Dst, NoReg);
+      }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CodeGen, SourceLinesAttached) {
+  auto M = compile("int g;\n"
+                   "int main() {\n"
+                   "  g = 1;\n"
+                   "  return g;\n"
+                   "}\n");
+  const Function &F = *M->findFunction("main");
+  bool SawLine3 = false;
+  for (const auto &BB : F.Blocks)
+    for (const auto &Inst : BB.Insts)
+      if (Inst.Op == Opcode::Store)
+        SawLine3 = Inst.Loc.Line == 3;
+  EXPECT_TRUE(SawLine3);
+}
+
+TEST(CodeGen, BreakJumpsToLoopExit) {
+  // `break` must leave exactly one loop level.
+  std::string Err;
+  auto M = compileMiniC(
+      "int main() { int s = 0; int i; int j; "
+      "for (i = 0; i < 4; i++) { "
+      "for (j = 0; j < 10; j++) { if (j == 2) { break; } s++; } } "
+      "output(s); return 0; }",
+      "t", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  rt::MachineOptions MO;
+  rt::Machine Machine(*M, MO);
+  auto R = Machine.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{8})); // 4 outer * 2 inner.
+}
+
+TEST(CodeGen, ContinueSkipsToStep) {
+  std::string Err;
+  auto M = compileMiniC("int main() { int s = 0; int i; "
+                        "for (i = 0; i < 6; i++) { "
+                        "if (i % 2 == 0) { continue; } s += i; } "
+                        "output(s); return 0; }",
+                        "t", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  rt::MachineOptions MO;
+  rt::Machine Machine(*M, MO);
+  auto R = Machine.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{9})); // 1 + 3 + 5.
+}

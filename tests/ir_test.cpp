@@ -1,0 +1,235 @@
+//===- tests/ir_test.cpp - IR construction/verifier/printer tests ----------===//
+
+#include "codegen/CodeGen.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::ir;
+
+namespace {
+
+/// A minimal module with one void function for builder tests.
+std::unique_ptr<Module> makeModule() {
+  auto M = std::make_unique<Module>();
+  M->Name = "test";
+  auto F = std::make_unique<Function>();
+  F->Name = "main";
+  F->ReturnsVoid = true;
+  F->addBlock();
+  M->Functions.push_back(std::move(F));
+  M->MainFunction = 0;
+  M->layoutGlobals();
+  return M;
+}
+
+} // namespace
+
+TEST(IRBuilder, FreshRegistersAndIds) {
+  auto M = makeModule();
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  Reg A = B.constInt(1);
+  Reg C = B.constInt(2);
+  EXPECT_NE(A, C);
+  const auto &Insts = F.block(0).Insts;
+  ASSERT_EQ(Insts.size(), 2u);
+  EXPECT_NE(Insts[0].Ident, Insts[1].Ident);
+}
+
+TEST(IRBuilder, TerminatorClosesBlock) {
+  auto M = makeModule();
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  B.ret();
+  EXPECT_TRUE(B.blockClosed());
+}
+
+TEST(Verifier, AcceptsWellFormedModule) {
+  std::string Err;
+  auto M = compileMiniC("int g;\nint a[4];\nmutex m;\n"
+                        "int helper(int x) { return x * 2; }\n"
+                        "int main() { lock(m); g = helper(a[1]); "
+                        "unlock(m); return g; }",
+                        "ok", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  auto M = makeModule();
+  IRBuilder B(M->function(0));
+  B.constInt(1); // No terminator.
+  auto Problems = verifyModule(*M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  auto M = makeModule();
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  Reg R = B.constInt(1);
+  B.ret();
+  F.block(0).Insts[0].Dst = R + 100;
+  EXPECT_FALSE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  auto M = makeModule();
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  B.br(57);
+  EXPECT_FALSE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, RejectsWrongSyncKind) {
+  auto M = makeModule();
+  M->Syncs.push_back({SyncKind::Cond, "c", 0});
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  B.mutexLock(0); // Actually a cond.
+  B.ret();
+  auto Problems = verifyModule(*M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("wrong sync kind"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  auto M = makeModule();
+  auto Callee = std::make_unique<Function>();
+  Callee->Name = "f";
+  Callee->Index = 1;
+  Callee->NumParams = 2;
+  Callee->NumRegs = 2;
+  Callee->ParamTypes = {IRType::Int, IRType::Int};
+  Callee->addBlock();
+  {
+    IRBuilder CB(*Callee);
+    CB.ret(CB.constInt(0));
+  }
+  M->Functions.push_back(std::move(Callee));
+
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  Reg A = B.constInt(1);
+  B.call(1, {A}, /*WantResult=*/true); // Needs 2 args.
+  B.ret();
+  EXPECT_FALSE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, RejectsWeakLockIdOutOfRange) {
+  auto M = makeModule();
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  B.weakAcquire(3); // No weak locks declared.
+  B.ret();
+  EXPECT_FALSE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, RejectsHalfRange) {
+  auto M = makeModule();
+  M->WeakLocks.push_back({WeakLockGranularity::Loop, "wl", true});
+  Function &F = M->function(0);
+  IRBuilder B(F);
+  Reg Lo = B.constInt(0);
+  B.weakAcquire(0, Lo, NoReg);
+  B.ret();
+  auto Problems = verifyModule(*M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("both bounds"), std::string::npos);
+}
+
+TEST(Module, GlobalLayoutIsContiguous) {
+  std::string Err;
+  auto M = compileMiniC("int a;\nint b[10];\nint c;\n"
+                        "int main() { return 0; }",
+                        "layout", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(M->Globals[0].BaseAddr, Module::GlobalBase);
+  EXPECT_EQ(M->Globals[1].BaseAddr, Module::GlobalBase + 1);
+  EXPECT_EQ(M->Globals[2].BaseAddr, Module::GlobalBase + 11);
+  EXPECT_EQ(M->globalSegmentWords(), 12u);
+}
+
+TEST(Module, GlobalContaining) {
+  std::string Err;
+  auto M = compileMiniC("int a;\nint b[10];\nint c;\n"
+                        "int main() { return 0; }",
+                        "layout", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(M->globalContaining(Module::GlobalBase), 0u);
+  EXPECT_EQ(M->globalContaining(Module::GlobalBase + 5), 1u);
+  EXPECT_EQ(M->globalContaining(Module::GlobalBase + 11), 2u);
+  EXPECT_EQ(M->globalContaining(Module::GlobalBase + 12), ~0u);
+  EXPECT_EQ(M->globalContaining(0), ~0u);
+}
+
+TEST(Module, CloneIsDeepAndEqual) {
+  std::string Err;
+  auto M = compileMiniC("int g;\nint main() { g = 1; return g; }", "c",
+                        &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  auto Copy = M->clone();
+  EXPECT_EQ(printModule(*M), printModule(*Copy));
+  // Mutating the clone leaves the original alone.
+  Copy->function(0).block(0).Insts.clear();
+  EXPECT_NE(printModule(*M), printModule(*Copy));
+}
+
+TEST(Module, CloneKeepsInstIdCounter) {
+  std::string Err;
+  auto M = compileMiniC("int main() { return 0; }", "c", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  auto Copy = M->clone();
+  // New ids in the clone must not collide with existing ones.
+  InstId Fresh = Copy->function(0).newInstId();
+  for (const auto &BB : Copy->function(0).Blocks)
+    for (const auto &Inst : BB.Insts)
+      EXPECT_NE(Inst.Ident, Fresh);
+}
+
+TEST(Function, FindInstAndPos) {
+  std::string Err;
+  auto M = compileMiniC("int main() { int x = 3; return x; }", "f", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  const Function &F = M->function(0);
+  const Instruction &First = F.block(0).Insts[0];
+  EXPECT_EQ(F.findInst(First.Ident), &First);
+  auto Pos = F.findInstPos(First.Ident);
+  EXPECT_TRUE(Pos.valid());
+  EXPECT_EQ(Pos.Block, 0u);
+  EXPECT_EQ(Pos.Index, 0u);
+  EXPECT_EQ(F.findInst(99999), nullptr);
+  EXPECT_FALSE(F.findInstPos(99999).valid());
+}
+
+TEST(Function, Successors) {
+  std::string Err;
+  auto M = compileMiniC("int main() { int x = 0; if (x) { x = 1; } "
+                        "return x; }",
+                        "s", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  const Function &F = M->function(0);
+  auto Succ = F.successors(0);
+  EXPECT_EQ(Succ.size(), 2u); // CondBr.
+}
+
+TEST(Printer, RoundsKeyConstructs) {
+  std::string Err;
+  auto M = compileMiniC("int a[4];\nmutex m;\n"
+                        "void w(int id) { lock(m); a[id] = id; unlock(m); }\n"
+                        "int main() { int t = spawn(w, 1); join(t); "
+                        "output(a[1]); return 0; }",
+                        "p", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("mutex @m"), std::string::npos);
+  EXPECT_NE(Text.find("global @a[4]"), std::string::npos);
+  EXPECT_NE(Text.find("mutex_lock @m"), std::string::npos);
+  EXPECT_NE(Text.find("spawn w"), std::string::npos);
+  EXPECT_NE(Text.find("addrg @a"), std::string::npos);
+}

@@ -1,0 +1,113 @@
+//===- tests/lexer_test.cpp - MiniC lexer tests ----------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, bool ExpectErrors = false) {
+  DiagEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Keywords) {
+  auto Tokens = lex("int void mutex barrier cond if else while for "
+                    "return break continue");
+  EXPECT_EQ(kinds(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::KwInt, TokenKind::KwVoid, TokenKind::KwMutex,
+                TokenKind::KwBarrier, TokenKind::KwCond, TokenKind::KwIf,
+                TokenKind::KwElse, TokenKind::KwWhile, TokenKind::KwFor,
+                TokenKind::KwReturn, TokenKind::KwBreak,
+                TokenKind::KwContinue, TokenKind::Eof}));
+}
+
+TEST(Lexer, IdentifiersAndLiterals) {
+  auto Tokens = lex("foo _bar x9 42 0x1f 0");
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x9");
+  EXPECT_EQ(Tokens[3].IntValue, 42);
+  EXPECT_EQ(Tokens[4].IntValue, 0x1f);
+  EXPECT_EQ(Tokens[5].IntValue, 0);
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto Tokens = lex("<< <= < >> >= > == = != ! && & || | ++ += + -- -= -");
+  EXPECT_EQ(kinds(Tokens),
+            (std::vector<TokenKind>{
+                TokenKind::Shl, TokenKind::LessEq, TokenKind::Less,
+                TokenKind::Shr, TokenKind::GreaterEq, TokenKind::Greater,
+                TokenKind::EqEq, TokenKind::Assign, TokenKind::NotEq,
+                TokenKind::Bang, TokenKind::AmpAmp, TokenKind::Amp,
+                TokenKind::PipePipe, TokenKind::Pipe, TokenKind::PlusPlus,
+                TokenKind::PlusAssign, TokenKind::Plus,
+                TokenKind::MinusMinus, TokenKind::MinusAssign,
+                TokenKind::Minus, TokenKind::Eof}));
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto Tokens = lex("a // comment with ++ tokens\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  auto Tokens = lex("a /* multi\nline */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  lex("a /* never closed", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  auto Tokens = lex("a @ b", /*ExpectErrors=*/true);
+  // The bad character is skipped; lexing continues.
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, LocationsTracked) {
+  auto Tokens = lex("a\n  b\n    c");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 5u);
+}
+
+TEST(Lexer, HexWithoutDigitsIsError) {
+  lex("0x", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, TokenKindNamesExist) {
+  // Every kind has a non-placeholder name (diagnostics quality).
+  for (int K = 0; K <= static_cast<int>(TokenKind::MinusMinus); ++K)
+    EXPECT_STRNE(tokenKindName(static_cast<TokenKind>(K)), "unknown token");
+}

@@ -1,0 +1,173 @@
+//===- tests/parser_test.cpp - MiniC parser tests --------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagEngine Diags;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  auto Prog = P.parseProgram();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Prog;
+}
+
+bool parseFails(const std::string &Source) {
+  DiagEngine Diags;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  P.parseProgram();
+  return Diags.hasErrors();
+}
+
+} // namespace
+
+TEST(Parser, GlobalDeclarations) {
+  auto Prog = parseOk("int g;\nint h = 7;\nint neg = -3;\nint a[100];\n"
+                      "mutex m;\nbarrier b(4);\ncond c;\n");
+  ASSERT_EQ(Prog->Globals.size(), 4u);
+  EXPECT_EQ(Prog->Globals[0].Name, "g");
+  EXPECT_EQ(Prog->Globals[1].Init, 7);
+  EXPECT_EQ(Prog->Globals[2].Init, -3);
+  EXPECT_EQ(Prog->Globals[3].ArraySize, 100u);
+  ASSERT_EQ(Prog->Syncs.size(), 3u);
+  EXPECT_EQ(Prog->Syncs[0].Kind, SyncObjectKind::Mutex);
+  EXPECT_EQ(Prog->Syncs[1].Kind, SyncObjectKind::Barrier);
+  EXPECT_EQ(Prog->Syncs[2].Kind, SyncObjectKind::Cond);
+}
+
+TEST(Parser, FunctionWithParams) {
+  auto Prog = parseOk("int f(int a, int* p) { return a; }");
+  ASSERT_EQ(Prog->Functions.size(), 1u);
+  const FunctionDecl &F = *Prog->Functions[0];
+  EXPECT_EQ(F.Name, "f");
+  EXPECT_FALSE(F.ReturnsVoid);
+  ASSERT_EQ(F.Params.size(), 2u);
+  EXPECT_FALSE(F.Params[0].IsPtr);
+  EXPECT_TRUE(F.Params[1].IsPtr);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  auto Prog = parseOk("void f() { int x = 1 + 2 * 3; }");
+  const auto *Decl =
+      cast<DeclStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  const auto *Add = cast<BinaryExpr>(Decl->Init.get());
+  EXPECT_EQ(Add->Op, BinaryOp::Add);
+  const auto *Mul = cast<BinaryExpr>(Add->RHS.get());
+  EXPECT_EQ(Mul->Op, BinaryOp::Mul);
+}
+
+TEST(Parser, LeftAssociativity) {
+  auto Prog = parseOk("void f() { int x = 10 - 3 - 2; }");
+  const auto *Decl =
+      cast<DeclStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  // (10 - 3) - 2: outer RHS is the literal 2.
+  const auto *Outer = cast<BinaryExpr>(Decl->Init.get());
+  EXPECT_EQ(cast<IntLitExpr>(Outer->RHS.get())->Value, 2);
+  EXPECT_TRUE(isa<BinaryExpr>(Outer->LHS.get()));
+}
+
+TEST(Parser, ComparisonBindsLooserThanShift) {
+  auto Prog = parseOk("void f() { int x = 1 << 2 < 3; }");
+  const auto *Decl =
+      cast<DeclStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  EXPECT_EQ(cast<BinaryExpr>(Decl->Init.get())->Op, BinaryOp::Lt);
+}
+
+TEST(Parser, IncrementDesugarsToCompoundAssign) {
+  auto Prog = parseOk("void f() { int x = 0; x++; x -= 2; }");
+  const auto *Inc =
+      cast<AssignStmt>(Prog->Functions[0]->Body->Stmts[1].get());
+  EXPECT_EQ(Inc->Op, AssignOp::Add);
+  EXPECT_EQ(cast<IntLitExpr>(Inc->Value.get())->Value, 1);
+  const auto *Dec =
+      cast<AssignStmt>(Prog->Functions[0]->Body->Stmts[2].get());
+  EXPECT_EQ(Dec->Op, AssignOp::Sub);
+}
+
+TEST(Parser, ForLoopPieces) {
+  auto Prog =
+      parseOk("void f() { int i; for (i = 0; i < 10; i++) { } }");
+  const auto *For = cast<ForStmt>(Prog->Functions[0]->Body->Stmts[1].get());
+  EXPECT_NE(For->Init, nullptr);
+  EXPECT_NE(For->Cond, nullptr);
+  EXPECT_NE(For->Step, nullptr);
+}
+
+TEST(Parser, ForLoopEmptyPieces) {
+  auto Prog = parseOk("void f() { for (;;) { break; } }");
+  const auto *For = cast<ForStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  EXPECT_EQ(For->Init, nullptr);
+  EXPECT_EQ(For->Cond, nullptr);
+  EXPECT_EQ(For->Step, nullptr);
+}
+
+TEST(Parser, IfElseChain) {
+  auto Prog = parseOk(
+      "void f(int x) { if (x) { } else if (x > 1) { } else { } }");
+  const auto *If = cast<IfStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  ASSERT_NE(If->Else, nullptr);
+  EXPECT_TRUE(isa<IfStmt>(If->Else.get()));
+}
+
+TEST(Parser, AddressOfForms) {
+  auto Prog = parseOk("int a[4];\nvoid f() { int* p = &a[2]; int* q = &a; }");
+  const auto *P = cast<DeclStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  const auto *Addr = cast<AddrOfExpr>(P->Init.get());
+  EXPECT_EQ(Addr->Name, "a");
+  EXPECT_NE(Addr->Index, nullptr);
+  const auto *Q = cast<DeclStmt>(Prog->Functions[0]->Body->Stmts[1].get());
+  EXPECT_EQ(cast<AddrOfExpr>(Q->Init.get())->Index, nullptr);
+}
+
+TEST(Parser, NestedIndexing) {
+  auto Prog = parseOk("int a[4];\nvoid f(int* p) { int x = p[a[1]]; }");
+  const auto *Decl =
+      cast<DeclStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  const auto *Outer = cast<IndexExpr>(Decl->Init.get());
+  EXPECT_TRUE(isa<IndexExpr>(Outer->Index.get()));
+}
+
+TEST(Parser, CallsWithArguments) {
+  auto Prog = parseOk("int g(int a, int b) { return a + b; }\n"
+                      "void f() { g(1, 2); int t = spawn(g, 1, 2); }");
+  const auto *Stmt = cast<ExprStmt>(Prog->Functions[1]->Body->Stmts[0].get());
+  EXPECT_EQ(cast<CallExpr>(Stmt->E.get())->Args.size(), 2u);
+}
+
+TEST(Parser, ShortCircuitOperators) {
+  auto Prog = parseOk("void f(int a, int b) { if (a && b || !a) { } }");
+  const auto *If = cast<IfStmt>(Prog->Functions[0]->Body->Stmts[0].get());
+  EXPECT_EQ(cast<BinaryExpr>(If->Cond.get())->Op, BinaryOp::LOr);
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  EXPECT_TRUE(parseFails("int g\nvoid f() { }"));
+}
+
+TEST(Parser, ErrorBadArraySize) {
+  EXPECT_TRUE(parseFails("int a[0];"));
+  EXPECT_TRUE(parseFails("int a[x];"));
+}
+
+TEST(Parser, ErrorVoidGlobal) {
+  EXPECT_TRUE(parseFails("void g;"));
+}
+
+TEST(Parser, ErrorUnclosedBrace) {
+  EXPECT_TRUE(parseFails("void f() { if (1) {"));
+}
+
+TEST(Parser, ErrorGarbageTopLevel) {
+  EXPECT_TRUE(parseFails("+++"));
+}
+
+TEST(Parser, ErrorMissingExpr) {
+  EXPECT_TRUE(parseFails("void f() { int x = ; }"));
+}

@@ -1,0 +1,132 @@
+//===- tests/pipeline_test.cpp - End-to-end pipeline API -------------------===//
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::core;
+
+namespace {
+
+const char *Src =
+    "int c;\nint a[32];\nint tids[2];\n"
+    "void w(int* base, int n) { int i; for (i = 0; i < n; i++) { "
+    "base[i] = i; c = c + 1; } }\n"
+    "int main() { tids[0] = spawn(w, &a[0], 16); "
+    "tids[1] = spawn(w, &a[16], 16); join(tids[0]); join(tids[1]); "
+    "output(c); return 0; }";
+
+PipelineConfig config() {
+  PipelineConfig C;
+  C.Name = "pipe";
+  C.ProfileRuns = 4;
+  return C;
+}
+
+} // namespace
+
+TEST(Pipeline, RejectsBadSource) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource("int main(", "", config(), &Err);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Pipeline, RejectsMismatchedProfileSource) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(
+      Src, "int main() { return 0; }", config(), &Err);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_NE(Err.find("shape"), std::string::npos);
+}
+
+TEST(Pipeline, EmptyProfileSourceMeansSameSource) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, "", config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_FALSE(P->raceReport().Pairs.empty());
+}
+
+TEST(Pipeline, StagesAreCachedAcrossCalls) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  const auto &R1 = P->raceReport();
+  const auto &R2 = P->raceReport();
+  EXPECT_EQ(&R1, &R2);
+  const auto &I1 = P->instrumentedModule();
+  const auto &I2 = P->instrumentedModule();
+  EXPECT_EQ(&I1, &I2);
+}
+
+TEST(Pipeline, SetPlannerOptionsInvalidatesPlan) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  uint64_t FullLocks = P->plan().Locks.size();
+  uint64_t FullWeakOps = P->record(3).Stats.weakAcquiresTotal();
+
+  P->setPlannerOptions(instrument::PlannerOptions::naive());
+  uint64_t NaiveWeakOps = P->record(3).Stats.weakAcquiresTotal();
+  EXPECT_GE(NaiveWeakOps, FullWeakOps);
+
+  P->setPlannerOptions(instrument::PlannerOptions::full());
+  EXPECT_EQ(P->plan().Locks.size(), FullLocks);
+}
+
+TEST(Pipeline, DynamicRaceCountZeroWhenInstrumented) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_EQ(P->dynamicRaceCount(9), 0u);
+}
+
+TEST(Pipeline, RecordAndReplayRoundTrip) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  auto Out = P->recordAndReplay(77);
+  EXPECT_TRUE(Out.Deterministic)
+      << Out.Record.Error << " / " << Out.Replay.Error;
+  EXPECT_EQ(Out.Record.Output, Out.Replay.Output);
+}
+
+TEST(Pipeline, InstrumentedNativeRunWorks) {
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  auto R = P->runInstrumentedNative(4);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Stats.weakAcquiresTotal(), 0u);
+  EXPECT_EQ(R.Stats.LogEvents, 0u); // Native mode does not log.
+}
+
+TEST(Pipeline, ObserverReceivesEventsDuringRecord) {
+  struct Counter : rt::ExecutionObserver {
+    uint64_t Mem = 0, Sync = 0, Weak = 0;
+    void onMemoryAccess(uint32_t, uint64_t, bool, uint32_t, ir::InstId,
+                        uint64_t) override {
+      ++Mem;
+    }
+    void onSync(uint32_t, rt::ObservedSync, uint32_t, uint64_t,
+                uint64_t) override {
+      ++Sync;
+    }
+    void onWeak(uint32_t, bool, uint32_t, bool, uint64_t, uint64_t,
+                uint64_t) override {
+      ++Weak;
+    }
+  };
+  std::string Err;
+  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  Counter Obs;
+  auto R = P->record(6, &Obs);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(Obs.Mem, 0u);
+  EXPECT_GT(Obs.Weak, 0u);
+  EXPECT_EQ(Obs.Mem, R.Stats.MemOps);
+  EXPECT_EQ(Obs.Weak,
+            R.Stats.weakAcquiresTotal() * 2); // Acquires + releases.
+}

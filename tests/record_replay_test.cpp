@@ -1,0 +1,280 @@
+//===- tests/record_replay_test.cpp - Determinism properties ---------------===//
+
+#include "codegen/CodeGen.h"
+#include "core/Pipeline.h"
+#include "replay/DeterminismChecker.h"
+#include "replay/LogCodec.h"
+#include "replay/Recorder.h"
+#include "replay/Replayer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace chimera;
+
+namespace {
+
+const char *RacyProgram =
+    "int c;\nint hist[4];\nint tids[4];\n"
+    // h records *which* counter values this worker observed, so the
+    // final state is schedule-sensitive even when weak-locks make the
+    // increment itself atomic.
+    "void w(int id, int n) { int i; int h = 0; for (i = 0; i < n; i++) { "
+    "int t = c; c = t + 1; h = (h * 31 + t) & 1048575; } "
+    "hist[id] = h; }\n"
+    "int main() { int j; for (j = 0; j < 4; j++) { "
+    "tids[j] = spawn(w, j, 800); } "
+    "for (j = 0; j < 4; j++) { join(tids[j]); } "
+    "output(c); int k; for (k = 0; k < 4; k++) { output(hist[k]); } "
+    "return 0; }";
+
+const char *SyncHeavyProgram =
+    "int q[32];\nint qh;\nint qt;\nint done;\nint consumed;\n"
+    "mutex m;\ncond cv;\nbarrier b(3);\nint tids[3];\n"
+    "void producer() { int i; for (i = 0; i < 24; i++) { lock(m); "
+    "q[qt & 31] = input() & 255; qt++; cond_signal(cv); unlock(m); } "
+    "lock(m); done = 1; cond_broadcast(cv); unlock(m); barrier_wait(b); }\n"
+    "void consumer() { int run = 1; while (run) { lock(m); "
+    "while (qh == qt && done == 0) { cond_wait(cv, m); } "
+    "if (qh < qt) { consumed = consumed + q[qh & 31]; qh++; } "
+    "else { run = 0; } unlock(m); } barrier_wait(b); }\n"
+    "int main() { tids[0] = spawn(producer); tids[1] = spawn(consumer); "
+    "tids[2] = spawn(consumer); int j; "
+    "for (j = 0; j < 3; j++) { join(tids[j]); } output(consumed); "
+    "return 0; }";
+
+std::unique_ptr<core::ChimeraPipeline> pipelineFor(const char *Source) {
+  core::PipelineConfig Config;
+  Config.ProfileRuns = 5;
+  std::string Err;
+  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config, &Err);
+  EXPECT_NE(P, nullptr) << Err;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The core determinism property, across seeds (parameterized).
+//===----------------------------------------------------------------------===//
+
+class ReplayDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplayDeterminism, RacyProgramReplaysExactly) {
+  auto P = pipelineFor(RacyProgram);
+  auto Out = P->recordAndReplay(GetParam());
+  ASSERT_TRUE(Out.Record.Ok) << Out.Record.Error;
+  ASSERT_TRUE(Out.Replay.Ok) << Out.Replay.Error;
+  EXPECT_TRUE(Out.Deterministic);
+  auto Verdict = replay::checkDeterminism(Out.Record, Out.Replay);
+  EXPECT_TRUE(Verdict.Deterministic) << Verdict.Reason;
+}
+
+TEST_P(ReplayDeterminism, SyncHeavyProgramReplaysExactly) {
+  auto P = pipelineFor(SyncHeavyProgram);
+  auto Out = P->recordAndReplay(GetParam());
+  ASSERT_TRUE(Out.Record.Ok) << Out.Record.Error;
+  ASSERT_TRUE(Out.Replay.Ok) << Out.Replay.Error;
+  EXPECT_TRUE(Out.Deterministic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayDeterminism,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(ReplayDeterminism, DifferentSeedsProduceDifferentInterleavings) {
+  // Sanity: the racy program really is schedule-sensitive — at least two
+  // of several seeds must disagree on the final state. This uses the
+  // ORIGINAL program: the instrumented one may serialize the racy blocks
+  // into a stable rotation (the paper notes in §2.4 that coarse
+  // weak-locks can mask fine-grained interleavings).
+  auto P = pipelineFor(RacyProgram);
+  std::set<uint64_t> Hashes;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    auto R = P->runOriginalNative(Seed);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    Hashes.insert(R.StateHash);
+  }
+  EXPECT_GT(Hashes.size(), 1u);
+}
+
+TEST(ReplayDeterminism, ReplayDoesNotDependOnMachineSeed) {
+  auto P = pipelineFor(RacyProgram);
+  auto Rec = P->record(17);
+  ASSERT_TRUE(Rec.Ok);
+  auto A = replay::replayExecution(P->instrumentedModule(), Rec.Log, 8);
+  auto B = replay::replayExecution(P->instrumentedModule(), Rec.Log, 8);
+  ASSERT_TRUE(A.Ok && B.Ok) << A.Error << B.Error;
+  EXPECT_EQ(A.StateHash, Rec.StateHash);
+  EXPECT_EQ(B.StateHash, Rec.StateHash);
+}
+
+TEST(ReplayDeterminism, ReplayWorksOnDifferentCoreCount) {
+  // The log pins the order; replaying on fewer cores must still land on
+  // the identical final state.
+  auto P = pipelineFor(RacyProgram);
+  auto Rec = P->record(23);
+  ASSERT_TRUE(Rec.Ok);
+  auto Rep = replay::replayExecution(P->instrumentedModule(), Rec.Log,
+                                     /*NumCores=*/2);
+  ASSERT_TRUE(Rep.Ok) << Rep.Error;
+  EXPECT_EQ(Rep.StateHash, Rec.StateHash);
+}
+
+//===----------------------------------------------------------------------===//
+// Negative: divergence detection
+//===----------------------------------------------------------------------===//
+
+TEST(Divergence, UninstrumentedRacyProgramCanDiverge) {
+  // Record the ORIGINAL (uninstrumented) racy program: sync order and
+  // inputs are logged but the data races are not, so some recording must
+  // fail to replay bit-exactly. This is the paper's core motivation.
+  std::string Err;
+  auto M = compileMiniC(RacyProgram, "racy", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  bool SawDivergence = false;
+  for (uint64_t Seed = 1; Seed <= 25 && !SawDivergence; ++Seed) {
+    auto Rec = replay::recordExecution(*M, Seed, 8);
+    ASSERT_TRUE(Rec.Ok) << Rec.Error;
+    auto Rep = replay::replayExecution(*M, Rec.Log, 8);
+    SawDivergence = !Rep.Ok || Rep.StateHash != Rec.StateHash;
+  }
+  EXPECT_TRUE(SawDivergence)
+      << "every uninstrumented replay happened to match";
+}
+
+TEST(Divergence, TruncatedInputLogIsDetected) {
+  const char *Src = "int main() { output(input() & 7); "
+                    "output(input() & 7); return 0; }";
+  std::string Err;
+  auto M = compileMiniC(Src, "t", &Err);
+  ASSERT_NE(M, nullptr);
+  auto Rec = replay::recordExecution(*M, 4);
+  ASSERT_TRUE(Rec.Ok);
+  rt::ExecutionLog Broken = Rec.Log;
+  ASSERT_FALSE(Broken.PerThreadInputs.empty());
+  Broken.PerThreadInputs[0].pop_back();
+  auto Rep = replay::replayExecution(*M, Broken, 4);
+  EXPECT_FALSE(Rep.Ok);
+  EXPECT_NE(Rep.Error.find("input log"), std::string::npos);
+}
+
+TEST(Divergence, CorruptedOrderLogIsDetected) {
+  const char *Src =
+      "mutex m;\nint c;\nint tids[2];\n"
+      "void w() { lock(m); c = c + 1; unlock(m); }\n"
+      "int main() { tids[0] = spawn(w); tids[1] = spawn(w); "
+      "join(tids[0]); join(tids[1]); output(c); return 0; }";
+  std::string Err;
+  auto M = compileMiniC(Src, "t", &Err);
+  ASSERT_NE(M, nullptr);
+  auto Rec = replay::recordExecution(*M, 4);
+  ASSERT_TRUE(Rec.Ok);
+  // Swap two mutex events: the order becomes infeasible.
+  rt::ExecutionLog Broken = Rec.Log;
+  auto &Seq = Broken.PerObject[0];
+  ASSERT_GE(Seq.size(), 4u);
+  std::swap(Seq[0], Seq[1]);
+  auto Rep = replay::replayExecution(*M, Broken, 4);
+  EXPECT_FALSE(Rep.Ok);
+}
+
+TEST(DeterminismChecker, ReportsSpecificFailures) {
+  rt::ExecutionResult A, B;
+  A.Ok = true;
+  B.Ok = true;
+  A.StateHash = B.StateHash = 7;
+  A.Output = {1, 2};
+  B.Output = {1, 2};
+  EXPECT_TRUE(replay::checkDeterminism(A, B).Deterministic);
+
+  B.Output = {1, 3};
+  auto V1 = replay::checkDeterminism(A, B);
+  EXPECT_FALSE(V1.Deterministic);
+  EXPECT_NE(V1.Reason.find("index 1"), std::string::npos);
+
+  B.Output = {1};
+  EXPECT_NE(replay::checkDeterminism(A, B).Reason.find("length"),
+            std::string::npos);
+
+  B.Output = {1, 2};
+  B.StateHash = 8;
+  EXPECT_NE(replay::checkDeterminism(A, B).Reason.find("hash"),
+            std::string::npos);
+
+  B.Ok = false;
+  B.Error = "boom";
+  EXPECT_NE(replay::checkDeterminism(A, B).Reason.find("boom"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Log codec
+//===----------------------------------------------------------------------===//
+
+TEST(LogCodec, RoundTripsRealLog) {
+  auto P = pipelineFor(SyncHeavyProgram);
+  auto Rec = P->record(9);
+  ASSERT_TRUE(Rec.Ok);
+  auto Bytes = replay::encodeLog(Rec.Log);
+  rt::ExecutionLog Decoded = replay::decodeLog(Bytes);
+
+  EXPECT_EQ(Decoded.NumSyncObjects, Rec.Log.NumSyncObjects);
+  EXPECT_EQ(Decoded.NumWeakLocks, Rec.Log.NumWeakLocks);
+  EXPECT_EQ(Decoded.NumThreads, Rec.Log.NumThreads);
+  ASSERT_EQ(Decoded.PerObject.size(), Rec.Log.PerObject.size());
+  for (size_t I = 0; I != Decoded.PerObject.size(); ++I)
+    EXPECT_EQ(Decoded.PerObject[I], Rec.Log.PerObject[I]);
+  ASSERT_EQ(Decoded.PerThreadInputs.size(),
+            Rec.Log.PerThreadInputs.size());
+  for (size_t T = 0; T != Decoded.PerThreadInputs.size(); ++T) {
+    ASSERT_EQ(Decoded.PerThreadInputs[T].size(),
+              Rec.Log.PerThreadInputs[T].size());
+    for (size_t I = 0; I != Decoded.PerThreadInputs[T].size(); ++I) {
+      EXPECT_EQ(Decoded.PerThreadInputs[T][I].Kind,
+                Rec.Log.PerThreadInputs[T][I].Kind);
+      EXPECT_EQ(Decoded.PerThreadInputs[T][I].Value,
+                Rec.Log.PerThreadInputs[T][I].Value);
+    }
+  }
+}
+
+TEST(LogCodec, DecodedLogReplays) {
+  auto P = pipelineFor(RacyProgram);
+  auto Rec = P->record(31);
+  ASSERT_TRUE(Rec.Ok);
+  rt::ExecutionLog Decoded = replay::decodeLog(replay::encodeLog(Rec.Log));
+  auto Rep = replay::replayExecution(P->instrumentedModule(), Decoded, 8);
+  ASSERT_TRUE(Rep.Ok) << Rep.Error;
+  EXPECT_EQ(Rep.StateHash, Rec.StateHash);
+}
+
+TEST(LogCodec, SizesAreMeasuredAndCompressed) {
+  auto P = pipelineFor(SyncHeavyProgram);
+  auto Rec = P->record(2);
+  ASSERT_TRUE(Rec.Ok);
+  auto Sizes = replay::measureLog(Rec.Log);
+  EXPECT_GT(Sizes.InputRaw, 0u);
+  EXPECT_GT(Sizes.OrderRaw, 0u);
+  EXPECT_GT(Sizes.OrderCompressed, 0u);
+  EXPECT_LE(Sizes.OrderCompressed, Sizes.OrderRaw + 16);
+}
+
+TEST(LogCodec, RevocationsSurviveRoundTrip) {
+  rt::ExecutionLog Log;
+  Log.NumSyncObjects = 1;
+  Log.NumWeakLocks = 2;
+  Log.NumThreads = 3;
+  Log.PerObject.resize(Log.numOrderedObjects());
+  Log.PerObject[0].push_back({1, rt::OrderedOp::MutexLock});
+  Log.Revocations.push_back({2, 1, 777});
+  Log.PerThreadInputs.resize(3);
+  Log.PerThreadInputs[1].push_back({rt::InputKind::NetRecv, 0xabcd});
+
+  rt::ExecutionLog D = replay::decodeLog(replay::encodeLog(Log));
+  ASSERT_EQ(D.Revocations.size(), 1u);
+  EXPECT_EQ(D.Revocations[0].Tid, 2u);
+  EXPECT_EQ(D.Revocations[0].LockId, 1u);
+  EXPECT_EQ(D.Revocations[0].Instret, 777u);
+}

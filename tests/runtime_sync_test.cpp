@@ -1,0 +1,239 @@
+//===- tests/runtime_sync_test.cpp - Thread & sync semantics ---------------===//
+
+#include "codegen/CodeGen.h"
+#include "runtime/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+
+namespace {
+
+rt::ExecutionResult runSource(const std::string &Source, uint64_t Seed = 1,
+                              unsigned Cores = 4) {
+  std::string Err;
+  auto M = compileMiniC(Source, "t", &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  if (!M)
+    return {};
+  rt::MachineOptions MO;
+  MO.Seed = Seed;
+  MO.NumCores = Cores;
+  rt::Machine Machine(*M, MO);
+  return Machine.run();
+}
+
+} // namespace
+
+TEST(Sync, SpawnJoinReturnsAndRuns) {
+  auto R = runSource("int g;\nvoid w(int v) { g = v; }\n"
+                     "int main() { int t = spawn(w, 42); join(t); "
+                     "output(g); return 0; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{42}));
+  EXPECT_EQ(R.Stats.SpawnedThreads, 2u); // main + worker.
+}
+
+TEST(Sync, MutexProvidesExclusion) {
+  // Without the mutex this counter would lose updates under contention;
+  // with it the total is exact for every seed.
+  const char *Src = "int counter;\nmutex m;\nint tids[4];\n"
+                    "void w(int n) { int i; for (i = 0; i < n; i++) { "
+                    "lock(m); counter = counter + 1; unlock(m); } }\n"
+                    "int main() { int j; for (j = 0; j < 4; j++) { "
+                    "tids[j] = spawn(w, 500); } "
+                    "for (j = 0; j < 4; j++) { join(tids[j]); } "
+                    "output(counter); return 0; }";
+  for (uint64_t Seed : {1, 2, 3, 4, 5}) {
+    auto R = runSource(Src, Seed);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Output, (std::vector<uint64_t>{2000})) << "seed " << Seed;
+  }
+}
+
+TEST(Sync, RacyCounterLosesUpdatesOnSomeSeed) {
+  // The same program without the lock: at least one seed must exhibit a
+  // lost update (this validates that the simulator actually interleaves).
+  const char *Src = "int counter;\nint tids[4];\n"
+                    "void w(int n) { int i; for (i = 0; i < n; i++) { "
+                    "counter = counter + 1; } }\n"
+                    "int main() { int j; for (j = 0; j < 4; j++) { "
+                    "tids[j] = spawn(w, 500); } "
+                    "for (j = 0; j < 4; j++) { join(tids[j]); } "
+                    "output(counter); return 0; }";
+  bool SawLoss = false;
+  for (uint64_t Seed = 1; Seed <= 20 && !SawLoss; ++Seed) {
+    auto R = runSource(Src, Seed);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    SawLoss = R.Output[0] != 2000;
+  }
+  EXPECT_TRUE(SawLoss) << "no seed interleaved the racy counter";
+}
+
+TEST(Sync, BarrierSeparatesPhases) {
+  // Worker A writes before the barrier; worker B reads after it. The
+  // read must always see the write, on every seed.
+  const char *Src = "int x;\nint seen;\nbarrier b(2);\n"
+                    "void wa() { x = 99; barrier_wait(b); }\n"
+                    "void wb() { barrier_wait(b); seen = x; }\n"
+                    "int main() { int t1 = spawn(wa); int t2 = spawn(wb); "
+                    "join(t1); join(t2); output(seen); return 0; }";
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    auto R = runSource(Src, Seed);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Output, (std::vector<uint64_t>{99})) << "seed " << Seed;
+  }
+}
+
+TEST(Sync, BarrierMultipleGenerations) {
+  const char *Src =
+      "int sum;\nmutex m;\nbarrier b(3);\nint tids[3];\n"
+      "void w(int id) { int r; for (r = 0; r < 5; r++) { "
+      "lock(m); sum = sum + 1; unlock(m); barrier_wait(b); } }\n"
+      "int main() { int j; for (j = 0; j < 3; j++) { "
+      "tids[j] = spawn(w, j); } "
+      "for (j = 0; j < 3; j++) { join(tids[j]); } "
+      "output(sum); return 0; }";
+  auto R = runSource(Src, 7);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{15}));
+}
+
+TEST(Sync, CondVarProducerConsumer) {
+  const char *Src =
+      "mutex m;\ncond c;\nint ready;\nint data;\nint got;\n"
+      "void consumer() { lock(m); while (ready == 0) { cond_wait(c, m); } "
+      "got = data; unlock(m); }\n"
+      "int main() { int t = spawn(consumer); "
+      "lock(m); data = 1234; ready = 1; cond_signal(c); unlock(m); "
+      "join(t); output(got); return 0; }";
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    auto R = runSource(Src, Seed);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Output, (std::vector<uint64_t>{1234})) << "seed " << Seed;
+  }
+}
+
+TEST(Sync, CondBroadcastWakesAll) {
+  const char *Src =
+      "mutex m;\ncond c;\nint go;\nint woke;\nint tids[3];\n"
+      "void w() { lock(m); while (go == 0) { cond_wait(c, m); } "
+      "woke = woke + 1; unlock(m); }\n"
+      "int main() { int j; for (j = 0; j < 3; j++) { tids[j] = spawn(w); } "
+      "lock(m); go = 1; cond_broadcast(c); unlock(m); "
+      "for (j = 0; j < 3; j++) { join(tids[j]); } "
+      "output(woke); return 0; }";
+  auto R = runSource(Src, 3);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{3}));
+}
+
+TEST(Sync, UnlockingUnownedMutexFaults) {
+  auto R = runSource("mutex m;\nint main() { unlock(m); return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("does not own"), std::string::npos);
+}
+
+TEST(Sync, CondWaitWithoutMutexFaults) {
+  auto R = runSource("mutex m;\ncond c;\n"
+                     "int main() { cond_wait(c, m); return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("without holding"), std::string::npos);
+}
+
+TEST(Sync, JoinInvalidTidFaults) {
+  auto R = runSource("int main() { join(55); return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("invalid thread id"), std::string::npos);
+}
+
+TEST(Sync, SelfDeadlockDetected) {
+  auto R = runSource("mutex m;\nint main() { lock(m); lock(m); "
+                     "return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("deadlock"), std::string::npos);
+}
+
+TEST(Sync, AbbaDeadlockDetected) {
+  // Two threads acquiring two mutexes in opposite order deadlock on
+  // some schedule; with a barrier forcing both to hold their first lock,
+  // it deadlocks on every schedule.
+  const char *Src = "mutex a;\nmutex b;\nbarrier bar(2);\n"
+                    "void w1() { lock(a); barrier_wait(bar); lock(b); "
+                    "unlock(b); unlock(a); }\n"
+                    "void w2() { lock(b); barrier_wait(bar); lock(a); "
+                    "unlock(a); unlock(b); }\n"
+                    "int main() { int t1 = spawn(w1); int t2 = spawn(w2); "
+                    "join(t1); join(t2); return 0; }";
+  auto R = runSource(Src, 1);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("deadlock"), std::string::npos);
+}
+
+TEST(Sync, IoLatencyOverlapsAcrossThreads) {
+  // Two workers each doing N network reads on 2 cores should take about
+  // half the makespan of one worker doing 2N reads (I/O overlaps).
+  const char *SrcSerial =
+      "void w(int n) { int i; int s = 0; "
+      "for (i = 0; i < n; i++) { s = s + net_recv(); } output(s & 1); }\n"
+      "int main() { int t = spawn(w, 40); join(t); return 0; }";
+  const char *SrcParallel =
+      "void w(int n) { int i; int s = 0; "
+      "for (i = 0; i < n; i++) { s = s + net_recv(); } output(s & 1); }\n"
+      "int main() { int t1 = spawn(w, 20); int t2 = spawn(w, 20); "
+      "join(t1); join(t2); return 0; }";
+  auto Serial = runSource(SrcSerial, 3, /*Cores=*/2);
+  auto Parallel = runSource(SrcParallel, 3, /*Cores=*/2);
+  ASSERT_TRUE(Serial.Ok && Parallel.Ok);
+  EXPECT_LT(Parallel.Stats.MakespanCycles,
+            Serial.Stats.MakespanCycles * 2 / 3);
+}
+
+TEST(Sync, CpuParallelismScalesWithCores) {
+  const char *Src =
+      "int sink[8];\nint tids[4];\n"
+      "void w(int id) { int i; int s = 0; "
+      "for (i = 0; i < 20000; i++) { s = s + i * 3; } sink[id] = s; }\n"
+      "int main() { int j; for (j = 0; j < 4; j++) { "
+      "tids[j] = spawn(w, j); } "
+      "for (j = 0; j < 4; j++) { join(tids[j]); } return 0; }";
+  auto One = runSource(Src, 3, /*Cores=*/1);
+  auto Four = runSource(Src, 3, /*Cores=*/4);
+  ASSERT_TRUE(One.Ok && Four.Ok);
+  // Four cores should be at least 2.5x faster than one.
+  EXPECT_LT(Four.Stats.MakespanCycles * 5, One.Stats.MakespanCycles * 2);
+}
+
+TEST(Sync, YieldGivesUpTheCore) {
+  auto R = runSource("int main() { yield(); output(7); return 0; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{7}));
+}
+
+TEST(Sync, ManyThreads) {
+  const char *Src = "int done[12];\nint tids[12];\n"
+                    "void w(int id) { done[id] = id + 1; }\n"
+                    "int main() { int j; for (j = 0; j < 12; j++) { "
+                    "tids[j] = spawn(w, j); } "
+                    "for (j = 0; j < 12; j++) { join(tids[j]); } "
+                    "int s = 0; for (j = 0; j < 12; j++) { s += done[j]; } "
+                    "output(s); return 0; }";
+  auto R = runSource(Src, 11, /*Cores=*/3);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<uint64_t>{78}));
+}
+
+TEST(Sync, NativeRunsAreSeedReproducible) {
+  const char *Src = "int c;\nint tids[3];\n"
+                    "void w(int n) { int i; for (i = 0; i < n; i++) { "
+                    "c = c + 1; } }\n"
+                    "int main() { int j; for (j = 0; j < 3; j++) { "
+                    "tids[j] = spawn(w, 100); } "
+                    "for (j = 0; j < 3; j++) { join(tids[j]); } "
+                    "output(c); return 0; }";
+  auto A = runSource(Src, 9);
+  auto B = runSource(Src, 9);
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_EQ(A.StateHash, B.StateHash);
+  EXPECT_EQ(A.Stats.MakespanCycles, B.Stats.MakespanCycles);
+}

@@ -1,0 +1,185 @@
+//===- tests/sema_test.cpp - MiniC semantic analysis tests -----------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+
+namespace {
+
+std::string checkErrors(const std::string &Source) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndCheck(Source, Diags);
+  return Prog ? std::string() : Diags.str();
+}
+
+#define EXPECT_SEMA_OK(Source) EXPECT_EQ(checkErrors(Source), "")
+#define EXPECT_SEMA_ERROR(Source, Fragment)                                   \
+  EXPECT_NE(checkErrors(Source).find(Fragment), std::string::npos)            \
+      << checkErrors(Source)
+
+} // namespace
+
+TEST(Sema, MinimalProgram) { EXPECT_SEMA_OK("int main() { return 0; }"); }
+
+TEST(Sema, MissingMain) {
+  EXPECT_SEMA_ERROR("void f() { }", "no 'main'");
+}
+
+TEST(Sema, MainWithParamsRejected) {
+  EXPECT_SEMA_ERROR("int main(int x) { return x; }", "no parameters");
+}
+
+TEST(Sema, UndeclaredIdentifier) {
+  EXPECT_SEMA_ERROR("int main() { return nope; }", "undeclared");
+}
+
+TEST(Sema, DuplicateGlobal) {
+  EXPECT_SEMA_ERROR("int g;\nint g;\nint main() { return 0; }",
+                    "redefinition");
+}
+
+TEST(Sema, DuplicateLocalSameScope) {
+  EXPECT_SEMA_ERROR("int main() { int x; int x; return 0; }",
+                    "redefinition");
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  EXPECT_SEMA_OK("int main() { int x = 1; { int x = 2; x++; } return x; }");
+}
+
+TEST(Sema, PointerTypeMismatch) {
+  EXPECT_SEMA_ERROR("int main() { int* p = 3; return 0; }",
+                    "cannot initialize");
+  EXPECT_SEMA_ERROR("int a[4];\nint main() { int x = &a[0]; return 0; }",
+                    "cannot initialize");
+}
+
+TEST(Sema, ArrayDecaysToPointer) {
+  EXPECT_SEMA_OK("int a[4];\nint main() { int* p = a; return p[0]; }");
+}
+
+TEST(Sema, CannotAssignToArrayName) {
+  EXPECT_SEMA_ERROR("int a[4];\nint main() { a = 0; return 0; }",
+                    "cannot assign to array");
+}
+
+TEST(Sema, IndexingNonPointerRejected) {
+  EXPECT_SEMA_ERROR("int main() { int x; return x[0]; }",
+                    "array or pointer");
+}
+
+TEST(Sema, PointerArithmeticAllowed) {
+  EXPECT_SEMA_OK("int a[8];\nint main() { int* p = a + 2; p = p - 1; "
+                 "return p[0]; }");
+}
+
+TEST(Sema, PointerTimesIntRejected) {
+  EXPECT_SEMA_ERROR("int a[8];\nint main() { int* p = a; int x = 0; "
+                    "p = p * 2; return x; }",
+                    "invalid operands");
+}
+
+TEST(Sema, SyncObjectAsValueRejected) {
+  EXPECT_SEMA_ERROR("mutex m;\nint main() { return m; }",
+                    "cannot be used as a value");
+}
+
+TEST(Sema, LockRequiresMutex) {
+  EXPECT_SEMA_ERROR("cond c;\nint main() { lock(c); return 0; }",
+                    "must name a mutex");
+  EXPECT_SEMA_ERROR("int main() { lock(1); return 0; }", "must name a");
+}
+
+TEST(Sema, CondWaitSignature) {
+  EXPECT_SEMA_OK("mutex m;\ncond c;\n"
+                 "int main() { lock(m); cond_wait(c, m); unlock(m); "
+                 "return 0; }");
+  EXPECT_SEMA_ERROR("mutex m;\ncond c;\nint main() { cond_wait(m, c); "
+                    "return 0; }",
+                    "condition variable");
+}
+
+TEST(Sema, BarrierPartiesMustBeConstant) {
+  EXPECT_SEMA_OK("barrier b(2 + 2);\nint main() { barrier_wait(b); "
+                 "return 0; }");
+  EXPECT_SEMA_ERROR("barrier b(0);\nint main() { return 0; }",
+                    "positive constant");
+}
+
+TEST(Sema, SpawnChecksTargetAndArgs) {
+  EXPECT_SEMA_OK("void w(int a) { }\n"
+                 "int main() { int t = spawn(w, 1); join(t); return 0; }");
+  EXPECT_SEMA_ERROR("int main() { int t = spawn(3); return t; }",
+                    "must name a function");
+  EXPECT_SEMA_ERROR("void w(int a) { }\nint main() { int t = spawn(w); "
+                    "return t; }",
+                    "takes");
+}
+
+TEST(Sema, SpawnArgTypeMismatch) {
+  EXPECT_SEMA_ERROR("void w(int* p) { }\nint main() { int t = spawn(w, 5); "
+                    "return t; }",
+                    "mismatch");
+}
+
+TEST(Sema, CallArityAndTypes) {
+  EXPECT_SEMA_ERROR("int f(int a) { return a; }\n"
+                    "int main() { return f(); }",
+                    "takes 1 argument");
+  EXPECT_SEMA_ERROR("int f(int* p) { return p[0]; }\n"
+                    "int main() { return f(7); }",
+                    "mismatch");
+}
+
+TEST(Sema, VoidFunctionValueUseRejected) {
+  EXPECT_SEMA_ERROR("void f() { }\nint main() { return f(); }",
+                    "void value");
+  EXPECT_SEMA_ERROR("void f() { }\nint main() { int x = f(); return 0; }",
+                    "cannot initialize");
+}
+
+TEST(Sema, ReturnConsistency) {
+  EXPECT_SEMA_ERROR("void f() { return 3; }\nint main() { return 0; }",
+                    "void function cannot return a value");
+  EXPECT_SEMA_ERROR("int f() { return; }\nint main() { return 0; }",
+                    "must return a value");
+}
+
+TEST(Sema, BreakOutsideLoop) {
+  EXPECT_SEMA_ERROR("int main() { break; return 0; }", "outside of a loop");
+  EXPECT_SEMA_ERROR("int main() { continue; return 0; }",
+                    "outside of a loop");
+}
+
+TEST(Sema, BreakInsideLoopOk) {
+  EXPECT_SEMA_OK("int main() { while (1) { break; } "
+                 "int i; for (i = 0; i < 3; i++) { continue; } return 0; }");
+}
+
+TEST(Sema, BuiltinsTypeCheck) {
+  EXPECT_SEMA_OK("int main() { int* p = alloc(8); p[0] = input(); "
+                 "output(p[0] + net_recv() + file_read()); yield(); "
+                 "return 0; }");
+  EXPECT_SEMA_ERROR("int main() { input(3); return 0; }", "expects 0");
+}
+
+TEST(Sema, AddrOfScalarGlobalOk) {
+  EXPECT_SEMA_OK("int g;\nint main() { int* p = &g; return p[0]; }");
+}
+
+TEST(Sema, AddrOfIndexedScalarRejected) {
+  EXPECT_SEMA_ERROR("int g;\nint main() { int* p = &g[1]; return 0; }",
+                    "cannot index a scalar");
+}
+
+TEST(Sema, AddrOfLocalIntRejected) {
+  EXPECT_SEMA_ERROR("int main() { int x; int* p = &x; return 0; }",
+                    "requires a global variable or pointer");
+}
+
+TEST(Sema, PointerComparisonAllowed) {
+  EXPECT_SEMA_OK("int a[4];\nint main() { int* p = a; int* q = a + 1; "
+                 "return p == q; }");
+}

@@ -1,0 +1,325 @@
+//===- tests/support_test.cpp - support library tests ----------------------===//
+
+#include "support/Compressor.h"
+#include "support/Graph.h"
+#include "support/Hash.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace chimera;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3u);
+}
+
+TEST(Rng, NearbySeedsAreScrambled) {
+  // Sequential seeds must not produce correlated first outputs.
+  std::set<uint64_t> Firsts;
+  for (uint64_t Seed = 0; Seed != 64; ++Seed)
+    Firsts.insert(Rng(Seed).next());
+  EXPECT_EQ(Firsts.size(), 64u);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = R.nextInRange(3, 6);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 6u);
+    SawLo |= V == 3;
+    SawHi |= V == 6;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, SplitIsIndependent) {
+  Rng A(99);
+  Rng Child = A.split();
+  unsigned Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == Child.next();
+  EXPECT_LT(Same, 3u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(5);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_TRUE(R.chance(1, 1));
+    EXPECT_FALSE(R.chance(0, 10));
+  }
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hash
+//===----------------------------------------------------------------------===//
+
+TEST(Hash, EmptyHasherHasFnvOffset) {
+  Hasher H;
+  EXPECT_EQ(H.digest(), 0xcbf29ce484222325ull);
+}
+
+TEST(Hash, OrderSensitive) {
+  Hasher A, B;
+  A.addWord(1);
+  A.addWord(2);
+  B.addWord(2);
+  B.addWord(1);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(Hash, WordsAndBytesAgree) {
+  Hasher A, B;
+  uint64_t W = 0x0102030405060708ull;
+  A.addWord(W);
+  uint8_t Bytes[8] = {8, 7, 6, 5, 4, 3, 2, 1}; // Little-endian.
+  B.addBytes(Bytes, 8);
+  EXPECT_EQ(A.digest(), B.digest());
+}
+
+TEST(Hash, HashWordsConvenience) {
+  std::vector<uint64_t> V = {1, 2, 3};
+  Hasher H;
+  H.addWords(V);
+  EXPECT_EQ(H.digest(), hashWords(V));
+}
+
+TEST(Hash, StringSensitivity) {
+  Hasher A, B;
+  A.addString("chimera");
+  B.addString("chimerb");
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+//===----------------------------------------------------------------------===//
+// UndirectedGraph & cliques
+//===----------------------------------------------------------------------===//
+
+TEST(Graph, EdgesAreSymmetric) {
+  UndirectedGraph G(4);
+  G.addEdge(0, 2);
+  EXPECT_TRUE(G.hasEdge(0, 2));
+  EXPECT_TRUE(G.hasEdge(2, 0));
+  EXPECT_FALSE(G.hasEdge(0, 1));
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(Graph, SelfEdgesIgnored) {
+  UndirectedGraph G(3);
+  G.addEdge(1, 1);
+  EXPECT_FALSE(G.hasEdge(1, 1));
+  EXPECT_EQ(G.numEdges(), 0u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  UndirectedGraph G(5);
+  G.addEdge(2, 4);
+  G.addEdge(2, 0);
+  G.addEdge(2, 3);
+  EXPECT_EQ(G.neighbors(2), (std::vector<unsigned>{0, 3, 4}));
+  EXPECT_EQ(G.degree(2), 3u);
+}
+
+TEST(Graph, ResizeKeepsEdges) {
+  UndirectedGraph G(2);
+  G.addEdge(0, 1);
+  G.resize(100);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  G.addEdge(70, 99);
+  EXPECT_TRUE(G.hasEdge(99, 70));
+}
+
+TEST(Graph, IsCliqueChecksAllPairs) {
+  UndirectedGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(0, 2);
+  EXPECT_TRUE(G.isClique({0, 1, 2}));
+  EXPECT_FALSE(G.isClique({0, 1, 3}));
+}
+
+TEST(Cliques, TriangleIsOneClique) {
+  UndirectedGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(0, 2);
+  auto Cliques = greedyMaximalCliques(G);
+  ASSERT_EQ(Cliques.size(), 1u);
+  EXPECT_EQ(Cliques[0], (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(Cliques, PaperFigure3Graph) {
+  // Figure 3(c): alice(0)-bob(1), alice-carol(2), bob-carol,
+  // carol-dave(3). Cliques: {alice,bob,carol} and {carol,dave}.
+  UndirectedGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  auto Cliques = greedyMaximalCliques(G);
+  ASSERT_EQ(Cliques.size(), 2u);
+  std::set<std::vector<unsigned>> Set(Cliques.begin(), Cliques.end());
+  EXPECT_TRUE(Set.count({0, 1, 2}));
+  EXPECT_TRUE(Set.count({2, 3}));
+}
+
+TEST(Cliques, IsolatedNodesNotCovered) {
+  UndirectedGraph G(3);
+  G.addEdge(0, 1);
+  auto Cliques = greedyMaximalCliques(G);
+  ASSERT_EQ(Cliques.size(), 1u);
+  EXPECT_EQ(Cliques[0], (std::vector<unsigned>{0, 1}));
+}
+
+TEST(Cliques, EveryCliqueIsMaximal) {
+  // Random-ish graph; verify every returned clique is a clique and is
+  // maximal (no node can extend it).
+  UndirectedGraph G(12);
+  Rng R(123);
+  for (int I = 0; I != 30; ++I)
+    G.addEdge(static_cast<unsigned>(R.nextBelow(12)),
+              static_cast<unsigned>(R.nextBelow(12)));
+  for (const auto &Clique : greedyMaximalCliques(G)) {
+    EXPECT_TRUE(G.isClique(Clique));
+    for (unsigned Cand = 0; Cand != 12; ++Cand) {
+      if (std::binary_search(Clique.begin(), Clique.end(), Cand))
+        continue;
+      bool AdjacentToAll = true;
+      for (unsigned Member : Clique)
+        AdjacentToAll &= G.hasEdge(Cand, Member);
+      EXPECT_FALSE(AdjacentToAll)
+          << "clique extendable by node " << Cand;
+    }
+  }
+}
+
+TEST(Cliques, CoversEveryNonIsolatedNode) {
+  UndirectedGraph G(8);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3);
+  G.addEdge(4, 5);
+  G.addEdge(5, 6);
+  auto Cliques = greedyMaximalCliques(G);
+  std::set<unsigned> Covered;
+  for (const auto &Clique : Cliques)
+    Covered.insert(Clique.begin(), Clique.end());
+  for (unsigned N = 0; N != 8; ++N)
+    if (G.degree(N) > 0) {
+      EXPECT_TRUE(Covered.count(N)) << "node " << N;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Compressor
+//===----------------------------------------------------------------------===//
+
+TEST(Varint, RoundTrip) {
+  std::vector<uint8_t> Buf;
+  std::vector<uint64_t> Values = {0,    1,    127,        128,
+                                  300,  1u << 20, ~0ull >> 1, ~0ull};
+  for (uint64_t V : Values)
+    appendVarint(Buf, V);
+  size_t Pos = 0;
+  for (uint64_t V : Values)
+    EXPECT_EQ(readVarint(Buf, Pos), V);
+  EXPECT_EQ(Pos, Buf.size());
+}
+
+TEST(Varint, ZigzagRoundTrip) {
+  for (int64_t V : std::initializer_list<int64_t>{0, 1, -1, 100, -100,
+                                                  INT64_MAX, INT64_MIN})
+    EXPECT_EQ(zigzagDecode(zigzagEncode(V)), V);
+  // Small magnitudes stay small.
+  EXPECT_LT(zigzagEncode(-3), 10u);
+}
+
+TEST(Compressor, EmptyInput) {
+  std::vector<uint8_t> Empty;
+  EXPECT_EQ(lzDecompress(lzCompress(Empty)), Empty);
+}
+
+TEST(Compressor, RoundTripRepetitive) {
+  std::vector<uint8_t> Data;
+  for (int I = 0; I != 5000; ++I)
+    Data.push_back(static_cast<uint8_t>(I % 7));
+  auto Packed = lzCompress(Data);
+  EXPECT_LT(Packed.size(), Data.size() / 4) << "repetitive data compresses";
+  EXPECT_EQ(lzDecompress(Packed), Data);
+}
+
+TEST(Compressor, RoundTripIncompressible) {
+  Rng R(777);
+  std::vector<uint8_t> Data;
+  for (int I = 0; I != 4096; ++I)
+    Data.push_back(static_cast<uint8_t>(R.next()));
+  EXPECT_EQ(lzDecompress(lzCompress(Data)), Data);
+}
+
+TEST(Compressor, OverlappingMatches) {
+  // "aaaa..." forces matches whose source overlaps the output cursor.
+  std::vector<uint8_t> Data(1000, 'a');
+  auto Packed = lzCompress(Data);
+  EXPECT_LT(Packed.size(), 40u);
+  EXPECT_EQ(lzDecompress(Packed), Data);
+}
+
+class CompressorRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressorRoundTrip, RandomStructuredData) {
+  Rng R(GetParam());
+  std::vector<uint8_t> Data;
+  size_t Size = 100 + R.nextBelow(8000);
+  // Mix of runs, random bytes, and repeated motifs — log-like content.
+  while (Data.size() < Size) {
+    switch (R.nextBelow(3)) {
+    case 0: {
+      uint8_t Byte = static_cast<uint8_t>(R.next());
+      size_t Run = 1 + R.nextBelow(40);
+      Data.insert(Data.end(), Run, Byte);
+      break;
+    }
+    case 1:
+      Data.push_back(static_cast<uint8_t>(R.next()));
+      break;
+    default: {
+      const char *Motif = "event:tid=3,op=lock;";
+      Data.insert(Data.end(), Motif, Motif + 20);
+      break;
+    }
+    }
+  }
+  EXPECT_EQ(lzDecompress(lzCompress(Data)), Data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressorRoundTrip,
+                         ::testing::Range(1, 21));

@@ -1,0 +1,224 @@
+//===- tests/workloads_test.cpp - The nine benchmark programs --------------===//
+//
+// Integration + property tests over the full suite: every workload
+// compiles, verifies, runs, records and replays deterministically, and —
+// the paper's central invariant — is dynamically race-free once
+// instrumented, with weak-locks treated as synchronization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "race/DynamicDetector.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::workloads;
+
+namespace {
+
+std::string nameOf(WorkloadKind Kind) { return workloadInfo(Kind).Name; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-workload structural checks (parameterized over the suite).
+//===----------------------------------------------------------------------===//
+
+class WorkloadSuite : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadSuite, CompilesAndVerifies) {
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_TRUE(ir::verifyModule(P->originalModule()).empty());
+}
+
+TEST_P(WorkloadSuite, ProfileAndEvalShapesMatch) {
+  // The profile environment differs only in constants; fromSource
+  // enforces matching instruction counts, so building is the assertion.
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 2, &Err);
+  EXPECT_NE(P, nullptr) << Err;
+}
+
+TEST_P(WorkloadSuite, NativeRunsToCompletion) {
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  auto R = P->runOriginalNative(11);
+  ASSERT_TRUE(R.Ok) << nameOf(GetParam()) << ": " << R.Error;
+  EXPECT_FALSE(R.Output.empty());
+  EXPECT_GT(R.Stats.SpawnedThreads, 1u);
+}
+
+TEST_P(WorkloadSuite, StaticRacesAreFound) {
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  // Every workload deliberately contains potential races (true or
+  // false); RELAY must find them or the instrumentation story is moot.
+  EXPECT_FALSE(P->raceReport().Pairs.empty()) << nameOf(GetParam());
+}
+
+TEST_P(WorkloadSuite, InstrumentedModuleVerifies) {
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  const ir::Module &I = P->instrumentedModule();
+  EXPECT_TRUE(ir::verifyModule(I).empty());
+  EXPECT_FALSE(I.WeakLocks.empty()) << nameOf(GetParam());
+}
+
+TEST_P(WorkloadSuite, RecordReplayIsDeterministic) {
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  for (uint64_t Seed : {7ull, 42ull}) {
+    auto Out = P->recordAndReplay(Seed);
+    ASSERT_TRUE(Out.Record.Ok)
+        << nameOf(GetParam()) << " record: " << Out.Record.Error;
+    ASSERT_TRUE(Out.Replay.Ok)
+        << nameOf(GetParam()) << " replay: " << Out.Replay.Error;
+    EXPECT_TRUE(Out.Deterministic) << nameOf(GetParam());
+  }
+}
+
+TEST_P(WorkloadSuite, InstrumentedExecutionIsDynamicallyRaceFree) {
+  // Paper §2.4: the transformed program is data-race-free under the new
+  // synchronization operations.
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_EQ(P->dynamicRaceCount(13), 0u) << nameOf(GetParam());
+}
+
+TEST_P(WorkloadSuite, RecordOverheadIsBounded) {
+  // Sanity envelope, not a benchmark: with all optimizations the record
+  // run must stay within ~8x of native (the paper's worst case is 2.4x).
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  auto Native = P->runOriginalNative(5);
+  auto Rec = P->record(5);
+  ASSERT_TRUE(Native.Ok && Rec.Ok) << Native.Error << Rec.Error;
+  EXPECT_LT(Rec.Stats.MakespanCycles, Native.Stats.MakespanCycles * 8)
+      << nameOf(GetParam());
+}
+
+TEST_P(WorkloadSuite, NoRevocationsUnderDefaultTimeout) {
+  // Matches the paper's observation (§7.1): no weak-lock timeouts in any
+  // benchmark under the default threshold.
+  std::string Err;
+  auto P = buildPipeline(GetParam(), 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  auto Rec = P->record(3);
+  ASSERT_TRUE(Rec.Ok) << Rec.Error;
+  EXPECT_EQ(Rec.Stats.Revocations, 0u) << nameOf(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSuite, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadKind> &Info) {
+      return std::string(workloadInfo(Info.param).Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Suite-level expectations
+//===----------------------------------------------------------------------===//
+
+TEST(Workloads, SuiteHasNineMembers) {
+  EXPECT_EQ(allWorkloads().size(), 9u);
+}
+
+TEST(Workloads, CategoriesMatchTable1) {
+  unsigned Desktop = 0, Server = 0, Scientific = 0;
+  for (WorkloadKind K : allWorkloads()) {
+    std::string Cat = workloadInfo(K).Category;
+    Desktop += Cat == "desktop";
+    Server += Cat == "server";
+    Scientific += Cat == "scientific";
+  }
+  EXPECT_EQ(Desktop, 3u);
+  EXPECT_EQ(Server, 2u);
+  EXPECT_EQ(Scientific, 4u);
+}
+
+TEST(Workloads, IoBoundWorkloadsHideRecordingCost) {
+  // aget/knot: record overhead within 10% (paper: ~1-4%).
+  for (WorkloadKind K : {WorkloadKind::Aget, WorkloadKind::Knot}) {
+    std::string Err;
+    auto P = buildPipeline(K, 4, &Err);
+    ASSERT_NE(P, nullptr) << Err;
+    auto Native = P->runOriginalNative(21);
+    auto Rec = P->record(21);
+    ASSERT_TRUE(Native.Ok && Rec.Ok);
+    double Overhead = double(Rec.Stats.MakespanCycles) /
+                      double(Native.Stats.MakespanCycles);
+    EXPECT_LT(Overhead, 1.10) << workloadInfo(K).Name;
+  }
+}
+
+TEST(Workloads, IoBoundWorkloadsReplayFaster) {
+  // Paper §7.2: network applications replay much faster than recording
+  // because inputs are fed without waiting.
+  std::string Err;
+  auto P = buildPipeline(WorkloadKind::Aget, 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  auto Out = P->recordAndReplay(19);
+  ASSERT_TRUE(Out.Deterministic);
+  EXPECT_LT(Out.Replay.Stats.MakespanCycles,
+            Out.Record.Stats.MakespanCycles / 5);
+}
+
+TEST(Workloads, RadixUsesBothLoopLockKinds) {
+  // Figure 4: ranged loop-locks for the zeroing loop, unranged for the
+  // key-dependent histogram loop.
+  std::string Err;
+  auto P = buildPipeline(WorkloadKind::Radix, 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  const auto &Plan = P->plan();
+  EXPECT_GT(Plan.SidesLoopRanged, 0u);
+  EXPECT_GT(Plan.SidesLoopUnranged, 0u);
+}
+
+TEST(Workloads, PfscanAndWaterUseFunctionLocks) {
+  for (WorkloadKind K : {WorkloadKind::Pfscan, WorkloadKind::Water}) {
+    std::string Err;
+    auto P = buildPipeline(K, 4, &Err);
+    ASSERT_NE(P, nullptr) << Err;
+    EXPECT_GT(P->plan().PairsFunctionCovered, 0u) << workloadInfo(K).Name;
+  }
+}
+
+TEST(Workloads, ApacheUsesRangedLoopLocks) {
+  // The memset story: apache's hot scratch-clearing loop is rescued by
+  // accurate symbolic bounds.
+  std::string Err;
+  auto P = buildPipeline(WorkloadKind::Apache, 4, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_GT(P->plan().SidesLoopRanged, 0u);
+}
+
+TEST(Workloads, ScientificSuiteHasHigherOverheadThanServers) {
+  auto overheadOf = [](WorkloadKind K) {
+    std::string Err;
+    auto P = buildPipeline(K, 4, &Err);
+    EXPECT_NE(P, nullptr) << Err;
+    auto Native = P->runOriginalNative(33);
+    auto Rec = P->record(33);
+    EXPECT_TRUE(Native.Ok && Rec.Ok);
+    return double(Rec.Stats.MakespanCycles) /
+           double(Native.Stats.MakespanCycles);
+  };
+  double Ocean = overheadOf(WorkloadKind::Ocean);
+  double Knot = overheadOf(WorkloadKind::Knot);
+  EXPECT_GT(Ocean, Knot);
+  EXPECT_GT(Ocean, 1.2);
+}
+
+TEST(Workloads, LineCountsAreReported) {
+  for (WorkloadKind K : allWorkloads())
+    EXPECT_GT(workloadLineCount(K), 40u) << workloadInfo(K).Name;
+}

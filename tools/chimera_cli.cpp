@@ -1,0 +1,240 @@
+//===- tools/chimera_cli.cpp - Command-line driver --------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `chimera` command-line tool: compile a MiniC program, inspect the
+// static race report and instrumentation plan, record executions to a
+// log file, and replay them deterministically.
+//
+//   chimera races   prog.mc
+//   chimera plan    prog.mc [--naive|--func|--loop]
+//   chimera ir      prog.mc [--instrumented]
+//   chimera run     prog.mc [--seed N] [--cores N]
+//   chimera record  prog.mc -o run.clog [--seed N] [--cores N]
+//   chimera replay  prog.mc run.clog
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "ir/Printer.h"
+#include "replay/LogCodec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace chimera;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: chimera <command> <program.mc> [options]\n"
+      "\n"
+      "commands:\n"
+      "  races    report the static (RELAY) race pairs\n"
+      "  plan     show the weak-lock instrumentation plan\n"
+      "  ir       print the IR (--instrumented for the guarded module)\n"
+      "  run      execute natively and print the program output\n"
+      "  record   record an execution (-o FILE, default prog.clog)\n"
+      "  replay   replay a recorded log file deterministically\n"
+      "\n"
+      "options:\n"
+      "  --seed N          scheduler/input seed (default 1)\n"
+      "  --cores N         simulated cores (default 8)\n"
+      "  --naive|--func|--loop   planner ablation configurations\n"
+      "  -o FILE           output log path for `record`\n");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+bool readBytes(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool writeBytes(const std::string &Path, const std::vector<uint8_t> &Data) {
+  std::ofstream OutStream(Path, std::ios::binary);
+  if (!OutStream)
+    return false;
+  OutStream.write(reinterpret_cast<const char *>(Data.data()),
+                  static_cast<std::streamsize>(Data.size()));
+  return OutStream.good();
+}
+
+void printOutput(const rt::ExecutionResult &R) {
+  for (uint64_t V : R.Output)
+    std::printf("%lld\n", static_cast<long long>(static_cast<int64_t>(V)));
+}
+
+void printStats(const rt::ExecutionResult &R) {
+  std::fprintf(stderr,
+               "[chimera] %llu instructions, %llu cycles makespan, "
+               "%llu weak-lock acquisitions, %llu log records\n",
+               static_cast<unsigned long long>(R.Stats.Instructions),
+               static_cast<unsigned long long>(R.Stats.MakespanCycles),
+               static_cast<unsigned long long>(
+                   R.Stats.weakAcquiresTotal()),
+               static_cast<unsigned long long>(R.Stats.LogEvents));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  std::string Command = argv[1];
+  std::string Path = argv[2];
+
+  uint64_t Seed = 1;
+  unsigned Cores = 8;
+  std::string OutPath;
+  bool Instrumented = false;
+  instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
+
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--seed" && I + 1 < argc)
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    else if (Arg == "--cores" && I + 1 < argc)
+      Cores = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (Arg == "-o" && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (Arg == "--instrumented")
+      Instrumented = true;
+    else if (Arg == "--naive")
+      Planner = instrument::PlannerOptions::naive();
+    else if (Arg == "--func")
+      Planner = instrument::PlannerOptions::functionOnly();
+    else if (Arg == "--loop")
+      Planner = instrument::PlannerOptions::loopOnly();
+    else if (Command == "replay" && OutPath.empty()) {
+      OutPath = Arg; // replay's positional log argument.
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return 2;
+    }
+  }
+
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Path.c_str());
+    return 1;
+  }
+
+  core::PipelineConfig Config;
+  Config.Name = Path;
+  Config.NumCores = Cores;
+  Config.Planner = Planner;
+  std::string Error;
+  auto Pipeline =
+      core::ChimeraPipeline::fromSource(Source, Source, Config, &Error);
+  if (!Pipeline) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Command == "races") {
+    const race::RaceReport &Races = Pipeline->raceReport();
+    std::printf("%zu potential race pair(s)\n", Races.Pairs.size());
+    std::printf("%s", Races.str(Pipeline->originalModule()).c_str());
+    return 0;
+  }
+
+  if (Command == "plan") {
+    std::printf("%s",
+                Pipeline->plan()
+                    .summary(Pipeline->originalModule())
+                    .c_str());
+    return 0;
+  }
+
+  if (Command == "ir") {
+    const ir::Module &M = Instrumented ? Pipeline->instrumentedModule()
+                                       : Pipeline->originalModule();
+    std::printf("%s", ir::printModule(M).c_str());
+    return 0;
+  }
+
+  if (Command == "run") {
+    auto R = Pipeline->runOriginalNative(Seed);
+    if (!R.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    printOutput(R);
+    printStats(R);
+    return 0;
+  }
+
+  if (Command == "record") {
+    auto R = Pipeline->record(Seed);
+    if (!R.Ok) {
+      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    printOutput(R);
+    printStats(R);
+    if (OutPath.empty())
+      OutPath = Path + ".clog";
+    std::vector<uint8_t> Bytes = replay::encodeLog(R.Log);
+    if (!writeBytes(OutPath, Bytes)) {
+      std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    auto Sizes = replay::measureLog(R.Log);
+    std::fprintf(stderr,
+                 "[chimera] log written to %s (%zu bytes; compresses to "
+                 "%llu input + %llu order)\n",
+                 OutPath.c_str(), Bytes.size(),
+                 static_cast<unsigned long long>(Sizes.InputCompressed),
+                 static_cast<unsigned long long>(Sizes.OrderCompressed));
+    return 0;
+  }
+
+  if (Command == "replay") {
+    if (OutPath.empty()) {
+      std::fprintf(stderr, "replay needs a log file argument\n");
+      return 2;
+    }
+    std::vector<uint8_t> Bytes;
+    if (!readBytes(OutPath, Bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", OutPath.c_str());
+      return 1;
+    }
+    rt::ExecutionLog Log = replay::decodeLog(Bytes);
+    auto R = Pipeline->replay(Log);
+    if (!R.Ok) {
+      std::fprintf(stderr, "replay error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    printOutput(R);
+    printStats(R);
+    std::fprintf(stderr, "[chimera] replay state fingerprint %016llx\n",
+                 static_cast<unsigned long long>(R.StateHash));
+    return 0;
+  }
+
+  usage();
+  return 2;
+}
