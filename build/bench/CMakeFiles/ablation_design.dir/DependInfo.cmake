@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_design.cpp" "bench/CMakeFiles/ablation_design.dir/ablation_design.cpp.o" "gcc" "bench/CMakeFiles/ablation_design.dir/ablation_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

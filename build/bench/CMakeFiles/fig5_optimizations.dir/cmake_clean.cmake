@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_optimizations.dir/fig5_optimizations.cpp.o"
+  "CMakeFiles/fig5_optimizations.dir/fig5_optimizations.cpp.o.d"
+  "fig5_optimizations"
+  "fig5_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

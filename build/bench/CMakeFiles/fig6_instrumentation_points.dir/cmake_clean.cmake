@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_instrumentation_points.dir/fig6_instrumentation_points.cpp.o"
+  "CMakeFiles/fig6_instrumentation_points.dir/fig6_instrumentation_points.cpp.o.d"
+  "fig6_instrumentation_points"
+  "fig6_instrumentation_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_instrumentation_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

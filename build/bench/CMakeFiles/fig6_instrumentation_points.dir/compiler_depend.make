@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_instrumentation_points.
+# This may be replaced when dependencies are built.

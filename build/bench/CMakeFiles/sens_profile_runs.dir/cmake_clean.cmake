@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_profile_runs.dir/sens_profile_runs.cpp.o"
+  "CMakeFiles/sens_profile_runs.dir/sens_profile_runs.cpp.o.d"
+  "sens_profile_runs"
+  "sens_profile_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_profile_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_record_replay.dir/table2_record_replay.cpp.o"
+  "CMakeFiles/table2_record_replay.dir/table2_record_replay.cpp.o.d"
+  "table2_record_replay"
+  "table2_record_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_record_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_cliques.dir/profile_cliques.cpp.o"
+  "CMakeFiles/profile_cliques.dir/profile_cliques.cpp.o.d"
+  "profile_cliques"
+  "profile_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

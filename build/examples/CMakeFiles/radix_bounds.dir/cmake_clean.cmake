@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_bounds.dir/radix_bounds.cpp.o"
+  "CMakeFiles/radix_bounds.dir/radix_bounds.cpp.o.d"
+  "radix_bounds"
+  "radix_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

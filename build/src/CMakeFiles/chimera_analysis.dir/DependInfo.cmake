@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/CMakeFiles/chimera_analysis.dir/analysis/CallGraph.cpp.o" "gcc" "src/CMakeFiles/chimera_analysis.dir/analysis/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/chimera_analysis.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/chimera_analysis.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Escape.cpp" "src/CMakeFiles/chimera_analysis.dir/analysis/Escape.cpp.o" "gcc" "src/CMakeFiles/chimera_analysis.dir/analysis/Escape.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/chimera_analysis.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/chimera_analysis.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/PointsTo.cpp" "src/CMakeFiles/chimera_analysis.dir/analysis/PointsTo.cpp.o" "gcc" "src/CMakeFiles/chimera_analysis.dir/analysis/PointsTo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

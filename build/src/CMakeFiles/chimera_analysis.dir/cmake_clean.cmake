@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_analysis.dir/analysis/CallGraph.cpp.o"
+  "CMakeFiles/chimera_analysis.dir/analysis/CallGraph.cpp.o.d"
+  "CMakeFiles/chimera_analysis.dir/analysis/Dominators.cpp.o"
+  "CMakeFiles/chimera_analysis.dir/analysis/Dominators.cpp.o.d"
+  "CMakeFiles/chimera_analysis.dir/analysis/Escape.cpp.o"
+  "CMakeFiles/chimera_analysis.dir/analysis/Escape.cpp.o.d"
+  "CMakeFiles/chimera_analysis.dir/analysis/LoopInfo.cpp.o"
+  "CMakeFiles/chimera_analysis.dir/analysis/LoopInfo.cpp.o.d"
+  "CMakeFiles/chimera_analysis.dir/analysis/PointsTo.cpp.o"
+  "CMakeFiles/chimera_analysis.dir/analysis/PointsTo.cpp.o.d"
+  "libchimera_analysis.a"
+  "libchimera_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchimera_analysis.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/BoundsAnalysis.cpp" "src/CMakeFiles/chimera_bounds.dir/bounds/BoundsAnalysis.cpp.o" "gcc" "src/CMakeFiles/chimera_bounds.dir/bounds/BoundsAnalysis.cpp.o.d"
+  "/root/repo/src/bounds/ConstraintSystem.cpp" "src/CMakeFiles/chimera_bounds.dir/bounds/ConstraintSystem.cpp.o" "gcc" "src/CMakeFiles/chimera_bounds.dir/bounds/ConstraintSystem.cpp.o.d"
+  "/root/repo/src/bounds/FourierMotzkin.cpp" "src/CMakeFiles/chimera_bounds.dir/bounds/FourierMotzkin.cpp.o" "gcc" "src/CMakeFiles/chimera_bounds.dir/bounds/FourierMotzkin.cpp.o.d"
+  "/root/repo/src/bounds/SymbolicExpr.cpp" "src/CMakeFiles/chimera_bounds.dir/bounds/SymbolicExpr.cpp.o" "gcc" "src/CMakeFiles/chimera_bounds.dir/bounds/SymbolicExpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

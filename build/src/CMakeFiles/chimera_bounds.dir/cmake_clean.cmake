@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_bounds.dir/bounds/BoundsAnalysis.cpp.o"
+  "CMakeFiles/chimera_bounds.dir/bounds/BoundsAnalysis.cpp.o.d"
+  "CMakeFiles/chimera_bounds.dir/bounds/ConstraintSystem.cpp.o"
+  "CMakeFiles/chimera_bounds.dir/bounds/ConstraintSystem.cpp.o.d"
+  "CMakeFiles/chimera_bounds.dir/bounds/FourierMotzkin.cpp.o"
+  "CMakeFiles/chimera_bounds.dir/bounds/FourierMotzkin.cpp.o.d"
+  "CMakeFiles/chimera_bounds.dir/bounds/SymbolicExpr.cpp.o"
+  "CMakeFiles/chimera_bounds.dir/bounds/SymbolicExpr.cpp.o.d"
+  "libchimera_bounds.a"
+  "libchimera_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

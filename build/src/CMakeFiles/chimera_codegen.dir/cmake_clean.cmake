@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_codegen.dir/codegen/CodeGen.cpp.o"
+  "CMakeFiles/chimera_codegen.dir/codegen/CodeGen.cpp.o.d"
+  "libchimera_codegen.a"
+  "libchimera_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_core.dir/core/Options.cpp.o"
+  "CMakeFiles/chimera_core.dir/core/Options.cpp.o.d"
+  "CMakeFiles/chimera_core.dir/core/Pipeline.cpp.o"
+  "CMakeFiles/chimera_core.dir/core/Pipeline.cpp.o.d"
+  "libchimera_core.a"
+  "libchimera_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

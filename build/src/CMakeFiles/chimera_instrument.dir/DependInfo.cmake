@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/Instrumenter.cpp" "src/CMakeFiles/chimera_instrument.dir/instrument/Instrumenter.cpp.o" "gcc" "src/CMakeFiles/chimera_instrument.dir/instrument/Instrumenter.cpp.o.d"
+  "/root/repo/src/instrument/Plan.cpp" "src/CMakeFiles/chimera_instrument.dir/instrument/Plan.cpp.o" "gcc" "src/CMakeFiles/chimera_instrument.dir/instrument/Plan.cpp.o.d"
+  "/root/repo/src/instrument/Planner.cpp" "src/CMakeFiles/chimera_instrument.dir/instrument/Planner.cpp.o" "gcc" "src/CMakeFiles/chimera_instrument.dir/instrument/Planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_instrument.dir/instrument/Instrumenter.cpp.o"
+  "CMakeFiles/chimera_instrument.dir/instrument/Instrumenter.cpp.o.d"
+  "CMakeFiles/chimera_instrument.dir/instrument/Plan.cpp.o"
+  "CMakeFiles/chimera_instrument.dir/instrument/Plan.cpp.o.d"
+  "CMakeFiles/chimera_instrument.dir/instrument/Planner.cpp.o"
+  "CMakeFiles/chimera_instrument.dir/instrument/Planner.cpp.o.d"
+  "libchimera_instrument.a"
+  "libchimera_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_ir.dir/ir/Function.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/Function.cpp.o.d"
+  "CMakeFiles/chimera_ir.dir/ir/IRBuilder.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/IRBuilder.cpp.o.d"
+  "CMakeFiles/chimera_ir.dir/ir/Instruction.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/Instruction.cpp.o.d"
+  "CMakeFiles/chimera_ir.dir/ir/Module.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/Module.cpp.o.d"
+  "CMakeFiles/chimera_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/chimera_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/Type.cpp.o.d"
+  "CMakeFiles/chimera_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/chimera_ir.dir/ir/Verifier.cpp.o.d"
+  "libchimera_ir.a"
+  "libchimera_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

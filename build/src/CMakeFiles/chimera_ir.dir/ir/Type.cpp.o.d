@@ -1,0 +1,2 @@
+src/CMakeFiles/chimera_ir.dir/ir/Type.cpp.o: /root/repo/src/ir/Type.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/ir/Type.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_lang.dir/lang/Ast.cpp.o"
+  "CMakeFiles/chimera_lang.dir/lang/Ast.cpp.o.d"
+  "CMakeFiles/chimera_lang.dir/lang/Lexer.cpp.o"
+  "CMakeFiles/chimera_lang.dir/lang/Lexer.cpp.o.d"
+  "CMakeFiles/chimera_lang.dir/lang/Parser.cpp.o"
+  "CMakeFiles/chimera_lang.dir/lang/Parser.cpp.o.d"
+  "CMakeFiles/chimera_lang.dir/lang/Sema.cpp.o"
+  "CMakeFiles/chimera_lang.dir/lang/Sema.cpp.o.d"
+  "libchimera_lang.a"
+  "libchimera_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

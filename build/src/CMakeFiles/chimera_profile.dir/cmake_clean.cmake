@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_profile.dir/profile/CliqueAnalysis.cpp.o"
+  "CMakeFiles/chimera_profile.dir/profile/CliqueAnalysis.cpp.o.d"
+  "CMakeFiles/chimera_profile.dir/profile/ConcurrencyGraph.cpp.o"
+  "CMakeFiles/chimera_profile.dir/profile/ConcurrencyGraph.cpp.o.d"
+  "CMakeFiles/chimera_profile.dir/profile/Profiler.cpp.o"
+  "CMakeFiles/chimera_profile.dir/profile/Profiler.cpp.o.d"
+  "libchimera_profile.a"
+  "libchimera_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/DynamicDetector.cpp" "src/CMakeFiles/chimera_race.dir/race/DynamicDetector.cpp.o" "gcc" "src/CMakeFiles/chimera_race.dir/race/DynamicDetector.cpp.o.d"
+  "/root/repo/src/race/Lockset.cpp" "src/CMakeFiles/chimera_race.dir/race/Lockset.cpp.o" "gcc" "src/CMakeFiles/chimera_race.dir/race/Lockset.cpp.o.d"
+  "/root/repo/src/race/RelayDetector.cpp" "src/CMakeFiles/chimera_race.dir/race/RelayDetector.cpp.o" "gcc" "src/CMakeFiles/chimera_race.dir/race/RelayDetector.cpp.o.d"
+  "/root/repo/src/race/Summary.cpp" "src/CMakeFiles/chimera_race.dir/race/Summary.cpp.o" "gcc" "src/CMakeFiles/chimera_race.dir/race/Summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

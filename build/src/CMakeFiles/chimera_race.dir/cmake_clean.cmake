@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_race.dir/race/DynamicDetector.cpp.o"
+  "CMakeFiles/chimera_race.dir/race/DynamicDetector.cpp.o.d"
+  "CMakeFiles/chimera_race.dir/race/Lockset.cpp.o"
+  "CMakeFiles/chimera_race.dir/race/Lockset.cpp.o.d"
+  "CMakeFiles/chimera_race.dir/race/RelayDetector.cpp.o"
+  "CMakeFiles/chimera_race.dir/race/RelayDetector.cpp.o.d"
+  "CMakeFiles/chimera_race.dir/race/Summary.cpp.o"
+  "CMakeFiles/chimera_race.dir/race/Summary.cpp.o.d"
+  "libchimera_race.a"
+  "libchimera_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/DeterminismChecker.cpp" "src/CMakeFiles/chimera_replay.dir/replay/DeterminismChecker.cpp.o" "gcc" "src/CMakeFiles/chimera_replay.dir/replay/DeterminismChecker.cpp.o.d"
+  "/root/repo/src/replay/LogCodec.cpp" "src/CMakeFiles/chimera_replay.dir/replay/LogCodec.cpp.o" "gcc" "src/CMakeFiles/chimera_replay.dir/replay/LogCodec.cpp.o.d"
+  "/root/repo/src/replay/Recorder.cpp" "src/CMakeFiles/chimera_replay.dir/replay/Recorder.cpp.o" "gcc" "src/CMakeFiles/chimera_replay.dir/replay/Recorder.cpp.o.d"
+  "/root/repo/src/replay/Replayer.cpp" "src/CMakeFiles/chimera_replay.dir/replay/Replayer.cpp.o" "gcc" "src/CMakeFiles/chimera_replay.dir/replay/Replayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

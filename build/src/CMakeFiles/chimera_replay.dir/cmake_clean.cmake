@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_replay.dir/replay/DeterminismChecker.cpp.o"
+  "CMakeFiles/chimera_replay.dir/replay/DeterminismChecker.cpp.o.d"
+  "CMakeFiles/chimera_replay.dir/replay/LogCodec.cpp.o"
+  "CMakeFiles/chimera_replay.dir/replay/LogCodec.cpp.o.d"
+  "CMakeFiles/chimera_replay.dir/replay/Recorder.cpp.o"
+  "CMakeFiles/chimera_replay.dir/replay/Recorder.cpp.o.d"
+  "CMakeFiles/chimera_replay.dir/replay/Replayer.cpp.o"
+  "CMakeFiles/chimera_replay.dir/replay/Replayer.cpp.o.d"
+  "libchimera_replay.a"
+  "libchimera_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/CostModel.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/CostModel.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/CostModel.cpp.o.d"
+  "/root/repo/src/runtime/ExecutionLog.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/ExecutionLog.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/ExecutionLog.cpp.o.d"
+  "/root/repo/src/runtime/Interpreter.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/Interpreter.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/Interpreter.cpp.o.d"
+  "/root/repo/src/runtime/Machine.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/Machine.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/Machine.cpp.o.d"
+  "/root/repo/src/runtime/Memory.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/Memory.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/Memory.cpp.o.d"
+  "/root/repo/src/runtime/Scheduler.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/Scheduler.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/Scheduler.cpp.o.d"
+  "/root/repo/src/runtime/SyncObjects.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/SyncObjects.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/SyncObjects.cpp.o.d"
+  "/root/repo/src/runtime/Thread.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/Thread.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/Thread.cpp.o.d"
+  "/root/repo/src/runtime/VectorClock.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/VectorClock.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/VectorClock.cpp.o.d"
+  "/root/repo/src/runtime/WeakLock.cpp" "src/CMakeFiles/chimera_runtime.dir/runtime/WeakLock.cpp.o" "gcc" "src/CMakeFiles/chimera_runtime.dir/runtime/WeakLock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chimera_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chimera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

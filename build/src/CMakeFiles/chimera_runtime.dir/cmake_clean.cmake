@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_runtime.dir/runtime/CostModel.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/CostModel.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/ExecutionLog.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/ExecutionLog.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/Interpreter.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/Interpreter.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/Machine.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/Machine.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/Memory.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/Memory.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/Scheduler.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/Scheduler.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/SyncObjects.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/SyncObjects.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/Thread.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/Thread.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/VectorClock.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/VectorClock.cpp.o.d"
+  "CMakeFiles/chimera_runtime.dir/runtime/WeakLock.cpp.o"
+  "CMakeFiles/chimera_runtime.dir/runtime/WeakLock.cpp.o.d"
+  "libchimera_runtime.a"
+  "libchimera_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

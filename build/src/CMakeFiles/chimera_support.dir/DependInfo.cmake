@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Compressor.cpp" "src/CMakeFiles/chimera_support.dir/support/Compressor.cpp.o" "gcc" "src/CMakeFiles/chimera_support.dir/support/Compressor.cpp.o.d"
+  "/root/repo/src/support/Graph.cpp" "src/CMakeFiles/chimera_support.dir/support/Graph.cpp.o" "gcc" "src/CMakeFiles/chimera_support.dir/support/Graph.cpp.o.d"
+  "/root/repo/src/support/Hash.cpp" "src/CMakeFiles/chimera_support.dir/support/Hash.cpp.o" "gcc" "src/CMakeFiles/chimera_support.dir/support/Hash.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/chimera_support.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/chimera_support.dir/support/Rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

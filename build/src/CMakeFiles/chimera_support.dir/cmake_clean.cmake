@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_support.dir/support/Compressor.cpp.o"
+  "CMakeFiles/chimera_support.dir/support/Compressor.cpp.o.d"
+  "CMakeFiles/chimera_support.dir/support/Graph.cpp.o"
+  "CMakeFiles/chimera_support.dir/support/Graph.cpp.o.d"
+  "CMakeFiles/chimera_support.dir/support/Hash.cpp.o"
+  "CMakeFiles/chimera_support.dir/support/Hash.cpp.o.d"
+  "CMakeFiles/chimera_support.dir/support/Rng.cpp.o"
+  "CMakeFiles/chimera_support.dir/support/Rng.cpp.o.d"
+  "libchimera_support.a"
+  "libchimera_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

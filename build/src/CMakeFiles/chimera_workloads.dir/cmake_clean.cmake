@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera_workloads.dir/workloads/Workloads.cpp.o"
+  "CMakeFiles/chimera_workloads.dir/workloads/Workloads.cpp.o.d"
+  "libchimera_workloads.a"
+  "libchimera_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

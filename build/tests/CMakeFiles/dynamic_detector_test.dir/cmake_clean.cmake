@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_detector_test.dir/dynamic_detector_test.cpp.o"
+  "CMakeFiles/dynamic_detector_test.dir/dynamic_detector_test.cpp.o.d"
+  "dynamic_detector_test"
+  "dynamic_detector_test.pdb"
+  "dynamic_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_edge_test.dir/machine_edge_test.cpp.o"
+  "CMakeFiles/machine_edge_test.dir/machine_edge_test.cpp.o.d"
+  "machine_edge_test"
+  "machine_edge_test.pdb"
+  "machine_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_static_test.dir/race_static_test.cpp.o"
+  "CMakeFiles/race_static_test.dir/race_static_test.cpp.o.d"
+  "race_static_test"
+  "race_static_test.pdb"
+  "race_static_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

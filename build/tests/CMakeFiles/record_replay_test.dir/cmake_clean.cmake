@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_replay_test.dir/record_replay_test.cpp.o"
+  "CMakeFiles/record_replay_test.dir/record_replay_test.cpp.o.d"
+  "record_replay_test"
+  "record_replay_test.pdb"
+  "record_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weaklock_test.dir/weaklock_test.cpp.o"
+  "CMakeFiles/weaklock_test.dir/weaklock_test.cpp.o.d"
+  "weaklock_test"
+  "weaklock_test.pdb"
+  "weaklock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weaklock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sema_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/race_static_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")
+include("/root/repo/build/tests/instrument_test[1]_include.cmake")
+include("/root/repo/build/tests/weaklock_test[1]_include.cmake")
+include("/root/repo/build/tests/record_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chimera-cli.dir/chimera_cli.cpp.o"
+  "CMakeFiles/chimera-cli.dir/chimera_cli.cpp.o.d"
+  "chimera"
+  "chimera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chimera-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
