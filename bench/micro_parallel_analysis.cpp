@@ -1,0 +1,123 @@
+//===- bench/micro_parallel_analysis.cpp - Analysis scalability ------------===//
+//
+// Measures the parallel analysis engine: wall-clock time of the two
+// pool-driven stages (profiling and RELAY summary composition) on the
+// largest workload at 1, 2, 4, and 8 analysis jobs, with the summary
+// cache disabled so every configuration does the same work. A separate
+// pair of runs measures the cache itself (cold vs. warm rebuild).
+//
+// Emits BENCH_parallel_analysis.json next to the binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "race/SummaryCache.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace chimera;
+using namespace chimera::bench;
+using namespace chimera::workloads;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+std::unique_ptr<core::ChimeraPipeline> pipelineWithJobs(WorkloadKind Kind,
+                                                        unsigned Jobs,
+                                                        bool UseCache) {
+  core::PipelineConfig Config;
+  Config.AnalysisJobs = Jobs;
+  Config.UseSummaryCache = UseCache;
+  auto P = buildPipelineEx(Kind, /*Workers=*/4, Config);
+  if (!P) {
+    std::fprintf(stderr, "failed to build %s: %s\n",
+                 workloadInfo(Kind).Name, P.error().message().c_str());
+    std::exit(1);
+  }
+  return P.take();
+}
+
+/// Profiling + RELAY with a fresh pipeline; returns elapsed seconds.
+double timeAnalyses(WorkloadKind Kind, unsigned Jobs, bool UseCache) {
+  auto P = pipelineWithJobs(Kind, Jobs, UseCache);
+  auto Start = Clock::now();
+  (void)P->profileData();
+  (void)P->raceReport();
+  return secondsSince(Start);
+}
+
+WorkloadKind largestWorkload() {
+  WorkloadKind Best = allWorkloads().front();
+  for (WorkloadKind K : allWorkloads())
+    if (workloadLineCount(K) > workloadLineCount(Best))
+      Best = K;
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  const WorkloadKind Kind = largestWorkload();
+  const unsigned HwThreads = std::thread::hardware_concurrency();
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+
+  std::printf("parallel analysis scaling on %s (%u lines, %u hardware "
+              "threads)\n\n",
+              workloadInfo(Kind).Name, workloadLineCount(Kind), HwThreads);
+  std::printf("%-8s %12s %10s\n", "jobs", "seconds", "speedup");
+  hrule(32);
+
+  double Times[4] = {};
+  for (unsigned I = 0; I != 4; ++I) {
+    // Warm one throwaway run, then take the best of three.
+    (void)timeAnalyses(Kind, JobCounts[I], /*UseCache=*/false);
+    double Best = 1e100;
+    for (int Rep = 0; Rep != 3; ++Rep)
+      Best = std::min(Best,
+                      timeAnalyses(Kind, JobCounts[I], /*UseCache=*/false));
+    Times[I] = Best;
+    std::printf("%-8u %12.4f %9.2fx\n", JobCounts[I], Best,
+                Times[0] / Best);
+  }
+
+  // The summary cache, measured apart from thread scaling: a cold
+  // single-job analysis populates it, an identical rebuild replays it.
+  race::SummaryCache::global().clear();
+  double Cold = timeAnalyses(Kind, 1, /*UseCache=*/true);
+  double Warm = timeAnalyses(Kind, 1, /*UseCache=*/true);
+  auto CacheStats = race::SummaryCache::global().stats();
+  std::printf("\nsummary cache: cold %.4fs, warm rebuild %.4fs "
+              "(%.2fx; %llu entries, %llu hits)\n",
+              Cold, Warm, Cold / Warm,
+              static_cast<unsigned long long>(CacheStats.Entries),
+              static_cast<unsigned long long>(CacheStats.Hits));
+
+  FILE *Json = std::fopen("BENCH_parallel_analysis.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_analysis.json\n");
+    return 1;
+  }
+  std::fprintf(Json,
+               "{\n"
+               "  \"workload\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"seconds_by_jobs\": {\"1\": %.6f, \"2\": %.6f, "
+               "\"4\": %.6f, \"8\": %.6f},\n"
+               "  \"speedup_jobs8\": %.4f,\n"
+               "  \"cache_cold_seconds\": %.6f,\n"
+               "  \"cache_warm_seconds\": %.6f,\n"
+               "  \"cache_entries\": %llu\n"
+               "}\n",
+               workloadInfo(Kind).Name, HwThreads, Times[0], Times[1],
+               Times[2], Times[3], Times[0] / Times[3], Cold, Warm,
+               static_cast<unsigned long long>(CacheStats.Entries));
+  std::fclose(Json);
+  std::printf("\nwrote BENCH_parallel_analysis.json\n");
+  return 0;
+}

@@ -545,15 +545,23 @@ std::unique_ptr<Module> chimera::generateIR(const Program &Prog,
   return M;
 }
 
+support::Expected<std::unique_ptr<Module>>
+chimera::compileMiniCEx(const std::string &Source,
+                        const std::string &ModuleName) {
+  auto Prog = parseMiniC(Source);
+  if (!Prog)
+    return Prog.error();
+  return generateIR(**Prog, ModuleName);
+}
+
 std::unique_ptr<Module> chimera::compileMiniC(const std::string &Source,
                                               const std::string &ModuleName,
                                               std::string *Error) {
-  DiagEngine Diags;
-  std::unique_ptr<Program> Prog = parseAndCheck(Source, Diags);
-  if (!Prog) {
+  auto M = compileMiniCEx(Source, ModuleName);
+  if (!M) {
     if (Error)
-      *Error = Diags.str();
+      *Error = M.error().message();
     return nullptr;
   }
-  return generateIR(*Prog, ModuleName);
+  return M.take();
 }

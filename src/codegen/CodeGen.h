@@ -25,6 +25,7 @@
 
 #include "ir/Module.h"
 #include "lang/Ast.h"
+#include "support/Expected.h"
 
 #include <memory>
 #include <string>
@@ -36,8 +37,12 @@ namespace chimera {
 std::unique_ptr<ir::Module> generateIR(const Program &Prog,
                                        const std::string &ModuleName);
 
-/// Convenience: parse, check, and lower \p Source. Returns null and fills
-/// \p Error on front-end failure.
+/// Convenience: parse, check, and lower \p Source. Failures carry the
+/// front end's joined diagnostics.
+support::Expected<std::unique_ptr<ir::Module>>
+compileMiniCEx(const std::string &Source, const std::string &ModuleName);
+
+/// Deprecated shim for the string-out-param API; remove next PR.
 std::unique_ptr<ir::Module> compileMiniC(const std::string &Source,
                                          const std::string &ModuleName,
                                          std::string *Error = nullptr);

@@ -2,4 +2,28 @@
 
 #include "core/Options.h"
 
-// Header-only for now; this TU anchors the library target.
+#include "support/ThreadPool.h"
+
+using namespace chimera;
+using namespace chimera::core;
+
+unsigned PipelineConfig::effectiveAnalysisJobs() const {
+  return AnalysisJobs ? AnalysisJobs
+                      : support::ThreadPool::defaultConcurrency();
+}
+
+support::Error PipelineConfig::validate() const {
+  if (NumCores == 0)
+    return support::Error::failure("NumCores must be at least 1");
+  if (ProfileCores == 0)
+    return support::Error::failure("ProfileCores must be at least 1");
+  if (ProfileRuns == 0)
+    return support::Error::failure("ProfileRuns must be at least 1");
+  // An absurd job count is almost certainly a typo'd --jobs; each worker
+  // costs a host thread, so refuse rather than oversubscribe wildly.
+  if (AnalysisJobs > 512)
+    return support::Error::failure(
+        "AnalysisJobs must be in [0, 512] (0 = auto), got " +
+        std::to_string(AnalysisJobs));
+  return support::Error::success();
+}

@@ -14,6 +14,7 @@
 
 #include "instrument/Planner.h"
 #include "runtime/CostModel.h"
+#include "support/Expected.h"
 
 #include <cstdint>
 #include <string>
@@ -33,11 +34,27 @@ struct PipelineConfig {
   unsigned ProfileCores = 8;
   uint64_t ProfileSeedBase = 90001;
 
+  /// Host worker threads for the analysis/profiling stages (profile-run
+  /// fan-out, per-SCC RELAY composition). 0 = one per hardware thread;
+  /// 1 = fully serial. Results are identical for every value.
+  unsigned AnalysisJobs = 0;
+
+  /// Consult the process-wide race::SummaryCache so repeated pipeline
+  /// builds over identical source skip RELAY's dataflow.
+  bool UseSummaryCache = true;
+
   instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
   rt::CostModel Costs = rt::CostModel::defaultModel();
 
   /// Weak-lock revocation threshold (cycles).
   uint64_t WeakLockTimeout = 500'000'000;
+
+  /// AnalysisJobs resolved to a concrete worker count.
+  unsigned effectiveAnalysisJobs() const;
+
+  /// Sanity-checks the configuration (worker counts, run counts);
+  /// ChimeraPipeline::fromSource rejects configs that fail this.
+  support::Error validate() const;
 };
 
 } // namespace core

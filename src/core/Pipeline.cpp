@@ -5,119 +5,149 @@
 #include "codegen/CodeGen.h"
 #include "ir/Verifier.h"
 #include "profile/Profiler.h"
+#include "race/SummaryCache.h"
 
 #include <cassert>
 
 using namespace chimera;
 using namespace chimera::core;
 
-std::unique_ptr<ChimeraPipeline> ChimeraPipeline::fromSource(
-    const std::string &EvalSource, const std::string &ProfileSource,
-    PipelineConfig Config, std::string *Error) {
+ChimeraPipeline::Analyses::Analyses(const ir::Module &M)
+    : CG(M), PT(M, analysis::PointsToFlavor::Andersen), Escape(M, PT) {}
+
+support::Expected<std::unique_ptr<ChimeraPipeline>>
+ChimeraPipeline::fromSource(const std::string &EvalSource,
+                            const std::string &ProfileSource,
+                            PipelineConfig Config) {
+  if (support::Error E = Config.validate())
+    return E.context("invalid pipeline config");
+
   auto P = std::unique_ptr<ChimeraPipeline>(new ChimeraPipeline());
   P->Config = std::move(Config);
 
-  P->EvalModule = compileMiniC(EvalSource, P->Config.Name, Error);
-  if (!P->EvalModule)
-    return nullptr;
+  auto Eval = compileMiniCEx(EvalSource, P->Config.Name);
+  if (!Eval)
+    return Eval.error();
+  P->EvalModule = Eval.take();
 
   if (ProfileSource == EvalSource || ProfileSource.empty()) {
     P->ProfileModule = P->EvalModule->clone();
   } else {
-    P->ProfileModule =
-        compileMiniC(ProfileSource, P->Config.Name + ".profile", Error);
-    if (!P->ProfileModule)
-      return nullptr;
+    auto Prof = compileMiniCEx(ProfileSource, P->Config.Name + ".profile");
+    if (!Prof)
+      return Prof.error().context("profile source");
+    P->ProfileModule = Prof.take();
     // Profile and eval sources must have the same IR shape (they may
     // differ only in constants) so that function ids transfer.
     if (P->ProfileModule->Functions.size() !=
             P->EvalModule->Functions.size() ||
         P->ProfileModule->totalInstructions() !=
-            P->EvalModule->totalInstructions()) {
-      if (Error)
-        *Error = "profile source has a different shape than eval source";
-      return nullptr;
-    }
+            P->EvalModule->totalInstructions())
+      return support::Error::failure(
+          "profile source has a different shape than eval source");
   }
 
   std::vector<std::string> Problems = ir::verifyModule(*P->EvalModule);
   if (!Problems.empty()) {
-    if (Error) {
-      *Error = "IR verification failed:";
-      for (const std::string &Problem : Problems)
-        *Error += "\n  " + Problem;
-    }
-    return nullptr;
+    std::string Msg = "IR verification failed:";
+    for (const std::string &Problem : Problems)
+      Msg += "\n  " + Problem;
+    return support::Error::failure(std::move(Msg));
   }
   return P;
 }
 
-void ChimeraPipeline::computeAnalyses() {
-  if (CG)
-    return;
-  CG = std::make_unique<analysis::CallGraph>(*EvalModule);
-  PT = std::make_unique<analysis::PointsTo>(*EvalModule,
-                                            analysis::PointsToFlavor::Andersen);
-  Escape = std::make_unique<analysis::EscapeAnalysis>(*EvalModule, *PT);
-}
-
-const race::RaceReport &ChimeraPipeline::raceReport() {
-  if (!Races) {
-    computeAnalyses();
-    race::RelayDetector Detector(*EvalModule, *CG, *PT, *Escape);
-    Races = std::make_unique<race::RaceReport>(Detector.detect());
+std::unique_ptr<ChimeraPipeline> ChimeraPipeline::fromSource(
+    const std::string &EvalSource, const std::string &ProfileSource,
+    PipelineConfig Config, std::string *Error) {
+  auto P = fromSource(EvalSource, ProfileSource, std::move(Config));
+  if (!P) {
+    if (Error)
+      *Error = P.error().message();
+    return nullptr;
   }
-  return *Races;
+  return P.take();
 }
 
-const profile::ProfileData &ChimeraPipeline::profileData() {
-  if (!Profile) {
-    Profile = std::make_unique<profile::ProfileData>();
+support::ThreadPool &ChimeraPipeline::pool() const {
+  // Built on first use so a pipeline that only compiles never spawns
+  // threads.
+  return Pool.get([&] {
+    return std::make_unique<support::ThreadPool>(
+        Config.effectiveAnalysisJobs());
+  });
+}
+
+const ChimeraPipeline::Analyses &ChimeraPipeline::analyses() const {
+  return Analysis.get([&] { return std::make_unique<Analyses>(*EvalModule); });
+}
+
+const race::RaceReport &ChimeraPipeline::raceReport() const {
+  return Races.get([&] {
+    const Analyses &A = analyses();
+    race::SummaryCache *Cache =
+        Config.UseSummaryCache ? &race::SummaryCache::global() : nullptr;
+    race::RelayDetector Detector(*EvalModule, A.CG, A.PT, A.Escape, &pool(),
+                                 Cache);
+    return std::make_unique<race::RaceReport>(Detector.detect());
+  });
+}
+
+const profile::ProfileData &ChimeraPipeline::profileData() const {
+  return Profile.get([&] {
     // Vary both the input seed and the core count across runs (the
     // paper profiles over "a variety of inputs"; machine diversity
-    // makes the observed-concurrency union more robust).
+    // makes the observed-concurrency union more robust). Runs are
+    // independent — each owns its machine, observer, and seed — so they
+    // execute concurrently; samples merge in seed (run-index) order so
+    // the result is identical for any worker count.
     const unsigned CoreVariants[] = {Config.ProfileCores, 2, 4, 8};
-    for (unsigned Run = 0; Run != Config.ProfileRuns; ++Run) {
-      profile::ConcurrencyProfiler Prof;
-      rt::MachineOptions MO;
-      MO.Mode = rt::ExecMode::Native;
-      MO.NumCores = CoreVariants[Run % 4];
-      MO.Seed = Config.ProfileSeedBase + Run;
-      MO.Costs = Config.Costs;
-      MO.Observer = &Prof;
-      rt::Machine Machine(*ProfileModule, MO);
-      rt::ExecutionResult Result = Machine.run();
-      assert(Result.Ok && "profile run failed");
-      (void)Result;
-      Profile->merge(Prof.finish());
-    }
-  }
-  return *Profile;
+    std::vector<profile::ProfileData> Samples(Config.ProfileRuns);
+    pool().parallelFor(
+        Config.ProfileRuns, [&](size_t Run) {
+          profile::ConcurrencyProfiler Prof;
+          rt::MachineOptions MO;
+          MO.Mode = rt::ExecMode::Native;
+          MO.NumCores = CoreVariants[Run % 4];
+          MO.Seed = Config.ProfileSeedBase + Run;
+          MO.Costs = Config.Costs;
+          MO.Observer = &Prof;
+          rt::Machine Machine(*ProfileModule, MO);
+          rt::ExecutionResult Result = Machine.run();
+          assert(Result.Ok && "profile run failed");
+          (void)Result;
+          Samples[Run] = Prof.finish();
+        });
+    auto Data = std::make_unique<profile::ProfileData>();
+    for (const profile::ProfileData &Sample : Samples)
+      Data->merge(Sample);
+    return Data;
+  });
 }
 
-const instrument::InstrumentationPlan &ChimeraPipeline::plan() {
-  if (!Plan) {
+const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
+  return Plan.get([&] {
     const race::RaceReport &Report = raceReport();
     // Without the function-lock optimization the planner ignores the
     // profile, so don't pay for profile runs.
     profile::ProfileData Empty;
     const profile::ProfileData &Prof =
         Config.Planner.UseFunctionLocks ? profileData() : Empty;
-    Plan = std::make_unique<instrument::InstrumentationPlan>(
+    return std::make_unique<instrument::InstrumentationPlan>(
         instrument::planInstrumentation(*EvalModule, Report, Prof,
                                         Config.Planner));
-  }
-  return *Plan;
+  });
 }
 
-const ir::Module &ChimeraPipeline::instrumentedModule() {
-  if (!Instrumented) {
-    Instrumented = instrument::instrumentModule(*EvalModule, plan());
-    std::vector<std::string> Problems = ir::verifyModule(*Instrumented);
+const ir::Module &ChimeraPipeline::instrumentedModule() const {
+  return Instrumented.get([&] {
+    std::unique_ptr<ir::Module> Module =
+        instrument::instrumentModule(*EvalModule, plan());
+    std::vector<std::string> Problems = ir::verifyModule(*Module);
     assert(Problems.empty() && "instrumented module failed verification");
     (void)Problems;
-  }
-  return *Instrumented;
+    return Module;
+  });
 }
 
 void ChimeraPipeline::setPlannerOptions(

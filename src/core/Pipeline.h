@@ -12,12 +12,23 @@
 ///
 /// Typical use:
 /// \code
-///   std::string Error;
 ///   auto P = core::ChimeraPipeline::fromSource(EvalSrc, ProfileSrc,
-///                                              Config, &Error);
-///   auto Outcome = P->recordAndReplay(/*Seed=*/42);
+///                                              Config);
+///   if (!P)
+///     report(P.error().message());
+///   auto Outcome = (*P)->recordAndReplay(/*Seed=*/42);
 ///   assert(Outcome.Deterministic);
 /// \endcode
+///
+/// Stage accessors (`raceReport`, `profileData`, `plan`,
+/// `instrumentedModule`) are const, thread-safe, and compute each stage
+/// exactly once: the first caller runs the stage under that stage's
+/// latch, later callers (from any thread) get the cached const
+/// reference. The expensive stages fan out internally over a
+/// work-stealing pool sized by `PipelineConfig::AnalysisJobs` — profile
+/// runs execute concurrently and RELAY composes summaries per SCC-DAG
+/// level — but results are merged in deterministic (seed / function id)
+/// order, so every artifact is bit-identical for any job count.
 ///
 /// Profile and evaluation sources may differ only in global initializer
 /// values and barrier party counts (the paper profiles smaller inputs
@@ -34,8 +45,11 @@
 #include "race/DynamicDetector.h"
 #include "race/RelayDetector.h"
 #include "runtime/Machine.h"
+#include "support/Expected.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace chimera {
@@ -44,22 +58,31 @@ namespace core {
 class ChimeraPipeline {
 public:
   /// Compiles and assembles a pipeline. \p ProfileSource may equal
-  /// \p EvalSource. Returns null and sets \p Error on failure.
+  /// \p EvalSource (or be empty, meaning "same source"). Fails when
+  /// either source does not compile, the sources' IR shapes differ, or
+  /// \p Config fails validation.
+  static support::Expected<std::unique_ptr<ChimeraPipeline>>
+  fromSource(const std::string &EvalSource, const std::string &ProfileSource,
+             PipelineConfig Config);
+
+  /// Deprecated shim for the pre-Expected API; forwards to the overload
+  /// above and flattens the error into \p Error. Remove next PR.
   static std::unique_ptr<ChimeraPipeline> fromSource(
       const std::string &EvalSource, const std::string &ProfileSource,
       PipelineConfig Config, std::string *Error);
 
   const PipelineConfig &config() const { return Config; }
 
-  // -- Lazily computed stages.
+  // -- Stages: computed once, cached, safe to call from any thread.
   const ir::Module &originalModule() const { return *EvalModule; }
-  const race::RaceReport &raceReport();
-  const profile::ProfileData &profileData();
-  const instrument::InstrumentationPlan &plan();
-  const ir::Module &instrumentedModule();
+  const race::RaceReport &raceReport() const;
+  const profile::ProfileData &profileData() const;
+  const instrument::InstrumentationPlan &plan() const;
+  const ir::Module &instrumentedModule() const;
 
   /// Re-plans under different optimizations (invalidates cached plan and
-  /// instrumented module).
+  /// instrumented module). Not thread-safe against concurrent stage
+  /// accessors — reconfigure between, not during, analyses.
   void setPlannerOptions(const instrument::PlannerOptions &Opts);
 
   // -- Executions.
@@ -88,19 +111,49 @@ public:
 private:
   ChimeraPipeline() = default;
 
-  void computeAnalyses();
+  /// One lazily computed stage result: the first get() computes under
+  /// the cell's latch, later calls return the cached value. reset()
+  /// supports re-planning.
+  template <typename T> class StageCell {
+  public:
+    template <typename ComputeT>
+    T &get(ComputeT &&Compute) const {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!Value)
+        Value = Compute();
+      return *Value;
+    }
+    void reset() {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Value.reset();
+    }
+
+  private:
+    mutable std::mutex Mu;
+    mutable std::unique_ptr<T> Value;
+  };
+
+  /// The module-wide analyses RELAY consumes, built together.
+  struct Analyses {
+    analysis::CallGraph CG;
+    analysis::PointsTo PT;
+    analysis::EscapeAnalysis Escape;
+    explicit Analyses(const ir::Module &M);
+  };
+
+  const Analyses &analyses() const;
+  support::ThreadPool &pool() const;
 
   PipelineConfig Config;
   std::unique_ptr<ir::Module> EvalModule;
   std::unique_ptr<ir::Module> ProfileModule;
 
-  std::unique_ptr<analysis::CallGraph> CG;
-  std::unique_ptr<analysis::PointsTo> PT;
-  std::unique_ptr<analysis::EscapeAnalysis> Escape;
-  std::unique_ptr<race::RaceReport> Races;
-  std::unique_ptr<profile::ProfileData> Profile;
-  std::unique_ptr<instrument::InstrumentationPlan> Plan;
-  std::unique_ptr<ir::Module> Instrumented;
+  StageCell<support::ThreadPool> Pool;
+  StageCell<Analyses> Analysis;
+  StageCell<race::RaceReport> Races;
+  StageCell<profile::ProfileData> Profile;
+  StageCell<instrument::InstrumentationPlan> Plan;
+  StageCell<ir::Module> Instrumented;
 };
 
 } // namespace core

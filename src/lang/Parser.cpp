@@ -449,6 +449,20 @@ ExprPtr Parser::parsePrimary() {
   return std::make_unique<IntLitExpr>(Loc, 0);
 }
 
+support::Expected<std::unique_ptr<Program>>
+chimera::parseMiniC(const std::string &Source) {
+  DiagEngine Diags;
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return support::Error::failure(Diags.str());
+  Sema S(Diags);
+  if (support::Error E = S.run(*Prog))
+    return E;
+  return Prog;
+}
+
 std::unique_ptr<Program> chimera::parseAndCheck(const std::string &Source,
                                                 DiagEngine &Diags) {
   Lexer Lex(Source, Diags);
@@ -457,7 +471,7 @@ std::unique_ptr<Program> chimera::parseAndCheck(const std::string &Source,
   if (Diags.hasErrors())
     return nullptr;
   Sema S(Diags);
-  if (!S.check(*Prog))
+  if (S.run(*Prog))
     return nullptr;
   return Prog;
 }

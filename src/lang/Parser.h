@@ -16,6 +16,7 @@
 
 #include "lang/Ast.h"
 #include "lang/Diagnostics.h"
+#include "support/Expected.h"
 
 #include <memory>
 #include <vector>
@@ -60,7 +61,12 @@ private:
   size_t Pos = 0;
 };
 
-/// Convenience: lex, parse, and sema-check \p Source in one call.
+/// Convenience: lex, parse, and sema-check \p Source in one call. On
+/// failure the error message is the newline-joined diagnostics.
+support::Expected<std::unique_ptr<Program>>
+parseMiniC(const std::string &Source);
+
+/// Deprecated shim for the Diags-out-param API; remove next PR.
 /// Returns null and populates \p Diags on any error.
 std::unique_ptr<Program> parseAndCheck(const std::string &Source,
                                        DiagEngine &Diags);

@@ -6,7 +6,7 @@
 
 using namespace chimera;
 
-bool Sema::check(Program &Prog) {
+support::Error Sema::run(Program &Prog) {
   this->Prog = &Prog;
   declareGlobals(Prog);
 
@@ -19,7 +19,9 @@ bool Sema::check(Program &Prog) {
     Diags.error(Prog.findFunction("main")->Loc,
                 "'main' must take no parameters");
 
-  return !Diags.hasErrors();
+  if (Diags.hasErrors())
+    return support::Error::failure(Diags.str());
+  return support::Error::success();
 }
 
 void Sema::declareGlobals(Program &Prog) {

@@ -17,6 +17,7 @@
 
 #include "lang/Ast.h"
 #include "lang/Diagnostics.h"
+#include "support/Expected.h"
 
 #include <string>
 #include <unordered_map>
@@ -28,8 +29,12 @@ class Sema {
 public:
   explicit Sema(DiagEngine &Diags) : Diags(Diags) {}
 
-  /// Checks \p Prog; returns true when no errors were found.
-  bool check(Program &Prog);
+  /// Checks \p Prog; on failure the returned error carries the joined
+  /// diagnostics (also retrievable from the DiagEngine).
+  support::Error run(Program &Prog);
+
+  /// Deprecated shim for the bool-returning API; remove next PR.
+  bool check(Program &Prog) { return !run(Prog); }
 
 private:
   void declareGlobals(Program &Prog);

@@ -2,6 +2,11 @@
 
 #include "race/RelayDetector.h"
 
+#include "ir/Printer.h"
+#include "race/SummaryCache.h"
+#include "support/Hash.h"
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -68,8 +73,9 @@ std::string RaceReport::str(const Module &M) const {
 
 RelayDetector::RelayDetector(const Module &M, const analysis::CallGraph &CG,
                              const analysis::PointsTo &PT,
-                             const analysis::EscapeAnalysis &Escape)
-    : M(M), CG(CG), PT(PT), Escape(Escape) {}
+                             const analysis::EscapeAnalysis &Escape,
+                             support::ThreadPool *Pool, SummaryCache *Cache)
+    : M(M), CG(CG), PT(PT), Escape(Escape), Pool(Pool), Cache(Cache) {}
 
 namespace {
 
@@ -254,26 +260,79 @@ FunctionSummary RelayDetector::summarizeFunction(uint32_t FuncId) {
   return Summary;
 }
 
+uint64_t RelayDetector::summaryKey(uint32_t FuncId) const {
+  Hasher H;
+  H.addWord(ModuleHash);
+  H.addWord(FuncId);
+  // Compositions consume callee summaries, so the key pins their exact
+  // content: pre-fixpoint SCC iterations hash differently from the
+  // converged state and can never alias it.
+  for (uint32_t Callee : CG.callees(FuncId)) {
+    H.addWord(Callee);
+    H.addWord(Summaries[Callee].fingerprint());
+  }
+  return H.digest();
+}
+
+void RelayDetector::computeScc(const std::vector<uint32_t> &Scc) {
+  // Iterate the SCC to fixpoint (recursion converges because locksets
+  // shrink and access sets are bounded by the dedup).
+  for (unsigned Iter = 0;; ++Iter) {
+    bool Changed = false;
+    for (uint32_t F : Scc) {
+      FunctionSummary New;
+      bool Cached = Cache && Cache->lookup(summaryKey(F), New);
+      if (!Cached) {
+        New = summarizeFunction(F);
+        if (Cache)
+          Cache->insert(summaryKey(F), New);
+      }
+      if (!(New == Summaries[F])) {
+        Summaries[F] = std::move(New);
+        Changed = true;
+      }
+    }
+    if (!Changed || Scc.size() == 1)
+      break;
+    assert(Iter < 100 && "SCC summary iteration failed to converge");
+  }
+}
+
 void RelayDetector::computeSummaries() {
   Summaries.assign(M.Functions.size(), FunctionSummary());
 
-  // Bottom-up over the SCC condensation; iterate each SCC to fixpoint
-  // (recursion converges because locksets shrink and access sets are
-  // bounded by the dedup).
-  for (const auto &Scc : CG.bottomUpSccs()) {
-    for (unsigned Iter = 0;; ++Iter) {
-      bool Changed = false;
-      for (uint32_t F : Scc) {
-        FunctionSummary New = summarizeFunction(F);
-        if (!(New == Summaries[F])) {
-          Summaries[F] = std::move(New);
-          Changed = true;
-        }
-      }
-      if (!Changed || Scc.size() == 1)
-        break;
-      assert(Iter < 100 && "SCC summary iteration failed to converge");
-    }
+  if (Cache && ModuleHash == 0) {
+    Hasher H;
+    H.addString(ir::printModule(M));
+    ModuleHash = H.digest();
+  }
+
+  // Bottom-up over the SCC condensation. SCCs are numbered callee-first,
+  // so a callee's DAG level is always computed before its callers'.
+  const std::vector<std::vector<uint32_t>> &Sccs = CG.bottomUpSccs();
+  std::vector<uint32_t> Level(Sccs.size(), 0);
+  uint32_t MaxLevel = 0;
+  for (uint32_t S = 0; S != Sccs.size(); ++S) {
+    for (uint32_t F : Sccs[S])
+      for (uint32_t Callee : CG.callees(F))
+        if (CG.sccId(Callee) != S)
+          Level[S] = std::max(Level[S], Level[CG.sccId(Callee)] + 1);
+    MaxLevel = std::max(MaxLevel, Level[S]);
+  }
+  std::vector<std::vector<uint32_t>> ByLevel(MaxLevel + 1);
+  for (uint32_t S = 0; S != Sccs.size(); ++S)
+    ByLevel[Level[S]].push_back(S);
+
+  // SCCs within a level share no call edges, so their summary slots are
+  // disjoint and their callee reads all target completed lower levels:
+  // any interleaving produces the same Summaries vector.
+  for (const std::vector<uint32_t> &Group : ByLevel) {
+    if (Pool && !Pool->isInline() && Group.size() > 1)
+      Pool->parallelFor(Group.size(),
+                        [&](size_t I) { computeScc(Sccs[Group[I]]); });
+    else
+      for (uint32_t S : Group)
+        computeScc(Sccs[S]);
   }
 }
 

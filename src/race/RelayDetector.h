@@ -34,7 +34,14 @@
 #include <vector>
 
 namespace chimera {
+
+namespace support {
+class ThreadPool;
+} // namespace support
+
 namespace race {
+
+class SummaryCache;
 
 /// One static racy instruction (half of a race pair).
 struct RacyAccess {
@@ -66,9 +73,17 @@ struct RaceReport {
 
 class RelayDetector {
 public:
+  /// \p Pool, when given, parallelizes summary composition across
+  /// call-independent SCCs (same level of the SCC DAG); results are
+  /// bit-identical to the serial order because each task writes only its
+  /// own functions' summary slots. \p Cache, when given, skips the
+  /// dataflow for any (module, function, callee-summaries) content hash
+  /// seen before.
   RelayDetector(const ir::Module &M, const analysis::CallGraph &CG,
                 const analysis::PointsTo &PT,
-                const analysis::EscapeAnalysis &Escape);
+                const analysis::EscapeAnalysis &Escape,
+                support::ThreadPool *Pool = nullptr,
+                SummaryCache *Cache = nullptr);
 
   /// Runs the full analysis.
   RaceReport detect();
@@ -78,12 +93,17 @@ public:
 
 private:
   FunctionSummary summarizeFunction(uint32_t FuncId);
+  void computeScc(const std::vector<uint32_t> &Scc);
   void computeSummaries();
+  uint64_t summaryKey(uint32_t FuncId) const;
 
   const ir::Module &M;
   const analysis::CallGraph &CG;
   const analysis::PointsTo &PT;
   const analysis::EscapeAnalysis &Escape;
+  support::ThreadPool *Pool = nullptr;
+  SummaryCache *Cache = nullptr;
+  uint64_t ModuleHash = 0; ///< Content hash anchoring cache keys.
   std::vector<FunctionSummary> Summaries;
 };
 

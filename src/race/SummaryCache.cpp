@@ -1,0 +1,39 @@
+//===- race/SummaryCache.cpp - Content-keyed summary cache -----------------===//
+
+#include "race/SummaryCache.h"
+
+using namespace chimera;
+using namespace chimera::race;
+
+SummaryCache &SummaryCache::global() {
+  static SummaryCache Cache;
+  return Cache;
+}
+
+bool SummaryCache::lookup(uint64_t Key, FunctionSummary &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Out = It->second;
+  return true;
+}
+
+void SummaryCache::insert(uint64_t Key, const FunctionSummary &Summary) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.emplace(Key, Summary);
+}
+
+void SummaryCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
+  Hits = Misses = 0;
+}
+
+SummaryCache::Stats SummaryCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Hits, Misses, static_cast<uint64_t>(Map.size())};
+}

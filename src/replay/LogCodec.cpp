@@ -57,21 +57,69 @@ std::vector<uint8_t> chimera::replay::encodeLog(const ExecutionLog &Log) {
   return Out;
 }
 
-ExecutionLog chimera::replay::decodeLog(const std::vector<uint8_t> &Bytes) {
-  ExecutionLog Log;
+namespace {
+
+/// Bounds-checked cursor over the encoded bytes. Reads past the end (or
+/// an overlong varint) latch Failed instead of invoking UB; callers
+/// check once at the end.
+struct ByteReader {
+  const std::vector<uint8_t> &Bytes;
   size_t Pos = 0;
+  bool Failed = false;
 
-  Log.NumSyncObjects = static_cast<uint32_t>(readVarint(Bytes, Pos));
-  Log.NumWeakLocks = static_cast<uint32_t>(readVarint(Bytes, Pos));
-  Log.NumThreads = static_cast<uint32_t>(readVarint(Bytes, Pos));
+  uint64_t varint() {
+    uint64_t Value = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Bytes.size()) {
+        Failed = true;
+        return 0;
+      }
+      uint8_t Byte = Bytes[Pos++];
+      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80))
+        return Value;
+    }
+    Failed = true; // Overlong encoding.
+    return 0;
+  }
 
-  uint64_t NumObjects = readVarint(Bytes, Pos);
+  uint8_t byte() {
+    if (Pos >= Bytes.size()) {
+      Failed = true;
+      return 0;
+    }
+    return Bytes[Pos++];
+  }
+
+  /// True when \p Count length-prefixed elements (>= 1 byte each) could
+  /// still fit; guards container reserves against hostile sizes.
+  bool plausibleCount(uint64_t Count) const {
+    return Count <= Bytes.size() - Pos;
+  }
+};
+
+} // namespace
+
+support::Expected<ExecutionLog>
+chimera::replay::decode(const std::vector<uint8_t> &Bytes) {
+  ExecutionLog Log;
+  ByteReader In{Bytes};
+
+  Log.NumSyncObjects = static_cast<uint32_t>(In.varint());
+  Log.NumWeakLocks = static_cast<uint32_t>(In.varint());
+  Log.NumThreads = static_cast<uint32_t>(In.varint());
+
+  uint64_t NumObjects = In.varint();
+  if (In.Failed || !In.plausibleCount(NumObjects))
+    return support::Error::failure("malformed log: bad object count");
   Log.PerObject.resize(NumObjects);
   for (auto &Seq : Log.PerObject) {
-    uint64_t Len = readVarint(Bytes, Pos);
+    uint64_t Len = In.varint();
+    if (In.Failed || !In.plausibleCount(Len))
+      return support::Error::failure("malformed log: bad order length");
     Seq.reserve(Len);
     for (uint64_t I = 0; I != Len; ++I) {
-      uint64_t Packed = readVarint(Bytes, Pos);
+      uint64_t Packed = In.varint();
       OrderedEvent E;
       E.Tid = static_cast<uint32_t>(Packed >> 4);
       E.Op = static_cast<OrderedOp>(Packed & 0xf);
@@ -79,32 +127,48 @@ ExecutionLog chimera::replay::decodeLog(const std::vector<uint8_t> &Bytes) {
     }
   }
 
-  uint64_t NumRevocations = readVarint(Bytes, Pos);
+  uint64_t NumRevocations = In.varint();
+  if (In.Failed || !In.plausibleCount(NumRevocations))
+    return support::Error::failure("malformed log: bad revocation count");
   for (uint64_t I = 0; I != NumRevocations; ++I) {
     RevocationEvent R;
-    R.Tid = static_cast<uint32_t>(readVarint(Bytes, Pos));
-    R.LockId = static_cast<uint32_t>(readVarint(Bytes, Pos));
-    R.Instret = readVarint(Bytes, Pos);
+    R.Tid = static_cast<uint32_t>(In.varint());
+    R.LockId = static_cast<uint32_t>(In.varint());
+    R.Instret = In.varint();
     Log.Revocations.push_back(R);
   }
 
-  uint64_t InputBytes = readVarint(Bytes, Pos);
+  uint64_t InputBytes = In.varint();
   (void)InputBytes;
-  uint64_t NumThreadsInputs = readVarint(Bytes, Pos);
+  uint64_t NumThreadsInputs = In.varint();
+  if (In.Failed || !In.plausibleCount(NumThreadsInputs))
+    return support::Error::failure("malformed log: bad thread count");
   Log.PerThreadInputs.resize(NumThreadsInputs);
   for (auto &Inputs : Log.PerThreadInputs) {
-    uint64_t Len = readVarint(Bytes, Pos);
+    uint64_t Len = In.varint();
+    if (In.Failed || !In.plausibleCount(Len))
+      return support::Error::failure("malformed log: bad input length");
     Inputs.reserve(Len);
     for (uint64_t I = 0; I != Len; ++I) {
       InputEvent E;
-      assert(Pos < Bytes.size() && "truncated input log");
-      E.Kind = static_cast<InputKind>(Bytes[Pos++]);
-      E.Value = readVarint(Bytes, Pos);
+      E.Kind = static_cast<InputKind>(In.byte());
+      E.Value = In.varint();
       Inputs.push_back(E);
     }
   }
-  assert(Pos == Bytes.size() && "trailing bytes in encoded log");
+  if (In.Failed)
+    return support::Error::failure("malformed log: truncated input");
+  if (In.Pos != Bytes.size())
+    return support::Error::failure("malformed log: trailing bytes");
   return Log;
+}
+
+ExecutionLog chimera::replay::decodeLog(const std::vector<uint8_t> &Bytes) {
+  auto Log = decode(Bytes);
+  assert(Log && "decodeLog on malformed input");
+  if (!Log)
+    return ExecutionLog();
+  return Log.take();
 }
 
 LogSizes chimera::replay::measureLog(const ExecutionLog &Log) {

@@ -16,6 +16,7 @@
 #define CHIMERA_REPLAY_LOGCODEC_H
 
 #include "runtime/ExecutionLog.h"
+#include "support/Expected.h"
 
 #include <cstdint>
 #include <vector>
@@ -41,7 +42,13 @@ std::vector<uint8_t> encodeOrderLog(const rt::ExecutionLog &Log);
 /// Serializes a whole log.
 std::vector<uint8_t> encodeLog(const rt::ExecutionLog &Log);
 
-/// Inverse of encodeLog. Asserts on malformed input.
+/// Inverse of encodeLog. Fully bounds-checked: truncated, overlong, or
+/// trailing-garbage input produces an Error (log files come from disk,
+/// so malformed bytes are an input condition, not a programmer bug).
+support::Expected<rt::ExecutionLog> decode(const std::vector<uint8_t> &Bytes);
+
+/// Deprecated shim: decode() that aborts on malformed input. Remove
+/// next PR.
 rt::ExecutionLog decodeLog(const std::vector<uint8_t> &Bytes);
 
 /// Raw and compressed sizes of the two log families.

@@ -1,0 +1,114 @@
+//===- support/Expected.h - Result types for fallible APIs ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repository-wide error-handling convention: fallible entry points
+/// return `Expected<T>` (a value or an `Error`), and fallible operations
+/// without a payload return `Error` directly. This replaces the older
+/// `std::string *Error` out-parameters, which composed badly once
+/// pipeline stages started fanning out across threads (an out-param has
+/// no owner when several tasks can fail concurrently).
+///
+/// Conventions:
+///  - `Error` is cheap to move and contextually convertible to bool
+///    (true means *failure*, mirroring `llvm::Error`).
+///  - `Expected<T>` is contextually convertible to bool (true means a
+///    value is present), dereferences like a pointer, and surrenders its
+///    payload via `take()`.
+///  - Errors carry a human-readable message; stages may prepend context
+///    with `Error::context`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_EXPECTED_H
+#define CHIMERA_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace chimera {
+namespace support {
+
+/// Success-or-failure result carrying a message on failure.
+class Error {
+public:
+  /// Default-constructed errors are success.
+  Error() = default;
+
+  static Error success() { return Error(); }
+  static Error failure(std::string Message) {
+    Error E;
+    E.Failed = true;
+    E.Msg = std::move(Message);
+    return E;
+  }
+
+  /// True when this represents a failure.
+  explicit operator bool() const { return Failed; }
+
+  const std::string &message() const { return Msg; }
+
+  /// Returns a failure whose message is "<Prefix>: <original>"; success
+  /// passes through unchanged.
+  Error context(const std::string &Prefix) const {
+    if (!Failed)
+      return Error();
+    return failure(Prefix + ": " + Msg);
+  }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// A value of type \p T or an Error. Move-only payloads are supported.
+template <typename T> class Expected {
+public:
+  /// Implicit from a value (success).
+  Expected(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+
+  /// Implicit from an Error, which must represent a failure.
+  Expected(Error Err) : Storage(std::in_place_index<1>, std::move(Err)) {
+    assert(std::get<1>(Storage) && "Expected built from a success Error");
+  }
+
+  /// True when a value is present.
+  explicit operator bool() const { return hasValue(); }
+  bool hasValue() const { return Storage.index() == 0; }
+
+  T &operator*() & {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const & {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the value out; only valid when hasValue().
+  T take() {
+    assert(hasValue() && "taking from an errored Expected");
+    return std::move(std::get<0>(Storage));
+  }
+
+  /// The failure; only valid when !hasValue().
+  const Error &error() const {
+    assert(!hasValue() && "no error in a valued Expected");
+    return std::get<1>(Storage);
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace support
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_EXPECTED_H

@@ -1,0 +1,175 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <exception>
+
+using namespace chimera;
+using namespace chimera::support;
+
+namespace {
+
+/// Identity of the worker the current thread belongs to, so tasks
+/// submitted from inside the pool land on the submitter's own deque.
+thread_local const ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+
+} // namespace
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  NumWorkers = Workers ? Workers : defaultConcurrency();
+  if (NumWorkers <= 1) {
+    NumWorkers = 1;
+    return; // Inline pool: no queues, no threads.
+  }
+  Queues.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (Threads.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(IdleMu);
+    ShuttingDown = true;
+  }
+  IdleCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (isInline()) {
+    Task();
+    return;
+  }
+  unsigned Target;
+  if (CurrentPool == this) {
+    Target = CurrentWorker; // Keep child work local; thieves spread it.
+  } else {
+    std::lock_guard<std::mutex> Lock(IdleMu);
+    Target = NextQueue;
+    NextQueue = (NextQueue + 1) % NumWorkers;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Target]->Mu);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  IdleCv.notify_one();
+}
+
+bool ThreadPool::popTask(unsigned Victim, bool Steal,
+                         std::function<void()> &Out) {
+  WorkerQueue &Q = *Queues[Victim];
+  std::lock_guard<std::mutex> Lock(Q.Mu);
+  if (Q.Tasks.empty())
+    return false;
+  if (Steal) {
+    Out = std::move(Q.Tasks.front()); // FIFO: steal the oldest/biggest.
+    Q.Tasks.pop_front();
+  } else {
+    Out = std::move(Q.Tasks.back()); // LIFO: own work stays hot.
+    Q.Tasks.pop_back();
+  }
+  return true;
+}
+
+bool ThreadPool::runOneTask(unsigned Self) {
+  std::function<void()> Task;
+  bool Got = Self < Queues.size() && popTask(Self, /*Steal=*/false, Task);
+  for (unsigned I = 0; !Got && I != NumWorkers; ++I) {
+    unsigned Victim = (Self + 1 + I) % NumWorkers;
+    if (Victim == Self)
+      continue;
+    Got = popTask(Victim, /*Steal=*/true, Task);
+  }
+  if (!Got)
+    return false;
+  Task();
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Self) {
+  CurrentPool = this;
+  CurrentWorker = Self;
+  for (;;) {
+    if (runOneTask(Self))
+      continue;
+    std::unique_lock<std::mutex> Lock(IdleMu);
+    if (ShuttingDown)
+      return;
+    // A submit between our failed scan and this wait bumps NextQueue /
+    // notifies under IdleMu, so re-scan after any wakeup; the timed wait
+    // is a belt-and-braces bound, not the wakeup mechanism.
+    IdleCv.wait_for(Lock, std::chrono::milliseconds(10));
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (isInline() || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I); // Exceptions propagate directly to the caller.
+    return;
+  }
+
+  struct JoinState {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    size_t Remaining;
+    std::vector<std::exception_ptr> Errors;
+  } State;
+  State.Remaining = N;
+  State.Errors.resize(N);
+
+  for (size_t I = 0; I != N; ++I) {
+    submit([&State, &Fn, I] {
+      try {
+        Fn(I);
+      } catch (...) {
+        State.Errors[I] = std::current_exception();
+      }
+      bool Done;
+      {
+        std::lock_guard<std::mutex> Lock(State.Mu);
+        Done = --State.Remaining == 0;
+      }
+      if (Done)
+        State.Cv.notify_all();
+    });
+  }
+
+  // Help drain the pool while waiting so nested parallelFor calls from
+  // inside a worker cannot deadlock.
+  unsigned Self = CurrentPool == this ? CurrentWorker : NumWorkers;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(State.Mu);
+      if (State.Remaining == 0)
+        break;
+    }
+    if (!runOneTask(Self)) {
+      std::unique_lock<std::mutex> Lock(State.Mu);
+      State.Cv.wait_for(Lock, std::chrono::milliseconds(2),
+                        [&] { return State.Remaining == 0; });
+      if (State.Remaining == 0)
+        break;
+    }
+  }
+
+  for (size_t I = 0; I != N; ++I)
+    if (State.Errors[I])
+      std::rethrow_exception(State.Errors[I]);
+}

@@ -1,0 +1,97 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool shared by the analysis and
+/// profiling layers. Each worker owns a deque: it pushes and pops its
+/// own work LIFO (cache-friendly for the recursive fan-out pattern) and
+/// steals FIFO from victims when starved, so coarse tasks migrate to
+/// idle workers. External submissions land on workers round-robin.
+///
+/// Determinism contract: the pool never promises an execution *order*,
+/// so parallel clients must write results into pre-sized, index-addressed
+/// slots and merge them in index order after the join — every Chimera
+/// use (profile-run sampling, per-SCC summary composition) follows that
+/// pattern, which is why analysis output is bit-identical for any worker
+/// count. `parallelFor` blocks until all indices ran; the calling thread
+/// helps execute pending work while it waits, so nested use from inside
+/// a worker cannot deadlock. The first raised exception (lowest index)
+/// is rethrown on the caller.
+///
+/// A pool constructed with `Workers <= 1` spawns no threads at all and
+/// runs every task inline on the submitting thread; `AnalysisJobs = 1`
+/// therefore gives a genuinely serial (and allocation-light) pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_THREADPOOL_H
+#define CHIMERA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chimera {
+namespace support {
+
+class ThreadPool {
+public:
+  /// \p Workers = 0 selects one worker per hardware thread.
+  explicit ThreadPool(unsigned Workers = 0);
+
+  /// Drains all pending work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (1 when the pool runs inline).
+  unsigned numWorkers() const { return NumWorkers; }
+
+  /// True when the pool executes tasks on the submitting thread.
+  bool isInline() const { return Threads.empty(); }
+
+  /// Enqueues \p Task (runs it inline for single-worker pools).
+  void submit(std::function<void()> Task);
+
+  /// Runs `Fn(0) .. Fn(N-1)`, each exactly once, and blocks until all
+  /// have finished. The caller participates in execution. If any
+  /// invocations throw, the exception of the lowest index is rethrown.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// `std::thread::hardware_concurrency()`, clamped to at least 1.
+  static unsigned defaultConcurrency();
+
+private:
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Self);
+  /// Pops one task (own queue, then steals) and runs it. Returns false
+  /// when no task was available anywhere.
+  bool runOneTask(unsigned Self);
+  bool popTask(unsigned Victim, bool Steal, std::function<void()> &Out);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  std::mutex IdleMu;
+  std::condition_variable IdleCv;
+  bool ShuttingDown = false;
+  unsigned NextQueue = 0; ///< Round-robin cursor for external submits.
+};
+
+} // namespace support
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_THREADPOOL_H

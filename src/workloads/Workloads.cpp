@@ -1174,16 +1174,27 @@ WorkloadParams chimera::workloads::evalParams(WorkloadKind Kind,
   return P;
 }
 
-std::unique_ptr<core::ChimeraPipeline> chimera::workloads::buildPipeline(
-    WorkloadKind Kind, unsigned Workers, std::string *Error) {
-  core::PipelineConfig Config;
+support::Expected<std::unique_ptr<core::ChimeraPipeline>>
+chimera::workloads::buildPipelineEx(WorkloadKind Kind, unsigned Workers,
+                                    core::PipelineConfig Config) {
   Config.Name = workloadInfo(Kind).Name;
   Config.NumCores = 8;
   Config.ProfileRuns = 20;
   Config.ProfileCores = 8;
   return core::ChimeraPipeline::fromSource(
       workloadSource(Kind, evalParams(Kind, Workers)),
-      workloadSource(Kind, profileParams(Kind)), Config, Error);
+      workloadSource(Kind, profileParams(Kind)), std::move(Config));
+}
+
+std::unique_ptr<core::ChimeraPipeline> chimera::workloads::buildPipeline(
+    WorkloadKind Kind, unsigned Workers, std::string *Error) {
+  auto P = buildPipelineEx(Kind, Workers, core::PipelineConfig());
+  if (!P) {
+    if (Error)
+      *Error = P.error().message();
+    return nullptr;
+  }
+  return P.take();
 }
 
 unsigned chimera::workloads::workloadLineCount(WorkloadKind Kind) {

@@ -87,7 +87,13 @@ WorkloadParams profileParams(WorkloadKind Kind);
 WorkloadParams evalParams(WorkloadKind Kind, unsigned Workers = 4);
 
 /// Builds a ready-to-run pipeline (8 simulated cores, paper profiling
-/// setup). Returns null and sets \p Error on failure.
+/// setup). \p Config seeds the non-workload settings (AnalysisJobs,
+/// planner, caching); the workload fields are overwritten.
+support::Expected<std::unique_ptr<core::ChimeraPipeline>>
+buildPipelineEx(WorkloadKind Kind, unsigned Workers,
+                core::PipelineConfig Config = core::PipelineConfig());
+
+/// Deprecated shim for the string-out-param API; remove next PR.
 std::unique_ptr<core::ChimeraPipeline> buildPipeline(WorkloadKind Kind,
                                                      unsigned Workers,
                                                      std::string *Error);

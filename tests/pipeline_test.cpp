@@ -1,8 +1,11 @@
 //===- tests/pipeline_test.cpp - End-to-end pipeline API -------------------===//
 
 #include "core/Pipeline.h"
+#include "race/SummaryCache.h"
 
 #include <gtest/gtest.h>
+
+#include <thread>
 
 using namespace chimera;
 using namespace chimera::core;
@@ -24,34 +27,60 @@ PipelineConfig config() {
   return C;
 }
 
+std::unique_ptr<ChimeraPipeline> build(PipelineConfig C) {
+  auto P = ChimeraPipeline::fromSource(Src, Src, std::move(C));
+  EXPECT_TRUE(P) << (P ? "" : P.error().message());
+  return P ? P.take() : nullptr;
+}
+
 } // namespace
 
 TEST(Pipeline, RejectsBadSource) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource("int main(", "", config(), &Err);
-  EXPECT_EQ(P, nullptr);
-  EXPECT_FALSE(Err.empty());
+  auto P = ChimeraPipeline::fromSource("int main(", "", config());
+  EXPECT_FALSE(P);
+  EXPECT_FALSE(P.error().message().empty());
 }
 
 TEST(Pipeline, RejectsMismatchedProfileSource) {
+  auto P = ChimeraPipeline::fromSource(Src, "int main() { return 0; }",
+                                       config());
+  ASSERT_FALSE(P);
+  EXPECT_NE(P.error().message().find("shape"), std::string::npos);
+}
+
+TEST(Pipeline, RejectsInvalidConfig) {
+  PipelineConfig C = config();
+  C.AnalysisJobs = 100000;
+  auto P = ChimeraPipeline::fromSource(Src, Src, C);
+  ASSERT_FALSE(P);
+  EXPECT_NE(P.error().message().find("AnalysisJobs"), std::string::npos);
+
+  C = config();
+  C.ProfileRuns = 0;
+  auto P2 = ChimeraPipeline::fromSource(Src, Src, C);
+  ASSERT_FALSE(P2);
+  EXPECT_NE(P2.error().message().find("ProfileRuns"), std::string::npos);
+}
+
+TEST(Pipeline, DeprecatedOutParamShimStillWorks) {
   std::string Err;
-  auto P = ChimeraPipeline::fromSource(
-      Src, "int main() { return 0; }", config(), &Err);
-  EXPECT_EQ(P, nullptr);
-  EXPECT_NE(Err.find("shape"), std::string::npos);
+  auto Bad = ChimeraPipeline::fromSource("int main(", "", config(), &Err);
+  EXPECT_EQ(Bad, nullptr);
+  EXPECT_FALSE(Err.empty());
+  auto Good = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
+  ASSERT_NE(Good, nullptr) << Err;
+  EXPECT_FALSE(Good->raceReport().Pairs.empty());
 }
 
 TEST(Pipeline, EmptyProfileSourceMeansSameSource) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, "", config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
-  EXPECT_FALSE(P->raceReport().Pairs.empty());
+  auto P = ChimeraPipeline::fromSource(Src, "", config());
+  ASSERT_TRUE(P) << P.error().message();
+  EXPECT_FALSE((*P)->raceReport().Pairs.empty());
 }
 
 TEST(Pipeline, StagesAreCachedAcrossCalls) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
   const auto &R1 = P->raceReport();
   const auto &R2 = P->raceReport();
   EXPECT_EQ(&R1, &R2);
@@ -60,10 +89,66 @@ TEST(Pipeline, StagesAreCachedAcrossCalls) {
   EXPECT_EQ(&I1, &I2);
 }
 
+TEST(Pipeline, ConcurrentStageAccessComputesOnce) {
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
+  const race::RaceReport *Seen[4] = {};
+  {
+    std::vector<std::thread> Threads;
+    for (int I = 0; I != 4; ++I)
+      Threads.emplace_back(
+          [&, I] { Seen[I] = &P->raceReport(); });
+    for (auto &T : Threads)
+      T.join();
+  }
+  for (int I = 1; I != 4; ++I)
+    EXPECT_EQ(Seen[I], Seen[0]);
+}
+
+TEST(Pipeline, ParallelAnalysisIsDeterministic) {
+  // The tentpole guarantee: race report, profile data, and plan are
+  // byte-identical whether the analysis runs serially or on 8 workers.
+  PipelineConfig Serial = config();
+  Serial.AnalysisJobs = 1;
+  Serial.UseSummaryCache = false; // Force both sides to really compute.
+  PipelineConfig Parallel = config();
+  Parallel.AnalysisJobs = 8;
+  Parallel.UseSummaryCache = false;
+
+  auto P1 = build(Serial);
+  auto P8 = build(Parallel);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P8, nullptr);
+
+  EXPECT_EQ(P1->raceReport().str(P1->originalModule()),
+            P8->raceReport().str(P8->originalModule()));
+  EXPECT_EQ(P1->profileData().ConcurrentPairs,
+            P8->profileData().ConcurrentPairs);
+  EXPECT_EQ(P1->plan().summary(P1->originalModule()),
+            P8->plan().summary(P8->originalModule()));
+}
+
+TEST(Pipeline, SummaryCacheSkipsRecomputation) {
+  race::SummaryCache::global().clear();
+  auto P1 = build(config());
+  ASSERT_NE(P1, nullptr);
+  const std::string First = P1->raceReport().str(P1->originalModule());
+  auto AfterFirst = race::SummaryCache::global().stats();
+  EXPECT_GT(AfterFirst.Entries, 0u);
+
+  // An identical rebuild replays summaries from the cache and must
+  // produce an identical report.
+  auto P2 = build(config());
+  ASSERT_NE(P2, nullptr);
+  EXPECT_EQ(P2->raceReport().str(P2->originalModule()), First);
+  auto AfterSecond = race::SummaryCache::global().stats();
+  EXPECT_GT(AfterSecond.Hits, AfterFirst.Hits);
+  EXPECT_EQ(AfterSecond.Entries, AfterFirst.Entries);
+}
+
 TEST(Pipeline, SetPlannerOptionsInvalidatesPlan) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
   uint64_t FullLocks = P->plan().Locks.size();
   uint64_t FullWeakOps = P->record(3).Stats.weakAcquiresTotal();
 
@@ -76,16 +161,14 @@ TEST(Pipeline, SetPlannerOptionsInvalidatesPlan) {
 }
 
 TEST(Pipeline, DynamicRaceCountZeroWhenInstrumented) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
   EXPECT_EQ(P->dynamicRaceCount(9), 0u);
 }
 
 TEST(Pipeline, RecordAndReplayRoundTrip) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
   auto Out = P->recordAndReplay(77);
   EXPECT_TRUE(Out.Deterministic)
       << Out.Record.Error << " / " << Out.Replay.Error;
@@ -93,9 +176,8 @@ TEST(Pipeline, RecordAndReplayRoundTrip) {
 }
 
 TEST(Pipeline, InstrumentedNativeRunWorks) {
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
   auto R = P->runInstrumentedNative(4);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_GT(R.Stats.weakAcquiresTotal(), 0u);
@@ -118,9 +200,8 @@ TEST(Pipeline, ObserverReceivesEventsDuringRecord) {
       ++Weak;
     }
   };
-  std::string Err;
-  auto P = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(P, nullptr) << Err;
+  auto P = build(config());
+  ASSERT_NE(P, nullptr);
   Counter Obs;
   auto R = P->record(6, &Obs);
   ASSERT_TRUE(R.Ok) << R.Error;

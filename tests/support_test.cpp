@@ -1,16 +1,23 @@
 //===- tests/support_test.cpp - support library tests ----------------------===//
 
 #include "support/Compressor.h"
+#include "support/Expected.h"
 #include "support/Graph.h"
 #include "support/Hash.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 using namespace chimera;
+using support::ThreadPool;
 
 //===----------------------------------------------------------------------===//
 // Rng
@@ -323,3 +330,137 @@ TEST_P(CompressorRoundTrip, RandomStructuredData) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompressorRoundTrip,
                          ::testing::Range(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Expected / Error
+//===----------------------------------------------------------------------===//
+
+TEST(Expected, SuccessAndFailureBasics) {
+  support::Error Ok = support::Error::success();
+  EXPECT_FALSE(Ok);
+  support::Error Bad = support::Error::failure("nope");
+  EXPECT_TRUE(Bad);
+  EXPECT_EQ(Bad.message(), "nope");
+  EXPECT_EQ(Bad.context("stage").message(), "stage: nope");
+  EXPECT_FALSE(Ok.context("stage"));
+}
+
+TEST(Expected, HoldsValue) {
+  support::Expected<int> V = 42;
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 42);
+}
+
+TEST(Expected, HoldsError) {
+  support::Expected<int> V = support::Error::failure("bad input");
+  ASSERT_FALSE(V);
+  EXPECT_EQ(V.error().message(), "bad input");
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  support::Expected<std::unique_ptr<int>> V = std::make_unique<int>(7);
+  ASSERT_TRUE(V);
+  EXPECT_EQ(**V, 7);
+  std::unique_ptr<int> Taken = V.take();
+  EXPECT_EQ(*Taken, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ZeroTaskShutdown) {
+  // Construction + destruction with no work must not hang or leak.
+  { ThreadPool Pool(4); }
+  { ThreadPool Pool(1); }
+  {
+    ThreadPool Pool(3);
+    Pool.parallelFor(0, [](size_t) { FAIL() << "no indices to run"; });
+  }
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_TRUE(Pool.isInline());
+  EXPECT_EQ(Pool.numWorkers(), 1u);
+  std::thread::id Runner;
+  Pool.parallelFor(1, [&](size_t) { Runner = std::this_thread::get_id(); });
+  EXPECT_EQ(Runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 200;
+  std::vector<std::atomic<unsigned>> Counts(N);
+  Pool.parallelFor(N, [&](size_t I) { ++Counts[I]; });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, SlotOrderedResultsMatchSerial) {
+  // The determinism contract: parallel fills of index-addressed slots,
+  // merged in index order, equal the serial computation byte for byte.
+  auto F = [](size_t I) { return I * 2654435761u + 17; };
+  std::vector<uint64_t> Serial(64), Parallel(64);
+  for (size_t I = 0; I != Serial.size(); ++I)
+    Serial[I] = F(I);
+  ThreadPool Pool(8);
+  Pool.parallelFor(Parallel.size(),
+                   [&](size_t I) { Parallel[I] = F(I); });
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(ThreadPool, ExceptionOfLowestIndexPropagates) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Ran{0};
+  try {
+    Pool.parallelFor(16, [&](size_t I) {
+      ++Ran;
+      if (I == 3 || I == 11)
+        throw std::runtime_error("boom" + std::to_string(I));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "boom3");
+  }
+  // A failed index never cancels the others.
+  EXPECT_EQ(Ran.load(), 16u);
+}
+
+TEST(ThreadPool, InlinePoolPropagatesExceptions) {
+  ThreadPool Pool(1);
+  EXPECT_THROW(
+      Pool.parallelFor(4,
+                       [](size_t I) {
+                         if (I == 2)
+                           throw std::runtime_error("inline");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Inner parallelFor calls run on worker threads; the helping wait
+  // loop must keep draining tasks instead of blocking forever.
+  ThreadPool Pool(3);
+  std::atomic<unsigned> Total{0};
+  Pool.parallelFor(4, [&](size_t) {
+    Pool.parallelFor(8, [&](size_t) { ++Total; });
+  });
+  EXPECT_EQ(Total.load(), 32u);
+}
+
+TEST(ThreadPool, SubmitRunsDetachedWork) {
+  std::atomic<bool> Ran{false};
+  {
+    ThreadPool Pool(2);
+    Pool.submit([&] { Ran = true; });
+    // Destructor drains pending work before joining.
+  }
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+  ThreadPool Pool; // Default-sized pool must construct and destruct.
+  EXPECT_GE(Pool.numWorkers(), 1u);
+}

@@ -8,12 +8,16 @@
 // static race report and instrumentation plan, record executions to a
 // log file, and replay them deterministically.
 //
-//   chimera races   prog.mc
+//   chimera races   prog.mc [--jobs N]
 //   chimera plan    prog.mc [--naive|--func|--loop]
 //   chimera ir      prog.mc [--instrumented]
 //   chimera run     prog.mc [--seed N] [--cores N]
 //   chimera record  prog.mc -o run.clog [--seed N] [--cores N]
 //   chimera replay  prog.mc run.clog
+//
+// Options are described by a declarative table (flag, arity, help,
+// setter); usage text is generated from the same table so help can
+// never drift from what the parser accepts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,8 +26,9 @@
 #include "replay/LogCodec.h"
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +36,88 @@
 using namespace chimera;
 
 namespace {
+
+/// Everything the option table writes into.
+struct CliOptions {
+  uint64_t Seed = 1;
+  unsigned Cores = 8;
+  unsigned Jobs = 0; ///< 0 = one worker per hardware thread.
+  std::string OutPath;
+  std::string LogPath; ///< replay's positional log argument.
+  bool Instrumented = false;
+  instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
+};
+
+/// One command-line flag: how to spell it, whether it consumes a value,
+/// what to print in --help, and how to apply it.
+struct OptionSpec {
+  const char *Flag;
+  const char *ArgName; ///< Null when the flag takes no value.
+  const char *Help;
+  std::function<bool(CliOptions &, const char *Arg)> Apply;
+};
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(Text, &End, 10);
+  return End != Text && *End == '\0';
+}
+
+const std::vector<OptionSpec> &optionTable() {
+  static const std::vector<OptionSpec> Table = {
+      {"--seed", "N", "scheduler/input seed (default 1)",
+       [](CliOptions &O, const char *A) {
+         uint64_t V;
+         if (!parseUnsigned(A, V))
+           return false;
+         O.Seed = V;
+         return true;
+       }},
+      {"--cores", "N", "simulated cores (default 8)",
+       [](CliOptions &O, const char *A) {
+         uint64_t V;
+         if (!parseUnsigned(A, V) || V == 0)
+           return false;
+         O.Cores = static_cast<unsigned>(V);
+         return true;
+       }},
+      {"--jobs", "N",
+       "analysis/profiling worker threads (default: hardware threads)",
+       [](CliOptions &O, const char *A) {
+         uint64_t V;
+         if (!parseUnsigned(A, V))
+           return false;
+         O.Jobs = static_cast<unsigned>(V);
+         return true;
+       }},
+      {"-o", "FILE", "output log path for `record` (default prog.clog)",
+       [](CliOptions &O, const char *A) {
+         O.OutPath = A;
+         return true;
+       }},
+      {"--instrumented", nullptr, "print the weak-lock-guarded module",
+       [](CliOptions &O, const char *) {
+         O.Instrumented = true;
+         return true;
+       }},
+      {"--naive", nullptr, "planner ablation: one lock per address",
+       [](CliOptions &O, const char *) {
+         O.Planner = instrument::PlannerOptions::naive();
+         return true;
+       }},
+      {"--func", nullptr, "planner ablation: function locks only",
+       [](CliOptions &O, const char *) {
+         O.Planner = instrument::PlannerOptions::functionOnly();
+         return true;
+       }},
+      {"--loop", nullptr, "planner ablation: loop locks only",
+       [](CliOptions &O, const char *) {
+         O.Planner = instrument::PlannerOptions::loopOnly();
+         return true;
+       }},
+  };
+  return Table;
+}
 
 void usage() {
   std::fprintf(
@@ -45,11 +132,54 @@ void usage() {
       "  record   record an execution (-o FILE, default prog.clog)\n"
       "  replay   replay a recorded log file deterministically\n"
       "\n"
-      "options:\n"
-      "  --seed N          scheduler/input seed (default 1)\n"
-      "  --cores N         simulated cores (default 8)\n"
-      "  --naive|--func|--loop   planner ablation configurations\n"
-      "  -o FILE           output log path for `record`\n");
+      "options:\n");
+  for (const OptionSpec &Spec : optionTable()) {
+    std::string Left = Spec.Flag;
+    if (Spec.ArgName) {
+      Left += ' ';
+      Left += Spec.ArgName;
+    }
+    std::fprintf(stderr, "  %-20s %s\n", Left.c_str(), Spec.Help);
+  }
+}
+
+/// Applies the option table to argv[3..]; returns false (after
+/// diagnosing) on unknown flags, missing values, or bad numbers. The
+/// replay command accepts one positional argument: its log file.
+bool parseOptions(int argc, char **argv, const std::string &Command,
+                  CliOptions &Opts) {
+  for (int I = 3; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    const OptionSpec *Match = nullptr;
+    for (const OptionSpec &Spec : optionTable())
+      if (Arg == Spec.Flag) {
+        Match = &Spec;
+        break;
+      }
+    if (!Match) {
+      if (Command == "replay" && Opts.LogPath.empty() && Arg[0] != '-') {
+        Opts.LogPath = Arg;
+        continue;
+      }
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return false;
+    }
+    const char *Value = nullptr;
+    if (Match->ArgName) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value (%s)\n", Match->Flag,
+                     Match->ArgName);
+        return false;
+      }
+      Value = argv[++I];
+    }
+    if (!Match->Apply(Opts, Value)) {
+      std::fprintf(stderr, "invalid value for %s: %s\n", Match->Flag,
+                   Value ? Value : "");
+      return false;
+    }
+  }
+  return true;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -106,35 +236,9 @@ int main(int argc, char **argv) {
   std::string Command = argv[1];
   std::string Path = argv[2];
 
-  uint64_t Seed = 1;
-  unsigned Cores = 8;
-  std::string OutPath;
-  bool Instrumented = false;
-  instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
-
-  for (int I = 3; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "--seed" && I + 1 < argc)
-      Seed = std::strtoull(argv[++I], nullptr, 10);
-    else if (Arg == "--cores" && I + 1 < argc)
-      Cores = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
-    else if (Arg == "-o" && I + 1 < argc)
-      OutPath = argv[++I];
-    else if (Arg == "--instrumented")
-      Instrumented = true;
-    else if (Arg == "--naive")
-      Planner = instrument::PlannerOptions::naive();
-    else if (Arg == "--func")
-      Planner = instrument::PlannerOptions::functionOnly();
-    else if (Arg == "--loop")
-      Planner = instrument::PlannerOptions::loopOnly();
-    else if (Command == "replay" && OutPath.empty()) {
-      OutPath = Arg; // replay's positional log argument.
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
-      return 2;
-    }
-  }
+  CliOptions Opts;
+  if (!parseOptions(argc, argv, Command, Opts))
+    return 2;
 
   std::string Source;
   if (!readFile(Path, Source)) {
@@ -144,15 +248,16 @@ int main(int argc, char **argv) {
 
   core::PipelineConfig Config;
   Config.Name = Path;
-  Config.NumCores = Cores;
-  Config.Planner = Planner;
-  std::string Error;
-  auto Pipeline =
-      core::ChimeraPipeline::fromSource(Source, Source, Config, &Error);
-  if (!Pipeline) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
+  Config.NumCores = Opts.Cores;
+  Config.AnalysisJobs = Opts.Jobs;
+  Config.Planner = Opts.Planner;
+  auto MaybePipeline =
+      core::ChimeraPipeline::fromSource(Source, Source, Config);
+  if (!MaybePipeline) {
+    std::fprintf(stderr, "%s\n", MaybePipeline.error().message().c_str());
     return 1;
   }
+  std::unique_ptr<core::ChimeraPipeline> Pipeline = MaybePipeline.take();
 
   if (Command == "races") {
     const race::RaceReport &Races = Pipeline->raceReport();
@@ -170,14 +275,15 @@ int main(int argc, char **argv) {
   }
 
   if (Command == "ir") {
-    const ir::Module &M = Instrumented ? Pipeline->instrumentedModule()
-                                       : Pipeline->originalModule();
+    const ir::Module &M = Opts.Instrumented
+                              ? Pipeline->instrumentedModule()
+                              : Pipeline->originalModule();
     std::printf("%s", ir::printModule(M).c_str());
     return 0;
   }
 
   if (Command == "run") {
-    auto R = Pipeline->runOriginalNative(Seed);
+    auto R = Pipeline->runOriginalNative(Opts.Seed);
     if (!R.Ok) {
       std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
       return 1;
@@ -188,15 +294,15 @@ int main(int argc, char **argv) {
   }
 
   if (Command == "record") {
-    auto R = Pipeline->record(Seed);
+    auto R = Pipeline->record(Opts.Seed);
     if (!R.Ok) {
       std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
       return 1;
     }
     printOutput(R);
     printStats(R);
-    if (OutPath.empty())
-      OutPath = Path + ".clog";
+    std::string OutPath = Opts.OutPath.empty() ? Path + ".clog"
+                                               : Opts.OutPath;
     std::vector<uint8_t> Bytes = replay::encodeLog(R.Log);
     if (!writeBytes(OutPath, Bytes)) {
       std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
@@ -213,17 +319,22 @@ int main(int argc, char **argv) {
   }
 
   if (Command == "replay") {
-    if (OutPath.empty()) {
+    if (Opts.LogPath.empty()) {
       std::fprintf(stderr, "replay needs a log file argument\n");
       return 2;
     }
     std::vector<uint8_t> Bytes;
-    if (!readBytes(OutPath, Bytes)) {
-      std::fprintf(stderr, "cannot read %s\n", OutPath.c_str());
+    if (!readBytes(Opts.LogPath, Bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", Opts.LogPath.c_str());
       return 1;
     }
-    rt::ExecutionLog Log = replay::decodeLog(Bytes);
-    auto R = Pipeline->replay(Log);
+    auto Log = replay::decode(Bytes);
+    if (!Log) {
+      std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
+                   Log.error().message().c_str());
+      return 1;
+    }
+    auto R = Pipeline->replay(*Log);
     if (!R.Ok) {
       std::fprintf(stderr, "replay error: %s\n", R.Error.c_str());
       return 1;
