@@ -24,16 +24,24 @@ bool SummaryCache::lookup(uint64_t Key, FunctionSummary &Out) const {
 
 void SummaryCache::insert(uint64_t Key, const FunctionSummary &Summary) {
   std::lock_guard<std::mutex> Lock(Mu);
-  Map.emplace(Key, Summary);
+  if (!Map.emplace(Key, Summary).second)
+    return; // First writer wins; Key is already in Order.
+  Order.push_back(Key);
+  while (Map.size() > MaxEntries) {
+    Map.erase(Order.front());
+    Order.pop_front();
+    ++Evictions;
+  }
 }
 
 void SummaryCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Map.clear();
-  Hits = Misses = 0;
+  Order.clear();
+  Hits = Misses = Evictions = 0;
 }
 
 SummaryCache::Stats SummaryCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return {Hits, Misses, static_cast<uint64_t>(Map.size())};
+  return {Hits, Misses, static_cast<uint64_t>(Map.size()), Evictions};
 }

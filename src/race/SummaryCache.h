@@ -26,6 +26,7 @@
 #include "race/Summary.h"
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 
@@ -34,13 +35,21 @@ namespace race {
 
 class SummaryCache {
 public:
+  /// Size cap for the cache. When an insert would exceed it, the
+  /// oldest entries are evicted (FIFO). Eviction only costs a future
+  /// recomputation — cached values are a pure function of the key — so
+  /// the process-wide instance stays bounded across arbitrarily long
+  /// bench sweeps over distinct modules.
+  static constexpr size_t MaxEntries = 1 << 16;
+
   /// The shared process-wide instance the pipeline uses by default.
   static SummaryCache &global();
 
   /// Copies the cached summary into \p Out and returns true on a hit.
   bool lookup(uint64_t Key, FunctionSummary &Out) const;
 
-  /// Stores \p Summary under \p Key (first writer wins).
+  /// Stores \p Summary under \p Key (first writer wins), evicting the
+  /// oldest entries once the cache holds MaxEntries.
   void insert(uint64_t Key, const FunctionSummary &Summary);
 
   void clear();
@@ -49,14 +58,17 @@ public:
     uint64_t Hits = 0;
     uint64_t Misses = 0;
     uint64_t Entries = 0;
+    uint64_t Evictions = 0;
   };
   Stats stats() const;
 
 private:
   mutable std::mutex Mu;
   std::unordered_map<uint64_t, FunctionSummary> Map;
+  std::deque<uint64_t> Order; ///< Insertion order, for FIFO eviction.
   mutable uint64_t Hits = 0;
   mutable uint64_t Misses = 0;
+  uint64_t Evictions = 0;
 };
 
 } // namespace race

@@ -141,12 +141,11 @@ void ThreadPool::parallelFor(size_t N,
       } catch (...) {
         State.Errors[I] = std::current_exception();
       }
-      bool Done;
-      {
-        std::lock_guard<std::mutex> Lock(State.Mu);
-        Done = --State.Remaining == 0;
-      }
-      if (Done)
+      // Notify while still holding the mutex: once the caller can see
+      // Remaining == 0 it may return and destroy State, so an unlocked
+      // notify here would race with that destruction.
+      std::lock_guard<std::mutex> Lock(State.Mu);
+      if (--State.Remaining == 0)
         State.Cv.notify_all();
     });
   }

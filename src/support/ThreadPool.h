@@ -59,6 +59,12 @@ public:
   bool isInline() const { return Threads.empty(); }
 
   /// Enqueues \p Task (runs it inline for single-worker pools).
+  ///
+  /// \p Task must not throw: on a threaded pool it executes on a worker
+  /// with no handler on the stack, so an escaping exception calls
+  /// std::terminate (and on an inline pool it would propagate to an
+  /// arbitrary submitter instead). Tasks that can throw belong in
+  /// `parallelFor`, which captures and rethrows on the caller.
   void submit(std::function<void()> Task);
 
   /// Runs `Fn(0) .. Fn(N-1)`, each exactly once, and blocks until all

@@ -146,6 +146,26 @@ TEST(Pipeline, SummaryCacheSkipsRecomputation) {
   EXPECT_EQ(AfterSecond.Entries, AfterFirst.Entries);
 }
 
+TEST(Pipeline, SummaryCacheEvictsOldestAtCapacity) {
+  // The process-wide cache must stay bounded across long bench sweeps:
+  // overfilling it evicts the oldest entries instead of growing.
+  race::SummaryCache Cache;
+  race::FunctionSummary S;
+  for (uint64_t Key = 0; Key != race::SummaryCache::MaxEntries + 10;
+       ++Key)
+    Cache.insert(Key, S);
+
+  auto St = Cache.stats();
+  EXPECT_EQ(St.Entries, race::SummaryCache::MaxEntries);
+  EXPECT_EQ(St.Evictions, 10u);
+
+  // Keys 0..9 were evicted FIFO; the newest keys are still present.
+  race::FunctionSummary Out;
+  EXPECT_FALSE(Cache.lookup(0, Out));
+  EXPECT_TRUE(
+      Cache.lookup(race::SummaryCache::MaxEntries + 9, Out));
+}
+
 TEST(Pipeline, SetPlannerOptionsInvalidatesPlan) {
   auto P = build(config());
   ASSERT_NE(P, nullptr);

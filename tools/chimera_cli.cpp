@@ -25,10 +25,12 @@
 #include "ir/Printer.h"
 #include "replay/LogCodec.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -59,8 +61,20 @@ struct OptionSpec {
 
 bool parseUnsigned(const char *Text, uint64_t &Out) {
   char *End = nullptr;
+  errno = 0;
   Out = std::strtoull(Text, &End, 10);
-  return End != Text && *End == '\0';
+  return End != Text && *End == '\0' && errno != ERANGE;
+}
+
+/// Like parseUnsigned, but the value must also fit in `unsigned`, so
+/// oversized input fails at parse time instead of silently truncating.
+bool parseUnsignedFits(const char *Text, unsigned &Out) {
+  uint64_t V;
+  if (!parseUnsigned(Text, V) ||
+      V > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
 }
 
 const std::vector<OptionSpec> &optionTable() {
@@ -75,20 +89,16 @@ const std::vector<OptionSpec> &optionTable() {
        }},
       {"--cores", "N", "simulated cores (default 8)",
        [](CliOptions &O, const char *A) {
-         uint64_t V;
-         if (!parseUnsigned(A, V) || V == 0)
+         unsigned V;
+         if (!parseUnsignedFits(A, V) || V == 0)
            return false;
-         O.Cores = static_cast<unsigned>(V);
+         O.Cores = V;
          return true;
        }},
       {"--jobs", "N",
        "analysis/profiling worker threads (default: hardware threads)",
        [](CliOptions &O, const char *A) {
-         uint64_t V;
-         if (!parseUnsigned(A, V))
-           return false;
-         O.Jobs = static_cast<unsigned>(V);
-         return true;
+         return parseUnsignedFits(A, O.Jobs);
        }},
       {"-o", "FILE", "output log path for `record` (default prog.clog)",
        [](CliOptions &O, const char *A) {
