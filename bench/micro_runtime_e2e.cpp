@@ -1,0 +1,124 @@
+//===- bench/micro_runtime_e2e.cpp - Runtime throughput tracker ------------===//
+//
+// End-to-end interpreter throughput over the nine paper workloads, in
+// host time: simulated instructions/sec and sync-ops/sec for a native
+// run of each original program, plus a record-mode pass over the
+// instrumented build. Emits BENCH_runtime.json so the runtime's perf
+// trajectory is tracked across PRs (the figure binaries report simulated
+// cycles, which batching and the fast path must never change).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace chimera;
+using namespace chimera::workloads;
+
+namespace {
+
+struct Row {
+  const char *Name = "";
+  double NativeSec = 0;     ///< Host wall time, original program.
+  double RecordSec = 0;     ///< Host wall time, instrumented record run.
+  double InstPerSec = 0;    ///< Simulated instructions/sec (native).
+  double SyncPerSec = 0;    ///< Simulated sync-ops/sec (record).
+  uint64_t Instructions = 0;
+  uint64_t SyncOps = 0;
+};
+
+double seconds(std::chrono::steady_clock::time_point From,
+               std::chrono::steady_clock::time_point To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+
+} // namespace
+
+int main() {
+  const uint64_t Seed = 2012;
+  std::vector<Row> Rows;
+  double TotalNativeSec = 0, TotalRecordSec = 0;
+  uint64_t TotalInsts = 0, TotalSyncs = 0;
+
+  std::printf("%-8s %12s %12s %12s %12s\n", "workload", "native-s",
+              "record-s", "Minst/s", "Ksync/s");
+  for (WorkloadKind Kind : allWorkloads()) {
+    auto P = buildPipelineEx(Kind, 4);
+    if (!P) {
+      std::fprintf(stderr, "%s: %s\n", workloadInfo(Kind).Name,
+                   P.error().message().c_str());
+      return 1;
+    }
+
+    Row R;
+    R.Name = workloadInfo(Kind).Name;
+
+    auto T0 = std::chrono::steady_clock::now();
+    rt::ExecutionResult Nat = (*P)->runOriginalNative(Seed);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Nat.Ok) {
+      std::fprintf(stderr, "%s native: %s\n", R.Name, Nat.Error.c_str());
+      return 1;
+    }
+    rt::ExecutionResult Rec = (*P)->record(Seed);
+    auto T2 = std::chrono::steady_clock::now();
+    if (!Rec.Ok) {
+      std::fprintf(stderr, "%s record: %s\n", R.Name, Rec.Error.c_str());
+      return 1;
+    }
+
+    R.NativeSec = seconds(T0, T1);
+    R.RecordSec = seconds(T1, T2);
+    R.Instructions = Nat.Stats.Instructions;
+    R.SyncOps = Rec.Stats.SyncOps + Rec.Stats.weakAcquiresTotal();
+    R.InstPerSec = R.Instructions / R.NativeSec;
+    R.SyncPerSec = R.SyncOps / R.RecordSec;
+    TotalNativeSec += R.NativeSec;
+    TotalRecordSec += R.RecordSec;
+    TotalInsts += R.Instructions;
+    TotalSyncs += R.SyncOps;
+    Rows.push_back(R);
+
+    std::printf("%-8s %12.4f %12.4f %12.2f %12.2f\n", R.Name, R.NativeSec,
+                R.RecordSec, R.InstPerSec / 1e6, R.SyncPerSec / 1e3);
+  }
+
+  std::printf("%-8s %12.4f %12.4f %12.2f %12.2f\n", "total", TotalNativeSec,
+              TotalRecordSec, TotalInsts / TotalNativeSec / 1e6,
+              TotalSyncs / TotalRecordSec / 1e3);
+
+  FILE *Json = std::fopen("BENCH_runtime.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
+    return 1;
+  }
+  std::fprintf(Json, "{\n  \"seed\": %llu,\n  \"workloads\": [\n",
+               static_cast<unsigned long long>(Seed));
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(Json,
+                 "    {\"name\": \"%s\", \"native_wall_seconds\": %.6f, "
+                 "\"record_wall_seconds\": %.6f, "
+                 "\"instructions\": %llu, \"sync_ops\": %llu, "
+                 "\"instructions_per_second\": %.1f, "
+                 "\"sync_ops_per_second\": %.1f}%s\n",
+                 R.Name, R.NativeSec, R.RecordSec,
+                 static_cast<unsigned long long>(R.Instructions),
+                 static_cast<unsigned long long>(R.SyncOps), R.InstPerSec,
+                 R.SyncPerSec, I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(Json,
+               "  ],\n  \"total_native_wall_seconds\": %.6f,\n"
+               "  \"total_record_wall_seconds\": %.6f,\n"
+               "  \"total_instructions_per_second\": %.1f,\n"
+               "  \"total_sync_ops_per_second\": %.1f\n}\n",
+               TotalNativeSec, TotalRecordSec, TotalInsts / TotalNativeSec,
+               TotalSyncs / TotalRecordSec);
+  std::fclose(Json);
+  std::printf("\nwrote BENCH_runtime.json\n");
+  return 0;
+}

@@ -49,6 +49,11 @@ struct PipelineConfig {
   /// Weak-lock revocation threshold (cycles).
   uint64_t WeakLockTimeout = 500'000'000;
 
+  /// Instructions dispatched per scheduling decision in every Machine
+  /// the pipeline constructs (see MachineOptions::DispatchBatch). Purely
+  /// a host-speed knob — results are bit-identical for every value.
+  unsigned DispatchBatch = 64;
+
   /// AnalysisJobs resolved to a concrete worker count.
   unsigned effectiveAnalysisJobs() const;
 

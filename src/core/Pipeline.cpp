@@ -111,6 +111,7 @@ const profile::ProfileData &ChimeraPipeline::profileData() const {
           MO.NumCores = CoreVariants[Run % 4];
           MO.Seed = Config.ProfileSeedBase + Run;
           MO.Costs = Config.Costs;
+          MO.DispatchBatch = Config.DispatchBatch;
           MO.Observer = &Prof;
           rt::Machine Machine(*ProfileModule, MO);
           rt::ExecutionResult Result = Machine.run();
@@ -164,6 +165,7 @@ rt::ExecutionResult ChimeraPipeline::runOriginalNative(
   MO.NumCores = Config.NumCores;
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
+  MO.DispatchBatch = Config.DispatchBatch;
   MO.Observer = Obs;
   rt::Machine Machine(*EvalModule, MO);
   return Machine.run();
@@ -175,6 +177,7 @@ rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
   MO.NumCores = Config.NumCores;
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
+  MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   rt::Machine Machine(instrumentedModule(), MO);
   return Machine.run();
@@ -187,6 +190,7 @@ rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
   MO.NumCores = Config.NumCores;
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
+  MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.Observer = Obs;
   rt::Machine Machine(instrumentedModule(), MO);
@@ -200,6 +204,7 @@ rt::ExecutionResult ChimeraPipeline::replay(const rt::ExecutionLog &Log,
   MO.NumCores = Config.NumCores;
   MO.Seed = 0xdeadbeef; // Replay must not depend on the seed.
   MO.Costs = Config.Costs;
+  MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.ReplayLog = &Log;
   MO.Observer = Obs;

@@ -1,0 +1,85 @@
+//===- runtime/Decoded.cpp - Pre-decoded instruction arrays ----------------===//
+
+#include "runtime/Decoded.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::rt;
+using namespace chimera::ir;
+
+static DecodedInst decodeOne(const Module &M, const Instruction &Inst,
+                             const std::vector<uint32_t> &BlockStart,
+                             std::vector<Reg> &ArgPool) {
+  DecodedInst D;
+  D.Op = Inst.Op;
+  D.Dst = Inst.Dst;
+  D.A = Inst.A;
+  D.B = Inst.B;
+  D.Id = Inst.Id;
+  D.Id2 = Inst.Id2;
+  D.Ident = Inst.Ident;
+  D.Line = Inst.Loc.Line;
+
+  switch (Inst.Op) {
+  case Opcode::ConstInt:
+    D.Imm = static_cast<uint64_t>(Inst.Imm);
+    break;
+  case Opcode::Unary:
+    D.Sub = static_cast<uint8_t>(Inst.UOp);
+    break;
+  case Opcode::Binary:
+    D.Sub = static_cast<uint8_t>(Inst.BOp);
+    break;
+  case Opcode::AddrGlobal:
+    assert(Inst.Id < M.Globals.size() && "global id out of range");
+    D.Imm = M.Globals[Inst.Id].BaseAddr;
+    break;
+  case Opcode::Br:
+    D.Succ0 = BlockStart[Inst.Succ0];
+    break;
+  case Opcode::CondBr:
+    D.Succ0 = BlockStart[Inst.Succ0];
+    D.Succ1 = BlockStart[Inst.Succ1];
+    break;
+  case Opcode::WeakAcquire:
+    D.Imm = static_cast<uint64_t>(Inst.Imm);
+    D.Sub = static_cast<uint8_t>(Inst.Id2 & 3);
+    break;
+  case Opcode::WeakRelease:
+    D.Imm = static_cast<uint64_t>(Inst.Imm);
+    break;
+  default:
+    break;
+  }
+
+  if (!Inst.Args.empty()) {
+    D.ArgsIdx = static_cast<uint32_t>(ArgPool.size());
+    D.ArgsLen = static_cast<uint16_t>(Inst.Args.size());
+    ArgPool.insert(ArgPool.end(), Inst.Args.begin(), Inst.Args.end());
+  }
+  return D;
+}
+
+void DecodedProgram::init(const Module &M) {
+  Funcs.clear();
+  Funcs.resize(M.Functions.size());
+
+  for (size_t FI = 0; FI != M.Functions.size(); ++FI) {
+    const Function &F = *M.Functions[FI];
+    DecodedFunction &DF = Funcs[FI];
+    DF.Src = &F;
+
+    uint32_t Total = 0;
+    DF.BlockStart.resize(F.Blocks.size());
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      DF.BlockStart[B] = Total;
+      Total += static_cast<uint32_t>(F.Blocks[B].Insts.size());
+    }
+
+    DF.Insts.reserve(Total);
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Instruction &Inst : BB.Insts)
+        DF.Insts.push_back(decodeOne(M, Inst, DF.BlockStart, DF.ArgPool));
+  }
+}

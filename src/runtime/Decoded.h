@@ -1,0 +1,98 @@
+//===- runtime/Decoded.h - Pre-decoded instruction arrays ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's execution format. `ir::Function` stores instructions
+/// as a vector of basic blocks, each a vector of `ir::Instruction` with
+/// out-of-line call-argument vectors — three dependent loads per fetch in
+/// the hot loop, plus per-opcode operand re-resolution (global base
+/// addresses, immediate casts, packed granularity bits). At `Machine`
+/// construction, `DecodedProgram` flattens every function once into a
+/// contiguous `DecodedInst` array:
+///
+///  - blocks are concatenated in id order, and branch successors are
+///    rewritten to flat instruction indices, so taking a branch is a
+///    single index assignment instead of a (block, index) pair reset;
+///  - call/spawn argument registers live in one per-function pool,
+///    addressed by (offset, length);
+///  - operands that are constant for the lifetime of the module are
+///    resolved at decode time: `AddrGlobal` carries the laid-out base
+///    address, `ConstInt` the already-cast word, `WeakAcquire` its
+///    unpacked site granularity.
+///
+/// Decoding is a pure view: the `ir::Module` stays the source of truth
+/// and is never mutated, so analyses and the instrumenter are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_DECODED_H
+#define CHIMERA_RUNTIME_DECODED_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// One flattened instruction. Field use mirrors `ir::Instruction` except
+/// where decoding resolves a value (see file comment).
+struct DecodedInst {
+  ir::Opcode Op = ir::Opcode::Yield;
+  /// UnOp / BinOp ordinal, or the WeakAcquire site granularity.
+  uint8_t Sub = 0;
+  uint16_t ArgsLen = 0;  ///< Call/Spawn argument count.
+
+  ir::Reg Dst = ir::NoReg;
+  ir::Reg A = ir::NoReg;
+  ir::Reg B = ir::NoReg;
+
+  /// ConstInt: the operand cast to a word. AddrGlobal: the resolved
+  /// global base address. WeakAcquire/WeakRelease: the weak-lock id.
+  uint64_t Imm = 0;
+
+  uint32_t Id = 0;       ///< Function / sync-object id.
+  uint32_t Id2 = 0;      ///< CondWait's mutex id.
+  uint32_t Succ0 = 0;    ///< Flat index of Succ0's first instruction.
+  uint32_t Succ1 = 0;    ///< Flat index of Succ1's first instruction.
+  uint32_t ArgsIdx = 0;  ///< Offset into DecodedFunction::ArgPool.
+
+  ir::InstId Ident = ir::NoInst;
+  uint32_t Line = 0;     ///< Source line for fault diagnostics.
+};
+
+/// A function flattened for execution.
+struct DecodedFunction {
+  const ir::Function *Src = nullptr;
+  std::vector<DecodedInst> Insts;   ///< Blocks concatenated in id order.
+  std::vector<uint32_t> BlockStart; ///< BlockId -> flat index of Insts[0].
+  std::vector<ir::Reg> ArgPool;     ///< Call/Spawn argument registers.
+};
+
+/// All of a module's functions in execution format. Built once per
+/// Machine; immutable afterwards, so threads share it freely.
+class DecodedProgram {
+public:
+  void init(const ir::Module &M);
+
+  const DecodedFunction &function(uint32_t Index) const {
+    assert(Index < Funcs.size() && "function index out of range");
+    return Funcs[Index];
+  }
+
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Funcs.size());
+  }
+
+private:
+  std::vector<DecodedFunction> Funcs;
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_DECODED_H

@@ -4,6 +4,10 @@
 // pending-operation handling (cond-wait mutex reacquisition, forced
 // weak-lock release/reacquisition after revocations).
 //
+// Dispatch runs over the pre-decoded program (Decoded.h): the current
+// frame holds a DecodedFunction pointer plus a flat instruction index, so
+// a fetch is one array load and a taken branch is one index assignment.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Machine.h"
@@ -28,9 +32,8 @@ void Machine::setReg(Thread &T, Reg R, uint64_t Value) {
 
 void Machine::advance(Thread &T) {
   Frame &F = T.frame();
-  assert(F.InstIdx < F.Func->block(F.Block).Insts.size() &&
-         "advance past end of block");
-  ++F.InstIdx;
+  assert(F.Ip < F.DFunc->Insts.size() && "advance past end of function");
+  ++F.Ip;
   ++T.Instret;
   ++Stats.Instructions;
 }
@@ -208,7 +211,7 @@ Machine::Step Machine::finishFrame(Thread &T, uint64_t RetValue,
   ++T.Instret;
   ++Stats.Instructions;
   if (Opts.Observer)
-    Opts.Observer->onFunctionExit(T.Tid, Callee.Func->Index, Now);
+    Opts.Observer->onFunctionExit(T.Tid, Callee.func().Index, Now);
 
   if (T.Stack.empty()) {
     T.RetValue = HasValue ? RetValue : 0;
@@ -223,11 +226,225 @@ Machine::Step Machine::finishFrame(Thread &T, uint64_t RetValue,
   return Step::Continue;
 }
 
+Machine::Step Machine::execFast(Thread &T, unsigned Core, uint64_t MaxInsts,
+                                uint64_t StopTime, uint64_t &Retired) {
+  Frame *F = &T.frame();
+  const DecodedInst *Insts = F->DFunc->Insts.data();
+  uint64_t *Regs = F->Regs.data();
+  uint32_t Ip = F->Ip;
+
+  // Time may already be at or past StopTime on entry (a pending sync op
+  // charged cycles, or binding advanced the clock to the thread's ready
+  // time); the pre-batching loop still executed one instruction before
+  // noticing, so the loop below checks the clock only after retiring.
+  // Every fast opcode charges Time and CpuBusyCycles the same amount, so
+  // the busy total is reconstructed from the Time delta at writeback.
+  const uint64_t TimeStart = Sched.coreTime(Core);
+  uint64_t Time = TimeStart;
+
+  // Costs and segment bounds live in locals for the same reason as the
+  // register file pointer: the stores this loop makes could alias the
+  // members, and the reloads would dominate the per-instruction work.
+  const uint64_t CAlu = Opts.Costs.Alu, CLoad = Opts.Costs.Load,
+                 CStore = Opts.Costs.Store, CBranch = Opts.Costs.Branch,
+                 CCall = Opts.Costs.Call, CRet = Opts.Costs.Ret,
+                 CAlloc = Opts.Costs.AllocOp;
+  Memory::View MV = Mem.view();
+
+  uint64_t N = 0; ///< Instructions retired this chunk.
+  uint64_t MemOps = 0;
+  Step Result = Step::Continue;
+  bool ThreadDone = false;
+  uint64_t FinishNow = 0; ///< Pre-charge time of the finishing Ret.
+
+  while (N != MaxInsts) {
+    const DecodedInst &I = Insts[Ip];
+    switch (I.Op) {
+    case Opcode::ConstInt:
+      Regs[I.Dst] = I.Imm;
+      Time += CAlu;
+      ++Ip;
+      break;
+
+    case Opcode::Move:
+      Regs[I.Dst] = Regs[I.A];
+      Time += CAlu;
+      ++Ip;
+      break;
+
+    case Opcode::Unary: {
+      uint64_t A = Regs[I.A];
+      Regs[I.Dst] = static_cast<UnOp>(I.Sub) == UnOp::Neg
+                        ? static_cast<uint64_t>(-static_cast<int64_t>(A))
+                        : static_cast<uint64_t>(A == 0);
+      Time += CAlu;
+      ++Ip;
+      break;
+    }
+
+    case Opcode::Binary: {
+      bool DivByZero = false;
+      uint64_t V = evalBinary(static_cast<BinOp>(I.Sub), Regs[I.A],
+                              Regs[I.B], DivByZero);
+      if (DivByZero) {
+        fail("division by zero in " + F->func().Name + " (line " +
+             std::to_string(I.Line) + ")");
+        Result = Step::Fault;
+        goto done;
+      }
+      Regs[I.Dst] = V;
+      Time += CAlu;
+      ++Ip;
+      break;
+    }
+
+    case Opcode::AddrGlobal: {
+      uint64_t Addr = I.Imm;
+      if (I.A != NoReg)
+        Addr += Regs[I.A];
+      Regs[I.Dst] = Addr;
+      Time += CAlu;
+      ++Ip;
+      break;
+    }
+
+    case Opcode::PtrAdd:
+      Regs[I.Dst] = Regs[I.A] + Regs[I.B];
+      Time += CAlu;
+      ++Ip;
+      break;
+
+    case Opcode::Load: {
+      const uint64_t *P = MV.access(Regs[I.A]);
+      if (!P) {
+        fail("invalid load address in " + F->func().Name + " (line " +
+             std::to_string(I.Line) + ")");
+        Result = Step::Fault;
+        goto done;
+      }
+      Regs[I.Dst] = *P;
+      ++MemOps;
+      Time += CLoad;
+      ++Ip;
+      break;
+    }
+
+    case Opcode::Store: {
+      uint64_t *P = MV.access(Regs[I.A]);
+      if (!P) {
+        fail("invalid store address in " + F->func().Name + " (line " +
+             std::to_string(I.Line) + ")");
+        Result = Step::Fault;
+        goto done;
+      }
+      *P = Regs[I.B];
+      ++MemOps;
+      Time += CStore;
+      ++Ip;
+      break;
+    }
+
+    case Opcode::Br:
+      Ip = I.Succ0;
+      Time += CBranch;
+      break;
+
+    case Opcode::CondBr:
+      Ip = Regs[I.A] != 0 ? I.Succ0 : I.Succ1;
+      Time += CBranch;
+      break;
+
+    case Opcode::Alloc: {
+      uint64_t Words = Regs[I.A];
+      uint64_t Addr = Mem.allocate(Words);
+      if (!Addr) {
+        fail("heap exhausted allocating " + std::to_string(Words) +
+             " words");
+        Result = Step::Fault;
+        goto done;
+      }
+      MV = Mem.view(); // allocate() moved the heap bound.
+      Regs[I.Dst] = Addr;
+      Time += CAlloc;
+      ++Ip;
+      break;
+    }
+
+    case Opcode::Call: {
+      const DecodedFunction &Callee = Prog.function(I.Id);
+      Frame NewFrame;
+      NewFrame.DFunc = &Callee;
+      NewFrame.Regs.assign(Callee.Src->NumRegs, 0);
+      const Reg *Args = F->DFunc->ArgPool.data() + I.ArgsIdx;
+      for (uint16_t J = 0; J != I.ArgsLen; ++J)
+        NewFrame.Regs[J] = Regs[Args[J]];
+      NewFrame.RetDst = I.Dst;
+      Time += CCall;
+      F->Ip = Ip + 1; // Caller resumes after the call.
+      T.Stack.push_back(std::move(NewFrame));
+      // The push may reallocate the stack; rehoist the frame state.
+      F = &T.Stack.back();
+      Insts = F->DFunc->Insts.data();
+      Regs = F->Regs.data();
+      Ip = 0;
+      break;
+    }
+
+    case Opcode::Ret: {
+      bool HasValue = I.A != NoReg;
+      uint64_t Value = HasValue ? Regs[I.A] : 0;
+      uint64_t Now = Time; // finishFrame sees the pre-charge clock.
+      Time += CRet;
+      ir::Reg RetDst = F->RetDst;
+      T.Stack.pop_back();
+      if (T.Stack.empty()) {
+        T.RetValue = HasValue ? Value : 0;
+        ++N; // The return retires (finishFrame's accounting).
+        ThreadDone = true;
+        FinishNow = Now;
+        Result = Step::Finished;
+        goto done;
+      }
+      F = &T.Stack.back();
+      Insts = F->DFunc->Insts.data();
+      Regs = F->Regs.data();
+      Ip = F->Ip;
+      if (RetDst != NoReg) {
+        assert(HasValue && "value-expecting call returned void");
+        Regs[RetDst] = Value;
+      }
+      break;
+    }
+
+    default:
+      // Scheduler- or log-visible opcode: leave it (unconsumed) for the
+      // generic dispatcher.
+      goto done;
+    }
+
+    ++N;
+    if (Time >= StopTime)
+      break;
+  }
+
+done:
+  if (!ThreadDone)
+    F->Ip = Ip; // The popped frame of a finishing Ret is already gone.
+  Retired = N;
+  T.Instret += N;
+  Stats.Instructions += N;
+  Stats.MemOps += MemOps;
+  Stats.CpuBusyCycles += Time - TimeStart;
+  Sched.setCoreTime(Core, Time);
+  if (ThreadDone)
+    finishThread(T, FinishNow);
+  return Result;
+}
+
 Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
   Frame &F = T.frame();
-  const BasicBlock &BB = F.Func->block(F.Block);
-  assert(F.InstIdx < BB.Insts.size() && "instruction index out of range");
-  const Instruction &Inst = BB.Insts[F.InstIdx];
+  assert(F.Ip < F.DFunc->Insts.size() && "instruction index out of range");
+  const DecodedInst &Inst = F.DFunc->Insts[F.Ip];
   uint64_t Now = Sched.coreTime(Core);
 
   auto charge = [&](uint64_t Cycles) {
@@ -237,7 +454,7 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
 
   switch (Inst.Op) {
   case Opcode::ConstInt:
-    setReg(T, Inst.Dst, static_cast<uint64_t>(Inst.Imm));
+    setReg(T, Inst.Dst, Inst.Imm); // Cast to a word at decode time.
     charge(Opts.Costs.Alu);
     advance(T);
     return Step::Continue;
@@ -250,7 +467,7 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
 
   case Opcode::Unary: {
     uint64_t A = reg(T, Inst.A);
-    uint64_t V = Inst.UOp == UnOp::Neg
+    uint64_t V = static_cast<UnOp>(Inst.Sub) == UnOp::Neg
                      ? static_cast<uint64_t>(-static_cast<int64_t>(A))
                      : static_cast<uint64_t>(A == 0);
     setReg(T, Inst.Dst, V);
@@ -261,11 +478,11 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
 
   case Opcode::Binary: {
     bool DivByZero = false;
-    uint64_t V = evalBinary(Inst.BOp, reg(T, Inst.A), reg(T, Inst.B),
-                            DivByZero);
+    uint64_t V = evalBinary(static_cast<BinOp>(Inst.Sub), reg(T, Inst.A),
+                            reg(T, Inst.B), DivByZero);
     if (DivByZero) {
-      fail("division by zero in " + F.Func->Name + " (line " +
-           std::to_string(Inst.Loc.Line) + ")");
+      fail("division by zero in " + F.func().Name + " (line " +
+           std::to_string(Inst.Line) + ")");
       return Step::Fault;
     }
     setReg(T, Inst.Dst, V);
@@ -275,8 +492,8 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
   }
 
   case Opcode::AddrGlobal: {
-    assert(Inst.Id < M.Globals.size() && "global id out of range");
-    uint64_t Addr = M.Globals[Inst.Id].BaseAddr;
+    // Inst.Imm is the global's laid-out base address (resolved at decode).
+    uint64_t Addr = Inst.Imm;
     if (Inst.A != NoReg)
       Addr += reg(T, Inst.A);
     setReg(T, Inst.Dst, Addr);
@@ -293,49 +510,51 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
 
   case Opcode::Load: {
     uint64_t Addr = reg(T, Inst.A);
-    if (!Mem.valid(Addr)) {
-      fail("invalid load address in " + F.Func->Name + " (line " +
-           std::to_string(Inst.Loc.Line) + ")");
+    // One address classification serves both the bounds check and the
+    // access; a null return faults deterministically in all build types.
+    const uint64_t *P = Mem.access(Addr);
+    if (!P) {
+      fail("invalid load address in " + F.func().Name + " (line " +
+           std::to_string(Inst.Line) + ")");
       return Step::Fault;
     }
-    setReg(T, Inst.Dst, Mem.load(Addr));
+    setReg(T, Inst.Dst, *P);
     ++Stats.MemOps;
     charge(Opts.Costs.Load);
     if (Opts.Observer)
       Opts.Observer->onMemoryAccess(T.Tid, Addr, /*IsWrite=*/false,
-                                    F.Func->Index, Inst.Ident, Now);
+                                    F.func().Index, Inst.Ident, Now);
     advance(T);
     return Step::Continue;
   }
 
   case Opcode::Store: {
     uint64_t Addr = reg(T, Inst.A);
-    if (!Mem.valid(Addr)) {
-      fail("invalid store address in " + F.Func->Name + " (line " +
-           std::to_string(Inst.Loc.Line) + ")");
+    uint64_t *P = Mem.access(Addr);
+    if (!P) {
+      fail("invalid store address in " + F.func().Name + " (line " +
+           std::to_string(Inst.Line) + ")");
       return Step::Fault;
     }
-    Mem.store(Addr, reg(T, Inst.B));
+    *P = reg(T, Inst.B);
     ++Stats.MemOps;
     charge(Opts.Costs.Store);
     if (Opts.Observer)
       Opts.Observer->onMemoryAccess(T.Tid, Addr, /*IsWrite=*/true,
-                                    F.Func->Index, Inst.Ident, Now);
+                                    F.func().Index, Inst.Ident, Now);
     advance(T);
     return Step::Continue;
   }
 
   case Opcode::Br:
-    F.Block = Inst.Succ0;
-    F.InstIdx = 0;
+    F.Ip = Inst.Succ0;
     ++T.Instret;
     ++Stats.Instructions;
     charge(Opts.Costs.Branch);
     return Step::Continue;
 
   case Opcode::CondBr:
-    F.Block = reg(T, Inst.A) != 0 ? Inst.Succ0 : Inst.Succ1;
-    F.InstIdx = 0;
+    F.Ip = reg(T, Inst.A) != 0 ? Inst.Succ0 : Inst.Succ1;
     ++T.Instret;
     ++Stats.Instructions;
     charge(Opts.Costs.Branch);
@@ -349,18 +568,19 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
   }
 
   case Opcode::Call: {
-    const Function &Callee = M.function(Inst.Id);
+    const DecodedFunction &Callee = Prog.function(Inst.Id);
     Frame NewFrame;
-    NewFrame.Func = &Callee;
-    NewFrame.Regs.assign(Callee.NumRegs, 0);
-    for (size_t I = 0; I != Inst.Args.size(); ++I)
-      NewFrame.Regs[I] = reg(T, Inst.Args[I]);
+    NewFrame.DFunc = &Callee;
+    NewFrame.Regs.assign(Callee.Src->NumRegs, 0);
+    const Reg *Args = F.DFunc->ArgPool.data() + Inst.ArgsIdx;
+    for (uint16_t I = 0; I != Inst.ArgsLen; ++I)
+      NewFrame.Regs[I] = reg(T, Args[I]);
     NewFrame.RetDst = Inst.Dst;
     charge(Opts.Costs.Call);
     advance(T); // Caller resumes after the call.
     T.Stack.push_back(std::move(NewFrame));
     if (Opts.Observer)
-      Opts.Observer->onFunctionEnter(T.Tid, Callee.Index, Now);
+      Opts.Observer->onFunctionEnter(T.Tid, Callee.Src->Index, Now);
     return Step::Continue;
   }
 
@@ -415,7 +635,7 @@ Machine::Step Machine::execInstruction(Thread &T, unsigned Core) {
     uint64_t Lo = HasRange ? reg(T, Inst.A) : 0;
     uint64_t Hi = HasRange ? reg(T, Inst.B) : 0;
     return doWeakAcquire(T, static_cast<uint32_t>(Inst.Imm),
-                         /*SiteGran=*/Inst.Id2 & 3, HasRange, Lo, Hi, Core);
+                         /*SiteGran=*/Inst.Sub, HasRange, Lo, Hi, Core);
   }
 
   case Opcode::WeakRelease:

@@ -5,8 +5,8 @@
 // interpretation lives in Interpreter.cpp.
 //
 // Instruction-advance convention: every operation that completes calls
-// advance() (or manipulates Block/InstIdx for terminators) exactly once,
-// either inline or out-of-band in the waker that completes it. The
+// advance() (or assigns the frame's flat Ip for terminators) exactly
+// once, either inline or out-of-band in the waker that completes it. The
 // dispatcher never advances.
 //
 //===----------------------------------------------------------------------===//
@@ -39,6 +39,7 @@ Machine::Machine(const ir::Module &M, MachineOptions Opts)
   assert((Opts.Mode != ExecMode::Replay || Opts.ReplayLog) &&
          "replay mode requires a log");
 
+  Prog.init(M);
   Mem.init(M);
   Syncs.init(M);
   Weak.init(static_cast<uint32_t>(M.WeakLocks.size()));
@@ -63,6 +64,7 @@ Machine::Machine(const ir::Module &M, MachineOptions Opts)
       if (Rev.Tid < PendingRevocations.size())
         PendingRevocations[Rev.Tid].push_back(Rev);
     RevocationCursor.assign(RL.NumThreads, 0);
+    HasRevocations = !RL.Revocations.empty();
   }
 }
 
@@ -82,7 +84,7 @@ void Machine::startThread(uint32_t FuncId,
   T->ReadyTime = Now;
 
   Frame F;
-  F.Func = &Func;
+  F.DFunc = &Prog.function(FuncId);
   F.Regs.assign(Func.NumRegs, 0);
   std::copy(Args.begin(), Args.end(), F.Regs.begin());
   T->Stack.push_back(std::move(F));
@@ -92,6 +94,7 @@ void Machine::startThread(uint32_t FuncId,
   PendingMutex.push_back(-1);
   Sched.addReady(Tid, Now);
   ++Stats.SpawnedThreads;
+  ++LiveThreads;
 
   if (Opts.Observer) {
     Opts.Observer->onThreadStart(Tid, ParentTid, FuncId, Now);
@@ -112,6 +115,8 @@ void Machine::makeReady(uint32_t Tid, uint64_t Now) {
 
 void Machine::finishThread(Thread &T, uint64_t Now) {
   T.State = ThreadState::Finished;
+  assert(LiveThreads > 0 && "finishing with no live threads");
+  --LiveThreads;
   if (Opts.Observer)
     Opts.Observer->onThreadFinish(T.Tid, Now);
 
@@ -125,12 +130,7 @@ void Machine::finishThread(Thread &T, uint64_t Now) {
   T.JoinWaiters.clear();
 }
 
-bool Machine::allFinished() const {
-  for (const auto &T : Threads)
-    if (T->State != ThreadState::Finished)
-      return false;
-  return true;
-}
+bool Machine::allFinished() const { return LiveThreads == 0; }
 
 void Machine::fail(const std::string &Message) {
   if (Failed)
@@ -196,10 +196,6 @@ ExecutionResult Machine::run() {
   CoreSliceEnd.assign(Opts.NumCores, 0);
   startThread(M.MainFunction, {}, /*ParentTid=*/0, /*Now=*/0);
 
-  uint64_t WeakCheckTick = 0;
-  bool HasRevocations =
-      isReplay() && !Opts.ReplayLog->Revocations.empty();
-
   while (!Failed && !allFinished()) {
     unsigned Core = Sched.minTimeCore();
     uint64_t Now = Sched.coreTime(Core);
@@ -252,10 +248,8 @@ ExecutionResult Machine::run() {
         checkWeakTimeouts(Sched.coreTime(Core));
       continue;
     }
-
-    if (!isReplay() && !M.WeakLocks.empty() &&
-        (++WeakCheckTick & 0x3f) == 0)
-      checkWeakTimeouts(Sched.coreTime(Core));
+    // Weak-timeout polling for dispatched instructions happens inside
+    // stepCore, once per instruction (the pre-batching cadence).
   }
 
   ExecutionResult Result;
@@ -297,52 +291,137 @@ bool Machine::stepCore(unsigned Core) {
     CoreSliceEnd[Core] = Sched.coreTime(Core) + Quantum;
   }
 
+  const bool PollWeak = !isReplay() && !M.WeakLocks.empty();
+
   Thread &T = *Threads[CoreThread[Core]];
   if (Failed) {
     if (T.State == ThreadState::Running)
       T.State = ThreadState::Faulted;
     CoreThread[Core] = -1;
+    // The pre-batching loop ticked the weak-timeout counter after every
+    // dispatch, including this one.
+    if (PollWeak && (++WeakCheckTick & 0x3f) == 0)
+      checkWeakTimeouts(Sched.coreTime(Core));
     return true;
   }
 
-  Step S = execPending(T, Core);
-  if (S == Step::Continue)
-    S = execInstruction(T, Core);
+  // Dispatch a bounded batch of instructions without returning to the
+  // main loop. Batching is invisible to the simulation: between
+  // instructions of one batch the only machine state the main loop could
+  // act on is (a) another core becoming the minimum-clock core, (b) a
+  // sleeper's wake time arriving, or (c) a replayed machine-side forced
+  // release becoming applicable — other cores' clocks and the sleeper
+  // set cannot change while this thread runs straight-line code. The
+  // batch therefore ends at the first instruction after which (a) or (b)
+  // could hold, and is disabled outright for (c), making every batch
+  // size produce the bit-identical schedule, log, and result.
+  uint64_t Batch = HasRevocations ? 1 : Opts.DispatchBatch;
+  if (Batch == 0)
+    Batch = 1;
 
-  switch (S) {
-  case Step::Continue:
-    if (Stats.Instructions > Opts.MaxInstructions) {
-      fail("instruction budget exceeded (runaway program?)");
-      CoreThread[Core] = -1;
-      return true;
+  // This core keeps being picked by minTimeCore() while its clock is
+  // strictly below every lower-index core's and at most every
+  // higher-index core's (ties go to the lowest index).
+  uint64_t TimeLimit = UINT64_MAX;
+  for (unsigned C = 0; C != Opts.NumCores; ++C) {
+    if (C == Core)
+      continue;
+    uint64_t Lim = Sched.coreTime(C) + (C > Core ? 1 : 0);
+    TimeLimit = std::min(TimeLimit, Lim);
+  }
+  const uint64_t NextWake = SleepingThreads ? nextWakeTime() : UINT64_MAX;
+
+  // With no observer attached, straight-line runs of pure instructions
+  // go through execFast, which retires a whole chunk with machine state
+  // hoisted into locals. A chunk of R retired instructions stands for R
+  // dispatch attempts of the pre-batching loop (execPending is provably
+  // vacuous between pure instructions: nothing in a chunk can set a
+  // pending mutex or reacquisition, and replay-with-revocations forces
+  // Batch = 1). The chunk bound keeps every per-attempt observation
+  // intact: it never crosses the batch end, a weak-poll tick boundary,
+  // or the instruction budget, and execFast itself stops the moment the
+  // core clock reaches the earliest of TimeLimit/NextWake/slice end.
+  const bool FastPath = Opts.Observer == nullptr;
+
+  for (;;) {
+    uint64_t Attempts = 1;
+    Step S = execPending(T, Core);
+    if (S == Step::Continue) {
+      if (FastPath) {
+        uint64_t CountLimit = Batch;
+        if (PollWeak)
+          CountLimit = std::min(CountLimit, 64 - (WeakCheckTick & 0x3f));
+        CountLimit = std::min(CountLimit,
+                              Opts.MaxInstructions + 1 - Stats.Instructions);
+        uint64_t StopTime =
+            std::min({TimeLimit, NextWake, CoreSliceEnd[Core]});
+        uint64_t Retired = 0;
+        S = execFast(T, Core, CountLimit, StopTime, Retired);
+        if (Retired == 0 && S == Step::Continue)
+          S = execInstruction(T, Core); // Non-fast op heads the chunk.
+        else
+          Attempts = Retired + (S == Step::Fault ? 1 : 0);
+      } else {
+        S = execInstruction(T, Core);
+      }
     }
-    if (Sched.coreTime(Core) >= CoreSliceEnd[Core]) {
+
+    bool StayBound = false;
+    switch (S) {
+    case Step::Continue:
+      if (Stats.Instructions > Opts.MaxInstructions) {
+        fail("instruction budget exceeded (runaway program?)");
+        CoreThread[Core] = -1;
+        break;
+      }
+      if (Sched.coreTime(Core) >= CoreSliceEnd[Core]) {
+        T.State = ThreadState::Ready;
+        T.ReadyTime = Sched.coreTime(Core);
+        Sched.addReady(T.Tid, T.ReadyTime);
+        CoreThread[Core] = -1;
+        break;
+      }
+      StayBound = true;
+      break;
+    case Step::Yielded:
       T.State = ThreadState::Ready;
       T.ReadyTime = Sched.coreTime(Core);
       Sched.addReady(T.Tid, T.ReadyTime);
       CoreThread[Core] = -1;
+      break;
+    case Step::Blocked:
+      // Per-thread times are monotonic: when next woken, the thread
+      // resumes no earlier than where it blocked.
+      T.ReadyTime = std::max(T.ReadyTime, Sched.coreTime(Core));
+      if (T.State == ThreadState::Sleeping)
+        ++SleepingThreads;
+      CoreThread[Core] = -1;
+      break;
+    case Step::Finished:
+    case Step::Fault:
+      CoreThread[Core] = -1;
+      break;
     }
-    return true;
-  case Step::Yielded:
-    T.State = ThreadState::Ready;
-    T.ReadyTime = Sched.coreTime(Core);
-    Sched.addReady(T.Tid, T.ReadyTime);
-    CoreThread[Core] = -1;
-    return true;
-  case Step::Blocked:
-    // Per-thread times are monotonic: when next woken, the thread
-    // resumes no earlier than where it blocked.
-    T.ReadyTime = std::max(T.ReadyTime, Sched.coreTime(Core));
-    if (T.State == ThreadState::Sleeping)
-      ++SleepingThreads;
-    CoreThread[Core] = -1;
-    return true;
-  case Step::Finished:
-  case Step::Fault:
-    CoreThread[Core] = -1;
-    return true;
+
+    // Weak-timeout polling at the pre-batching cadence: one tick per
+    // dispatch attempt, check every 64. The chunk bound above never lets
+    // a fast-path chunk cross a tick boundary, so the boundary test here
+    // fires for exactly the attempts it would have pre-batching. A
+    // performed revocation may move another core's clock, so it also
+    // ends the batch.
+    bool Revoked = false;
+    if (PollWeak) {
+      WeakCheckTick += Attempts;
+      if ((WeakCheckTick & 0x3f) == 0)
+        Revoked = checkWeakTimeouts(Sched.coreTime(Core));
+    }
+
+    if (!StayBound || Revoked || Failed || Attempts >= Batch ||
+        Sched.coreTime(Core) >= TimeLimit ||
+        Sched.coreTime(Core) >= NextWake)
+      return true;
+    Batch -= Attempts;
   }
-  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -674,7 +753,7 @@ Machine::Step Machine::doCondSignal(Thread &T, uint32_t CondId,
 // Threads: spawn / join
 //===----------------------------------------------------------------------===//
 
-Machine::Step Machine::doSpawn(Thread &T, const ir::Instruction &Inst,
+Machine::Step Machine::doSpawn(Thread &T, const DecodedInst &Inst,
                                unsigned Core) {
   uint64_t Now = Sched.coreTime(Core);
   uint32_t TableObj = Log.threadTableObject();
@@ -693,9 +772,10 @@ Machine::Step Machine::doSpawn(Thread &T, const ir::Instruction &Inst,
   Stats.CpuBusyCycles += Opts.Costs.SpawnCost;
 
   std::vector<uint64_t> Args;
-  Args.reserve(Inst.Args.size());
-  for (ir::Reg R : Inst.Args)
-    Args.push_back(reg(T, R));
+  Args.reserve(Inst.ArgsLen);
+  const ir::Reg *ArgRegs = T.frame().DFunc->ArgPool.data() + Inst.ArgsIdx;
+  for (uint16_t I = 0; I != Inst.ArgsLen; ++I)
+    Args.push_back(reg(T, ArgRegs[I]));
 
   uint32_t ChildTid = static_cast<uint32_t>(Threads.size());
   startThread(Inst.Id, Args, T.Tid, Sched.coreTime(Core));
@@ -985,10 +1065,12 @@ Machine::Step Machine::doWeakRelease(Thread &T, uint32_t LockId,
   return Step::Continue;
 }
 
-void Machine::checkWeakTimeouts(uint64_t Now) {
+bool Machine::checkWeakTimeouts(uint64_t Now) {
   WeakLockManager::Timeout TO = Weak.findTimeout(Now, Opts.WeakLockTimeout);
-  if (TO.Found)
-    performRevocation(TO, Now);
+  if (!TO.Found)
+    return false;
+  performRevocation(TO, Now);
+  return true;
 }
 
 void Machine::performRevocation(const WeakLockManager::Timeout &TO,

@@ -33,6 +33,7 @@
 
 #include "ir/Module.h"
 #include "runtime/CostModel.h"
+#include "runtime/Decoded.h"
 #include "runtime/ExecutionLog.h"
 #include "runtime/Memory.h"
 #include "runtime/Observer.h"
@@ -64,6 +65,14 @@ struct MachineOptions {
   /// Weak-lock revocation threshold in cycles. Generous by default so
   /// that (as in the paper) benchmarks never time out; tests shrink it.
   uint64_t WeakLockTimeout = 500'000'000;
+
+  /// Upper bound on instructions dispatched to a core per scheduling
+  /// decision. Purely a host-side amortization knob: the batch ends
+  /// early at any point where another core, sleeper wakeup, or slice
+  /// expiry could be observed, so results (hashes, logs, stats) are
+  /// bit-identical for every value; 1 reproduces unbatched dispatch
+  /// instruction for instruction.
+  unsigned DispatchBatch = 64;
 
   /// Hard cap to catch runaway simulations.
   uint64_t MaxInstructions = 2'000'000'000;
@@ -125,9 +134,12 @@ private:
   // -- Top-level loop (Machine.cpp).
   void startThread(uint32_t FuncId, const std::vector<uint64_t> &Args,
                    uint32_t ParentTid, uint64_t Now);
-  /// Executes one instruction (plus pending ops) of the thread bound to
-  /// \p Core, binding a new thread first if the core is idle. Returns
-  /// false when the core could make no progress.
+  /// Dispatches up to Opts.DispatchBatch instructions (each preceded by
+  /// pending-op handling) of the thread bound to \p Core, binding a new
+  /// thread first if the core is idle. The batch ends at the first point
+  /// where the main loop's per-instruction observations could differ
+  /// from re-entering it (see the implementation). Returns false when
+  /// the core could make no progress.
   bool stepCore(unsigned Core);
   bool wakeSleepers(uint64_t Now);
   uint64_t nextWakeTime() const;
@@ -137,6 +149,15 @@ private:
 
   // -- Per-instruction execution (Interpreter.cpp).
   Step execInstruction(Thread &T, unsigned Core);
+  /// Fast path: retires up to \p MaxInsts straight-line instructions
+  /// (ALU/memory/branch/call/ret — nothing scheduler- or log-visible)
+  /// with frame, register file, and core clock hoisted into locals,
+  /// stopping early once the core clock reaches \p StopTime or the next
+  /// opcode needs the generic path. \p Retired reports the count; state
+  /// is written back exactly as if each instruction had been dispatched
+  /// individually. Only called when no observer is attached.
+  Step execFast(Thread &T, unsigned Core, uint64_t MaxInsts,
+                uint64_t StopTime, uint64_t &Retired);
   Step execPending(Thread &T, unsigned Core); ///< Revocations/reacquires.
   void advance(Thread &T);          ///< Move past the current instruction.
   uint64_t reg(Thread &T, ir::Reg R) const;
@@ -166,7 +187,7 @@ private:
                   unsigned Core);
   Step doCondSignal(Thread &T, uint32_t CondId, bool Broadcast,
                     unsigned Core);
-  Step doSpawn(Thread &T, const ir::Instruction &Inst, unsigned Core);
+  Step doSpawn(Thread &T, const DecodedInst &Inst, unsigned Core);
   Step doJoin(Thread &T, uint32_t ChildTid, unsigned Core);
   Step doOutput(Thread &T, uint64_t Value, unsigned Core);
   Step doInputOp(Thread &T, InputKind Kind, ir::Reg Dst, unsigned Core);
@@ -178,7 +199,9 @@ private:
   void grantMutexToNextWaiter(uint32_t MutexId, uint64_t Now,
                               unsigned Core);
   void grantWeakWaiters(uint32_t LockId, uint64_t Now);
-  void checkWeakTimeouts(uint64_t Now);
+  /// Returns true when a revocation was performed (it may touch another
+  /// core's clock, so a dispatch batch must end).
+  bool checkWeakTimeouts(uint64_t Now);
   void performRevocation(const WeakLockManager::Timeout &TO, uint64_t Now);
   void makeReady(uint32_t Tid, uint64_t Now);
   void finishThread(Thread &T, uint64_t Now);
@@ -187,6 +210,7 @@ private:
 
   const ir::Module &M;
   MachineOptions Opts;
+  DecodedProgram Prog; ///< Execution-format view of M (built once).
   Memory Mem;
   SyncObjectTable Syncs;
   WeakLockManager Weak;
@@ -218,6 +242,12 @@ private:
   std::vector<int64_t> CoreThread;
   std::vector<uint64_t> CoreSliceEnd;
   unsigned SleepingThreads = 0;
+  unsigned LiveThreads = 0;   ///< Threads not yet Finished (O(1) allFinished).
+  uint64_t WeakCheckTick = 0; ///< Weak-timeout cadence (one per instruction).
+  /// Replaying a log that contains revocations: machine-side forced
+  /// releases must be re-checked before every instruction, so dispatch
+  /// batching is disabled.
+  bool HasRevocations = false;
 };
 
 } // namespace rt

@@ -14,40 +14,41 @@ void Memory::init(const ir::Module &M, uint64_t HeapCapacityWords) {
     for (uint32_t I = 0; I != G.SizeWords; ++I)
       GlobalSeg[Offset + I] = static_cast<uint64_t>(G.Init);
   }
-  HeapSeg.assign(HeapCapacityWords, 0);
+  // The heap is grown lazily: reserving keeps the backing storage stable
+  // (so Views survive allocate()) without paying to zero the whole
+  // capacity up front — constructing a Machine for a program that never
+  // allocates costs nothing here.
+  HeapCapacity = HeapCapacityWords;
+  HeapSeg.clear();
+  HeapSeg.reserve(HeapCapacityWords);
   HeapUsed = 0;
 }
 
-bool Memory::valid(uint64_t Addr) const {
-  if (Addr >= ir::Module::GlobalBase &&
-      Addr < ir::Module::GlobalBase + GlobalSeg.size())
-    return true;
-  return Addr >= ir::Module::HeapBase &&
-         Addr < ir::Module::HeapBase + HeapUsed;
-}
-
 uint64_t Memory::load(uint64_t Addr) const {
-  assert(valid(Addr) && "load from invalid address");
-  if (Addr >= ir::Module::HeapBase)
-    return HeapSeg[Addr - ir::Module::HeapBase];
-  return GlobalSeg[Addr - ir::Module::GlobalBase];
+  const uint64_t *P = access(Addr);
+  assert(P && "load from invalid address");
+  // Defined (if wrong) behavior in NDEBUG builds; the interpreter uses
+  // access() directly and faults instead of ever reaching this.
+  return P ? *P : 0;
 }
 
 void Memory::store(uint64_t Addr, uint64_t Value) {
-  assert(valid(Addr) && "store to invalid address");
-  if (Addr >= ir::Module::HeapBase)
-    HeapSeg[Addr - ir::Module::HeapBase] = Value;
-  else
-    GlobalSeg[Addr - ir::Module::GlobalBase] = Value;
+  uint64_t *P = access(Addr);
+  assert(P && "store to invalid address");
+  if (P)
+    *P = Value;
 }
 
 uint64_t Memory::allocate(uint64_t Words) {
   if (Words == 0)
     Words = 1;
-  if (HeapUsed + Words > HeapSeg.size())
+  // Subtract-form check cannot wrap (HeapUsed <= HeapCapacity), so even
+  // absurd requests fail cleanly instead of overflowing the sum.
+  if (Words > HeapCapacity - HeapUsed)
     return 0;
   uint64_t Base = ir::Module::HeapBase + HeapUsed;
   HeapUsed += Words;
+  HeapSeg.resize(HeapUsed, 0); // Within the reservation; never moves.
   return Base;
 }
 

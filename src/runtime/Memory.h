@@ -28,7 +28,57 @@ public:
   /// Initializes segments from \p M (which must have laid-out globals).
   void init(const ir::Module &M, uint64_t HeapCapacityWords = 1u << 22);
 
-  bool valid(uint64_t Addr) const;
+  bool valid(uint64_t Addr) const { return access(Addr) != nullptr; }
+
+  /// Maps \p Addr to its backing word, or null when the address is not
+  /// in the global segment or the allocated heap. This is the
+  /// interpreter's accessor: one classification serves both the bounds
+  /// check and the access, and an invalid address is reported by the
+  /// null return in every build type (never by a vanishing assert), so
+  /// wild loads/stores become a deterministic Step::Fault.
+  const uint64_t *access(uint64_t Addr) const {
+    // Unsigned wrap makes the two range checks single comparisons.
+    uint64_t GlobalOff = Addr - ir::Module::GlobalBase;
+    if (GlobalOff < GlobalSeg.size())
+      return &GlobalSeg[GlobalOff];
+    uint64_t HeapOff = Addr - ir::Module::HeapBase;
+    if (HeapOff < HeapUsed)
+      return &HeapSeg[HeapOff];
+    return nullptr;
+  }
+  uint64_t *access(uint64_t Addr) {
+    return const_cast<uint64_t *>(
+        static_cast<const Memory *>(this)->access(Addr));
+  }
+
+  /// A snapshot of the segment bounds for the interpreter's fast path.
+  /// Stores the interpreter makes through raw uint64_t pointers may
+  /// legally alias this object's members, so accessing memory via the
+  /// member function forces the compiler to reload the bounds after every
+  /// store; a View keeps them in registers. Both segments are allocated
+  /// in full at init() (allocate() only bumps HeapUsed), so a View stays
+  /// valid until the next allocate().
+  struct View {
+    uint64_t *GlobalData = nullptr;
+    uint64_t GlobalSize = 0;
+    uint64_t *HeapData = nullptr;
+    uint64_t HeapUsed = 0;
+
+    /// Same classification as Memory::access.
+    uint64_t *access(uint64_t Addr) const {
+      uint64_t GlobalOff = Addr - ir::Module::GlobalBase;
+      if (GlobalOff < GlobalSize)
+        return GlobalData + GlobalOff;
+      uint64_t HeapOff = Addr - ir::Module::HeapBase;
+      if (HeapOff < HeapUsed)
+        return HeapData + HeapOff;
+      return nullptr;
+    }
+  };
+
+  View view() {
+    return {GlobalSeg.data(), GlobalSeg.size(), HeapSeg.data(), HeapUsed};
+  }
 
   /// Loads the word at \p Addr. \p Addr must be valid.
   uint64_t load(uint64_t Addr) const;
@@ -48,7 +98,10 @@ public:
 
 private:
   std::vector<uint64_t> GlobalSeg;
+  /// Sized to HeapUsed (grown by allocate) inside a fixed reservation of
+  /// HeapCapacity words, so unused heap is never touched or zeroed.
   std::vector<uint64_t> HeapSeg;
+  uint64_t HeapCapacity = 0;
   uint64_t HeapUsed = 0;
 };
 

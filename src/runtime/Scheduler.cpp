@@ -12,6 +12,7 @@ void Scheduler::init(unsigned NumCores) {
   assert(NumCores > 0 && "need at least one core");
   CoreTimes.assign(NumCores, 0);
   ReadyQueue.clear();
+  Head = 0;
 }
 
 unsigned Scheduler::minTimeCore() const {
@@ -26,36 +27,58 @@ uint64_t Scheduler::maxTime() const {
   return *std::max_element(CoreTimes.begin(), CoreTimes.end());
 }
 
-uint32_t Scheduler::popReady(Rng *Rand, uint64_t Now) {
-  assert(!ReadyQueue.empty() && "popReady on empty queue");
+void Scheduler::compactReady() {
+  if (Head == ReadyQueue.size()) {
+    // Empty: recycle the buffer in place.
+    ReadyQueue.clear();
+    Head = 0;
+  } else if (Head >= 64 && Head >= ReadyQueue.size() - Head) {
+    // The dead prefix dominates; slide the live entries down.
+    ReadyQueue.erase(ReadyQueue.begin(),
+                     ReadyQueue.begin() + static_cast<ptrdiff_t>(Head));
+    Head = 0;
+  }
+}
 
-  // Indices of threads runnable right now.
-  std::vector<size_t> Runnable;
-  for (size_t I = 0; I != ReadyQueue.size(); ++I)
+uint32_t Scheduler::popReady(Rng *Rand, uint64_t Now) {
+  assert(hasReady() && "popReady on empty queue");
+
+  // Indices of threads runnable right now (FIFO arrival order).
+  RunnableScratch.clear();
+  for (size_t I = Head; I != ReadyQueue.size(); ++I)
     if (ReadyQueue[I].ReadyTime <= Now)
-      Runnable.push_back(I);
+      RunnableScratch.push_back(static_cast<uint32_t>(I));
 
   size_t Index;
-  if (!Runnable.empty()) {
-    size_t Pick = Rand && Runnable.size() > 1
-                      ? static_cast<size_t>(Rand->nextBelow(Runnable.size()))
-                      : 0;
-    Index = Runnable[Pick];
+  if (!RunnableScratch.empty()) {
+    size_t Pick =
+        Rand && RunnableScratch.size() > 1
+            ? static_cast<size_t>(Rand->nextBelow(RunnableScratch.size()))
+            : 0;
+    Index = RunnableScratch[Pick];
   } else {
-    Index = 0;
-    for (size_t I = 1; I != ReadyQueue.size(); ++I)
+    Index = Head;
+    for (size_t I = Head + 1; I != ReadyQueue.size(); ++I)
       if (ReadyQueue[I].ReadyTime < ReadyQueue[Index].ReadyTime)
         Index = I;
   }
   uint32_t Tid = ReadyQueue[Index].Tid;
-  ReadyQueue.erase(ReadyQueue.begin() + Index);
+  if (Index == Head)
+    ++Head; // Front pop: O(1), no element movement.
+  else
+    ReadyQueue.erase(ReadyQueue.begin() + static_cast<ptrdiff_t>(Index));
+  compactReady();
   return Tid;
 }
 
 bool Scheduler::removeReady(uint32_t Tid) {
-  for (auto It = ReadyQueue.begin(); It != ReadyQueue.end(); ++It) {
-    if (It->Tid == Tid) {
-      ReadyQueue.erase(It);
+  for (size_t I = Head; I != ReadyQueue.size(); ++I) {
+    if (ReadyQueue[I].Tid == Tid) {
+      if (I == Head)
+        ++Head;
+      else
+        ReadyQueue.erase(ReadyQueue.begin() + static_cast<ptrdiff_t>(I));
+      compactReady();
       return true;
     }
   }

@@ -10,6 +10,13 @@
 /// core with the smallest clock, which approximates a real multicore
 /// while keeping the whole simulation deterministic for a given RNG seed.
 ///
+/// The ready queue is a flat ring over a vector: a head cursor advances
+/// on front pops (the dominant case — threads usually leave in arrival
+/// order) and the dead prefix is recycled once the queue drains, so the
+/// steady state of block/wake cycles performs no allocation at all,
+/// unlike the chunk churn of a std::deque. Pop semantics — candidate
+/// set, ordering, and RNG draws — are identical to a plain FIFO scan.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHIMERA_RUNTIME_SCHEDULER_H
@@ -19,7 +26,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 namespace chimera {
@@ -48,8 +54,8 @@ public:
   void addReady(uint32_t Tid, uint64_t ReadyTime) {
     ReadyQueue.push_back({Tid, ReadyTime});
   }
-  bool hasReady() const { return !ReadyQueue.empty(); }
-  size_t readyCount() const { return ReadyQueue.size(); }
+  bool hasReady() const { return Head != ReadyQueue.size(); }
+  size_t readyCount() const { return ReadyQueue.size() - Head; }
 
   /// Removes and returns a ready thread. Threads already runnable at
   /// \p Now are preferred (picking a future-ready thread would idle the
@@ -68,8 +74,17 @@ private:
     uint32_t Tid;
     uint64_t ReadyTime;
   };
+
+  /// Reclaims the consumed prefix when it is cheap or mandatory.
+  void compactReady();
+
   std::vector<uint64_t> CoreTimes;
-  std::deque<ReadyEntry> ReadyQueue;
+  /// Live entries are [Head, ReadyQueue.size()) in FIFO arrival order.
+  std::vector<ReadyEntry> ReadyQueue;
+  size_t Head = 0;
+  /// Scratch for popReady's runnable-candidate indices (reused across
+  /// calls to avoid a per-pop allocation).
+  std::vector<uint32_t> RunnableScratch;
 };
 
 } // namespace rt

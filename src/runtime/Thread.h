@@ -13,7 +13,7 @@
 #ifndef CHIMERA_RUNTIME_THREAD_H
 #define CHIMERA_RUNTIME_THREAD_H
 
-#include "ir/Function.h"
+#include "runtime/Decoded.h"
 
 #include <cstdint>
 #include <vector>
@@ -21,15 +21,19 @@
 namespace chimera {
 namespace rt {
 
-/// One activation record.
+/// One activation record. Execution state is a pointer into the owning
+/// Machine's pre-decoded program (see Decoded.h): `Ip` indexes the flat
+/// `DFunc->Insts` array, so fetching the next instruction is one load and
+/// taking a branch is one index assignment.
 struct Frame {
-  const ir::Function *Func = nullptr;
-  ir::BlockId Block = 0;
-  uint32_t InstIdx = 0;
+  const DecodedFunction *DFunc = nullptr;
+  uint32_t Ip = 0; ///< Flat index into DFunc->Insts.
   std::vector<uint64_t> Regs;
   /// Caller register to receive the return value (NoReg for none); lives
   /// in the frame *below* the callee's.
   ir::Reg RetDst = ir::NoReg;
+
+  const ir::Function &func() const { return *DFunc->Src; }
 };
 
 enum class ThreadState : uint8_t {

@@ -16,6 +16,15 @@
 /// The manager tracks holders and FIFO waiters per lock; the Machine owns
 /// thread state transitions and logging.
 ///
+/// Conflict queries are sublinear in the holder count: ranged holders are
+/// pairwise disjoint by construction (overlap is a conflict), so each
+/// lock keeps them in an ordered interval map (Lo -> Hi) answering
+/// overlap in O(log holders), plus a whole-object flag for the (at most
+/// one) unranged holder. Waiter-side conflict checks keep FIFO grant
+/// order bit-identical to a plain scan: a bounding box over the queued
+/// ranges short-circuits the common no-overlap case and a precise scan
+/// decides the rest.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHIMERA_RUNTIME_WEAKLOCK_H
@@ -24,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 namespace chimera {
@@ -92,12 +102,39 @@ private:
   struct LockState {
     std::vector<WeakRequest> Holders;
     std::deque<WeakRequest> Waiters;
+
+    /// Interval index over the ranged entries of Holders: Lo -> Hi.
+    /// Admitted holders are pairwise non-conflicting, so ranged holds
+    /// are disjoint intervals and a predecessor lookup answers any
+    /// overlap query exactly.
+    std::map<uint64_t, uint64_t> RangeIdx;
+    /// Number of unranged holders (0 or 1 — an unranged hold excludes
+    /// every other hold).
+    uint32_t UnrangedHolders = 0;
+
+    /// Waiter-side summary for the queue-behind-conflicting-waiters
+    /// check: count of unranged waiters plus a bounding box over the
+    /// ranged waiters' intervals. A request outside the box cannot
+    /// conflict with any ranged waiter; inside it, a precise scan
+    /// decides (the box may be stale-wide after grants, which only
+    /// costs the scan, never correctness).
+    uint32_t UnrangedWaiters = 0;
+    uint64_t WaiterLoMin = UINT64_MAX;
+    uint64_t WaiterHiMax = 0;
   };
 
   static bool conflicts(const WeakRequest &A, bool HasRange, uint64_t Lo,
                         uint64_t Hi);
 
+  /// True when any queued waiter of \p L conflicts with the request.
+  static bool conflictsWithWaiters(const LockState &L, bool HasRange,
+                                   uint64_t Lo, uint64_t Hi);
+
+  static void indexHolder(LockState &L, const WeakRequest &Req);
+  static void rebuildWaiterSummary(LockState &L);
+
   std::vector<LockState> Locks;
+  size_t TotalWaiters = 0; ///< Across all locks (fast timeout early-out).
 };
 
 } // namespace rt

@@ -1,0 +1,91 @@
+//===- tests/determinism_matrix_test.cpp - Batching invariance -------------===//
+//
+// The dispatch-batch size (MachineOptions::DispatchBatch) is a pure
+// host-speed knob: for every value, native, record, and replay runs must
+// produce bit-identical state hashes, outputs, and encoded logs. This
+// matrix pins that contract across workloads with different sharing
+// structure (condvar work queue, barrier-phased loop-locks).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/LogCodec.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace chimera;
+using namespace chimera::workloads;
+
+namespace {
+
+struct ModeResults {
+  uint64_t NativeHash = 0;
+  uint64_t RecordHash = 0;
+  uint64_t ReplayHash = 0;
+  uint64_t Instructions = 0;
+  std::vector<uint64_t> Output;
+  std::vector<uint8_t> EncodedLog;
+};
+
+ModeResults runAtBatch(WorkloadKind Kind, unsigned Batch, uint64_t Seed) {
+  core::PipelineConfig Cfg;
+  Cfg.DispatchBatch = Batch;
+  auto P = buildPipelineEx(Kind, 4, Cfg);
+  EXPECT_TRUE(static_cast<bool>(P)) << P.error().message();
+
+  ModeResults R;
+  rt::ExecutionResult Nat = (*P)->runOriginalNative(Seed);
+  EXPECT_TRUE(Nat.Ok) << Nat.Error;
+  R.NativeHash = Nat.StateHash;
+  R.Instructions = Nat.Stats.Instructions;
+  R.Output = Nat.Output;
+
+  rt::ExecutionResult Rec = (*P)->record(Seed);
+  EXPECT_TRUE(Rec.Ok) << Rec.Error;
+  R.RecordHash = Rec.StateHash;
+  R.EncodedLog = replay::encodeLog(Rec.Log);
+
+  rt::ExecutionResult Rep = (*P)->replay(Rec.Log);
+  EXPECT_TRUE(Rep.Ok) << Rep.Error;
+  R.ReplayHash = Rep.StateHash;
+  EXPECT_EQ(Rec.StateHash, Rep.StateHash) << "record/replay divergence";
+  return R;
+}
+
+void expectMatrixInvariant(WorkloadKind Kind, uint64_t Seed) {
+  ModeResults Base = runAtBatch(Kind, 1, Seed);
+  for (unsigned Batch : {16u, 256u}) {
+    ModeResults At = runAtBatch(Kind, Batch, Seed);
+    EXPECT_EQ(Base.NativeHash, At.NativeHash)
+        << workloadInfo(Kind).Name << " native hash drifts at batch "
+        << Batch;
+    EXPECT_EQ(Base.RecordHash, At.RecordHash)
+        << workloadInfo(Kind).Name << " record hash drifts at batch "
+        << Batch;
+    EXPECT_EQ(Base.ReplayHash, At.ReplayHash)
+        << workloadInfo(Kind).Name << " replay hash drifts at batch "
+        << Batch;
+    EXPECT_EQ(Base.Instructions, At.Instructions)
+        << workloadInfo(Kind).Name << " instruction count drifts at batch "
+        << Batch;
+    EXPECT_EQ(Base.Output, At.Output)
+        << workloadInfo(Kind).Name << " output drifts at batch " << Batch;
+    EXPECT_EQ(Base.EncodedLog, At.EncodedLog)
+        << workloadInfo(Kind).Name
+        << " encoded log is not byte-identical at batch " << Batch;
+  }
+}
+
+} // namespace
+
+TEST(DeterminismMatrix, PfscanBatchInvariant) {
+  expectMatrixInvariant(WorkloadKind::Pfscan, 2012);
+}
+
+TEST(DeterminismMatrix, FftBatchInvariant) {
+  expectMatrixInvariant(WorkloadKind::Fft, 2012);
+}
+
+TEST(DeterminismMatrix, RadixBatchInvariantSecondSeed) {
+  expectMatrixInvariant(WorkloadKind::Radix, 1);
+}

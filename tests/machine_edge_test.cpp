@@ -65,6 +65,51 @@ TEST(Memory, UnitApi) {
   EXPECT_NE(A, B);
 }
 
+// Wild addresses must be a deterministic Step::Fault in every build
+// type (the interpreter classifies through Memory::access, never an
+// assert that vanishes under NDEBUG), and the fault must be identical
+// across runs and dispatch-batch sizes.
+TEST(Memory, InvalidLoadFaultsDeterministically) {
+  auto M = compile("int main() { int* p = alloc(2); output(p[5]); "
+                   "return 0; }");
+  for (unsigned Batch : {1u, 64u}) {
+    MachineOptions MO;
+    MO.DispatchBatch = Batch;
+    auto R = Machine(*M, MO).run();
+    EXPECT_FALSE(R.Ok);
+    EXPECT_NE(R.Error.find("invalid load address in main"),
+              std::string::npos)
+        << R.Error;
+  }
+}
+
+TEST(Memory, InvalidStoreFaultsDeterministically) {
+  auto M = compile("int main() { int* p = alloc(2); p[9] = 7; "
+                   "return 0; }");
+  for (unsigned Batch : {1u, 64u}) {
+    MachineOptions MO;
+    MO.DispatchBatch = Batch;
+    auto R = Machine(*M, MO).run();
+    EXPECT_FALSE(R.Ok);
+    EXPECT_NE(R.Error.find("invalid store address in main"),
+              std::string::npos)
+        << R.Error;
+  }
+}
+
+TEST(Memory, BelowSegmentAddressFaults) {
+  // A negative index wraps the address below the heap base, where no
+  // segment lives; the classification must still fault, not alias into
+  // the global segment.
+  auto M = compile("int main() { int* p = alloc(1); p[0 - 1] = 3; "
+                   "return 0; }");
+  MachineOptions MO;
+  auto R = Machine(*M, MO).run();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("invalid store address"), std::string::npos)
+      << R.Error;
+}
+
 TEST(Memory, StateHashCoversHeap) {
   auto M = compile("int main() { int* p = alloc(4); p[2] = input() & 255; "
                    "return 0; }");
