@@ -25,6 +25,8 @@ struct Row {
   const char *Name = "";
   double NativeSec = 0;     ///< Host wall time, original program.
   double RecordSec = 0;     ///< Host wall time, instrumented record run.
+  double RecordOffSec = 0;  ///< Warm record, MHP filter off.
+  double RecordOnSec = 0;   ///< Warm record, MHP filter on (barrier).
   double InstPerSec = 0;    ///< Simulated instructions/sec (native).
   double SyncPerSec = 0;    ///< Simulated sync-ops/sec (record).
   uint64_t Instructions = 0;
@@ -44,8 +46,9 @@ int main() {
   double TotalNativeSec = 0, TotalRecordSec = 0;
   uint64_t TotalInsts = 0, TotalSyncs = 0;
 
-  std::printf("%-8s %12s %12s %12s %12s\n", "workload", "native-s",
-              "record-s", "Minst/s", "Ksync/s");
+  double TotalOffSec = 0, TotalOnSec = 0;
+  std::printf("%-8s %12s %12s %12s %12s %12s %12s\n", "workload", "native-s",
+              "record-s", "rec-off-s", "rec-on-s", "Minst/s", "Ksync/s");
   for (WorkloadKind Kind : allWorkloads()) {
     auto P = buildPipelineEx(Kind, 4);
     if (!P) {
@@ -73,22 +76,57 @@ int main() {
 
     R.NativeSec = seconds(T0, T1);
     R.RecordSec = seconds(T1, T2);
+
+    // MHP precision benefit at runtime: the filter prunes race pairs,
+    // so the instrumented module carries fewer weak-lock acquires. Both
+    // pipelines are warmed (plan + instrumentation + audit cached by
+    // the record above / below), so the off-vs-on delta is pure
+    // record-mode execution.
+    core::PipelineConfig OffCfg;
+    OffCfg.Mhp = analysis::MhpMode::Off;
+    auto POff = buildPipelineEx(Kind, 4, OffCfg);
+    if (!POff) {
+      std::fprintf(stderr, "%s (mhp off): %s\n", R.Name,
+                   POff.error().message().c_str());
+      return 1;
+    }
+    rt::ExecutionResult Warm = (*POff)->record(Seed);
+    if (!Warm.Ok) {
+      std::fprintf(stderr, "%s record (mhp off): %s\n", R.Name,
+                   Warm.Error.c_str());
+      return 1;
+    }
+    auto T3 = std::chrono::steady_clock::now();
+    rt::ExecutionResult RecOff = (*POff)->record(Seed);
+    auto T4 = std::chrono::steady_clock::now();
+    rt::ExecutionResult RecOn = (*P)->record(Seed);
+    auto T5 = std::chrono::steady_clock::now();
+    if (!RecOff.Ok || !RecOn.Ok) {
+      std::fprintf(stderr, "%s warm record failed\n", R.Name);
+      return 1;
+    }
+    R.RecordOffSec = seconds(T3, T4);
+    R.RecordOnSec = seconds(T4, T5);
     R.Instructions = Nat.Stats.Instructions;
     R.SyncOps = Rec.Stats.SyncOps + Rec.Stats.weakAcquiresTotal();
     R.InstPerSec = R.Instructions / R.NativeSec;
     R.SyncPerSec = R.SyncOps / R.RecordSec;
     TotalNativeSec += R.NativeSec;
     TotalRecordSec += R.RecordSec;
+    TotalOffSec += R.RecordOffSec;
+    TotalOnSec += R.RecordOnSec;
     TotalInsts += R.Instructions;
     TotalSyncs += R.SyncOps;
     Rows.push_back(R);
 
-    std::printf("%-8s %12.4f %12.4f %12.2f %12.2f\n", R.Name, R.NativeSec,
-                R.RecordSec, R.InstPerSec / 1e6, R.SyncPerSec / 1e3);
+    std::printf("%-8s %12.4f %12.4f %12.4f %12.4f %12.2f %12.2f\n", R.Name,
+                R.NativeSec, R.RecordSec, R.RecordOffSec, R.RecordOnSec,
+                R.InstPerSec / 1e6, R.SyncPerSec / 1e3);
   }
 
-  std::printf("%-8s %12.4f %12.4f %12.2f %12.2f\n", "total", TotalNativeSec,
-              TotalRecordSec, TotalInsts / TotalNativeSec / 1e6,
+  std::printf("%-8s %12.4f %12.4f %12.4f %12.4f %12.2f %12.2f\n", "total",
+              TotalNativeSec, TotalRecordSec, TotalOffSec, TotalOnSec,
+              TotalInsts / TotalNativeSec / 1e6,
               TotalSyncs / TotalRecordSec / 1e3);
 
   FILE *Json = std::fopen("BENCH_runtime.json", "w");
@@ -103,10 +141,13 @@ int main() {
     std::fprintf(Json,
                  "    {\"name\": \"%s\", \"native_wall_seconds\": %.6f, "
                  "\"record_wall_seconds\": %.6f, "
+                 "\"record_wall_seconds_mhp_off\": %.6f, "
+                 "\"record_wall_seconds_mhp_on\": %.6f, "
                  "\"instructions\": %llu, \"sync_ops\": %llu, "
                  "\"instructions_per_second\": %.1f, "
                  "\"sync_ops_per_second\": %.1f}%s\n",
-                 R.Name, R.NativeSec, R.RecordSec,
+                 R.Name, R.NativeSec, R.RecordSec, R.RecordOffSec,
+                 R.RecordOnSec,
                  static_cast<unsigned long long>(R.Instructions),
                  static_cast<unsigned long long>(R.SyncOps), R.InstPerSec,
                  R.SyncPerSec, I + 1 == Rows.size() ? "" : ",");
@@ -114,10 +155,12 @@ int main() {
   std::fprintf(Json,
                "  ],\n  \"total_native_wall_seconds\": %.6f,\n"
                "  \"total_record_wall_seconds\": %.6f,\n"
+               "  \"total_record_wall_seconds_mhp_off\": %.6f,\n"
+               "  \"total_record_wall_seconds_mhp_on\": %.6f,\n"
                "  \"total_instructions_per_second\": %.1f,\n"
                "  \"total_sync_ops_per_second\": %.1f\n}\n",
-               TotalNativeSec, TotalRecordSec, TotalInsts / TotalNativeSec,
-               TotalSyncs / TotalRecordSec);
+               TotalNativeSec, TotalRecordSec, TotalOffSec, TotalOnSec,
+               TotalInsts / TotalNativeSec, TotalSyncs / TotalRecordSec);
   std::fclose(Json);
   std::printf("\nwrote BENCH_runtime.json\n");
   return 0;

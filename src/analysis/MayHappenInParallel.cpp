@@ -1,0 +1,958 @@
+//===- analysis/MayHappenInParallel.cpp - Sound MHP analysis ---------------===//
+
+#include "analysis/MayHappenInParallel.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/PointsTo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+/// Wait counts saturate here: any interval bound reaching the cap is
+/// widened to kUnbounded, which bounds every fixpoint lattice height.
+static constexpr uint32_t HiCap = 64;
+static constexpr uint32_t NoFunc = ~0u;
+
+const char *analysis::mhpModeName(MhpMode Mode) {
+  switch (Mode) {
+  case MhpMode::Off:
+    return "off";
+  case MhpMode::ForkJoin:
+    return "forkjoin";
+  case MhpMode::Barrier:
+    return "barrier";
+  }
+  return "off";
+}
+
+support::Expected<MhpMode> analysis::parseMhpMode(const std::string &Text) {
+  if (Text == "off")
+    return MhpMode::Off;
+  if (Text == "forkjoin")
+    return MhpMode::ForkJoin;
+  if (Text == "barrier")
+    return MhpMode::Barrier;
+  return support::Error::failure("unknown MHP mode '" + Text +
+                                 "' (expected off|forkjoin|barrier)");
+}
+
+MayHappenInParallel::Interval MayHappenInParallel::meet(Interval A,
+                                                        Interval B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  Interval Out;
+  Out.Lo = std::min(A.Lo, B.Lo);
+  Out.Hi = (A.Hi == kUnbounded || B.Hi == kUnbounded) ? kUnbounded
+                                                      : std::max(A.Hi, B.Hi);
+  return Out;
+}
+
+MayHappenInParallel::Interval MayHappenInParallel::add(Interval A,
+                                                       Interval B) {
+  if (A.isBottom() || B.isBottom())
+    return bottomInterval();
+  Interval Out;
+  Out.Lo = std::min(A.Lo + B.Lo, HiCap); // Lowering Lo is conservative.
+  Out.Hi = (A.Hi == kUnbounded || B.Hi == kUnbounded || A.Hi + B.Hi >= HiCap)
+               ? kUnbounded
+               : A.Hi + B.Hi;
+  return Out;
+}
+
+namespace {
+
+const Instruction *lastDefInBlock(const BasicBlock &BB, Reg R) {
+  if (R == NoReg)
+    return nullptr;
+  const Instruction *Def = nullptr;
+  for (const Instruction &I : BB.Insts)
+    if (I.Dst == R)
+      Def = &I;
+  return Def;
+}
+
+/// A canonical counted loop: `for (i = c0; i < bound; i = i + 1)` where
+/// the bound is a constant or a load of a never-stored global, the
+/// induction variable is updated only in latches, and the loop exits
+/// only through the header into a block reached from nowhere else —
+/// so reaching the exit proves exactly max(0, bound - c0) iterations ran.
+struct CountedLoop {
+  bool Valid = false;
+  Reg IndVar = NoReg;
+  int64_t Init = 0;
+  bool BoundIsGlobal = false;
+  uint32_t BoundGlobal = 0;
+  int64_t BoundConst = 0;
+  BlockId Exit = NoBlock;
+};
+
+CountedLoop matchCountedLoop(const Function &F, const Loop &L,
+                             const Dominators &Dom,
+                             const std::vector<char> &NeverStored) {
+  CountedLoop C;
+  const BasicBlock &H = F.block(L.Header);
+  if (!H.hasTerminator() || H.terminator().Op != Opcode::CondBr)
+    return C;
+  // A header that is also a latch has do-while semantics our init/trip
+  // reasoning does not cover.
+  for (BlockId Latch : L.Latches)
+    if (Latch == L.Header)
+      return C;
+  const Instruction &Term = H.terminator();
+  if (!L.contains(Term.Succ0) || L.contains(Term.Succ1))
+    return C;
+  C.Exit = Term.Succ1;
+
+  const Instruction *Cmp = lastDefInBlock(H, Term.A);
+  if (!Cmp || Cmp->Op != Opcode::Binary || Cmp->BOp != BinOp::Lt)
+    return C;
+  C.IndVar = Cmp->A;
+
+  const Instruction *Bound = lastDefInBlock(H, Cmp->B);
+  if (!Bound)
+    return C;
+  if (Bound->Op == Opcode::ConstInt) {
+    C.BoundConst = Bound->Imm;
+  } else if (Bound->Op == Opcode::Load) {
+    const Instruction *Addr = lastDefInBlock(H, Bound->A);
+    if (!Addr || Addr->Op != Opcode::AddrGlobal || Addr->A != NoReg)
+      return C;
+    if (Addr->Id >= NeverStored.size() || !NeverStored[Addr->Id])
+      return C;
+    C.BoundIsGlobal = true;
+    C.BoundGlobal = Addr->Id;
+  } else {
+    return C;
+  }
+
+  // Exits only through the header.
+  for (BlockId B : L.Blocks)
+    if (B != L.Header)
+      for (BlockId S : F.successors(B))
+        if (!L.contains(S))
+          return C;
+
+  // Induction variable updated exactly once per latch, as IndVar + 1,
+  // and nowhere else inside the loop.
+  uint32_t Defs = 0;
+  for (BlockId B : L.Blocks)
+    for (const Instruction &I : F.block(B).Insts)
+      if (I.Dst == C.IndVar)
+        ++Defs;
+  if (Defs != L.Latches.size())
+    return C;
+  for (BlockId Latch : L.Latches) {
+    const BasicBlock &LB = F.block(Latch);
+    const Instruction *Upd = lastDefInBlock(LB, C.IndVar);
+    if (!Upd)
+      return C;
+    const Instruction *AddI = Upd;
+    if (Upd->Op == Opcode::Move)
+      AddI = lastDefInBlock(LB, Upd->A);
+    if (!AddI || AddI->Op != Opcode::Binary || AddI->BOp != BinOp::Add ||
+        AddI->A != C.IndVar)
+      return C;
+    const Instruction *One = lastDefInBlock(LB, AddI->B);
+    if (!One || One->Op != Opcode::ConstInt || One->Imm != 1)
+      return C;
+  }
+
+  if (L.Preheader == NoBlock)
+    return C;
+  const Instruction *InitI = lastDefInBlock(F.block(L.Preheader), C.IndVar);
+  if (InitI && InitI->Op == Opcode::Move)
+    InitI = lastDefInBlock(F.block(L.Preheader), InitI->A);
+  if (!InitI || InitI->Op != Opcode::ConstInt)
+    return C;
+  C.Init = InitI->Imm;
+
+  // Reaching the exit block must imply the loop completed.
+  for (BlockId P : Dom.preds(C.Exit))
+    if (P != L.Header)
+      return C;
+
+  C.Valid = true;
+  return C;
+}
+
+bool sameTrip(const CountedLoop &A, const CountedLoop &B) {
+  if (A.BoundIsGlobal != B.BoundIsGlobal || A.Init != B.Init)
+    return false;
+  return A.BoundIsGlobal ? A.BoundGlobal == B.BoundGlobal
+                         : A.BoundConst == B.BoundConst;
+}
+
+uint64_t tripCount(const CountedLoop &C, const Module &M) {
+  int64_t Bound = C.BoundIsGlobal ? M.Globals[C.BoundGlobal].Init
+                                  : C.BoundConst;
+  int64_t Trips = Bound - C.Init;
+  return Trips < 0 ? 0 : static_cast<uint64_t>(Trips);
+}
+
+} // namespace
+
+MayHappenInParallel::MayHappenInParallel(const Module &M, const CallGraph &CG,
+                                         const PointsTo &PT, MhpMode Mode)
+    : M(M), CG(CG), Mode(Mode), Main(M.MainFunction) {
+  if (Mode == MhpMode::Off)
+    return;
+  buildCommon(PT);
+  buildForkJoin(PT);
+  if (Mode == MhpMode::Barrier)
+    buildBarrier();
+}
+
+void MayHappenInParallel::buildCommon(const PointsTo &PT) {
+  const uint32_t N = static_cast<uint32_t>(M.Functions.size());
+  Roots = CG.threadRoots();
+  RootBit.assign(N, -1);
+  if (Roots.size() <= 64)
+    for (size_t I = 0; I != Roots.size(); ++I)
+      RootBit[Roots[I]] = static_cast<int>(I);
+
+  // Spawn-closure root mask per function (over call+spawn edges; a call
+  // or spawn of F may transitively bring any of these roots to life).
+  std::vector<uint64_t> DirectSpawns(N, 0);
+  for (uint32_t F = 0; F != N; ++F)
+    for (const BasicBlock &BB : M.function(F).Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Opcode::Spawn) {
+          int Bit = I.Id < N ? RootBit[I.Id] : -1;
+          if (Bit >= 0)
+            DirectSpawns[F] |= 1ull << Bit;
+        }
+  ClosureRoots.assign(N, 0);
+  for (uint32_t F = 0; F != N; ++F)
+    for (uint32_t R : CG.reachableFrom(F))
+      ClosureRoots[F] |= DirectSpawns[R];
+
+  // Call-only reachability from main (spawned code runs on other roots'
+  // threads and is classified under those roots).
+  CallReachMain.assign(N, 0);
+  std::deque<uint32_t> Work;
+  Work.push_back(Main);
+  CallReachMain[Main] = 1;
+  while (!Work.empty()) {
+    uint32_t F = Work.front();
+    Work.pop_front();
+    for (const BasicBlock &BB : M.function(F).Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Opcode::Call && I.Id < N && !CallReachMain[I.Id]) {
+          CallReachMain[I.Id] = 1;
+          Work.push_back(I.Id);
+        }
+  }
+
+  // Which globals may be written, and by which store instructions
+  // (points-to based, so stores through pointers are included).
+  NeverStoredGlobal.assign(M.Globals.size(), 1);
+  GlobalStores.assign(M.Globals.size(), {});
+  const std::vector<MemObject> &Objs = PT.objects();
+  for (uint32_t F = 0; F != N; ++F)
+    for (const BasicBlock &BB : M.function(F).Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Opcode::Store)
+          for (uint32_t Obj : PT.accessedObjects(F, I.Ident))
+            if (Objs[Obj].Kind == MemObject::Kind::Global) {
+              NeverStoredGlobal[Objs[Obj].GlobalId] = 0;
+              GlobalStores[Objs[Obj].GlobalId].push_back({F, I.Ident});
+            }
+}
+
+void MayHappenInParallel::buildForkJoin(const PointsTo &PT) {
+  (void)PT;
+  const Function &MainF = M.function(Main);
+  Dominators Dom(MainF);
+  LoopInfo LI(MainF);
+
+  // Register def counts in main, for single-assignment chain chasing.
+  std::vector<uint32_t> DefCount(MainF.NumRegs, 0);
+  std::vector<const Instruction *> DefInst(MainF.NumRegs, nullptr);
+  std::vector<BlockId> DefBlock(MainF.NumRegs, NoBlock);
+  for (BlockId B = 0; B != MainF.numBlocks(); ++B)
+    for (const Instruction &I : MainF.block(B).Insts)
+      if (I.Dst != NoReg && I.Dst < MainF.NumRegs) {
+        ++DefCount[I.Dst];
+        DefInst[I.Dst] = &I;
+        DefBlock[I.Dst] = B;
+      }
+  auto uniqueDef = [&](Reg R) -> const Instruction * {
+    return (R != NoReg && R < DefCount.size() && DefCount[R] == 1)
+               ? DefInst[R]
+               : nullptr;
+  };
+
+  // Counted-loop match per top-level loop of main, and per loop for
+  // instance counting.
+  std::vector<CountedLoop> LoopMatch(LI.numLoops());
+  for (size_t I = 0; I != LI.numLoops(); ++I)
+    LoopMatch[I] = matchCountedLoop(MainF, *LI.loops()[I], Dom,
+                                    NeverStoredGlobal);
+  auto loopIndex = [&](const Loop *L) -> int {
+    for (size_t I = 0; I != LI.numLoops(); ++I)
+      if (LI.loops()[I].get() == L)
+        return static_cast<int>(I);
+    return -1;
+  };
+
+  // The only store instruction in the whole module that may touch
+  // global \p G is (main, Ident)?
+  auto exclusiveStore = [&](uint32_t G, InstId Ident) {
+    if (G >= GlobalStores.size())
+      return false;
+    for (const auto &[F, I] : GlobalStores[G])
+      if (F != Main || I != Ident)
+        return false;
+    return !GlobalStores[G].empty();
+  };
+
+  // -- Enumerate gen points: spawn sites in main, plus calls from main
+  // whose callee closure may spawn.
+  for (BlockId B = 0; B != MainF.numBlocks(); ++B) {
+    const BasicBlock &BB = MainF.block(B);
+    for (uint32_t Idx = 0; Idx != BB.Insts.size(); ++Idx) {
+      const Instruction &I = BB.Insts[Idx];
+      if (I.Op == Opcode::Call) {
+        uint64_t Mask = I.Id < ClosureRoots.size() ? ClosureRoots[I.Id] : 0;
+        if (!Mask)
+          continue;
+        GenPoint P;
+        P.Inst = I.Ident;
+        P.Target = NoFunc;
+        for (size_t R = 0; R != Roots.size(); ++R)
+          if (Mask >> R & 1)
+            P.NeverRoots.push_back(Roots[R]);
+        P.InLoop = LI.innermostLoop(B) != nullptr;
+        Gens.push_back(std::move(P));
+        continue;
+      }
+      if (I.Op != Opcode::Spawn)
+        continue;
+
+      GenPoint P;
+      P.Inst = I.Ident;
+      P.Target = I.Id;
+      uint64_t Sub = I.Id < ClosureRoots.size() ? ClosureRoots[I.Id] : 0;
+      for (size_t R = 0; R != Roots.size(); ++R)
+        if ((Sub >> R & 1) && Roots[R] != I.Id)
+          P.NeverRoots.push_back(Roots[R]);
+      // If the target transitively respawns itself, its instances are
+      // never provably retired.
+      bool SelfRespawn =
+          RootBit[I.Id] >= 0 && (Sub >> RootBit[I.Id] & 1);
+
+      const Loop *L1 = LI.innermostLoop(B);
+      P.InLoop = L1 != nullptr;
+
+      // Dynamic occurrences of this site (for barrier alignment).
+      P.SiteMaxInstances = 1;
+      for (const Loop *L = L1; L; L = L->Parent) {
+        int LIdx = loopIndex(L);
+        if (LIdx < 0 || !LoopMatch[LIdx].Valid) {
+          P.SiteMaxInstances = kUnbounded;
+          break;
+        }
+        uint64_t Trips = tripCount(LoopMatch[LIdx], M);
+        P.SiteMaxInstances =
+            (Trips && P.SiteMaxInstances > kUnbounded / Trips)
+                ? kUnbounded
+                : P.SiteMaxInstances * Trips;
+        if (P.SiteMaxInstances >= kUnbounded) {
+          P.SiteMaxInstances = kUnbounded;
+          break;
+        }
+      }
+
+      // -- Join matching (skipped when the target may respawn itself).
+      if (!SelfRespawn && !L1) {
+        // Straight-line site: find a join whose operand is a
+        // single-assignment chain back to this spawn, dominated by it.
+        for (BlockId JB = 0; JB != MainF.numBlocks() && !P.HasKill; ++JB) {
+          const BasicBlock &JBB = MainF.block(JB);
+          for (uint32_t JI = 0; JI != JBB.Insts.size(); ++JI) {
+            const Instruction &J = JBB.Insts[JI];
+            if (J.Op != Opcode::Join)
+              continue;
+            Reg R = J.A;
+            const Instruction *D = uniqueDef(R);
+            while (D && D->Op == Opcode::Move)
+              D = uniqueDef(D->A);
+            if (!D || D->Op != Opcode::Spawn || D->Ident != I.Ident)
+              continue;
+            if (!Dom.reachable(B) || !Dom.reachable(JB) ||
+                !Dom.dominates(B, JB))
+              continue;
+            P.HasKill = true;
+            P.KillBlock = JB;
+            P.KillIndex = JI;
+            P.KillAtBlockStart = false;
+            break;
+          }
+        }
+      } else if (!SelfRespawn && L1 && !L1->Parent) {
+        // Canonical spawn loop storing tids into a global array; match
+        // a join loop over the same array with an identical trip.
+        int L1Idx = loopIndex(L1);
+        const CountedLoop &C1 = LoopMatch[L1Idx];
+        bool SpawnOk = false;
+        uint32_t TidArray = 0;
+        if (C1.Valid && Dom.reachable(B)) {
+          bool DomsLatches = true;
+          for (BlockId Latch : L1->Latches)
+            DomsLatches = DomsLatches && Dom.dominates(B, Latch);
+          if (DomsLatches) {
+            for (BlockId SB : L1->Blocks) {
+              for (const Instruction &St : MainF.block(SB).Insts) {
+                if (St.Op != Opcode::Store || St.B != I.Dst)
+                  continue;
+                const Instruction *Addr = uniqueDef(St.A);
+                if (!Addr || Addr->Op != Opcode::AddrGlobal ||
+                    Addr->A != C1.IndVar || !L1->contains(DefBlock[St.A]))
+                  continue;
+                if (!exclusiveStore(Addr->Id, St.Ident))
+                  continue;
+                bool StDoms = true;
+                for (BlockId Latch : L1->Latches)
+                  StDoms = StDoms && Dom.dominates(SB, Latch);
+                if (!StDoms)
+                  continue;
+                SpawnOk = true;
+                TidArray = Addr->Id;
+                break;
+              }
+              if (SpawnOk)
+                break;
+            }
+          }
+        }
+        if (SpawnOk) {
+          for (size_t L2Idx = 0; L2Idx != LI.numLoops() && !P.HasKill;
+               ++L2Idx) {
+            const Loop *L2 = LI.loops()[L2Idx].get();
+            const CountedLoop &C2 = LoopMatch[L2Idx];
+            if (L2 == L1 || L2->Parent || !C2.Valid || !sameTrip(C1, C2))
+              continue;
+            for (BlockId JB : L2->Blocks) {
+              for (const Instruction &J : MainF.block(JB).Insts) {
+                if (J.Op != Opcode::Join)
+                  continue;
+                const Instruction *Ld = uniqueDef(J.A);
+                if (!Ld || Ld->Op != Opcode::Load ||
+                    !L2->contains(DefBlock[J.A]))
+                  continue;
+                const Instruction *Addr = uniqueDef(Ld->A);
+                if (!Addr || Addr->Op != Opcode::AddrGlobal ||
+                    Addr->Id != TidArray || Addr->A != C2.IndVar)
+                  continue;
+                bool JDoms = true;
+                for (BlockId Latch : L2->Latches)
+                  JDoms = JDoms && Dom.dominates(JB, Latch);
+                if (!JDoms)
+                  continue;
+                // Every iteration joins tids[i] for the same index
+                // range the spawn loop wrote: reaching the exit block
+                // retires every spawned instance.
+                P.HasKill = true;
+                P.KillBlock = C2.Exit;
+                P.KillAtBlockStart = true;
+                break;
+              }
+              if (P.HasKill)
+                break;
+            }
+          }
+        }
+      }
+      Gens.push_back(std::move(P));
+    }
+  }
+
+  GensValid = Gens.size() <= 64 && Roots.size() <= 64;
+  // If main itself can be spawned, an access attributed to "root main"
+  // may run on a spawned instance, invalidating open-set reasoning.
+  bool MainSpawnable = false;
+  for (uint32_t T : CG.spawnTargets())
+    MainSpawnable = MainSpawnable || T == Main;
+  ForkJoinValid = GensValid && !MainSpawnable;
+  if (!GensValid)
+    return;
+
+  // -- May-be-open / may-have-executed dataflow over main's CFG.
+  const uint32_t NB = MainF.numBlocks();
+  std::vector<uint64_t> OpenIn(NB, 0), EverIn(NB, 0);
+  std::vector<uint64_t> StartKill(NB, 0);
+  for (size_t G = 0; G != Gens.size(); ++G)
+    if (Gens[G].HasKill && Gens[G].KillAtBlockStart)
+      StartKill[Gens[G].KillBlock] |= 1ull << G;
+
+  auto transferBlock = [&](BlockId B, uint64_t Open, uint64_t Ever,
+                           bool RecordFacts) -> std::pair<uint64_t, uint64_t> {
+    Open &= ~StartKill[B];
+    const BasicBlock &BB = MainF.block(B);
+    for (uint32_t Idx = 0; Idx != BB.Insts.size(); ++Idx) {
+      const Instruction &I = BB.Insts[Idx];
+      if (RecordFacts) {
+        MainBeforeRoots[I.Ident] = rootsFromMasks(Open, Ever);
+        for (GenPoint &P : Gens)
+          if (P.Inst == I.Ident) {
+            P.BeforeOpen = Open;
+            P.BeforeEver = Ever;
+          }
+      }
+      for (size_t G = 0; G != Gens.size(); ++G) {
+        if (Gens[G].Inst == I.Ident) {
+          Open |= 1ull << G;
+          Ever |= 1ull << G;
+        }
+        if (Gens[G].HasKill && !Gens[G].KillAtBlockStart &&
+            Gens[G].KillBlock == B && Gens[G].KillIndex == Idx)
+          Open &= ~(1ull << G);
+      }
+    }
+    return {Open, Ever};
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B = 0; B != NB; ++B) {
+      auto [Open, Ever] = transferBlock(B, OpenIn[B], EverIn[B], false);
+      for (BlockId S : MainF.successors(B)) {
+        uint64_t NO = OpenIn[S] | Open, NE = EverIn[S] | Ever;
+        if (NO != OpenIn[S] || NE != EverIn[S]) {
+          OpenIn[S] = NO;
+          EverIn[S] = NE;
+          Changed = true;
+        }
+      }
+    }
+  }
+  for (BlockId B = 0; B != NB; ++B)
+    transferBlock(B, OpenIn[B], EverIn[B], true);
+
+  // -- Roots possibly live while each callee runs on main's thread.
+  const uint32_t N = static_cast<uint32_t>(M.Functions.size());
+  OpenCtxRoots.assign(N, 0);
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t F = 0; F != N; ++F) {
+      if (!CallReachMain[F])
+        continue;
+      for (const BasicBlock &BB : M.function(F).Blocks)
+        for (const Instruction &I : BB.Insts) {
+          if (I.Op != Opcode::Call || I.Id >= N)
+            continue;
+          uint64_t Contrib;
+          if (F == Main) {
+            auto It = MainBeforeRoots.find(I.Ident);
+            Contrib = It != MainBeforeRoots.end() ? It->second : 0;
+          } else {
+            Contrib = OpenCtxRoots[F] | ClosureRoots[F];
+          }
+          uint64_t NewV = OpenCtxRoots[I.Id] | Contrib;
+          if (NewV != OpenCtxRoots[I.Id]) {
+            OpenCtxRoots[I.Id] = NewV;
+            Changed = true;
+          }
+        }
+    }
+  }
+
+  // -- Worker-vs-worker: can instances of the two roots ever overlap?
+  auto rootsOfGen = [&](const GenPoint &P) {
+    uint64_t Mask = 0;
+    if (P.Target != NoFunc && RootBit[P.Target] >= 0)
+      Mask |= 1ull << RootBit[P.Target];
+    for (uint32_t R : P.NeverRoots)
+      if (RootBit[R] >= 0)
+        Mask |= 1ull << RootBit[R];
+    return Mask;
+  };
+  const size_t NR = Roots.size();
+  NeverConc.assign(NR, std::vector<char>(NR, 0));
+  for (size_t RA = 0; RA != NR; ++RA) {
+    for (size_t RB = RA; RB != NR; ++RB) {
+      if (Roots[RA] == Main || Roots[RB] == Main)
+        continue;
+      bool Overlap = false;
+      for (size_t G1 = 0; G1 != Gens.size() && !Overlap; ++G1) {
+        if (!(rootsOfGen(Gens[G1]) >> RA & 1))
+          continue;
+        for (size_t G2 = 0; G2 != Gens.size() && !Overlap; ++G2) {
+          if (!(rootsOfGen(Gens[G2]) >> RB & 1))
+            continue;
+          if (G1 == G2) {
+            // One point opens both roots, or the same root twice: only
+            // a straight-line spawn site whose sole opened root is its
+            // own target produces a single non-overlapping instance.
+            bool Never = false;
+            for (uint32_t NRoot : Gens[G1].NeverRoots)
+              Never = Never || NRoot == Roots[RA] || NRoot == Roots[RB];
+            Overlap = RA != RB || Never || Gens[G1].InLoop ||
+                      Gens[G1].Target != Roots[RA];
+            continue;
+          }
+          // Can an instance from G1 still be live when G2 runs?
+          bool Closeable1 = Gens[G1].HasKill && Gens[G1].Target == Roots[RA];
+          uint64_t At2 =
+              Closeable1 ? Gens[G2].BeforeOpen : Gens[G2].BeforeEver;
+          if (At2 >> G1 & 1)
+            Overlap = true;
+          bool Closeable2 = Gens[G2].HasKill && Gens[G2].Target == Roots[RB];
+          uint64_t At1 =
+              Closeable2 ? Gens[G1].BeforeOpen : Gens[G1].BeforeEver;
+          if (At1 >> G2 & 1)
+            Overlap = true;
+        }
+      }
+      NeverConc[RA][RB] = NeverConc[RB][RA] = !Overlap;
+    }
+  }
+}
+
+uint64_t MayHappenInParallel::rootsFromMasks(uint64_t Open,
+                                             uint64_t Ever) const {
+  uint64_t Mask = 0;
+  for (size_t G = 0; G != Gens.size(); ++G) {
+    const GenPoint &P = Gens[G];
+    if (Open >> G & 1)
+      if (P.Target != NoFunc && RootBit[P.Target] >= 0)
+        Mask |= 1ull << RootBit[P.Target];
+    if (Ever >> G & 1)
+      for (uint32_t R : P.NeverRoots)
+        if (RootBit[R] >= 0)
+          Mask |= 1ull << RootBit[R];
+  }
+  return Mask;
+}
+
+void MayHappenInParallel::buildBarrier() {
+  const uint32_t N = static_cast<uint32_t>(M.Functions.size());
+  const uint32_t NS = static_cast<uint32_t>(M.Syncs.size());
+  bool AnyBarrier = false;
+  for (const SyncObject &S : M.Syncs)
+    AnyBarrier = AnyBarrier || S.Kind == SyncKind::Barrier;
+  if (!AnyBarrier || Roots.size() > 64)
+    return;
+
+  // -- Per-function wait-interval dataflow, iterated with call-return
+  // summaries to a global fixpoint (all lattices are finite: Lo in
+  // [0, HiCap], Hi in [0, HiCap] + unbounded).
+  using State = std::vector<Interval>;
+  auto bottomState = [&] { return State(NS, bottomInterval()); };
+  auto zeroState = [&] { return State(NS, Interval{0, 0}); };
+  auto meetState = [](State &A, const State &B) {
+    bool Changed = false;
+    for (size_t I = 0; I != A.size(); ++I) {
+      Interval New = meet(A[I], B[I]);
+      if (!(New == A[I])) {
+        A[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  };
+
+  std::vector<State> ExitWaits(N, bottomState());
+
+  auto transferInst = [&](const Instruction &I, State &S) {
+    if (I.Op == Opcode::BarrierWait && I.Id < NS) {
+      S[I.Id] = add(S[I.Id], Interval{1, 1});
+    } else if (I.Op == Opcode::Call && I.Id < N) {
+      const State &CS = ExitWaits[I.Id];
+      for (uint32_t B = 0; B != NS; ++B)
+        if (!(CS[B] == Interval{0, 0}))
+          S[B] = add(S[B], CS[B]);
+    }
+  };
+
+  // Runs the intra-function fixpoint for F with current summaries;
+  // returns the new exit summary. When Record is set, stores the
+  // before-instruction states into BeforeInst.
+  auto analyzeFunction = [&](uint32_t FId, bool Record) -> State {
+    const Function &F = M.function(FId);
+    const uint32_t NB = F.numBlocks();
+    std::vector<State> In(NB, bottomState());
+    In[0] = zeroState();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B != NB; ++B) {
+        State S = In[B];
+        bool Bottom = true;
+        for (const Interval &I : S)
+          Bottom = Bottom && I.isBottom();
+        if (Bottom && B != 0)
+          continue;
+        for (const Instruction &I : F.block(B).Insts)
+          transferInst(I, S);
+        for (BlockId Succ : F.successors(B))
+          Changed |= meetState(In[Succ], S);
+      }
+    }
+    State Exit = bottomState();
+    for (BlockId B = 0; B != NB; ++B) {
+      State S = In[B];
+      bool Bottom = true;
+      for (const Interval &I : S)
+        Bottom = Bottom && I.isBottom();
+      if (Bottom && B != 0)
+        continue;
+      const BasicBlock &BB = F.block(B);
+      for (const Instruction &I : BB.Insts) {
+        if (Record)
+          BeforeInst[instKey(FId, I.Ident)] = S;
+        transferInst(I, S);
+      }
+      if (BB.hasTerminator() && BB.terminator().Op == Opcode::Ret)
+        meetState(Exit, S);
+    }
+    return Exit;
+  };
+
+  // Global summary fixpoint, callee-first for fast convergence.
+  std::vector<uint32_t> Order;
+  for (const std::vector<uint32_t> &Scc : CG.bottomUpSccs())
+    for (uint32_t F : Scc)
+      Order.push_back(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t F : Order) {
+      State New = analyzeFunction(F, false);
+      for (uint32_t B = 0; B != NS; ++B)
+        if (!(New[B] == ExitWaits[F][B])) {
+          ExitWaits[F] = New;
+          Changed = true;
+          break;
+        }
+    }
+  }
+  for (uint32_t F = 0; F != N; ++F)
+    analyzeFunction(F, true);
+
+  // -- Per-root context intervals over call-only edges.
+  const size_t NR = Roots.size();
+  Ctx.assign(NR, std::vector<State>(N, bottomState()));
+  for (size_t R = 0; R != NR; ++R) {
+    Ctx[R][Roots[R]] = zeroState();
+    bool CtxChanged = true;
+    while (CtxChanged) {
+      CtxChanged = false;
+      for (uint32_t F = 0; F != N; ++F) {
+        bool Bottom = true;
+        for (const Interval &I : Ctx[R][F])
+          Bottom = Bottom && I.isBottom();
+        if (Bottom)
+          continue;
+        for (const BasicBlock &BB : M.function(F).Blocks)
+          for (const Instruction &I : BB.Insts) {
+            if (I.Op != Opcode::Call || I.Id >= N)
+              continue;
+            auto It = BeforeInst.find(instKey(F, I.Ident));
+            if (It == BeforeInst.end())
+              continue;
+            State Contrib(NS);
+            bool CBottom = false;
+            for (uint32_t B = 0; B != NS; ++B) {
+              Contrib[B] = add(Ctx[R][F][B], It->second[B]);
+              CBottom = CBottom || Contrib[B].isBottom();
+            }
+            if (CBottom)
+              continue;
+            CtxChanged |= meetState(Ctx[R][I.Id], Contrib);
+          }
+      }
+    }
+  }
+
+  // -- Participants and alignment.
+  std::vector<std::vector<char>> FuncWaits(N, std::vector<char>(NS, 0));
+  for (uint32_t F = 0; F != N; ++F)
+    for (const BasicBlock &BB : M.function(F).Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Opcode::BarrierWait && I.Id < NS)
+          FuncWaits[F][I.Id] = 1;
+
+  // Call-only reachability per root.
+  std::vector<std::vector<char>> Reach(NR, std::vector<char>(N, 0));
+  for (size_t R = 0; R != NR; ++R) {
+    std::deque<uint32_t> Work;
+    Work.push_back(Roots[R]);
+    Reach[R][Roots[R]] = 1;
+    while (!Work.empty()) {
+      uint32_t F = Work.front();
+      Work.pop_front();
+      for (const BasicBlock &BB : M.function(F).Blocks)
+        for (const Instruction &I : BB.Insts)
+          if (I.Op == Opcode::Call && I.Id < N && !Reach[R][I.Id]) {
+            Reach[R][I.Id] = 1;
+            Work.push_back(I.Id);
+          }
+    }
+  }
+
+  Participants.assign(NS, 0);
+  for (uint32_t S = 0; S != NS; ++S)
+    for (size_t R = 0; R != NR; ++R)
+      for (uint32_t F = 0; F != N; ++F)
+        if (Reach[R][F] && FuncWaits[F][S]) {
+          Participants[S] |= 1ull << R;
+          break;
+        }
+
+  // Max instances per root, from gen points (usable only when the gen
+  // enumeration fits the mask machinery).
+  MaxInst.assign(NR, kUnbounded);
+  if (GensValid) {
+    for (size_t R = 0; R != NR; ++R) {
+      uint64_t Total = Roots[R] == Main ? 1 : 0;
+      bool Unbounded = false;
+      for (const GenPoint &P : Gens) {
+        bool Never = false;
+        for (uint32_t NRoot : P.NeverRoots)
+          Never = Never || NRoot == Roots[R];
+        if (Never)
+          Unbounded = true;
+        if (P.Target == Roots[R]) {
+          if (P.SiteMaxInstances >= kUnbounded)
+            Unbounded = true;
+          else
+            Total += P.SiteMaxInstances;
+        }
+      }
+      MaxInst[R] = Unbounded || Total >= kUnbounded
+                       ? kUnbounded
+                       : static_cast<uint32_t>(Total);
+    }
+  }
+
+  AlignedBarrier.assign(NS, 0);
+  for (uint32_t S = 0; S != NS; ++S) {
+    if (M.Syncs[S].Kind != SyncKind::Barrier || M.Syncs[S].Parties == 0)
+      continue;
+    uint64_t Sum = 0;
+    bool Ok = Participants[S] != 0;
+    for (size_t R = 0; R != NR; ++R) {
+      if (!(Participants[S] >> R & 1))
+        continue;
+      if (MaxInst[R] == kUnbounded) {
+        Ok = false;
+        break;
+      }
+      Sum += MaxInst[R];
+    }
+    AlignedBarrier[S] = Ok && Sum <= M.Syncs[S].Parties;
+  }
+  BarrierValid = true;
+}
+
+MhpOrdering MayHappenInParallel::classify(uint32_t RootA, uint32_t FuncA,
+                                          InstId InstA, uint32_t RootB,
+                                          uint32_t FuncB,
+                                          InstId InstB) const {
+  if (Mode == MhpMode::Off)
+    return MhpOrdering::MayRace;
+  if (ForkJoinValid) {
+    if (RootA == Main && RootB != Main &&
+        mainSideOrdered(FuncA, InstA, RootB))
+      return MhpOrdering::OrderedForkJoin;
+    if (RootB == Main && RootA != Main &&
+        mainSideOrdered(FuncB, InstB, RootA))
+      return MhpOrdering::OrderedForkJoin;
+    if (RootA != Main && RootB != Main) {
+      int IA = rootIdx(RootA), IB = rootIdx(RootB);
+      if (IA >= 0 && IB >= 0 && NeverConc[IA][IB])
+        return MhpOrdering::OrderedForkJoin;
+    }
+  }
+  if (Mode == MhpMode::Barrier && BarrierValid &&
+      barrierOrdered(RootA, FuncA, InstA, RootB, FuncB, InstB))
+    return MhpOrdering::OrderedBarrier;
+  return MhpOrdering::MayRace;
+}
+
+bool MayHappenInParallel::mainSideOrdered(uint32_t Func, InstId Inst,
+                                          uint32_t Worker) const {
+  int Bit = rootIdx(Worker);
+  if (Bit < 0)
+    return false;
+  uint64_t Live;
+  if (Func == Main) {
+    auto It = MainBeforeRoots.find(Inst);
+    if (It == MainBeforeRoots.end())
+      return false;
+    Live = It->second;
+  } else {
+    if (Func >= CallReachMain.size() || !CallReachMain[Func])
+      return false;
+    Live = OpenCtxRoots[Func] | ClosureRoots[Func];
+  }
+  return !(Live >> Bit & 1);
+}
+
+bool MayHappenInParallel::barrierOrdered(uint32_t RootA, uint32_t FuncA,
+                                         InstId InstA, uint32_t RootB,
+                                         uint32_t FuncB,
+                                         InstId InstB) const {
+  int IA = rootIdx(RootA), IB = rootIdx(RootB);
+  if (IA < 0 || IB < 0)
+    return false;
+  for (uint32_t S = 0; S != M.Syncs.size(); ++S) {
+    if (!AlignedBarrier[S])
+      continue;
+    if (!(Participants[S] >> IA & 1) || !(Participants[S] >> IB & 1))
+      continue;
+    Interval A = intervalAt(IA, FuncA, InstA, S);
+    Interval B = intervalAt(IB, FuncB, InstB, S);
+    if (A.isBottom() || B.isBottom())
+      continue;
+    if ((A.Hi != kUnbounded && A.Hi < B.Lo) ||
+        (B.Hi != kUnbounded && B.Hi < A.Lo))
+      return true;
+  }
+  return false;
+}
+
+MayHappenInParallel::Interval
+MayHappenInParallel::intervalAt(int RootIdx, uint32_t Func, InstId Inst,
+                                uint32_t SyncId) const {
+  if (RootIdx < 0 || static_cast<size_t>(RootIdx) >= Ctx.size() ||
+      Func >= Ctx[RootIdx].size())
+    return bottomInterval();
+  auto It = BeforeInst.find(instKey(Func, Inst));
+  if (It == BeforeInst.end())
+    return bottomInterval();
+  return add(Ctx[RootIdx][Func][SyncId], It->second[SyncId]);
+}
+
+bool MayHappenInParallel::barrierAligned(uint32_t SyncId) const {
+  return BarrierValid && SyncId < AlignedBarrier.size() &&
+         AlignedBarrier[SyncId];
+}
+
+uint64_t MayHappenInParallel::maxInstances(uint32_t Root) const {
+  int Bit = rootIdx(Root);
+  if (!BarrierValid || Bit < 0 ||
+      static_cast<size_t>(Bit) >= MaxInst.size())
+    return kUnbounded;
+  return MaxInst[Bit];
+}
+
+std::pair<uint32_t, uint32_t>
+MayHappenInParallel::waitInterval(uint32_t Root, uint32_t Func, InstId Inst,
+                                  uint32_t SyncId) const {
+  if (!BarrierValid || SyncId >= M.Syncs.size())
+    return {kUnbounded, 0};
+  Interval I = intervalAt(rootIdx(Root), Func, Inst, SyncId);
+  return {I.Lo, I.Hi};
+}

@@ -1,0 +1,200 @@
+//===- analysis/MayHappenInParallel.h - Sound MHP analysis ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sound, whole-program may-happen-in-parallel analysis over the IR.
+/// RELAY (race/RelayDetector.h) is deliberately blind to non-mutex
+/// synchronization, so fork/join- and barrier-separated accesses surface
+/// as false race pairs that Chimera otherwise only recovers from
+/// dynamically via profiling. This pass proves two orderings statically:
+///
+///  - **Fork/join**: main-thread code that runs while no instance of a
+///    worker root can be live (strictly before its spawn sites, or
+///    strictly after a matched join that provably retires every spawned
+///    instance) cannot race with that worker; two worker roots whose
+///    spawn lifetimes never overlap cannot race either. Join matching is
+///    structural — a straight-line `t = spawn(...); ... join(t)` chain
+///    with single-assignment registers, or a canonical counted spawn
+///    loop writing a never-otherwise-stored tid array paired with a join
+///    loop over the same array and identical trip expression — because
+///    the runtime permits double-joins, which make naive spawn-minus-
+///    join counting unsound.
+///
+///  - **Barrier phases**: per-thread-root wait-count intervals. When a
+///    barrier is *aligned* — the summed maximum instance count of every
+///    participating root is no larger than its party count — each
+///    thread's k-th wait belongs to global generation k (fewer arrivals
+///    deadlock, which orders vacuously), so accesses whose wait-count
+///    intervals are disjoint are phase-ordered.
+///
+/// Both facts are per thread root: an access record (Func, Inst) from a
+/// root's RELAY summary executes on that root's thread, so queries take
+/// the root context on each side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_MAYHAPPENINPARALLEL_H
+#define CHIMERA_ANALYSIS_MAYHAPPENINPARALLEL_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Module.h"
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+class PointsTo;
+
+/// How much ordering the MHP filter is allowed to use. Barrier includes
+/// the fork/join facts.
+enum class MhpMode : uint8_t { Off, ForkJoin, Barrier };
+
+const char *mhpModeName(MhpMode Mode);
+
+/// Parses "off" | "forkjoin" | "barrier"; unknown spellings are a
+/// failure, never a silent default.
+support::Expected<MhpMode> parseMhpMode(const std::string &Text);
+
+/// Why (or whether) an access pair is ordered.
+enum class MhpOrdering : uint8_t {
+  MayRace,         ///< No ordering proven.
+  OrderedForkJoin, ///< Separated by spawn/join structure.
+  OrderedBarrier,  ///< Separated by an aligned barrier phase.
+};
+
+class MayHappenInParallel {
+public:
+  /// Sentinel for "no finite bound" (intervals, instance counts).
+  static constexpr uint32_t kUnbounded = 0xffffffffu;
+
+  MayHappenInParallel(const ir::Module &M, const CallGraph &CG,
+                      const PointsTo &PT, MhpMode Mode = MhpMode::Barrier);
+
+  MhpMode mode() const { return Mode; }
+
+  /// Classifies a candidate race between an access at (FuncA, InstA)
+  /// executing on a thread rooted at RootA and an access at
+  /// (FuncB, InstB) on a thread rooted at RootB. Roots must come from
+  /// CallGraph::threadRoots(); the same root on both sides means two
+  /// distinct instances. Returns MayRace unless ordering is proven.
+  MhpOrdering classify(uint32_t RootA, uint32_t FuncA, ir::InstId InstA,
+                       uint32_t RootB, uint32_t FuncB,
+                       ir::InstId InstB) const;
+
+  // -- Introspection (tests, diagnostics).
+
+  /// True when barrier \p SyncId satisfies the alignment condition and
+  /// may therefore order accesses.
+  bool barrierAligned(uint32_t SyncId) const;
+
+  /// Upper bound on concurrent+sequential thread instances rooted at
+  /// \p Root over a whole execution; kUnbounded when unknown.
+  uint64_t maxInstances(uint32_t Root) const;
+
+  /// Wait-count interval {Lo, Hi} of barrier \p SyncId completed before
+  /// \p Inst of \p Func runs on a thread rooted at \p Root. Hi ==
+  /// kUnbounded means no finite bound; {kUnbounded, 0} means the
+  /// analysis has no fact (unreachable or barrier mode disabled).
+  std::pair<uint32_t, uint32_t> waitInterval(uint32_t Root, uint32_t Func,
+                                             ir::InstId Inst,
+                                             uint32_t SyncId) const;
+
+private:
+  /// Saturating wait-count interval; Lo == kUnbounded is bottom
+  /// (unreachable), Hi == kUnbounded is "no finite bound".
+  struct Interval {
+    uint32_t Lo = 0;
+    uint32_t Hi = 0;
+    bool isBottom() const { return Lo == kUnbounded; }
+    bool operator==(const Interval &O) const {
+      return Lo == O.Lo && Hi == O.Hi;
+    }
+  };
+  static Interval bottomInterval() { return {kUnbounded, 0}; }
+  static Interval meet(Interval A, Interval B);
+  static Interval add(Interval A, Interval B);
+
+  /// A point in main's code where worker-thread instances may come into
+  /// existence: a spawn site, or a call whose callee closure spawns.
+  struct GenPoint {
+    ir::InstId Inst = ir::NoInst;
+    uint32_t Target = ~0u;           ///< Closeable root; ~0u for call gens.
+    std::vector<uint32_t> NeverRoots;///< Opened, never provably closed.
+    bool HasKill = false;
+    ir::BlockId KillBlock = ir::NoBlock;
+    uint32_t KillIndex = 0;          ///< Kill applies after this index...
+    bool KillAtBlockStart = false;   ///< ...or at KillBlock entry.
+    bool InLoop = false;             ///< Site sits inside a loop.
+    uint64_t SiteMaxInstances = 1;   ///< Dynamic occurrences of this site.
+    uint64_t BeforeOpen = 0;         ///< Open gen mask just before Inst.
+    uint64_t BeforeEver = 0;         ///< Ever gen mask just before Inst.
+  };
+
+  void buildCommon(const PointsTo &PT);
+  void buildForkJoin(const PointsTo &PT);
+  void buildBarrier();
+  uint64_t rootsFromMasks(uint64_t Open, uint64_t Ever) const;
+  bool mainSideOrdered(uint32_t Func, ir::InstId Inst, uint32_t Worker) const;
+  bool barrierOrdered(uint32_t RootA, uint32_t FuncA, ir::InstId InstA,
+                      uint32_t RootB, uint32_t FuncB,
+                      ir::InstId InstB) const;
+  Interval intervalAt(int RootIdx, uint32_t Func, ir::InstId Inst,
+                      uint32_t SyncId) const;
+  int rootIdx(uint32_t Root) const {
+    return Root < RootBit.size() ? RootBit[Root] : -1;
+  }
+  static uint64_t instKey(uint32_t Func, ir::InstId Inst) {
+    return (static_cast<uint64_t>(Func) << 32) | Inst;
+  }
+
+  const ir::Module &M;
+  const CallGraph &CG;
+  MhpMode Mode;
+  uint32_t Main = 0;
+
+  // -- Common structure.
+  std::vector<uint32_t> Roots;         ///< CG.threadRoots().
+  std::vector<int> RootBit;            ///< FuncId -> root index, -1.
+  std::vector<uint64_t> ClosureRoots;  ///< Per func: spawn-closure root mask.
+  std::vector<char> CallReachMain;     ///< Call-only reachable from main.
+  std::vector<char> NeverStoredGlobal; ///< No Store may touch the global.
+  /// Stores that may touch each global: (FuncId, InstId) pairs.
+  std::vector<std::vector<std::pair<uint32_t, ir::InstId>>> GlobalStores;
+
+  // -- Fork/join facts.
+  bool GensValid = false;     ///< Gen-point machinery usable (mask widths).
+  bool ForkJoinValid = false; ///< Fork/join pruning usable.
+  std::vector<GenPoint> Gens;
+  /// Root mask possibly live before each of main's instructions.
+  std::unordered_map<ir::InstId, uint64_t> MainBeforeRoots;
+  /// Per func != main: roots possibly live while it runs on main's thread.
+  std::vector<uint64_t> OpenCtxRoots;
+  /// [rootIdx][rootIdx]: instances provably never overlap in time.
+  std::vector<std::vector<char>> NeverConc;
+
+  // -- Barrier facts.
+  bool BarrierValid = false;
+  std::vector<char> AlignedBarrier;     ///< Per sync id.
+  std::vector<uint64_t> Participants;   ///< Per sync id: root mask.
+  std::vector<uint64_t> MaxInst;        ///< Per root idx; kUnbounded = inf.
+  /// (Func, Inst) -> per-sync interval of waits before the instruction,
+  /// relative to the enclosing function's entry (callee waits included).
+  std::unordered_map<uint64_t, std::vector<Interval>> BeforeInst;
+  /// [rootIdx][Func] -> per-sync interval of waits before entering Func
+  /// on a thread rooted there.
+  std::vector<std::vector<std::vector<Interval>>> Ctx;
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_MAYHAPPENINPARALLEL_H

@@ -12,6 +12,7 @@
 #ifndef CHIMERA_CORE_OPTIONS_H
 #define CHIMERA_CORE_OPTIONS_H
 
+#include "analysis/MayHappenInParallel.h"
 #include "instrument/Planner.h"
 #include "runtime/CostModel.h"
 #include "support/Expected.h"
@@ -45,6 +46,17 @@ struct PipelineConfig {
 
   instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
   rt::CostModel Costs = rt::CostModel::defaultModel();
+
+  /// May-happen-in-parallel filter over RELAY's candidate race pairs:
+  /// Off reports every lockset race, ForkJoin prunes spawn/join-ordered
+  /// pairs, Barrier additionally prunes aligned-barrier-phase-ordered
+  /// pairs (the default).
+  analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
+
+  /// Statically audit the instrumentation plan (weak-lock coverage and
+  /// range subsumption) before any instrumented execution; an audit
+  /// failure turns record/replay into a hard error.
+  bool AuditPlan = true;
 
   /// Weak-lock revocation threshold (cycles).
   uint64_t WeakLockTimeout = 500'000'000;

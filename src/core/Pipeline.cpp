@@ -82,13 +82,21 @@ const ChimeraPipeline::Analyses &ChimeraPipeline::analyses() const {
   return Analysis.get([&] { return std::make_unique<Analyses>(*EvalModule); });
 }
 
+const analysis::MayHappenInParallel &ChimeraPipeline::mhp() const {
+  return MhpCell.get([&] {
+    const Analyses &A = analyses();
+    return std::make_unique<analysis::MayHappenInParallel>(
+        *EvalModule, A.CG, A.PT, Config.Mhp);
+  });
+}
+
 const race::RaceReport &ChimeraPipeline::raceReport() const {
   return Races.get([&] {
     const Analyses &A = analyses();
     race::SummaryCache *Cache =
         Config.UseSummaryCache ? &race::SummaryCache::global() : nullptr;
     race::RelayDetector Detector(*EvalModule, A.CG, A.PT, A.Escape, &pool(),
-                                 Cache);
+                                 Cache, &mhp());
     return std::make_unique<race::RaceReport>(Detector.detect());
   });
 }
@@ -134,9 +142,12 @@ const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
     profile::ProfileData Empty;
     const profile::ProfileData &Prof =
         Config.Planner.UseFunctionLocks ? profileData() : Empty;
-    return std::make_unique<instrument::InstrumentationPlan>(
+    auto P = std::make_unique<instrument::InstrumentationPlan>(
         instrument::planInstrumentation(*EvalModule, Report, Prof,
                                         Config.Planner));
+    if (PlanCorruptor)
+      PlanCorruptor(*P);
+    return P;
   });
 }
 
@@ -151,11 +162,45 @@ const ir::Module &ChimeraPipeline::instrumentedModule() const {
   });
 }
 
+const instrument::AuditResult &ChimeraPipeline::planAudit() const {
+  return Audit.get([&] {
+    return std::make_unique<instrument::AuditResult>(instrument::auditPlan(
+        *EvalModule, raceReport(), plan(), instrumentedModule()));
+  });
+}
+
 void ChimeraPipeline::setPlannerOptions(
     const instrument::PlannerOptions &Opts) {
   Config.Planner = Opts;
   Plan.reset();
   Instrumented.reset();
+  Audit.reset();
+}
+
+void ChimeraPipeline::setMhpMode(analysis::MhpMode Mode) {
+  Config.Mhp = Mode;
+  MhpCell.reset();
+  Races.reset();
+  Plan.reset();
+  Instrumented.reset();
+  Audit.reset();
+}
+
+void ChimeraPipeline::corruptPlanForTest(
+    std::function<void(instrument::InstrumentationPlan &)> Fn) {
+  PlanCorruptor = std::move(Fn);
+  Plan.reset();
+  Instrumented.reset();
+  Audit.reset();
+}
+
+support::Error ChimeraPipeline::ensureAuditedPlan() {
+  if (!Config.AuditPlan)
+    return support::Error::success();
+  const instrument::AuditResult &Result = planAudit();
+  if (!Result.ok())
+    return Result.Failure.context("plan audit failed");
+  return support::Error::success();
 }
 
 rt::ExecutionResult ChimeraPipeline::runOriginalNative(
@@ -171,7 +216,19 @@ rt::ExecutionResult ChimeraPipeline::runOriginalNative(
   return Machine.run();
 }
 
+/// An instrumented execution under a plan that fails its audit is
+/// meaningless (the weak-locks may not cover the races the log format
+/// assumes are covered), so the failure becomes the run's result.
+static rt::ExecutionResult auditFailure(const support::Error &E) {
+  rt::ExecutionResult Result;
+  Result.Ok = false;
+  Result.Error = E.message();
+  return Result;
+}
+
 rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
+  if (support::Error E = ensureAuditedPlan())
+    return auditFailure(E);
   rt::MachineOptions MO;
   MO.Mode = rt::ExecMode::Native;
   MO.NumCores = Config.NumCores;
@@ -185,6 +242,8 @@ rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
 
 rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
                                             rt::ExecutionObserver *Obs) {
+  if (support::Error E = ensureAuditedPlan())
+    return auditFailure(E);
   rt::MachineOptions MO;
   MO.Mode = rt::ExecMode::Record;
   MO.NumCores = Config.NumCores;
@@ -199,6 +258,8 @@ rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
 
 rt::ExecutionResult ChimeraPipeline::replay(const rt::ExecutionLog &Log,
                                             rt::ExecutionObserver *Obs) {
+  if (support::Error E = ensureAuditedPlan())
+    return auditFailure(E);
   rt::MachineOptions MO;
   MO.Mode = rt::ExecMode::Replay;
   MO.NumCores = Config.NumCores;

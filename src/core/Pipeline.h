@@ -42,12 +42,14 @@
 
 #include "core/Options.h"
 #include "instrument/Instrumenter.h"
+#include "instrument/PlanAuditor.h"
 #include "race/DynamicDetector.h"
 #include "race/RelayDetector.h"
 #include "runtime/Machine.h"
 #include "support/Expected.h"
 #include "support/ThreadPool.h"
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -75,15 +77,30 @@ public:
 
   // -- Stages: computed once, cached, safe to call from any thread.
   const ir::Module &originalModule() const { return *EvalModule; }
+  const analysis::MayHappenInParallel &mhp() const;
   const race::RaceReport &raceReport() const;
   const profile::ProfileData &profileData() const;
   const instrument::InstrumentationPlan &plan() const;
   const ir::Module &instrumentedModule() const;
+  /// Static audit of the plan against the instrumented module; computed
+  /// once like the other stages. Consulted (when Config.AuditPlan) by
+  /// every instrumented execution, which fails hard on a dirty audit.
+  const instrument::AuditResult &planAudit() const;
 
   /// Re-plans under different optimizations (invalidates cached plan and
   /// instrumented module). Not thread-safe against concurrent stage
   /// accessors — reconfigure between, not during, analyses.
   void setPlannerOptions(const instrument::PlannerOptions &Opts);
+
+  /// Switches the MHP filter mode (invalidates the race report and every
+  /// downstream stage). Same thread-safety caveat as setPlannerOptions.
+  void setMhpMode(analysis::MhpMode Mode);
+
+  /// Test-only hook: mutates the plan right after planning, before
+  /// instrumentation and audit, so tests can prove the auditor rejects
+  /// corrupted plans. Invalidates the plan and downstream stages.
+  void corruptPlanForTest(
+      std::function<void(instrument::InstrumentationPlan &)> Fn);
 
   // -- Executions.
   rt::ExecutionResult runOriginalNative(uint64_t Seed,
@@ -143,17 +160,22 @@ private:
 
   const Analyses &analyses() const;
   support::ThreadPool &pool() const;
+  /// success() when audits are disabled or the plan proves out.
+  support::Error ensureAuditedPlan();
 
   PipelineConfig Config;
   std::unique_ptr<ir::Module> EvalModule;
   std::unique_ptr<ir::Module> ProfileModule;
+  std::function<void(instrument::InstrumentationPlan &)> PlanCorruptor;
 
   StageCell<support::ThreadPool> Pool;
   StageCell<Analyses> Analysis;
+  StageCell<analysis::MayHappenInParallel> MhpCell;
   StageCell<race::RaceReport> Races;
   StageCell<profile::ProfileData> Profile;
   StageCell<instrument::InstrumentationPlan> Plan;
   StageCell<ir::Module> Instrumented;
+  StageCell<instrument::AuditResult> Audit;
 };
 
 } // namespace core

@@ -1,0 +1,337 @@
+//===- instrument/PlanAuditor.cpp - Static weak-lock coverage proof --------===//
+
+#include "instrument/PlanAuditor.h"
+
+#include "analysis/LoopInfo.h"
+#include "bounds/BoundsAnalysis.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace chimera;
+using namespace chimera::instrument;
+using namespace chimera::ir;
+
+namespace {
+
+/// Must-held lock set; nullopt is top (unvisited / unreachable).
+using LockSet = std::optional<std::set<uint32_t>>;
+
+LockSet meetSets(const LockSet &A, const LockSet &B) {
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  std::set<uint32_t> Out;
+  std::set_intersection(A->begin(), A->end(), B->begin(), B->end(),
+                        std::inserter(Out, Out.begin()));
+  return Out;
+}
+
+void transferInst(const Instruction &Inst, std::set<uint32_t> &Held) {
+  if (Inst.Op == Opcode::WeakAcquire)
+    Held.insert(static_cast<uint32_t>(Inst.Imm));
+  else if (Inst.Op == Opcode::WeakRelease)
+    Held.erase(static_cast<uint32_t>(Inst.Imm));
+}
+
+/// Forward must-held dataflow over one instrumented function. The
+/// WeakAcquire/WeakRelease instructions the Instrumenter emitted —
+/// including the release/reacquire bracket around every call — are the
+/// only transfer points, so intersection over predecessors yields the
+/// locks held on every path.
+struct MustHeldFlow {
+  explicit MustHeldFlow(const Function &F) : F(F) {
+    uint32_t N = F.numBlocks();
+    In.assign(N, std::nullopt);
+    In[0] = std::set<uint32_t>();
+    std::vector<std::vector<BlockId>> Preds(N);
+    for (BlockId B = 0; B != N; ++B)
+      for (BlockId S : F.successors(B))
+        Preds[S].push_back(B);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B != N; ++B) {
+        LockSet NewIn = B == 0 ? In[0] : std::nullopt;
+        if (B != 0)
+          for (BlockId P : Preds[B])
+            NewIn = meetSets(NewIn, outOf(P));
+        if (NewIn != In[B]) {
+          In[B] = std::move(NewIn);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  LockSet outOf(BlockId B) const {
+    if (!In[B])
+      return std::nullopt;
+    std::set<uint32_t> Held = *In[B];
+    for (const Instruction &Inst : F.block(B).Insts)
+      transferInst(Inst, Held);
+    return Held;
+  }
+
+  /// Locks must-held just before instruction \p Ident runs; nullopt when
+  /// the instruction is unreachable (then any claim holds vacuously).
+  LockSet heldBefore(InstId Ident) const {
+    Function::InstPos Pos = F.findInstPos(Ident);
+    if (!Pos.valid() || !In[Pos.Block])
+      return std::nullopt;
+    std::set<uint32_t> Held = *In[Pos.Block];
+    for (uint32_t I = 0; I != Pos.Index; ++I)
+      transferInst(F.block(Pos.Block).Insts[I], Held);
+    return Held;
+  }
+
+  const Function &F;
+  std::vector<LockSet> In;
+};
+
+/// Per original function: analyses for the bounds re-derivation.
+struct OrigContext {
+  std::unique_ptr<analysis::LoopInfo> LI;
+  std::unique_ptr<bounds::BoundsAnalysis> BA;
+};
+
+std::string describeAccess(const Module &M, const race::RacyAccess &A) {
+  const Function &F = M.function(A.FuncId);
+  const Instruction *Inst = F.findInst(A.Ident);
+  return F.Name + ":" + (Inst ? std::to_string(Inst->Loc.Line) : "?");
+}
+
+/// True when affine \p Stronger <= \p Weaker on every valuation, i.e.
+/// their difference is a non-negative constant.
+bool dominatesLe(const bounds::AffineExpr &Stronger,
+                 const bounds::AffineExpr &Weaker) {
+  if (!Stronger.valid() || !Weaker.valid())
+    return false;
+  bounds::AffineExpr Diff = Weaker.sub(Stronger);
+  return Diff.valid() && Diff.isConstant() && Diff.constantValue() >= 0;
+}
+
+class Auditor {
+public:
+  Auditor(const Module &Original, const race::RaceReport &Report,
+          const InstrumentationPlan &Plan, const Module &Instrumented)
+      : Original(Original), Report(Report), Plan(Plan),
+        Instrumented(Instrumented) {}
+
+  AuditResult run() {
+    AuditResult Result;
+    for (const race::RacePair &Pair : Report.Pairs) {
+      ++Result.Stats.PairsChecked;
+      support::Error E = auditPair(Pair, Result.Stats);
+      if (E) {
+        Result.Failure = std::move(E);
+        return Result;
+      }
+    }
+    return Result;
+  }
+
+private:
+  const MustHeldFlow &flowOf(uint32_t FuncId) {
+    auto It = Flows.find(FuncId);
+    if (It == Flows.end())
+      It = Flows
+               .emplace(FuncId,
+                        std::make_unique<MustHeldFlow>(
+                            Instrumented.function(FuncId)))
+               .first;
+    return *It->second;
+  }
+
+  OrigContext &origCtx(uint32_t FuncId) {
+    OrigContext &Ctx = Contexts[FuncId];
+    if (!Ctx.LI) {
+      const Function &F = Original.function(FuncId);
+      Ctx.LI = std::make_unique<analysis::LoopInfo>(F);
+      Ctx.BA = std::make_unique<bounds::BoundsAnalysis>(Original, F, *Ctx.LI);
+    }
+    return Ctx;
+  }
+
+  /// Coarsest plan-level coverage of \p Access by lock \p LockId, or
+  /// nullopt when the plan never guards this access with that lock.
+  std::optional<WeakLockGranularity>
+  planCoverage(const race::RacyAccess &Access, uint32_t LockId,
+               BlockId AccessBlock) const {
+    auto It = Plan.Functions.find(Access.FuncId);
+    if (It == Plan.Functions.end())
+      return std::nullopt;
+    const FunctionPlan &FP = It->second;
+    std::optional<WeakLockGranularity> Best;
+    auto consider = [&](WeakLockGranularity G) {
+      if (!Best || G < *Best)
+        Best = G;
+    };
+    if (std::binary_search(FP.EntryLocks.begin(), FP.EntryLocks.end(),
+                           LockId))
+      consider(WeakLockGranularity::Function);
+    for (const LoopGuard &G : FP.Loops)
+      if (G.LockId == LockId &&
+          std::binary_search(G.LoopBlocks.begin(), G.LoopBlocks.end(),
+                             AccessBlock))
+        consider(WeakLockGranularity::Loop);
+    for (const BlockGuard &G : FP.Blocks)
+      if (G.LockId == LockId && G.Block == AccessBlock)
+        consider(WeakLockGranularity::BasicBlock);
+    for (const InstrGuard &G : FP.Instrs)
+      if (G.LockId == LockId && G.Ident == Access.Ident)
+        consider(WeakLockGranularity::Instr);
+    return Best;
+  }
+
+  /// Checks that every ranged loop guard of \p LockId covering
+  /// \p Access subsumes the access's re-derived address range.
+  support::Error checkRanges(const race::RacyAccess &Access, uint32_t LockId,
+                             BlockId AccessBlock, AuditStats &Stats) {
+    auto It = Plan.Functions.find(Access.FuncId);
+    if (It == Plan.Functions.end())
+      return support::Error::success();
+    for (const LoopGuard &G : It->second.Loops) {
+      if (G.LockId != LockId || !G.HasRange ||
+          !std::binary_search(G.LoopBlocks.begin(), G.LoopBlocks.end(),
+                              AccessBlock))
+        continue;
+      ++Stats.RangedGuardsChecked;
+
+      OrigContext &Ctx = origCtx(Access.FuncId);
+      const analysis::Loop *L = Ctx.LI->innermostLoop(G.Header);
+      while (L && L->Header != G.Header)
+        L = L->Parent;
+      if (!L)
+        return support::Error::failure(
+            "ranged guard for lock " + std::to_string(LockId) +
+            " names a loop header that is not a loop in " +
+            Original.function(Access.FuncId).Name);
+      bounds::AddressBounds B = Ctx.BA->addressBounds(L, Access.Ident);
+      if (!B.Valid)
+        return support::Error::failure(
+            "cannot re-derive address bounds for " +
+            describeAccess(Original, Access) + " under ranged lock " +
+            std::to_string(LockId));
+
+      // The runtime range is fold-min(LoList)..fold-max(HiList), so one
+      // list entry dominating the access bound proves subsumption.
+      bool LoOk = false, HiOk = false;
+      for (const bounds::AffineExpr &Lo : G.LoList)
+        LoOk = LoOk || dominatesLe(Lo, B.Lo);
+      for (const bounds::AffineExpr &Hi : G.HiList)
+        HiOk = HiOk || dominatesLe(B.Hi, Hi);
+      if (!LoOk || !HiOk)
+        return support::Error::failure(
+            "ranged lock " + std::to_string(LockId) +
+            " does not subsume the address range of " +
+            describeAccess(Original, Access) + " (lo " +
+            (LoOk ? "ok" : "uncovered") + ", hi " +
+            (HiOk ? "ok" : "uncovered") + ")");
+    }
+    return support::Error::success();
+  }
+
+  support::Error auditPair(const race::RacePair &Pair, AuditStats &Stats) {
+    std::vector<const race::RacyAccess *> Sides = {&Pair.A};
+    if (Pair.B.FuncId != Pair.A.FuncId || Pair.B.Ident != Pair.A.Ident)
+      Sides.push_back(&Pair.B);
+
+    // 1. Must-held sets from the instrumented IR.
+    LockSet Common;
+    bool AnyReachable = false;
+    std::vector<BlockId> SideBlocks;
+    for (const race::RacyAccess *Side : Sides) {
+      ++Stats.AccessesChecked;
+      Function::InstPos Pos =
+          Original.function(Side->FuncId).findInstPos(Side->Ident);
+      if (!Pos.valid())
+        return support::Error::failure("racy access " +
+                                       describeAccess(Original, *Side) +
+                                       " not found in its function");
+      SideBlocks.push_back(Pos.Block);
+      LockSet Held = flowOf(Side->FuncId).heldBefore(Side->Ident);
+      if (Held)
+        AnyReachable = true;
+      // Top (unreachable side) is the meet identity.
+      Common = meetSets(Common, Held);
+    }
+    // Both sides statically unreachable: nothing to protect.
+    if (!AnyReachable)
+      return support::Error::success();
+    if (!Common || Common->empty())
+      return support::Error::failure(
+          "no weak-lock is held on all paths by both sides of race pair " +
+          describeAccess(Original, Pair.A) + " <-> " +
+          describeAccess(Original, Pair.B));
+
+    // 2 & 3. Some common lock must be covered by plan guards whose
+    // coarsest kind matches its recorded granularity, with every ranged
+    // guard used subsuming the access range.
+    std::string Why = "held locks fail the plan cross-check";
+    for (uint32_t LockId : *Common) {
+      if (LockId >= Plan.Locks.size()) {
+        Why = "held lock " + std::to_string(LockId) +
+              " is absent from the plan's lock table";
+        continue;
+      }
+      std::optional<WeakLockGranularity> Coarsest;
+      bool Covered = true;
+      for (size_t I = 0; I != Sides.size(); ++I) {
+        std::optional<WeakLockGranularity> Cov =
+            planCoverage(*Sides[I], LockId, SideBlocks[I]);
+        if (!Cov) {
+          Covered = false;
+          break;
+        }
+        if (!Coarsest || *Cov < *Coarsest)
+          Coarsest = *Cov;
+      }
+      if (!Covered) {
+        Why = "lock " + std::to_string(LockId) +
+              " is held but no plan guard covers both sides";
+        continue;
+      }
+      if (*Coarsest != Plan.Locks[LockId].Granularity) {
+        Why = "lock " + std::to_string(LockId) + " recorded granularity " +
+              std::string(weakLockGranularityName(
+                  Plan.Locks[LockId].Granularity)) +
+              " but guards cover the pair at " +
+              weakLockGranularityName(*Coarsest);
+        continue;
+      }
+      support::Error RangeErr = support::Error::success();
+      for (size_t I = 0; I != Sides.size() && !RangeErr; ++I)
+        RangeErr =
+            checkRanges(*Sides[I], LockId, SideBlocks[I], Stats);
+      if (RangeErr) {
+        Why = RangeErr.message();
+        continue;
+      }
+      return support::Error::success(); // This lock audits clean.
+    }
+    return support::Error::failure(
+        "race pair " + describeAccess(Original, Pair.A) + " <-> " +
+        describeAccess(Original, Pair.B) + " fails the plan audit: " + Why);
+  }
+
+  const Module &Original;
+  const race::RaceReport &Report;
+  const InstrumentationPlan &Plan;
+  const Module &Instrumented;
+  std::map<uint32_t, std::unique_ptr<MustHeldFlow>> Flows;
+  std::map<uint32_t, OrigContext> Contexts;
+};
+
+} // namespace
+
+AuditResult chimera::instrument::auditPlan(const Module &Original,
+                                           const race::RaceReport &Report,
+                                           const InstrumentationPlan &Plan,
+                                           const Module &Instrumented) {
+  return Auditor(Original, Report, Plan, Instrumented).run();
+}

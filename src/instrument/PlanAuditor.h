@@ -1,0 +1,64 @@
+//===- instrument/PlanAuditor.h - Static weak-lock coverage proof -*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent static verifier for instrumentation plans (ISSUE 3).
+/// After the Planner chooses granularities and the Instrumenter rewrites
+/// the module, the auditor re-proves — from the instrumented IR alone,
+/// without trusting the Planner's bookkeeping — that
+///
+///  1. every surviving racy access is dominated by a WeakAcquire of some
+///     lock held at the access on *all* paths (a must-held forward
+///     dataflow over the instrumented function, honoring the
+///     release/reacquire pairs the Instrumenter emits around calls);
+///  2. both sides of every race pair hold a common lock whose recorded
+///     WeakLockMeta granularity matches the coarsest guard kind actually
+///     covering the two sides in the plan;
+///  3. every ranged loop guard used to cover a side subsumes that
+///     access's address range: the bounds are re-derived from the
+///     original module and compared expression-wise against the guard's
+///     Lo/Hi lists (a list entry must dominate the access bound by a
+///     provable constant offset).
+///
+/// Failures are hard errors — the Pipeline refuses to record or replay
+/// under a plan that does not audit clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_INSTRUMENT_PLANAUDITOR_H
+#define CHIMERA_INSTRUMENT_PLANAUDITOR_H
+
+#include "instrument/Plan.h"
+#include "race/RelayDetector.h"
+#include "support/Expected.h"
+
+namespace chimera {
+namespace instrument {
+
+struct AuditStats {
+  uint64_t PairsChecked = 0;
+  uint64_t AccessesChecked = 0;
+  uint64_t RangedGuardsChecked = 0;
+};
+
+struct AuditResult {
+  support::Error Failure; ///< success() when the plan proves out.
+  AuditStats Stats;
+
+  bool ok() const { return !Failure; }
+};
+
+/// Verifies \p Plan / \p Instrumented against \p Report. \p Original is
+/// the uninstrumented module the bounds re-derivation runs on.
+AuditResult auditPlan(const ir::Module &Original,
+                      const race::RaceReport &Report,
+                      const InstrumentationPlan &Plan,
+                      const ir::Module &Instrumented);
+
+} // namespace instrument
+} // namespace chimera
+
+#endif // CHIMERA_INSTRUMENT_PLANAUDITOR_H

@@ -71,11 +71,23 @@ std::string RaceReport::str(const Module &M) const {
   return Out;
 }
 
+std::string RaceReport::mhpStatsStr() const {
+  std::string Out = "mhp mode=";
+  Out += analysis::mhpModeName(Mhp.Mode);
+  Out += " pairs-before=" + std::to_string(Mhp.PairsBefore);
+  Out += " pairs-after=" + std::to_string(Mhp.pairsAfter());
+  Out += " pruned-forkjoin=" + std::to_string(Mhp.PrunedForkJoin);
+  Out += " pruned-barrier=" + std::to_string(Mhp.PrunedBarrier);
+  return Out;
+}
+
 RelayDetector::RelayDetector(const Module &M, const analysis::CallGraph &CG,
                              const analysis::PointsTo &PT,
                              const analysis::EscapeAnalysis &Escape,
-                             support::ThreadPool *Pool, SummaryCache *Cache)
-    : M(M), CG(CG), PT(PT), Escape(Escape), Pool(Pool), Cache(Cache) {}
+                             support::ThreadPool *Pool, SummaryCache *Cache,
+                             const analysis::MayHappenInParallel *Mhp)
+    : M(M), CG(CG), PT(PT), Escape(Escape), Pool(Pool), Cache(Cache),
+      Mhp(Mhp) {}
 
 namespace {
 
@@ -341,6 +353,13 @@ RaceReport RelayDetector::detect() {
 
   RaceReport Report;
   std::set<uint64_t> Seen;
+  // Candidates removed under some root context. A key pruned under one
+  // context but racy under another must stay in Pairs, so pruning is
+  // resolved only after every context was examined: a key lands in
+  // PrunedPairs iff it never entered Seen. First-encounter reason wins
+  // (the root iteration order is deterministic).
+  std::map<uint64_t, PrunedRace> PrunedCand;
+  const bool Filter = Mhp && Mhp->mode() != analysis::MhpMode::Off;
 
   const std::vector<uint32_t> &Roots = CG.threadRoots();
   for (size_t I = 0; I != Roots.size(); ++I) {
@@ -371,12 +390,33 @@ RaceReport RelayDetector::detect() {
           Pair.A = {A.FuncId, A.Ident, A.IsWrite};
           Pair.B = {B.FuncId, B.Ident, B.IsWrite};
           Pair.Objects = std::move(Common);
+          if (Filter) {
+            analysis::MhpOrdering Ord = Mhp->classify(
+                R1, A.FuncId, A.Ident, R2, B.FuncId, B.Ident);
+            if (Ord != analysis::MhpOrdering::MayRace) {
+              PrunedCand.try_emplace(Pair.key(),
+                                     PrunedRace{std::move(Pair), Ord});
+              continue;
+            }
+          }
           if (Seen.insert(Pair.key()).second)
             Report.Pairs.push_back(std::move(Pair));
         }
       }
     }
   }
+
+  for (auto &Entry : PrunedCand) {
+    if (Seen.count(Entry.first))
+      continue; // Racy under another root context: stays a real pair.
+    if (Entry.second.Reason == analysis::MhpOrdering::OrderedForkJoin)
+      ++Report.Mhp.PrunedForkJoin;
+    else
+      ++Report.Mhp.PrunedBarrier;
+    Report.PrunedPairs.push_back(std::move(Entry.second));
+  }
+  Report.Mhp.Mode = Mhp ? Mhp->mode() : analysis::MhpMode::Off;
+  Report.Mhp.PairsBefore = Report.Pairs.size() + Report.PrunedPairs.size();
 
   std::sort(Report.Pairs.begin(), Report.Pairs.end(),
             [](const RacePair &X, const RacePair &Y) {

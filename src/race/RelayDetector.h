@@ -27,6 +27,7 @@
 
 #include "analysis/CallGraph.h"
 #include "analysis/Escape.h"
+#include "analysis/MayHappenInParallel.h"
 #include "analysis/PointsTo.h"
 #include "race/Summary.h"
 
@@ -60,8 +61,30 @@ struct RacePair {
   uint64_t key() const;
 };
 
+/// A candidate pair the MHP filter removed, with the ordering proof kind.
+struct PrunedRace {
+  RacePair Pair;
+  analysis::MhpOrdering Reason = analysis::MhpOrdering::MayRace;
+};
+
+/// Precision accounting for the MHP filter (ISSUE 3): how many candidate
+/// pairs existed before pruning and why each removed pair is ordered.
+struct MhpStats {
+  analysis::MhpMode Mode = analysis::MhpMode::Off;
+  uint64_t PairsBefore = 0;
+  uint64_t PrunedForkJoin = 0;
+  uint64_t PrunedBarrier = 0;
+
+  uint64_t pruned() const { return PrunedForkJoin + PrunedBarrier; }
+  uint64_t pairsAfter() const { return PairsBefore - pruned(); }
+};
+
 struct RaceReport {
   std::vector<RacePair> Pairs;
+  /// Pairs removed by the MHP filter, sorted by key. A pair appears here
+  /// only if *no* root context keeps it racy.
+  std::vector<PrunedRace> PrunedPairs;
+  MhpStats Mhp;
 
   /// All distinct racy instructions.
   std::vector<RacyAccess> racyInstructions() const;
@@ -69,6 +92,8 @@ struct RaceReport {
   std::vector<std::pair<uint32_t, uint32_t>> racyFunctionPairs() const;
 
   std::string str(const ir::Module &M) const;
+  /// One-line MHP precision summary ("--race-stats" in the CLI).
+  std::string mhpStatsStr() const;
 };
 
 class RelayDetector {
@@ -78,12 +103,15 @@ public:
   /// bit-identical to the serial order because each task writes only its
   /// own functions' summary slots. \p Cache, when given, skips the
   /// dataflow for any (module, function, callee-summaries) content hash
-  /// seen before.
+  /// seen before. \p Mhp, when given and not Off, filters candidate race
+  /// pairs whose accesses are provably ordered; pruned pairs are kept in
+  /// RaceReport::PrunedPairs for auditing.
   RelayDetector(const ir::Module &M, const analysis::CallGraph &CG,
                 const analysis::PointsTo &PT,
                 const analysis::EscapeAnalysis &Escape,
                 support::ThreadPool *Pool = nullptr,
-                SummaryCache *Cache = nullptr);
+                SummaryCache *Cache = nullptr,
+                const analysis::MayHappenInParallel *Mhp = nullptr);
 
   /// Runs the full analysis.
   RaceReport detect();
@@ -103,6 +131,7 @@ private:
   const analysis::EscapeAnalysis &Escape;
   support::ThreadPool *Pool = nullptr;
   SummaryCache *Cache = nullptr;
+  const analysis::MayHappenInParallel *Mhp = nullptr;
   uint64_t ModuleHash = 0; ///< Content hash anchoring cache keys.
   std::vector<FunctionSummary> Summaries;
 };

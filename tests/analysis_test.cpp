@@ -6,7 +6,9 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/PointsTo.h"
 #include "codegen/CodeGen.h"
+#include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 using namespace chimera;
@@ -314,4 +316,36 @@ TEST(Escape, ThreadLocalHeapDoesNotEscape) {
   EXPECT_TRUE(Escape.escapes(SharedObj));
   EXPECT_FALSE(Escape.escapes(PrivObj));
   EXPECT_GE(Escape.numEscaping(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flavor precision ordering
+//===----------------------------------------------------------------------===//
+
+// Steensgaard's unification merges everything Andersen's inclusion
+// analysis merges (and possibly more), so for every register the
+// Andersen points-to set must be a subset of the Steensgaard one. The
+// pipeline relies on this ordering: any analysis sound over Steensgaard
+// results stays sound when Andersen tightens them.
+TEST(PointsTo, AndersenSubsetOfSteensgaardOnAllWorkloads) {
+  for (workloads::WorkloadKind Kind : workloads::allWorkloads()) {
+    std::string Source =
+        workloads::workloadSource(Kind, workloads::evalParams(Kind));
+    auto M = compile(Source);
+    ASSERT_NE(M, nullptr);
+    PointsTo And(*M, PointsToFlavor::Andersen);
+    PointsTo Ste(*M, PointsToFlavor::Steensgaard);
+    ASSERT_EQ(And.numObjects(), Ste.numObjects());
+    for (const std::unique_ptr<ir::Function> &FP : M->Functions) {
+      const ir::Function &F = *FP;
+      for (ir::Reg R = 0; R < F.NumRegs; ++R) {
+        std::vector<uint32_t> A = And.pointsTo(F.Index, R);
+        std::vector<uint32_t> S = Ste.pointsTo(F.Index, R);
+        EXPECT_TRUE(std::includes(S.begin(), S.end(), A.begin(), A.end()))
+            << workloads::workloadInfo(Kind).Name << ": " << F.Name
+            << " r" << R << " has Andersen targets missing under "
+            << "Steensgaard";
+      }
+    }
+  }
 }

@@ -3,6 +3,8 @@
 #include "codegen/CodeGen.h"
 #include "race/Lockset.h"
 #include "race/RelayDetector.h"
+#include "race/SummaryCache.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
@@ -261,6 +263,43 @@ TEST(Relay, RacyInstructionsAndFunctionPairsDeduplicated) {
   for (size_t I = 1; I < Insts.size(); ++I)
     EXPECT_TRUE(std::tie(Insts[I - 1].FuncId, Insts[I - 1].Ident) <
                 std::tie(Insts[I].FuncId, Insts[I].Ident));
+}
+
+TEST(SummaryCacheHits, SecondDetectionHitsAndMatchesFirst) {
+  // A fresh detector over the same module must find every function
+  // summary already cached and still produce the identical report —
+  // cached values are a pure function of the key.
+  const std::string Source =
+      workloads::workloadSource(workloads::WorkloadKind::Pfscan,
+                                workloads::evalParams(
+                                    workloads::WorkloadKind::Pfscan));
+  std::string Err;
+  auto M = compileMiniC(Source, "t", &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  analysis::CallGraph CG(*M);
+  analysis::PointsTo PT(*M);
+  analysis::EscapeAnalysis Escape(*M, PT);
+
+  SummaryCache Cache;
+  RelayDetector First(*M, CG, PT, Escape, nullptr, &Cache);
+  RaceReport A = First.detect();
+  SummaryCache::Stats AfterFirst = Cache.stats();
+  EXPECT_EQ(AfterFirst.Hits, 0u);
+  EXPECT_GT(AfterFirst.Entries, 0u);
+
+  RelayDetector Second(*M, CG, PT, Escape, nullptr, &Cache);
+  RaceReport B = Second.detect();
+  SummaryCache::Stats AfterSecond = Cache.stats();
+  EXPECT_GT(AfterSecond.Hits, 0u);
+  EXPECT_EQ(AfterSecond.Misses, AfterFirst.Misses)
+      << "second detection recomputed a summary the first one cached";
+
+  ASSERT_EQ(A.Pairs.size(), B.Pairs.size());
+  for (size_t I = 0; I < A.Pairs.size(); ++I) {
+    EXPECT_EQ(A.Pairs[I].key(), B.Pairs[I].key());
+    EXPECT_EQ(A.Pairs[I].Objects, B.Pairs[I].Objects);
+  }
+  EXPECT_EQ(A.racyFunctionPairs(), B.racyFunctionPairs());
 }
 
 TEST(Relay, CondVarOrderingInvisible) {

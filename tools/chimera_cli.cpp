@@ -8,7 +8,7 @@
 // static race report and instrumentation plan, record executions to a
 // log file, and replay them deterministically.
 //
-//   chimera races   prog.mc [--jobs N]
+//   chimera races   prog.mc [--jobs N] [--mhp=MODE] [--race-stats]
 //   chimera plan    prog.mc [--naive|--func|--loop]
 //   chimera ir      prog.mc [--instrumented]
 //   chimera run     prog.mc [--seed N] [--cores N]
@@ -17,7 +17,8 @@
 //
 // Options are described by a declarative table (flag, arity, help,
 // setter); usage text is generated from the same table so help can
-// never drift from what the parser accepts.
+// never drift from what the parser accepts. Value-taking flags accept
+// both `--flag VALUE` and `--flag=VALUE`.
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,16 +48,19 @@ struct CliOptions {
   std::string OutPath;
   std::string LogPath; ///< replay's positional log argument.
   bool Instrumented = false;
+  bool RaceStats = false;
+  analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
   instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
 };
 
 /// One command-line flag: how to spell it, whether it consumes a value,
-/// what to print in --help, and how to apply it.
+/// what to print in --help, and how to apply it. Apply returns
+/// success(), or a failure describing why the value was rejected.
 struct OptionSpec {
   const char *Flag;
   const char *ArgName; ///< Null when the flag takes no value.
   const char *Help;
-  std::function<bool(CliOptions &, const char *Arg)> Apply;
+  std::function<support::Error(CliOptions &, const char *Arg)> Apply;
 };
 
 bool parseUnsigned(const char *Text, uint64_t &Out) {
@@ -77,53 +81,77 @@ bool parseUnsignedFits(const char *Text, unsigned &Out) {
   return true;
 }
 
+support::Error badValue(const char *Flag, const char *Value) {
+  return support::Error::failure(std::string("invalid value for ") + Flag +
+                                 ": " + (Value ? Value : ""));
+}
+
 const std::vector<OptionSpec> &optionTable() {
   static const std::vector<OptionSpec> Table = {
       {"--seed", "N", "scheduler/input seed (default 1)",
        [](CliOptions &O, const char *A) {
          uint64_t V;
          if (!parseUnsigned(A, V))
-           return false;
+           return badValue("--seed", A);
          O.Seed = V;
-         return true;
+         return support::Error::success();
        }},
       {"--cores", "N", "simulated cores (default 8)",
        [](CliOptions &O, const char *A) {
          unsigned V;
          if (!parseUnsignedFits(A, V) || V == 0)
-           return false;
+           return badValue("--cores", A);
          O.Cores = V;
-         return true;
+         return support::Error::success();
        }},
       {"--jobs", "N",
        "analysis/profiling worker threads (default: hardware threads)",
        [](CliOptions &O, const char *A) {
-         return parseUnsignedFits(A, O.Jobs);
+         if (!parseUnsignedFits(A, O.Jobs))
+           return badValue("--jobs", A);
+         return support::Error::success();
        }},
       {"-o", "FILE", "output log path for `record` (default prog.clog)",
        [](CliOptions &O, const char *A) {
          O.OutPath = A;
-         return true;
+         return support::Error::success();
+       }},
+      {"--mhp", "MODE",
+       "may-happen-in-parallel race filter: off|forkjoin|barrier "
+       "(default barrier)",
+       [](CliOptions &O, const char *A) {
+         support::Expected<analysis::MhpMode> Mode =
+             analysis::parseMhpMode(A ? A : "");
+         if (!Mode)
+           return Mode.error();
+         O.Mhp = *Mode;
+         return support::Error::success();
+       }},
+      {"--race-stats", nullptr,
+       "with `races`: print pairs pruned by the MHP filter, per reason",
+       [](CliOptions &O, const char *) {
+         O.RaceStats = true;
+         return support::Error::success();
        }},
       {"--instrumented", nullptr, "print the weak-lock-guarded module",
        [](CliOptions &O, const char *) {
          O.Instrumented = true;
-         return true;
+         return support::Error::success();
        }},
       {"--naive", nullptr, "planner ablation: one lock per address",
        [](CliOptions &O, const char *) {
          O.Planner = instrument::PlannerOptions::naive();
-         return true;
+         return support::Error::success();
        }},
       {"--func", nullptr, "planner ablation: function locks only",
        [](CliOptions &O, const char *) {
          O.Planner = instrument::PlannerOptions::functionOnly();
-         return true;
+         return support::Error::success();
        }},
       {"--loop", nullptr, "planner ablation: loop locks only",
        [](CliOptions &O, const char *) {
          O.Planner = instrument::PlannerOptions::loopOnly();
-         return true;
+         return support::Error::success();
        }},
   };
   return Table;
@@ -160,9 +188,19 @@ bool parseOptions(int argc, char **argv, const std::string &Command,
                   CliOptions &Opts) {
   for (int I = 3; I < argc; ++I) {
     const std::string Arg = argv[I];
+    // `--flag=value` form: split at the first '='.
+    std::string Flag = Arg;
+    std::string Inline;
+    bool HasInline = false;
+    size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos && Arg.size() > 1 && Arg[0] == '-') {
+      Flag = Arg.substr(0, Eq);
+      Inline = Arg.substr(Eq + 1);
+      HasInline = true;
+    }
     const OptionSpec *Match = nullptr;
     for (const OptionSpec &Spec : optionTable())
-      if (Arg == Spec.Flag) {
+      if (Flag == Spec.Flag) {
         Match = &Spec;
         break;
       }
@@ -176,16 +214,22 @@ bool parseOptions(int argc, char **argv, const std::string &Command,
     }
     const char *Value = nullptr;
     if (Match->ArgName) {
-      if (I + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value (%s)\n", Match->Flag,
-                     Match->ArgName);
-        return false;
+      if (HasInline) {
+        Value = Inline.c_str();
+      } else {
+        if (I + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a value (%s)\n", Match->Flag,
+                       Match->ArgName);
+          return false;
+        }
+        Value = argv[++I];
       }
-      Value = argv[++I];
+    } else if (HasInline) {
+      std::fprintf(stderr, "%s takes no value\n", Match->Flag);
+      return false;
     }
-    if (!Match->Apply(Opts, Value)) {
-      std::fprintf(stderr, "invalid value for %s: %s\n", Match->Flag,
-                   Value ? Value : "");
+    if (support::Error E = Match->Apply(Opts, Value)) {
+      std::fprintf(stderr, "%s\n", E.message().c_str());
       return false;
     }
   }
@@ -261,6 +305,7 @@ int main(int argc, char **argv) {
   Config.NumCores = Opts.Cores;
   Config.AnalysisJobs = Opts.Jobs;
   Config.Planner = Opts.Planner;
+  Config.Mhp = Opts.Mhp;
   auto MaybePipeline =
       core::ChimeraPipeline::fromSource(Source, Source, Config);
   if (!MaybePipeline) {
@@ -273,6 +318,24 @@ int main(int argc, char **argv) {
     const race::RaceReport &Races = Pipeline->raceReport();
     std::printf("%zu potential race pair(s)\n", Races.Pairs.size());
     std::printf("%s", Races.str(Pipeline->originalModule()).c_str());
+    if (Opts.RaceStats) {
+      std::printf("%s\n", Races.mhpStatsStr().c_str());
+      const ir::Module &M = Pipeline->originalModule();
+      for (const race::PrunedRace &P : Races.PrunedPairs) {
+        auto describe = [&](const race::RacyAccess &A) {
+          const ir::Function &F = M.function(A.FuncId);
+          const ir::Instruction *Inst = F.findInst(A.Ident);
+          return F.Name + ":" +
+                 (Inst ? std::to_string(Inst->Loc.Line) : "?");
+        };
+        std::printf(
+            "pruned (%s): %s <-> %s\n",
+            P.Reason == analysis::MhpOrdering::OrderedForkJoin
+                ? "forkjoin"
+                : "barrier",
+            describe(P.Pair.A).c_str(), describe(P.Pair.B).c_str());
+      }
+    }
     return 0;
   }
 
@@ -281,6 +344,19 @@ int main(int argc, char **argv) {
                 Pipeline->plan()
                     .summary(Pipeline->originalModule())
                     .c_str());
+    const instrument::AuditResult &Audit = Pipeline->planAudit();
+    if (!Audit.ok()) {
+      std::fprintf(stderr, "plan audit FAILED: %s\n",
+                   Audit.Failure.message().c_str());
+      return 1;
+    }
+    std::printf("plan audit: ok (%llu pairs, %llu accesses, %llu ranged "
+                "guards checked)\n",
+                static_cast<unsigned long long>(Audit.Stats.PairsChecked),
+                static_cast<unsigned long long>(
+                    Audit.Stats.AccessesChecked),
+                static_cast<unsigned long long>(
+                    Audit.Stats.RangedGuardsChecked));
     return 0;
   }
 
