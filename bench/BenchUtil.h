@@ -31,14 +31,14 @@ inline const uint64_t BenchSeed = 2012;
 
 inline std::unique_ptr<core::ChimeraPipeline> pipelineFor(
     workloads::WorkloadKind Kind, unsigned Workers = 4) {
-  std::string Err;
-  auto P = workloads::buildPipeline(Kind, Workers, &Err);
+  auto P = workloads::buildPipelineEx(Kind, Workers);
   if (!P) {
     std::fprintf(stderr, "failed to build %s: %s\n",
-                 workloads::workloadInfo(Kind).Name, Err.c_str());
+                 workloads::workloadInfo(Kind).Name,
+                 P.error().message().c_str());
     std::exit(1);
   }
-  return P;
+  return P.take();
 }
 
 inline void requireOk(const rt::ExecutionResult &R, const char *What) {

@@ -63,13 +63,14 @@ static void comparePointsToFlavors() {
   hrule(36);
 
   for (WorkloadKind K : allWorkloads()) {
-    std::string Err;
-    auto M = compileMiniC(workloadSource(K, evalParams(K, 4)),
-                          workloadInfo(K).Name, &Err);
-    if (!M) {
-      std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
+    auto Compiled = compileMiniCEx(workloadSource(K, evalParams(K, 4)),
+                                   workloadInfo(K).Name);
+    if (!Compiled) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   Compiled.error().message().c_str());
       std::exit(1);
     }
+    auto M = Compiled.take();
     analysis::CallGraph CG(*M);
 
     size_t Counts[2];

@@ -91,12 +91,15 @@ int main() {
   race::SummaryCache::global().clear();
   double Cold = timeAnalyses(Kind, 1, /*UseCache=*/true);
   double Warm = timeAnalyses(Kind, 1, /*UseCache=*/true);
-  auto CacheStats = race::SummaryCache::global().stats();
+  chimera::obs::Registry CacheReg;
+  race::SummaryCache::global().publishTo(
+      chimera::obs::Scope(&CacheReg, "cache"));
+  chimera::obs::Snapshot CacheStats = CacheReg.snapshot();
   std::printf("\nsummary cache: cold %.4fs, warm rebuild %.4fs "
-              "(%.2fx; %llu entries, %llu hits)\n",
+              "(%.2fx; %lld entries, %lld hits)\n",
               Cold, Warm, Cold / Warm,
-              static_cast<unsigned long long>(CacheStats.Entries),
-              static_cast<unsigned long long>(CacheStats.Hits));
+              static_cast<long long>(CacheStats.value("cache.entries", 0)),
+              static_cast<long long>(CacheStats.value("cache.hits", 0)));
 
   FILE *Json = std::fopen("BENCH_parallel_analysis.json", "w");
   if (!Json) {
@@ -116,7 +119,8 @@ int main() {
                "}\n",
                workloadInfo(Kind).Name, HwThreads, Times[0], Times[1],
                Times[2], Times[3], Times[0] / Times[3], Cold, Warm,
-               static_cast<unsigned long long>(CacheStats.Entries));
+               static_cast<unsigned long long>(
+                   CacheStats.value("cache.entries", 0)));
   std::fclose(Json);
   std::printf("\nwrote BENCH_parallel_analysis.json\n");
   return 0;

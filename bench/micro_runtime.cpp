@@ -108,16 +108,15 @@ BENCHMARK(BM_GreedyCliques);
 namespace {
 
 std::unique_ptr<ir::Module> compileLoopKernel() {
-  std::string Err;
-  auto M = compileMiniC("int a[256];\n"
-                        "int main() { int i; int s = 0; "
-                        "for (i = 0; i < 100000; i++) { "
-                        "a[i & 255] = s; s = (s + a[(i + 7) & 255]) "
-                        "& 65535; } output(s); return 0; }",
-                        "kernel", &Err);
+  auto M = compileMiniCEx("int a[256];\n"
+                          "int main() { int i; int s = 0; "
+                          "for (i = 0; i < 100000; i++) { "
+                          "a[i & 255] = s; s = (s + a[(i + 7) & 255]) "
+                          "& 65535; } output(s); return 0; }",
+                          "kernel");
   if (!M)
     std::abort();
-  return M;
+  return M.take();
 }
 
 } // namespace

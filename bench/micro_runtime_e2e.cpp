@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Metrics.h"
 #include "workloads/Workloads.h"
 
 #include <chrono>
@@ -129,38 +130,48 @@ int main() {
               TotalInsts / TotalNativeSec / 1e6,
               TotalSyncs / TotalRecordSec / 1e3);
 
+  // Results flow through the observability serializer: one flat
+  // registry, snapshotted to JSON. Wall times are integral microseconds
+  // (metrics are integers); rates round to the nearest unit.
+  obs::Registry Reg;
+  obs::Scope Bench(&Reg, "bench.runtime");
+  Bench.gauge("seed").set(static_cast<int64_t>(Seed));
+  auto us = [](double Seconds) {
+    return static_cast<uint64_t>(Seconds * 1e6 + 0.5);
+  };
+  for (const Row &R : Rows) {
+    obs::Scope W = Bench.sub(R.Name);
+    W.counter("native_wall_us").add(us(R.NativeSec));
+    W.counter("record_wall_us").add(us(R.RecordSec));
+    W.counter("record_wall_us_mhp_off").add(us(R.RecordOffSec));
+    W.counter("record_wall_us_mhp_on").add(us(R.RecordOnSec));
+    W.counter("instructions").add(R.Instructions);
+    W.counter("sync_ops").add(R.SyncOps);
+    W.gauge("instructions_per_second")
+        .set(static_cast<int64_t>(R.InstPerSec + 0.5));
+    W.gauge("sync_ops_per_second")
+        .set(static_cast<int64_t>(R.SyncPerSec + 0.5));
+  }
+  obs::Scope Total = Bench.sub("total");
+  Total.counter("native_wall_us").add(us(TotalNativeSec));
+  Total.counter("record_wall_us").add(us(TotalRecordSec));
+  Total.counter("record_wall_us_mhp_off").add(us(TotalOffSec));
+  Total.counter("record_wall_us_mhp_on").add(us(TotalOnSec));
+  Total.counter("instructions").add(TotalInsts);
+  Total.counter("sync_ops").add(TotalSyncs);
+  Total.gauge("instructions_per_second")
+      .set(static_cast<int64_t>(TotalInsts / TotalNativeSec + 0.5));
+  Total.gauge("sync_ops_per_second")
+      .set(static_cast<int64_t>(TotalSyncs / TotalRecordSec + 0.5));
+
   FILE *Json = std::fopen("BENCH_runtime.json", "w");
   if (!Json) {
     std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
     return 1;
   }
-  std::fprintf(Json, "{\n  \"seed\": %llu,\n  \"workloads\": [\n",
-               static_cast<unsigned long long>(Seed));
-  for (size_t I = 0; I != Rows.size(); ++I) {
-    const Row &R = Rows[I];
-    std::fprintf(Json,
-                 "    {\"name\": \"%s\", \"native_wall_seconds\": %.6f, "
-                 "\"record_wall_seconds\": %.6f, "
-                 "\"record_wall_seconds_mhp_off\": %.6f, "
-                 "\"record_wall_seconds_mhp_on\": %.6f, "
-                 "\"instructions\": %llu, \"sync_ops\": %llu, "
-                 "\"instructions_per_second\": %.1f, "
-                 "\"sync_ops_per_second\": %.1f}%s\n",
-                 R.Name, R.NativeSec, R.RecordSec, R.RecordOffSec,
-                 R.RecordOnSec,
-                 static_cast<unsigned long long>(R.Instructions),
-                 static_cast<unsigned long long>(R.SyncOps), R.InstPerSec,
-                 R.SyncPerSec, I + 1 == Rows.size() ? "" : ",");
-  }
-  std::fprintf(Json,
-               "  ],\n  \"total_native_wall_seconds\": %.6f,\n"
-               "  \"total_record_wall_seconds\": %.6f,\n"
-               "  \"total_record_wall_seconds_mhp_off\": %.6f,\n"
-               "  \"total_record_wall_seconds_mhp_on\": %.6f,\n"
-               "  \"total_instructions_per_second\": %.1f,\n"
-               "  \"total_sync_ops_per_second\": %.1f\n}\n",
-               TotalNativeSec, TotalRecordSec, TotalOffSec, TotalOnSec,
-               TotalInsts / TotalNativeSec, TotalSyncs / TotalRecordSec);
+  std::string Rendered = Reg.snapshot().toJson();
+  std::fwrite(Rendered.data(), 1, Rendered.size(), Json);
+  std::fputc('\n', Json);
   std::fclose(Json);
   std::printf("\nwrote BENCH_runtime.json\n");
   return 0;

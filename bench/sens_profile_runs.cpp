@@ -25,13 +25,14 @@ int main() {
               "concurrent-function-pair count per profile run\n\n");
 
   for (WorkloadKind K : {WorkloadKind::Pfscan, WorkloadKind::Water}) {
-    std::string Err;
-    auto M = compileMiniC(workloadSource(K, profileParams(K)),
-                          workloadInfo(K).Name, &Err);
-    if (!M) {
-      std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
+    auto Compiled = compileMiniCEx(workloadSource(K, profileParams(K)),
+                                   workloadInfo(K).Name);
+    if (!Compiled) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   Compiled.error().message().c_str());
       return 1;
     }
+    auto M = Compiled.take();
 
     profile::ProfileData Cumulative;
     std::printf("%-8s:", workloadInfo(K).Name);

@@ -57,13 +57,13 @@ int main() {
   core::PipelineConfig Config;
   Config.Name = "bank";
   Config.ProfileRuns = 8;
-  std::string Error;
-  auto Pipeline =
-      core::ChimeraPipeline::fromSource(Bank, Bank, Config, &Error);
-  if (!Pipeline) {
-    std::fprintf(stderr, "compile error:\n%s\n", Error.c_str());
+  auto Built = core::ChimeraPipeline::fromSource(Bank, Bank, Config);
+  if (!Built) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Built.error().message().c_str());
     return 1;
   }
+  std::unique_ptr<core::ChimeraPipeline> Pipeline = Built.take();
 
   std::printf("recording production runs until the overdraft bug "
               "strikes...\n");

@@ -18,12 +18,13 @@ using namespace chimera;
 using namespace chimera::workloads;
 
 int main() {
-  std::string Error;
-  auto Pipeline = buildPipeline(WorkloadKind::Water, 4, &Error);
-  if (!Pipeline) {
-    std::fprintf(stderr, "build failed: %s\n", Error.c_str());
+  auto Built = buildPipelineEx(WorkloadKind::Water, 4);
+  if (!Built) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 Built.error().message().c_str());
     return 1;
   }
+  std::unique_ptr<core::ChimeraPipeline> Pipeline = Built.take();
   const ir::Module &M = Pipeline->originalModule();
 
   // 1. RELAY's racy function pairs.

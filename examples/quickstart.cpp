@@ -48,13 +48,13 @@ int main() {
   core::PipelineConfig Config;
   Config.Name = "quickstart";
   Config.ProfileRuns = 10;
-  std::string Error;
-  auto Pipeline =
-      core::ChimeraPipeline::fromSource(Program, Program, Config, &Error);
-  if (!Pipeline) {
-    std::fprintf(stderr, "compile error:\n%s\n", Error.c_str());
+  auto Built = core::ChimeraPipeline::fromSource(Program, Program, Config);
+  if (!Built) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Built.error().message().c_str());
     return 1;
   }
+  std::unique_ptr<core::ChimeraPipeline> Pipeline = Built.take();
 
   // 2. Static race detection (our RELAY port).
   const race::RaceReport &Races = Pipeline->raceReport();

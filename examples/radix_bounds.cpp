@@ -63,12 +63,13 @@ void analyzeFunction(const ir::Module &M, const char *Name) {
 } // namespace
 
 int main() {
-  std::string Error;
-  auto Pipeline = buildPipeline(WorkloadKind::Radix, 4, &Error);
-  if (!Pipeline) {
-    std::fprintf(stderr, "build failed: %s\n", Error.c_str());
+  auto Built = buildPipelineEx(WorkloadKind::Radix, 4);
+  if (!Built) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 Built.error().message().c_str());
     return 1;
   }
+  std::unique_ptr<core::ChimeraPipeline> Pipeline = Built.take();
   const ir::Module &M = Pipeline->originalModule();
 
   std::printf("=== symbolic address bounds for radix (paper Figure 4) "

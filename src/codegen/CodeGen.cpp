@@ -3,7 +3,9 @@
 #include "codegen/CodeGen.h"
 
 #include "ir/IRBuilder.h"
+#include "lang/Lexer.h"
 #include "lang/Parser.h"
+#include "lang/Sema.h"
 
 #include <cassert>
 
@@ -547,21 +549,30 @@ std::unique_ptr<Module> chimera::generateIR(const Program &Prog,
 
 support::Expected<std::unique_ptr<Module>>
 chimera::compileMiniCEx(const std::string &Source,
-                        const std::string &ModuleName) {
-  auto Prog = parseMiniC(Source);
-  if (!Prog)
-    return Prog.error();
-  return generateIR(**Prog, ModuleName);
-}
-
-std::unique_ptr<Module> chimera::compileMiniC(const std::string &Source,
-                                              const std::string &ModuleName,
-                                              std::string *Error) {
-  auto M = compileMiniCEx(Source, ModuleName);
-  if (!M) {
-    if (Error)
-      *Error = M.error().message();
-    return nullptr;
+                        const std::string &ModuleName,
+                        obs::Registry *Metrics, obs::TraceRecorder *Trace) {
+  // Phases are run here (rather than via parseMiniC) so each gets its
+  // own timer and span; the sequence is identical to parseMiniC's.
+  obs::Scope Obs(Metrics, "pipeline");
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog;
+  {
+    obs::ScopedTimer T(Obs.sub("parse").counter("wall_us"));
+    CHIMERA_TRACE_SPAN(Trace, "pipeline.parse");
+    Lexer Lex(Source, Diags);
+    Parser P(Lex.lexAll(), Diags);
+    Prog = P.parseProgram();
+    if (Diags.hasErrors())
+      return support::Error::failure(Diags.str());
   }
-  return M.take();
+  {
+    obs::ScopedTimer T(Obs.sub("sema").counter("wall_us"));
+    CHIMERA_TRACE_SPAN(Trace, "pipeline.sema");
+    Sema S(Diags);
+    if (support::Error E = S.run(*Prog))
+      return E;
+  }
+  obs::ScopedTimer T(Obs.sub("codegen").counter("wall_us"));
+  CHIMERA_TRACE_SPAN(Trace, "pipeline.codegen");
+  return generateIR(*Prog, ModuleName);
 }

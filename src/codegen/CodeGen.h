@@ -26,6 +26,8 @@
 #include "ir/Module.h"
 #include "lang/Ast.h"
 #include "support/Expected.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <string>
@@ -39,13 +41,14 @@ std::unique_ptr<ir::Module> generateIR(const Program &Prog,
 
 /// Convenience: parse, check, and lower \p Source. Failures carry the
 /// front end's joined diagnostics.
+///
+/// With a registry attached, the front-end phases publish wall-clock
+/// timings under "pipeline.parse" / "pipeline.sema" / "pipeline.codegen"
+/// and emit trace spans into \p Trace (both may be null).
 support::Expected<std::unique_ptr<ir::Module>>
-compileMiniCEx(const std::string &Source, const std::string &ModuleName);
-
-/// Deprecated shim for the string-out-param API; remove next PR.
-std::unique_ptr<ir::Module> compileMiniC(const std::string &Source,
-                                         const std::string &ModuleName,
-                                         std::string *Error = nullptr);
+compileMiniCEx(const std::string &Source, const std::string &ModuleName,
+               obs::Registry *Metrics = nullptr,
+               obs::TraceRecorder *Trace = nullptr);
 
 } // namespace chimera
 

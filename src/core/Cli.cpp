@@ -1,0 +1,238 @@
+//===- core/Cli.cpp - Declarative command-line option table ----------------===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+using namespace chimera;
+using namespace chimera::core;
+
+namespace {
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(Text, &End, 10);
+  return End != Text && *End == '\0' && errno != ERANGE;
+}
+
+/// Like parseUnsigned, but the value must also fit in `unsigned`, so
+/// oversized input fails at parse time instead of silently truncating.
+bool parseUnsignedFits(const char *Text, unsigned &Out) {
+  uint64_t V;
+  if (!parseUnsigned(Text, V) || V > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+support::Error badValue(const char *Flag, const char *Value) {
+  return support::Error::failure(std::string("invalid value for ") + Flag +
+                                 ": " + (Value ? Value : ""));
+}
+
+} // namespace
+
+const std::vector<OptionSpec> &core::optionTable() {
+  static const std::vector<OptionSpec> Table = {
+      {"--seed", "N", false, "scheduler/input seed (default 1)",
+       [](CliOptions &O, const char *A) {
+         uint64_t V;
+         if (!parseUnsigned(A, V))
+           return badValue("--seed", A);
+         O.Seed = V;
+         return support::Error::success();
+       }},
+      {"--cores", "N", false, "simulated cores (default 8)",
+       [](CliOptions &O, const char *A) {
+         unsigned V;
+         if (!parseUnsignedFits(A, V) || V == 0)
+           return badValue("--cores", A);
+         O.Cores = V;
+         return support::Error::success();
+       }},
+      {"--jobs", "N", false,
+       "analysis/profiling worker threads (default: hardware threads)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsignedFits(A, O.Jobs))
+           return badValue("--jobs", A);
+         return support::Error::success();
+       }},
+      {"-o", "FILE", false,
+       "output log path for `record` (default prog.clog)",
+       [](CliOptions &O, const char *A) {
+         O.OutPath = A;
+         return support::Error::success();
+       }},
+      {"--mhp", "MODE", false,
+       "may-happen-in-parallel race filter: off|forkjoin|barrier "
+       "(default barrier)",
+       [](CliOptions &O, const char *A) {
+         support::Expected<analysis::MhpMode> Mode =
+             analysis::parseMhpMode(A ? A : "");
+         if (!Mode)
+           return Mode.error();
+         O.Mhp = *Mode;
+         return support::Error::success();
+       }},
+      {"--metrics", "json|table", true,
+       "print the observability snapshot after the command "
+       "(default json); implies --obs=full",
+       [](CliOptions &O, const char *A) {
+         if (!A || std::string(A) == "json")
+           O.Metrics = MetricsFormat::Json;
+         else if (std::string(A) == "table")
+           O.Metrics = MetricsFormat::Table;
+         else
+           return badValue("--metrics", A);
+         return support::Error::success();
+       }},
+      {"--trace-out", "FILE", false,
+       "write a Chrome trace_event JSON file of pipeline and runtime "
+       "spans; implies --obs=full",
+       [](CliOptions &O, const char *A) {
+         O.TraceOutPath = A;
+         return support::Error::success();
+       }},
+      {"--obs", "MODE", false,
+       "observability mode: off|sampled|full (sampled thins trace "
+       "spans; metrics stay exact)",
+       [](CliOptions &O, const char *A) {
+         support::Expected<obs::ObsMode> Mode = obs::parseObsMode(A ? A : "");
+         if (!Mode)
+           return Mode.error();
+         O.Obs = *Mode;
+         O.ObsExplicit = true;
+         return support::Error::success();
+       }},
+      {"--race-stats", nullptr, false,
+       "with `races`: print pairs pruned by the MHP filter, per reason",
+       [](CliOptions &O, const char *) {
+         O.RaceStats = true;
+         return support::Error::success();
+       }},
+      {"--instrumented", nullptr, false,
+       "print the weak-lock-guarded module",
+       [](CliOptions &O, const char *) {
+         O.Instrumented = true;
+         return support::Error::success();
+       }},
+      {"--naive", nullptr, false, "planner ablation: one lock per address",
+       [](CliOptions &O, const char *) {
+         O.Planner = instrument::PlannerOptions::naive();
+         return support::Error::success();
+       }},
+      {"--func", nullptr, false, "planner ablation: function locks only",
+       [](CliOptions &O, const char *) {
+         O.Planner = instrument::PlannerOptions::functionOnly();
+         return support::Error::success();
+       }},
+      {"--loop", nullptr, false, "planner ablation: loop locks only",
+       [](CliOptions &O, const char *) {
+         O.Planner = instrument::PlannerOptions::loopOnly();
+         return support::Error::success();
+       }},
+      {"--help", nullptr, false, "show this help text",
+       [](CliOptions &O, const char *) {
+         O.Help = true;
+         return support::Error::success();
+       }},
+  };
+  return Table;
+}
+
+std::string core::usageText() {
+  std::string Text =
+      "usage: chimera <command> <program.mc> [options]\n"
+      "\n"
+      "commands:\n"
+      "  races    report the static (RELAY) race pairs\n"
+      "  plan     show the weak-lock instrumentation plan\n"
+      "  ir       print the IR (--instrumented for the guarded module)\n"
+      "  run      execute natively and print the program output\n"
+      "  record   record an execution (-o FILE, default prog.clog)\n"
+      "  replay   replay a recorded log file deterministically\n"
+      "\n"
+      "options (value-taking flags accept --flag VALUE and "
+      "--flag=VALUE):\n";
+  for (const OptionSpec &Spec : optionTable()) {
+    std::string Left = Spec.Flag;
+    if (Spec.ArgName) {
+      if (Spec.ValueOptional) {
+        Left += "[=";
+        Left += Spec.ArgName;
+        Left += ']';
+      } else {
+        Left += '=';
+        Left += Spec.ArgName;
+      }
+    }
+    char Line[256];
+    std::snprintf(Line, sizeof(Line), "  %-24s %s\n", Left.c_str(),
+                  Spec.Help);
+    Text += Line;
+  }
+  return Text;
+}
+
+support::Error core::parseCliOptions(int Argc, char **Argv, int Start,
+                                     const std::string &Command,
+                                     CliOptions &Opts) {
+  for (int I = Start; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    // `--flag=value` form: split at the first '='.
+    std::string Flag = Arg;
+    std::string Inline;
+    bool HasInline = false;
+    size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos && Arg.size() > 1 && Arg[0] == '-') {
+      Flag = Arg.substr(0, Eq);
+      Inline = Arg.substr(Eq + 1);
+      HasInline = true;
+    }
+    const OptionSpec *Match = nullptr;
+    for (const OptionSpec &Spec : optionTable())
+      if (Flag == Spec.Flag) {
+        Match = &Spec;
+        break;
+      }
+    if (!Match) {
+      if (Command == "replay" && Opts.LogPath.empty() && Arg[0] != '-') {
+        Opts.LogPath = Arg;
+        continue;
+      }
+      return support::Error::failure("unknown option: " + Arg);
+    }
+    const char *Value = nullptr;
+    if (Match->ArgName && !Match->ValueOptional) {
+      if (HasInline) {
+        Value = Inline.c_str();
+      } else {
+        if (I + 1 >= Argc)
+          return support::Error::failure(std::string(Match->Flag) +
+                                         " needs a value (" +
+                                         Match->ArgName + ")");
+        Value = Argv[++I];
+      }
+    } else if (Match->ArgName && Match->ValueOptional) {
+      // Optional values never consume the next argv slot — only the
+      // `--flag=value` spelling supplies one, so `--metrics record`
+      // can't swallow a command by accident.
+      if (HasInline)
+        Value = Inline.c_str();
+    } else if (HasInline) {
+      return support::Error::failure(std::string(Match->Flag) +
+                                     " takes no value");
+    }
+    if (support::Error E = Match->Apply(Opts, Value))
+      return E;
+  }
+  return support::Error::success();
+}

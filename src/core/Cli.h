@@ -1,0 +1,104 @@
+//===- core/Cli.h - Declarative command-line option table -------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chimera CLI's option layer, split out of the tool so tests can
+/// prove two properties the binary alone can't: every registered flag
+/// appears in the generated help text (including its `--flag=VALUE`
+/// spelling), and the parser accepts exactly what the table declares.
+///
+/// One table drives everything: `optionTable()` is the single source of
+/// truth, `usageText()` renders it, and `parseCliOptions()` interprets
+/// it. Adding a flag means adding one OptionSpec — help and parsing can
+/// never drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_CORE_CLI_H
+#define CHIMERA_CORE_CLI_H
+
+#include "analysis/MayHappenInParallel.h"
+#include "instrument/Planner.h"
+#include "support/Expected.h"
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace core {
+
+/// How `--metrics` renders the end-of-run registry snapshot.
+enum class MetricsFormat {
+  None,  ///< --metrics absent: no snapshot printed.
+  Json,  ///< Flat JSON object (the default for bare --metrics).
+  Table, ///< Two-column human-readable table.
+};
+
+/// Everything the option table writes into.
+struct CliOptions {
+  uint64_t Seed = 1;
+  unsigned Cores = 8;
+  unsigned Jobs = 0; ///< 0 = one worker per hardware thread.
+  std::string OutPath;
+  std::string LogPath; ///< replay's positional log argument.
+  bool Instrumented = false;
+  bool RaceStats = false;
+  bool Help = false;
+  analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
+  instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
+
+  // -- Observability.
+  MetricsFormat Metrics = MetricsFormat::None;
+  std::string TraceOutPath; ///< --trace-out: Chrome trace_event sink.
+  obs::ObsMode Obs = obs::ObsMode::Off;
+  bool ObsExplicit = false; ///< --obs was given (overrides implication).
+
+  /// The mode the pipeline should actually run with: an explicit --obs
+  /// wins; otherwise --metrics or --trace-out imply Full.
+  obs::ObsMode effectiveObsMode() const {
+    if (ObsExplicit)
+      return Obs;
+    if (Metrics != MetricsFormat::None || !TraceOutPath.empty())
+      return obs::ObsMode::Full;
+    return Obs;
+  }
+};
+
+/// One command-line flag: how to spell it, whether it consumes a value,
+/// what to print in --help, and how to apply it. Apply returns
+/// success(), or a failure describing why the value was rejected. For
+/// ValueOptional flags Apply receives null when no `=value` was given.
+struct OptionSpec {
+  const char *Flag;
+  const char *ArgName; ///< Null when the flag takes no value.
+  bool ValueOptional;  ///< True: value only via `--flag=VALUE`, may be
+                       ///< omitted entirely (e.g. --metrics[=json]).
+  const char *Help;
+  std::function<support::Error(CliOptions &, const char *Arg)> Apply;
+};
+
+/// The full flag table, in help-display order.
+const std::vector<OptionSpec> &optionTable();
+
+/// Generated usage/help text: commands, then one line per table entry
+/// showing the `--flag=VALUE` form (brackets for optional values).
+std::string usageText();
+
+/// Applies the option table to argv[Start..). \p Command gates the one
+/// positional argument (replay's log file). Returns a failure naming
+/// the offending argument on unknown flags, missing/forbidden values,
+/// or values the spec rejects.
+support::Error parseCliOptions(int Argc, char **Argv, int Start,
+                               const std::string &Command,
+                               CliOptions &Opts);
+
+} // namespace core
+} // namespace chimera
+
+#endif // CHIMERA_CORE_CLI_H

@@ -16,6 +16,8 @@
 #include "instrument/Planner.h"
 #include "runtime/CostModel.h"
 #include "support/Expected.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -65,6 +67,21 @@ struct PipelineConfig {
   /// the pipeline constructs (see MachineOptions::DispatchBatch). Purely
   /// a host-speed knob — results are bit-identical for every value.
   unsigned DispatchBatch = 64;
+
+  /// Observability. Off (the default) creates no registry at all —
+  /// Pipeline::metrics() fails and no instrumentation site pays more
+  /// than a null-pointer test. Sampled and Full both create a
+  /// pipeline-owned obs::Registry with exact metrics; they differ only
+  /// in how densely an attached TraceRecorder samples spans (the
+  /// recorder's own SampleEvery, chosen by whoever constructs it).
+  /// Observability never feeds back into simulated state: logs, hashes,
+  /// and stats are bit-identical across all three settings.
+  obs::ObsMode Observability = obs::ObsMode::Off;
+
+  /// Optional span sink, owned by the caller (the CLI owns one per
+  /// --trace-out run). Forwarded to every stage and machine when
+  /// Observability != Off; ignored when Off.
+  obs::TraceRecorder *Trace = nullptr;
 
   /// AnalysisJobs resolved to a concrete worker count.
   unsigned effectiveAnalysisJobs() const;

@@ -24,8 +24,12 @@ ChimeraPipeline::fromSource(const std::string &EvalSource,
 
   auto P = std::unique_ptr<ChimeraPipeline>(new ChimeraPipeline());
   P->Config = std::move(Config);
+  if (P->Config.Observability != obs::ObsMode::Off)
+    P->ObsRegistry = std::make_unique<obs::Registry>();
+  obs::Registry *Reg = P->ObsRegistry.get();
+  obs::TraceRecorder *Trace = Reg ? P->Config.Trace : nullptr;
 
-  auto Eval = compileMiniCEx(EvalSource, P->Config.Name);
+  auto Eval = compileMiniCEx(EvalSource, P->Config.Name, Reg, Trace);
   if (!Eval)
     return Eval.error();
   P->EvalModule = Eval.take();
@@ -33,7 +37,8 @@ ChimeraPipeline::fromSource(const std::string &EvalSource,
   if (ProfileSource == EvalSource || ProfileSource.empty()) {
     P->ProfileModule = P->EvalModule->clone();
   } else {
-    auto Prof = compileMiniCEx(ProfileSource, P->Config.Name + ".profile");
+    auto Prof =
+        compileMiniCEx(ProfileSource, P->Config.Name + ".profile", Reg, Trace);
     if (!Prof)
       return Prof.error().context("profile source");
     P->ProfileModule = Prof.take();
@@ -57,16 +62,23 @@ ChimeraPipeline::fromSource(const std::string &EvalSource,
   return P;
 }
 
-std::unique_ptr<ChimeraPipeline> ChimeraPipeline::fromSource(
-    const std::string &EvalSource, const std::string &ProfileSource,
-    PipelineConfig Config, std::string *Error) {
-  auto P = fromSource(EvalSource, ProfileSource, std::move(Config));
-  if (!P) {
-    if (Error)
-      *Error = P.error().message();
-    return nullptr;
-  }
-  return P.take();
+support::Expected<obs::Snapshot> ChimeraPipeline::metrics() const {
+  if (!ObsRegistry)
+    return support::Error::failure(
+        "pipeline observability is off "
+        "(PipelineConfig::Observability == ObsMode::Off)");
+  return ObsRegistry->snapshot();
+}
+
+obs::Counter ChimeraPipeline::stageCounter(const char *Stage) const {
+  return obs::Scope(ObsRegistry.get(), "pipeline")
+      .sub(Stage)
+      .counter("wall_us");
+}
+
+void ChimeraPipeline::applyObs(rt::MachineOptions &MO) const {
+  MO.Metrics = ObsRegistry.get();
+  MO.Trace = trace();
 }
 
 support::ThreadPool &ChimeraPipeline::pool() const {
@@ -79,12 +91,18 @@ support::ThreadPool &ChimeraPipeline::pool() const {
 }
 
 const ChimeraPipeline::Analyses &ChimeraPipeline::analyses() const {
-  return Analysis.get([&] { return std::make_unique<Analyses>(*EvalModule); });
+  return Analysis.get([&] {
+    obs::ScopedTimer T(stageCounter("analyses"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.analyses");
+    return std::make_unique<Analyses>(*EvalModule);
+  });
 }
 
 const analysis::MayHappenInParallel &ChimeraPipeline::mhp() const {
   return MhpCell.get([&] {
     const Analyses &A = analyses();
+    obs::ScopedTimer T(stageCounter("mhp"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.mhp");
     return std::make_unique<analysis::MayHappenInParallel>(
         *EvalModule, A.CG, A.PT, Config.Mhp);
   });
@@ -93,16 +111,28 @@ const analysis::MayHappenInParallel &ChimeraPipeline::mhp() const {
 const race::RaceReport &ChimeraPipeline::raceReport() const {
   return Races.get([&] {
     const Analyses &A = analyses();
+    const analysis::MayHappenInParallel &Mhp = mhp();
+    obs::ScopedTimer T(stageCounter("relay"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.relay");
     race::SummaryCache *Cache =
         Config.UseSummaryCache ? &race::SummaryCache::global() : nullptr;
     race::RelayDetector Detector(*EvalModule, A.CG, A.PT, A.Escape, &pool(),
-                                 Cache, &mhp());
-    return std::make_unique<race::RaceReport>(Detector.detect());
+                                 Cache, &Mhp);
+    auto Report = std::make_unique<race::RaceReport>(Detector.detect());
+    // Published here (not in an accessor) so one registry snapshot after
+    // any instrumented run already carries the MHP precision numbers.
+    obs::Scope PipeScope(ObsRegistry.get(), "pipeline");
+    Report->publishTo(PipeScope.sub("mhp"));
+    if (Cache)
+      Cache->publishTo(PipeScope.sub("relay").sub("cache"));
+    return Report;
   });
 }
 
 const profile::ProfileData &ChimeraPipeline::profileData() const {
   return Profile.get([&] {
+    obs::ScopedTimer T(stageCounter("profile"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.profile");
     // Vary both the input seed and the core count across runs (the
     // paper profiles over "a variety of inputs"; machine diversity
     // makes the observed-concurrency union more robust). Runs are
@@ -142,9 +172,11 @@ const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
     profile::ProfileData Empty;
     const profile::ProfileData &Prof =
         Config.Planner.UseFunctionLocks ? profileData() : Empty;
+    obs::ScopedTimer T(stageCounter("plan"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.plan");
     auto P = std::make_unique<instrument::InstrumentationPlan>(
         instrument::planInstrumentation(*EvalModule, Report, Prof,
-                                        Config.Planner));
+                                        Config.Planner, ObsRegistry.get()));
     if (PlanCorruptor)
       PlanCorruptor(*P);
     return P;
@@ -153,8 +185,11 @@ const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
 
 const ir::Module &ChimeraPipeline::instrumentedModule() const {
   return Instrumented.get([&] {
+    const instrument::InstrumentationPlan &P = plan();
+    obs::ScopedTimer T(stageCounter("instrument"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.instrument");
     std::unique_ptr<ir::Module> Module =
-        instrument::instrumentModule(*EvalModule, plan());
+        instrument::instrumentModule(*EvalModule, P);
     std::vector<std::string> Problems = ir::verifyModule(*Module);
     assert(Problems.empty() && "instrumented module failed verification");
     (void)Problems;
@@ -164,8 +199,13 @@ const ir::Module &ChimeraPipeline::instrumentedModule() const {
 
 const instrument::AuditResult &ChimeraPipeline::planAudit() const {
   return Audit.get([&] {
-    return std::make_unique<instrument::AuditResult>(instrument::auditPlan(
-        *EvalModule, raceReport(), plan(), instrumentedModule()));
+    const race::RaceReport &Report = raceReport();
+    const instrument::InstrumentationPlan &P = plan();
+    const ir::Module &IM = instrumentedModule();
+    obs::ScopedTimer T(stageCounter("audit"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.audit");
+    return std::make_unique<instrument::AuditResult>(
+        instrument::auditPlan(*EvalModule, Report, P, IM));
   });
 }
 
@@ -212,6 +252,7 @@ rt::ExecutionResult ChimeraPipeline::runOriginalNative(
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
   MO.Observer = Obs;
+  applyObs(MO);
   rt::Machine Machine(*EvalModule, MO);
   return Machine.run();
 }
@@ -236,6 +277,7 @@ rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
+  applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);
   return Machine.run();
 }
@@ -252,6 +294,7 @@ rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
   MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.Observer = Obs;
+  applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);
   return Machine.run();
 }
@@ -269,6 +312,7 @@ rt::ExecutionResult ChimeraPipeline::replay(const rt::ExecutionLog &Log,
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.ReplayLog = &Log;
   MO.Observer = Obs;
+  applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);
   return Machine.run();
 }

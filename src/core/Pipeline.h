@@ -67,13 +67,17 @@ public:
   fromSource(const std::string &EvalSource, const std::string &ProfileSource,
              PipelineConfig Config);
 
-  /// Deprecated shim for the pre-Expected API; forwards to the overload
-  /// above and flattens the error into \p Error. Remove next PR.
-  static std::unique_ptr<ChimeraPipeline> fromSource(
-      const std::string &EvalSource, const std::string &ProfileSource,
-      PipelineConfig Config, std::string *Error);
-
   const PipelineConfig &config() const { return Config; }
+
+  // -- Observability. The pipeline owns one obs::Registry (created when
+  // Config.Observability != Off) and hands it down to every stage and
+  // machine, so one snapshot sees compile phases, analyses, and runs.
+  /// Snapshot of everything observed so far; fails when the pipeline was
+  /// built with Observability == Off.
+  support::Expected<obs::Snapshot> metrics() const;
+  /// The registry itself (null when Observability == Off) — for callers
+  /// that want to attach their own counters next to the pipeline's.
+  obs::Registry *metricsRegistry() const { return ObsRegistry.get(); }
 
   // -- Stages: computed once, cached, safe to call from any thread.
   const ir::Module &originalModule() const { return *EvalModule; }
@@ -163,7 +167,19 @@ private:
   /// success() when audits are disabled or the plan proves out.
   support::Error ensureAuditedPlan();
 
+  /// Wall-us counter for one pipeline stage ("pipeline.<stage>.wall_us");
+  /// null handle when observability is off.
+  obs::Counter stageCounter(const char *Stage) const;
+  /// The trace recorder stages/machines should emit into (null when
+  /// observability is off or no recorder was configured).
+  obs::TraceRecorder *trace() const {
+    return ObsRegistry ? Config.Trace : nullptr;
+  }
+  /// Fills the observability fields of \p MO for an execution.
+  void applyObs(rt::MachineOptions &MO) const;
+
   PipelineConfig Config;
+  std::unique_ptr<obs::Registry> ObsRegistry; ///< Null when Off.
   std::unique_ptr<ir::Module> EvalModule;
   std::unique_ptr<ir::Module> ProfileModule;
   std::function<void(instrument::InstrumentationPlan &)> PlanCorruptor;

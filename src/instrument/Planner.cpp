@@ -18,10 +18,12 @@ using analysis::LoopInfo;
 
 namespace {
 
-/// Per-function analysis caches.
+/// Per-function analysis caches. BoundsUs accumulates the wall time of
+/// the lazily built bounds analyses (null counter = no-op).
 struct FuncContext {
   std::unique_ptr<LoopInfo> Loops;
   std::unique_ptr<bounds::BoundsAnalysis> Bounds;
+  obs::Counter BoundsUs;
 };
 
 /// Outcome of choosing a guard for one side of a race pair.
@@ -61,8 +63,10 @@ SideChoice chooseSide(const ir::Module &M, const Function &F,
 
   if (!Ctx.Loops)
     Ctx.Loops = std::make_unique<LoopInfo>(F);
-  if (!Ctx.Bounds)
+  if (!Ctx.Bounds) {
+    obs::ScopedTimer T(Ctx.BoundsUs);
     Ctx.Bounds = std::make_unique<bounds::BoundsAnalysis>(M, F, *Ctx.Loops);
+  }
 
   if (Opts.UseLoopLocks) {
     // Outermost loop with precise-enough bounds wins (§5.3). Loops
@@ -131,10 +135,13 @@ std::string lineOf(const Function &F, InstId Ident) {
 
 InstrumentationPlan chimera::instrument::planInstrumentation(
     const ir::Module &M, const race::RaceReport &Report,
-    const profile::ProfileData &Profile, const PlannerOptions &Opts) {
+    const profile::ProfileData &Profile, const PlannerOptions &Opts,
+    obs::Registry *Metrics) {
   InstrumentationPlan Plan;
   Plan.PairsTotal = Report.Pairs.size();
 
+  obs::Counter BoundsUs =
+      obs::Scope(Metrics, "pipeline").sub("bounds").counter("wall_us");
   std::map<uint32_t, FuncContext> Contexts;
 
   // Step 1: clique function-locks for non-concurrent racy function pairs.
@@ -226,9 +233,12 @@ InstrumentationPlan chimera::instrument::planInstrumentation(
       Sides.push_back(&Pair.B);
 
     std::vector<SideChoice> Choices;
-    for (const race::RacyAccess *Side : Sides)
-      Choices.push_back(chooseSide(M, M.function(Side->FuncId),
-                                   Contexts[Side->FuncId], *Side, Opts));
+    for (const race::RacyAccess *Side : Sides) {
+      FuncContext &Ctx = Contexts[Side->FuncId];
+      Ctx.BoundsUs = BoundsUs;
+      Choices.push_back(
+          chooseSide(M, M.function(Side->FuncId), Ctx, *Side, Opts));
+    }
 
     // Reconcile nesting between sides in the same function: the same
     // lock must not be acquired at a loop's preheader and again inside

@@ -56,10 +56,15 @@ struct PlannerOptions {
 };
 
 /// Produces the instrumentation plan for \p M.
+///
+/// With a registry attached, the bounds-analysis sub-phase (the symbolic
+/// range derivation for loop-lock candidates) accumulates wall time
+/// under "pipeline.bounds.wall_us"; \p Metrics may be null.
 InstrumentationPlan planInstrumentation(const ir::Module &M,
                                         const race::RaceReport &Report,
                                         const profile::ProfileData &Profile,
-                                        const PlannerOptions &Opts);
+                                        const PlannerOptions &Opts,
+                                        obs::Registry *Metrics = nullptr);
 
 } // namespace instrument
 } // namespace chimera

@@ -462,16 +462,3 @@ chimera::parseMiniC(const std::string &Source) {
     return E;
   return Prog;
 }
-
-std::unique_ptr<Program> chimera::parseAndCheck(const std::string &Source,
-                                                DiagEngine &Diags) {
-  Lexer Lex(Source, Diags);
-  Parser P(Lex.lexAll(), Diags);
-  std::unique_ptr<Program> Prog = P.parseProgram();
-  if (Diags.hasErrors())
-    return nullptr;
-  Sema S(Diags);
-  if (S.run(*Prog))
-    return nullptr;
-  return Prog;
-}

@@ -66,11 +66,6 @@ private:
 support::Expected<std::unique_ptr<Program>>
 parseMiniC(const std::string &Source);
 
-/// Deprecated shim for the Diags-out-param API; remove next PR.
-/// Returns null and populates \p Diags on any error.
-std::unique_ptr<Program> parseAndCheck(const std::string &Source,
-                                       DiagEngine &Diags);
-
 } // namespace chimera
 
 #endif // CHIMERA_LANG_PARSER_H

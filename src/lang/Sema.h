@@ -33,9 +33,6 @@ public:
   /// diagnostics (also retrievable from the DiagEngine).
   support::Error run(Program &Prog);
 
-  /// Deprecated shim for the bool-returning API; remove next PR.
-  bool check(Program &Prog) { return !run(Prog); }
-
 private:
   void declareGlobals(Program &Prog);
   void checkFunction(FunctionDecl &Func);

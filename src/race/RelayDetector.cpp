@@ -71,6 +71,16 @@ std::string RaceReport::str(const Module &M) const {
   return Out;
 }
 
+void RaceReport::publishTo(const obs::Scope &Scope) const {
+  if (!Scope)
+    return;
+  Scope.gauge("pairs_before").set(static_cast<int64_t>(Mhp.PairsBefore));
+  Scope.gauge("pairs_after").set(static_cast<int64_t>(Mhp.pairsAfter()));
+  Scope.gauge("pruned_forkjoin").set(static_cast<int64_t>(Mhp.PrunedForkJoin));
+  Scope.gauge("pruned_barrier").set(static_cast<int64_t>(Mhp.PrunedBarrier));
+  Scope.gauge("pruned_listed").set(static_cast<int64_t>(PrunedPairs.size()));
+}
+
 std::string RaceReport::mhpStatsStr() const {
   std::string Out = "mhp mode=";
   Out += analysis::mhpModeName(Mhp.Mode);

@@ -30,6 +30,7 @@
 #include "analysis/MayHappenInParallel.h"
 #include "analysis/PointsTo.h"
 #include "race/Summary.h"
+#include "support/Metrics.h"
 
 #include <string>
 #include <vector>
@@ -92,7 +93,17 @@ struct RaceReport {
   std::vector<std::pair<uint32_t, uint32_t>> racyFunctionPairs() const;
 
   std::string str(const ir::Module &M) const;
-  /// One-line MHP precision summary ("--race-stats" in the CLI).
+
+  /// Publishes the MHP precision counters into \p Scope as gauges
+  /// ("pairs_before", "pruned_forkjoin", "pruned_barrier", "pairs_after",
+  /// "pruned_listed" = PrunedPairs.size()). A null-registry scope is a
+  /// no-op. This is the supported read path for MHP stats; the CLI's
+  /// --race-stats renders from a registry snapshot.
+  void publishTo(const obs::Scope &Scope) const;
+
+  /// One-line MHP precision summary (pre-registry "--race-stats").
+  [[deprecated("read MHP stats from an obs::Registry via publishTo; "
+               "mhpStatsStr() goes away next PR")]]
   std::string mhpStatsStr() const;
 };
 

@@ -41,6 +41,16 @@ void SummaryCache::clear() {
   Hits = Misses = Evictions = 0;
 }
 
+void SummaryCache::publishTo(const obs::Scope &Scope) const {
+  if (!Scope)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Scope.gauge("hits").set(static_cast<int64_t>(Hits));
+  Scope.gauge("misses").set(static_cast<int64_t>(Misses));
+  Scope.gauge("entries").set(static_cast<int64_t>(Map.size()));
+  Scope.gauge("evictions").set(static_cast<int64_t>(Evictions));
+}
+
 SummaryCache::Stats SummaryCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return {Hits, Misses, static_cast<uint64_t>(Map.size()), Evictions};

@@ -5,6 +5,7 @@
 #include "support/Compressor.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace chimera;
 using namespace chimera::replay;
@@ -101,7 +102,9 @@ struct ByteReader {
 } // namespace
 
 support::Expected<ExecutionLog>
-chimera::replay::decode(const std::vector<uint8_t> &Bytes) {
+chimera::replay::decode(const std::vector<uint8_t> &Bytes,
+                        obs::Registry *Metrics) {
+  auto Start = std::chrono::steady_clock::now();
   ExecutionLog Log;
   ByteReader In{Bytes};
 
@@ -160,15 +163,20 @@ chimera::replay::decode(const std::vector<uint8_t> &Bytes) {
     return support::Error::failure("malformed log: truncated input");
   if (In.Pos != Bytes.size())
     return support::Error::failure("malformed log: trailing bytes");
-  return Log;
-}
 
-ExecutionLog chimera::replay::decodeLog(const std::vector<uint8_t> &Bytes) {
-  auto Log = decode(Bytes);
-  assert(Log && "decodeLog on malformed input");
-  if (!Log)
-    return ExecutionLog();
-  return Log.take();
+  if (Metrics) {
+    uint64_t WallUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    obs::Scope S(Metrics, "replay.decode");
+    S.counter("calls").inc();
+    S.counter("bytes").add(Bytes.size());
+    S.counter("events").add(Log.totalOrderedEvents() +
+                            Log.totalInputEvents());
+    S.counter("wall_us").add(WallUs);
+  }
+  return Log;
 }
 
 LogSizes chimera::replay::measureLog(const ExecutionLog &Log) {

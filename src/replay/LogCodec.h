@@ -17,6 +17,7 @@
 
 #include "runtime/ExecutionLog.h"
 #include "support/Expected.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
 #include <vector>
@@ -45,11 +46,12 @@ std::vector<uint8_t> encodeLog(const rt::ExecutionLog &Log);
 /// Inverse of encodeLog. Fully bounds-checked: truncated, overlong, or
 /// trailing-garbage input produces an Error (log files come from disk,
 /// so malformed bytes are an input condition, not a programmer bug).
-support::Expected<rt::ExecutionLog> decode(const std::vector<uint8_t> &Bytes);
-
-/// Deprecated shim: decode() that aborts on malformed input. Remove
-/// next PR.
-rt::ExecutionLog decodeLog(const std::vector<uint8_t> &Bytes);
+///
+/// With a registry attached, publishes decode throughput under
+/// "replay.decode.*" (bytes, events, wall microseconds). Decoding is
+/// pure host-side work, so metrics cannot affect the decoded log.
+support::Expected<rt::ExecutionLog>
+decode(const std::vector<uint8_t> &Bytes, obs::Registry *Metrics = nullptr);
 
 /// Raw and compressed sizes of the two log families.
 LogSizes measureLog(const rt::ExecutionLog &Log);

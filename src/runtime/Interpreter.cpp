@@ -127,7 +127,9 @@ Machine::Step Machine::execPending(Thread &T, unsigned Core) {
       T.PendingReacquire.erase(T.PendingReacquire.begin());
       T.HeldWeak.push_back(Next);
       ++Stats.WeakAcquires[Gran];
-      chargeWeakCpu(Gran, Opts.Costs.WeakLockOp, Core);
+      if (CollectObs)
+        ++ObsPerLock[Next.LockId].Acquires;
+      chargeWeakCpu(Next.LockId, Gran, Opts.Costs.WeakLockOp, Core);
       gateAdvance(Obj, Now);
       if (Opts.Observer)
         Opts.Observer->onWeak(T.Tid, /*IsAcquire=*/true, Next.LockId,
@@ -141,7 +143,9 @@ Machine::Step Machine::execPending(Thread &T, unsigned Core) {
       T.PendingReacquire.erase(T.PendingReacquire.begin());
       T.HeldWeak.push_back(Next);
       ++Stats.WeakAcquires[Gran];
-      chargeWeakCpu(Gran, Opts.Costs.WeakLockOp, Core);
+      if (CollectObs)
+        ++ObsPerLock[Next.LockId].Acquires;
+      chargeWeakCpu(Next.LockId, Gran, Opts.Costs.WeakLockOp, Core);
       if (isRecord())
         recordOrdered(Obj, T.Tid, OrderedOp::WeakAcquire, Core);
       if (Opts.Observer)

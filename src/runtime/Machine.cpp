@@ -34,10 +34,25 @@ void ExecutionObserver::onSync(uint32_t, ObservedSync, uint32_t, uint64_t,
 void ExecutionObserver::onWeak(uint32_t, bool, uint32_t, bool, uint64_t,
                                uint64_t, uint64_t) {}
 
+/// Encoded size of \p Value as a LEB128 varint; used to attribute log
+/// bytes to record types without re-encoding the log.
+static uint64_t varintSize(uint64_t Value) {
+  uint64_t Size = 1;
+  while (Value >= 0x80) {
+    Value >>= 7;
+    ++Size;
+  }
+  return Size;
+}
+
 Machine::Machine(const ir::Module &M, MachineOptions Opts)
     : M(M), Opts(Opts) {
   assert((Opts.Mode != ExecMode::Replay || Opts.ReplayLog) &&
          "replay mode requires a log");
+
+  CollectObs = Opts.Metrics != nullptr;
+  if (CollectObs)
+    ObsPerLock.resize(M.WeakLocks.size());
 
   Prog.init(M);
   Mem.init(M);
@@ -192,8 +207,13 @@ void Machine::reportStall() {
 }
 
 ExecutionResult Machine::run() {
+  const char *SpanName = isReplay()  ? "machine.run.replay"
+                         : isRecord() ? "machine.run.record"
+                                      : "machine.run.native";
+  CHIMERA_TRACE_SPAN(Opts.Trace, SpanName);
   CoreThread.assign(Opts.NumCores, -1);
   CoreSliceEnd.assign(Opts.NumCores, 0);
+  CoreSliceStart.assign(Opts.NumCores, 0);
   startThread(M.MainFunction, {}, /*ParentTid=*/0, /*Now=*/0);
 
   while (!Failed && !allFinished()) {
@@ -270,7 +290,119 @@ ExecutionResult Machine::run() {
     Log.PerThreadInputs.resize(Threads.size());
     Result.Log = std::move(Log);
   }
+  if (CollectObs)
+    publishObs();
   return Result;
+}
+
+support::Expected<obs::Snapshot> Machine::metrics() const {
+  if (!Opts.Metrics)
+    return support::Error::failure(
+        "machine has no metrics registry attached "
+        "(MachineOptions::Metrics is null)");
+  return Opts.Metrics->snapshot();
+}
+
+/// Publishes the run's collected counters into the registry, scoped by
+/// execution mode (e.g. "runtime.record.*"). Counters accumulate across
+/// runs that share a registry — a bench can sum nine workloads into one
+/// snapshot; gauges report the last run.
+void Machine::publishObs() {
+  const char *ModeName = isReplay()  ? "replay"
+                         : isRecord() ? "record"
+                                      : "native";
+  obs::Scope Root(Opts.Metrics, std::string("runtime.") + ModeName);
+
+  obs::Scope Run = Root.sub("run");
+  Run.counter("runs").inc();
+  Run.counter("instructions").add(Stats.Instructions);
+  Run.counter("mem_ops").add(Stats.MemOps);
+  Run.counter("sync_ops").add(Stats.SyncOps);
+  Run.counter("syscalls").add(Stats.Syscalls);
+  Run.counter("output_ops").add(Stats.OutputOps);
+  Run.counter("spawned_threads").add(Stats.SpawnedThreads);
+  Run.counter("log_events").add(Stats.LogEvents);
+  Run.counter("makespan_cycles").add(Stats.MakespanCycles);
+  Run.counter("cpu_busy_cycles").add(Stats.CpuBusyCycles);
+
+  obs::Scope WL = Root.sub("weaklock");
+  uint64_t TotAcq = 0, TotWait = 0, TotCpu = 0, TotRev = 0;
+  for (uint32_t Id = 0; Id != ObsPerLock.size(); ++Id) {
+    const LockObs &LO = ObsPerLock[Id];
+    TotAcq += LO.Acquires;
+    TotWait += LO.WaitCycles;
+    TotCpu += LO.CpuCycles;
+    TotRev += LO.Revocations;
+    if (LO.Acquires == 0 && LO.Revocations == 0)
+      continue; // Untouched locks would only bloat the snapshot.
+    obs::Scope L = WL.sub(
+        "wl" + std::to_string(Id) + "_" +
+        obs::sanitizeMetricSegment(M.WeakLocks[Id].Name));
+    L.counter("acquires").add(LO.Acquires);
+    L.counter("wait_cycles").add(LO.WaitCycles);
+    L.counter("cpu_cycles").add(LO.CpuCycles);
+    L.counter("revocations").add(LO.Revocations);
+  }
+  if (!ObsPerLock.empty()) {
+    obs::Scope Tot = WL.sub("total");
+    Tot.counter("acquires").add(TotAcq);
+    Tot.counter("wait_cycles").add(TotWait);
+    Tot.counter("cpu_cycles").add(TotCpu);
+    Tot.counter("revocations").add(TotRev);
+    for (unsigned G = 0; G != 4; ++G) {
+      obs::Scope GS = WL.sub("gran").sub(obs::sanitizeMetricSegment(
+          ir::weakLockGranularityName(static_cast<WeakLockGranularity>(G))));
+      GS.counter("acquires").add(Stats.WeakAcquires[G]);
+      GS.counter("cpu_cycles").add(Stats.WeakCpuCycles[G]);
+      GS.counter("wait_cycles").add(Stats.WeakWaitCycles[G]);
+    }
+  }
+
+  if (isRecord()) {
+    obs::Scope LogS = Root.sub("log");
+    uint64_t OrderCount = 0, OrderBytes = 0;
+    for (unsigned Op = 0; Op != NumOrderedOps; ++Op) {
+      OrderCount += ObsOrderCount[Op];
+      OrderBytes += ObsOrderBytes[Op];
+      if (ObsOrderCount[Op] == 0)
+        continue;
+      obs::Scope OpS = LogS.sub("order").sub(obs::sanitizeMetricSegment(
+          orderedOpName(static_cast<OrderedOp>(Op))));
+      OpS.counter("records").add(ObsOrderCount[Op]);
+      OpS.counter("bytes").add(ObsOrderBytes[Op]);
+    }
+    LogS.counter("order.total.records").add(OrderCount);
+    LogS.counter("order.total.bytes").add(OrderBytes);
+    LogS.counter("input.records").add(ObsInputCount);
+    LogS.counter("input.bytes").add(ObsInputBytes);
+    LogS.counter("revocation.records").add(ObsRevCount);
+    LogS.counter("revocation.bytes").add(ObsRevBytes);
+  }
+
+  obs::Scope SchedS = Root.sub("sched");
+  SchedS.counter("quanta").add(ObsQuanta);
+  SchedS.counter("quantum_cycles_granted").add(ObsQuantumGranted);
+  SchedS.counter("quantum_cycles_used").add(ObsQuantumUsed);
+
+  if (isReplay()) {
+    // Divergence-check progress: how far through the recorded orders the
+    // replay got. On a clean replay consumed == total; on a divergence
+    // the gap points at the stuck object.
+    const ExecutionLog &RL = *Opts.ReplayLog;
+    uint64_t GatesTotal = RL.totalOrderedEvents();
+    uint64_t GatesDone = 0;
+    for (uint32_t Cur : GateCursor)
+      GatesDone += Cur;
+    uint64_t InputsTotal = RL.totalInputEvents();
+    uint64_t InputsDone = 0;
+    for (uint32_t Cur : InputCursor)
+      InputsDone += Cur;
+    obs::Scope Prog = Root.sub("progress");
+    Prog.gauge("gates_total").set(static_cast<int64_t>(GatesTotal));
+    Prog.gauge("gates_consumed").set(static_cast<int64_t>(GatesDone));
+    Prog.gauge("inputs_total").set(static_cast<int64_t>(InputsTotal));
+    Prog.gauge("inputs_consumed").set(static_cast<int64_t>(InputsDone));
+  }
 }
 
 bool Machine::stepCore(unsigned Core) {
@@ -289,6 +421,7 @@ bool Machine::stepCore(unsigned Core) {
                    : SchedRng.nextInRange(Opts.QuantumMin, Opts.QuantumMax);
     CoreThread[Core] = Tid;
     CoreSliceEnd[Core] = Sched.coreTime(Core) + Quantum;
+    CoreSliceStart[Core] = Sched.coreTime(Core);
   }
 
   const bool PollWeak = !isReplay() && !M.WeakLocks.empty();
@@ -297,7 +430,7 @@ bool Machine::stepCore(unsigned Core) {
   if (Failed) {
     if (T.State == ThreadState::Running)
       T.State = ThreadState::Faulted;
-    CoreThread[Core] = -1;
+    unbindCore(Core);
     // The pre-batching loop ticked the weak-timeout counter after every
     // dispatch, including this one.
     if (PollWeak && (++WeakCheckTick & 0x3f) == 0)
@@ -371,14 +504,14 @@ bool Machine::stepCore(unsigned Core) {
     case Step::Continue:
       if (Stats.Instructions > Opts.MaxInstructions) {
         fail("instruction budget exceeded (runaway program?)");
-        CoreThread[Core] = -1;
+        unbindCore(Core);
         break;
       }
       if (Sched.coreTime(Core) >= CoreSliceEnd[Core]) {
         T.State = ThreadState::Ready;
         T.ReadyTime = Sched.coreTime(Core);
         Sched.addReady(T.Tid, T.ReadyTime);
-        CoreThread[Core] = -1;
+        unbindCore(Core);
         break;
       }
       StayBound = true;
@@ -387,7 +520,7 @@ bool Machine::stepCore(unsigned Core) {
       T.State = ThreadState::Ready;
       T.ReadyTime = Sched.coreTime(Core);
       Sched.addReady(T.Tid, T.ReadyTime);
-      CoreThread[Core] = -1;
+      unbindCore(Core);
       break;
     case Step::Blocked:
       // Per-thread times are monotonic: when next woken, the thread
@@ -395,11 +528,11 @@ bool Machine::stepCore(unsigned Core) {
       T.ReadyTime = std::max(T.ReadyTime, Sched.coreTime(Core));
       if (T.State == ThreadState::Sleeping)
         ++SleepingThreads;
-      CoreThread[Core] = -1;
+      unbindCore(Core);
       break;
     case Step::Finished:
     case Step::Fault:
-      CoreThread[Core] = -1;
+      unbindCore(Core);
       break;
     }
 
@@ -428,12 +561,35 @@ bool Machine::stepCore(unsigned Core) {
 // Ordered-object helpers (record append / replay gates)
 //===----------------------------------------------------------------------===//
 
+void Machine::unbindCore(unsigned Core) {
+  if (CollectObs && CoreThread[Core] >= 0) {
+    uint64_t Start = CoreSliceStart[Core];
+    uint64_t Now = Sched.coreTime(Core);
+    ++ObsQuanta;
+    ObsQuantumGranted += CoreSliceEnd[Core] - Start;
+    // A batch may retire past the slice end by part of one instruction;
+    // clamp so utilization stays a fraction of the grant.
+    ObsQuantumUsed += std::min(Now, CoreSliceEnd[Core]) -
+                      std::min(Start, CoreSliceEnd[Core]);
+  }
+  CoreThread[Core] = -1;
+}
+
+void Machine::obsRecordOrdered(OrderedOp Op, uint64_t PackedValue) {
+  unsigned Idx = static_cast<unsigned>(Op) & (NumOrderedOps - 1);
+  ++ObsOrderCount[Idx];
+  ObsOrderBytes[Idx] += varintSize(PackedValue);
+}
+
 void Machine::recordOrdered(uint32_t Obj, uint32_t Tid, OrderedOp Op,
                             unsigned Core) {
   assert(isRecord() && "recordOrdered outside record mode");
   assert(Obj < Log.PerObject.size() && "ordered object out of range");
   Log.PerObject[Obj].push_back({Tid, Op});
   ++Stats.LogEvents;
+  if (CollectObs)
+    obsRecordOrdered(Op, (static_cast<uint64_t>(Tid) << 4) |
+                             static_cast<uint64_t>(Op));
   Sched.advanceCore(Core, Opts.Costs.LogEvent);
   Stats.CpuBusyCycles += Opts.Costs.LogEvent;
 }
@@ -881,6 +1037,10 @@ Machine::Step Machine::doInputOp(Thread &T, InputKind Kind, ir::Reg Dst,
         Log.PerThreadInputs.resize(T.Tid + 1);
       Log.PerThreadInputs[T.Tid].push_back({Kind, Value});
       ++Stats.LogEvents;
+      if (CollectObs) {
+        ++ObsInputCount;
+        ObsInputBytes += 1 + varintSize(Value); // kind byte + value.
+      }
       Sched.advanceCore(Core, Opts.Costs.LogEvent);
       Stats.CpuBusyCycles += Opts.Costs.LogEvent;
     }
@@ -904,12 +1064,14 @@ Machine::Step Machine::doInputOp(Thread &T, InputKind Kind, ir::Reg Dst,
 // Weak-locks
 //===----------------------------------------------------------------------===//
 
-void Machine::chargeWeakCpu(unsigned SiteGran, uint64_t Cycles,
-                            unsigned Core) {
+void Machine::chargeWeakCpu(uint32_t LockId, unsigned SiteGran,
+                            uint64_t Cycles, unsigned Core) {
   assert(SiteGran < 4 && "bad site granularity");
   Sched.advanceCore(Core, Cycles);
   Stats.CpuBusyCycles += Cycles;
   Stats.WeakCpuCycles[SiteGran] += Cycles;
+  if (CollectObs)
+    ObsPerLock[LockId].CpuCycles += Cycles;
 }
 
 Machine::Step Machine::doWeakAcquire(Thread &T, uint32_t LockId,
@@ -936,7 +1098,9 @@ Machine::Step Machine::doWeakAcquire(Thread &T, uint32_t LockId,
     T.HeldWeak.push_back({LockId, HasRange, Lo, Hi,
                           static_cast<uint8_t>(SiteGran)});
     ++Stats.WeakAcquires[SiteGran];
-    chargeWeakCpu(SiteGran,
+    if (CollectObs)
+      ++ObsPerLock[LockId].Acquires;
+    chargeWeakCpu(LockId, SiteGran,
                   Opts.Costs.WeakLockOp +
                       (HasRange ? Opts.Costs.RangeCheck : 0),
                   Core);
@@ -954,7 +1118,9 @@ Machine::Step Machine::doWeakAcquire(Thread &T, uint32_t LockId,
     T.HeldWeak.push_back({LockId, HasRange, Lo, Hi,
                           static_cast<uint8_t>(SiteGran)});
     ++Stats.WeakAcquires[SiteGran];
-    chargeWeakCpu(SiteGran,
+    if (CollectObs)
+      ++ObsPerLock[LockId].Acquires;
+    chargeWeakCpu(LockId, SiteGran,
                   Opts.Costs.WeakLockOp +
                       (HasRange ? Opts.Costs.RangeCheck : 0),
                   Core);
@@ -985,10 +1151,22 @@ void Machine::grantWeakWaiters(uint32_t LockId, uint64_t Now) {
     ++Stats.WeakAcquires[Gran];
     Stats.WeakWaitCycles[Gran] += Now > W.BlockStart ? Now - W.BlockStart : 0;
     Stats.WeakCpuCycles[Gran] += Opts.Costs.WeakLockOp;
+    if (CollectObs) {
+      LockObs &LO = ObsPerLock[LockId];
+      ++LO.Acquires;
+      LO.WaitCycles += Now > W.BlockStart ? Now - W.BlockStart : 0;
+      LO.CpuCycles += Opts.Costs.WeakLockOp;
+    }
     if (isRecord()) {
       Log.PerObject[Log.weakLockObject(LockId)].push_back(
           {G.Tid, OrderedOp::WeakAcquire});
       ++Stats.LogEvents;
+      // This append bypasses recordOrdered (the grant happens machine-
+      // side, not on the waiter's core), so account its bytes here.
+      if (CollectObs)
+        obsRecordOrdered(OrderedOp::WeakAcquire,
+                         (static_cast<uint64_t>(G.Tid) << 4) |
+                             static_cast<uint64_t>(OrderedOp::WeakAcquire));
     }
     if (Opts.Observer)
       Opts.Observer->onWeak(G.Tid, /*IsAcquire=*/true, LockId, G.HasRange,
@@ -1041,13 +1219,21 @@ Machine::Step Machine::doWeakRelease(Thread &T, uint32_t LockId,
   if (Forced) {
     T.PendingReacquire.push_back(Held);
     ++Stats.Revocations;
+    if (CollectObs)
+      ++ObsPerLock[LockId].Revocations;
   }
 
-  chargeWeakCpu(Held.SiteGran, Opts.Costs.WeakLockOp, Core);
+  chargeWeakCpu(LockId, Held.SiteGran, Opts.Costs.WeakLockOp, Core);
   if (isRecord()) {
     recordOrdered(Obj, T.Tid, OrderedOp::WeakRelease, Core);
-    if (Forced)
+    if (Forced) {
       Log.Revocations.push_back({T.Tid, LockId, T.Instret});
+      if (CollectObs) {
+        ++ObsRevCount;
+        ObsRevBytes += varintSize(T.Tid) + varintSize(LockId) +
+                       varintSize(T.Instret);
+      }
+    }
   } else if (isReplay()) {
     assert(gateOpen(Obj, T.Tid, OrderedOp::WeakRelease) &&
            "forced release out of recorded order");

@@ -41,7 +41,10 @@
 #include "runtime/SyncObjects.h"
 #include "runtime/Thread.h"
 #include "runtime/WeakLock.h"
+#include "support/Expected.h"
+#include "support/Metrics.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <string>
@@ -79,6 +82,17 @@ struct MachineOptions {
 
   const ExecutionLog *ReplayLog = nullptr; ///< Required in Replay mode.
   ExecutionObserver *Observer = nullptr;   ///< Optional event sink.
+
+  /// Observability sinks (both optional, both host-side only).
+  ///
+  /// Unlike \c Observer, attaching these does NOT disable the execFast
+  /// dispatch path: metrics are collected into plain per-machine
+  /// counters at points the generic path already visits (sync ops, log
+  /// appends, scheduling decisions) and published to the registry once
+  /// at the end of run(). Nothing here feeds back into simulated state,
+  /// so logs, hashes, and stats are bit-identical with or without them.
+  obs::Registry *Metrics = nullptr;
+  obs::TraceRecorder *Trace = nullptr;
 };
 
 /// Counters collected during one run; the benchmark tables are printed
@@ -121,6 +135,10 @@ public:
 
   /// Runs the program to completion (or fault); single use.
   ExecutionResult run();
+
+  /// Snapshot of the attached metrics registry; fails when the machine
+  /// was built without one (MachineOptions::Metrics == nullptr).
+  support::Expected<obs::Snapshot> metrics() const;
 
 private:
   enum class Step : uint8_t {
@@ -206,7 +224,15 @@ private:
   void makeReady(uint32_t Tid, uint64_t Now);
   void finishThread(Thread &T, uint64_t Now);
 
-  void chargeWeakCpu(unsigned SiteGran, uint64_t Cycles, unsigned Core);
+  void chargeWeakCpu(uint32_t LockId, unsigned SiteGran, uint64_t Cycles,
+                     unsigned Core);
+
+  // -- Observability (Machine.cpp). Collection is gated on CollectObs
+  // and uses plain (non-atomic) members: the machine runs on one host
+  // thread, and the registry is only touched once, in publishObs().
+  void unbindCore(unsigned Core); ///< CoreThread[Core] = -1 + quantum obs.
+  void obsRecordOrdered(OrderedOp Op, uint64_t PackedValue);
+  void publishObs();
 
   const ir::Module &M;
   MachineOptions Opts;
@@ -248,6 +274,24 @@ private:
   /// releases must be re-checked before every instruction, so dispatch
   /// batching is disabled.
   bool HasRevocations = false;
+
+  // -- Observability collection (all dead weight unless CollectObs).
+  bool CollectObs = false; ///< Opts.Metrics != nullptr.
+  struct LockObs {
+    uint64_t Acquires = 0;
+    uint64_t WaitCycles = 0;
+    uint64_t CpuCycles = 0;
+    uint64_t Revocations = 0;
+  };
+  std::vector<LockObs> ObsPerLock; ///< Indexed by weak-lock id.
+  static constexpr unsigned NumOrderedOps = 16; ///< 4-bit op space.
+  uint64_t ObsOrderCount[NumOrderedOps] = {};
+  uint64_t ObsOrderBytes[NumOrderedOps] = {};
+  uint64_t ObsInputCount = 0, ObsInputBytes = 0;
+  uint64_t ObsRevCount = 0, ObsRevBytes = 0;
+  uint64_t ObsQuanta = 0;
+  uint64_t ObsQuantumGranted = 0, ObsQuantumUsed = 0;
+  std::vector<uint64_t> CoreSliceStart; ///< Bind-time clock per core.
 };
 
 } // namespace rt

@@ -1,0 +1,241 @@
+//===- support/Metrics.cpp - Unified metrics registry ---------------------===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace chimera {
+namespace obs {
+
+support::Expected<ObsMode> parseObsMode(const std::string &Text) {
+  if (Text == "off")
+    return ObsMode::Off;
+  if (Text == "sampled")
+    return ObsMode::Sampled;
+  if (Text == "full")
+    return ObsMode::Full;
+  return support::Error::failure("unknown observability mode '" + Text +
+                                 "' (expected off|sampled|full)");
+}
+
+const char *obsModeName(ObsMode Mode) {
+  switch (Mode) {
+  case ObsMode::Off:
+    return "off";
+  case ObsMode::Sampled:
+    return "sampled";
+  case ObsMode::Full:
+    return "full";
+  }
+  return "?";
+}
+
+void Histogram::record(uint64_t Sample) {
+  if (!Cell)
+    return;
+  int Bucket = Sample == 0 ? 0 : std::bit_width(Sample);
+  Cell->Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Cell->Count.fetch_add(1, std::memory_order_relaxed);
+  Cell->Sum.fetch_add(Sample, std::memory_order_relaxed);
+  // Min/Max via CAS loops; contention here is snapshot-rare in practice
+  // (histograms record from the single-threaded machine loop).
+  uint64_t Cur = Cell->Min.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Cell->Min.compare_exchange_weak(Cur, Sample,
+                                          std::memory_order_relaxed))
+    ;
+  Cur = Cell->Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Cell->Max.compare_exchange_weak(Cur, Sample,
+                                          std::memory_order_relaxed))
+    ;
+}
+
+Counter Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Names.find(Name);
+  if (It != Names.end())
+    return It->second.K == Kind::Counter
+               ? Counter(static_cast<detail::CounterCell *>(It->second.Cell))
+               : Counter();
+  Counters.emplace_back();
+  Names.emplace(Name, Entry{Kind::Counter, &Counters.back()});
+  return Counter(&Counters.back());
+}
+
+Gauge Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Names.find(Name);
+  if (It != Names.end())
+    return It->second.K == Kind::Gauge
+               ? Gauge(static_cast<detail::GaugeCell *>(It->second.Cell))
+               : Gauge();
+  Gauges.emplace_back();
+  Names.emplace(Name, Entry{Kind::Gauge, &Gauges.back()});
+  return Gauge(&Gauges.back());
+}
+
+Histogram Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Names.find(Name);
+  if (It != Names.end())
+    return It->second.K == Kind::Histogram
+               ? Histogram(
+                     static_cast<detail::HistogramCell *>(It->second.Cell))
+               : Histogram();
+  Histograms.emplace_back();
+  Names.emplace(Name, Entry{Kind::Histogram, &Histograms.back()});
+  return Histogram(&Histograms.back());
+}
+
+Snapshot Registry::snapshot() const {
+  std::vector<MetricValue> Out;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Out.reserve(Names.size());
+  for (const auto &[Name, E] : Names) {
+    MetricValue V;
+    V.Name = Name;
+    switch (E.K) {
+    case Kind::Counter: {
+      auto *C = static_cast<const detail::CounterCell *>(E.Cell);
+      V.K = MetricValue::Kind::Counter;
+      V.Value = static_cast<int64_t>(C->Value.load(std::memory_order_relaxed));
+      break;
+    }
+    case Kind::Gauge: {
+      auto *G = static_cast<const detail::GaugeCell *>(E.Cell);
+      V.K = MetricValue::Kind::Gauge;
+      V.Value = G->Value.load(std::memory_order_relaxed);
+      break;
+    }
+    case Kind::Histogram: {
+      auto *H = static_cast<const detail::HistogramCell *>(E.Cell);
+      V.K = MetricValue::Kind::Histogram;
+      V.Count = H->Count.load(std::memory_order_relaxed);
+      V.Value = static_cast<int64_t>(H->Sum.load(std::memory_order_relaxed));
+      V.Min = V.Count ? H->Min.load(std::memory_order_relaxed) : 0;
+      V.Max = H->Max.load(std::memory_order_relaxed);
+      for (int I = 0; I < detail::HistogramCell::NumBuckets; ++I)
+        if (uint64_t N = H->Buckets[I].load(std::memory_order_relaxed))
+          V.Buckets.emplace_back(I, N);
+      break;
+    }
+    }
+    Out.push_back(std::move(V));
+  }
+  // std::map iterates sorted, so Out is already name-ordered.
+  return Snapshot(std::move(Out));
+}
+
+Snapshot::Snapshot(std::vector<MetricValue> V) : Values(std::move(V)) {
+  std::sort(Values.begin(), Values.end(),
+            [](const MetricValue &A, const MetricValue &B) {
+              return A.Name < B.Name;
+            });
+}
+
+const MetricValue *Snapshot::find(const std::string &Name) const {
+  auto It = std::lower_bound(Values.begin(), Values.end(), Name,
+                             [](const MetricValue &V, const std::string &N) {
+                               return V.Name < N;
+                             });
+  if (It == Values.end() || It->Name != Name)
+    return nullptr;
+  return &*It;
+}
+
+int64_t Snapshot::value(const std::string &Name, int64_t Default) const {
+  const MetricValue *V = find(Name);
+  return V ? V->Value : Default;
+}
+
+Snapshot Snapshot::diff(const Snapshot &Base) const {
+  std::vector<MetricValue> Out = Values;
+  for (MetricValue &V : Out) {
+    const MetricValue *B = Base.find(V.Name);
+    if (!B || V.K == MetricValue::Kind::Gauge)
+      continue;
+    V.Value -= B->Value;
+    if (V.K == MetricValue::Kind::Histogram) {
+      V.Count -= std::min(V.Count, B->Count);
+      // Min/Max/buckets are not meaningfully diffable; keep current.
+    }
+  }
+  return Snapshot(std::move(Out));
+}
+
+static void appendJsonName(std::string &Out, const std::string &Name) {
+  Out += '"';
+  for (char C : Name) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string Snapshot::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  auto Emit = [&](const std::string &Name, int64_t Value) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  ";
+    appendJsonName(Out, Name);
+    Out += ": " + std::to_string(Value);
+  };
+  for (const MetricValue &V : Values) {
+    switch (V.K) {
+    case MetricValue::Kind::Counter:
+    case MetricValue::Kind::Gauge:
+      Emit(V.Name, V.Value);
+      break;
+    case MetricValue::Kind::Histogram:
+      Emit(V.Name + ".count", static_cast<int64_t>(V.Count));
+      Emit(V.Name + ".sum", V.Value);
+      Emit(V.Name + ".min", static_cast<int64_t>(V.Min));
+      Emit(V.Name + ".max", static_cast<int64_t>(V.Max));
+      break;
+    }
+  }
+  Out += First ? "}" : "\n}";
+  return Out;
+}
+
+std::string Snapshot::toTable() const {
+  size_t Width = 0;
+  for (const MetricValue &V : Values)
+    Width = std::max(Width, V.Name.size());
+  std::ostringstream OS;
+  for (const MetricValue &V : Values) {
+    OS << V.Name << std::string(Width - V.Name.size() + 2, ' ');
+    if (V.K == MetricValue::Kind::Histogram)
+      OS << "count=" << V.Count << " sum=" << V.Value << " min=" << V.Min
+         << " max=" << V.Max;
+    else
+      OS << V.Value;
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::string sanitizeMetricSegment(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+} // namespace obs
+} // namespace chimera

@@ -1,0 +1,270 @@
+//===- support/Metrics.h - Unified metrics registry -------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single metrics surface for the whole pipeline: counters, gauges,
+/// and histograms registered by dotted name in one `obs::Registry`, read
+/// back as an immutable `Snapshot` that can be diffed, tabulated, or
+/// serialized to JSON.
+///
+/// Design constraints, in order:
+///  - *Inert*: metrics observe host-side execution only. Nothing in this
+///    file may feed back into simulated state; a run with a registry
+///    attached must produce bit-identical logs/hashes to one without.
+///  - *Lock-free on the hot path*: registration (naming, allocation)
+///    takes a mutex, but a registered handle increments a relaxed
+///    atomic — no lock, no allocation, no branch beyond the null check.
+///  - *Null-handle = no-op*: every handle wraps a possibly-null cell
+///    pointer, so call sites write `C.add(1)` unconditionally and the
+///    disabled path costs one predictable-not-taken branch.
+///
+/// Cells live in `std::deque`s so registration never invalidates
+/// previously handed-out pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_METRICS_H
+#define CHIMERA_SUPPORT_METRICS_H
+
+#include "support/Expected.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace obs {
+
+/// How much observability a component should collect.
+///
+/// `Sampled` affects *tracing* only (spans are recorded 1-in-N);
+/// metrics stay exact in every enabled mode so snapshots are
+/// reproducible. `Off` means no registry exists at all.
+enum class ObsMode { Off, Sampled, Full };
+
+/// Parses "off" / "sampled" / "full".
+support::Expected<ObsMode> parseObsMode(const std::string &Text);
+const char *obsModeName(ObsMode Mode);
+
+namespace detail {
+
+struct CounterCell {
+  std::atomic<uint64_t> Value{0};
+};
+
+struct GaugeCell {
+  std::atomic<int64_t> Value{0};
+};
+
+/// Power-of-two bucketed histogram: bucket i counts samples whose
+/// bit_width is i (bucket 0 holds zeros). 65 cells cover every uint64.
+struct HistogramCell {
+  static constexpr int NumBuckets = 65;
+  std::atomic<uint64_t> Buckets[NumBuckets];
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{~uint64_t{0}};
+  std::atomic<uint64_t> Max{0};
+  HistogramCell() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+};
+
+} // namespace detail
+
+/// Monotonic counter handle. Copyable; null handle is a no-op.
+class Counter {
+public:
+  Counter() = default;
+  void add(uint64_t Delta) {
+    if (Cell)
+      Cell->Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  explicit operator bool() const { return Cell != nullptr; }
+
+private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell *C) : Cell(C) {}
+  detail::CounterCell *Cell = nullptr;
+};
+
+/// Last-value-wins gauge handle. Copyable; null handle is a no-op.
+class Gauge {
+public:
+  Gauge() = default;
+  void set(int64_t Value) {
+    if (Cell)
+      Cell->Value.store(Value, std::memory_order_relaxed);
+  }
+  void add(int64_t Delta) {
+    if (Cell)
+      Cell->Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  explicit operator bool() const { return Cell != nullptr; }
+
+private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell *C) : Cell(C) {}
+  detail::GaugeCell *Cell = nullptr;
+};
+
+/// Power-of-two-bucketed histogram handle. Copyable; null = no-op.
+class Histogram {
+public:
+  Histogram() = default;
+  void record(uint64_t Sample);
+  explicit operator bool() const { return Cell != nullptr; }
+
+private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell *C) : Cell(C) {}
+  detail::HistogramCell *Cell = nullptr;
+};
+
+/// One metric's value at snapshot time.
+struct MetricValue {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string Name;
+  Kind K = Kind::Counter;
+  /// Counter: the count. Gauge: the value. Histogram: the Sum.
+  int64_t Value = 0;
+  /// Histogram-only extras (Count == 0 for counters/gauges).
+  uint64_t Count = 0;
+  uint64_t Min = 0;
+  uint64_t Max = 0;
+  /// Sparse nonzero buckets: (bucket index, count).
+  std::vector<std::pair<int, uint64_t>> Buckets;
+};
+
+/// An immutable, name-sorted copy of a registry's state.
+class Snapshot {
+public:
+  Snapshot() = default;
+  explicit Snapshot(std::vector<MetricValue> Values);
+
+  const std::vector<MetricValue> &values() const { return Values; }
+  bool empty() const { return Values.empty(); }
+
+  /// The metric with exactly this name, or null.
+  const MetricValue *find(const std::string &Name) const;
+  /// Convenience: find(Name)->Value, or Default when absent.
+  int64_t value(const std::string &Name, int64_t Default = 0) const;
+
+  /// this - Base, per metric: counters/histogram sums subtract, gauges
+  /// keep their current value. Metrics absent from Base pass through.
+  Snapshot diff(const Snapshot &Base) const;
+
+  /// Flat JSON object {"name": value, ...}; histograms expand to
+  /// "name.sum" / "name.count" / "name.min" / "name.max".
+  std::string toJson() const;
+  /// Human-readable two-column table.
+  std::string toTable() const;
+
+private:
+  std::vector<MetricValue> Values; // sorted by Name
+};
+
+/// The metrics registry. One per pipeline (or bench); handed down by
+/// raw pointer, where null uniformly means "observability off".
+class Registry {
+public:
+  Registry() = default;
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// Registration: returns the handle for \p Name, creating the cell on
+  /// first use. Same name + same kind → same cell (so re-registration
+  /// accumulates); same name + different kind is an error in the caller
+  /// and returns a null handle rather than aliasing storage.
+  Counter counter(const std::string &Name);
+  Gauge gauge(const std::string &Name);
+  Histogram histogram(const std::string &Name);
+
+  /// A consistent-enough copy of every registered metric. ("Enough":
+  /// relaxed loads — exact once the writers have quiesced, which is the
+  /// only time snapshots are taken.)
+  Snapshot snapshot() const;
+
+private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind K;
+    void *Cell;
+  };
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Names;
+  std::deque<detail::CounterCell> Counters;
+  std::deque<detail::GaugeCell> Gauges;
+  std::deque<detail::HistogramCell> Histograms;
+};
+
+/// Dotted-name prefix helper: `Scope(R, "runtime").counter("quanta")`
+/// registers "runtime.quanta". A Scope over a null registry hands out
+/// null (no-op) handles, so call sites never branch on mode.
+class Scope {
+public:
+  Scope(Registry *R, std::string Prefix) : R(R), Prefix(std::move(Prefix)) {}
+
+  Scope sub(const std::string &Name) const { return Scope(R, join(Name)); }
+  Counter counter(const std::string &Name) const {
+    return R ? R->counter(join(Name)) : Counter();
+  }
+  Gauge gauge(const std::string &Name) const {
+    return R ? R->gauge(join(Name)) : Gauge();
+  }
+  Histogram histogram(const std::string &Name) const {
+    return R ? R->histogram(join(Name)) : Histogram();
+  }
+  Registry *registry() const { return R; }
+  explicit operator bool() const { return R != nullptr; }
+
+private:
+  std::string join(const std::string &Name) const {
+    return Prefix.empty() ? Name : Prefix + "." + Name;
+  }
+  Registry *R;
+  std::string Prefix;
+};
+
+/// RAII wall-clock timer: adds the elapsed microseconds to \p WallUs on
+/// destruction. A null counter skips the clock reads entirely, so the
+/// disabled path is two branches.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Counter WallUs) : C(WallUs) {
+    if (C)
+      Start = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() {
+    if (C)
+      C.add(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+  }
+
+private:
+  Counter C;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Mangles an arbitrary debug string into a metric-name segment:
+/// [A-Za-z0-9_] pass through, everything else becomes '_'.
+std::string sanitizeMetricSegment(const std::string &Text);
+
+} // namespace obs
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_METRICS_H

@@ -1,0 +1,93 @@
+//===- support/Trace.cpp - Span tracing (Chrome trace_event) --------------===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+
+namespace chimera {
+namespace obs {
+
+int TraceRecorder::tidFor(std::thread::id Id) {
+  // Caller holds Mu.
+  auto It = Tids.find(Id);
+  if (It != Tids.end())
+    return It->second;
+  int Tid = static_cast<int>(Tids.size()) + 1;
+  Tids.emplace(Id, Tid);
+  return Tid;
+}
+
+void TraceRecorder::complete(std::string Name, std::string Cat,
+                             uint64_t StartUs, uint64_t DurUs,
+                             std::string ArgsJson) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TraceSpan S;
+  S.Name = std::move(Name);
+  S.Cat = std::move(Cat);
+  S.StartUs = StartUs;
+  S.DurUs = DurUs;
+  S.Tid = tidFor(std::this_thread::get_id());
+  S.ArgsJson = std::move(ArgsJson);
+  Spans.push_back(std::move(S));
+}
+
+size_t TraceRecorder::spanCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Spans.size();
+}
+
+static void appendEscaped(std::string &Out, const std::string &Text) {
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+}
+
+std::string TraceRecorder::json() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const TraceSpan &S : Spans) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":\"";
+    appendEscaped(Out, S.Name);
+    Out += "\",\"cat\":\"";
+    appendEscaped(Out, S.Cat);
+    Out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(S.StartUs) +
+           ",\"dur\":" + std::to_string(S.DurUs) +
+           ",\"pid\":1,\"tid\":" + std::to_string(S.Tid);
+    if (!S.ArgsJson.empty())
+      Out += ",\"args\":{" + S.ArgsJson + "}";
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+support::Error TraceRecorder::writeFile(const std::string &Path) const {
+  std::string Doc = json();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return support::Error::failure("cannot open trace file '" + Path + "'");
+  size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
+  bool CloseOk = std::fclose(F) == 0;
+  if (Written != Doc.size() || !CloseOk)
+    return support::Error::failure("short write to trace file '" + Path + "'");
+  return support::Error::success();
+}
+
+} // namespace obs
+} // namespace chimera

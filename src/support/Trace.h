@@ -1,0 +1,146 @@
+//===- support/Trace.h - Span tracing (Chrome trace_event) ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Span-based structured tracing. A `TraceRecorder` collects completed
+/// spans (name, category, start, duration, optional args) and renders
+/// them as Chrome `trace_event` JSON — load the file at
+/// `chrome://tracing` or https://ui.perfetto.dev.
+///
+/// The API is built around the same null-is-off convention as the
+/// metrics registry: every entry point takes a possibly-null
+/// `TraceRecorder *`, and a null recorder makes `TraceScope`
+/// construction a single pointer test (no clock read, no allocation).
+/// That is the whole disabled-path story — there is no compile-time
+/// flag to get wrong, and the ≤1% overhead bound is enforced by a
+/// bench comparison, not by faith.
+///
+/// Spans measure *host* time (steady_clock); they never read or write
+/// simulated state, so tracing cannot perturb logs or hashes.
+///
+/// Sampling: `TraceRecorder(SampleEvery = N)` keeps 1-in-N spans,
+/// chosen by a deterministic per-recorder counter (span admission order
+/// under one recorder is deterministic in single-threaded phases and
+/// merely *stable enough* under concurrency; sampling only thins the
+/// trace, metrics stay exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_TRACE_H
+#define CHIMERA_SUPPORT_TRACE_H
+
+#include "support/Expected.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace chimera {
+namespace obs {
+
+/// One completed span, microseconds relative to the recorder's epoch.
+struct TraceSpan {
+  std::string Name;
+  std::string Cat;
+  uint64_t StartUs = 0;
+  uint64_t DurUs = 0;
+  int Tid = 0;
+  std::string ArgsJson; // pre-rendered JSON object body, may be empty
+};
+
+/// Thread-safe collector of completed spans.
+class TraceRecorder {
+public:
+  /// \p SampleEvery: record every Nth admitted span (1 = all).
+  explicit TraceRecorder(unsigned SampleEvery = 1)
+      : Epoch(std::chrono::steady_clock::now()),
+        SampleEvery(SampleEvery == 0 ? 1 : SampleEvery) {}
+
+  /// Microseconds since this recorder was constructed.
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// True when the deterministic sampling counter admits the next span.
+  /// Callers that skip a span on false must not call again for it.
+  bool admit() {
+    if (SampleEvery == 1)
+      return true;
+    return NextSpan.fetch_add(1, std::memory_order_relaxed) % SampleEvery == 0;
+  }
+
+  /// Appends a completed span (thread-safe).
+  void complete(std::string Name, std::string Cat, uint64_t StartUs,
+                uint64_t DurUs, std::string ArgsJson = std::string());
+
+  /// Number of spans recorded so far.
+  size_t spanCount() const;
+
+  /// The full Chrome trace_event document: {"traceEvents":[...]}.
+  std::string json() const;
+
+  /// Writes json() to \p Path; fails with a typed error on IO problems.
+  support::Error writeFile(const std::string &Path) const;
+
+private:
+  int tidFor(std::thread::id Id);
+
+  std::chrono::steady_clock::time_point Epoch;
+  unsigned SampleEvery;
+  std::atomic<uint64_t> NextSpan{0};
+  mutable std::mutex Mu;
+  std::vector<TraceSpan> Spans;
+  std::unordered_map<std::thread::id, int> Tids;
+};
+
+/// RAII span: times from construction to destruction and records into
+/// the recorder (if any, and if sampling admits it).
+class TraceScope {
+public:
+  TraceScope(TraceRecorder *R, const char *Name, const char *Cat = "chimera")
+      : R(R && R->admit() ? R : nullptr), Name(Name), Cat(Cat),
+        StartUs(this->R ? this->R->nowUs() : 0) {}
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+  /// Attaches a pre-rendered JSON object body, e.g. "\"hits\": 3".
+  void args(std::string Json) { ArgsJson = std::move(Json); }
+
+  ~TraceScope() {
+    if (R)
+      R->complete(Name, Cat, StartUs, R->nowUs() - StartUs,
+                  std::move(ArgsJson));
+  }
+
+private:
+  TraceRecorder *R;
+  const char *Name;
+  const char *Cat;
+  uint64_t StartUs;
+  std::string ArgsJson;
+};
+
+#define CHIMERA_TRACE_CONCAT_IMPL(A, B) A##B
+#define CHIMERA_TRACE_CONCAT(A, B) CHIMERA_TRACE_CONCAT_IMPL(A, B)
+
+/// Span covering the rest of the enclosing scope. \p Rec may be null.
+#define CHIMERA_TRACE_SPAN(Rec, Name)                                          \
+  ::chimera::obs::TraceScope CHIMERA_TRACE_CONCAT(ChimeraTraceSpan_,           \
+                                                  __LINE__)(Rec, Name)
+
+} // namespace obs
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_TRACE_H

@@ -1186,17 +1186,6 @@ chimera::workloads::buildPipelineEx(WorkloadKind Kind, unsigned Workers,
       workloadSource(Kind, profileParams(Kind)), std::move(Config));
 }
 
-std::unique_ptr<core::ChimeraPipeline> chimera::workloads::buildPipeline(
-    WorkloadKind Kind, unsigned Workers, std::string *Error) {
-  auto P = buildPipelineEx(Kind, Workers, core::PipelineConfig());
-  if (!P) {
-    if (Error)
-      *Error = P.error().message();
-    return nullptr;
-  }
-  return P.take();
-}
-
 unsigned chimera::workloads::workloadLineCount(WorkloadKind Kind) {
   unsigned Lines = 0;
   for (const char *C = entry(Kind).Template; *C; ++C)

@@ -93,11 +93,6 @@ support::Expected<std::unique_ptr<core::ChimeraPipeline>>
 buildPipelineEx(WorkloadKind Kind, unsigned Workers,
                 core::PipelineConfig Config = core::PipelineConfig());
 
-/// Deprecated shim for the string-out-param API; remove next PR.
-std::unique_ptr<core::ChimeraPipeline> buildPipeline(WorkloadKind Kind,
-                                                     unsigned Workers,
-                                                     std::string *Error);
-
 /// Source line count (for the Table 1 LOC column).
 unsigned workloadLineCount(WorkloadKind Kind);
 

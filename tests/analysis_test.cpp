@@ -1,5 +1,6 @@
 //===- tests/analysis_test.cpp - CallGraph/Dominators/Loops/PointsTo -------===//
 
+#include "TestUtil.h"
 #include "analysis/CallGraph.h"
 #include "analysis/Dominators.h"
 #include "analysis/Escape.h"
@@ -17,9 +18,7 @@ using namespace chimera::analysis;
 namespace {
 
 std::unique_ptr<ir::Module> compile(const std::string &Source) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   return M;
 }
 

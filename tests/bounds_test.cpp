@@ -1,5 +1,6 @@
 //===- tests/bounds_test.cpp - Symbolic bounds analysis tests --------------===//
 
+#include "TestUtil.h"
 #include "analysis/LoopInfo.h"
 #include "bounds/BoundsAnalysis.h"
 #include "codegen/CodeGen.h"
@@ -21,9 +22,7 @@ struct BoundsFixture {
 
   explicit BoundsFixture(const std::string &Source,
                          const std::string &Func) {
-    std::string Err;
-    M = compileMiniC(Source, "t", &Err);
-    EXPECT_NE(M, nullptr) << Err;
+        M = test::compileOrNull(Source, "t");
     F = M->findFunction(Func);
     EXPECT_NE(F, nullptr);
     LI = std::make_unique<analysis::LoopInfo>(*F);

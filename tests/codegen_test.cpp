@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "analysis/LoopInfo.h"
 #include "codegen/CodeGen.h"
 #include "ir/Printer.h"
@@ -20,9 +21,7 @@ using namespace chimera::ir;
 namespace {
 
 std::unique_ptr<Module> compile(const std::string &Source) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   EXPECT_TRUE(verifyModule(*M).empty());
   return M;
 }
@@ -176,14 +175,12 @@ TEST(CodeGen, SourceLinesAttached) {
 
 TEST(CodeGen, BreakJumpsToLoopExit) {
   // `break` must leave exactly one loop level.
-  std::string Err;
-  auto M = compileMiniC(
+    auto M = test::compileOrNull(
       "int main() { int s = 0; int i; int j; "
       "for (i = 0; i < 4; i++) { "
       "for (j = 0; j < 10; j++) { if (j == 2) { break; } s++; } } "
       "output(s); return 0; }",
-      "t", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+      "t");
   rt::MachineOptions MO;
   rt::Machine Machine(*M, MO);
   auto R = Machine.run();
@@ -192,13 +189,11 @@ TEST(CodeGen, BreakJumpsToLoopExit) {
 }
 
 TEST(CodeGen, ContinueSkipsToStep) {
-  std::string Err;
-  auto M = compileMiniC("int main() { int s = 0; int i; "
+    auto M = test::compileOrNull("int main() { int s = 0; int i; "
                         "for (i = 0; i < 6; i++) { "
                         "if (i % 2 == 0) { continue; } s += i; } "
                         "output(s); return 0; }",
-                        "t", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+                        "t");
   rt::MachineOptions MO;
   rt::Machine Machine(*M, MO);
   auto R = Machine.run();

@@ -1,5 +1,6 @@
 //===- tests/dynamic_detector_test.cpp - HB race-detector oracle -----------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "race/DynamicDetector.h"
 #include "runtime/Machine.h"
@@ -12,9 +13,7 @@ using namespace chimera::race;
 namespace {
 
 uint64_t racesIn(const std::string &Source, uint64_t Seed = 1) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   DynamicDetector Detector;
   rt::MachineOptions MO;
   MO.Seed = Seed;
@@ -84,12 +83,11 @@ TEST(DynamicDetector, CondVarOrderingRespected) {
 }
 
 TEST(DynamicDetector, RaceDetailsAreReported) {
-  std::string Err;
-  auto M = compileMiniC("int g;\nint tids[2];\nvoid w() { g = g + 1; }\n"
+    auto M = test::compileOrNull("int g;\nint tids[2];\nvoid w() { g = g + 1; }\n"
                         "int main() { tids[0] = spawn(w); "
                         "tids[1] = spawn(w); join(tids[0]); "
                         "join(tids[1]); return 0; }",
-                        "t", &Err);
+                        "t");
   ASSERT_NE(M, nullptr);
   // Scan seeds until the two increments actually interleave.
   for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
@@ -121,15 +119,13 @@ namespace {
 /// around the counter update, then counts dynamic races.
 uint64_t racesWithWeakLock(bool Ranged, uint64_t RangeLoA, uint64_t RangeHiA,
                            uint64_t RangeLoB, uint64_t RangeHiB) {
-  std::string Err;
-  auto M = compileMiniC("int c;\nint d;\nint tids[2];\n"
+    auto M = test::compileOrNull("int c;\nint d;\nint tids[2];\n"
                         "void wa() { c = c + 1; }\n"
                         "void wb() { c = c + 2; }\n"
                         "int main() { tids[0] = spawn(wa); "
                         "tids[1] = spawn(wb); join(tids[0]); "
                         "join(tids[1]); return 0; }",
-                        "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+                        "t");
   M->WeakLocks.push_back(
       {ir::WeakLockGranularity::Function, "wl", Ranged});
 

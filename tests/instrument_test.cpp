@@ -23,10 +23,9 @@ std::unique_ptr<core::ChimeraPipeline> pipelineFor(
   Config.NumCores = 4;
   Config.ProfileRuns = 6;
   Config.Planner = Opts;
-  std::string Err;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config, &Err);
-  EXPECT_NE(P, nullptr) << Err;
-  return P;
+  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+  return P ? P.take() : nullptr;
 }
 
 /// Statically walks every path-insensitive block of an instrumented

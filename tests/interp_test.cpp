@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "runtime/Machine.h"
 
@@ -17,9 +18,7 @@ namespace {
 
 rt::ExecutionResult runSource(const std::string &Source,
                               uint64_t Seed = 1) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   if (!M)
     return {};
   rt::MachineOptions MO;

@@ -1,5 +1,6 @@
 //===- tests/ir_test.cpp - IR construction/verifier/printer tests ----------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
@@ -49,13 +50,11 @@ TEST(IRBuilder, TerminatorClosesBlock) {
 }
 
 TEST(Verifier, AcceptsWellFormedModule) {
-  std::string Err;
-  auto M = compileMiniC("int g;\nint a[4];\nmutex m;\n"
+    auto M = test::compileOrNull("int g;\nint a[4];\nmutex m;\n"
                         "int helper(int x) { return x * 2; }\n"
                         "int main() { lock(m); g = helper(a[1]); "
                         "unlock(m); return g; }",
-                        "ok", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+                        "ok");
   EXPECT_TRUE(verifyModule(*M).empty());
 }
 
@@ -144,11 +143,9 @@ TEST(Verifier, RejectsHalfRange) {
 }
 
 TEST(Module, GlobalLayoutIsContiguous) {
-  std::string Err;
-  auto M = compileMiniC("int a;\nint b[10];\nint c;\n"
+    auto M = test::compileOrNull("int a;\nint b[10];\nint c;\n"
                         "int main() { return 0; }",
-                        "layout", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+                        "layout");
   EXPECT_EQ(M->Globals[0].BaseAddr, Module::GlobalBase);
   EXPECT_EQ(M->Globals[1].BaseAddr, Module::GlobalBase + 1);
   EXPECT_EQ(M->Globals[2].BaseAddr, Module::GlobalBase + 11);
@@ -156,11 +153,9 @@ TEST(Module, GlobalLayoutIsContiguous) {
 }
 
 TEST(Module, GlobalContaining) {
-  std::string Err;
-  auto M = compileMiniC("int a;\nint b[10];\nint c;\n"
+    auto M = test::compileOrNull("int a;\nint b[10];\nint c;\n"
                         "int main() { return 0; }",
-                        "layout", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+                        "layout");
   EXPECT_EQ(M->globalContaining(Module::GlobalBase), 0u);
   EXPECT_EQ(M->globalContaining(Module::GlobalBase + 5), 1u);
   EXPECT_EQ(M->globalContaining(Module::GlobalBase + 11), 2u);
@@ -169,10 +164,8 @@ TEST(Module, GlobalContaining) {
 }
 
 TEST(Module, CloneIsDeepAndEqual) {
-  std::string Err;
-  auto M = compileMiniC("int g;\nint main() { g = 1; return g; }", "c",
-                        &Err);
-  ASSERT_NE(M, nullptr) << Err;
+  auto M = test::compileOrNull("int g;\nint main() { g = 1; return g; }",
+                               "c");
   auto Copy = M->clone();
   EXPECT_EQ(printModule(*M), printModule(*Copy));
   // Mutating the clone leaves the original alone.
@@ -181,9 +174,7 @@ TEST(Module, CloneIsDeepAndEqual) {
 }
 
 TEST(Module, CloneKeepsInstIdCounter) {
-  std::string Err;
-  auto M = compileMiniC("int main() { return 0; }", "c", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+  auto M = test::compileOrNull("int main() { return 0; }", "c");
   auto Copy = M->clone();
   // New ids in the clone must not collide with existing ones.
   InstId Fresh = Copy->function(0).newInstId();
@@ -193,9 +184,7 @@ TEST(Module, CloneKeepsInstIdCounter) {
 }
 
 TEST(Function, FindInstAndPos) {
-  std::string Err;
-  auto M = compileMiniC("int main() { int x = 3; return x; }", "f", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull("int main() { int x = 3; return x; }", "f");
   const Function &F = M->function(0);
   const Instruction &First = F.block(0).Insts[0];
   EXPECT_EQ(F.findInst(First.Ident), &First);
@@ -208,24 +197,20 @@ TEST(Function, FindInstAndPos) {
 }
 
 TEST(Function, Successors) {
-  std::string Err;
-  auto M = compileMiniC("int main() { int x = 0; if (x) { x = 1; } "
+    auto M = test::compileOrNull("int main() { int x = 0; if (x) { x = 1; } "
                         "return x; }",
-                        "s", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+                        "s");
   const Function &F = M->function(0);
   auto Succ = F.successors(0);
   EXPECT_EQ(Succ.size(), 2u); // CondBr.
 }
 
 TEST(Printer, RoundsKeyConstructs) {
-  std::string Err;
-  auto M = compileMiniC("int a[4];\nmutex m;\n"
+    auto M = test::compileOrNull("int a[4];\nmutex m;\n"
                         "void w(int id) { lock(m); a[id] = id; unlock(m); }\n"
                         "int main() { int t = spawn(w, 1); join(t); "
                         "output(a[1]); return 0; }",
-                        "p", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+                        "p");
   std::string Text = printModule(*M);
   EXPECT_NE(Text.find("mutex @m"), std::string::npos);
   EXPECT_NE(Text.find("global @a[4]"), std::string::npos);

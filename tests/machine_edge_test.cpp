@@ -1,5 +1,6 @@
 //===- tests/machine_edge_test.cpp - Simulator edge cases ------------------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "replay/Recorder.h"
 #include "replay/Replayer.h"
@@ -14,9 +15,7 @@ using namespace chimera::rt;
 namespace {
 
 std::unique_ptr<ir::Module> compile(const std::string &Source) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   return M;
 }
 

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "analysis/MayHappenInParallel.h"
 #include "codegen/CodeGen.h"
 #include "race/DynamicDetector.h"
@@ -33,9 +34,7 @@ struct Detected {
 /// Compiles \p Source and runs RELAY with the MHP filter in \p Mode.
 Detected detect(const std::string &Source, MhpMode Mode) {
   Detected Out;
-  std::string Err;
-  Out.M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(Out.M, nullptr) << Err;
+    Out.M = test::compileOrNull(Source, "t");
   analysis::CallGraph CG(*Out.M);
   analysis::PointsTo PT(*Out.M);
   analysis::EscapeAnalysis Escape(*Out.M, PT);
@@ -242,9 +241,7 @@ TEST(MhpBarrier, AlignedBarrierOrdersPhases) {
 }
 
 TEST(MhpBarrier, IntrospectionReportsAlignmentAndInstances) {
-  std::string Err;
-  auto M = compileMiniC(BarrierPhaseSrc, "t", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(BarrierPhaseSrc, "t");
   analysis::CallGraph CG(*M);
   analysis::PointsTo PT(*M);
   MayHappenInParallel Mhp(*M, CG, PT, MhpMode::Barrier);
@@ -280,9 +277,7 @@ TEST(MhpBarrier, OverSubscribedBarrierIsNotAligned) {
                     "  }\n"
                     "  return 0;\n"
                     "}\n";
-  std::string Err;
-  auto M = compileMiniC(Src, "t", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Src, "t");
   analysis::CallGraph CG(*M);
   analysis::PointsTo PT(*M);
   MayHappenInParallel Mhp(*M, CG, PT, MhpMode::Barrier);

@@ -1,0 +1,512 @@
+//===- tests/obs_test.cpp - Observability layer tests ----------------------===//
+//
+// The metrics registry and trace recorder in isolation; their wiring
+// through pipeline, machine, and log codec; and the layer's central
+// contract: observability is inert — record/replay logs and hashes are
+// bit-identical whether it is off, sampled, or fully on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/Pipeline.h"
+#include "replay/LogCodec.h"
+#include "support/Compressor.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+using namespace chimera;
+using namespace chimera::obs;
+
+//===----------------------------------------------------------------------===//
+// Registry and handles
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, CounterAccumulates) {
+  Registry R;
+  Counter C = R.counter("a.count");
+  ASSERT_TRUE(bool(C));
+  C.inc();
+  C.add(41);
+  EXPECT_EQ(R.snapshot().value("a.count", -1), 42);
+}
+
+TEST(Metrics, SameNameSameKindSharesCell) {
+  Registry R;
+  R.counter("shared").add(1);
+  R.counter("shared").add(2);
+  EXPECT_EQ(R.snapshot().value("shared", -1), 3);
+}
+
+TEST(Metrics, SameNameDifferentKindReturnsNullHandle) {
+  Registry R;
+  ASSERT_TRUE(bool(R.counter("clash")));
+  Gauge G = R.gauge("clash");
+  EXPECT_FALSE(bool(G));
+  G.set(7); // Must be a safe no-op.
+  EXPECT_EQ(R.snapshot().value("clash", -1), 0);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Registry R;
+  Gauge G = R.gauge("g");
+  G.set(-5);
+  G.add(15);
+  EXPECT_EQ(R.snapshot().value("g", 0), 10);
+}
+
+TEST(Metrics, HistogramTracksCountSumMinMax) {
+  Registry R;
+  Histogram H = R.histogram("h");
+  H.record(1);
+  H.record(100);
+  H.record(10);
+  const MetricValue *V = R.snapshot().find("h");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->Count, 3u);
+  EXPECT_EQ(V->Value, 111);
+  EXPECT_EQ(V->Min, 1u);
+  EXPECT_EQ(V->Max, 100u);
+}
+
+TEST(Metrics, NullHandlesAreInertAndFalse) {
+  Counter C;
+  Gauge G;
+  Histogram H;
+  EXPECT_FALSE(bool(C));
+  EXPECT_FALSE(bool(G));
+  EXPECT_FALSE(bool(H));
+  C.add(1);
+  G.set(1);
+  H.record(1); // None may crash.
+}
+
+TEST(Metrics, ScopePrefixesAndChains) {
+  Registry R;
+  Scope Root(&R, "runtime");
+  Scope Sub = Root.sub("weaklock").sub("wl0");
+  Sub.counter("acquires").add(4);
+  EXPECT_EQ(R.snapshot().value("runtime.weaklock.wl0.acquires", -1), 4);
+}
+
+TEST(Metrics, NullRegistryScopeIsNoOp) {
+  Scope S(nullptr, "x");
+  EXPECT_FALSE(bool(S));
+  S.sub("y").counter("z").add(1); // Must not crash.
+  S.gauge("g").set(3);
+}
+
+TEST(Metrics, SnapshotIsNameSortedAndDiffs) {
+  Registry R;
+  R.counter("b").add(10);
+  R.counter("a").add(1);
+  R.gauge("g").set(5);
+  Snapshot S1 = R.snapshot();
+  ASSERT_EQ(S1.values().size(), 3u);
+  EXPECT_EQ(S1.values()[0].Name, "a");
+  EXPECT_EQ(S1.values()[2].Name, "g");
+
+  R.counter("b").add(7);
+  R.gauge("g").set(9);
+  Snapshot S2 = R.snapshot().diff(S1);
+  EXPECT_EQ(S2.value("b", -1), 7);    // Counters subtract.
+  EXPECT_EQ(S2.value("g", -1), 9);    // Gauges keep the newest value.
+  EXPECT_EQ(S2.value("a", -1), 0);
+}
+
+TEST(Metrics, ToJsonIsFlatAndParsesShape) {
+  Registry R;
+  R.counter("pipeline.relay.wall_us").add(12);
+  R.gauge("pipeline.mhp.pairs_after").set(-3);
+  std::string Json = R.snapshot().toJson();
+  EXPECT_NE(Json.find("\"pipeline.relay.wall_us\": 12"), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"pipeline.mhp.pairs_after\": -3"),
+            std::string::npos)
+      << Json;
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+}
+
+TEST(Metrics, ToTableListsEveryMetric) {
+  Registry R;
+  R.counter("x.one").add(1);
+  R.counter("x.two").add(2);
+  std::string Table = R.snapshot().toTable();
+  EXPECT_NE(Table.find("x.one"), std::string::npos);
+  EXPECT_NE(Table.find("x.two"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentCounterAddsDontDropUpdates) {
+  Registry R;
+  Counter C = R.counter("hot");
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 8; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I != 10000; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(R.snapshot().value("hot", -1), 80000);
+}
+
+TEST(Metrics, SanitizeMetricSegmentReplacesPunctuation) {
+  EXPECT_EQ(sanitizeMetricSegment("pair(a,b):1"), "pair_a_b__1");
+  EXPECT_EQ(sanitizeMetricSegment("ok_09AZ"), "ok_09AZ");
+}
+
+TEST(Metrics, ParseObsModeRoundTrips) {
+  for (const char *Name : {"off", "sampled", "full"}) {
+    auto Mode = parseObsMode(Name);
+    ASSERT_TRUE(Mode.hasValue()) << Name;
+    EXPECT_STREQ(obsModeName(*Mode), Name);
+  }
+  EXPECT_FALSE(bool(parseObsMode("loud")));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, ScopesRecordSpans) {
+  TraceRecorder Rec;
+  {
+    TraceScope A(&Rec, "alpha");
+    TraceScope B(&Rec, "beta", "cat2");
+  }
+  EXPECT_EQ(Rec.spanCount(), 2u);
+  std::string Json = Rec.json();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(Json.find("\"cat2\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos) << Json;
+}
+
+TEST(Trace, NullRecorderScopesAreNoOps) {
+  TraceScope S(nullptr, "ghost");
+  S.args("{\"k\": 1}"); // Must not crash.
+}
+
+TEST(Trace, SamplingThinsSpansDeterministically) {
+  TraceRecorder Rec(/*SampleEvery=*/2);
+  for (int I = 0; I != 10; ++I)
+    TraceScope S(&Rec, "span");
+  EXPECT_EQ(Rec.spanCount(), 5u);
+}
+
+TEST(Trace, MacroCompilesAndRecords) {
+  TraceRecorder Rec;
+  {
+    CHIMERA_TRACE_SPAN(&Rec, "macro.span");
+    CHIMERA_TRACE_SPAN(static_cast<TraceRecorder *>(nullptr), "ignored");
+  }
+  EXPECT_EQ(Rec.spanCount(), 1u);
+}
+
+TEST(Trace, WriteFileEmitsChromeLoadableJson) {
+  TraceRecorder Rec;
+  { TraceScope S(&Rec, "disk.span"); }
+  std::string Path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_FALSE(bool(Rec.writeFile(Path)));
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Contents(1 << 16, '\0');
+  Contents.resize(std::fread(Contents.data(), 1, Contents.size(), F));
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_NE(Contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Contents.find("disk.span"), std::string::npos);
+}
+
+TEST(Trace, WriteFileToBadPathFails) {
+  TraceRecorder Rec;
+  support::Error E = Rec.writeFile("/nonexistent-dir/trace.json");
+  EXPECT_TRUE(bool(E));
+  EXPECT_FALSE(E.message().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline and machine wiring
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *RacyLoops =
+    "int c;\nint a[32];\nint tids[2];\n"
+    "void w(int* base, int n) { int i; for (i = 0; i < n; i++) { "
+    "base[i] = i; c = c + 1; } }\n"
+    "int main() { tids[0] = spawn(w, &a[0], 16); "
+    "tids[1] = spawn(w, &a[16], 16); join(tids[0]); join(tids[1]); "
+    "output(c); return 0; }";
+
+core::PipelineConfig obsConfig(ObsMode Mode) {
+  core::PipelineConfig Config;
+  Config.Name = "obs";
+  Config.NumCores = 4;
+  Config.ProfileRuns = 4;
+  Config.Observability = Mode;
+  return Config;
+}
+
+std::unique_ptr<core::ChimeraPipeline> obsPipeline(ObsMode Mode) {
+  auto P = core::ChimeraPipeline::fromSource(RacyLoops, RacyLoops,
+                                             obsConfig(Mode));
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+  return P ? P.take() : nullptr;
+}
+
+} // namespace
+
+TEST(ObsPipeline, MetricsFailsWhenOff) {
+  auto P = obsPipeline(ObsMode::Off);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->metricsRegistry(), nullptr);
+  auto Snap = P->metrics();
+  ASSERT_FALSE(Snap);
+  EXPECT_NE(Snap.error().message().find("Observability"),
+            std::string::npos);
+}
+
+TEST(ObsPipeline, StageTimersAndAnalysisStatsPublish) {
+  auto P = obsPipeline(ObsMode::Full);
+  ASSERT_NE(P, nullptr);
+  rt::ExecutionResult Rec = P->record(7);
+  ASSERT_TRUE(Rec.Ok) << Rec.Error;
+  auto Snap = P->metrics();
+  ASSERT_TRUE(Snap.hasValue()) << Snap.error().message();
+  // One entry per stage; wall_us counters exist (0 is legal on a fast
+  // host, so only presence is asserted).
+  for (const char *Stage :
+       {"pipeline.parse.wall_us", "pipeline.sema.wall_us",
+        "pipeline.codegen.wall_us", "pipeline.analyses.wall_us",
+        "pipeline.mhp.wall_us", "pipeline.relay.wall_us",
+        "pipeline.profile.wall_us", "pipeline.bounds.wall_us",
+        "pipeline.plan.wall_us", "pipeline.instrument.wall_us",
+        "pipeline.audit.wall_us"})
+    EXPECT_NE(Snap->find(Stage), nullptr) << Stage;
+  // MHP precision gauges ride along with the race report.
+  EXPECT_GT(Snap->value("pipeline.mhp.pairs_before", 0), 0);
+  EXPECT_GE(Snap->value("pipeline.mhp.pairs_before", 0),
+            Snap->value("pipeline.mhp.pairs_after", 0));
+}
+
+TEST(ObsPipeline, RecordPublishesPerLockAndLogMetrics) {
+  auto P = obsPipeline(ObsMode::Full);
+  ASSERT_NE(P, nullptr);
+  rt::ExecutionResult Rec = P->record(7);
+  ASSERT_TRUE(Rec.Ok) << Rec.Error;
+  auto Snap = P->metrics();
+  ASSERT_TRUE(Snap.hasValue());
+
+  // Per-lock acquires sum to the machine's own RunStats total.
+  uint64_t PerLockSum = 0;
+  for (const MetricValue &V : Snap->values())
+    if (V.Name.rfind("runtime.record.weaklock.wl", 0) == 0 &&
+        V.Name.size() > 9 &&
+        V.Name.compare(V.Name.size() - 9, 9, ".acquires") == 0)
+      PerLockSum += static_cast<uint64_t>(V.Value);
+  EXPECT_EQ(PerLockSum, Rec.Stats.weakAcquiresTotal());
+  EXPECT_EQ(static_cast<uint64_t>(Snap->value(
+                "runtime.record.weaklock.total.acquires", -1)),
+            Rec.Stats.weakAcquiresTotal());
+
+  // Per-type log record counts reconcile with the log itself.
+  EXPECT_EQ(static_cast<uint64_t>(
+                Snap->value("runtime.record.log.order.total.records", -1)),
+            Rec.Log.totalOrderedEvents());
+  EXPECT_EQ(static_cast<uint64_t>(
+                Snap->value("runtime.record.log.input.records", -1)),
+            Rec.Log.totalInputEvents());
+
+  // Byte attribution stays within the encoded log (which additionally
+  // carries headers and length prefixes).
+  int64_t PayloadBytes =
+      Snap->value("runtime.record.log.order.total.bytes", 0) +
+      Snap->value("runtime.record.log.input.bytes", 0) +
+      Snap->value("runtime.record.log.revocation.bytes", 0);
+  EXPECT_GT(PayloadBytes, 0);
+  EXPECT_LE(static_cast<size_t>(PayloadBytes),
+            replay::encodeLog(Rec.Log).size());
+
+  // Scheduler quantum accounting is self-consistent.
+  EXPECT_GT(Snap->value("runtime.record.sched.quanta", 0), 0);
+  EXPECT_LE(Snap->value("runtime.record.sched.quantum_cycles_used", 0),
+            Snap->value("runtime.record.sched.quantum_cycles_granted", 0));
+}
+
+TEST(ObsPipeline, ReplayPublishesProgressAndDecodeMetrics) {
+  auto P = obsPipeline(ObsMode::Full);
+  ASSERT_NE(P, nullptr);
+  rt::ExecutionResult Rec = P->record(5);
+  ASSERT_TRUE(Rec.Ok) << Rec.Error;
+
+  auto Decoded =
+      replay::decode(replay::encodeLog(Rec.Log), P->metricsRegistry());
+  ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().message();
+  rt::ExecutionResult Rep = P->replay(*Decoded);
+  ASSERT_TRUE(Rep.Ok) << Rep.Error;
+  EXPECT_EQ(Rep.StateHash, Rec.StateHash);
+
+  auto Snap = P->metrics();
+  ASSERT_TRUE(Snap.hasValue());
+  EXPECT_EQ(Snap->value("replay.decode.calls", -1), 1);
+  EXPECT_EQ(static_cast<uint64_t>(Snap->value("replay.decode.events", -1)),
+            Rec.Log.totalOrderedEvents() + Rec.Log.totalInputEvents());
+  // A complete replay consumed every gate and input it planned to.
+  EXPECT_GT(Snap->value("runtime.replay.progress.gates_total", -1), 0);
+  EXPECT_EQ(Snap->value("runtime.replay.progress.gates_consumed", -1),
+            Snap->value("runtime.replay.progress.gates_total", -2));
+  EXPECT_EQ(Snap->value("runtime.replay.progress.inputs_consumed", -1),
+            Snap->value("runtime.replay.progress.inputs_total", -2));
+}
+
+TEST(ObsMachine, MetricsFailsWithoutRegistry) {
+  auto M = test::compileOrNull("int main() { return 0; }");
+  ASSERT_NE(M, nullptr);
+  rt::Machine Machine(*M, {});
+  auto Snap = Machine.metrics();
+  ASSERT_FALSE(Snap);
+  EXPECT_NE(Snap.error().message().find("Metrics"), std::string::npos);
+}
+
+TEST(ObsMachine, NativeRunCountsInstructions) {
+  auto M = test::compileOrNull(
+      "int main() { int i; int s = 0; "
+      "for (i = 0; i < 100; i++) { s = s + i; } output(s); return 0; }");
+  ASSERT_NE(M, nullptr);
+  Registry Reg;
+  rt::MachineOptions MO;
+  MO.Metrics = &Reg;
+  rt::Machine Machine(*M, MO);
+  rt::ExecutionResult R = Machine.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto Snap = Machine.metrics();
+  ASSERT_TRUE(Snap.hasValue());
+  EXPECT_EQ(static_cast<uint64_t>(
+                Snap->value("runtime.native.run.instructions", -1)),
+            R.Stats.Instructions);
+  EXPECT_EQ(Snap->value("runtime.native.run.runs", -1), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The inertness contract: obs off/sampled/full produce bit-identical
+// executions.
+//===----------------------------------------------------------------------===//
+
+TEST(ObsDeterminism, LogsAndHashesIdenticalAcrossModes) {
+  TraceRecorder Trace(/*SampleEvery=*/4);
+  std::vector<uint8_t> Logs[3];
+  uint64_t RecordHash[3], ReplayHash[3];
+  const ObsMode Modes[3] = {ObsMode::Off, ObsMode::Sampled, ObsMode::Full};
+  for (int I = 0; I != 3; ++I) {
+    core::PipelineConfig Config = obsConfig(Modes[I]);
+    if (Modes[I] != ObsMode::Off)
+      Config.Trace = &Trace; // Tracing on top must also be inert.
+    auto P =
+        core::ChimeraPipeline::fromSource(RacyLoops, RacyLoops, Config);
+    ASSERT_TRUE(P.hasValue()) << P.error().message();
+    rt::ExecutionResult Rec = (*P)->record(42);
+    ASSERT_TRUE(Rec.Ok) << Rec.Error;
+    Logs[I] = replay::encodeLog(Rec.Log);
+    RecordHash[I] = Rec.StateHash;
+    rt::ExecutionResult Rep = (*P)->replay(Rec.Log);
+    ASSERT_TRUE(Rep.Ok) << Rep.Error;
+    ReplayHash[I] = Rep.StateHash;
+  }
+  EXPECT_EQ(Logs[0], Logs[1]);
+  EXPECT_EQ(Logs[0], Logs[2]);
+  EXPECT_EQ(RecordHash[0], RecordHash[1]);
+  EXPECT_EQ(RecordHash[0], RecordHash[2]);
+  EXPECT_EQ(ReplayHash[0], ReplayHash[1]);
+  EXPECT_EQ(ReplayHash[0], ReplayHash[2]);
+  EXPECT_EQ(RecordHash[0], ReplayHash[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Compressor round-trips (edge sizes)
+//===----------------------------------------------------------------------===//
+
+TEST(Compressor, RoundTripsEmptyInput) {
+  std::vector<uint8_t> Empty;
+  EXPECT_EQ(lzDecompress(lzCompress(Empty)), Empty);
+}
+
+TEST(Compressor, RoundTripsOneByte) {
+  std::vector<uint8_t> One = {0xa5};
+  EXPECT_EQ(lzDecompress(lzCompress(One)), One);
+}
+
+TEST(Compressor, RoundTripsPastWindowSize) {
+  // > 64 KiB forces matches across the full LZ window; mix repetition
+  // (compressible) with a deterministic pseudo-random tail.
+  std::vector<uint8_t> Big;
+  Big.reserve(80 * 1024);
+  for (size_t I = 0; I != 40 * 1024; ++I)
+    Big.push_back(static_cast<uint8_t>(I % 251));
+  uint64_t X = 0x2545f4914f6cdd1dULL;
+  for (size_t I = 0; I != 40 * 1024; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    Big.push_back(static_cast<uint8_t>(X));
+  }
+  EXPECT_EQ(lzDecompress(lzCompress(Big)), Big);
+}
+
+//===----------------------------------------------------------------------===//
+// Truncated-log decoding (typed errors, never UB)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+rt::ExecutionLog sampleLog() {
+  rt::ExecutionLog Log;
+  Log.NumSyncObjects = 2;
+  Log.NumWeakLocks = 1;
+  Log.NumThreads = 2;
+  Log.PerObject.resize(Log.numOrderedObjects());
+  Log.PerObject[0].push_back({1, rt::OrderedOp::MutexLock});
+  Log.PerObject[0].push_back({1, rt::OrderedOp::MutexUnlock});
+  Log.PerObject[1].push_back({0, rt::OrderedOp::WeakAcquire});
+  Log.Revocations.push_back({1, 0, 12345});
+  Log.PerThreadInputs.resize(2);
+  Log.PerThreadInputs[0].push_back({rt::InputKind::NetRecv, 0xffff});
+  return Log;
+}
+
+} // namespace
+
+TEST(LogDecode, EveryTruncationPointReturnsTypedError) {
+  std::vector<uint8_t> Bytes = replay::encodeLog(sampleLog());
+  // Whole-prefix sweep: decoding any strict prefix must fail cleanly
+  // (prefixes that parse but leave trailing state fail the final
+  // exhaustion check instead of crashing).
+  for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Cut);
+    auto Decoded = replay::decode(Prefix);
+    ASSERT_FALSE(bool(Decoded)) << "prefix length " << Cut;
+    EXPECT_NE(Decoded.error().message().find("malformed log"),
+              std::string::npos)
+        << Decoded.error().message();
+  }
+}
+
+TEST(LogDecode, TrailingGarbageIsRejected) {
+  std::vector<uint8_t> Bytes = replay::encodeLog(sampleLog());
+  Bytes.push_back(0x00);
+  auto Decoded = replay::decode(Bytes);
+  ASSERT_FALSE(bool(Decoded));
+  EXPECT_NE(Decoded.error().message().find("trailing"), std::string::npos);
+}
+
+TEST(LogDecode, IntactLogStillDecodes) {
+  auto Decoded = replay::decode(replay::encodeLog(sampleLog()));
+  ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().message();
+  EXPECT_EQ(Decoded->NumThreads, 2u);
+  EXPECT_EQ(Decoded->Revocations.size(), 1u);
+}

@@ -1,5 +1,6 @@
 //===- tests/pipeline_test.cpp - End-to-end pipeline API -------------------===//
 
+#include "TestUtil.h"
 #include "core/Pipeline.h"
 #include "race/SummaryCache.h"
 
@@ -62,14 +63,13 @@ TEST(Pipeline, RejectsInvalidConfig) {
   EXPECT_NE(P2.error().message().find("ProfileRuns"), std::string::npos);
 }
 
-TEST(Pipeline, DeprecatedOutParamShimStillWorks) {
-  std::string Err;
-  auto Bad = ChimeraPipeline::fromSource("int main(", "", config(), &Err);
-  EXPECT_EQ(Bad, nullptr);
-  EXPECT_FALSE(Err.empty());
-  auto Good = ChimeraPipeline::fromSource(Src, Src, config(), &Err);
-  ASSERT_NE(Good, nullptr) << Err;
-  EXPECT_FALSE(Good->raceReport().Pairs.empty());
+TEST(Pipeline, CompileErrorCarriesDiagnostics) {
+  auto Bad = ChimeraPipeline::fromSource("int main(", "", config());
+  ASSERT_FALSE(Bad);
+  EXPECT_FALSE(Bad.error().message().empty());
+  auto Good = ChimeraPipeline::fromSource(Src, Src, config());
+  ASSERT_TRUE(Good.hasValue()) << (Good ? "" : Good.error().message());
+  EXPECT_FALSE((*Good)->raceReport().Pairs.empty());
 }
 
 TEST(Pipeline, EmptyProfileSourceMeansSameSource) {
@@ -133,17 +133,21 @@ TEST(Pipeline, SummaryCacheSkipsRecomputation) {
   auto P1 = build(config());
   ASSERT_NE(P1, nullptr);
   const std::string First = P1->raceReport().str(P1->originalModule());
-  auto AfterFirst = race::SummaryCache::global().stats();
-  EXPECT_GT(AfterFirst.Entries, 0u);
+  obs::Snapshot AfterFirst =
+      test::cacheSnapshot(race::SummaryCache::global());
+  EXPECT_GT(AfterFirst.value("cache.entries", 0), 0);
 
   // An identical rebuild replays summaries from the cache and must
   // produce an identical report.
   auto P2 = build(config());
   ASSERT_NE(P2, nullptr);
   EXPECT_EQ(P2->raceReport().str(P2->originalModule()), First);
-  auto AfterSecond = race::SummaryCache::global().stats();
-  EXPECT_GT(AfterSecond.Hits, AfterFirst.Hits);
-  EXPECT_EQ(AfterSecond.Entries, AfterFirst.Entries);
+  obs::Snapshot AfterSecond =
+      test::cacheSnapshot(race::SummaryCache::global());
+  EXPECT_GT(AfterSecond.value("cache.hits", 0),
+            AfterFirst.value("cache.hits", 0));
+  EXPECT_EQ(AfterSecond.value("cache.entries", -1),
+            AfterFirst.value("cache.entries", -2));
 }
 
 TEST(Pipeline, SummaryCacheEvictsOldestAtCapacity) {
@@ -155,9 +159,10 @@ TEST(Pipeline, SummaryCacheEvictsOldestAtCapacity) {
        ++Key)
     Cache.insert(Key, S);
 
-  auto St = Cache.stats();
-  EXPECT_EQ(St.Entries, race::SummaryCache::MaxEntries);
-  EXPECT_EQ(St.Evictions, 10u);
+  obs::Snapshot St = test::cacheSnapshot(Cache);
+  EXPECT_EQ(St.value("cache.entries", 0),
+            static_cast<int64_t>(race::SummaryCache::MaxEntries));
+  EXPECT_EQ(St.value("cache.evictions", 0), 10);
 
   // Keys 0..9 were evicted FIFO; the newest keys are still present.
   race::FunctionSummary Out;

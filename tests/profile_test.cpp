@@ -1,5 +1,6 @@
 //===- tests/profile_test.cpp - Profiler and clique analysis tests ---------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "profile/CliqueAnalysis.h"
 #include "profile/Profiler.h"
@@ -14,9 +15,7 @@ namespace {
 
 ProfileData profileSource(const std::string &Source, unsigned Runs = 5,
                           unsigned Cores = 4) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   ProfileData Data;
   for (unsigned Run = 0; Run != Runs; ++Run) {
     ConcurrencyProfiler Prof;
@@ -33,8 +32,7 @@ ProfileData profileSource(const std::string &Source, unsigned Runs = 5,
 }
 
 uint32_t fid(const std::string &Source, const std::string &Name) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
+    auto M = test::compileOrNull(Source, "t");
   return M->findFunction(Name)->Index;
 }
 

@@ -1,5 +1,6 @@
 //===- tests/race_static_test.cpp - RELAY static race detector tests -------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "race/Lockset.h"
 #include "race/RelayDetector.h"
@@ -14,9 +15,7 @@ using namespace chimera::race;
 namespace {
 
 RaceReport detect(const std::string &Source) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   analysis::CallGraph CG(*M);
   analysis::PointsTo PT(*M);
   analysis::EscapeAnalysis Escape(*M, PT);
@@ -129,8 +128,7 @@ TEST(Relay, BarrierOrderingIsInvisible) {
                     "void w2() { barrier_wait(b); bndry(); }\n"
                     "int main() { int t1 = spawn(w1); int t2 = spawn(w2); "
                     "join(t1); join(t2); return 0; }";
-  std::string Err;
-  auto M = compileMiniC(Src, "t", &Err);
+    auto M = test::compileOrNull(Src, "t");
   ASSERT_NE(M, nullptr);
   auto Report = detect(Src);
   EXPECT_TRUE(reportsRaceBetween(Report, *M, "interf", "bndry"));
@@ -145,8 +143,7 @@ TEST(Relay, ForkJoinOrderingIsInvisible) {
                     "void w() { res = cfg + 1; }\n"
                     "int main() { init(); int t = spawn(w); join(t); "
                     "fini(); return 0; }";
-  std::string Err;
-  auto M = compileMiniC(Src, "t", &Err);
+    auto M = test::compileOrNull(Src, "t");
   ASSERT_NE(M, nullptr);
   auto Report = detect(Src);
   EXPECT_TRUE(reportsRaceBetween(Report, *M, "init", "w"));
@@ -273,9 +270,7 @@ TEST(SummaryCacheHits, SecondDetectionHitsAndMatchesFirst) {
       workloads::workloadSource(workloads::WorkloadKind::Pfscan,
                                 workloads::evalParams(
                                     workloads::WorkloadKind::Pfscan));
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   analysis::CallGraph CG(*M);
   analysis::PointsTo PT(*M);
   analysis::EscapeAnalysis Escape(*M, PT);
@@ -283,15 +278,16 @@ TEST(SummaryCacheHits, SecondDetectionHitsAndMatchesFirst) {
   SummaryCache Cache;
   RelayDetector First(*M, CG, PT, Escape, nullptr, &Cache);
   RaceReport A = First.detect();
-  SummaryCache::Stats AfterFirst = Cache.stats();
-  EXPECT_EQ(AfterFirst.Hits, 0u);
-  EXPECT_GT(AfterFirst.Entries, 0u);
+  obs::Snapshot AfterFirst = test::cacheSnapshot(Cache);
+  EXPECT_EQ(AfterFirst.value("cache.hits", -1), 0);
+  EXPECT_GT(AfterFirst.value("cache.entries", 0), 0);
 
   RelayDetector Second(*M, CG, PT, Escape, nullptr, &Cache);
   RaceReport B = Second.detect();
-  SummaryCache::Stats AfterSecond = Cache.stats();
-  EXPECT_GT(AfterSecond.Hits, 0u);
-  EXPECT_EQ(AfterSecond.Misses, AfterFirst.Misses)
+  obs::Snapshot AfterSecond = test::cacheSnapshot(Cache);
+  EXPECT_GT(AfterSecond.value("cache.hits", 0), 0);
+  EXPECT_EQ(AfterSecond.value("cache.misses", -1),
+            AfterFirst.value("cache.misses", -2))
       << "second detection recomputed a summary the first one cached";
 
   ASSERT_EQ(A.Pairs.size(), B.Pairs.size());

@@ -1,5 +1,6 @@
 //===- tests/record_replay_test.cpp - Determinism properties ---------------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "core/Pipeline.h"
 #include "replay/DeterminismChecker.h"
@@ -47,10 +48,9 @@ const char *SyncHeavyProgram =
 std::unique_ptr<core::ChimeraPipeline> pipelineFor(const char *Source) {
   core::PipelineConfig Config;
   Config.ProfileRuns = 5;
-  std::string Err;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config, &Err);
-  EXPECT_NE(P, nullptr) << Err;
-  return P;
+  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+  return P ? P.take() : nullptr;
 }
 
 } // namespace
@@ -130,9 +130,7 @@ TEST(Divergence, UninstrumentedRacyProgramCanDiverge) {
   // Record the ORIGINAL (uninstrumented) racy program: sync order and
   // inputs are logged but the data races are not, so some recording must
   // fail to replay bit-exactly. This is the paper's core motivation.
-  std::string Err;
-  auto M = compileMiniC(RacyProgram, "racy", &Err);
-  ASSERT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(RacyProgram, "racy");
   bool SawDivergence = false;
   for (uint64_t Seed = 1; Seed <= 25 && !SawDivergence; ++Seed) {
     auto Rec = replay::recordExecution(*M, Seed, 8);
@@ -147,8 +145,7 @@ TEST(Divergence, UninstrumentedRacyProgramCanDiverge) {
 TEST(Divergence, TruncatedInputLogIsDetected) {
   const char *Src = "int main() { output(input() & 7); "
                     "output(input() & 7); return 0; }";
-  std::string Err;
-  auto M = compileMiniC(Src, "t", &Err);
+    auto M = test::compileOrNull(Src, "t");
   ASSERT_NE(M, nullptr);
   auto Rec = replay::recordExecution(*M, 4);
   ASSERT_TRUE(Rec.Ok);
@@ -166,8 +163,7 @@ TEST(Divergence, CorruptedOrderLogIsDetected) {
       "void w() { lock(m); c = c + 1; unlock(m); }\n"
       "int main() { tids[0] = spawn(w); tids[1] = spawn(w); "
       "join(tids[0]); join(tids[1]); output(c); return 0; }";
-  std::string Err;
-  auto M = compileMiniC(Src, "t", &Err);
+    auto M = test::compileOrNull(Src, "t");
   ASSERT_NE(M, nullptr);
   auto Rec = replay::recordExecution(*M, 4);
   ASSERT_TRUE(Rec.Ok);
@@ -218,7 +214,9 @@ TEST(LogCodec, RoundTripsRealLog) {
   auto Rec = P->record(9);
   ASSERT_TRUE(Rec.Ok);
   auto Bytes = replay::encodeLog(Rec.Log);
-  rt::ExecutionLog Decoded = replay::decodeLog(Bytes);
+  auto MaybeDecoded = replay::decode(Bytes);
+  ASSERT_TRUE(MaybeDecoded.hasValue()) << MaybeDecoded.error().message();
+  rt::ExecutionLog &Decoded = *MaybeDecoded;
 
   EXPECT_EQ(Decoded.NumSyncObjects, Rec.Log.NumSyncObjects);
   EXPECT_EQ(Decoded.NumWeakLocks, Rec.Log.NumWeakLocks);
@@ -244,7 +242,9 @@ TEST(LogCodec, DecodedLogReplays) {
   auto P = pipelineFor(RacyProgram);
   auto Rec = P->record(31);
   ASSERT_TRUE(Rec.Ok);
-  rt::ExecutionLog Decoded = replay::decodeLog(replay::encodeLog(Rec.Log));
+  auto MaybeDecoded = replay::decode(replay::encodeLog(Rec.Log));
+  ASSERT_TRUE(MaybeDecoded.hasValue()) << MaybeDecoded.error().message();
+  rt::ExecutionLog &Decoded = *MaybeDecoded;
   auto Rep = replay::replayExecution(P->instrumentedModule(), Decoded, 8);
   ASSERT_TRUE(Rep.Ok) << Rep.Error;
   EXPECT_EQ(Rep.StateHash, Rec.StateHash);
@@ -272,7 +272,9 @@ TEST(LogCodec, RevocationsSurviveRoundTrip) {
   Log.PerThreadInputs.resize(3);
   Log.PerThreadInputs[1].push_back({rt::InputKind::NetRecv, 0xabcd});
 
-  rt::ExecutionLog D = replay::decodeLog(replay::encodeLog(Log));
+  auto MaybeD = replay::decode(replay::encodeLog(Log));
+  ASSERT_TRUE(MaybeD.hasValue()) << MaybeD.error().message();
+  rt::ExecutionLog &D = *MaybeD;
   ASSERT_EQ(D.Revocations.size(), 1u);
   EXPECT_EQ(D.Revocations[0].Tid, 2u);
   EXPECT_EQ(D.Revocations[0].LockId, 1u);

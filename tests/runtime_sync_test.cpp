@@ -1,5 +1,6 @@
 //===- tests/runtime_sync_test.cpp - Thread & sync semantics ---------------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "runtime/Machine.h"
 
@@ -11,9 +12,7 @@ namespace {
 
 rt::ExecutionResult runSource(const std::string &Source, uint64_t Seed = 1,
                               unsigned Cores = 4) {
-  std::string Err;
-  auto M = compileMiniC(Source, "t", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+    auto M = test::compileOrNull(Source, "t");
   if (!M)
     return {};
   rt::MachineOptions MO;

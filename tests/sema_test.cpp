@@ -9,9 +9,8 @@ using namespace chimera;
 namespace {
 
 std::string checkErrors(const std::string &Source) {
-  DiagEngine Diags;
-  std::unique_ptr<Program> Prog = parseAndCheck(Source, Diags);
-  return Prog ? std::string() : Diags.str();
+  support::Expected<std::unique_ptr<Program>> Prog = parseMiniC(Source);
+  return Prog ? std::string() : Prog.error().message();
 }
 
 #define EXPECT_SEMA_OK(Source) EXPECT_EQ(checkErrors(Source), "")

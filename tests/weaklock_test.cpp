@@ -1,5 +1,6 @@
 //===- tests/weaklock_test.cpp - Weak-lock manager and revocation ----------===//
 
+#include "TestUtil.h"
 #include "codegen/CodeGen.h"
 #include "instrument/Instrumenter.h"
 #include "runtime/Machine.h"
@@ -123,8 +124,7 @@ namespace {
 std::unique_ptr<ir::Module> buildRevocationModule() {
   // MiniC source with a hand-planned weak-lock: we instrument manually
   // to control exactly where the weak-lock sits.
-  std::string Err;
-  auto M = compileMiniC(
+    auto M = test::compileOrNull(
       "int flag;\nint done[2];\nmutex m;\ncond cv;\n"
       "void a() { lock(m); while (flag == 0) { cond_wait(cv, m); } "
       "unlock(m); done[0] = 1; }\n"
@@ -132,8 +132,7 @@ std::unique_ptr<ir::Module> buildRevocationModule() {
       "done[1] = 1; }\n"
       "int main() { int ta = spawn(a); int tb = spawn(b); "
       "join(ta); join(tb); output(done[0] + done[1]); return 0; }",
-      "revoke", &Err);
-  EXPECT_NE(M, nullptr) << Err;
+      "revoke");
 
   // Wrap the *entire bodies* of a() and b() in weak-lock 0 by inserting
   // acquire at entry and release before each Ret.

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "ir/Verifier.h"
 #include "race/DynamicDetector.h"
 #include "workloads/Workloads.h"
@@ -29,24 +30,18 @@ std::string nameOf(WorkloadKind Kind) { return workloadInfo(Kind).Name; }
 class WorkloadSuite : public ::testing::TestWithParam<WorkloadKind> {};
 
 TEST_P(WorkloadSuite, CompilesAndVerifies) {
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   EXPECT_TRUE(ir::verifyModule(P->originalModule()).empty());
 }
 
 TEST_P(WorkloadSuite, ProfileAndEvalShapesMatch) {
   // The profile environment differs only in constants; fromSource
   // enforces matching instruction counts, so building is the assertion.
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 2, &Err);
-  EXPECT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 2);
 }
 
 TEST_P(WorkloadSuite, NativeRunsToCompletion) {
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   auto R = P->runOriginalNative(11);
   ASSERT_TRUE(R.Ok) << nameOf(GetParam()) << ": " << R.Error;
   EXPECT_FALSE(R.Output.empty());
@@ -54,27 +49,21 @@ TEST_P(WorkloadSuite, NativeRunsToCompletion) {
 }
 
 TEST_P(WorkloadSuite, StaticRacesAreFound) {
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   // Every workload deliberately contains potential races (true or
   // false); RELAY must find them or the instrumentation story is moot.
   EXPECT_FALSE(P->raceReport().Pairs.empty()) << nameOf(GetParam());
 }
 
 TEST_P(WorkloadSuite, InstrumentedModuleVerifies) {
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   const ir::Module &I = P->instrumentedModule();
   EXPECT_TRUE(ir::verifyModule(I).empty());
   EXPECT_FALSE(I.WeakLocks.empty()) << nameOf(GetParam());
 }
 
 TEST_P(WorkloadSuite, RecordReplayIsDeterministic) {
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   for (uint64_t Seed : {7ull, 42ull}) {
     auto Out = P->recordAndReplay(Seed);
     ASSERT_TRUE(Out.Record.Ok)
@@ -88,18 +77,14 @@ TEST_P(WorkloadSuite, RecordReplayIsDeterministic) {
 TEST_P(WorkloadSuite, InstrumentedExecutionIsDynamicallyRaceFree) {
   // Paper §2.4: the transformed program is data-race-free under the new
   // synchronization operations.
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   EXPECT_EQ(P->dynamicRaceCount(13), 0u) << nameOf(GetParam());
 }
 
 TEST_P(WorkloadSuite, RecordOverheadIsBounded) {
   // Sanity envelope, not a benchmark: with all optimizations the record
   // run must stay within ~8x of native (the paper's worst case is 2.4x).
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   auto Native = P->runOriginalNative(5);
   auto Rec = P->record(5);
   ASSERT_TRUE(Native.Ok && Rec.Ok) << Native.Error << Rec.Error;
@@ -110,9 +95,7 @@ TEST_P(WorkloadSuite, RecordOverheadIsBounded) {
 TEST_P(WorkloadSuite, NoRevocationsUnderDefaultTimeout) {
   // Matches the paper's observation (§7.1): no weak-lock timeouts in any
   // benchmark under the default threshold.
-  std::string Err;
-  auto P = buildPipeline(GetParam(), 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(GetParam(), 4);
   auto Rec = P->record(3);
   ASSERT_TRUE(Rec.Ok) << Rec.Error;
   EXPECT_EQ(Rec.Stats.Revocations, 0u) << nameOf(GetParam());
@@ -148,9 +131,7 @@ TEST(Workloads, CategoriesMatchTable1) {
 TEST(Workloads, IoBoundWorkloadsHideRecordingCost) {
   // aget/knot: record overhead within 10% (paper: ~1-4%).
   for (WorkloadKind K : {WorkloadKind::Aget, WorkloadKind::Knot}) {
-    std::string Err;
-    auto P = buildPipeline(K, 4, &Err);
-    ASSERT_NE(P, nullptr) << Err;
+        auto P = test::pipelineOrNull(K, 4);
     auto Native = P->runOriginalNative(21);
     auto Rec = P->record(21);
     ASSERT_TRUE(Native.Ok && Rec.Ok);
@@ -163,9 +144,7 @@ TEST(Workloads, IoBoundWorkloadsHideRecordingCost) {
 TEST(Workloads, IoBoundWorkloadsReplayFaster) {
   // Paper §7.2: network applications replay much faster than recording
   // because inputs are fed without waiting.
-  std::string Err;
-  auto P = buildPipeline(WorkloadKind::Aget, 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(WorkloadKind::Aget, 4);
   auto Out = P->recordAndReplay(19);
   ASSERT_TRUE(Out.Deterministic);
   EXPECT_LT(Out.Replay.Stats.MakespanCycles,
@@ -175,9 +154,7 @@ TEST(Workloads, IoBoundWorkloadsReplayFaster) {
 TEST(Workloads, RadixUsesBothLoopLockKinds) {
   // Figure 4: ranged loop-locks for the zeroing loop, unranged for the
   // key-dependent histogram loop.
-  std::string Err;
-  auto P = buildPipeline(WorkloadKind::Radix, 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(WorkloadKind::Radix, 4);
   const auto &Plan = P->plan();
   EXPECT_GT(Plan.SidesLoopRanged, 0u);
   EXPECT_GT(Plan.SidesLoopUnranged, 0u);
@@ -185,9 +162,7 @@ TEST(Workloads, RadixUsesBothLoopLockKinds) {
 
 TEST(Workloads, PfscanAndWaterUseFunctionLocks) {
   for (WorkloadKind K : {WorkloadKind::Pfscan, WorkloadKind::Water}) {
-    std::string Err;
-    auto P = buildPipeline(K, 4, &Err);
-    ASSERT_NE(P, nullptr) << Err;
+        auto P = test::pipelineOrNull(K, 4);
     EXPECT_GT(P->plan().PairsFunctionCovered, 0u) << workloadInfo(K).Name;
   }
 }
@@ -195,17 +170,13 @@ TEST(Workloads, PfscanAndWaterUseFunctionLocks) {
 TEST(Workloads, ApacheUsesRangedLoopLocks) {
   // The memset story: apache's hot scratch-clearing loop is rescued by
   // accurate symbolic bounds.
-  std::string Err;
-  auto P = buildPipeline(WorkloadKind::Apache, 4, &Err);
-  ASSERT_NE(P, nullptr) << Err;
+    auto P = test::pipelineOrNull(WorkloadKind::Apache, 4);
   EXPECT_GT(P->plan().SidesLoopRanged, 0u);
 }
 
 TEST(Workloads, ScientificSuiteHasHigherOverheadThanServers) {
   auto overheadOf = [](WorkloadKind K) {
-    std::string Err;
-    auto P = buildPipeline(K, 4, &Err);
-    EXPECT_NE(P, nullptr) << Err;
+        auto P = test::pipelineOrNull(K, 4);
     auto Native = P->runOriginalNative(33);
     auto Rec = P->record(33);
     EXPECT_TRUE(Native.Ok && Rec.Ok);

@@ -15,23 +15,23 @@
 //   chimera record  prog.mc -o run.clog [--seed N] [--cores N]
 //   chimera replay  prog.mc run.clog
 //
-// Options are described by a declarative table (flag, arity, help,
-// setter); usage text is generated from the same table so help can
-// never drift from what the parser accepts. Value-taking flags accept
-// both `--flag VALUE` and `--flag=VALUE`.
+// Observability is uniform across commands: `--metrics[=json|table]`
+// prints the pipeline's registry snapshot after the command finishes,
+// `--trace-out=FILE` writes a Chrome trace_event JSON file, and
+// `--obs=off|sampled|full` picks the mode explicitly (both flags imply
+// full otherwise). Option parsing and `--help` are generated from one
+// declarative table in core/Cli.{h,cpp}.
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Cli.h"
 #include "core/Pipeline.h"
 #include "ir/Printer.h"
 #include "replay/LogCodec.h"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <functional>
-#include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,202 +39,6 @@
 using namespace chimera;
 
 namespace {
-
-/// Everything the option table writes into.
-struct CliOptions {
-  uint64_t Seed = 1;
-  unsigned Cores = 8;
-  unsigned Jobs = 0; ///< 0 = one worker per hardware thread.
-  std::string OutPath;
-  std::string LogPath; ///< replay's positional log argument.
-  bool Instrumented = false;
-  bool RaceStats = false;
-  analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
-  instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
-};
-
-/// One command-line flag: how to spell it, whether it consumes a value,
-/// what to print in --help, and how to apply it. Apply returns
-/// success(), or a failure describing why the value was rejected.
-struct OptionSpec {
-  const char *Flag;
-  const char *ArgName; ///< Null when the flag takes no value.
-  const char *Help;
-  std::function<support::Error(CliOptions &, const char *Arg)> Apply;
-};
-
-bool parseUnsigned(const char *Text, uint64_t &Out) {
-  char *End = nullptr;
-  errno = 0;
-  Out = std::strtoull(Text, &End, 10);
-  return End != Text && *End == '\0' && errno != ERANGE;
-}
-
-/// Like parseUnsigned, but the value must also fit in `unsigned`, so
-/// oversized input fails at parse time instead of silently truncating.
-bool parseUnsignedFits(const char *Text, unsigned &Out) {
-  uint64_t V;
-  if (!parseUnsigned(Text, V) ||
-      V > std::numeric_limits<unsigned>::max())
-    return false;
-  Out = static_cast<unsigned>(V);
-  return true;
-}
-
-support::Error badValue(const char *Flag, const char *Value) {
-  return support::Error::failure(std::string("invalid value for ") + Flag +
-                                 ": " + (Value ? Value : ""));
-}
-
-const std::vector<OptionSpec> &optionTable() {
-  static const std::vector<OptionSpec> Table = {
-      {"--seed", "N", "scheduler/input seed (default 1)",
-       [](CliOptions &O, const char *A) {
-         uint64_t V;
-         if (!parseUnsigned(A, V))
-           return badValue("--seed", A);
-         O.Seed = V;
-         return support::Error::success();
-       }},
-      {"--cores", "N", "simulated cores (default 8)",
-       [](CliOptions &O, const char *A) {
-         unsigned V;
-         if (!parseUnsignedFits(A, V) || V == 0)
-           return badValue("--cores", A);
-         O.Cores = V;
-         return support::Error::success();
-       }},
-      {"--jobs", "N",
-       "analysis/profiling worker threads (default: hardware threads)",
-       [](CliOptions &O, const char *A) {
-         if (!parseUnsignedFits(A, O.Jobs))
-           return badValue("--jobs", A);
-         return support::Error::success();
-       }},
-      {"-o", "FILE", "output log path for `record` (default prog.clog)",
-       [](CliOptions &O, const char *A) {
-         O.OutPath = A;
-         return support::Error::success();
-       }},
-      {"--mhp", "MODE",
-       "may-happen-in-parallel race filter: off|forkjoin|barrier "
-       "(default barrier)",
-       [](CliOptions &O, const char *A) {
-         support::Expected<analysis::MhpMode> Mode =
-             analysis::parseMhpMode(A ? A : "");
-         if (!Mode)
-           return Mode.error();
-         O.Mhp = *Mode;
-         return support::Error::success();
-       }},
-      {"--race-stats", nullptr,
-       "with `races`: print pairs pruned by the MHP filter, per reason",
-       [](CliOptions &O, const char *) {
-         O.RaceStats = true;
-         return support::Error::success();
-       }},
-      {"--instrumented", nullptr, "print the weak-lock-guarded module",
-       [](CliOptions &O, const char *) {
-         O.Instrumented = true;
-         return support::Error::success();
-       }},
-      {"--naive", nullptr, "planner ablation: one lock per address",
-       [](CliOptions &O, const char *) {
-         O.Planner = instrument::PlannerOptions::naive();
-         return support::Error::success();
-       }},
-      {"--func", nullptr, "planner ablation: function locks only",
-       [](CliOptions &O, const char *) {
-         O.Planner = instrument::PlannerOptions::functionOnly();
-         return support::Error::success();
-       }},
-      {"--loop", nullptr, "planner ablation: loop locks only",
-       [](CliOptions &O, const char *) {
-         O.Planner = instrument::PlannerOptions::loopOnly();
-         return support::Error::success();
-       }},
-  };
-  return Table;
-}
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: chimera <command> <program.mc> [options]\n"
-      "\n"
-      "commands:\n"
-      "  races    report the static (RELAY) race pairs\n"
-      "  plan     show the weak-lock instrumentation plan\n"
-      "  ir       print the IR (--instrumented for the guarded module)\n"
-      "  run      execute natively and print the program output\n"
-      "  record   record an execution (-o FILE, default prog.clog)\n"
-      "  replay   replay a recorded log file deterministically\n"
-      "\n"
-      "options:\n");
-  for (const OptionSpec &Spec : optionTable()) {
-    std::string Left = Spec.Flag;
-    if (Spec.ArgName) {
-      Left += ' ';
-      Left += Spec.ArgName;
-    }
-    std::fprintf(stderr, "  %-20s %s\n", Left.c_str(), Spec.Help);
-  }
-}
-
-/// Applies the option table to argv[3..]; returns false (after
-/// diagnosing) on unknown flags, missing values, or bad numbers. The
-/// replay command accepts one positional argument: its log file.
-bool parseOptions(int argc, char **argv, const std::string &Command,
-                  CliOptions &Opts) {
-  for (int I = 3; I < argc; ++I) {
-    const std::string Arg = argv[I];
-    // `--flag=value` form: split at the first '='.
-    std::string Flag = Arg;
-    std::string Inline;
-    bool HasInline = false;
-    size_t Eq = Arg.find('=');
-    if (Eq != std::string::npos && Arg.size() > 1 && Arg[0] == '-') {
-      Flag = Arg.substr(0, Eq);
-      Inline = Arg.substr(Eq + 1);
-      HasInline = true;
-    }
-    const OptionSpec *Match = nullptr;
-    for (const OptionSpec &Spec : optionTable())
-      if (Flag == Spec.Flag) {
-        Match = &Spec;
-        break;
-      }
-    if (!Match) {
-      if (Command == "replay" && Opts.LogPath.empty() && Arg[0] != '-') {
-        Opts.LogPath = Arg;
-        continue;
-      }
-      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
-      return false;
-    }
-    const char *Value = nullptr;
-    if (Match->ArgName) {
-      if (HasInline) {
-        Value = Inline.c_str();
-      } else {
-        if (I + 1 >= argc) {
-          std::fprintf(stderr, "%s needs a value (%s)\n", Match->Flag,
-                       Match->ArgName);
-          return false;
-        }
-        Value = argv[++I];
-      }
-    } else if (HasInline) {
-      std::fprintf(stderr, "%s takes no value\n", Match->Flag);
-      return false;
-    }
-    if (support::Error E = Match->Apply(Opts, Value)) {
-      std::fprintf(stderr, "%s\n", E.message().c_str());
-      return false;
-    }
-  }
-  return true;
-}
 
 bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -280,19 +84,60 @@ void printStats(const rt::ExecutionResult &R) {
                static_cast<unsigned long long>(R.Stats.LogEvents));
 }
 
+/// End-of-command observability sinks: the metrics snapshot to stdout
+/// and the trace file to disk. Returns false when the trace file could
+/// not be written (the command itself already succeeded).
+bool emitObservability(const core::ChimeraPipeline &Pipeline,
+                       const core::CliOptions &Opts,
+                       obs::TraceRecorder *Trace) {
+  if (Opts.Metrics != core::MetricsFormat::None) {
+    support::Expected<obs::Snapshot> Snap = Pipeline.metrics();
+    if (!Snap) {
+      std::fprintf(stderr, "%s\n", Snap.error().message().c_str());
+      return false;
+    }
+    std::string Rendered = Opts.Metrics == core::MetricsFormat::Table
+                               ? Snap->toTable()
+                               : Snap->toJson();
+    std::printf("%s\n", Rendered.c_str());
+  }
+  if (Trace) {
+    if (support::Error E = Trace->writeFile(Opts.TraceOutPath)) {
+      std::fprintf(stderr, "%s\n",
+                   E.context("writing " + Opts.TraceOutPath)
+                       .message()
+                       .c_str());
+      return false;
+    }
+    std::fprintf(stderr, "[chimera] %zu trace span(s) written to %s\n",
+                 Trace->spanCount(), Opts.TraceOutPath.c_str());
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // `chimera --help` (any position) prints usage without needing a
+  // command or program.
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]) == "--help") {
+      std::fputs(core::usageText().c_str(), stdout);
+      return 0;
+    }
   if (argc < 3) {
-    usage();
+    std::fputs(core::usageText().c_str(), stderr);
     return 2;
   }
   std::string Command = argv[1];
   std::string Path = argv[2];
 
-  CliOptions Opts;
-  if (!parseOptions(argc, argv, Command, Opts))
+  core::CliOptions Opts;
+  if (support::Error E =
+          core::parseCliOptions(argc, argv, 3, Command, Opts)) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
     return 2;
+  }
 
   std::string Source;
   if (!readFile(Path, Source)) {
@@ -300,12 +145,22 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // The CLI owns the trace recorder; the pipeline only borrows it.
+  // Sampled mode keeps every 8th span — metrics stay exact either way.
+  std::unique_ptr<obs::TraceRecorder> Trace;
+  obs::ObsMode ObsMode = Opts.effectiveObsMode();
+  if (!Opts.TraceOutPath.empty() && ObsMode != obs::ObsMode::Off)
+    Trace = std::make_unique<obs::TraceRecorder>(
+        ObsMode == obs::ObsMode::Sampled ? 8 : 1);
+
   core::PipelineConfig Config;
   Config.Name = Path;
   Config.NumCores = Opts.Cores;
   Config.AnalysisJobs = Opts.Jobs;
   Config.Planner = Opts.Planner;
   Config.Mhp = Opts.Mhp;
+  Config.Observability = ObsMode;
+  Config.Trace = Trace.get();
   auto MaybePipeline =
       core::ChimeraPipeline::fromSource(Source, Source, Config);
   if (!MaybePipeline) {
@@ -319,7 +174,26 @@ int main(int argc, char **argv) {
     std::printf("%zu potential race pair(s)\n", Races.Pairs.size());
     std::printf("%s", Races.str(Pipeline->originalModule()).c_str());
     if (Opts.RaceStats) {
-      std::printf("%s\n", Races.mhpStatsStr().c_str());
+      // Read back through the registry (the supported stats path). When
+      // observability is off, publish into a local one.
+      obs::Registry Local;
+      obs::Registry *Reg = Pipeline->metricsRegistry();
+      if (!Reg) {
+        Races.publishTo(obs::Scope(&Local, "pipeline").sub("mhp"));
+        Reg = &Local;
+      }
+      obs::Snapshot Snap = Reg->snapshot();
+      std::printf("mhp mode=%s pairs-before=%lld pairs-after=%lld "
+                  "pruned-forkjoin=%lld pruned-barrier=%lld\n",
+                  analysis::mhpModeName(Races.Mhp.Mode),
+                  static_cast<long long>(
+                      Snap.value("pipeline.mhp.pairs_before", 0)),
+                  static_cast<long long>(
+                      Snap.value("pipeline.mhp.pairs_after", 0)),
+                  static_cast<long long>(
+                      Snap.value("pipeline.mhp.pruned_forkjoin", 0)),
+                  static_cast<long long>(
+                      Snap.value("pipeline.mhp.pruned_barrier", 0)));
       const ir::Module &M = Pipeline->originalModule();
       for (const race::PrunedRace &P : Races.PrunedPairs) {
         auto describe = [&](const race::RacyAccess &A) {
@@ -336,7 +210,7 @@ int main(int argc, char **argv) {
             describe(P.Pair.A).c_str(), describe(P.Pair.B).c_str());
       }
     }
-    return 0;
+    return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
   }
 
   if (Command == "plan") {
@@ -357,7 +231,7 @@ int main(int argc, char **argv) {
                     Audit.Stats.AccessesChecked),
                 static_cast<unsigned long long>(
                     Audit.Stats.RangedGuardsChecked));
-    return 0;
+    return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
   }
 
   if (Command == "ir") {
@@ -376,7 +250,7 @@ int main(int argc, char **argv) {
     }
     printOutput(R);
     printStats(R);
-    return 0;
+    return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
   }
 
   if (Command == "record") {
@@ -401,7 +275,7 @@ int main(int argc, char **argv) {
                  OutPath.c_str(), Bytes.size(),
                  static_cast<unsigned long long>(Sizes.InputCompressed),
                  static_cast<unsigned long long>(Sizes.OrderCompressed));
-    return 0;
+    return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
   }
 
   if (Command == "replay") {
@@ -414,7 +288,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot read %s\n", Opts.LogPath.c_str());
       return 1;
     }
-    auto Log = replay::decode(Bytes);
+    auto Log = replay::decode(Bytes, Pipeline->metricsRegistry());
     if (!Log) {
       std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
                    Log.error().message().c_str());
@@ -429,9 +303,9 @@ int main(int argc, char **argv) {
     printStats(R);
     std::fprintf(stderr, "[chimera] replay state fingerprint %016llx\n",
                  static_cast<unsigned long long>(R.StateHash));
-    return 0;
+    return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
   }
 
-  usage();
+  std::fputs(core::usageText().c_str(), stderr);
   return 2;
 }
