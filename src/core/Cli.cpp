@@ -71,6 +71,33 @@ const std::vector<OptionSpec> &core::optionTable() {
          O.OutPath = A;
          return support::Error::success();
        }},
+      {"--segment-bytes", "N", false,
+       "with `record`: raw bytes per log segment (default 65536, min "
+       "512)",
+       [](CliOptions &O, const char *A) {
+         uint64_t V;
+         if (!parseUnsigned(A, V) || V < 512)
+           return badValue("--segment-bytes", A);
+         O.SegmentBytes = V;
+         return support::Error::success();
+       }},
+      {"--checkpoint-every", "N", false,
+       "with `record`: log events between state checkpoints "
+       "(default 4096, 0 = no checkpoints)",
+       [](CliOptions &O, const char *A) {
+         uint64_t V;
+         if (!parseUnsigned(A, V))
+           return badValue("--checkpoint-every", A);
+         O.CheckpointEvery = V;
+         return support::Error::success();
+       }},
+      {"--verify-log", nullptr, false,
+       "with `replay`: scan and validate the log (segments, CRCs, "
+       "checkpoints) without replaying",
+       [](CliOptions &O, const char *) {
+         O.VerifyLog = true;
+         return support::Error::success();
+       }},
       {"--mhp", "MODE", false,
        "may-happen-in-parallel race filter: off|forkjoin|barrier "
        "(default barrier)",

@@ -50,6 +50,11 @@ struct CliOptions {
   bool Instrumented = false;
   bool RaceStats = false;
   bool Help = false;
+
+  // -- Streamed log storage (record/replay).
+  uint64_t SegmentBytes = 64 * 1024; ///< --segment-bytes.
+  uint64_t CheckpointEvery = 4096;   ///< --checkpoint-every (0 = off).
+  bool VerifyLog = false; ///< replay: validate the log, don't replay.
   analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
   instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
 

@@ -25,5 +25,11 @@ support::Error PipelineConfig::validate() const {
     return support::Error::failure(
         "AnalysisJobs must be in [0, 512] (0 = auto), got " +
         std::to_string(AnalysisJobs));
+  // Below this a segment barely fits its own 32-byte header's worth of
+  // records; it is certainly a typo'd --segment-bytes.
+  if (SegmentBytes < 512)
+    return support::Error::failure(
+        "SegmentBytes must be at least 512, got " +
+        std::to_string(SegmentBytes));
   return support::Error::success();
 }

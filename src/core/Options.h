@@ -68,6 +68,17 @@ struct PipelineConfig {
   /// a host-speed knob — results are bit-identical for every value.
   unsigned DispatchBatch = 64;
 
+  /// Raw payload bytes per segment when recording through the streaming
+  /// log engine (ChimeraPipeline::recordStreamed). Smaller segments
+  /// bound the damage one corruption can cause; larger ones compress
+  /// better. Purely a storage knob — the recorded events are identical.
+  uint64_t SegmentBytes = 64 * 1024;
+
+  /// Log events between machine-state checkpoints in streamed
+  /// recordings; 0 disables checkpointing. Replay can resume from the
+  /// last checkpoint instead of re-executing from the start.
+  uint64_t CheckpointEvery = 4096;
+
   /// Observability. Off (the default) creates no registry at all —
   /// Pipeline::metrics() fails and no instrumentation site pays more
   /// than a null-pointer test. Sampled and Full both create a

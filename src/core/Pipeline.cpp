@@ -6,6 +6,8 @@
 #include "ir/Verifier.h"
 #include "profile/Profiler.h"
 #include "race/SummaryCache.h"
+#include "replay/LogWriter.h"
+#include "support/Hash.h"
 
 #include <cassert>
 
@@ -311,6 +313,73 @@ rt::ExecutionResult ChimeraPipeline::replay(const rt::ExecutionLog &Log,
   MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.ReplayLog = &Log;
+  MO.Observer = Obs;
+  applyObs(MO);
+  rt::Machine Machine(instrumentedModule(), MO);
+  return Machine.run();
+}
+
+uint64_t ChimeraPipeline::workloadFingerprint() const {
+  const ir::Module &M = instrumentedModule();
+  Hasher H;
+  H.addString(M.Name);
+  H.addWord(M.Functions.size());
+  H.addWord(M.totalInstructions());
+  H.addWord(M.Syncs.size());
+  H.addWord(M.WeakLocks.size());
+  H.addWord(M.globalSegmentWords());
+  H.addWord(Config.NumCores);
+  return H.digest();
+}
+
+support::Expected<rt::ExecutionResult>
+ChimeraPipeline::recordStreamed(const std::string &Path, uint64_t Seed,
+                                rt::ExecutionObserver *Obs) {
+  if (support::Error E = ensureAuditedPlan())
+    return E.context("plan audit failed");
+
+  replay::LogWriter::Options WO;
+  WO.SegmentBytes = Config.SegmentBytes;
+  WO.Fingerprint = workloadFingerprint();
+  WO.Pool = &pool();
+  WO.Metrics = ObsRegistry.get();
+  replay::LogWriter Writer(Path, WO);
+
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Record;
+  MO.NumCores = Config.NumCores;
+  MO.Seed = Seed;
+  MO.Costs = Config.Costs;
+  MO.DispatchBatch = Config.DispatchBatch;
+  MO.WeakLockTimeout = Config.WeakLockTimeout;
+  MO.Observer = Obs;
+  MO.LogSink = &Writer;
+  MO.CheckpointEvery = Config.CheckpointEvery;
+  applyObs(MO);
+  rt::Machine Machine(instrumentedModule(), MO);
+  rt::ExecutionResult Result = Machine.run();
+  if (support::Error E = Writer.finish())
+    return E.context("writing " + Path);
+  if (!Result.Ok)
+    return support::Error::failure("record run failed: " + Result.Error);
+  return Result;
+}
+
+rt::ExecutionResult
+ChimeraPipeline::replayResumed(const rt::ExecutionLog &Log,
+                               const rt::MachineSnapshot &Snap,
+                               rt::ExecutionObserver *Obs) {
+  if (support::Error E = ensureAuditedPlan())
+    return auditFailure(E);
+  rt::MachineOptions MO;
+  MO.Mode = rt::ExecMode::Replay;
+  MO.NumCores = Config.NumCores;
+  MO.Seed = 0xdeadbeef; // Replay must not depend on the seed.
+  MO.Costs = Config.Costs;
+  MO.DispatchBatch = Config.DispatchBatch;
+  MO.WeakLockTimeout = Config.WeakLockTimeout;
+  MO.ReplayLog = &Log;
+  MO.ResumeFrom = &Snap;
   MO.Observer = Obs;
   applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);

@@ -116,6 +116,31 @@ public:
   rt::ExecutionResult replay(const rt::ExecutionLog &Log,
                              rt::ExecutionObserver *Obs = nullptr);
 
+  /// Records with \p Seed while streaming every log event into the
+  /// segmented on-disk format at \p Path (replay/LogWriter): per-record
+  /// framing, per-segment CRCs, a machine-state checkpoint every
+  /// Config.CheckpointEvery log events, and compression off the record
+  /// thread on the pipeline's worker pool. Fails when the run fails or
+  /// any write did. The in-memory log in the result is still populated,
+  /// so callers can cross-check the file against it.
+  support::Expected<rt::ExecutionResult>
+  recordStreamed(const std::string &Path, uint64_t Seed,
+                 rt::ExecutionObserver *Obs = nullptr);
+
+  /// Replays \p Log starting from \p Snap (a checkpoint out of
+  /// replay::LogReader::seekToCheckpoint or recover) instead of from the
+  /// initial state. The final StateHash is bit-identical to a cold
+  /// replay of the full log.
+  rt::ExecutionResult replayResumed(const rt::ExecutionLog &Log,
+                                    const rt::MachineSnapshot &Snap,
+                                    rt::ExecutionObserver *Obs = nullptr);
+
+  /// Fingerprint of the instrumented workload (module shape, weak-lock
+  /// space, core count), stamped into streamed log headers so a log
+  /// cannot silently be replayed against a different workload or
+  /// machine configuration.
+  uint64_t workloadFingerprint() const;
+
   struct RecordReplayOutcome {
     rt::ExecutionResult Record;
     rt::ExecutionResult Replay;

@@ -81,16 +81,6 @@ void RaceReport::publishTo(const obs::Scope &Scope) const {
   Scope.gauge("pruned_listed").set(static_cast<int64_t>(PrunedPairs.size()));
 }
 
-std::string RaceReport::mhpStatsStr() const {
-  std::string Out = "mhp mode=";
-  Out += analysis::mhpModeName(Mhp.Mode);
-  Out += " pairs-before=" + std::to_string(Mhp.PairsBefore);
-  Out += " pairs-after=" + std::to_string(Mhp.pairsAfter());
-  Out += " pruned-forkjoin=" + std::to_string(Mhp.PrunedForkJoin);
-  Out += " pruned-barrier=" + std::to_string(Mhp.PrunedBarrier);
-  return Out;
-}
-
 RelayDetector::RelayDetector(const Module &M, const analysis::CallGraph &CG,
                              const analysis::PointsTo &PT,
                              const analysis::EscapeAnalysis &Escape,

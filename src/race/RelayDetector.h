@@ -97,14 +97,9 @@ struct RaceReport {
   /// Publishes the MHP precision counters into \p Scope as gauges
   /// ("pairs_before", "pruned_forkjoin", "pruned_barrier", "pairs_after",
   /// "pruned_listed" = PrunedPairs.size()). A null-registry scope is a
-  /// no-op. This is the supported read path for MHP stats; the CLI's
+  /// no-op. This is the only read path for MHP stats; the CLI's
   /// --race-stats renders from a registry snapshot.
   void publishTo(const obs::Scope &Scope) const;
-
-  /// One-line MHP precision summary (pre-registry "--race-stats").
-  [[deprecated("read MHP stats from an obs::Registry via publishTo; "
-               "mhpStatsStr() goes away next PR")]]
-  std::string mhpStatsStr() const;
 };
 
 class RelayDetector {

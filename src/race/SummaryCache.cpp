@@ -51,7 +51,3 @@ void SummaryCache::publishTo(const obs::Scope &Scope) const {
   Scope.gauge("evictions").set(static_cast<int64_t>(Evictions));
 }
 
-SummaryCache::Stats SummaryCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return {Hits, Misses, static_cast<uint64_t>(Map.size()), Evictions};
-}

@@ -58,19 +58,9 @@ public:
   /// Publishes the cache counters into \p Scope as gauges ("hits",
   /// "misses", "entries", "evictions") — gauges because the cache is
   /// process-global and the numbers are states, not per-run deltas. A
-  /// null-registry scope is a no-op. This is the supported read path;
-  /// stats() below is its deprecated predecessor.
+  /// null-registry scope is a no-op. This is the only read path (the
+  /// deprecated stats() accessor is gone).
   void publishTo(const obs::Scope &Scope) const;
-
-  struct Stats {
-    uint64_t Hits = 0;
-    uint64_t Misses = 0;
-    uint64_t Entries = 0;
-    uint64_t Evictions = 0;
-  };
-  [[deprecated("read the counters from an obs::Registry via publishTo; "
-               "stats() goes away next PR")]]
-  Stats stats() const;
 
 private:
   mutable std::mutex Mu;

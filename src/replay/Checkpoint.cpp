@@ -1,0 +1,368 @@
+//===- replay/Checkpoint.cpp - Snapshot (de)serialization ------------------===//
+//
+// Field-by-field varint encoding of MachineSnapshot, with memory as
+// 512-word delta pages. The decode side is fully bounds-checked and
+// allocation-bounded: every count is validated against the bytes that
+// must back it before anything is reserved, so corrupt input cannot
+// drive pathological allocations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Checkpoint.h"
+
+#include "replay/LogFormat.h"
+#include "support/Compressor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::replay;
+using rt::FrameSnapshot;
+using rt::MachineSnapshot;
+using rt::ReadySnapshot;
+using rt::SyncObjectSnapshot;
+using rt::ThreadSnapshot;
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendVarints(std::vector<uint8_t> &Out,
+                   const std::vector<uint32_t> &Values) {
+  appendVarint(Out, Values.size());
+  for (uint32_t V : Values)
+    appendVarint(Out, V);
+}
+
+void appendVarints64(std::vector<uint8_t> &Out,
+                     const std::vector<uint64_t> &Values) {
+  appendVarint(Out, Values.size());
+  for (uint64_t V : Values)
+    appendVarint(Out, V);
+}
+
+void appendHeldList(std::vector<uint8_t> &Out,
+                    const std::vector<rt::HeldWeakLock> &Held) {
+  appendVarint(Out, Held.size());
+  for (const rt::HeldWeakLock &H : Held) {
+    appendVarint(Out, H.LockId);
+    Out.push_back(H.HasRange ? 1 : 0);
+    appendLe64(Out, H.Lo); // Word addresses use high base offsets; raw
+    appendLe64(Out, H.Hi); // LE64 beats a worst-case 10-byte varint.
+    Out.push_back(H.SiteGran);
+  }
+}
+
+/// Emits the pages of \p Cur that differ from \p Prev (or lie beyond its
+/// end) for memory segment \p SegId. Page key = index * 2 + SegId.
+void appendDeltaPages(std::vector<uint8_t> &Pages, uint64_t &NumPages,
+                      const std::vector<uint64_t> &Prev,
+                      const std::vector<uint64_t> &Cur, unsigned SegId) {
+  assert(Cur.size() >= Prev.size() && "memory segments never shrink");
+  for (uint64_t Start = 0; Start < Cur.size();
+       Start += CheckpointPageWords) {
+    uint64_t End = std::min<uint64_t>(Start + CheckpointPageWords,
+                                      Cur.size());
+    bool Dirty = End > Prev.size() ||
+                 !std::equal(Cur.begin() + Start, Cur.begin() + End,
+                             Prev.begin() + Start);
+    if (!Dirty)
+      continue;
+    ++NumPages;
+    appendVarint(Pages, (Start / CheckpointPageWords) * 2 + SegId);
+    appendVarint(Pages, End - Start);
+    for (uint64_t I = Start; I != End; ++I)
+      appendLe64(Pages, Cur[I]);
+  }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+replay::encodeCheckpoint(const MachineSnapshot &Snap,
+                         const std::vector<uint64_t> &PrevGlobal,
+                         const std::vector<uint64_t> &PrevHeap) {
+  std::vector<uint8_t> Out;
+
+  appendVarints(Out, Snap.GateCursors);
+  appendVarints(Out, Snap.InputCursors);
+  appendVarint(Out, Snap.RevocationsDone);
+  appendVarint(Out, Snap.LogEventsAtCapture);
+
+  appendVarint(Out, Snap.Threads.size());
+  for (const ThreadSnapshot &TS : Snap.Threads) {
+    appendVarint(Out, TS.Tid);
+    Out.push_back(TS.State);
+    Out.push_back(TS.Reason);
+    appendVarint(Out, TS.WaitObject);
+    appendVarint(Out, TS.WakeTime);
+    appendVarint(Out, TS.ReadyTime);
+    appendVarint(Out, TS.BlockStart);
+    appendVarint(Out, TS.Instret);
+    appendVarint(Out, TS.RetValue);
+    appendVarint(Out, zigzagEncode(TS.PendingMutex));
+    appendVarint(Out, TS.Stack.size());
+    for (const FrameSnapshot &FS : TS.Stack) {
+      appendVarint(Out, FS.FuncId);
+      appendVarint(Out, FS.Ip);
+      appendVarint(Out, FS.RetDst);
+      appendVarint(Out, FS.Regs.size());
+      for (uint64_t R : FS.Regs)
+        appendLe64(Out, R);
+    }
+    appendHeldList(Out, TS.HeldWeak);
+    appendHeldList(Out, TS.PendingReacquire);
+    appendVarints(Out, TS.JoinWaiters);
+  }
+
+  appendVarint(Out, Snap.Syncs.size());
+  for (const SyncObjectSnapshot &SS : Snap.Syncs) {
+    appendVarint(Out, zigzagEncode(SS.Owner));
+    appendVarint(Out, SS.Generation);
+    appendVarints(Out, SS.Arrived);
+    appendVarints64(Out, SS.ArrivedTimes);
+    appendVarints(Out, SS.CondWaiters);
+  }
+
+  appendVarint(Out, Snap.ReadyQueue.size());
+  for (const ReadySnapshot &R : Snap.ReadyQueue) {
+    appendVarint(Out, R.Tid);
+    appendVarint(Out, R.ReadyTime);
+  }
+  appendVarints64(Out, Snap.CoreTimes);
+
+  appendVarint(Out, Snap.Output.size());
+  for (uint64_t V : Snap.Output)
+    appendLe64(Out, V);
+
+  appendLe64(Out, Snap.StateHash);
+
+  // Memory: sizes, then the dirty pages (buffered so the page count can
+  // be written first).
+  appendVarint(Out, Snap.GlobalWords.size());
+  appendVarint(Out, Snap.HeapUsed);
+  std::vector<uint8_t> Pages;
+  uint64_t NumPages = 0;
+  appendDeltaPages(Pages, NumPages, PrevGlobal, Snap.GlobalWords, 0);
+  appendDeltaPages(Pages, NumPages, PrevHeap, Snap.HeapWords, 1);
+  appendVarint(Out, NumPages);
+  Out.insert(Out.end(), Pages.begin(), Pages.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+support::Error corrupt(const char *What, size_t Pos) {
+  return support::Error::failure("corrupt checkpoint at byte " +
+                                 std::to_string(Pos) + ": " + What);
+}
+
+/// Reads a count that prefixes elements of at least \p MinElemBytes
+/// bytes each; rejects counts the remaining input cannot back, bounding
+/// every allocation below by real data.
+bool readCount(ByteCursor &C, uint64_t &Count, size_t MinElemBytes) {
+  if (!C.readVarint(Count))
+    return false;
+  return Count <= C.remaining() / std::max<size_t>(MinElemBytes, 1);
+}
+
+bool readVarints(ByteCursor &C, std::vector<uint32_t> &Out) {
+  uint64_t Count = 0;
+  if (!readCount(C, Count, 1))
+    return false;
+  Out.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint32_t V = 0;
+    if (!C.readVarint32(V))
+      return false;
+    Out.push_back(V);
+  }
+  return true;
+}
+
+bool readVarints64(ByteCursor &C, std::vector<uint64_t> &Out) {
+  uint64_t Count = 0;
+  if (!readCount(C, Count, 1))
+    return false;
+  Out.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint64_t V = 0;
+    if (!C.readVarint(V))
+      return false;
+    Out.push_back(V);
+  }
+  return true;
+}
+
+bool readHeldList(ByteCursor &C, std::vector<rt::HeldWeakLock> &Out) {
+  uint64_t Count = 0;
+  if (!readCount(C, Count, 19)) // id(1) + flag + Lo/Hi(16) + gran.
+    return false;
+  Out.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    rt::HeldWeakLock H;
+    uint8_t Flag = 0, Gran = 0;
+    if (!C.readVarint32(H.LockId) || !C.readByte(Flag) ||
+        !C.readLe64At(H.Lo) || !C.readLe64At(H.Hi) || !C.readByte(Gran) ||
+        Flag > 1)
+      return false;
+    H.HasRange = Flag != 0;
+    H.SiteGran = Gran;
+    Out.push_back(H);
+  }
+  return true;
+}
+
+bool readZigzag(ByteCursor &C, int64_t &Out) {
+  uint64_t V = 0;
+  if (!C.readVarint(V))
+    return false;
+  Out = zigzagDecode(V);
+  return true;
+}
+
+} // namespace
+
+support::Expected<MachineSnapshot>
+replay::decodeCheckpoint(const std::vector<uint8_t> &Bytes,
+                         std::vector<uint64_t> &AccumGlobal,
+                         std::vector<uint64_t> &AccumHeap) {
+  ByteCursor C(Bytes);
+  MachineSnapshot Snap;
+
+  if (!readVarints(C, Snap.GateCursors))
+    return corrupt("gate cursors", C.Pos);
+  if (!readVarints(C, Snap.InputCursors))
+    return corrupt("input cursors", C.Pos);
+  if (!C.readVarint(Snap.RevocationsDone) ||
+      !C.readVarint(Snap.LogEventsAtCapture))
+    return corrupt("log position", C.Pos);
+
+  uint64_t NumThreads = 0;
+  if (!readCount(C, NumThreads, 12))
+    return corrupt("thread count", C.Pos);
+  Snap.Threads.reserve(NumThreads);
+  for (uint64_t T = 0; T != NumThreads; ++T) {
+    ThreadSnapshot TS;
+    if (!C.readVarint32(TS.Tid) || !C.readByte(TS.State) ||
+        !C.readByte(TS.Reason) || !C.readVarint32(TS.WaitObject) ||
+        !C.readVarint(TS.WakeTime) || !C.readVarint(TS.ReadyTime) ||
+        !C.readVarint(TS.BlockStart) || !C.readVarint(TS.Instret) ||
+        !C.readVarint(TS.RetValue) || !readZigzag(C, TS.PendingMutex))
+      return corrupt("thread header", C.Pos);
+    if (TS.State > static_cast<uint8_t>(rt::ThreadState::Faulted) ||
+        TS.Reason > static_cast<uint8_t>(rt::BlockReason::ReplayGate))
+      return corrupt("thread state out of range", C.Pos);
+    uint64_t NumFrames = 0;
+    if (!readCount(C, NumFrames, 4))
+      return corrupt("frame count", C.Pos);
+    TS.Stack.reserve(NumFrames);
+    for (uint64_t F = 0; F != NumFrames; ++F) {
+      FrameSnapshot FS;
+      uint64_t NumRegs = 0;
+      if (!C.readVarint32(FS.FuncId) || !C.readVarint32(FS.Ip) ||
+          !C.readVarint32(FS.RetDst) || !readCount(C, NumRegs, 8))
+        return corrupt("frame", C.Pos);
+      FS.Regs.resize(NumRegs);
+      for (uint64_t R = 0; R != NumRegs; ++R)
+        if (!C.readLe64At(FS.Regs[R]))
+          return corrupt("frame registers", C.Pos);
+      TS.Stack.push_back(std::move(FS));
+    }
+    if (!readHeldList(C, TS.HeldWeak) ||
+        !readHeldList(C, TS.PendingReacquire))
+      return corrupt("weak-lock holds", C.Pos);
+    if (!readVarints(C, TS.JoinWaiters))
+      return corrupt("join waiters", C.Pos);
+    Snap.Threads.push_back(std::move(TS));
+  }
+
+  uint64_t NumSyncs = 0;
+  if (!readCount(C, NumSyncs, 5))
+    return corrupt("sync count", C.Pos);
+  Snap.Syncs.reserve(NumSyncs);
+  for (uint64_t S = 0; S != NumSyncs; ++S) {
+    SyncObjectSnapshot SS;
+    if (!readZigzag(C, SS.Owner) || !C.readVarint(SS.Generation) ||
+        !readVarints(C, SS.Arrived) || !readVarints64(C, SS.ArrivedTimes) ||
+        !readVarints(C, SS.CondWaiters))
+      return corrupt("sync object", C.Pos);
+    Snap.Syncs.push_back(std::move(SS));
+  }
+
+  uint64_t NumReady = 0;
+  if (!readCount(C, NumReady, 2))
+    return corrupt("ready count", C.Pos);
+  Snap.ReadyQueue.reserve(NumReady);
+  for (uint64_t R = 0; R != NumReady; ++R) {
+    ReadySnapshot RS;
+    if (!C.readVarint32(RS.Tid) || !C.readVarint(RS.ReadyTime))
+      return corrupt("ready entry", C.Pos);
+    Snap.ReadyQueue.push_back(RS);
+  }
+  if (!readVarints64(C, Snap.CoreTimes))
+    return corrupt("core times", C.Pos);
+
+  uint64_t NumOutput = 0;
+  if (!readCount(C, NumOutput, 8))
+    return corrupt("output count", C.Pos);
+  Snap.Output.resize(NumOutput);
+  for (uint64_t I = 0; I != NumOutput; ++I)
+    if (!C.readLe64At(Snap.Output[I]))
+      return corrupt("output words", C.Pos);
+
+  if (!C.readLe64At(Snap.StateHash))
+    return corrupt("state hash", C.Pos);
+
+  // Memory: resize the accumulators (segments only grow), then apply
+  // this checkpoint's dirty pages on top of the previous contents.
+  uint64_t GlobalSize = 0;
+  if (!C.readVarint(GlobalSize) || !C.readVarint(Snap.HeapUsed))
+    return corrupt("memory sizes", C.Pos);
+  if (GlobalSize < AccumGlobal.size() || Snap.HeapUsed < AccumHeap.size())
+    return corrupt("memory segment shrank", C.Pos);
+  // A plausibility cap: a page covers at most 512 words, so a segment
+  // larger than pages-the-input-could-hold times anything sane is bogus.
+  // 1 GiB of words mirrors MaxDecompressedBytes.
+  if (GlobalSize > (uint64_t(1) << 27) || Snap.HeapUsed > (uint64_t(1) << 27))
+    return corrupt("memory size implausible", C.Pos);
+  AccumGlobal.resize(GlobalSize, 0);
+  AccumHeap.resize(Snap.HeapUsed, 0);
+
+  uint64_t NumPages = 0;
+  if (!readCount(C, NumPages, 2))
+    return corrupt("page count", C.Pos);
+  for (uint64_t P = 0; P != NumPages; ++P) {
+    uint64_t Key = 0, Words = 0;
+    if (!C.readVarint(Key) || !C.readVarint(Words))
+      return corrupt("page header", C.Pos);
+    std::vector<uint64_t> &Seg = (Key & 1) ? AccumHeap : AccumGlobal;
+    uint64_t Start = (Key >> 1) * CheckpointPageWords;
+    if (Words == 0 || Words > CheckpointPageWords || Start >= Seg.size() ||
+        Words > Seg.size() - Start)
+      return corrupt("page out of range", C.Pos);
+    for (uint64_t I = 0; I != Words; ++I)
+      if (!C.readLe64At(Seg[Start + I]))
+        return corrupt("page words", C.Pos);
+  }
+  if (!C.atEnd())
+    return corrupt("trailing bytes", C.Pos);
+
+  Snap.GlobalWords = AccumGlobal;
+  Snap.HeapWords = AccumHeap;
+
+  // End-to-end validation: the reassembled memory and output must hash
+  // to the value captured live, or the delta chain is corrupt in a way
+  // the CRCs missed.
+  if (rt::snapshotStateHash(Snap) != Snap.StateHash)
+    return support::Error::failure(
+        "corrupt checkpoint: reassembled state hash mismatch");
+  return Snap;
+}

@@ -1,0 +1,62 @@
+//===- replay/Checkpoint.h - Snapshot (de)serialization ---------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes rt::MachineSnapshot for embedding in segmented log files.
+/// Non-memory state is encoded absolutely every time; memory contents
+/// are encoded as 512-word delta pages against the *previous* checkpoint
+/// in the same stream, so a long recording pays for pages it touched
+/// since the last checkpoint, not its full footprint. The reader applies
+/// the pages onto accumulator buffers as it scans, so a checkpoint is
+/// restorable exactly when every earlier segment was readable — which is
+/// also the only case recovery claims it.
+///
+/// A decoded checkpoint is validated end-to-end: the snapshot stores the
+/// state hash captured live, and decodeCheckpoint recomputes it from the
+/// reassembled memory, so delta corruption that survives the per-segment
+/// CRCs still cannot produce a silently-divergent resume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_CHECKPOINT_H
+#define CHIMERA_REPLAY_CHECKPOINT_H
+
+#include "runtime/Snapshot.h"
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace replay {
+
+/// Delta-page granularity in 64-bit words (4 KiB pages).
+inline constexpr uint64_t CheckpointPageWords = 512;
+
+/// Encodes \p Snap as a delta against the memory contents of the
+/// previous checkpoint in the stream (\p PrevGlobal / \p PrevHeap; pass
+/// empty vectors for the first checkpoint, which then carries every live
+/// page). Segments only grow between checkpoints (the heap is a bump
+/// allocator, globals are fixed), which the encoding relies on.
+std::vector<uint8_t> encodeCheckpoint(const rt::MachineSnapshot &Snap,
+                                      const std::vector<uint64_t> &PrevGlobal,
+                                      const std::vector<uint64_t> &PrevHeap);
+
+/// Decodes one checkpoint record payload. \p AccumGlobal / \p AccumHeap
+/// must hold the previous checkpoint's full memory (empty before the
+/// first); on success they are updated in place to this checkpoint's
+/// contents, which the returned snapshot also embeds. Fails with a typed
+/// error on any framing violation or when the reassembled state hash
+/// disagrees with the recorded one.
+support::Expected<rt::MachineSnapshot>
+decodeCheckpoint(const std::vector<uint8_t> &Bytes,
+                 std::vector<uint64_t> &AccumGlobal,
+                 std::vector<uint64_t> &AccumHeap);
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_CHECKPOINT_H

@@ -2,10 +2,13 @@
 
 #include "replay/LogCodec.h"
 
+#include "replay/LogFormat.h"
+#include "replay/LogReader.h"
 #include "support/Compressor.h"
 
 #include <cassert>
 #include <chrono>
+#include <cstring>
 
 using namespace chimera;
 using namespace chimera::replay;
@@ -101,10 +104,11 @@ struct ByteReader {
 
 } // namespace
 
-support::Expected<ExecutionLog>
-chimera::replay::decode(const std::vector<uint8_t> &Bytes,
-                        obs::Registry *Metrics) {
-  auto Start = std::chrono::steady_clock::now();
+/// The pre-segmented flat format: one varint blob, no framing, no CRCs.
+/// Kept (internal) so logs written before the storage engine existed
+/// stay readable through the deprecation window.
+static support::Expected<ExecutionLog>
+decodeLegacy(const std::vector<uint8_t> &Bytes) {
   ExecutionLog Log;
   ByteReader In{Bytes};
 
@@ -163,6 +167,33 @@ chimera::replay::decode(const std::vector<uint8_t> &Bytes,
     return support::Error::failure("malformed log: truncated input");
   if (In.Pos != Bytes.size())
     return support::Error::failure("malformed log: trailing bytes");
+  return Log;
+}
+
+support::Expected<ExecutionLog>
+chimera::replay::decode(const std::vector<uint8_t> &Bytes,
+                        obs::Registry *Metrics) {
+  auto Start = std::chrono::steady_clock::now();
+
+  support::Expected<ExecutionLog> Decoded = [&]() {
+    // Segmented logs route through the streaming reader; the legacy
+    // flat format has no magic, so anything else falls through.
+    if (Bytes.size() >= 4 && std::memcmp(Bytes.data(), FileMagic, 4) == 0) {
+      support::Expected<LogReader> Reader =
+          LogReader::open(Bytes, LogReader::Options());
+      if (!Reader)
+        return support::Expected<ExecutionLog>(Reader.error());
+      LogReader::RecoveredLog RL = Reader->recover();
+      if (!RL.Complete)
+        return support::Expected<ExecutionLog>(
+            RL.Failure.context("incomplete segmented log"));
+      return support::Expected<ExecutionLog>(std::move(RL.Log));
+    }
+    return decodeLegacy(Bytes);
+  }();
+  if (!Decoded)
+    return Decoded.error();
+  ExecutionLog Log = Decoded.take();
 
   if (Metrics) {
     uint64_t WallUs = static_cast<uint64_t>(

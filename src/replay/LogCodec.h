@@ -47,9 +47,17 @@ std::vector<uint8_t> encodeLog(const rt::ExecutionLog &Log);
 /// trailing-garbage input produces an Error (log files come from disk,
 /// so malformed bytes are an input condition, not a programmer bug).
 ///
+/// Deprecated: whole-buffer decoding is superseded by the streaming
+/// replay::LogReader (open / next / seekToCheckpoint / recover), which
+/// also understands checkpoints and recovers damaged files. This wrapper
+/// sniffs the bytes: segmented "CLG1" logs are drained through a
+/// LogReader (and must be complete — use LogReader::recover for damaged
+/// files); anything else goes through the legacy flat parser.
+///
 /// With a registry attached, publishes decode throughput under
 /// "replay.decode.*" (bytes, events, wall microseconds). Decoding is
 /// pure host-side work, so metrics cannot affect the decoded log.
+[[deprecated("use replay::LogReader (streaming) instead")]]
 support::Expected<rt::ExecutionLog>
 decode(const std::vector<uint8_t> &Bytes, obs::Registry *Metrics = nullptr);
 

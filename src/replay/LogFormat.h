@@ -1,0 +1,203 @@
+//===- replay/LogFormat.h - Segmented log framing ---------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constants and byte-level helpers for the segmented on-disk log format
+/// shared by LogWriter and LogReader. The format itself is specified
+/// byte-exactly in docs/LOG_FORMAT.md; this header is the single point
+/// where those numbers live in code.
+///
+/// Layout summary: a 16-byte file header, then segments. Each segment is
+/// a 32-byte header (its own trailing CRC32, plus a CRC32 over the
+/// stored payload) followed by the stored payload — the raw record bytes
+/// or their LZ compression, whichever is smaller. Records are tagged
+/// varint tuples and never split across segments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_LOGFORMAT_H
+#define CHIMERA_REPLAY_LOGFORMAT_H
+
+#include "support/Crc32.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace chimera {
+namespace replay {
+
+inline constexpr char FileMagic[4] = {'C', 'L', 'G', '1'};
+inline constexpr char SegmentMagic[4] = {'C', 'S', 'E', 'G'};
+inline constexpr uint16_t FormatVersion = 1;
+
+inline constexpr size_t FileHeaderBytes = 16;
+inline constexpr size_t SegmentHeaderBytes = 32;
+
+/// Record tags (first byte of every payload record).
+enum class RecordTag : uint8_t {
+  Meta = 1,       ///< Ordered-object space parameters; first record.
+  Ordered = 2,    ///< One per-object order entry.
+  Input = 3,      ///< One consumed input.
+  Revocation = 4, ///< One forced weak-lock release.
+  Checkpoint = 5, ///< Length-prefixed MachineSnapshot encoding.
+  End = 6,        ///< Run totals; last record of the last segment.
+};
+
+/// Segment header flag bits.
+inline constexpr uint8_t SegFlagCompressed = 1u << 0;
+inline constexpr uint8_t SegFlagHasCheckpoint = 1u << 1;
+inline constexpr uint8_t SegFlagKnownMask =
+    SegFlagCompressed | SegFlagHasCheckpoint;
+
+struct SegmentHeader {
+  uint32_t Seq = 0;
+  uint8_t Flags = 0;
+  uint32_t RawSize = 0;    ///< Payload bytes before compression.
+  uint32_t StoredSize = 0; ///< Payload bytes on disk.
+  uint32_t PayloadCrc = 0; ///< CRC32 of the stored payload bytes.
+};
+
+// -- Little-endian scalar helpers -----------------------------------------
+
+inline void appendLe16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+inline void appendLe32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+inline void appendLe64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+inline uint16_t readLe16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0] | (uint16_t(P[1]) << 8));
+}
+
+inline uint32_t readLe32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= uint32_t(P[I]) << (8 * I);
+  return V;
+}
+
+inline uint64_t readLe64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= uint64_t(P[I]) << (8 * I);
+  return V;
+}
+
+// -- Header encoding -------------------------------------------------------
+
+/// Appends the 16-byte file header: magic, version, flags (0), workload
+/// fingerprint.
+inline void appendFileHeader(std::vector<uint8_t> &Out, uint64_t Fingerprint) {
+  Out.insert(Out.end(), FileMagic, FileMagic + 4);
+  appendLe16(Out, FormatVersion);
+  appendLe16(Out, 0); // File flags, reserved.
+  appendLe64(Out, Fingerprint);
+}
+
+/// Appends the 32-byte segment header; the trailing CRC32 covers the
+/// preceding 28 header bytes, so any header bit-flip is detected
+/// independently of the payload CRC.
+inline void appendSegmentHeader(std::vector<uint8_t> &Out,
+                                const SegmentHeader &H) {
+  size_t Start = Out.size();
+  Out.insert(Out.end(), SegmentMagic, SegmentMagic + 4);
+  appendLe32(Out, H.Seq);
+  Out.push_back(H.Flags);
+  Out.push_back(0); // Reserved, must be zero.
+  Out.push_back(0);
+  Out.push_back(0);
+  appendLe32(Out, H.RawSize);
+  appendLe32(Out, H.StoredSize);
+  appendLe32(Out, H.PayloadCrc);
+  appendLe32(Out, 0); // Reserved, must be zero.
+  uint32_t HeaderCrc = support::crc32(Out.data() + Start, Out.size() - Start);
+  appendLe32(Out, HeaderCrc);
+}
+
+// -- Bounds-checked reading ------------------------------------------------
+
+/// A cursor over untrusted bytes. Every read reports truncation by
+/// returning false instead of asserting; corrupt log files are an input
+/// condition, not a programmer bug.
+struct ByteCursor {
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  size_t Pos = 0;
+
+  ByteCursor() = default;
+  ByteCursor(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  bool readByte(uint8_t &Out) {
+    if (Pos >= Size)
+      return false;
+    Out = Data[Pos++];
+    return true;
+  }
+
+  bool readVarint(uint64_t &Out) {
+    Out = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Size)
+        return false;
+      uint8_t Byte = Data[Pos++];
+      Out |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80))
+        return true;
+    }
+    return false; // Over-length varint.
+  }
+
+  /// Varint that must fit 32 bits (ids, counts of in-memory objects).
+  bool readVarint32(uint32_t &Out) {
+    uint64_t V = 0;
+    if (!readVarint(V) || V > UINT32_MAX)
+      return false;
+    Out = static_cast<uint32_t>(V);
+    return true;
+  }
+
+  bool readRaw(void *Out, size_t N) {
+    if (N > remaining())
+      return false;
+    std::memcpy(Out, Data + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  bool readLe64At(uint64_t &Out) {
+    if (remaining() < 8)
+      return false;
+    Out = readLe64(Data + Pos);
+    Pos += 8;
+    return true;
+  }
+
+  bool skip(size_t N) {
+    if (N > remaining())
+      return false;
+    Pos += N;
+    return true;
+  }
+};
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_LOGFORMAT_H

@@ -1,0 +1,170 @@
+//===- replay/LogReader.h - Streaming segmented-log reader ------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replay-side storage engine: streams records out of a segmented
+/// log file (LogFormat.h, docs/LOG_FORMAT.md) one at a time, validating
+/// as it goes — segment header CRC, payload CRC, sequence continuity,
+/// decompressed size, record framing — so corruption is reported as a
+/// typed error naming the segment and offset instead of crashing or
+/// silently diverging.
+///
+/// Three access patterns:
+///  - next(): pull records in stream order (the core API);
+///  - seekToCheckpoint(): position the stream just after the last
+///    restorable checkpoint and return its snapshot, for resumed replay;
+///  - recover(): drain the whole stream into an rt::ExecutionLog,
+///    keeping everything up to the first corruption (graceful
+///    degradation for truncated / damaged files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_LOGREADER_H
+#define CHIMERA_REPLAY_LOGREADER_H
+
+#include "replay/LogFormat.h"
+#include "runtime/ExecutionLog.h"
+#include "runtime/Snapshot.h"
+#include "support/Expected.h"
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace replay {
+
+class LogReader {
+public:
+  struct Options {
+    /// When CheckFingerprint is set, open() fails unless the file header
+    /// fingerprint equals ExpectedFingerprint — a log recorded against
+    /// one build of a program cannot be replayed against another.
+    uint64_t ExpectedFingerprint = 0;
+    bool CheckFingerprint = false;
+
+    obs::Registry *Metrics = nullptr;
+  };
+
+  /// One decoded record. Tag says which fields are meaningful.
+  struct Record {
+    RecordTag Tag = RecordTag::Meta;
+
+    // Meta.
+    uint32_t NumSyncObjects = 0;
+    uint32_t NumWeakLocks = 0;
+
+    // Ordered.
+    uint32_t Obj = 0;
+    uint32_t Tid = 0; ///< Also Input.
+    rt::OrderedOp Op = rt::OrderedOp::MutexLock;
+
+    // Input.
+    rt::InputKind Kind = rt::InputKind::Input;
+    uint64_t Value = 0;
+
+    // Revocation.
+    rt::RevocationEvent Rev;
+
+    // Checkpoint.
+    rt::MachineSnapshot Snapshot;
+
+    // End.
+    uint32_t NumThreads = 0;
+    uint64_t TotalOrdered = 0;
+    uint64_t TotalInputs = 0;
+  };
+
+  /// recover() result: the rebuilt log, how far recovery got, and — when
+  /// the stream was damaged — the typed error that stopped it.
+  struct RecoveredLog {
+    rt::ExecutionLog Log;
+    /// True when the stream ended with a valid End record whose totals
+    /// match; only then is the log certified byte-complete.
+    bool Complete = false;
+    /// The error that ended recovery early (empty when Complete).
+    support::Error Failure;
+    /// Last checkpoint seen before the stream ended, if any.
+    std::unique_ptr<rt::MachineSnapshot> LastCheckpoint;
+    uint64_t SegmentsRead = 0;
+    uint64_t RecordsRecovered = 0;
+    uint64_t CheckpointsMerged = 0;
+  };
+
+  /// Validates the 16-byte file header and constructs a reader over
+  /// \p Bytes. A non-"CLG1" magic is an error (callers use it to fall
+  /// back to the legacy monolithic format).
+  static support::Expected<LogReader> open(std::vector<uint8_t> Bytes,
+                                           Options Opts);
+  /// Reads \p Path fully into memory, then open().
+  static support::Expected<LogReader> openFile(const std::string &Path,
+                                               Options Opts);
+
+  LogReader(LogReader &&) = default;
+  LogReader &operator=(LogReader &&) = default;
+  LogReader(const LogReader &) = delete;
+  LogReader &operator=(const LogReader &) = delete;
+
+  /// Decodes the next record into \p Out. Returns false at clean end of
+  /// stream, true on a record, or a typed error naming the segment and
+  /// offset of the first corruption. Errors are sticky: the stream does
+  /// not advance past them.
+  support::Expected<bool> next(Record &Out);
+
+  /// Rewinds to the first record (just after the file header).
+  void rewind();
+
+  /// Scans the whole stream for its last restorable checkpoint, then
+  /// repositions so subsequent next() calls yield exactly the records
+  /// after that checkpoint. Damage after the checkpoint does not matter
+  /// here; damage before it bounds which checkpoints are restorable.
+  /// Fails when no checkpoint is restorable.
+  support::Expected<rt::MachineSnapshot> seekToCheckpoint();
+
+  /// Drains the stream from the start into an ExecutionLog, keeping the
+  /// longest valid prefix. Never fails: corruption is reported in
+  /// RecoveredLog::Failure with everything before it preserved.
+  /// Publishes replay.recover.* metrics when a registry is attached.
+  RecoveredLog recover();
+
+  uint64_t fingerprint() const { return Fingerprint; }
+  /// True once next() has returned the End record.
+  bool sawEnd() const { return SawEnd; }
+
+private:
+  explicit LogReader(std::vector<uint8_t> Bytes, Options Opts)
+      : Bytes(std::move(Bytes)), Opts(Opts) {}
+
+  /// Loads and validates the segment at FileOffset into Payload.
+  /// Returns false at clean end of file.
+  support::Expected<bool> loadNextSegment();
+  support::Error segError(const std::string &What) const;
+
+  std::vector<uint8_t> Bytes;
+  Options Opts;
+  uint64_t Fingerprint = 0;
+
+  size_t FileOffset = FileHeaderBytes; ///< Next segment header.
+  uint32_t NextSeq = 0;
+  bool SawEnd = false;
+  uint64_t SegmentsLoaded = 0; ///< Since the last rewind.
+
+  std::vector<uint8_t> Payload; ///< Decompressed current segment.
+  size_t PayloadPos = 0;
+  uint32_t CurSeq = 0;          ///< Seq of the loaded segment.
+  size_t CurSegmentOffset = 0;  ///< File offset of its header.
+  bool HaveSegment = false;
+
+  /// Checkpoint delta-page accumulators (Checkpoint.h contract).
+  std::vector<uint64_t> AccumGlobal, AccumHeap;
+};
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_LOGREADER_H

@@ -1,0 +1,251 @@
+//===- replay/LogWriter.cpp - Segmented log storage engine -----------------===//
+
+#include "replay/LogWriter.h"
+
+#include "replay/Checkpoint.h"
+#include "replay/LogFormat.h"
+#include "support/Compressor.h"
+
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::replay;
+
+LogWriter::LogWriter(std::string Path, Options Opts)
+    : Path(std::move(Path)), Opts(Opts) {
+  File = std::fopen(this->Path.c_str(), "wb");
+  if (!File) {
+    latchError("cannot open '" + this->Path + "' for writing");
+    return;
+  }
+  std::vector<uint8_t> Header;
+  appendFileHeader(Header, Opts.Fingerprint);
+  if (std::fwrite(Header.data(), 1, Header.size(), File) != Header.size())
+    latchError("write failed on '" + this->Path + "' (file header)");
+}
+
+LogWriter::~LogWriter() { finish(); }
+
+void LogWriter::latchError(const std::string &Message) {
+  if (!IoError)
+    IoError = support::Error::failure(Message);
+}
+
+//===----------------------------------------------------------------------===//
+// Record framing
+//===----------------------------------------------------------------------===//
+
+void LogWriter::onStart(uint32_t NumSyncObjects, uint32_t NumWeakLocks) {
+  Cur.push_back(static_cast<uint8_t>(RecordTag::Meta));
+  appendVarint(Cur, NumSyncObjects);
+  appendVarint(Cur, NumWeakLocks);
+  maybeCloseSegment();
+}
+
+void LogWriter::onOrdered(uint32_t Obj, uint32_t Tid, rt::OrderedOp Op) {
+  Cur.push_back(static_cast<uint8_t>(RecordTag::Ordered));
+  appendVarint(Cur, Obj);
+  appendVarint(Cur, (static_cast<uint64_t>(Tid) << 4) |
+                        static_cast<uint64_t>(Op));
+  maybeCloseSegment();
+}
+
+void LogWriter::onInput(uint32_t Tid, rt::InputKind Kind, uint64_t Value) {
+  Cur.push_back(static_cast<uint8_t>(RecordTag::Input));
+  appendVarint(Cur, Tid);
+  Cur.push_back(static_cast<uint8_t>(Kind));
+  appendVarint(Cur, Value);
+  maybeCloseSegment();
+}
+
+void LogWriter::onRevocation(const rt::RevocationEvent &Rev) {
+  Cur.push_back(static_cast<uint8_t>(RecordTag::Revocation));
+  appendVarint(Cur, Rev.Tid);
+  appendVarint(Cur, Rev.LockId);
+  appendVarint(Cur, Rev.Instret);
+  maybeCloseSegment();
+}
+
+void LogWriter::onCheckpoint(const rt::MachineSnapshot &Snap) {
+  std::vector<uint8_t> Body =
+      encodeCheckpoint(Snap, PrevGlobal, PrevHeap);
+  PrevGlobal = Snap.GlobalWords;
+  PrevHeap = Snap.HeapWords;
+  Cur.push_back(static_cast<uint8_t>(RecordTag::Checkpoint));
+  appendVarint(Cur, Body.size());
+  Cur.insert(Cur.end(), Body.begin(), Body.end());
+  CurHasCheckpoint = true;
+  maybeCloseSegment();
+}
+
+void LogWriter::onEnd(uint32_t NumThreads, uint64_t OrderedEvents,
+                      uint64_t InputEvents) {
+  Cur.push_back(static_cast<uint8_t>(RecordTag::End));
+  appendVarint(Cur, NumThreads);
+  appendVarint(Cur, OrderedEvents);
+  appendVarint(Cur, InputEvents);
+  // Not closed here: finish() flushes, so End is the final record of the
+  // final segment.
+}
+
+//===----------------------------------------------------------------------===//
+// Segment lifecycle
+//===----------------------------------------------------------------------===//
+
+void LogWriter::maybeCloseSegment() {
+  if (Cur.size() >= Opts.SegmentBytes)
+    closeSegment();
+}
+
+LogWriter::DoneSegment
+LogWriter::compressSegment(std::vector<uint8_t> Raw, uint8_t Flags) {
+  DoneSegment Done;
+  Done.RawSize = static_cast<uint32_t>(Raw.size());
+  std::vector<uint8_t> Packed = lzCompress(Raw);
+  if (Packed.size() < Raw.size()) {
+    Done.Flags = Flags | SegFlagCompressed;
+    Done.Stored = std::move(Packed);
+  } else {
+    Done.Flags = Flags;
+    Done.Stored = std::move(Raw);
+  }
+  return Done;
+}
+
+void LogWriter::closeSegment() {
+  assert(!Finished && "segment close after finish");
+  uint8_t Flags = CurHasCheckpoint ? SegFlagHasCheckpoint : 0;
+  std::vector<uint8_t> Raw = std::move(Cur);
+  Cur.clear();
+  CurHasCheckpoint = false;
+  uint32_t Seq = NextSeq++;
+
+  if (!Opts.Pool || Opts.Pool->isInline()) {
+    DoneSegment Done = compressSegment(std::move(Raw), Flags);
+    assert(Seq == NextWriteSeq && "sync close out of order");
+    writeSegment(Seq, Done);
+    ++NextWriteSeq;
+    return;
+  }
+
+  // Double-buffer: admit at most two unwritten segments so a slow
+  // compressor applies backpressure instead of queueing unbounded raw
+  // buffers. When both slots are busy the record thread compresses this
+  // segment itself rather than sleeping — backpressure becomes useful
+  // work, so on a saturated host the async path degrades to the sync
+  // cost instead of sync plus context switches. Only this thread drains
+  // Completed; it writes any ready in-order segments while it is here.
+  bool CompressInline = false;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    for (;;) {
+      auto It = Completed.find(NextWriteSeq);
+      if (It != Completed.end()) {
+        DoneSegment Done = std::move(It->second);
+        Completed.erase(It);
+        Lock.unlock();
+        writeSegment(NextWriteSeq, Done);
+        ++NextWriteSeq;
+        Lock.lock();
+        continue;
+      }
+      if (InFlight + Completed.size() < 2)
+        break;
+      CompressInline = true;
+      ++BacklogStalls;
+      break;
+    }
+    if (!CompressInline)
+      ++InFlight;
+  }
+
+  if (CompressInline) {
+    DoneSegment Done = compressSegment(std::move(Raw), Flags);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Completed.emplace(Seq, std::move(Done));
+    }
+    drainCompleted(/*WaitAll=*/false);
+    return;
+  }
+  Opts.Pool->submit([this, Seq, Flags, Raw = std::move(Raw)]() mutable {
+    DoneSegment Done = compressSegment(std::move(Raw), Flags);
+    std::lock_guard<std::mutex> Lock(Mu);
+    Completed.emplace(Seq, std::move(Done));
+    --InFlight;
+    Cv.notify_all();
+  });
+}
+
+void LogWriter::drainCompleted(bool WaitAll) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    auto It = Completed.find(NextWriteSeq);
+    if (It != Completed.end()) {
+      DoneSegment Done = std::move(It->second);
+      Completed.erase(It);
+      Lock.unlock();
+      writeSegment(NextWriteSeq, Done); // File writes: record thread only.
+      ++NextWriteSeq;
+      Lock.lock();
+      continue;
+    }
+    if (!WaitAll || NextWriteSeq == NextSeq)
+      return;
+    Cv.wait(Lock);
+  }
+}
+
+void LogWriter::writeSegment(uint32_t Seq, const DoneSegment &Done) {
+  ++SegmentsWritten;
+  RawBytes += Done.RawSize;
+  StoredBytes += Done.Stored.size();
+  if (!File)
+    return; // Open already failed; error is latched.
+
+  SegmentHeader H;
+  H.Seq = Seq;
+  H.Flags = Done.Flags;
+  H.RawSize = Done.RawSize;
+  H.StoredSize = static_cast<uint32_t>(Done.Stored.size());
+  H.PayloadCrc = support::crc32(Done.Stored);
+  std::vector<uint8_t> Header;
+  appendSegmentHeader(Header, H);
+
+  if (std::fwrite(Header.data(), 1, Header.size(), File) != Header.size() ||
+      (!Done.Stored.empty() &&
+       std::fwrite(Done.Stored.data(), 1, Done.Stored.size(), File) !=
+           Done.Stored.size()))
+    latchError("write failed on '" + Path + "' (segment " +
+               std::to_string(Seq) + ")");
+}
+
+support::Error LogWriter::finish() {
+  if (Finished)
+    return IoError;
+  Finished = true;
+
+  if (!Cur.empty()) {
+    // closeSegment asserts !Finished to catch late sink calls; flip the
+    // flag around the final flush.
+    Finished = false;
+    closeSegment();
+    Finished = true;
+  }
+  drainCompleted(/*WaitAll=*/true);
+
+  if (File) {
+    if (std::fclose(File) != 0)
+      latchError("close failed on '" + Path + "'");
+    File = nullptr;
+  }
+
+  if (Opts.Metrics) {
+    obs::Scope S(Opts.Metrics, "record.compress");
+    S.gauge("backlog").set(static_cast<int64_t>(BacklogStalls));
+    S.counter("segments").add(SegmentsWritten);
+    S.counter("bytes_raw").add(RawBytes);
+    S.counter("bytes_stored").add(StoredBytes);
+  }
+  return IoError;
+}

@@ -1,0 +1,141 @@
+//===- replay/LogWriter.h - Segmented log storage engine --------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The record-side storage engine: a rt::LogEventSink that frames log
+/// events into the crash-safe segmented on-disk format (LogFormat.h,
+/// docs/LOG_FORMAT.md) as the Machine emits them, instead of serializing
+/// one monolithic blob after the run.
+///
+/// Compression runs off the record critical path: when a ThreadPool is
+/// attached, each closed segment is handed to a worker while recording
+/// continues into the next buffer, double-buffered — at most two
+/// segments are in flight, and when a third close finds both slots busy
+/// the record thread compresses that segment itself (counted in the
+/// "record.compress.backlog" metric) instead of sleeping. Completed
+/// segments are written strictly in sequence order, and per-segment
+/// compression is a pure function of the raw payload, so the bytes on
+/// disk are bit-identical with or without the pool.
+///
+/// I/O errors latch: sink callbacks cannot fail (the Machine is
+/// mid-simulation), so the first error is kept and reported by finish().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_LOGWRITER_H
+#define CHIMERA_REPLAY_LOGWRITER_H
+
+#include "runtime/LogEvents.h"
+#include "runtime/Snapshot.h"
+#include "support/Expected.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace replay {
+
+class LogWriter final : public rt::LogEventSink {
+public:
+  struct Options {
+    /// Raw payload bytes after which a segment is closed. A record is
+    /// never split: the segment closes at the first record boundary at
+    /// or past this size.
+    uint64_t SegmentBytes = 64 * 1024;
+
+    /// Workload/config fingerprint echoed in the file header so a log
+    /// cannot silently be replayed against the wrong build of a program.
+    uint64_t Fingerprint = 0;
+
+    /// Compression pool; null (or an inline pool) compresses
+    /// synchronously on the record thread.
+    support::ThreadPool *Pool = nullptr;
+
+    obs::Registry *Metrics = nullptr;
+  };
+
+  LogWriter(std::string Path, Options Opts);
+  ~LogWriter() override; ///< Calls finish() if it has not run.
+
+  LogWriter(const LogWriter &) = delete;
+  LogWriter &operator=(const LogWriter &) = delete;
+
+  // -- rt::LogEventSink.
+  void onStart(uint32_t NumSyncObjects, uint32_t NumWeakLocks) override;
+  void onOrdered(uint32_t Obj, uint32_t Tid, rt::OrderedOp Op) override;
+  void onInput(uint32_t Tid, rt::InputKind Kind, uint64_t Value) override;
+  void onRevocation(const rt::RevocationEvent &Rev) override;
+  void onCheckpoint(const rt::MachineSnapshot &Snap) override;
+  void onEnd(uint32_t NumThreads, uint64_t OrderedEvents,
+             uint64_t InputEvents) override;
+
+  /// Flushes the open segment, drains in-flight compression, closes the
+  /// file, publishes metrics, and returns the first latched I/O error.
+  /// Idempotent; the destructor calls it if the caller did not.
+  support::Error finish();
+
+  uint64_t segmentsWritten() const { return SegmentsWritten; }
+  /// Times the record thread compressed a segment itself because two
+  /// segments were already in flight (the double-buffer was full).
+  uint64_t backlogStalls() const { return BacklogStalls; }
+
+private:
+  /// A segment after compression, ready to be framed and written.
+  struct DoneSegment {
+    uint8_t Flags = 0;
+    uint32_t RawSize = 0;
+    std::vector<uint8_t> Stored;
+  };
+
+  void maybeCloseSegment();
+  void closeSegment();
+  /// Compresses a raw payload; keeps it uncompressed when LZ does not
+  /// shrink it. Pure function — this is what makes async output
+  /// bit-identical to sync.
+  static DoneSegment compressSegment(std::vector<uint8_t> Raw,
+                                     uint8_t Flags);
+  /// Frames and writes segment \p Seq; latches I/O errors.
+  void writeSegment(uint32_t Seq, const DoneSegment &Done);
+  /// Writes completed segments in sequence order; with \p WaitAll,
+  /// blocks until every closed segment has been written.
+  void drainCompleted(bool WaitAll);
+  void latchError(const std::string &Message);
+
+  std::string Path;
+  Options Opts;
+  std::FILE *File = nullptr;
+  bool Finished = false;
+  support::Error IoError;
+
+  std::vector<uint8_t> Cur; ///< Raw payload of the open segment.
+  bool CurHasCheckpoint = false;
+  uint32_t NextSeq = 0;      ///< Sequence assigned at the next close.
+  uint32_t NextWriteSeq = 0; ///< Sequence the file expects next.
+  uint64_t SegmentsWritten = 0;
+  uint64_t BacklogStalls = 0;
+  uint64_t RawBytes = 0, StoredBytes = 0;
+
+  /// Memory contents of the previous checkpoint (delta-page base).
+  std::vector<uint64_t> PrevGlobal, PrevHeap;
+
+  // Async compression rendezvous (record thread + pool workers).
+  std::mutex Mu;
+  std::condition_variable Cv;
+  unsigned InFlight = 0; ///< Submitted, not yet in Completed.
+  std::map<uint32_t, DoneSegment> Completed;
+};
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_LOGWRITER_H

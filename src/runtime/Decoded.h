@@ -88,6 +88,15 @@ public:
     return static_cast<uint32_t>(Funcs.size());
   }
 
+  /// Inverse of function(): the module index of a decoded function, used
+  /// to name stack frames position-independently in checkpoints. \p F
+  /// must point into this program's (contiguous) function array.
+  uint32_t indexOf(const DecodedFunction *F) const {
+    assert(F >= Funcs.data() && F < Funcs.data() + Funcs.size() &&
+           "foreign function pointer");
+    return static_cast<uint32_t>(F - Funcs.data());
+  }
+
 private:
   std::vector<DecodedFunction> Funcs;
 };

@@ -1,0 +1,68 @@
+//===- runtime/LogEvents.h - Streaming record sink --------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming side of record mode: a Machine with a LogEventSink
+/// attached emits every log record (ordered events, inputs, revocations,
+/// periodic checkpoints) as it happens, instead of only materializing
+/// the ExecutionLog at the end of the run. replay::LogWriter implements
+/// this interface to frame records into the segmented on-disk format
+/// (docs/LOG_FORMAT.md) with compression off the critical path.
+///
+/// The interface lives in the runtime layer (not replay) so the Machine
+/// does not depend on the storage engine; the in-memory ExecutionLog is
+/// still built alongside, so attaching a sink never changes results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_LOGEVENTS_H
+#define CHIMERA_RUNTIME_LOGEVENTS_H
+
+#include "runtime/ExecutionLog.h"
+
+#include <cstdint>
+
+namespace chimera {
+namespace rt {
+
+struct MachineSnapshot;
+
+/// Receives record-mode log events in program order. Calls happen on the
+/// (single) host thread driving the Machine; implementations may hand
+/// work to other threads but must not touch machine state. Sink methods
+/// cannot fail — implementations latch I/O errors and report them from
+/// their own finish/close entry point.
+class LogEventSink {
+public:
+  virtual ~LogEventSink();
+
+  /// Start of a record run: the ordered-object id-space parameters.
+  virtual void onStart(uint32_t NumSyncObjects, uint32_t NumWeakLocks);
+
+  /// One per-object ordered event (same append order as
+  /// ExecutionLog::PerObject gets them).
+  virtual void onOrdered(uint32_t Obj, uint32_t Tid, OrderedOp Op);
+
+  /// One consumed nondeterministic input.
+  virtual void onInput(uint32_t Tid, InputKind Kind, uint64_t Value);
+
+  /// One weak-lock revocation (appended in global order).
+  virtual void onRevocation(const RevocationEvent &Rev);
+
+  /// A periodic checkpoint captured at a quiescent point. The reference
+  /// is only valid for the duration of the call.
+  virtual void onCheckpoint(const MachineSnapshot &Snap);
+
+  /// End of the run: final thread count plus record totals, letting the
+  /// storage layer write an integrity footer.
+  virtual void onEnd(uint32_t NumThreads, uint64_t OrderedEvents,
+                     uint64_t InputEvents);
+};
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_LOGEVENTS_H

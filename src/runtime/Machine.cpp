@@ -13,12 +13,23 @@
 
 #include "runtime/Machine.h"
 
+#include "runtime/LogEvents.h"
+#include "runtime/Snapshot.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace chimera;
 using namespace chimera::rt;
 using ir::WeakLockGranularity;
+
+LogEventSink::~LogEventSink() = default;
+void LogEventSink::onStart(uint32_t, uint32_t) {}
+void LogEventSink::onOrdered(uint32_t, uint32_t, OrderedOp) {}
+void LogEventSink::onInput(uint32_t, InputKind, uint64_t) {}
+void LogEventSink::onRevocation(const RevocationEvent &) {}
+void LogEventSink::onCheckpoint(const MachineSnapshot &) {}
+void LogEventSink::onEnd(uint32_t, uint64_t, uint64_t) {}
 
 ExecutionObserver::~ExecutionObserver() = default;
 void ExecutionObserver::onThreadStart(uint32_t, uint32_t, uint32_t,
@@ -214,12 +225,31 @@ ExecutionResult Machine::run() {
   CoreThread.assign(Opts.NumCores, -1);
   CoreSliceEnd.assign(Opts.NumCores, 0);
   CoreSliceStart.assign(Opts.NumCores, 0);
-  startThread(M.MainFunction, {}, /*ParentTid=*/0, /*Now=*/0);
+
+  const bool Streaming = isRecord() && Opts.LogSink != nullptr;
+  if (Streaming) {
+    Opts.LogSink->onStart(Log.NumSyncObjects, Log.NumWeakLocks);
+    NextCheckpointAt = Opts.CheckpointEvery; // 0 disables checkpoints.
+  }
+
+  if (isReplay() && Opts.ResumeFrom)
+    restoreFromSnapshot(*Opts.ResumeFrom);
+  else
+    startThread(M.MainFunction, {}, /*ParentTid=*/0, /*Now=*/0);
 
   while (!Failed && !allFinished()) {
     unsigned Core = Sched.minTimeCore();
     uint64_t Now = Sched.coreTime(Core);
     wakeSleepers(Now);
+
+    // Periodic checkpoints, taken here because no thread is mid-operation
+    // between dispatches; "every N log events" keeps the cadence a
+    // function of recorded work, not wall time, so it is deterministic.
+    if (Streaming && Opts.CheckpointEvery &&
+        Stats.LogEvents >= NextCheckpointAt) {
+      Opts.LogSink->onCheckpoint(captureSnapshot());
+      NextCheckpointAt = Stats.LogEvents + Opts.CheckpointEvery;
+    }
 
     // Forced releases recorded against blocked victims must be applied
     // machine-side during replay, or their waiters would gate forever
@@ -279,15 +309,14 @@ ExecutionResult Machine::run() {
   Stats.MakespanCycles = Sched.maxTime();
   Result.Stats = Stats;
 
-  Hasher H;
-  Mem.hashInto(H);
-  H.addWord(0x5eed);
-  H.addWords(Output);
-  Result.StateHash = H.digest();
+  Result.StateHash = stateHashNow();
 
   if (isRecord()) {
     Log.NumThreads = static_cast<uint32_t>(Threads.size());
     Log.PerThreadInputs.resize(Threads.size());
+    if (Opts.LogSink)
+      Opts.LogSink->onEnd(Log.NumThreads, Log.totalOrderedEvents(),
+                          Log.totalInputEvents());
     Result.Log = std::move(Log);
   }
   if (CollectObs)
@@ -587,6 +616,8 @@ void Machine::recordOrdered(uint32_t Obj, uint32_t Tid, OrderedOp Op,
   assert(Obj < Log.PerObject.size() && "ordered object out of range");
   Log.PerObject[Obj].push_back({Tid, Op});
   ++Stats.LogEvents;
+  if (Opts.LogSink)
+    Opts.LogSink->onOrdered(Obj, Tid, Op);
   if (CollectObs)
     obsRecordOrdered(Op, (static_cast<uint64_t>(Tid) << 4) |
                              static_cast<uint64_t>(Op));
@@ -1037,6 +1068,8 @@ Machine::Step Machine::doInputOp(Thread &T, InputKind Kind, ir::Reg Dst,
         Log.PerThreadInputs.resize(T.Tid + 1);
       Log.PerThreadInputs[T.Tid].push_back({Kind, Value});
       ++Stats.LogEvents;
+      if (Opts.LogSink)
+        Opts.LogSink->onInput(T.Tid, Kind, Value);
       if (CollectObs) {
         ++ObsInputCount;
         ObsInputBytes += 1 + varintSize(Value); // kind byte + value.
@@ -1161,6 +1194,9 @@ void Machine::grantWeakWaiters(uint32_t LockId, uint64_t Now) {
       Log.PerObject[Log.weakLockObject(LockId)].push_back(
           {G.Tid, OrderedOp::WeakAcquire});
       ++Stats.LogEvents;
+      if (Opts.LogSink)
+        Opts.LogSink->onOrdered(Log.weakLockObject(LockId), G.Tid,
+                                OrderedOp::WeakAcquire);
       // This append bypasses recordOrdered (the grant happens machine-
       // side, not on the waiter's core), so account its bytes here.
       if (CollectObs)
@@ -1228,6 +1264,8 @@ Machine::Step Machine::doWeakRelease(Thread &T, uint32_t LockId,
     recordOrdered(Obj, T.Tid, OrderedOp::WeakRelease, Core);
     if (Forced) {
       Log.Revocations.push_back({T.Tid, LockId, T.Instret});
+      if (Opts.LogSink)
+        Opts.LogSink->onRevocation(Log.Revocations.back());
       if (CollectObs) {
         ++ObsRevCount;
         ObsRevBytes += varintSize(T.Tid) + varintSize(LockId) +

@@ -52,6 +52,9 @@
 namespace chimera {
 namespace rt {
 
+class LogEventSink;
+struct MachineSnapshot;
+
 enum class ExecMode : uint8_t { Native, Record, Replay };
 
 struct MachineOptions {
@@ -82,6 +85,21 @@ struct MachineOptions {
 
   const ExecutionLog *ReplayLog = nullptr; ///< Required in Replay mode.
   ExecutionObserver *Observer = nullptr;   ///< Optional event sink.
+
+  /// Record mode: streaming sink receiving every log record as it is
+  /// appended (see runtime/LogEvents.h). The in-memory ExecutionLog is
+  /// still built, so results are unchanged by attaching one.
+  LogEventSink *LogSink = nullptr;
+
+  /// Record mode with a LogSink: emit a checkpoint roughly every this
+  /// many log events (0 = never). Checkpoints are taken at the top of
+  /// the scheduling loop, where no thread is mid-operation.
+  uint64_t CheckpointEvery = 0;
+
+  /// Replay mode: resume from this checkpoint instead of a cold start.
+  /// The snapshot must come from a recording of the same module and
+  /// ReplayLog must be the full recorded log.
+  const MachineSnapshot *ResumeFrom = nullptr;
 
   /// Observability sinks (both optional, both host-side only).
   ///
@@ -139,6 +157,11 @@ public:
   /// Snapshot of the attached metrics registry; fails when the machine
   /// was built without one (MachineOptions::Metrics == nullptr).
   support::Expected<obs::Snapshot> metrics() const;
+
+  /// Captures resumable machine state (record mode, between dispatches).
+  /// Record-only scheduling state is normalized into replay-expressible
+  /// form; see runtime/Snapshot.h for the contract.
+  MachineSnapshot captureSnapshot() const;
 
 private:
   enum class Step : uint8_t {
@@ -234,6 +257,14 @@ private:
   void obsRecordOrdered(OrderedOp Op, uint64_t PackedValue);
   void publishObs();
 
+  // -- Checkpointing (Snapshot.cpp).
+  /// Rebuilds machine state from a checkpoint (replay mode, called from
+  /// run() in place of starting the main thread).
+  void restoreFromSnapshot(const MachineSnapshot &Snap);
+  /// Hash of current memory + output, same formula as the final
+  /// ExecutionResult::StateHash.
+  uint64_t stateHashNow() const;
+
   const ir::Module &M;
   MachineOptions Opts;
   DecodedProgram Prog; ///< Execution-format view of M (built once).
@@ -270,6 +301,9 @@ private:
   unsigned SleepingThreads = 0;
   unsigned LiveThreads = 0;   ///< Threads not yet Finished (O(1) allFinished).
   uint64_t WeakCheckTick = 0; ///< Weak-timeout cadence (one per instruction).
+  /// Next Stats.LogEvents threshold at which a checkpoint is emitted
+  /// (record mode with a sink and CheckpointEvery > 0).
+  uint64_t NextCheckpointAt = 0;
   /// Replaying a log that contains revocations: machine-side forced
   /// releases must be re-checked before every instruction, so dispatch
   /// batching is disabled.

@@ -17,6 +17,7 @@
 #include "ir/Module.h"
 #include "support/Hash.h"
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -91,6 +92,25 @@ public:
   uint64_t allocate(uint64_t Words);
 
   uint64_t heapUsedWords() const { return HeapUsed; }
+
+  /// Segment contents, exposed for checkpointing. HeapSeg is sized to
+  /// exactly HeapUsed words, so these are the complete live state.
+  const std::vector<uint64_t> &globalWords() const { return GlobalSeg; }
+  const std::vector<uint64_t> &heapWords() const { return HeapSeg; }
+
+  /// Replaces the contents of both segments from a checkpoint. Must be
+  /// called after init() with the same module: the global size must
+  /// match and \p Used must fit the existing heap reservation. Assigning
+  /// through the vectors preserves the full-capacity reservation, so
+  /// Views stay valid across later allocate() calls as before.
+  void restoreContents(const std::vector<uint64_t> &Global,
+                       const std::vector<uint64_t> &Heap, uint64_t Used) {
+    assert(Global.size() == GlobalSeg.size() && "global segment mismatch");
+    assert(Heap.size() == Used && Used <= HeapCapacity && "bad heap restore");
+    GlobalSeg = Global;
+    HeapSeg = Heap;
+    HeapUsed = Used;
+  }
 
   /// Mixes the full memory state into \p H (global segment + live heap),
   /// used for record-vs-replay determinism comparison.

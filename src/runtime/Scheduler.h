@@ -69,6 +69,13 @@ public:
   /// is force-transitioned while queued). Returns true if removed.
   bool removeReady(uint32_t Tid);
 
+  /// Visits live entries in FIFO order as (Tid, ReadyTime); used to
+  /// checkpoint the queue without exposing its ring layout.
+  template <typename Fn> void forEachReady(Fn &&Visit) const {
+    for (size_t I = Head; I != ReadyQueue.size(); ++I)
+      Visit(ReadyQueue[I].Tid, ReadyQueue[I].ReadyTime);
+  }
+
 private:
   struct ReadyEntry {
     uint32_t Tid;

@@ -1,0 +1,252 @@
+//===- runtime/Snapshot.cpp - Machine checkpoint capture/restore -----------===//
+//
+// captureSnapshot() runs in Record mode at the top of the scheduling
+// loop (no thread mid-operation); restoreFromSnapshot() rebuilds a
+// Replay-mode machine from the result. The normalization contract —
+// which record-only scheduling state is folded into replay-expressible
+// state and why — is documented in Snapshot.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+#include "runtime/Snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace chimera;
+using namespace chimera::rt;
+
+uint64_t rt::snapshotStateHash(const MachineSnapshot &Snap) {
+  // Mirrors Memory::hashInto (globals then live heap) followed by the
+  // final-hash mixing in Machine::stateHashNow.
+  Hasher H;
+  H.addWords(Snap.GlobalWords);
+  for (uint64_t Word : Snap.HeapWords)
+    H.addWord(Word);
+  H.addWord(0x5eed);
+  H.addWords(Snap.Output);
+  return H.digest();
+}
+
+uint64_t Machine::stateHashNow() const {
+  Hasher H;
+  Mem.hashInto(H);
+  H.addWord(0x5eed);
+  H.addWords(Output);
+  return H.digest();
+}
+
+MachineSnapshot Machine::captureSnapshot() const {
+  assert(isRecord() && "checkpoints are captured while recording");
+  assert(!Failed && "capturing a failed machine");
+
+  MachineSnapshot Snap;
+
+  // Log position: the in-memory log is exactly the prefix recorded so
+  // far, so its current sizes are the replay cursors of this point.
+  Snap.GateCursors.reserve(Log.PerObject.size());
+  for (const auto &Seq : Log.PerObject)
+    Snap.GateCursors.push_back(static_cast<uint32_t>(Seq.size()));
+  Snap.InputCursors.reserve(Threads.size());
+  for (uint32_t Tid = 0; Tid != Threads.size(); ++Tid)
+    Snap.InputCursors.push_back(
+        Tid < Log.PerThreadInputs.size()
+            ? static_cast<uint32_t>(Log.PerThreadInputs[Tid].size())
+            : 0);
+  Snap.RevocationsDone = Log.Revocations.size();
+  Snap.LogEventsAtCapture = Stats.LogEvents;
+
+  // Threads, with scheduling-state normalization. The normalized
+  // (State, ReadyTime) pairs computed here are also what the ready-queue
+  // snapshot below appends, so the two views stay consistent.
+  Snap.Threads.reserve(Threads.size());
+  for (const auto &TP : Threads) {
+    const Thread &T = *TP;
+    assert(T.Reason != BlockReason::ReplayGate &&
+           "record-mode thread blocked on a replay gate");
+
+    ThreadSnapshot TS;
+    TS.Tid = T.Tid;
+    ThreadState State = T.State;
+    BlockReason Reason = T.Reason;
+    uint64_t ReadyTime = T.ReadyTime;
+    if (State == ThreadState::Running) {
+      // Rebound by the resumed replay; resumes no earlier than its
+      // core's clock so per-thread time stays monotonic.
+      State = ThreadState::Ready;
+      Reason = BlockReason::None;
+      for (unsigned C = 0; C != CoreThread.size(); ++C)
+        if (CoreThread[C] == static_cast<int64_t>(T.Tid))
+          ReadyTime = std::max(ReadyTime, Sched.coreTime(C));
+    } else if (State == ThreadState::Blocked &&
+               (Reason == BlockReason::Mutex ||
+                Reason == BlockReason::WeakLock)) {
+      // Mutex / weak-lock wait queues are record-only; the thread
+      // re-executes its acquire, which replay gates on the recorded
+      // order (see Snapshot.h).
+      State = ThreadState::Ready;
+      Reason = BlockReason::None;
+      ReadyTime = std::max(ReadyTime, T.BlockStart);
+    }
+    TS.State = static_cast<uint8_t>(State);
+    TS.Reason = static_cast<uint8_t>(Reason);
+    TS.WaitObject = T.WaitObject;
+    TS.WakeTime = T.WakeTime;
+    TS.ReadyTime = ReadyTime;
+    TS.BlockStart = T.BlockStart;
+    TS.Instret = T.Instret;
+    TS.RetValue = T.RetValue;
+    TS.PendingMutex = PendingMutex[T.Tid];
+    TS.Stack.reserve(T.Stack.size());
+    for (const Frame &F : T.Stack) {
+      FrameSnapshot FS;
+      FS.FuncId = Prog.indexOf(F.DFunc);
+      FS.Ip = F.Ip;
+      FS.RetDst = static_cast<uint32_t>(F.RetDst);
+      FS.Regs = F.Regs;
+      TS.Stack.push_back(std::move(FS));
+    }
+    TS.HeldWeak = T.HeldWeak;
+    TS.PendingReacquire = T.PendingReacquire;
+    TS.JoinWaiters = T.JoinWaiters;
+    Snap.Threads.push_back(std::move(TS));
+  }
+
+  Snap.Syncs.reserve(Syncs.size());
+  for (uint32_t Id = 0; Id != Syncs.size(); ++Id) {
+    const SyncState &S = Syncs.state(Id);
+    SyncObjectSnapshot SS;
+    SS.Owner = S.Owner;
+    SS.Generation = S.Generation;
+    SS.Arrived = S.Arrived;
+    SS.ArrivedTimes = S.ArrivedTimes;
+    SS.CondWaiters.assign(S.CondWaiters.begin(), S.CondWaiters.end());
+    Snap.Syncs.push_back(std::move(SS));
+  }
+
+  // Ready queue: the queued threads in FIFO order, then the normalized
+  // ones — running threads in core order, de-queued blockers in tid
+  // order. Any fixed rule works (schedule drift cannot change final
+  // state); this one is deterministic and keeps arrival order sensible.
+  Sched.forEachReady([&](uint32_t Tid, uint64_t ReadyTime) {
+    Snap.ReadyQueue.push_back({Tid, ReadyTime});
+  });
+  for (unsigned C = 0; C != CoreThread.size(); ++C)
+    if (CoreThread[C] >= 0) {
+      uint32_t Tid = static_cast<uint32_t>(CoreThread[C]);
+      Snap.ReadyQueue.push_back({Tid, Snap.Threads[Tid].ReadyTime});
+    }
+  for (const auto &TP : Threads)
+    if (TP->State == ThreadState::Blocked &&
+        (TP->Reason == BlockReason::Mutex ||
+         TP->Reason == BlockReason::WeakLock))
+      Snap.ReadyQueue.push_back(
+          {TP->Tid, Snap.Threads[TP->Tid].ReadyTime});
+
+  Snap.CoreTimes.reserve(Sched.numCores());
+  for (unsigned C = 0; C != Sched.numCores(); ++C)
+    Snap.CoreTimes.push_back(Sched.coreTime(C));
+  Snap.Output = Output;
+
+  Snap.GlobalWords = Mem.globalWords();
+  Snap.HeapWords = Mem.heapWords();
+  Snap.HeapUsed = Mem.heapUsedWords();
+  Snap.StateHash = stateHashNow();
+  return Snap;
+}
+
+void Machine::restoreFromSnapshot(const MachineSnapshot &Snap) {
+  assert(isReplay() && Opts.ReplayLog && "resume is a replay-mode feature");
+  assert(Threads.empty() && "restore must precede any thread start");
+  const ExecutionLog &RL = *Opts.ReplayLog;
+  assert(Snap.GateCursors.size() == RL.numOrderedObjects() &&
+         "checkpoint does not match this log's object space");
+  assert(Snap.CoreTimes.size() == Opts.NumCores &&
+         "resume requires the recorded core count");
+
+  // Log cursors: skip the prefix the checkpoint already covers.
+  GateCursor = Snap.GateCursors;
+  InputCursor.assign(RL.NumThreads, 0);
+  for (uint32_t Tid = 0;
+       Tid != std::min<size_t>(InputCursor.size(), Snap.InputCursors.size());
+       ++Tid)
+    InputCursor[Tid] = Snap.InputCursors[Tid];
+  RevocationCursor.assign(RL.NumThreads, 0);
+  assert(Snap.RevocationsDone <= RL.Revocations.size() &&
+         "checkpoint claims more revocations than the log holds");
+  for (uint64_t I = 0; I != Snap.RevocationsDone; ++I) {
+    const RevocationEvent &Rev = RL.Revocations[I];
+    if (Rev.Tid < RevocationCursor.size())
+      ++RevocationCursor[Rev.Tid];
+  }
+
+  Mem.restoreContents(Snap.GlobalWords, Snap.HeapWords, Snap.HeapUsed);
+  Output = Snap.Output;
+
+  assert(Snap.Syncs.size() == Syncs.size() && "sync-object count mismatch");
+  for (uint32_t Id = 0; Id != Syncs.size(); ++Id) {
+    const SyncObjectSnapshot &SS = Snap.Syncs[Id];
+    SyncState &S = Syncs.state(Id);
+    S.Owner = SS.Owner;
+    S.Generation = SS.Generation;
+    S.Arrived = SS.Arrived;
+    S.ArrivedTimes = SS.ArrivedTimes;
+    S.CondWaiters.assign(SS.CondWaiters.begin(), SS.CondWaiters.end());
+    S.MutexWaiters.clear(); // Record-only; replay admits via gates.
+  }
+
+  SleepingThreads = 0;
+  LiveThreads = 0;
+  for (const ThreadSnapshot &TS : Snap.Threads) {
+    auto T = std::make_unique<Thread>();
+    T->Tid = TS.Tid;
+    T->State = static_cast<ThreadState>(TS.State);
+    T->Reason = static_cast<BlockReason>(TS.Reason);
+    T->WaitObject = TS.WaitObject;
+    T->WakeTime = TS.WakeTime;
+    T->ReadyTime = TS.ReadyTime;
+    T->BlockStart = TS.BlockStart;
+    T->Instret = TS.Instret;
+    T->RetValue = TS.RetValue;
+    T->Stack.reserve(TS.Stack.size());
+    for (const FrameSnapshot &FS : TS.Stack) {
+      Frame F;
+      F.DFunc = &Prog.function(FS.FuncId);
+      F.Ip = FS.Ip;
+      F.RetDst = static_cast<ir::Reg>(FS.RetDst);
+      F.Regs = FS.Regs;
+      T->Stack.push_back(std::move(F));
+    }
+    T->HeldWeak = TS.HeldWeak;
+    T->PendingReacquire = TS.PendingReacquire;
+    T->JoinWaiters = TS.JoinWaiters;
+    if (T->State == ThreadState::Sleeping)
+      ++SleepingThreads;
+    if (T->State != ThreadState::Finished)
+      ++LiveThreads;
+
+    // Re-seat weak-lock holds. Admitted holders were pairwise
+    // non-conflicting at capture, so re-acquisition cannot fail; Since
+    // is irrelevant (replay never scans for timeouts).
+    for (const HeldWeakLock &H : T->HeldWeak) {
+      WeakRequest Req{T->Tid, H.HasRange, H.Lo, H.Hi, /*Since=*/0,
+                      H.SiteGran};
+      bool Acquired = Weak.tryAcquire(H.LockId, Req);
+      (void)Acquired;
+      assert(Acquired && "checkpointed weak-lock holds conflict");
+    }
+
+    PendingMutex.push_back(TS.PendingMutex);
+    Threads.push_back(std::move(T));
+  }
+
+  for (unsigned C = 0; C != Opts.NumCores; ++C)
+    Sched.setCoreTime(C, Snap.CoreTimes[C]);
+  for (const ReadySnapshot &R : Snap.ReadyQueue)
+    Sched.addReady(R.Tid, R.ReadyTime);
+
+  // Stats on a resumed replay cover the suffix only (documented in
+  // docs/ARCHITECTURE.md); the thread count is state, not a counter.
+  Stats.SpawnedThreads = Threads.size();
+}

@@ -1,0 +1,127 @@
+//===- runtime/Snapshot.h - Machine checkpoint state ------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MachineSnapshot is everything replay needs to resume a recorded
+/// execution from a mid-run point instead of re-executing from the
+/// start: thread contexts, sync-object state, scheduler clocks, memory
+/// contents, the output stream, and the log position (how many events of
+/// each per-object order, per-thread input stream, and the revocation
+/// list were already consumed).
+///
+/// Snapshots are captured in Record mode at quiescent points (between
+/// dispatches, no thread mid-operation) and restored into Replay mode.
+/// Record-only scheduling state is *normalized* at capture so the
+/// restored machine is expressible in replay terms:
+///
+///  - Running threads become Ready (replay will rebind them);
+///  - threads blocked in a mutex or weak-lock wait queue become Ready
+///    and re-execute their acquire, which replay gates on the recorded
+///    order anyway (the queues themselves are not captured);
+///  - condvar / barrier / join waiters and sleepers keep their blocked
+///    state — those wake paths work identically in replay.
+///
+/// Resumed replay therefore reproduces the recorded per-object orders
+/// exactly, and — because every racing access is weak-lock ordered —
+/// reaches a final memory + output state bit-identical to a cold replay
+/// of the full log. Core clocks and stats may differ; the determinism
+/// contract covers state, not timing.
+///
+/// The struct holds full memory contents; the on-disk checkpoint codec
+/// (replay/Checkpoint.h) stores page deltas against the previous
+/// checkpoint and the reader re-accumulates them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_RUNTIME_SNAPSHOT_H
+#define CHIMERA_RUNTIME_SNAPSHOT_H
+
+#include "runtime/Thread.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace rt {
+
+/// One activation record, position-independent: the function is named by
+/// its module index and the instruction by its flat decoded index.
+struct FrameSnapshot {
+  uint32_t FuncId = 0;
+  uint32_t Ip = 0;
+  uint32_t RetDst = 0; ///< ir::Reg; ir::NoReg when no return slot.
+  std::vector<uint64_t> Regs;
+};
+
+struct ThreadSnapshot {
+  uint32_t Tid = 0;
+  uint8_t State = 0;  ///< ThreadState (normalized; never Running).
+  uint8_t Reason = 0; ///< BlockReason.
+  uint32_t WaitObject = 0;
+  uint64_t WakeTime = 0;
+  uint64_t ReadyTime = 0;
+  uint64_t BlockStart = 0;
+  uint64_t Instret = 0;
+  uint64_t RetValue = 0;
+  int64_t PendingMutex = -1;
+  std::vector<FrameSnapshot> Stack;
+  std::vector<HeldWeakLock> HeldWeak;
+  std::vector<HeldWeakLock> PendingReacquire;
+  std::vector<uint32_t> JoinWaiters;
+};
+
+/// Sync-object state that survives normalization. Mutex wait queues are
+/// deliberately absent (see file comment); barrier and condvar queues
+/// are kept because their wake paths are mode-independent.
+struct SyncObjectSnapshot {
+  int64_t Owner = -1;
+  uint64_t Generation = 0;
+  std::vector<uint32_t> Arrived;
+  std::vector<uint64_t> ArrivedTimes;
+  std::vector<uint32_t> CondWaiters;
+};
+
+struct ReadySnapshot {
+  uint32_t Tid = 0;
+  uint64_t ReadyTime = 0;
+};
+
+struct MachineSnapshot {
+  // -- Log position at capture.
+  std::vector<uint32_t> GateCursors;  ///< Per ordered object: consumed.
+  std::vector<uint32_t> InputCursors; ///< Per thread: inputs consumed.
+  uint64_t RevocationsDone = 0;       ///< Prefix of the revocation list.
+  uint64_t LogEventsAtCapture = 0;    ///< Total log records at capture.
+
+  // -- Machine state.
+  std::vector<ThreadSnapshot> Threads; ///< Tid order.
+  std::vector<SyncObjectSnapshot> Syncs;
+  std::vector<ReadySnapshot> ReadyQueue; ///< FIFO order at capture.
+  std::vector<uint64_t> CoreTimes;
+  std::vector<uint64_t> Output;
+
+  // -- Memory contents (full; the codec deltas them).
+  std::vector<uint64_t> GlobalWords;
+  std::vector<uint64_t> HeapWords; ///< Exactly HeapUsed words.
+  uint64_t HeapUsed = 0;
+
+  /// Fingerprint of memory + output at capture, same formula as
+  /// ExecutionResult::StateHash. A restored checkpoint is validated
+  /// against it, so a corrupt-but-CRC-colliding delta cannot silently
+  /// diverge.
+  uint64_t StateHash = 0;
+};
+
+/// Recomputes what \c StateHash must be from the snapshot's own memory
+/// and output (the ExecutionResult::StateHash formula). The storage
+/// layer uses the mismatch as end-to-end corruption detection after
+/// reassembling checkpoint memory from deltas.
+uint64_t snapshotStateHash(const MachineSnapshot &Snap);
+
+} // namespace rt
+} // namespace chimera
+
+#endif // CHIMERA_RUNTIME_SNAPSHOT_H

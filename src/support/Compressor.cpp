@@ -102,30 +102,87 @@ std::vector<uint8_t> chimera::lzCompress(const std::vector<uint8_t> &Input) {
 }
 
 std::vector<uint8_t> chimera::lzDecompress(const std::vector<uint8_t> &Input) {
+  support::Expected<std::vector<uint8_t>> Out = lzDecompressEx(Input);
+  assert(Out.hasValue() && "lzDecompress on malformed input");
+  if (!Out)
+    return {}; // Release builds: empty, never UB.
+  return Out.take();
+}
+
+namespace {
+
+/// Varint read that reports truncation/overlength instead of asserting;
+/// compressed bytes here come from disk and may be corrupt.
+bool readVarintChecked(const std::vector<uint8_t> &Data, size_t &Pos,
+                       uint64_t &Value) {
+  Value = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Data.size())
+      return false;
+    uint8_t Byte = Data[Pos++];
+    Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+  }
+  return false;
+}
+
+support::Error corrupt(const char *What, size_t Pos) {
+  return support::Error::failure("corrupt compressed data at byte " +
+                                 std::to_string(Pos) + ": " + What);
+}
+
+} // namespace
+
+support::Expected<std::vector<uint8_t>>
+chimera::lzDecompressEx(const std::vector<uint8_t> &Input,
+                        uint64_t MaxOutput) {
   size_t Pos = 0;
-  uint64_t ExpectedSize = readVarint(Input, Pos);
+  uint64_t ExpectedSize = 0;
+  if (!readVarintChecked(Input, Pos, ExpectedSize))
+    return corrupt("truncated size prefix", Pos);
+  if (ExpectedSize > MaxOutput)
+    return support::Error::failure(
+        "corrupt compressed data: declared size " +
+        std::to_string(ExpectedSize) + " exceeds limit " +
+        std::to_string(MaxOutput));
+
   std::vector<uint8_t> Out;
   Out.reserve(ExpectedSize);
 
   for (;;) {
-    uint64_t LitLen = readVarint(Input, Pos);
-    assert(Pos + LitLen <= Input.size() && "truncated literal run");
+    uint64_t LitLen = 0;
+    if (!readVarintChecked(Input, Pos, LitLen))
+      return corrupt("truncated literal length", Pos);
+    if (LitLen > Input.size() - Pos)
+      return corrupt("literal run past end", Pos);
+    if (Out.size() + LitLen > ExpectedSize)
+      return corrupt("output exceeds declared size", Pos);
     Out.insert(Out.end(), Input.begin() + Pos, Input.begin() + Pos + LitLen);
     Pos += LitLen;
 
-    assert(Pos < Input.size() && "missing match token");
+    if (Pos >= Input.size())
+      return corrupt("missing match token", Pos);
     uint8_t LenCode = Input[Pos++];
     if (LenCode == 0)
       break;
     size_t MatchLen = LenCode - 1 + MinMatch;
-    uint64_t Dist = readVarint(Input, Pos);
-    assert(Dist != 0 && Dist <= Out.size() && "bad match distance");
+    uint64_t Dist = 0;
+    if (!readVarintChecked(Input, Pos, Dist))
+      return corrupt("truncated match distance", Pos);
+    if (Dist == 0 || Dist > Out.size())
+      return corrupt("match distance out of range", Pos);
+    if (Out.size() + MatchLen > ExpectedSize)
+      return corrupt("output exceeds declared size", Pos);
     size_t From = Out.size() - Dist;
     for (size_t I = 0; I != MatchLen; ++I)
       Out.push_back(Out[From + I]); // May overlap; copy byte-by-byte.
   }
 
-  assert(Out.size() == ExpectedSize && "decompressed size mismatch");
+  if (Out.size() != ExpectedSize)
+    return corrupt("decompressed size mismatch", Pos);
+  if (Pos != Input.size())
+    return corrupt("trailing bytes", Pos);
   return Out;
 }
 

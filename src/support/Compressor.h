@@ -15,6 +15,8 @@
 #ifndef CHIMERA_SUPPORT_COMPRESSOR_H
 #define CHIMERA_SUPPORT_COMPRESSOR_H
 
+#include "support/Expected.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -35,8 +37,24 @@ int64_t zigzagDecode(uint64_t Value);
 /// Compresses \p Input with a greedy LZ77 (window 64 KiB, min match 4).
 std::vector<uint8_t> lzCompress(const std::vector<uint8_t> &Input);
 
-/// Inverse of lzCompress.
+/// Inverse of lzCompress for trusted, in-process bytes (asserts on
+/// malformed input). Bytes that crossed a disk or a network are
+/// untrusted — decompress those with lzDecompressEx.
 std::vector<uint8_t> lzDecompress(const std::vector<uint8_t> &Input);
+
+/// Cap on the declared uncompressed size lzDecompressEx will honor.
+/// A corrupt size prefix must not drive a multi-gigabyte allocation
+/// before the first payload byte is even examined.
+inline const uint64_t MaxDecompressedBytes = uint64_t(1) << 30;
+
+/// Fully bounds-checked inverse of lzCompress: truncated varints,
+/// literal runs past the end, match distances reaching before the
+/// start, a declared uncompressed size exceeding \p MaxOutput, and a
+/// size prefix that disagrees with the decoded byte count all yield a
+/// typed Error instead of UB.
+support::Expected<std::vector<uint8_t>>
+lzDecompressEx(const std::vector<uint8_t> &Input,
+               uint64_t MaxOutput = MaxDecompressedBytes);
 
 /// Returns lzCompress(Input).size(); convenience for size accounting.
 size_t compressedSize(const std::vector<uint8_t> &Input);

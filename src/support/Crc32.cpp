@@ -1,0 +1,43 @@
+//===- support/Crc32.cpp - CRC-32 checksums --------------------------------===//
+
+#include "support/Crc32.h"
+
+using namespace chimera;
+using namespace chimera::support;
+
+namespace {
+
+struct Crc32Table {
+  uint32_t Entry[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (unsigned K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      Entry[I] = C;
+    }
+  }
+};
+
+const Crc32Table &table() {
+  static const Crc32Table T;
+  return T;
+}
+
+} // namespace
+
+Crc32 &Crc32::update(const void *Data, size_t Size) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  const Crc32Table &T = table();
+  uint32_t C = State;
+  for (size_t I = 0; I != Size; ++I)
+    C = T.Entry[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  State = C;
+  return *this;
+}
+
+uint32_t chimera::support::crc32(const void *Data, size_t Size) {
+  Crc32 C;
+  C.update(Data, Size);
+  return C.value();
+}

@@ -1,0 +1,59 @@
+//===- support/Crc32.h - CRC-32 checksums -----------------------*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for log segment
+/// integrity. The segmented log format checksums every segment header
+/// and payload so a flipped bit on disk is detected before any byte is
+/// decoded (see docs/LOG_FORMAT.md). Table-driven, deterministic, and
+/// incremental so the writer can checksum as it frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_SUPPORT_CRC32_H
+#define CHIMERA_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chimera {
+namespace support {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+public:
+  Crc32 &update(const void *Data, size_t Size);
+  Crc32 &update(const std::vector<uint8_t> &Data) {
+    return update(Data.data(), Data.size());
+  }
+
+  /// Finalized checksum of everything fed so far. Does not reset; more
+  /// updates may follow.
+  uint32_t value() const { return ~State; }
+
+private:
+  uint32_t State = 0xffffffffu;
+};
+
+/// One-shot CRC-32 of \p Size bytes at \p Data.
+uint32_t crc32(const void *Data, size_t Size);
+
+inline uint32_t crc32(const std::vector<uint8_t> &Data) {
+  return crc32(Data.data(), Data.size());
+}
+
+/// One-shot CRC-32 of a byte range inside \p Data; the caller
+/// guarantees the range is in bounds.
+inline uint32_t crc32Range(const std::vector<uint8_t> &Data, size_t Begin,
+                           size_t Size) {
+  return crc32(Data.data() + Begin, Size);
+}
+
+} // namespace support
+} // namespace chimera
+
+#endif // CHIMERA_SUPPORT_CRC32_H

@@ -345,8 +345,13 @@ TEST(ObsPipeline, ReplayPublishesProgressAndDecodeMetrics) {
   rt::ExecutionResult Rec = P->record(5);
   ASSERT_TRUE(Rec.Ok) << Rec.Error;
 
+  // Deliberately exercises the deprecated wrapper: its replay.decode.*
+  // compat metrics must keep publishing through the deprecation window.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   auto Decoded =
       replay::decode(replay::encodeLog(Rec.Log), P->metricsRegistry());
+#pragma GCC diagnostic pop
   ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().message();
   rt::ExecutionResult Rep = P->replay(*Decoded);
   ASSERT_TRUE(Rep.Ok) << Rep.Error;
@@ -460,7 +465,14 @@ TEST(Compressor, RoundTripsPastWindowSize) {
 
 //===----------------------------------------------------------------------===//
 // Truncated-log decoding (typed errors, never UB)
+//
+// These sweeps pin the legacy flat parser behind the deprecated
+// decode() wrapper; the segmented format's fault matrix lives in
+// tests/log_engine_test.cpp.
 //===----------------------------------------------------------------------===//
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace {
 
@@ -510,3 +522,5 @@ TEST(LogDecode, IntactLogStillDecodes) {
   EXPECT_EQ(Decoded->NumThreads, 2u);
   EXPECT_EQ(Decoded->Revocations.size(), 1u);
 }
+
+#pragma GCC diagnostic pop

@@ -13,7 +13,13 @@
 //   chimera ir      prog.mc [--instrumented]
 //   chimera run     prog.mc [--seed N] [--cores N]
 //   chimera record  prog.mc -o run.clog [--seed N] [--cores N]
-//   chimera replay  prog.mc run.clog
+//                   [--segment-bytes N] [--checkpoint-every N]
+//   chimera replay  prog.mc run.clog [--verify-log]
+//
+// `record` streams events into the crash-safe segmented log format
+// (docs/LOG_FORMAT.md) with periodic state checkpoints; `replay` reads
+// segmented logs through the streaming reader (recovering what it can
+// from damaged files) and still accepts pre-segmented flat logs.
 //
 // Observability is uniform across commands: `--metrics[=json|table]`
 // prints the pipeline's registry snapshot after the command finishes,
@@ -28,8 +34,10 @@
 #include "core/Pipeline.h"
 #include "ir/Printer.h"
 #include "replay/LogCodec.h"
+#include "replay/LogReader.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -57,15 +65,6 @@ bool readBytes(const std::string &Path, std::vector<uint8_t> &Out) {
   Out.assign(std::istreambuf_iterator<char>(In),
              std::istreambuf_iterator<char>());
   return true;
-}
-
-bool writeBytes(const std::string &Path, const std::vector<uint8_t> &Data) {
-  std::ofstream OutStream(Path, std::ios::binary);
-  if (!OutStream)
-    return false;
-  OutStream.write(reinterpret_cast<const char *>(Data.data()),
-                  static_cast<std::streamsize>(Data.size()));
-  return OutStream.good();
 }
 
 void printOutput(const rt::ExecutionResult &R) {
@@ -161,6 +160,8 @@ int main(int argc, char **argv) {
   Config.Mhp = Opts.Mhp;
   Config.Observability = ObsMode;
   Config.Trace = Trace.get();
+  Config.SegmentBytes = Opts.SegmentBytes;
+  Config.CheckpointEvery = Opts.CheckpointEvery;
   auto MaybePipeline =
       core::ChimeraPipeline::fromSource(Source, Source, Config);
   if (!MaybePipeline) {
@@ -254,25 +255,21 @@ int main(int argc, char **argv) {
   }
 
   if (Command == "record") {
-    auto R = Pipeline->record(Opts.Seed);
-    if (!R.Ok) {
-      std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
-      return 1;
-    }
-    printOutput(R);
-    printStats(R);
     std::string OutPath = Opts.OutPath.empty() ? Path + ".clog"
                                                : Opts.OutPath;
-    std::vector<uint8_t> Bytes = replay::encodeLog(R.Log);
-    if (!writeBytes(OutPath, Bytes)) {
-      std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    auto MaybeR = Pipeline->recordStreamed(OutPath, Opts.Seed);
+    if (!MaybeR) {
+      std::fprintf(stderr, "%s\n", MaybeR.error().message().c_str());
       return 1;
     }
+    rt::ExecutionResult R = MaybeR.take();
+    printOutput(R);
+    printStats(R);
     auto Sizes = replay::measureLog(R.Log);
     std::fprintf(stderr,
-                 "[chimera] log written to %s (%zu bytes; compresses to "
+                 "[chimera] segmented log written to %s (compresses to "
                  "%llu input + %llu order)\n",
-                 OutPath.c_str(), Bytes.size(),
+                 OutPath.c_str(),
                  static_cast<unsigned long long>(Sizes.InputCompressed),
                  static_cast<unsigned long long>(Sizes.OrderCompressed));
     return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
@@ -288,13 +285,67 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot read %s\n", Opts.LogPath.c_str());
       return 1;
     }
-    auto Log = replay::decode(Bytes, Pipeline->metricsRegistry());
-    if (!Log) {
-      std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
-                   Log.error().message().c_str());
-      return 1;
+
+    rt::ExecutionLog DecodedLog;
+    bool Segmented =
+        Bytes.size() >= 4 &&
+        std::memcmp(Bytes.data(), replay::FileMagic, 4) == 0;
+    if (Segmented) {
+      replay::LogReader::Options ROpts;
+      ROpts.ExpectedFingerprint = Pipeline->workloadFingerprint();
+      ROpts.CheckFingerprint = true;
+      ROpts.Metrics = Pipeline->metricsRegistry();
+      auto Reader = replay::LogReader::open(std::move(Bytes), ROpts);
+      if (!Reader) {
+        std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
+                     Reader.error().message().c_str());
+        return 1;
+      }
+      replay::LogReader::RecoveredLog RL = Reader->recover();
+      if (Opts.VerifyLog) {
+        std::printf("%s: %llu segment(s), %llu record(s), %llu "
+                    "checkpoint(s); %s\n",
+                    Opts.LogPath.c_str(),
+                    static_cast<unsigned long long>(RL.SegmentsRead),
+                    static_cast<unsigned long long>(RL.RecordsRecovered),
+                    static_cast<unsigned long long>(RL.CheckpointsMerged),
+                    RL.Complete ? "complete"
+                                : RL.Failure.message().c_str());
+        return RL.Complete ? 0 : 1;
+      }
+      if (!RL.Complete) {
+        std::fprintf(stderr,
+                     "%s: %s\n[chimera] recovered %llu record(s) across "
+                     "%llu segment(s) before the damage "
+                     "(--verify-log for details)\n",
+                     Opts.LogPath.c_str(), RL.Failure.message().c_str(),
+                     static_cast<unsigned long long>(RL.RecordsRecovered),
+                     static_cast<unsigned long long>(RL.SegmentsRead));
+        return 1;
+      }
+      DecodedLog = std::move(RL.Log);
+    } else {
+      if (Opts.VerifyLog) {
+        std::fprintf(stderr,
+                     "%s: not a segmented log; --verify-log only "
+                     "validates the segmented format\n",
+                     Opts.LogPath.c_str());
+        return 1;
+      }
+      // Pre-segmented flat logs stay replayable through the deprecation
+      // window of the old whole-buffer decoder.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      auto Log = replay::decode(Bytes, Pipeline->metricsRegistry());
+#pragma GCC diagnostic pop
+      if (!Log) {
+        std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
+                     Log.error().message().c_str());
+        return 1;
+      }
+      DecodedLog = Log.take();
     }
-    auto R = Pipeline->replay(*Log);
+    auto R = Pipeline->replay(DecodedLog);
     if (!R.Ok) {
       std::fprintf(stderr, "replay error: %s\n", R.Error.c_str());
       return 1;
