@@ -91,6 +91,15 @@ const std::vector<OptionSpec> &core::optionTable() {
          O.CheckpointEvery = V;
          return support::Error::success();
        }},
+      {"--replay-jobs", "N", false,
+       "with `replay`: epochs replayed concurrently, partitioned at "
+       "checkpoints (default 1 = sequential; result is bit-identical "
+       "for every N)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsignedFits(A, O.ReplayJobs) || O.ReplayJobs == 0)
+           return badValue("--replay-jobs", A);
+         return support::Error::success();
+       }},
       {"--verify-log", nullptr, false,
        "with `replay`: scan and validate the log (segments, CRCs, "
        "checkpoints) without replaying",

@@ -54,6 +54,7 @@ struct CliOptions {
   // -- Streamed log storage (record/replay).
   uint64_t SegmentBytes = 64 * 1024; ///< --segment-bytes.
   uint64_t CheckpointEvery = 4096;   ///< --checkpoint-every (0 = off).
+  unsigned ReplayJobs = 1;           ///< --replay-jobs (1 = sequential).
   bool VerifyLog = false; ///< replay: validate the log, don't replay.
   analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
   instrument::PlannerOptions Planner = instrument::PlannerOptions::full();

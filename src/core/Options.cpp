@@ -25,6 +25,9 @@ support::Error PipelineConfig::validate() const {
     return support::Error::failure(
         "AnalysisJobs must be in [0, 512] (0 = auto), got " +
         std::to_string(AnalysisJobs));
+  if (ReplayJobs == 0 || ReplayJobs > 512)
+    return support::Error::failure(
+        "ReplayJobs must be in [1, 512], got " + std::to_string(ReplayJobs));
   // Below this a segment barely fits its own 32-byte header's worth of
   // records; it is certainly a typo'd --segment-bytes.
   if (SegmentBytes < 512)

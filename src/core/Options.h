@@ -79,6 +79,12 @@ struct PipelineConfig {
   /// last checkpoint instead of re-executing from the start.
   uint64_t CheckpointEvery = 4096;
 
+  /// Epoch-parallel replay width for ChimeraPipeline::replayParallel:
+  /// the log is partitioned at its checkpoints into up to this many
+  /// epochs replayed concurrently on the analysis pool. 1 replays
+  /// sequentially. Results are bit-identical for every value.
+  unsigned ReplayJobs = 1;
+
   /// Observability. Off (the default) creates no registry at all —
   /// Pipeline::metrics() fails and no instrumentation site pays more
   /// than a null-pointer test. Sampled and Full both create a

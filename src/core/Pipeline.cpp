@@ -386,6 +386,24 @@ ChimeraPipeline::replayResumed(const rt::ExecutionLog &Log,
   return Machine.run();
 }
 
+replay::ParallelReplayer::Result
+ChimeraPipeline::replayParallel(replay::LogReader &Reader, unsigned Jobs) {
+  if (support::Error E = ensureAuditedPlan()) {
+    replay::ParallelReplayer::Result Res;
+    Res.Exec = auditFailure(E);
+    return Res;
+  }
+  replay::ParallelReplayer::Options PO;
+  PO.Jobs = Jobs ? Jobs : Config.ReplayJobs;
+  PO.Pool = &pool();
+  PO.Metrics = ObsRegistry.get();
+  PO.Machine.NumCores = Config.NumCores;
+  PO.Machine.Costs = Config.Costs;
+  PO.Machine.DispatchBatch = Config.DispatchBatch;
+  PO.Machine.WeakLockTimeout = Config.WeakLockTimeout;
+  return replay::ParallelReplayer::replay(instrumentedModule(), Reader, PO);
+}
+
 ChimeraPipeline::RecordReplayOutcome ChimeraPipeline::recordAndReplay(
     uint64_t Seed) {
   RecordReplayOutcome Outcome;

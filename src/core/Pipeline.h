@@ -45,6 +45,7 @@
 #include "instrument/PlanAuditor.h"
 #include "race/DynamicDetector.h"
 #include "race/RelayDetector.h"
+#include "replay/ParallelReplayer.h"
 #include "runtime/Machine.h"
 #include "support/Expected.h"
 #include "support/ThreadPool.h"
@@ -134,6 +135,18 @@ public:
   rt::ExecutionResult replayResumed(const rt::ExecutionLog &Log,
                                     const rt::MachineSnapshot &Snap,
                                     rt::ExecutionObserver *Obs = nullptr);
+
+  /// Epoch-parallel replay of the segmented log behind \p Reader:
+  /// partitions the log at its checkpoints into up to \p Jobs epochs
+  /// (0 = Config.ReplayJobs), replays them concurrently on the analysis
+  /// pool, and stitches — state, output, merged log, and event-counter
+  /// stats bit-identical to sequential recovery + replay for any job
+  /// count, including on damaged logs (the parallel path falls back to
+  /// sequential whenever anything disagrees). Like replayResumed, the
+  /// simulated-clock makespan follows the recorded core clocks stored
+  /// in the checkpoints, not a cold replay's. Repositions \p Reader.
+  replay::ParallelReplayer::Result
+  replayParallel(replay::LogReader &Reader, unsigned Jobs = 0);
 
   /// Fingerprint of the instrumented workload (module shape, weak-lock
   /// space, core count), stamped into streamed log headers so a log

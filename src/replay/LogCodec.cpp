@@ -2,13 +2,7 @@
 
 #include "replay/LogCodec.h"
 
-#include "replay/LogFormat.h"
-#include "replay/LogReader.h"
 #include "support/Compressor.h"
-
-#include <cassert>
-#include <chrono>
-#include <cstring>
 
 using namespace chimera;
 using namespace chimera::replay;
@@ -59,155 +53,6 @@ std::vector<uint8_t> chimera::replay::encodeLog(const ExecutionLog &Log) {
   appendVarint(Out, Inputs.size());
   Out.insert(Out.end(), Inputs.begin(), Inputs.end());
   return Out;
-}
-
-namespace {
-
-/// Bounds-checked cursor over the encoded bytes. Reads past the end (or
-/// an overlong varint) latch Failed instead of invoking UB; callers
-/// check once at the end.
-struct ByteReader {
-  const std::vector<uint8_t> &Bytes;
-  size_t Pos = 0;
-  bool Failed = false;
-
-  uint64_t varint() {
-    uint64_t Value = 0;
-    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
-      if (Pos >= Bytes.size()) {
-        Failed = true;
-        return 0;
-      }
-      uint8_t Byte = Bytes[Pos++];
-      Value |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
-      if (!(Byte & 0x80))
-        return Value;
-    }
-    Failed = true; // Overlong encoding.
-    return 0;
-  }
-
-  uint8_t byte() {
-    if (Pos >= Bytes.size()) {
-      Failed = true;
-      return 0;
-    }
-    return Bytes[Pos++];
-  }
-
-  /// True when \p Count length-prefixed elements (>= 1 byte each) could
-  /// still fit; guards container reserves against hostile sizes.
-  bool plausibleCount(uint64_t Count) const {
-    return Count <= Bytes.size() - Pos;
-  }
-};
-
-} // namespace
-
-/// The pre-segmented flat format: one varint blob, no framing, no CRCs.
-/// Kept (internal) so logs written before the storage engine existed
-/// stay readable through the deprecation window.
-static support::Expected<ExecutionLog>
-decodeLegacy(const std::vector<uint8_t> &Bytes) {
-  ExecutionLog Log;
-  ByteReader In{Bytes};
-
-  Log.NumSyncObjects = static_cast<uint32_t>(In.varint());
-  Log.NumWeakLocks = static_cast<uint32_t>(In.varint());
-  Log.NumThreads = static_cast<uint32_t>(In.varint());
-
-  uint64_t NumObjects = In.varint();
-  if (In.Failed || !In.plausibleCount(NumObjects))
-    return support::Error::failure("malformed log: bad object count");
-  Log.PerObject.resize(NumObjects);
-  for (auto &Seq : Log.PerObject) {
-    uint64_t Len = In.varint();
-    if (In.Failed || !In.plausibleCount(Len))
-      return support::Error::failure("malformed log: bad order length");
-    Seq.reserve(Len);
-    for (uint64_t I = 0; I != Len; ++I) {
-      uint64_t Packed = In.varint();
-      OrderedEvent E;
-      E.Tid = static_cast<uint32_t>(Packed >> 4);
-      E.Op = static_cast<OrderedOp>(Packed & 0xf);
-      Seq.push_back(E);
-    }
-  }
-
-  uint64_t NumRevocations = In.varint();
-  if (In.Failed || !In.plausibleCount(NumRevocations))
-    return support::Error::failure("malformed log: bad revocation count");
-  for (uint64_t I = 0; I != NumRevocations; ++I) {
-    RevocationEvent R;
-    R.Tid = static_cast<uint32_t>(In.varint());
-    R.LockId = static_cast<uint32_t>(In.varint());
-    R.Instret = In.varint();
-    Log.Revocations.push_back(R);
-  }
-
-  uint64_t InputBytes = In.varint();
-  (void)InputBytes;
-  uint64_t NumThreadsInputs = In.varint();
-  if (In.Failed || !In.plausibleCount(NumThreadsInputs))
-    return support::Error::failure("malformed log: bad thread count");
-  Log.PerThreadInputs.resize(NumThreadsInputs);
-  for (auto &Inputs : Log.PerThreadInputs) {
-    uint64_t Len = In.varint();
-    if (In.Failed || !In.plausibleCount(Len))
-      return support::Error::failure("malformed log: bad input length");
-    Inputs.reserve(Len);
-    for (uint64_t I = 0; I != Len; ++I) {
-      InputEvent E;
-      E.Kind = static_cast<InputKind>(In.byte());
-      E.Value = In.varint();
-      Inputs.push_back(E);
-    }
-  }
-  if (In.Failed)
-    return support::Error::failure("malformed log: truncated input");
-  if (In.Pos != Bytes.size())
-    return support::Error::failure("malformed log: trailing bytes");
-  return Log;
-}
-
-support::Expected<ExecutionLog>
-chimera::replay::decode(const std::vector<uint8_t> &Bytes,
-                        obs::Registry *Metrics) {
-  auto Start = std::chrono::steady_clock::now();
-
-  support::Expected<ExecutionLog> Decoded = [&]() {
-    // Segmented logs route through the streaming reader; the legacy
-    // flat format has no magic, so anything else falls through.
-    if (Bytes.size() >= 4 && std::memcmp(Bytes.data(), FileMagic, 4) == 0) {
-      support::Expected<LogReader> Reader =
-          LogReader::open(Bytes, LogReader::Options());
-      if (!Reader)
-        return support::Expected<ExecutionLog>(Reader.error());
-      LogReader::RecoveredLog RL = Reader->recover();
-      if (!RL.Complete)
-        return support::Expected<ExecutionLog>(
-            RL.Failure.context("incomplete segmented log"));
-      return support::Expected<ExecutionLog>(std::move(RL.Log));
-    }
-    return decodeLegacy(Bytes);
-  }();
-  if (!Decoded)
-    return Decoded.error();
-  ExecutionLog Log = Decoded.take();
-
-  if (Metrics) {
-    uint64_t WallUs = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - Start)
-            .count());
-    obs::Scope S(Metrics, "replay.decode");
-    S.counter("calls").inc();
-    S.counter("bytes").add(Bytes.size());
-    S.counter("events").add(Log.totalOrderedEvents() +
-                            Log.totalInputEvents());
-    S.counter("wall_us").add(WallUs);
-  }
-  return Log;
 }
 
 LogSizes chimera::replay::measureLog(const ExecutionLog &Log) {

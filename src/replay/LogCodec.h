@@ -16,8 +16,6 @@
 #define CHIMERA_REPLAY_LOGCODEC_H
 
 #include "runtime/ExecutionLog.h"
-#include "support/Expected.h"
-#include "support/Metrics.h"
 
 #include <cstdint>
 #include <vector>
@@ -43,23 +41,9 @@ std::vector<uint8_t> encodeOrderLog(const rt::ExecutionLog &Log);
 /// Serializes a whole log.
 std::vector<uint8_t> encodeLog(const rt::ExecutionLog &Log);
 
-/// Inverse of encodeLog. Fully bounds-checked: truncated, overlong, or
-/// trailing-garbage input produces an Error (log files come from disk,
-/// so malformed bytes are an input condition, not a programmer bug).
-///
-/// Deprecated: whole-buffer decoding is superseded by the streaming
-/// replay::LogReader (open / next / seekToCheckpoint / recover), which
-/// also understands checkpoints and recovers damaged files. This wrapper
-/// sniffs the bytes: segmented "CLG1" logs are drained through a
-/// LogReader (and must be complete — use LogReader::recover for damaged
-/// files); anything else goes through the legacy flat parser.
-///
-/// With a registry attached, publishes decode throughput under
-/// "replay.decode.*" (bytes, events, wall microseconds). Decoding is
-/// pure host-side work, so metrics cannot affect the decoded log.
-[[deprecated("use replay::LogReader (streaming) instead")]]
-support::Expected<rt::ExecutionLog>
-decode(const std::vector<uint8_t> &Bytes, obs::Registry *Metrics = nullptr);
+// Decoding lives in replay::LogReader (open / next / checkpoints /
+// recover): streaming, checkpoint-aware, and damage-tolerant. The old
+// whole-buffer `decode` wrapper and its legacy flat format are gone.
 
 /// Raw and compressed sizes of the two log families.
 LogSizes measureLog(const rt::ExecutionLog &Log);

@@ -53,6 +53,37 @@ inline constexpr uint8_t SegFlagHasCheckpoint = 1u << 1;
 inline constexpr uint8_t SegFlagKnownMask =
     SegFlagCompressed | SegFlagHasCheckpoint;
 
+// -- CIDX checkpoint-index footer (format 1.1) -----------------------------
+//
+// An optional trailer after the last segment that lets a reader jump to
+// any checkpoint in O(1) instead of scanning the file:
+//
+//   "CIDX"  entryCount:u32  entry[entryCount]  crc:u32  footerSize:u32
+//
+// Each 32-byte entry is {segmentOffset:u64, seq:u32, payloadPos:u32,
+// stateHash:u64, logEventsAtCapture:u64}. `crc` is the CRC32 of every
+// preceding footer byte (magic through the last entry); `footerSize` is
+// the total footer length including itself, so the footer is located by
+// reading the file's last 4 bytes. The footer is advisory: version 1
+// readers that predate it must (and do) treat a structurally valid
+// trailing footer as end-of-stream, and any reader finding it absent or
+// corrupt falls back to a linear checkpoint scan.
+
+inline constexpr char CidxMagic[4] = {'C', 'I', 'D', 'X'};
+inline constexpr size_t CidxEntryBytes = 32;
+/// Magic + entry count + CRC + footer size.
+inline constexpr size_t CidxFixedBytes = 4 + 4 + 4 + 4;
+
+/// One footer entry: where checkpoint \p Index lives and what it claims.
+struct CidxEntry {
+  uint64_t SegmentOffset = 0; ///< File offset of the owning segment.
+  uint32_t Seq = 0;           ///< Sequence number of that segment.
+  uint32_t PayloadPos = 0;    ///< Offset of the checkpoint record's tag
+                              ///< byte within the decompressed payload.
+  uint64_t StateHash = 0;     ///< Snapshot's end-to-end state hash.
+  uint64_t LogEventsAtCapture = 0;
+};
+
 struct SegmentHeader {
   uint32_t Seq = 0;
   uint8_t Flags = 0;
@@ -94,6 +125,63 @@ inline uint64_t readLe64(const uint8_t *P) {
   for (unsigned I = 0; I != 8; ++I)
     V |= uint64_t(P[I]) << (8 * I);
   return V;
+}
+
+/// Appends a complete CIDX footer for \p Entries.
+inline void appendCidxFooter(std::vector<uint8_t> &Out,
+                             const std::vector<CidxEntry> &Entries) {
+  size_t Start = Out.size();
+  Out.insert(Out.end(), CidxMagic, CidxMagic + 4);
+  appendLe32(Out, static_cast<uint32_t>(Entries.size()));
+  for (const CidxEntry &E : Entries) {
+    appendLe64(Out, E.SegmentOffset);
+    appendLe32(Out, E.Seq);
+    appendLe32(Out, E.PayloadPos);
+    appendLe64(Out, E.StateHash);
+    appendLe64(Out, E.LogEventsAtCapture);
+  }
+  uint32_t Crc = support::crc32(Out.data() + Start, Out.size() - Start);
+  appendLe32(Out, Crc);
+  appendLe32(Out, static_cast<uint32_t>(Out.size() - Start + 4));
+}
+
+/// Validates a CIDX footer ending at \p End (one past the last byte) of
+/// \p Bytes and, on success, fills \p Entries and \p FooterStart (the
+/// offset of the footer's first byte). Returns false on any structural
+/// or CRC mismatch — the caller falls back to a linear scan; this is
+/// never an error.
+inline bool readCidxFooter(const std::vector<uint8_t> &Bytes, size_t End,
+                           std::vector<CidxEntry> &Entries,
+                           size_t &FooterStart) {
+  if (End > Bytes.size() || End < CidxFixedBytes)
+    return false;
+  uint32_t FooterSize = readLe32(Bytes.data() + End - 4);
+  if (FooterSize < CidxFixedBytes || FooterSize > End)
+    return false;
+  size_t Start = End - FooterSize;
+  const uint8_t *P = Bytes.data() + Start;
+  if (std::memcmp(P, CidxMagic, 4) != 0)
+    return false;
+  uint32_t Count = readLe32(P + 4);
+  if (FooterSize != CidxFixedBytes + uint64_t(Count) * CidxEntryBytes)
+    return false;
+  uint32_t Crc = readLe32(Bytes.data() + End - 8);
+  if (support::crc32(P, FooterSize - 8) != Crc)
+    return false;
+  Entries.clear();
+  Entries.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    const uint8_t *E = P + 8 + size_t(I) * CidxEntryBytes;
+    CidxEntry Entry;
+    Entry.SegmentOffset = readLe64(E);
+    Entry.Seq = readLe32(E + 8);
+    Entry.PayloadPos = readLe32(E + 12);
+    Entry.StateHash = readLe64(E + 16);
+    Entry.LogEventsAtCapture = readLe64(E + 24);
+    Entries.push_back(Entry);
+  }
+  FooterStart = Start;
+  return true;
 }
 
 // -- Header encoding -------------------------------------------------------

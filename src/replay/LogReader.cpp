@@ -19,6 +19,30 @@ using support::Expected;
 // Opening
 //===----------------------------------------------------------------------===//
 
+/// Structural sanity over decoded footer entries: offsets inside the
+/// data region, stream order strictly increasing. A footer that fails
+/// this is ignored (linear scan), never an error.
+static bool footerEntriesSane(const std::vector<CidxEntry> &Entries,
+                              size_t FooterStart) {
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const CidxEntry &E = Entries[I];
+    if (E.SegmentOffset < FileHeaderBytes ||
+        E.SegmentOffset + SegmentHeaderBytes > FooterStart)
+      return false;
+    if (I == 0)
+      continue;
+    const CidxEntry &P = Entries[I - 1];
+    if (E.Seq < P.Seq || E.SegmentOffset < P.SegmentOffset)
+      return false;
+    if (E.SegmentOffset == P.SegmentOffset &&
+        (E.Seq != P.Seq || E.PayloadPos <= P.PayloadPos))
+      return false;
+    if (E.SegmentOffset != P.SegmentOffset && E.Seq == P.Seq)
+      return false;
+  }
+  return true;
+}
+
 Expected<LogReader> LogReader::open(std::vector<uint8_t> Bytes, Options Opts) {
   if (Bytes.size() < FileHeaderBytes)
     return Error::failure("log file truncated: " +
@@ -43,9 +67,34 @@ Expected<LogReader> LogReader::open(std::vector<uint8_t> Bytes, Options Opts) {
         std::to_string(Fingerprint) + ", expected " +
         std::to_string(Opts.ExpectedFingerprint));
 
-  LogReader Reader(std::move(Bytes), Opts);
+  LogReader Reader(
+      std::make_shared<const std::vector<uint8_t>>(std::move(Bytes)), Opts);
   Reader.Fingerprint = Fingerprint;
+  Reader.DataEnd = Reader.Data->size();
+
+  // CIDX footer (format 1.1): advisory checkpoint index after the last
+  // segment. Structurally valid -> the footer region is excluded from
+  // the record stream (clean EOF at DataEnd); anything less -> ignored,
+  // checkpoint queries fall back to the linear scan.
+  std::vector<CidxEntry> Entries;
+  size_t FooterStart = 0;
+  if (readCidxFooter(*Reader.Data, Reader.Data->size(), Entries,
+                     FooterStart) &&
+      footerEntriesSane(Entries, FooterStart)) {
+    Reader.HaveFooter = true;
+    Reader.FooterEntries = std::move(Entries);
+    Reader.DataEnd = FooterStart;
+  }
   return Reader;
+}
+
+LogReader LogReader::fork() const {
+  LogReader R(Data, Opts);
+  R.Fingerprint = Fingerprint;
+  R.DataEnd = DataEnd;
+  R.HaveFooter = HaveFooter;
+  R.FooterEntries = FooterEntries;
+  return R;
 }
 
 Expected<LogReader> LogReader::openFile(const std::string &Path,
@@ -75,17 +124,17 @@ Error LogReader::segError(const std::string &What) const {
 }
 
 Expected<bool> LogReader::loadNextSegment() {
-  if (FileOffset == Bytes.size())
-    return false; // Clean end of file.
+  if (FileOffset == DataEnd)
+    return false; // Clean end of file (any CIDX footer follows).
 
   CurSeq = NextSeq;
   CurSegmentOffset = FileOffset;
-  if (Bytes.size() - FileOffset < SegmentHeaderBytes)
-    return segError("truncated header (" +
-                    std::to_string(Bytes.size() - FileOffset) + " of " +
-                    std::to_string(SegmentHeaderBytes) + " bytes)");
+  size_t HeaderAvail = FileOffset < DataEnd ? DataEnd - FileOffset : 0;
+  if (HeaderAvail < SegmentHeaderBytes)
+    return segError("truncated header (" + std::to_string(HeaderAvail) +
+                    " of " + std::to_string(SegmentHeaderBytes) + " bytes)");
 
-  const uint8_t *H = Bytes.data() + FileOffset;
+  const uint8_t *H = Data->data() + FileOffset;
   uint32_t StoredHeaderCrc = readLe32(H + 28);
   if (support::crc32(H, 28) != StoredHeaderCrc)
     return segError("header CRC mismatch");
@@ -116,11 +165,11 @@ Expected<bool> LogReader::loadNextSegment() {
     return segError("implausible raw size " + std::to_string(RawSize));
 
   size_t PayloadOffset = FileOffset + SegmentHeaderBytes;
-  if (Bytes.size() - PayloadOffset < StoredSize)
+  if (DataEnd - PayloadOffset < StoredSize)
     return segError("truncated payload (" +
-                    std::to_string(Bytes.size() - PayloadOffset) + " of " +
+                    std::to_string(DataEnd - PayloadOffset) + " of " +
                     std::to_string(StoredSize) + " bytes)");
-  const uint8_t *Stored = Bytes.data() + PayloadOffset;
+  const uint8_t *Stored = Data->data() + PayloadOffset;
   if (support::crc32(Stored, StoredSize) != PayloadCrc)
     return segError("payload CRC mismatch");
 
@@ -160,7 +209,7 @@ Expected<bool> LogReader::next(Record &Out) {
   while (!HaveSegment || PayloadPos == Payload.size()) {
     HaveSegment = false;
     if (SawEnd) {
-      if (FileOffset != Bytes.size()) {
+      if (FileOffset != DataEnd) {
         CurSeq = NextSeq;
         CurSegmentOffset = FileOffset;
         return segError("data after the End record");
@@ -180,6 +229,7 @@ Expected<bool> LogReader::next(Record &Out) {
                           ": record after the End record");
   }
 
+  RecStart = PayloadPos;
   ByteCursor C;
   C.Data = Payload.data();
   C.Size = Payload.size();
@@ -271,48 +321,227 @@ void LogReader::rewind() {
   SegmentsLoaded = 0;
   Payload.clear();
   PayloadPos = 0;
+  RecStart = 0;
   HaveSegment = false;
   AccumGlobal.clear();
   AccumHeap.clear();
+  // Footer knowledge and the cached checkpoint list survive: the bytes
+  // are immutable.
 }
 
 //===----------------------------------------------------------------------===//
-// Checkpoint seek
+// Checkpoint access
 //===----------------------------------------------------------------------===//
 
-Expected<rt::MachineSnapshot> LogReader::seekToCheckpoint() {
-  // Pass 1: find the last checkpoint the stream can actually reach — a
-  // checkpoint is restorable exactly when next() decoded it, since its
-  // delta pages accumulate over every earlier segment.
-  rewind();
+static LogReader::CheckpointInfo infoFromEntry(const CidxEntry &E,
+                                               size_t Index) {
+  LogReader::CheckpointInfo CI;
+  CI.Index = Index;
+  CI.SegmentOffset = E.SegmentOffset;
+  CI.Seq = E.Seq;
+  CI.PayloadPos = E.PayloadPos;
+  CI.StateHash = E.StateHash;
+  CI.LogEventsAtCapture = E.LogEventsAtCapture;
+  return CI;
+}
+
+void LogReader::invalidateFooter() {
+  HaveFooter = false;
+  FooterEntries.clear();
+  InfosValid = false;
+  CachedInfos.clear();
+}
+
+std::vector<LogReader::CheckpointInfo>
+LogReader::scanCheckpoints(std::vector<rt::MachineSnapshot> *Snaps) const {
+  // One pass on a fork: a checkpoint is restorable exactly when next()
+  // decoded it, since its delta pages accumulate over every earlier
+  // segment. Corruption past the last good checkpoint bounds the list.
+  std::vector<CheckpointInfo> Infos;
+  LogReader Scan = fork();
   Record R;
-  uint64_t RecordIndex = 0, LastCheckpointIndex = 0;
-  bool Found = false;
   for (;;) {
-    Expected<bool> Got = next(R);
+    Expected<bool> Got = Scan.next(R);
     if (!Got || !*Got)
-      break; // Corruption past the last checkpoint is not our problem.
-    ++RecordIndex;
-    if (R.Tag == RecordTag::Checkpoint) {
-      LastCheckpointIndex = RecordIndex;
-      Found = true;
-    }
+      break;
+    if (R.Tag != RecordTag::Checkpoint)
+      continue;
+    CheckpointInfo CI;
+    CI.Index = Infos.size();
+    CI.SegmentOffset = Scan.CurSegmentOffset;
+    CI.Seq = Scan.CurSeq;
+    CI.PayloadPos = static_cast<uint32_t>(Scan.RecStart);
+    CI.StateHash = R.Snapshot.StateHash;
+    CI.LogEventsAtCapture = R.Snapshot.LogEventsAtCapture;
+    Infos.push_back(CI);
+    if (Snaps)
+      Snaps->push_back(std::move(R.Snapshot));
   }
-  if (!Found) {
+  return Infos;
+}
+
+const std::vector<LogReader::CheckpointInfo> &LogReader::checkpoints() {
+  if (InfosValid)
+    return CachedInfos;
+  CachedInfos.clear();
+  if (HaveFooter) {
+    for (size_t I = 0; I != FooterEntries.size(); ++I)
+      CachedInfos.push_back(infoFromEntry(FooterEntries[I], I));
+  } else {
+    CachedInfos = scanCheckpoints(nullptr);
+  }
+  InfosValid = true;
+  return CachedInfos;
+}
+
+support::Error LogReader::positionAfter(const CheckpointInfo &At,
+                                        const rt::MachineSnapshot *Resume) {
+  rewind();
+  if (At.SegmentOffset < FileHeaderBytes || At.SegmentOffset >= DataEnd)
+    return Error::failure("checkpoint index entry points outside the data "
+                          "region (segment offset " +
+                          std::to_string(At.SegmentOffset) + ")");
+  FileOffset = At.SegmentOffset;
+  NextSeq = At.Seq;
+  Expected<bool> Loaded = loadNextSegment();
+  if (!Loaded)
+    return Loaded.error();
+  if (!*Loaded)
+    return Error::failure("checkpoint index entry addresses no segment");
+
+  ByteCursor C(Payload);
+  C.Pos = At.PayloadPos;
+  uint8_t Tag = 0;
+  uint64_t Len = 0;
+  if (At.PayloadPos >= Payload.size() || !C.readByte(Tag) ||
+      Tag != static_cast<uint8_t>(RecordTag::Checkpoint) ||
+      !C.readVarint(Len) || Len > C.remaining())
+    return segError("checkpoint index entry does not address a checkpoint "
+                    "record (payload byte " +
+                    std::to_string(At.PayloadPos) + ")");
+  C.skip(static_cast<size_t>(Len));
+  PayloadPos = C.Pos;
+  RecStart = C.Pos;
+  if (Resume) {
+    AccumGlobal = Resume->GlobalWords;
+    AccumHeap = Resume->HeapWords;
+  }
+  return Error::success();
+}
+
+Expected<LogReader>
+LogReader::openAt(const CheckpointInfo &At,
+                  const rt::MachineSnapshot *Resume) const {
+  LogReader R = fork();
+  if (support::Error E = R.positionAfter(At, Resume))
+    return E;
+  return R;
+}
+
+size_t LogReader::validSegmentPrefixEnd() const {
+  size_t Off = FileHeaderBytes;
+  uint32_t Seq = 0;
+  while (Off != DataEnd) {
+    if (DataEnd - Off < SegmentHeaderBytes)
+      break;
+    const uint8_t *H = Data->data() + Off;
+    if (support::crc32(H, 28) != readLe32(H + 28))
+      break;
+    if (std::memcmp(H, SegmentMagic, 4) != 0 || readLe32(H + 4) != Seq)
+      break;
+    uint8_t Flags = H[8];
+    if ((Flags & ~SegFlagKnownMask) != 0 || H[9] != 0 || H[10] != 0 ||
+        H[11] != 0)
+      break;
+    uint32_t RawSize = readLe32(H + 12);
+    uint32_t StoredSize = readLe32(H + 16);
+    if (RawSize > MaxDecompressedBytes)
+      break;
+    size_t PayloadOffset = Off + SegmentHeaderBytes;
+    if (DataEnd - PayloadOffset < StoredSize)
+      break;
+    if (support::crc32(Data->data() + PayloadOffset, StoredSize) !=
+        readLe32(H + 20))
+      break;
+    if (!(Flags & SegFlagCompressed) && StoredSize != RawSize)
+      break;
+    Off = PayloadOffset + StoredSize;
+    ++Seq;
+  }
+  return Off;
+}
+
+LogReader::CheckpointChain LogReader::loadCheckpointChain() {
+  CheckpointChain Chain;
+  if (HaveFooter) {
+    // Footer fast path: decode only checkpoint-bearing segments, chain
+    // the delta accumulators across them, and hold every snapshot to
+    // the hash the footer (and the snapshot itself) claims. Any
+    // discrepancy discards the footer and rebuilds by scan, so a lying
+    // index can never select a checkpoint sequential recovery rejects.
+    // Entries past the first damaged segment are dropped up front —
+    // their own segments may be pristine, but recovery stops at the
+    // damage, so those checkpoints must never be selected.
+    bool Ok = true;
+    size_t ValidEnd = validSegmentPrefixEnd();
+    LogReader Scan = fork();
+    std::vector<uint64_t> AccumG, AccumH;
+    for (size_t I = 0; I != FooterEntries.size() && Ok; ++I) {
+      CheckpointInfo CI = infoFromEntry(FooterEntries[I], I);
+      if (CI.SegmentOffset >= ValidEnd)
+        break;
+      Scan.rewind();
+      Scan.FileOffset = static_cast<size_t>(CI.SegmentOffset);
+      Scan.NextSeq = CI.Seq;
+      Expected<bool> Loaded = Scan.loadNextSegment();
+      if (!Loaded || !*Loaded) {
+        Ok = false;
+        break;
+      }
+      ByteCursor C(Scan.Payload);
+      C.Pos = CI.PayloadPos;
+      uint8_t Tag = 0;
+      uint64_t Len = 0;
+      if (CI.PayloadPos >= Scan.Payload.size() || !C.readByte(Tag) ||
+          Tag != static_cast<uint8_t>(RecordTag::Checkpoint) ||
+          !C.readVarint(Len) || Len > C.remaining()) {
+        Ok = false;
+        break;
+      }
+      std::vector<uint8_t> Body(C.Data + C.Pos,
+                                C.Data + C.Pos + static_cast<size_t>(Len));
+      Expected<rt::MachineSnapshot> Snap =
+          decodeCheckpoint(Body, AccumG, AccumH);
+      if (!Snap || Snap->StateHash != CI.StateHash ||
+          Snap->LogEventsAtCapture != CI.LogEventsAtCapture) {
+        Ok = false;
+        break;
+      }
+      Chain.Infos.push_back(CI);
+      Chain.Snapshots.push_back(Snap.take());
+    }
+    if (Ok)
+      return Chain;
+    invalidateFooter();
+    Chain = CheckpointChain();
+  }
+
+  Chain.Infos = scanCheckpoints(&Chain.Snapshots);
+  CachedInfos = Chain.Infos;
+  InfosValid = true;
+  return Chain;
+}
+
+Expected<rt::MachineSnapshot> LogReader::seekToCheckpoint() {
+  CheckpointChain Chain = loadCheckpointChain();
+  if (Chain.Infos.empty()) {
     rewind();
     return Error::failure("log contains no restorable checkpoint");
   }
-
-  // Pass 2: re-parse up to and including that checkpoint, leaving the
-  // stream positioned on the first post-checkpoint record.
-  rewind();
-  for (uint64_t I = 0; I != LastCheckpointIndex; ++I) {
-    Expected<bool> Got = next(R);
-    (void)Got;
-    assert(Got && *Got && "validated prefix failed to re-parse");
-  }
-  assert(R.Tag == RecordTag::Checkpoint && "seek landed off-checkpoint");
-  return std::move(R.Snapshot);
+  rt::MachineSnapshot Snap = std::move(Chain.Snapshots.back());
+  if (support::Error E = positionAfter(Chain.Infos.back(), &Snap))
+    return E; // Unreachable after a successful chain decode.
+  return Snap;
 }
 
 //===----------------------------------------------------------------------===//

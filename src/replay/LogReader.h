@@ -12,13 +12,21 @@
 /// typed error naming the segment and offset instead of crashing or
 /// silently diverging.
 ///
-/// Three access patterns:
+/// Four access patterns:
 ///  - next(): pull records in stream order (the core API);
 ///  - seekToCheckpoint(): position the stream just after the last
 ///    restorable checkpoint and return its snapshot, for resumed replay;
 ///  - recover(): drain the whole stream into an rt::ExecutionLog,
 ///    keeping everything up to the first corruption (graceful
-///    degradation for truncated / damaged files).
+///    degradation for truncated / damaged files);
+///  - checkpoints() / openAt(): random access — enumerate every
+///    checkpoint (O(1) when the file carries a CIDX footer, one cached
+///    scan otherwise) and fork an independent cursor positioned right
+///    after any of them. Forked cursors share the file bytes read-only,
+///    so epoch-parallel replay streams every epoch concurrently.
+///
+/// The CIDX footer is advisory: absent or corrupt, every query falls
+/// back to the linear scan and never fails because of the footer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,6 +88,25 @@ public:
     uint64_t TotalInputs = 0;
   };
 
+  /// Location and identity of one checkpoint record, for random access
+  /// (openAt). Comes from the CIDX footer when the file has one, from a
+  /// cached linear scan otherwise.
+  struct CheckpointInfo {
+    size_t Index = 0;           ///< Position in checkpoints() order.
+    uint64_t SegmentOffset = 0; ///< File offset of the owning segment.
+    uint32_t Seq = 0;           ///< That segment's sequence number.
+    uint32_t PayloadPos = 0;    ///< Record tag byte within the payload.
+    uint64_t StateHash = 0;     ///< Snapshot's end-to-end state hash.
+    uint64_t LogEventsAtCapture = 0;
+  };
+
+  /// Every checkpoint with its decoded snapshot, in stream order
+  /// (Snapshots[I] belongs to Infos[I]).
+  struct CheckpointChain {
+    std::vector<CheckpointInfo> Infos;
+    std::vector<rt::MachineSnapshot> Snapshots;
+  };
+
   /// recover() result: the rebuilt log, how far recovery got, and — when
   /// the stream was damaged — the typed error that stopped it.
   struct RecoveredLog {
@@ -119,12 +146,40 @@ public:
   /// Rewinds to the first record (just after the file header).
   void rewind();
 
-  /// Scans the whole stream for its last restorable checkpoint, then
-  /// repositions so subsequent next() calls yield exactly the records
-  /// after that checkpoint. Damage after the checkpoint does not matter
-  /// here; damage before it bounds which checkpoints are restorable.
-  /// Fails when no checkpoint is restorable.
+  /// Positions the stream just after the last restorable checkpoint and
+  /// returns its snapshot. Uses the CIDX footer when present (decoding
+  /// only checkpoint-bearing segments), the cached checkpoint scan
+  /// otherwise. Damage after the checkpoint does not matter here; damage
+  /// the restore chain depends on bounds which checkpoints are
+  /// restorable. Fails when no checkpoint is restorable.
   support::Expected<rt::MachineSnapshot> seekToCheckpoint();
+
+  /// Enumerates the log's checkpoints without moving this cursor: O(1)
+  /// from the CIDX footer when the file has a valid one, otherwise one
+  /// linear scan whose result is cached for the reader's lifetime (the
+  /// bytes are immutable). On a damaged footer-less log the list stops
+  /// at the first corruption — exactly the checkpoints recover() would
+  /// reach.
+  const std::vector<CheckpointInfo> &checkpoints();
+
+  /// checkpoints() plus the decoded snapshot for each entry, validated
+  /// end to end (delta chain, per-snapshot state hash). When the footer
+  /// path fails validation anywhere, the footer is discarded and the
+  /// chain is rebuilt by linear scan, so the result is always
+  /// self-consistent with what sequential recovery would accept.
+  CheckpointChain loadCheckpointChain();
+
+  /// Forks an independent cursor positioned on the first record after
+  /// checkpoint \p At. The fork shares this reader's (immutable) bytes,
+  /// so concurrent forks may stream from different threads. \p Resume,
+  /// when given, must be \p At's decoded snapshot; it seeds the delta
+  /// accumulators so the fork can decode later checkpoint records.
+  support::Expected<LogReader>
+  openAt(const CheckpointInfo &At,
+         const rt::MachineSnapshot *Resume = nullptr) const;
+
+  /// True when the file carried a structurally valid CIDX footer.
+  bool hasCheckpointIndex() const { return HaveFooter; }
 
   /// Drains the stream from the start into an ExecutionLog, keeping the
   /// longest valid prefix. Never fails: corruption is reported in
@@ -137,17 +192,48 @@ public:
   bool sawEnd() const { return SawEnd; }
 
 private:
-  explicit LogReader(std::vector<uint8_t> Bytes, Options Opts)
-      : Bytes(std::move(Bytes)), Opts(Opts) {}
+  explicit LogReader(std::shared_ptr<const std::vector<uint8_t>> Data,
+                     Options Opts)
+      : Data(std::move(Data)), Opts(Opts) {}
+
+  /// A fresh cursor over the same bytes (shared, read-only): footer
+  /// knowledge is copied, streaming state starts rewound.
+  LogReader fork() const;
 
   /// Loads and validates the segment at FileOffset into Payload.
-  /// Returns false at clean end of file.
+  /// Returns false at clean end of file (DataEnd).
   support::Expected<bool> loadNextSegment();
   support::Error segError(const std::string &What) const;
 
-  std::vector<uint8_t> Bytes;
+  /// Repositions *this* cursor on the first record after \p At, seeding
+  /// the delta accumulators from \p Resume when given.
+  support::Error positionAfter(const CheckpointInfo &At,
+                               const rt::MachineSnapshot *Resume);
+  /// Linear checkpoint scan on a fork (this cursor does not move);
+  /// optionally keeps the decoded snapshots.
+  std::vector<CheckpointInfo>
+  scanCheckpoints(std::vector<rt::MachineSnapshot> *Snaps) const;
+  /// File offset one past the last segment passing every framing + CRC
+  /// check — the horizon sequential recovery cannot read beyond. CRC
+  /// only, no decompression: failures past an intact CRC would need a
+  /// collision.
+  size_t validSegmentPrefixEnd() const;
+  /// Drops a footer that failed downstream validation; later queries use
+  /// the linear scan.
+  void invalidateFooter();
+
+  std::shared_ptr<const std::vector<uint8_t>> Data;
   Options Opts;
   uint64_t Fingerprint = 0;
+
+  /// One past the last segment byte: file size, or the CIDX footer start
+  /// when the file carries one. Bytes past DataEnd are never segment
+  /// data, so the footer reads as clean end-of-stream.
+  size_t DataEnd = 0;
+  bool HaveFooter = false;
+  std::vector<CidxEntry> FooterEntries;
+  bool InfosValid = false; ///< CachedInfos populated.
+  std::vector<CheckpointInfo> CachedInfos;
 
   size_t FileOffset = FileHeaderBytes; ///< Next segment header.
   uint32_t NextSeq = 0;
@@ -156,6 +242,7 @@ private:
 
   std::vector<uint8_t> Payload; ///< Decompressed current segment.
   size_t PayloadPos = 0;
+  size_t RecStart = 0;          ///< Payload offset of next()'s last record.
   uint32_t CurSeq = 0;          ///< Seq of the loaded segment.
   size_t CurSegmentOffset = 0;  ///< File offset of its header.
   bool HaveSegment = false;

@@ -22,6 +22,7 @@ LogWriter::LogWriter(std::string Path, Options Opts)
   appendFileHeader(Header, Opts.Fingerprint);
   if (std::fwrite(Header.data(), 1, Header.size(), File) != Header.size())
     latchError("write failed on '" + this->Path + "' (file header)");
+  FileBytes = Header.size();
 }
 
 LogWriter::~LogWriter() { finish(); }
@@ -71,6 +72,15 @@ void LogWriter::onCheckpoint(const rt::MachineSnapshot &Snap) {
       encodeCheckpoint(Snap, PrevGlobal, PrevHeap);
   PrevGlobal = Snap.GlobalWords;
   PrevHeap = Snap.HeapWords;
+  // CIDX footer entry: the record lands in the currently open segment
+  // (sequence NextSeq) at the current payload offset; the segment's file
+  // offset is filled in by writeSegment.
+  CidxEntry Entry;
+  Entry.Seq = NextSeq;
+  Entry.PayloadPos = static_cast<uint32_t>(Cur.size());
+  Entry.StateHash = Snap.StateHash;
+  Entry.LogEventsAtCapture = Snap.LogEventsAtCapture;
+  CidxEntries.push_back(Entry);
   Cur.push_back(static_cast<uint8_t>(RecordTag::Checkpoint));
   appendVarint(Cur, Body.size());
   Cur.insert(Cur.end(), Body.begin(), Body.end());
@@ -212,6 +222,13 @@ void LogWriter::writeSegment(uint32_t Seq, const DoneSegment &Done) {
   std::vector<uint8_t> Header;
   appendSegmentHeader(Header, H);
 
+  // Segments hit the file strictly in sequence order, so FileBytes is
+  // this segment's offset; resolve the footer entries that live in it.
+  while (CidxResolved < CidxEntries.size() &&
+         CidxEntries[CidxResolved].Seq == Seq)
+    CidxEntries[CidxResolved++].SegmentOffset = FileBytes;
+  FileBytes += Header.size() + Done.Stored.size();
+
   if (std::fwrite(Header.data(), 1, Header.size(), File) != Header.size() ||
       (!Done.Stored.empty() &&
        std::fwrite(Done.Stored.data(), 1, Done.Stored.size(), File) !=
@@ -233,6 +250,17 @@ support::Error LogWriter::finish() {
     Finished = true;
   }
   drainCompleted(/*WaitAll=*/true);
+
+  // Checkpoint-index footer (format 1.1). Only written when the log has
+  // checkpoints, so checkpoint-free files stay byte-identical to 1.0.
+  if (File && !CidxEntries.empty()) {
+    assert(CidxResolved == CidxEntries.size() &&
+           "checkpoint entry for an unwritten segment");
+    std::vector<uint8_t> Footer;
+    appendCidxFooter(Footer, CidxEntries);
+    if (std::fwrite(Footer.data(), 1, Footer.size(), File) != Footer.size())
+      latchError("write failed on '" + Path + "' (CIDX footer)");
+  }
 
   if (File) {
     if (std::fclose(File) != 0)

@@ -28,6 +28,7 @@
 #ifndef CHIMERA_REPLAY_LOGWRITER_H
 #define CHIMERA_REPLAY_LOGWRITER_H
 
+#include "replay/LogFormat.h"
 #include "runtime/LogEvents.h"
 #include "runtime/Snapshot.h"
 #include "support/Expected.h"
@@ -127,6 +128,13 @@ private:
 
   /// Memory contents of the previous checkpoint (delta-page base).
   std::vector<uint64_t> PrevGlobal, PrevHeap;
+
+  /// CIDX footer under construction: one entry per checkpoint record.
+  /// Seq and PayloadPos are known at onCheckpoint time; SegmentOffset is
+  /// resolved in writeSegment once the owning segment reaches the file.
+  std::vector<CidxEntry> CidxEntries;
+  size_t CidxResolved = 0; ///< Entries with SegmentOffset filled in.
+  uint64_t FileBytes = 0;  ///< Bytes written so far (next segment offset).
 
   // Async compression rendezvous (record thread + pool workers).
   std::mutex Mu;

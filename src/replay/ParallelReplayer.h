@@ -1,0 +1,118 @@
+//===- replay/ParallelReplayer.h - Epoch-parallel log replay ----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-parallel replay: partition a segmented log at its checkpoints
+/// into K epochs, replay every epoch concurrently on the analysis
+/// thread pool, and stitch the results — bit-identical to sequential
+/// replay for any job count.
+///
+/// Why this is sound: a checkpoint captures the machine between
+/// dispatches together with its log position (gate cursors, input
+/// cursors, revocation prefix), and Chimera's weak-lock ordering makes
+/// the state at any recorded log prefix schedule-independent. Epoch j
+/// therefore restores checkpoint j-1 (MachineOptions::ResumeFrom) and
+/// runs forward under an epoch fence (MachineOptions::StopAt) until
+/// every thread is parked exactly at checkpoint j's per-thread retired
+/// instruction counts — by construction the state it reaches is the
+/// state checkpoint j recorded, which the stitch verifies through the
+/// snapshots' end-to-end state hashes.
+///
+/// The log itself is also decoded epoch-parallel: each worker opens an
+/// independent LogReader cursor at its epoch's checkpoint
+/// (LogReader::openAt, O(1) with the CIDX footer) and decodes only its
+/// own record range; fragments are concatenated in epoch order and the
+/// cumulative event counts at every boundary are checked against the
+/// snapshot cursors before any machine runs.
+///
+/// Fault behavior is pinned to sequential replay: if anything along the
+/// parallel path disagrees with the log — a damaged segment, a missing
+/// End record, a stitch mismatch — the whole operation falls back to
+/// sequential recovery + cold replay, so a damaged log produces exactly
+/// the result (and error) sequential replay produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_REPLAY_PARALLELREPLAYER_H
+#define CHIMERA_REPLAY_PARALLELREPLAYER_H
+
+#include "replay/LogReader.h"
+#include "runtime/Machine.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+
+namespace chimera {
+namespace replay {
+
+class ParallelReplayer {
+public:
+  struct Options {
+    /// Maximum concurrent epochs. The effective epoch count is
+    /// min(Jobs, checkpoints + 1); 1 (or a null Pool) replays
+    /// sequentially.
+    unsigned Jobs = 1;
+
+    /// Pool the epochs run on (the caller participates). Required for
+    /// Jobs > 1.
+    support::ThreadPool *Pool = nullptr;
+
+    /// Base machine options for every epoch. Mode, log, resume/stop
+    /// snapshots, and per-run sinks are overridden per epoch; cores,
+    /// cost model, batching, and timeouts are taken from here.
+    rt::MachineOptions Machine;
+
+    /// replay.parallel.* metrics target (optional). Epoch machines run
+    /// without a registry — the stitcher publishes once, from the
+    /// calling thread.
+    obs::Registry *Metrics = nullptr;
+  };
+
+  struct Result {
+    /// Merged execution result: the final epoch's outcome, state hash,
+    /// and output, with countable stats summed across epochs. StateHash
+    /// and Output are bit-identical to sequential replay; cycle-domain
+    /// stats follow the resumed-replay contract (state, not timing).
+    rt::ExecutionResult Exec;
+
+    /// The decoded log that was replayed (merged from the epoch
+    /// fragments, or from sequential recovery on fallback) — byte-for-
+    /// byte the log sequential recovery yields.
+    rt::ExecutionLog Log;
+
+    unsigned Epochs = 1;
+    /// Epoch boundaries came from the CIDX footer (O(1) seek) rather
+    /// than a linear scan.
+    bool UsedCheckpointIndex = false;
+    /// The parallel path was abandoned (damaged log, stitch mismatch,
+    /// or epoch failure) and the result is sequential recovery + cold
+    /// replay.
+    bool FellBackSequential = false;
+    /// Boundary validations performed (fragment-count and state-hash
+    /// checks both count).
+    uint64_t StitchChecks = 0;
+    /// False when the log could not be recovered through its End record
+    /// (only the sequential path can observe this — a damaged log always
+    /// falls back). Exec then replays the recovered prefix, or carries a
+    /// failure when the damage predates the Meta record.
+    bool LogComplete = true;
+    /// Recovery failure message when !LogComplete.
+    std::string LogError;
+    /// Wall time of each epoch's replay, microseconds (empty on the
+    /// sequential path).
+    std::vector<uint64_t> EpochWallUs;
+  };
+
+  /// Replays the log behind \p Reader against module \p M. Repositions
+  /// \p Reader (it serves as epoch 0's cursor); forked cursors handle
+  /// the other epochs concurrently.
+  static Result replay(const ir::Module &M, LogReader &Reader,
+                       const Options &Opts);
+};
+
+} // namespace replay
+} // namespace chimera
+
+#endif // CHIMERA_REPLAY_PARALLELREPLAYER_H

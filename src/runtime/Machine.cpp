@@ -80,17 +80,25 @@ Machine::Machine(const ir::Module &M, MachineOptions Opts)
 
   if (isReplay()) {
     const ExecutionLog &RL = *Opts.ReplayLog;
-    assert(RL.NumSyncObjects == Log.NumSyncObjects &&
-           RL.NumWeakLocks == Log.NumWeakLocks &&
-           "replay log does not match this module");
-    GateCursor.assign(RL.numOrderedObjects(), 0);
-    InputCursor.assign(RL.NumThreads, 0);
-    PendingRevocations.resize(RL.NumThreads);
-    for (const RevocationEvent &Rev : RL.Revocations)
-      if (Rev.Tid < PendingRevocations.size())
-        PendingRevocations[Rev.Tid].push_back(Rev);
-    RevocationCursor.assign(RL.NumThreads, 0);
-    HasRevocations = !RL.Revocations.empty();
+    // Graceful, not an assert: callers replay logs recovered from
+    // damaged files, and a log truncated before its Meta record has no
+    // PerObject tables at all — replaying it would index out of bounds.
+    // run() checks Failed before its first dispatch.
+    if (RL.NumSyncObjects != Log.NumSyncObjects ||
+        RL.NumWeakLocks != Log.NumWeakLocks ||
+        RL.PerObject.size() != RL.numOrderedObjects()) {
+      fail("replay log does not match this module (wrong workload, or "
+           "log truncated before its Meta record)");
+    } else {
+      GateCursor.assign(RL.numOrderedObjects(), 0);
+      InputCursor.assign(RL.NumThreads, 0);
+      PendingRevocations.resize(RL.NumThreads);
+      for (const RevocationEvent &Rev : RL.Revocations)
+        if (Rev.Tid < PendingRevocations.size())
+          PendingRevocations[Rev.Tid].push_back(Rev);
+      RevocationCursor.assign(RL.NumThreads, 0);
+      HasRevocations = !RL.Revocations.empty();
+    }
   }
 }
 
@@ -103,6 +111,13 @@ void Machine::startThread(uint32_t FuncId,
                           uint32_t ParentTid, uint64_t Now) {
   const ir::Function &Func = M.function(FuncId);
   assert(Args.size() == Func.NumParams && "spawn argument count mismatch");
+
+  // Under an epoch fence every spawn inside the epoch has a slot in the
+  // boundary snapshot; one past it means the spawn gate failed to clamp.
+  if (Opts.StopAt && Threads.size() >= Opts.StopAt->Threads.size()) {
+    fail("epoch fence: thread spawned past the boundary snapshot");
+    return;
+  }
 
   auto T = std::make_unique<Thread>();
   T->Tid = static_cast<uint32_t>(Threads.size());
@@ -209,12 +224,66 @@ void Machine::reportStall() {
     case BlockReason::Join: Who += "join"; break;
     case BlockReason::WeakLock: Who += "weak"; break;
     case BlockReason::ReplayGate: Who += "gate"; break;
+    case BlockReason::EpochEnd: Who += "epoch-end"; break;
     }
     Who += ")";
   }
   fail(std::string(isReplay() ? "replay divergence: no runnable thread"
                               : "deadlock: no runnable thread") +
        " —" + Who);
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch fence (MachineOptions::StopAt)
+//===----------------------------------------------------------------------===//
+
+uint64_t Machine::stopTarget(uint32_t Tid) const {
+  if (!Opts.StopAt || Tid >= Opts.StopAt->Threads.size())
+    return UINT64_MAX;
+  return Opts.StopAt->Threads[Tid].Instret;
+}
+
+Machine::Step Machine::parkAtEpochEnd(Thread &T, unsigned Core) {
+  uint64_t Target = stopTarget(T.Tid);
+  if (T.Instret > Target) {
+    fail("epoch fence: thread " + std::to_string(T.Tid) + " overshot its "
+         "boundary instruction count (" + std::to_string(T.Instret) +
+         " > " + std::to_string(Target) + ")");
+    return Step::Fault;
+  }
+  T.State = ThreadState::Blocked;
+  T.Reason = BlockReason::EpochEnd;
+  T.BlockStart = Sched.coreTime(Core);
+  // Parked threads sit on no waiter list, so nothing can wake them.
+  return Step::Blocked;
+}
+
+bool Machine::epochComplete() {
+  const MachineSnapshot &Stop = *Opts.StopAt;
+  auto Diverge = [this](const std::string &What) {
+    fail("epoch fence: " + What + " does not match the boundary snapshot");
+    return false;
+  };
+  if (Threads.size() != Stop.Threads.size())
+    return Diverge("thread count");
+  for (uint32_t Tid = 0; Tid != Threads.size(); ++Tid)
+    if (Threads[Tid]->Instret != Stop.Threads[Tid].Instret)
+      return Diverge("thread " + std::to_string(Tid) +
+                     " instruction count");
+  for (uint32_t Obj = 0; Obj != GateCursor.size(); ++Obj)
+    if (GateCursor[Obj] != Stop.GateCursors[Obj])
+      return Diverge("gate cursor of object " + std::to_string(Obj));
+  for (uint32_t Tid = 0; Tid != InputCursor.size(); ++Tid)
+    if (Tid < Stop.InputCursors.size() &&
+        InputCursor[Tid] != Stop.InputCursors[Tid])
+      return Diverge("input cursor of thread " + std::to_string(Tid));
+  uint64_t RevsDone = 0;
+  for (uint32_t Cur : RevocationCursor)
+    RevsDone += Cur;
+  if (RevsDone != Stop.RevocationsDone)
+    return Diverge("revocation count");
+  EpochDone = true;
+  return true;
 }
 
 ExecutionResult Machine::run() {
@@ -290,6 +359,13 @@ ExecutionResult Machine::run() {
           Wake = Since + Opts.WeakLockTimeout;
       }
       if (Wake == UINT64_MAX) {
+        if (Opts.StopAt) {
+          // Nothing can run under the epoch fence: either every thread
+          // is exactly at the boundary (epoch done) or this is a real
+          // divergence — epochComplete() fails with the mismatch.
+          epochComplete();
+          break;
+        }
         reportStall();
         break;
       }
@@ -303,7 +379,7 @@ ExecutionResult Machine::run() {
   }
 
   ExecutionResult Result;
-  Result.Ok = !Failed && allFinished();
+  Result.Ok = !Failed && (allFinished() || EpochDone);
   Result.Error = Error;
   Result.Output = Output;
   Stats.MakespanCycles = Sched.maxTime();
@@ -505,16 +581,27 @@ bool Machine::stepCore(unsigned Core) {
   // core clock reaches the earliest of TimeLimit/NextWake/slice end.
   const bool FastPath = Opts.Observer == nullptr;
 
+  // Epoch fence: the boundary snapshot pins the retired-instruction
+  // count at which each thread must freeze. The check runs before every
+  // instruction (and bounds execFast chunks), so a thread is parked at
+  // exactly its target — anything past it is a divergence.
+  const uint64_t StopTarget =
+      Opts.StopAt ? stopTarget(T.Tid) : UINT64_MAX;
+
   for (;;) {
     uint64_t Attempts = 1;
     Step S = execPending(T, Core);
-    if (S == Step::Continue) {
+    if (S == Step::Continue && T.Instret >= StopTarget)
+      S = parkAtEpochEnd(T, Core);
+    else if (S == Step::Continue) {
       if (FastPath) {
         uint64_t CountLimit = Batch;
         if (PollWeak)
           CountLimit = std::min(CountLimit, 64 - (WeakCheckTick & 0x3f));
         CountLimit = std::min(CountLimit,
                               Opts.MaxInstructions + 1 - Stats.Instructions);
+        if (StopTarget != UINT64_MAX)
+          CountLimit = std::min(CountLimit, StopTarget - T.Instret);
         uint64_t StopTime =
             std::min({TimeLimit, NextWake, CoreSliceEnd[Core]});
         uint64_t Retired = 0;
@@ -629,7 +716,13 @@ bool Machine::gateOpen(uint32_t Obj, uint32_t Tid, OrderedOp Op) const {
   assert(isReplay() && "gateOpen outside replay mode");
   const auto &Seq = Opts.ReplayLog->PerObject[Obj];
   uint32_t Cursor = GateCursor[Obj];
-  if (Cursor >= Seq.size())
+  // Epoch fence: gate entries past the boundary snapshot's cursor belong
+  // to the next epoch; clamping here leaves every boundary-straddling
+  // operation pending exactly as the snapshot captured it.
+  uint32_t Limit = static_cast<uint32_t>(Seq.size());
+  if (Opts.StopAt)
+    Limit = std::min(Limit, Opts.StopAt->GateCursors[Obj]);
+  if (Cursor >= Limit)
     return false;
   return Seq[Cursor].Tid == Tid && Seq[Cursor].Op == Op;
 }
@@ -1053,6 +1146,14 @@ Machine::Step Machine::doInputOp(Thread &T, InputKind Kind, ir::Reg Dst,
   if (isReplay()) {
     uint32_t &Cursor = InputCursor[T.Tid];
     const auto &Inputs = Opts.ReplayLog->PerThreadInputs[T.Tid];
+    // Epoch fence: a consistent epoch never consumes an input past the
+    // boundary snapshot's cursor — the thread would have parked first.
+    if (Opts.StopAt && T.Tid < Opts.StopAt->InputCursors.size() &&
+        Cursor >= Opts.StopAt->InputCursors[T.Tid]) {
+      fail("epoch fence: input consumed past the boundary for thread " +
+           std::to_string(T.Tid));
+      return Step::Fault;
+    }
     if (Cursor >= Inputs.size() || Inputs[Cursor].Kind != Kind) {
       fail("replay divergence: input log mismatch for thread " +
            std::to_string(T.Tid));

@@ -101,6 +101,16 @@ struct MachineOptions {
   /// ReplayLog must be the full recorded log.
   const MachineSnapshot *ResumeFrom = nullptr;
 
+  /// Replay mode: stop at this checkpoint instead of running to the end
+  /// of the log (epoch-parallel replay). Each thread is parked exactly
+  /// at the retired-instruction count the snapshot records for it, gate
+  /// and input cursors are clamped at the snapshot's positions, and the
+  /// run ends successfully once every thread is parked with all cursors
+  /// matching — ExecutionResult::StateHash is then the state at the
+  /// boundary, comparable to the snapshot's StateHash. Any mismatch
+  /// (overshoot, cursor divergence, thread-count drift) fails the run.
+  const MachineSnapshot *StopAt = nullptr;
+
   /// Observability sinks (both optional, both host-side only).
   ///
   /// Unlike \c Observer, attaching these does NOT disable the execFast
@@ -187,6 +197,18 @@ private:
   void fail(const std::string &Message);
   bool allFinished() const;
   void reportStall(); ///< Deadlock / replay divergence diagnosis.
+
+  // -- Epoch fence (MachineOptions::StopAt).
+  /// Retired-instruction target for \p Tid at the epoch boundary, or
+  /// UINT64_MAX when unfenced.
+  uint64_t stopTarget(uint32_t Tid) const;
+  /// Parks \p T at the boundary (BlockReason::EpochEnd); fails the run
+  /// on overshoot.
+  Step parkAtEpochEnd(Thread &T, unsigned Core);
+  /// Called when no core can make progress under StopAt: verifies every
+  /// thread is parked exactly at its target with gate/input cursors
+  /// matching the snapshot. On success the run ends as an epoch.
+  bool epochComplete();
 
   // -- Per-instruction execution (Interpreter.cpp).
   Step execInstruction(Thread &T, unsigned Core);
@@ -308,6 +330,8 @@ private:
   /// releases must be re-checked before every instruction, so dispatch
   /// batching is disabled.
   bool HasRevocations = false;
+  /// StopAt fence reached cleanly: every thread parked at its target.
+  bool EpochDone = false;
 
   // -- Observability collection (all dead weight unless CollectObs).
   bool CollectObs = false; ///< Opts.Metrics != nullptr.

@@ -55,6 +55,8 @@ enum class BlockReason : uint8_t {
   Join,
   WeakLock,
   ReplayGate, ///< Waiting for its turn in a replayed per-object order.
+  EpochEnd,   ///< Parked at its epoch-boundary instruction count
+              ///< (MachineOptions::StopAt); never woken.
 };
 
 /// A weak-lock held by a thread, with its optional address range.

@@ -123,18 +123,26 @@ replay::LogReader::RecoveredLog recoverBytes(std::vector<uint8_t> Bytes) {
 }
 
 /// (offset, length) of every segment in \p Bytes, by walking the
-/// headers' StoredSize fields.
+/// headers' StoredSize fields. The walk ends at the CIDX footer when
+/// the file carries one (checkpointed logs, format 1.1).
 std::vector<std::pair<size_t, size_t>>
 segmentExtents(const std::vector<uint8_t> &Bytes) {
+  size_t DataEnd = Bytes.size();
+  {
+    std::vector<replay::CidxEntry> Entries;
+    size_t FooterStart = 0;
+    if (replay::readCidxFooter(Bytes, Bytes.size(), Entries, FooterStart))
+      DataEnd = FooterStart;
+  }
   std::vector<std::pair<size_t, size_t>> Out;
   size_t Off = replay::FileHeaderBytes;
-  while (Off + replay::SegmentHeaderBytes <= Bytes.size()) {
+  while (Off + replay::SegmentHeaderBytes <= DataEnd) {
     uint32_t Stored = replay::readLe32(Bytes.data() + Off + 16);
     size_t Len = replay::SegmentHeaderBytes + Stored;
     Out.emplace_back(Off, Len);
     Off += Len;
   }
-  EXPECT_EQ(Off, Bytes.size()) << "segment walk out of sync with the file";
+  EXPECT_EQ(Off, DataEnd) << "segment walk out of sync with the file";
   return Out;
 }
 
@@ -190,21 +198,56 @@ TEST(LogEngine, AsyncCompressionIsBitIdenticalToSync) {
   EXPECT_EQ(SyncBytes, AsyncBytes);
 }
 
-TEST(LogEngine, DeprecatedDecodeReadsSegmentedFiles) {
+TEST(LogEngine, StreamingNextRebuildsTheRecordedLog) {
+  // Hand-driven record iteration (the API the old whole-buffer decode
+  // wrapper was deprecated in favor of): draining next() and applying
+  // each record rebuilds exactly the in-memory log.
   auto P = pipelineFor(SmallProgram, 1, 512, 0);
   ASSERT_NE(P, nullptr);
   std::vector<uint8_t> Bytes;
-  auto Rec = recordTo(*P, tmpPath("compat_decode"), 3, Bytes);
+  auto Rec = recordTo(*P, tmpPath("streaming_next"), 3, Bytes);
   ASSERT_TRUE(Rec.Ok) << Rec.Error;
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  // The deprecated monolithic entry point must keep working on the new
-  // format (it sniffs the magic and routes through LogReader).
-  auto Decoded = replay::decode(Bytes);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().message();
-  expectLogsEqual(*Decoded, Rec.Log);
+  auto Reader = replay::LogReader::open(Bytes, replay::LogReader::Options());
+  ASSERT_TRUE(Reader.hasValue()) << Reader.error().message();
+  rt::ExecutionLog Log;
+  replay::LogReader::Record R;
+  for (;;) {
+    auto Got = Reader->next(R);
+    ASSERT_TRUE(Got.hasValue()) << Got.error().message();
+    if (!*Got)
+      break;
+    switch (R.Tag) {
+    case replay::RecordTag::Meta:
+      Log.NumSyncObjects = R.NumSyncObjects;
+      Log.NumWeakLocks = R.NumWeakLocks;
+      Log.PerObject.resize(Log.numOrderedObjects());
+      break;
+    case replay::RecordTag::Ordered:
+      ASSERT_LT(R.Obj, Log.PerObject.size());
+      Log.PerObject[R.Obj].push_back({R.Tid, R.Op});
+      break;
+    case replay::RecordTag::Input:
+      if (R.Tid >= Log.PerThreadInputs.size())
+        Log.PerThreadInputs.resize(R.Tid + 1);
+      Log.PerThreadInputs[R.Tid].push_back({R.Kind, R.Value});
+      break;
+    case replay::RecordTag::Revocation:
+      Log.Revocations.push_back(R.Rev);
+      break;
+    case replay::RecordTag::Checkpoint:
+      break;
+    case replay::RecordTag::End:
+      Log.NumThreads = R.NumThreads;
+      if (Log.PerThreadInputs.size() < R.NumThreads)
+        Log.PerThreadInputs.resize(R.NumThreads);
+      EXPECT_EQ(Log.totalOrderedEvents(), R.TotalOrdered);
+      EXPECT_EQ(Log.totalInputEvents(), R.TotalInputs);
+      break;
+    }
+  }
+  EXPECT_TRUE(Reader->sawEnd());
+  expectLogsEqual(Log, Rec.Log);
 }
 
 TEST(LogEngine, FingerprintMismatchIsRejected) {
@@ -522,6 +565,188 @@ TEST(LogFaults, DuplicatedSegmentReportsRegression) {
   EXPECT_NE(RL.Failure.message().find("duplicated"), std::string::npos)
       << RL.Failure.message();
   EXPECT_EQ(RL.SegmentsRead, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// CIDX checkpoint-index footer faults
+//
+// The footer is advisory: any damage to it must leave recovery complete
+// (old readers ignore it entirely), drop checkpoint enumeration back to
+// the linear scan, and never select a checkpoint the recovery path
+// would reject.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectInfosEqual(const std::vector<replay::LogReader::CheckpointInfo> &A,
+                      const std::vector<replay::LogReader::CheckpointInfo> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Index, B[I].Index) << "checkpoint " << I;
+    EXPECT_EQ(A[I].SegmentOffset, B[I].SegmentOffset) << "checkpoint " << I;
+    EXPECT_EQ(A[I].Seq, B[I].Seq) << "checkpoint " << I;
+    EXPECT_EQ(A[I].PayloadPos, B[I].PayloadPos) << "checkpoint " << I;
+    EXPECT_EQ(A[I].StateHash, B[I].StateHash) << "checkpoint " << I;
+    EXPECT_EQ(A[I].LogEventsAtCapture, B[I].LogEventsAtCapture)
+        << "checkpoint " << I;
+  }
+}
+
+/// Records BusyProgram with checkpoints and returns the file bytes plus
+/// the footer's start offset (asserts the footer exists).
+std::vector<uint8_t> checkpointedBytes(core::ChimeraPipeline &P,
+                                       const std::string &Name,
+                                       size_t &FooterStart) {
+  std::vector<uint8_t> Bytes;
+  auto Rec = recordTo(P, tmpPath(Name), 13, Bytes);
+  EXPECT_TRUE(Rec.Ok) << Rec.Error;
+  std::vector<replay::CidxEntry> Entries;
+  FooterStart = 0;
+  EXPECT_TRUE(
+      replay::readCidxFooter(Bytes, Bytes.size(), Entries, FooterStart))
+      << "checkpointed log carries no CIDX footer";
+  EXPECT_FALSE(Entries.empty());
+  return Bytes;
+}
+
+} // namespace
+
+TEST(LogFooter, FooterEnumerationMatchesLinearScan) {
+  auto P = pipelineFor(BusyProgram, 1, 512, 256);
+  ASSERT_NE(P, nullptr);
+  size_t FooterStart = 0;
+  auto Bytes = checkpointedBytes(*P, "footer_vs_scan", FooterStart);
+
+  auto WithFooter = replay::LogReader::open(Bytes,
+                                            replay::LogReader::Options());
+  ASSERT_TRUE(WithFooter.hasValue());
+  ASSERT_TRUE(WithFooter->hasCheckpointIndex());
+
+  // Same file with the footer chopped off: the enumeration must come
+  // from the linear scan and be identical entry for entry.
+  std::vector<uint8_t> NoFooter(Bytes.begin(), Bytes.begin() + FooterStart);
+  auto Scanned = replay::LogReader::open(std::move(NoFooter),
+                                         replay::LogReader::Options());
+  ASSERT_TRUE(Scanned.hasValue());
+  EXPECT_FALSE(Scanned->hasCheckpointIndex());
+  EXPECT_TRUE(recoverBytes({Bytes.begin(), Bytes.begin() + FooterStart})
+                  .Complete)
+      << "footer-less file must stay complete";
+  expectInfosEqual(WithFooter->checkpoints(), Scanned->checkpoints());
+}
+
+TEST(LogFooter, BitFlipAnywhereInFooterFallsBackCleanly) {
+  auto P = pipelineFor(BusyProgram, 1, 512, 256);
+  ASSERT_NE(P, nullptr);
+  size_t FooterStart = 0;
+  auto Bytes = checkpointedBytes(*P, "footer_flip", FooterStart);
+
+  auto Intact = replay::LogReader::open(Bytes, replay::LogReader::Options());
+  ASSERT_TRUE(Intact.hasValue());
+  const auto Reference = Intact->checkpoints();
+
+  for (size_t Off = FooterStart; Off != Bytes.size(); ++Off) {
+    std::vector<uint8_t> Flipped = Bytes;
+    Flipped[Off] ^= 0xff;
+    auto Reader = replay::LogReader::open(std::move(Flipped),
+                                          replay::LogReader::Options());
+    ASSERT_TRUE(Reader.hasValue()) << "offset " << Off;
+    // The CRC (or the structural checks) must reject the footer...
+    EXPECT_FALSE(Reader->hasCheckpointIndex()) << "offset " << Off;
+    // ...the log body is untouched, so recovery stays complete...
+    auto RL = Reader->recover();
+    EXPECT_TRUE(RL.Complete) << "offset " << Off << ": "
+                             << RL.Failure.message();
+    // ...and the linear scan reproduces the same checkpoint list.
+    expectInfosEqual(Reader->checkpoints(), Reference);
+  }
+}
+
+TEST(LogFooter, TruncationInsideFooterKeepsLogComplete) {
+  auto P = pipelineFor(BusyProgram, 1, 512, 256);
+  ASSERT_NE(P, nullptr);
+  size_t FooterStart = 0;
+  auto Bytes = checkpointedBytes(*P, "footer_trunc", FooterStart);
+
+  auto Intact = replay::LogReader::open(Bytes, replay::LogReader::Options());
+  ASSERT_TRUE(Intact.hasValue());
+  const auto Reference = Intact->checkpoints();
+
+  for (size_t Len = FooterStart; Len != Bytes.size(); ++Len) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Len);
+    auto Reader = replay::LogReader::open(std::move(Cut),
+                                          replay::LogReader::Options());
+    ASSERT_TRUE(Reader.hasValue()) << "length " << Len;
+    EXPECT_FALSE(Reader->hasCheckpointIndex()) << "length " << Len;
+    auto RL = Reader->recover();
+    EXPECT_TRUE(RL.Complete) << "length " << Len << ": "
+                             << RL.Failure.message();
+    expectInfosEqual(Reader->checkpoints(), Reference);
+  }
+}
+
+TEST(LogFooter, TrailingGarbageAfterFooterFallsBack) {
+  auto P = pipelineFor(BusyProgram, 1, 512, 256);
+  ASSERT_NE(P, nullptr);
+  size_t FooterStart = 0;
+  auto Bytes = checkpointedBytes(*P, "footer_garbage", FooterStart);
+
+  auto Intact = replay::LogReader::open(Bytes, replay::LogReader::Options());
+  ASSERT_TRUE(Intact.hasValue());
+  const auto Reference = Intact->checkpoints();
+
+  std::vector<uint8_t> Grown = Bytes;
+  Grown.insert(Grown.end(), {0xde, 0xad, 0xbe, 0xef});
+  auto Reader = replay::LogReader::open(std::move(Grown),
+                                        replay::LogReader::Options());
+  ASSERT_TRUE(Reader.hasValue());
+  EXPECT_FALSE(Reader->hasCheckpointIndex());
+  EXPECT_TRUE(Reader->recover().Complete);
+  expectInfosEqual(Reader->checkpoints(), Reference);
+}
+
+TEST(LogFooter, DamagedChainNeverSelectsUnrestorableCheckpoint) {
+  // A valid footer pointing at a log whose body is damaged: chain
+  // validation must discard the footer and return only the checkpoints
+  // sequential recovery itself reaches — never one past the damage.
+  auto P = pipelineFor(BusyProgram, 1, 512, 256);
+  ASSERT_NE(P, nullptr);
+  size_t FooterStart = 0;
+  auto Bytes = checkpointedBytes(*P, "footer_chain", FooterStart);
+
+  auto Extents = segmentExtents(Bytes);
+  ASSERT_GT(Extents.size(), 2u);
+  // Damage the payload of a middle segment; the footer itself stays
+  // byte-identical and structurally valid.
+  auto [Off, Len] = Extents[Extents.size() / 2];
+  std::vector<uint8_t> Damaged = Bytes;
+  Damaged[Off + replay::SegmentHeaderBytes] ^= 0xff;
+
+  auto Reader = replay::LogReader::open(Damaged, replay::LogReader::Options());
+  ASSERT_TRUE(Reader.hasValue());
+  EXPECT_TRUE(Reader->hasCheckpointIndex()) << "footer itself is intact";
+
+  auto RL = Reader->recover();
+  ASSERT_FALSE(RL.Complete);
+
+  auto Chain = Reader->loadCheckpointChain();
+  ASSERT_EQ(Chain.Infos.size(), Chain.Snapshots.size());
+  EXPECT_EQ(Chain.Infos.size(), RL.CheckpointsMerged)
+      << "chain selected checkpoints recovery never reached";
+  for (size_t I = 0; I != Chain.Snapshots.size(); ++I) {
+    EXPECT_EQ(rt::snapshotStateHash(Chain.Snapshots[I]),
+              Chain.Infos[I].StateHash)
+        << "checkpoint " << I << " fails its own hash";
+  }
+  if (!Chain.Snapshots.empty()) {
+    // The checkpoint seekToCheckpoint restores really is restorable.
+    auto Fresh = replay::LogReader::open(std::move(Damaged),
+                                         replay::LogReader::Options());
+    ASSERT_TRUE(Fresh.hasValue());
+    auto Snap = Fresh->seekToCheckpoint();
+    ASSERT_TRUE(Snap.hasValue()) << Snap.error().message();
+    EXPECT_EQ(Snap->StateHash, Chain.Infos.back().StateHash);
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -339,29 +339,18 @@ TEST(ObsPipeline, RecordPublishesPerLockAndLogMetrics) {
             Snap->value("runtime.record.sched.quantum_cycles_granted", 0));
 }
 
-TEST(ObsPipeline, ReplayPublishesProgressAndDecodeMetrics) {
+TEST(ObsPipeline, ReplayPublishesProgressMetrics) {
   auto P = obsPipeline(ObsMode::Full);
   ASSERT_NE(P, nullptr);
   rt::ExecutionResult Rec = P->record(5);
   ASSERT_TRUE(Rec.Ok) << Rec.Error;
 
-  // Deliberately exercises the deprecated wrapper: its replay.decode.*
-  // compat metrics must keep publishing through the deprecation window.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto Decoded =
-      replay::decode(replay::encodeLog(Rec.Log), P->metricsRegistry());
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().message();
-  rt::ExecutionResult Rep = P->replay(*Decoded);
+  rt::ExecutionResult Rep = P->replay(Rec.Log);
   ASSERT_TRUE(Rep.Ok) << Rep.Error;
   EXPECT_EQ(Rep.StateHash, Rec.StateHash);
 
   auto Snap = P->metrics();
   ASSERT_TRUE(Snap.hasValue());
-  EXPECT_EQ(Snap->value("replay.decode.calls", -1), 1);
-  EXPECT_EQ(static_cast<uint64_t>(Snap->value("replay.decode.events", -1)),
-            Rec.Log.totalOrderedEvents() + Rec.Log.totalInputEvents());
   // A complete replay consumed every gate and input it planned to.
   EXPECT_GT(Snap->value("runtime.replay.progress.gates_total", -1), 0);
   EXPECT_EQ(Snap->value("runtime.replay.progress.gates_consumed", -1),
@@ -463,64 +452,5 @@ TEST(Compressor, RoundTripsPastWindowSize) {
   EXPECT_EQ(lzDecompress(lzCompress(Big)), Big);
 }
 
-//===----------------------------------------------------------------------===//
-// Truncated-log decoding (typed errors, never UB)
-//
-// These sweeps pin the legacy flat parser behind the deprecated
-// decode() wrapper; the segmented format's fault matrix lives in
-// tests/log_engine_test.cpp.
-//===----------------------------------------------------------------------===//
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-namespace {
-
-rt::ExecutionLog sampleLog() {
-  rt::ExecutionLog Log;
-  Log.NumSyncObjects = 2;
-  Log.NumWeakLocks = 1;
-  Log.NumThreads = 2;
-  Log.PerObject.resize(Log.numOrderedObjects());
-  Log.PerObject[0].push_back({1, rt::OrderedOp::MutexLock});
-  Log.PerObject[0].push_back({1, rt::OrderedOp::MutexUnlock});
-  Log.PerObject[1].push_back({0, rt::OrderedOp::WeakAcquire});
-  Log.Revocations.push_back({1, 0, 12345});
-  Log.PerThreadInputs.resize(2);
-  Log.PerThreadInputs[0].push_back({rt::InputKind::NetRecv, 0xffff});
-  return Log;
-}
-
-} // namespace
-
-TEST(LogDecode, EveryTruncationPointReturnsTypedError) {
-  std::vector<uint8_t> Bytes = replay::encodeLog(sampleLog());
-  // Whole-prefix sweep: decoding any strict prefix must fail cleanly
-  // (prefixes that parse but leave trailing state fail the final
-  // exhaustion check instead of crashing).
-  for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
-    std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Cut);
-    auto Decoded = replay::decode(Prefix);
-    ASSERT_FALSE(bool(Decoded)) << "prefix length " << Cut;
-    EXPECT_NE(Decoded.error().message().find("malformed log"),
-              std::string::npos)
-        << Decoded.error().message();
-  }
-}
-
-TEST(LogDecode, TrailingGarbageIsRejected) {
-  std::vector<uint8_t> Bytes = replay::encodeLog(sampleLog());
-  Bytes.push_back(0x00);
-  auto Decoded = replay::decode(Bytes);
-  ASSERT_FALSE(bool(Decoded));
-  EXPECT_NE(Decoded.error().message().find("trailing"), std::string::npos);
-}
-
-TEST(LogDecode, IntactLogStillDecodes) {
-  auto Decoded = replay::decode(replay::encodeLog(sampleLog()));
-  ASSERT_TRUE(Decoded.hasValue()) << Decoded.error().message();
-  EXPECT_EQ(Decoded->NumThreads, 2u);
-  EXPECT_EQ(Decoded->Revocations.size(), 1u);
-}
-
-#pragma GCC diagnostic pop
+// The legacy flat-format decode() wrapper is gone; truncated-log fault
+// matrices for the segmented format live in tests/log_engine_test.cpp.

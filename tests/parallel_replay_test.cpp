@@ -1,0 +1,311 @@
+//===- tests/parallel_replay_test.cpp - Epoch-parallel replay --------------===//
+//
+// The tentpole contract: ParallelReplayer is bit-identical to
+// sequential recovery + cold replay for ANY job count — final state
+// hash, output, merged log, and fault behavior — across a jobs x
+// CheckpointEvery x workload matrix, including logs whose tail must be
+// recovered.
+
+#include "core/Pipeline.h"
+#include "replay/LogReader.h"
+#include "replay/ParallelReplayer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace chimera;
+
+namespace {
+
+// Three workloads with different replay profiles: pure weak-lock
+// contention, mutex/condvar/input traffic (threads block at condvars
+// across checkpoint boundaries), and barrier-phased array updates.
+const char *RacyCounter =
+    "int c;\nint hist[4];\nint tids[4];\n"
+    "void w(int id, int n) { int i; int h = 0; for (i = 0; i < n; i++) { "
+    "int t = c; c = t + 1; h = (h * 31 + t) & 1048575; } "
+    "hist[id] = h; }\n"
+    "int main() { int j; for (j = 0; j < 4; j++) { "
+    "tids[j] = spawn(w, j, 400); } "
+    "for (j = 0; j < 4; j++) { join(tids[j]); } "
+    "output(c); int k; for (k = 0; k < 4; k++) { output(hist[k]); } "
+    "return 0; }";
+
+const char *ProducerConsumer =
+    "int q[32];\nint qh;\nint qt;\nint done;\nint consumed;\n"
+    "mutex m;\ncond cv;\nbarrier b(3);\nint tids[3];\n"
+    "void producer() { int i; for (i = 0; i < 24; i++) { lock(m); "
+    "q[qt & 31] = input() & 255; qt++; cond_signal(cv); unlock(m); } "
+    "lock(m); done = 1; cond_broadcast(cv); unlock(m); barrier_wait(b); }\n"
+    "void consumer() { int run = 1; while (run) { lock(m); "
+    "while (qh == qt && done == 0) { cond_wait(cv, m); } "
+    "if (qh < qt) { consumed = consumed + q[qh & 31]; qh++; } "
+    "else { run = 0; } unlock(m); } barrier_wait(b); }\n"
+    "int main() { tids[0] = spawn(producer); tids[1] = spawn(consumer); "
+    "tids[2] = spawn(consumer); int j; "
+    "for (j = 0; j < 3; j++) { join(tids[j]); } output(consumed); "
+    "return 0; }";
+
+const char *BarrierPhases =
+    "int a[8];\nint tids[4];\nbarrier b(4);\n"
+    "void w(int id) { int p; for (p = 0; p < 6; p++) { int i; "
+    "for (i = 0; i < 60; i++) { int s = (id + p) & 7; a[s] = a[s] + i; } "
+    "barrier_wait(b); } }\n"
+    "int main() { int j; for (j = 0; j < 4; j++) { tids[j] = spawn(w, j); } "
+    "for (j = 0; j < 4; j++) { join(tids[j]); } "
+    "int k; for (k = 0; k < 8; k++) { output(a[k]); } return 0; }";
+
+std::unique_ptr<core::ChimeraPipeline>
+pipelineFor(const char *Source, uint64_t CheckpointEvery) {
+  core::PipelineConfig Config;
+  Config.ProfileRuns = 5;
+  Config.AnalysisJobs = 8; // Real pool: epochs must actually overlap.
+  Config.SegmentBytes = 512;
+  Config.CheckpointEvery = CheckpointEvery;
+  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
+  return P ? P.take() : nullptr;
+}
+
+std::vector<uint8_t> recordBytes(core::ChimeraPipeline &P,
+                                 const std::string &Name, uint64_t Seed) {
+  std::string Path = ::testing::TempDir() + "chimera_" + Name + ".clg";
+  auto R = P.recordStreamed(Path, Seed);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.error().message());
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::vector<uint8_t> Bytes{std::istreambuf_iterator<char>(In),
+                             std::istreambuf_iterator<char>()};
+  In.close();
+  std::remove(Path.c_str());
+  return Bytes;
+}
+
+replay::LogReader openReader(std::vector<uint8_t> Bytes) {
+  auto Reader =
+      replay::LogReader::open(std::move(Bytes), replay::LogReader::Options());
+  EXPECT_TRUE(Reader.hasValue()) << (Reader ? "" : Reader.error().message());
+  return Reader.take();
+}
+
+void expectLogsEqual(const rt::ExecutionLog &A, const rt::ExecutionLog &B) {
+  EXPECT_EQ(A.NumSyncObjects, B.NumSyncObjects);
+  EXPECT_EQ(A.NumWeakLocks, B.NumWeakLocks);
+  EXPECT_EQ(A.NumThreads, B.NumThreads);
+  ASSERT_EQ(A.PerObject.size(), B.PerObject.size());
+  for (size_t Obj = 0; Obj != A.PerObject.size(); ++Obj)
+    EXPECT_EQ(A.PerObject[Obj], B.PerObject[Obj]) << "object " << Obj;
+  ASSERT_EQ(A.PerThreadInputs.size(), B.PerThreadInputs.size());
+  for (size_t Tid = 0; Tid != A.PerThreadInputs.size(); ++Tid) {
+    ASSERT_EQ(A.PerThreadInputs[Tid].size(), B.PerThreadInputs[Tid].size())
+        << "thread " << Tid;
+    for (size_t I = 0; I != A.PerThreadInputs[Tid].size(); ++I) {
+      EXPECT_EQ(A.PerThreadInputs[Tid][I].Kind, B.PerThreadInputs[Tid][I].Kind);
+      EXPECT_EQ(A.PerThreadInputs[Tid][I].Value,
+                B.PerThreadInputs[Tid][I].Value);
+    }
+  }
+  ASSERT_EQ(A.Revocations.size(), B.Revocations.size());
+  for (size_t I = 0; I != A.Revocations.size(); ++I) {
+    EXPECT_EQ(A.Revocations[I].Tid, B.Revocations[I].Tid);
+    EXPECT_EQ(A.Revocations[I].LockId, B.Revocations[I].LockId);
+    EXPECT_EQ(A.Revocations[I].Instret, B.Revocations[I].Instret);
+  }
+}
+
+/// The sequential reference every parallel outcome is pinned against.
+struct SeqRef {
+  rt::ExecutionResult Exec;
+  rt::ExecutionLog Log;
+};
+
+SeqRef sequentialReference(core::ChimeraPipeline &P,
+                           const std::vector<uint8_t> &Bytes) {
+  SeqRef Ref;
+  replay::LogReader Reader = openReader(Bytes);
+  replay::LogReader::RecoveredLog RL = Reader.recover();
+  Ref.Log = std::move(RL.Log);
+  Ref.Exec = P.replay(Ref.Log);
+  return Ref;
+}
+
+/// Runs replayParallel at every job count and pins each result —
+/// success bit, error string, state hash, output, and the merged log —
+/// to the sequential reference.
+void expectMatrixMatchesSequential(core::ChimeraPipeline &P,
+                                   const std::vector<uint8_t> &Bytes,
+                                   const char *What) {
+  SeqRef Ref = sequentialReference(P, Bytes);
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(std::string(What) + ", jobs=" + std::to_string(Jobs));
+    replay::LogReader Reader = openReader(Bytes);
+    replay::ParallelReplayer::Result Res = P.replayParallel(Reader, Jobs);
+    EXPECT_EQ(Res.Exec.Ok, Ref.Exec.Ok);
+    EXPECT_EQ(Res.Exec.Error, Ref.Exec.Error);
+    EXPECT_EQ(Res.Exec.StateHash, Ref.Exec.StateHash);
+    EXPECT_EQ(Res.Exec.Output, Ref.Exec.Output);
+    expectLogsEqual(Res.Log, Ref.Log);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The determinism matrix: jobs x CheckpointEvery x workload.
+//===----------------------------------------------------------------------===//
+
+class EpochMatrix : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpochMatrix, RacyCounterBitIdenticalAtEveryJobCount) {
+  auto P = pipelineFor(RacyCounter, GetParam());
+  ASSERT_NE(P, nullptr);
+  // Param-unique file name: ctest runs the instantiations of one TEST_P
+  // as separate concurrent processes, which must not share a temp file.
+  auto Bytes =
+      recordBytes(*P, "preplay_racy_" + std::to_string(GetParam()), 7);
+  expectMatrixMatchesSequential(*P, Bytes, "racy");
+}
+
+TEST_P(EpochMatrix, ProducerConsumerBitIdenticalAtEveryJobCount) {
+  auto P = pipelineFor(ProducerConsumer, GetParam());
+  ASSERT_NE(P, nullptr);
+  auto Bytes =
+      recordBytes(*P, "preplay_pc_" + std::to_string(GetParam()), 11);
+  expectMatrixMatchesSequential(*P, Bytes, "producer-consumer");
+}
+
+TEST_P(EpochMatrix, BarrierPhasesBitIdenticalAtEveryJobCount) {
+  auto P = pipelineFor(BarrierPhases, GetParam());
+  ASSERT_NE(P, nullptr);
+  auto Bytes =
+      recordBytes(*P, "preplay_barrier_" + std::to_string(GetParam()), 13);
+  expectMatrixMatchesSequential(*P, Bytes, "barrier");
+}
+
+// CheckpointEvery: small (many epochs), the default, and
+// larger-than-log (zero checkpoints -> exactly one epoch).
+INSTANTIATE_TEST_SUITE_P(CheckpointEvery, EpochMatrix,
+                         ::testing::Values(64, 4096,
+                                           uint64_t(1) << 40));
+
+//===----------------------------------------------------------------------===//
+// Damaged logs: fault behavior is pinned to sequential recovery.
+//===----------------------------------------------------------------------===//
+
+TEST(EpochFaults, TruncatedTailMatchesSequential) {
+  // Chopping the tail destroys the CIDX footer and the last segment;
+  // both paths must agree on what the recovered prefix replays to.
+  auto P = pipelineFor(RacyCounter, 64);
+  ASSERT_NE(P, nullptr);
+  auto Bytes = recordBytes(*P, "preplay_trunc", 7);
+  ASSERT_GT(Bytes.size(), 200u);
+  for (size_t Chop : {size_t(1), size_t(40), Bytes.size() / 2}) {
+    SCOPED_TRACE("chop=" + std::to_string(Chop));
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.end() - Chop);
+    expectMatrixMatchesSequential(*P, Cut, "truncated");
+  }
+}
+
+TEST(EpochFaults, TruncatedBeforeMetaFailsGracefully) {
+  // 100 bytes = the 16-byte file header plus a sliver of segment 0:
+  // recovery yields a log with no Meta record and therefore no
+  // PerObject tables. Every job count must reject it with a clean
+  // error — never hand the table-less log to a machine (this was a
+  // segfault: the machine's shape check was assert-only).
+  auto P = pipelineFor(RacyCounter, 64);
+  ASSERT_NE(P, nullptr);
+  auto Bytes = recordBytes(*P, "preplay_nometa", 7);
+  ASSERT_GT(Bytes.size(), 100u);
+  std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + 100);
+  for (unsigned Jobs : {1u, 4u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(Jobs));
+    replay::LogReader Reader = openReader(Cut);
+    replay::ParallelReplayer::Result Res = P->replayParallel(Reader, Jobs);
+    EXPECT_FALSE(Res.Exec.Ok);
+    EXPECT_NE(Res.Exec.Error.find("Meta"), std::string::npos)
+        << Res.Exec.Error;
+    EXPECT_FALSE(Res.LogComplete);
+    EXPECT_FALSE(Res.LogError.empty());
+  }
+}
+
+TEST(EpochFaults, MidFileBitFlipMatchesSequential) {
+  // A flip in the middle keeps the footer structurally valid but breaks
+  // a segment the checkpoint chain depends on; the chain validation
+  // must fall back and both paths must still agree.
+  auto P = pipelineFor(RacyCounter, 64);
+  ASSERT_NE(P, nullptr);
+  auto Bytes = recordBytes(*P, "preplay_flip", 7);
+  for (double Frac : {0.3, 0.6, 0.9}) {
+    size_t Pos = static_cast<size_t>(Bytes.size() * Frac);
+    SCOPED_TRACE("flip at " + std::to_string(Pos));
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[Pos] ^= 0x40;
+    expectMatrixMatchesSequential(*P, Bad, "bitflip");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The parallel path actually engages (it is not fallback all the way
+// down), and reports what it did.
+//===----------------------------------------------------------------------===//
+
+TEST(EpochReporting, ManyCheckpointsYieldManyEpochs) {
+  auto P = pipelineFor(RacyCounter, 64);
+  ASSERT_NE(P, nullptr);
+  auto Bytes = recordBytes(*P, "preplay_engage", 7);
+  {
+    replay::LogReader Reader = openReader(Bytes);
+    ASSERT_TRUE(Reader.hasCheckpointIndex());
+    ASSERT_GT(Reader.checkpoints().size(), 7u)
+        << "program too small for an 8-way epoch split";
+  }
+  replay::LogReader Reader = openReader(Bytes);
+  auto Res = P->replayParallel(Reader, 8);
+  ASSERT_TRUE(Res.Exec.Ok) << Res.Exec.Error;
+  EXPECT_EQ(Res.Epochs, 8u);
+  EXPECT_TRUE(Res.UsedCheckpointIndex);
+  EXPECT_FALSE(Res.FellBackSequential);
+  EXPECT_EQ(Res.EpochWallUs.size(), Res.Epochs);
+  // Every boundary is checked at least twice: merged-log cursors and
+  // the replayed epoch's state hash.
+  EXPECT_GE(Res.StitchChecks, 2u * (Res.Epochs - 1));
+}
+
+TEST(EpochReporting, NoCheckpointsMeansOneEpoch) {
+  auto P = pipelineFor(RacyCounter, uint64_t(1) << 40);
+  ASSERT_NE(P, nullptr);
+  auto Bytes = recordBytes(*P, "preplay_single", 7);
+  replay::LogReader Reader = openReader(Bytes);
+  auto Res = P->replayParallel(Reader, 8);
+  ASSERT_TRUE(Res.Exec.Ok) << Res.Exec.Error;
+  EXPECT_EQ(Res.Epochs, 1u);
+  EXPECT_FALSE(Res.FellBackSequential);
+}
+
+TEST(EpochReporting, StitcherPublishesMetrics) {
+  core::PipelineConfig Config;
+  Config.ProfileRuns = 5;
+  Config.AnalysisJobs = 4;
+  Config.SegmentBytes = 512;
+  Config.CheckpointEvery = 64;
+  Config.Observability = obs::ObsMode::Full;
+  auto MaybeP = core::ChimeraPipeline::fromSource(RacyCounter, RacyCounter,
+                                                  Config);
+  ASSERT_TRUE(MaybeP.hasValue()) << MaybeP.error().message();
+  auto P = MaybeP.take();
+  auto Bytes = recordBytes(*P, "preplay_metrics", 7);
+  replay::LogReader Reader = openReader(Bytes);
+  auto Res = P->replayParallel(Reader, 4);
+  ASSERT_TRUE(Res.Exec.Ok) << Res.Exec.Error;
+  auto Snap = P->metrics();
+  ASSERT_TRUE(Snap.hasValue());
+  EXPECT_EQ(Snap->value("replay.parallel.epochs", -1),
+            static_cast<int64_t>(Res.Epochs));
+  EXPECT_EQ(Snap->value("replay.parallel.stitch_checks", -1),
+            static_cast<int64_t>(Res.StitchChecks));
+  EXPECT_EQ(Snap->value("replay.parallel.fallback_sequential", -1), 0);
+  EXPECT_GT(Snap->value("replay.parallel.epoch_wall_us_total", -1), 0);
+}

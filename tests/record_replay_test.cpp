@@ -5,11 +5,15 @@
 #include "core/Pipeline.h"
 #include "replay/DeterminismChecker.h"
 #include "replay/LogCodec.h"
+#include "replay/LogReader.h"
+#include "replay/LogWriter.h"
 #include "replay/Recorder.h"
 #include "replay/Replayer.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 using namespace chimera;
@@ -206,24 +210,63 @@ TEST(DeterminismChecker, ReportsSpecificFailures) {
 }
 
 //===----------------------------------------------------------------------===//
-// Log codec (legacy flat format)
+// Log storage round trip
 //
-// decode() is deprecated in favor of the streaming replay::LogReader
-// (tests/log_engine_test.cpp), but these tests deliberately keep the
-// legacy flat round trip pinned until the wrapper is removed.
+// Hand-driven LogWriter (as the rt::LogEventSink the Machine would
+// drive) -> segmented file -> streaming LogReader. Replaces the old
+// whole-buffer encode/decode round trip, which is gone.
 //===----------------------------------------------------------------------===//
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+namespace {
 
-TEST(LogCodec, RoundTripsRealLog) {
+/// Writes \p Log event-by-event through a LogWriter and reads the file
+/// back through LogReader::recover. Expects a complete, undamaged
+/// stream.
+rt::ExecutionLog roundTripThroughStorage(const rt::ExecutionLog &Log,
+                                         const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "chimera_" + Name + ".clg";
+  {
+    replay::LogWriter::Options WO;
+    WO.SegmentBytes = 512;
+    replay::LogWriter W(Path, WO);
+    W.onStart(Log.NumSyncObjects, Log.NumWeakLocks);
+    for (size_t Obj = 0; Obj != Log.PerObject.size(); ++Obj)
+      for (const rt::OrderedEvent &E : Log.PerObject[Obj])
+        W.onOrdered(static_cast<uint32_t>(Obj), E.Tid, E.Op);
+    for (size_t Tid = 0; Tid != Log.PerThreadInputs.size(); ++Tid)
+      for (const rt::InputEvent &E : Log.PerThreadInputs[Tid])
+        W.onInput(static_cast<uint32_t>(Tid), E.Kind, E.Value);
+    for (const rt::RevocationEvent &R : Log.Revocations)
+      W.onRevocation(R);
+    W.onEnd(Log.NumThreads, Log.totalOrderedEvents(),
+            Log.totalInputEvents());
+    support::Error E = W.finish();
+    EXPECT_FALSE(bool(E)) << E.message();
+  }
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::vector<uint8_t> Bytes{std::istreambuf_iterator<char>(In),
+                             std::istreambuf_iterator<char>()};
+  In.close();
+  std::remove(Path.c_str());
+
+  auto Reader = replay::LogReader::open(std::move(Bytes),
+                                        replay::LogReader::Options());
+  EXPECT_TRUE(Reader.hasValue()) << (Reader ? "" : Reader.error().message());
+  if (!Reader)
+    return rt::ExecutionLog();
+  replay::LogReader::RecoveredLog RL = Reader->recover();
+  EXPECT_TRUE(RL.Complete) << RL.Failure.message();
+  return std::move(RL.Log);
+}
+
+} // namespace
+
+TEST(LogStorage, RoundTripsRealLog) {
   auto P = pipelineFor(SyncHeavyProgram);
   auto Rec = P->record(9);
   ASSERT_TRUE(Rec.Ok);
-  auto Bytes = replay::encodeLog(Rec.Log);
-  auto MaybeDecoded = replay::decode(Bytes);
-  ASSERT_TRUE(MaybeDecoded.hasValue()) << MaybeDecoded.error().message();
-  rt::ExecutionLog &Decoded = *MaybeDecoded;
+  rt::ExecutionLog Decoded = roundTripThroughStorage(Rec.Log, "codec_rt");
 
   EXPECT_EQ(Decoded.NumSyncObjects, Rec.Log.NumSyncObjects);
   EXPECT_EQ(Decoded.NumWeakLocks, Rec.Log.NumWeakLocks);
@@ -245,13 +288,11 @@ TEST(LogCodec, RoundTripsRealLog) {
   }
 }
 
-TEST(LogCodec, DecodedLogReplays) {
+TEST(LogStorage, RoundTrippedLogReplays) {
   auto P = pipelineFor(RacyProgram);
   auto Rec = P->record(31);
   ASSERT_TRUE(Rec.Ok);
-  auto MaybeDecoded = replay::decode(replay::encodeLog(Rec.Log));
-  ASSERT_TRUE(MaybeDecoded.hasValue()) << MaybeDecoded.error().message();
-  rt::ExecutionLog &Decoded = *MaybeDecoded;
+  rt::ExecutionLog Decoded = roundTripThroughStorage(Rec.Log, "codec_replay");
   auto Rep = replay::replayExecution(P->instrumentedModule(), Decoded, 8);
   ASSERT_TRUE(Rep.Ok) << Rep.Error;
   EXPECT_EQ(Rep.StateHash, Rec.StateHash);
@@ -268,7 +309,7 @@ TEST(LogCodec, SizesAreMeasuredAndCompressed) {
   EXPECT_LE(Sizes.OrderCompressed, Sizes.OrderRaw + 16);
 }
 
-TEST(LogCodec, RevocationsSurviveRoundTrip) {
+TEST(LogStorage, RevocationsSurviveRoundTrip) {
   rt::ExecutionLog Log;
   Log.NumSyncObjects = 1;
   Log.NumWeakLocks = 2;
@@ -279,13 +320,9 @@ TEST(LogCodec, RevocationsSurviveRoundTrip) {
   Log.PerThreadInputs.resize(3);
   Log.PerThreadInputs[1].push_back({rt::InputKind::NetRecv, 0xabcd});
 
-  auto MaybeD = replay::decode(replay::encodeLog(Log));
-  ASSERT_TRUE(MaybeD.hasValue()) << MaybeD.error().message();
-  rt::ExecutionLog &D = *MaybeD;
+  rt::ExecutionLog D = roundTripThroughStorage(Log, "codec_revoke");
   ASSERT_EQ(D.Revocations.size(), 1u);
   EXPECT_EQ(D.Revocations[0].Tid, 2u);
   EXPECT_EQ(D.Revocations[0].LockId, 1u);
   EXPECT_EQ(D.Revocations[0].Instret, 777u);
 }
-
-#pragma GCC diagnostic pop

@@ -14,12 +14,14 @@
 //   chimera run     prog.mc [--seed N] [--cores N]
 //   chimera record  prog.mc -o run.clog [--seed N] [--cores N]
 //                   [--segment-bytes N] [--checkpoint-every N]
-//   chimera replay  prog.mc run.clog [--verify-log]
+//   chimera replay  prog.mc run.clog [--verify-log] [--replay-jobs N]
 //
 // `record` streams events into the crash-safe segmented log format
 // (docs/LOG_FORMAT.md) with periodic state checkpoints; `replay` reads
 // segmented logs through the streaming reader (recovering what it can
-// from damaged files) and still accepts pre-segmented flat logs.
+// from damaged files). With --replay-jobs=N the log is partitioned at
+// its checkpoints and the epochs replay concurrently — bit-identical
+// to sequential replay for every N.
 //
 // Observability is uniform across commands: `--metrics[=json|table]`
 // prints the pipeline's registry snapshot after the command finishes,
@@ -162,6 +164,7 @@ int main(int argc, char **argv) {
   Config.Trace = Trace.get();
   Config.SegmentBytes = Opts.SegmentBytes;
   Config.CheckpointEvery = Opts.CheckpointEvery;
+  Config.ReplayJobs = Opts.ReplayJobs;
   auto MaybePipeline =
       core::ChimeraPipeline::fromSource(Source, Source, Config);
   if (!MaybePipeline) {
@@ -286,65 +289,82 @@ int main(int argc, char **argv) {
       return 1;
     }
 
-    rt::ExecutionLog DecodedLog;
     bool Segmented =
         Bytes.size() >= 4 &&
         std::memcmp(Bytes.data(), replay::FileMagic, 4) == 0;
-    if (Segmented) {
-      replay::LogReader::Options ROpts;
-      ROpts.ExpectedFingerprint = Pipeline->workloadFingerprint();
-      ROpts.CheckFingerprint = true;
-      ROpts.Metrics = Pipeline->metricsRegistry();
-      auto Reader = replay::LogReader::open(std::move(Bytes), ROpts);
-      if (!Reader) {
-        std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
-                     Reader.error().message().c_str());
-        return 1;
-      }
-      replay::LogReader::RecoveredLog RL = Reader->recover();
-      if (Opts.VerifyLog) {
-        std::printf("%s: %llu segment(s), %llu record(s), %llu "
-                    "checkpoint(s); %s\n",
-                    Opts.LogPath.c_str(),
-                    static_cast<unsigned long long>(RL.SegmentsRead),
-                    static_cast<unsigned long long>(RL.RecordsRecovered),
-                    static_cast<unsigned long long>(RL.CheckpointsMerged),
-                    RL.Complete ? "complete"
-                                : RL.Failure.message().c_str());
-        return RL.Complete ? 0 : 1;
-      }
-      if (!RL.Complete) {
-        std::fprintf(stderr,
-                     "%s: %s\n[chimera] recovered %llu record(s) across "
-                     "%llu segment(s) before the damage "
-                     "(--verify-log for details)\n",
-                     Opts.LogPath.c_str(), RL.Failure.message().c_str(),
-                     static_cast<unsigned long long>(RL.RecordsRecovered),
-                     static_cast<unsigned long long>(RL.SegmentsRead));
-        return 1;
-      }
-      DecodedLog = std::move(RL.Log);
-    } else {
-      if (Opts.VerifyLog) {
-        std::fprintf(stderr,
-                     "%s: not a segmented log; --verify-log only "
-                     "validates the segmented format\n",
-                     Opts.LogPath.c_str());
-        return 1;
-      }
-      // Pre-segmented flat logs stay replayable through the deprecation
-      // window of the old whole-buffer decoder.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-      auto Log = replay::decode(Bytes, Pipeline->metricsRegistry());
-#pragma GCC diagnostic pop
-      if (!Log) {
-        std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
-                     Log.error().message().c_str());
-        return 1;
-      }
-      DecodedLog = Log.take();
+    if (!Segmented) {
+      std::fprintf(stderr,
+                   "%s: not a segmented log (record one with "
+                   "`chimera record`)\n",
+                   Opts.LogPath.c_str());
+      return 1;
     }
+    replay::LogReader::Options ROpts;
+    ROpts.ExpectedFingerprint = Pipeline->workloadFingerprint();
+    ROpts.CheckFingerprint = true;
+    ROpts.Metrics = Pipeline->metricsRegistry();
+    auto Reader = replay::LogReader::open(std::move(Bytes), ROpts);
+    if (!Reader) {
+      std::fprintf(stderr, "%s: %s\n", Opts.LogPath.c_str(),
+                   Reader.error().message().c_str());
+      return 1;
+    }
+
+    if (Opts.ReplayJobs > 1) {
+      // Epoch-parallel path: recovery, stitching, and the sequential
+      // fallback on damage all live inside the replayer.
+      auto Res = Pipeline->replayParallel(*Reader, Opts.ReplayJobs);
+      if (!Res.LogComplete) {
+        // Same policy as the sequential branch below: a log that does
+        // not recover through its End record is an error, not a silent
+        // partial replay.
+        std::fprintf(stderr, "%s: %s (--verify-log for details)\n",
+                     Opts.LogPath.c_str(), Res.LogError.c_str());
+        return 1;
+      }
+      if (!Res.Exec.Ok) {
+        std::fprintf(stderr, "replay error: %s\n",
+                     Res.Exec.Error.c_str());
+        return 1;
+      }
+      printOutput(Res.Exec);
+      printStats(Res.Exec);
+      std::fprintf(stderr,
+                   "[chimera] %u epoch(s), %llu stitch check(s)%s%s\n",
+                   Res.Epochs,
+                   static_cast<unsigned long long>(Res.StitchChecks),
+                   Res.UsedCheckpointIndex ? ", checkpoint index" : "",
+                   Res.FellBackSequential ? ", fell back sequential"
+                                          : "");
+      std::fprintf(stderr,
+                   "[chimera] replay state fingerprint %016llx\n",
+                   static_cast<unsigned long long>(Res.Exec.StateHash));
+      return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
+    }
+
+    replay::LogReader::RecoveredLog RL = Reader->recover();
+    if (Opts.VerifyLog) {
+      std::printf("%s: %llu segment(s), %llu record(s), %llu "
+                  "checkpoint(s); %s\n",
+                  Opts.LogPath.c_str(),
+                  static_cast<unsigned long long>(RL.SegmentsRead),
+                  static_cast<unsigned long long>(RL.RecordsRecovered),
+                  static_cast<unsigned long long>(RL.CheckpointsMerged),
+                  RL.Complete ? "complete"
+                              : RL.Failure.message().c_str());
+      return RL.Complete ? 0 : 1;
+    }
+    if (!RL.Complete) {
+      std::fprintf(stderr,
+                   "%s: %s\n[chimera] recovered %llu record(s) across "
+                   "%llu segment(s) before the damage "
+                   "(--verify-log for details)\n",
+                   Opts.LogPath.c_str(), RL.Failure.message().c_str(),
+                   static_cast<unsigned long long>(RL.RecordsRecovered),
+                   static_cast<unsigned long long>(RL.SegmentsRead));
+      return 1;
+    }
+    rt::ExecutionLog DecodedLog = std::move(RL.Log);
     auto R = Pipeline->replay(DecodedLog);
     if (!R.Ok) {
       std::fprintf(stderr, "replay error: %s\n", R.Error.c_str());
