@@ -1,0 +1,154 @@
+//===- bench/fig_lockorder.cpp - Lock-order certification economics --------===//
+//
+// What the static lock-order certificate buys at record time, per
+// workload:
+//
+//   baseline   --lock-order=off: no analysis, weak-timeout polling at
+//              the normal (held-gated) cadence;
+//   polled     --lock-order=enforce with ForceWeakPolling: the plan is
+//              certified but the poll cadence still runs — isolates
+//              pure polling cost on a certified plan;
+//   elided     --lock-order=enforce, certificate elides the cadence
+//              (and the all-idle timeout rescue) entirely.
+//
+// Also reported: the lock-order analysis wall (certification + any
+// enforce-repair rounds) and what it found. Emits BENCH_lockorder.json
+// next to the binary. The invariant the lockorder test suite pins —
+// elided and polled recordings are bit-identical — is re-checked here
+// on every workload; the bench exits nonzero on a mismatch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <chrono>
+
+using namespace chimera;
+using namespace chimera::bench;
+using namespace chimera::workloads;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double recordWall(core::ChimeraPipeline &P, rt::ExecutionResult &Out) {
+  auto T0 = Clock::now();
+  Out = P.record(BenchSeed);
+  auto T1 = Clock::now();
+  requireOk(Out, "record");
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+struct Row {
+  const char *App = nullptr;
+  double BaselineSec = 0;
+  double PolledSec = 0;
+  double ElidedSec = 0;
+  double AnalysisUs = 0;
+  uint64_t CyclesFound = 0;
+  uint64_t LocksCoalesced = 0;
+  uint64_t RepairRounds = 0;
+};
+
+} // namespace
+
+int main() {
+  std::printf("Lock-order certification: record wall per polling "
+              "configuration (4 workers, timeout=1000)\n\n");
+  std::printf("%-10s %10s %10s %10s %12s %7s %9s\n", "app", "baseline",
+              "polled", "elided", "analysis_us", "cycles", "coalesced");
+  hrule(74);
+
+  std::vector<Row> Rows;
+  bool AllIdentical = true;
+
+  for (WorkloadKind K : allWorkloads()) {
+    Row R;
+    R.App = workloadInfo(K).Name;
+
+    // Baseline: no lock-order analysis, normal polling cadence.
+    core::PipelineConfig Base;
+    Base.ProfileRuns = 5;
+    Base.WeakLockTimeout = 1000;
+    auto BP = buildPipelineEx(K, /*Workers=*/4, Base);
+    if (!BP) {
+      std::fprintf(stderr, "%s: %s\n", R.App, BP.error().message().c_str());
+      return 1;
+    }
+    rt::ExecutionResult BaseRec;
+    R.BaselineSec = recordWall(**BP, BaseRec);
+
+    // Certified: one pipeline, polled and elided recordings.
+    core::PipelineConfig Cert = Base;
+    Cert.LockOrder = analysis::LockOrderMode::Enforce;
+    Cert.Observability = obs::ObsMode::Full;
+    auto CP = buildPipelineEx(K, /*Workers=*/4, Cert);
+    if (!CP) {
+      std::fprintf(stderr, "%s: %s\n", R.App, CP.error().message().c_str());
+      return 1;
+    }
+    const instrument::InstrumentationPlan &Plan = (*CP)->plan();
+    R.CyclesFound = Plan.Certificate.CyclesFound;
+    R.LocksCoalesced = Plan.Certificate.CoalescedLocks;
+    R.RepairRounds = Plan.Certificate.RepairRounds;
+    auto Snap = (*CP)->metrics();
+    if (Snap)
+      R.AnalysisUs =
+          static_cast<double>(Snap->value("pipeline.lockorder.wall_us"));
+
+    (*CP)->setForceWeakPolling(true);
+    rt::ExecutionResult Polled;
+    R.PolledSec = recordWall(**CP, Polled);
+    (*CP)->setForceWeakPolling(false);
+    rt::ExecutionResult Elided;
+    R.ElidedSec = recordWall(**CP, Elided);
+
+    bool Identical = Elided.StateHash == Polled.StateHash &&
+                     Elided.Output == Polled.Output &&
+                     Elided.Stats.Revocations == 0 &&
+                     Polled.Stats.Revocations == 0;
+    AllIdentical = AllIdentical && Identical;
+
+    std::printf("%-10s %9.3fs %9.3fs %9.3fs %12.0f %7llu %9llu%s\n", R.App,
+                R.BaselineSec, R.PolledSec, R.ElidedSec, R.AnalysisUs,
+                static_cast<unsigned long long>(R.CyclesFound),
+                static_cast<unsigned long long>(R.LocksCoalesced),
+                Identical ? "" : "  MISMATCH");
+    Rows.push_back(R);
+  }
+
+  hrule(74);
+  if (!AllIdentical) {
+    std::fprintf(stderr,
+                 "certificate violation: elided and polled recordings "
+                 "differ (or revoked)\n");
+    return 1;
+  }
+  std::printf("all elided recordings bit-identical to force-polled, "
+              "zero revocations\n");
+
+  FILE *Json = std::fopen("BENCH_lockorder.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "cannot write BENCH_lockorder.json\n");
+    return 1;
+  }
+  std::fprintf(Json, "{\n  \"weak_lock_timeout\": 1000,\n  \"apps\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(Json,
+                 "    {\"app\": \"%s\", \"baseline_seconds\": %.6f, "
+                 "\"polled_seconds\": %.6f, \"elided_seconds\": %.6f, "
+                 "\"analysis_wall_us\": %.0f, \"cycles_found\": %llu, "
+                 "\"locks_coalesced\": %llu, \"repair_rounds\": %llu}%s\n",
+                 R.App, R.BaselineSec, R.PolledSec, R.ElidedSec,
+                 R.AnalysisUs,
+                 static_cast<unsigned long long>(R.CyclesFound),
+                 static_cast<unsigned long long>(R.LocksCoalesced),
+                 static_cast<unsigned long long>(R.RepairRounds),
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(Json, "  ]\n}\n");
+  std::fclose(Json);
+  std::printf("wrote BENCH_lockorder.json\n");
+  return 0;
+}

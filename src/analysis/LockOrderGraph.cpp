@@ -1,0 +1,588 @@
+//===- analysis/LockOrderGraph.cpp - Weak-lock order analysis --------------===//
+
+#include "analysis/LockOrderGraph.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace chimera;
+using namespace chimera::analysis;
+using namespace chimera::ir;
+
+const char *analysis::lockOrderModeName(LockOrderMode Mode) {
+  switch (Mode) {
+  case LockOrderMode::Off:
+    return "off";
+  case LockOrderMode::Audit:
+    return "audit";
+  case LockOrderMode::Enforce:
+    return "enforce";
+  }
+  return "?";
+}
+
+support::Expected<LockOrderMode>
+analysis::parseLockOrderMode(const std::string &Text) {
+  if (Text == "off")
+    return LockOrderMode::Off;
+  if (Text == "audit")
+    return LockOrderMode::Audit;
+  if (Text == "enforce")
+    return LockOrderMode::Enforce;
+  return support::Error::failure(
+      "unknown lock-order mode '" + Text + "' (expected off|audit|enforce)");
+}
+
+namespace {
+
+// Enumeration / search bounds. Hitting any of them flips
+// Stats.EnumerationComplete and keeps the affected SCC conservatively
+// cyclic — bounds cost precision, never soundness.
+constexpr size_t MaxCycleLen = 6;
+constexpr size_t MaxCyclesPerScc = 64;
+constexpr size_t MaxEdgesPerHop = 4;
+constexpr size_t MaxAssignAttempts = 20000;
+
+} // namespace
+
+LockOrderGraph::LockOrderGraph(const ir::Module &Instrumented,
+                               const ir::Module &Original,
+                               const CallGraph &CG,
+                               const MayHappenInParallel &Mhp)
+    : IM(Instrumented), Mhp(Mhp), Roots(CG.threadRoots()) {
+  Stats.Locks = Instrumented.WeakLocks.size();
+  MasksValid = Roots.size() <= 64;
+  computeRootMasks(Instrumented);
+  runDataflow(Instrumented, Original);
+  detectCycles();
+}
+
+/// Which thread roots a function may execute on: reachability over Call
+/// edges only, seeded at each root. Spawn edges switch threads, so they
+/// contribute new roots, not reachability within one (CallGraph mixes
+/// Call and Spawn edges, hence the bespoke walk).
+void LockOrderGraph::computeRootMasks(const ir::Module &M) {
+  uint32_t N = static_cast<uint32_t>(M.Functions.size());
+  FuncRoots.assign(N, 0);
+  if (!MasksValid) {
+    // Too many roots for the masks: every function may run anywhere.
+    FuncRoots.assign(N, ~0ull);
+    return;
+  }
+  std::vector<std::vector<uint32_t>> CallOnly(N);
+  for (uint32_t F = 0; F != N; ++F) {
+    std::set<uint32_t> Seen;
+    for (const BasicBlock &B : M.function(F).Blocks)
+      for (const Instruction &I : B.Insts)
+        if (I.Op == Opcode::Call && Seen.insert(I.Id).second)
+          CallOnly[F].push_back(I.Id);
+  }
+  for (size_t R = 0; R != Roots.size(); ++R) {
+    std::vector<uint32_t> Work = {Roots[R]};
+    uint64_t Bit = 1ull << R;
+    while (!Work.empty()) {
+      uint32_t F = Work.back();
+      Work.pop_back();
+      if (FuncRoots[F] & Bit)
+        continue;
+      FuncRoots[F] |= Bit;
+      for (uint32_t Callee : CallOnly[F])
+        Work.push_back(Callee);
+    }
+  }
+}
+
+void LockOrderGraph::runDataflow(const ir::Module &M,
+                                 const ir::Module &Original) {
+  uint32_t N = static_cast<uint32_t>(M.Functions.size());
+
+  // Original instruction ids per function (the ids MHP knows about; the
+  // Instrumenter's inserted instructions use fresh, never-reused ids).
+  std::vector<std::unordered_set<InstId>> OrigIds(N);
+  for (uint32_t F = 0; F != N; ++F)
+    for (const BasicBlock &B : Original.function(F).Blocks)
+      for (const Instruction &I : B.Insts)
+        OrigIds[F].insert(I.Ident);
+
+  using HeldMap = std::map<uint32_t, Origin>;
+
+  // Held-at-entry context per function, grown to fixpoint. The
+  // Instrumenter releases every held lock around calls today, so these
+  // stay empty in practice — but the analysis must not assume that: a
+  // future planner relaxation may hold locks across calls, and the
+  // certificate has to stay sound if it does.
+  std::vector<HeldMap> EntryCtx(N);
+
+  // Edge dedup: (Held, Acquired, Func, Block) -> presence.
+  struct KeyHash {
+    size_t operator()(const std::array<uint32_t, 4> &K) const {
+      uint64_t H = 1469598103934665603ull;
+      for (uint32_t V : K) {
+        H ^= V;
+        H *= 1099511628211ull;
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+  std::unordered_set<std::array<uint32_t, 4>, KeyHash> EdgeSeen;
+
+  std::unordered_set<uint64_t> CountedSites; // (Func << 32) | Ident.
+
+  auto joinInto = [](std::optional<HeldMap> &Dst, const HeldMap &Src) {
+    if (!Dst) {
+      Dst = Src;
+      return true;
+    }
+    bool Changed = false;
+    for (const auto &[L, O] : Src)
+      if (Dst->emplace(L, O).second)
+        Changed = true;
+    return Changed;
+  };
+
+  std::vector<char> InWorklist(N, 1);
+  std::vector<uint32_t> Work;
+  for (uint32_t F = 0; F != N; ++F)
+    Work.push_back(N - 1 - F);
+
+  while (!Work.empty()) {
+    uint32_t FId = Work.back();
+    Work.pop_back();
+    InWorklist[FId] = 0;
+    const Function &F = M.function(FId);
+    uint32_t NB = F.numBlocks();
+    if (NB == 0)
+      continue;
+
+    std::vector<std::optional<HeldMap>> In(NB);
+    In[0] = EntryCtx[FId];
+
+    // Forward may-held fixpoint over the instrumented CFG. Union join
+    // (an edge exists when the lock MAY be held); first-writer-wins on
+    // the witnessed acquire origin.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B != NB; ++B) {
+        if (!In[B])
+          continue;
+        HeldMap Cur = *In[B];
+        const std::vector<Instruction> &Insts = F.block(B).Insts;
+        for (uint32_t Idx = 0; Idx != Insts.size(); ++Idx) {
+          const Instruction &I = Insts[Idx];
+          if (I.Op == Opcode::WeakAcquire) {
+            uint32_t L = static_cast<uint32_t>(I.Imm);
+            CountedSites.insert((static_cast<uint64_t>(FId) << 32) |
+                                I.Ident);
+            if (!Cur.empty()) {
+              // Anchor for MHP queries: the first original instruction
+              // at or after the acquire (the block's terminator in the
+              // worst case — terminators keep their original ids).
+              InstId Repr = NoInst;
+              for (uint32_t J = Idx + 1; J != Insts.size(); ++J)
+                if (OrigIds[FId].count(Insts[J].Ident)) {
+                  Repr = Insts[J].Ident;
+                  break;
+                }
+              for (const auto &[H, O] : Cur) {
+                std::array<uint32_t, 4> Key = {H, L, FId, B};
+                if (!EdgeSeen.insert(Key).second)
+                  continue;
+                LockOrderEdge E;
+                E.Held = H;
+                E.Acquired = L;
+                E.Func = FId;
+                E.Block = B;
+                E.Repr = Repr;
+                E.HeldFunc = O.Func;
+                E.HeldBlock = O.Block;
+                E.Roots = FuncRoots[FId];
+                E.Interprocedural = O.Func != FId;
+                Edges.push_back(E);
+              }
+            }
+            Cur.emplace(L, Origin{FId, B}); // Keep the outer origin.
+          } else if (I.Op == Opcode::WeakRelease) {
+            Cur.erase(static_cast<uint32_t>(I.Imm));
+          } else if (I.Op == Opcode::Call && !Cur.empty()) {
+            // Propagate held locks into the callee's entry context.
+            uint32_t Callee = I.Id;
+            bool Grew = false;
+            for (const auto &[L, O] : Cur)
+              if (EntryCtx[Callee].emplace(L, O).second)
+                Grew = true;
+            if (Grew && !InWorklist[Callee]) {
+              InWorklist[Callee] = 1;
+              Work.push_back(Callee);
+            }
+          }
+        }
+        for (BlockId S : F.successors(B))
+          if (joinInto(In[S], Cur))
+            Changed = true;
+      }
+    }
+  }
+
+  Stats.AcquireSites = CountedSites.size();
+  Stats.Edges = Edges.size();
+  for (const LockOrderEdge &E : Edges)
+    if (E.Interprocedural)
+      ++Stats.InterprocEdges;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over the lock digraph (lock counts are small,
+/// but recursion depth is unbounded in theory).
+struct LockScc {
+  LockScc(uint32_t N, const std::vector<std::vector<uint32_t>> &Adj)
+      : Adj(Adj), Index(N, ~0u), Low(N, 0), OnStack(N, 0), Comp(N, ~0u) {
+    for (uint32_t V = 0; V != N; ++V)
+      if (Index[V] == ~0u)
+        run(V);
+  }
+
+  void run(uint32_t V) {
+    struct Frame {
+      uint32_t V;
+      size_t NextEdge;
+    };
+    std::vector<Frame> Stack{{V, 0}};
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      uint32_t U = Top.V;
+      if (Top.NextEdge == 0) {
+        Index[U] = Low[U] = Next++;
+        SccStack.push_back(U);
+        OnStack[U] = 1;
+      }
+      bool Descended = false;
+      while (Top.NextEdge < Adj[U].size()) {
+        uint32_t W = Adj[U][Top.NextEdge++];
+        if (Index[W] == ~0u) {
+          Stack.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          Low[U] = std::min(Low[U], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (Low[U] == Index[U]) {
+        for (;;) {
+          uint32_t W = SccStack.back();
+          SccStack.pop_back();
+          OnStack[W] = 0;
+          Comp[W] = NumComps;
+          if (W == U)
+            break;
+        }
+        ++NumComps;
+      }
+      Stack.pop_back();
+      if (!Stack.empty())
+        Low[Stack.back().V] = std::min(Low[Stack.back().V], Low[U]);
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>> &Adj;
+  std::vector<uint32_t> Index, Low;
+  std::vector<char> OnStack;
+  std::vector<uint32_t> Comp;
+  std::vector<uint32_t> SccStack;
+  uint32_t Next = 0, NumComps = 0;
+};
+
+} // namespace
+
+bool LockOrderGraph::cycleFeasible(const std::vector<uint32_t> &LockSeq,
+                                   LockOrderCycle &Out) {
+  // Candidate edges per hop (Li -> Li+1), a few per hop for diversity.
+  size_t K = LockSeq.size();
+  std::vector<std::vector<uint32_t>> Cands(K);
+  for (size_t H = 0; H != K; ++H) {
+    uint32_t From = LockSeq[H], To = LockSeq[(H + 1) % K];
+    for (uint32_t EIdx = 0;
+         EIdx != Edges.size() && Cands[H].size() < MaxEdgesPerHop; ++EIdx)
+      if (Edges[EIdx].Held == From && Edges[EIdx].Acquired == To &&
+          Edges[EIdx].Roots != 0)
+        Cands[H].push_back(EIdx);
+    if (Cands[H].empty())
+      return false; // Dead-code hop: no live edge realizes it.
+  }
+
+  // Backtracking root assignment. A real deadlock has every participant
+  // simultaneously blocked, so each pair of acquire sites must be
+  // MayRace under the assigned roots; one proven ordering kills the
+  // assignment. The attempt budget bounds the search — on exhaustion
+  // the cycle is conservatively kept (Verified = false).
+  size_t Attempts = 0;
+  bool Budget = true;
+  std::vector<uint32_t> ChosenEdge(K), ChosenRoot(K);
+
+  std::function<bool(size_t)> Assign = [&](size_t H) -> bool {
+    if (H == K)
+      return true;
+    for (uint32_t EIdx : Cands[H]) {
+      const LockOrderEdge &E = Edges[EIdx];
+      for (size_t R = 0; R != Roots.size(); ++R) {
+        if (!(E.Roots >> R & 1))
+          continue;
+        if (++Attempts > MaxAssignAttempts) {
+          Budget = false;
+          return false;
+        }
+        bool Compatible = true;
+        for (size_t P = 0; P != H && Compatible; ++P) {
+          const LockOrderEdge &PE = Edges[ChosenEdge[P]];
+          if (!MasksValid || PE.Repr == NoInst || E.Repr == NoInst)
+            continue; // No anchor: stay conservative (compatible).
+          if (Mhp.classify(Roots[ChosenRoot[P]], PE.Func, PE.Repr,
+                           Roots[R], E.Func, E.Repr) !=
+              MhpOrdering::MayRace)
+            Compatible = false;
+        }
+        if (!Compatible)
+          continue;
+        ChosenEdge[H] = EIdx;
+        ChosenRoot[H] = static_cast<uint32_t>(R);
+        if (Assign(H + 1))
+          return true;
+        if (!Budget)
+          return false;
+      }
+    }
+    return false;
+  };
+
+  bool Found = Assign(0);
+  if (!Found && Budget)
+    return false; // Every assignment refuted: the cycle is infeasible.
+
+  Out.Edges.resize(K);
+  Out.RootIdx.resize(K);
+  if (Found) {
+    Out.Edges = ChosenEdge;
+    Out.RootIdx = ChosenRoot;
+    Out.Verified = true;
+  } else {
+    // Budget exhausted: keep the cycle with an arbitrary witness.
+    for (size_t H = 0; H != K; ++H) {
+      Out.Edges[H] = Cands[H][0];
+      Out.RootIdx[H] = 0;
+    }
+    Out.Verified = false;
+    Stats.EnumerationComplete = false;
+  }
+  return true;
+}
+
+void LockOrderGraph::detectCycles() {
+  uint32_t NL = static_cast<uint32_t>(IM.WeakLocks.size());
+  if (NL == 0 || Edges.empty())
+    return;
+
+  // Deduped lock digraph. Self-edges are kept aside: a self-edge is a
+  // recursive acquisition, feasible by program order alone (the thread
+  // provably holds the lock when it re-acquires it).
+  std::vector<std::set<uint32_t>> AdjSet(NL);
+  std::set<uint32_t> SelfEdged;
+  for (uint32_t EIdx = 0; EIdx != Edges.size(); ++EIdx) {
+    const LockOrderEdge &E = Edges[EIdx];
+    if (E.Roots == 0)
+      continue; // Dead code: the site can never execute.
+    if (E.Held == E.Acquired) {
+      if (SelfEdged.insert(E.Held).second) {
+        LockOrderCycle C;
+        C.Edges = {EIdx};
+        C.RootIdx = {0};
+        C.Verified = true;
+        Feasible.push_back(C);
+        ++Stats.CyclesEnumerated;
+        ++Stats.CyclesFeasible;
+      }
+      continue;
+    }
+    AdjSet[E.Held].insert(E.Acquired);
+  }
+  std::vector<std::vector<uint32_t>> Adj(NL);
+  for (uint32_t L = 0; L != NL; ++L)
+    Adj[L].assign(AdjSet[L].begin(), AdjSet[L].end());
+
+  LockScc Scc(NL, Adj);
+
+  std::vector<std::vector<uint32_t>> Members(Scc.NumComps);
+  for (uint32_t L = 0; L != NL; ++L)
+    Members[Scc.Comp[L]].push_back(L); // Ascending within each SCC.
+
+  for (const std::vector<uint32_t> &SccLocks : Members) {
+    if (SccLocks.size() < 2)
+      continue;
+    ++Stats.Sccs;
+    size_t Enumerated = 0;
+    bool HitCap = false;
+    bool AnyFeasible = false;
+
+    // Canonical simple-cycle enumeration: every simple cycle is found
+    // exactly once as a path from its smallest lock using only locks
+    // >= that start. Starting from each member in ascending order
+    // covers all cycles (a cycle's minimum member is unique).
+    std::vector<uint32_t> Path;
+    std::vector<char> OnPath(NL, 0);
+    for (uint32_t Start : SccLocks) {
+      if (HitCap)
+        break;
+      std::function<void(uint32_t)> Dfs = [&](uint32_t L) {
+        if (HitCap)
+          return;
+        Path.push_back(L);
+        OnPath[L] = 1;
+        for (uint32_t Next : Adj[L]) {
+          if (HitCap)
+            break;
+          if (Scc.Comp[Next] != Scc.Comp[Start] || Next < Start)
+            continue;
+          if (Next == Start) {
+            if (Path.size() < 2)
+              continue;
+            ++Enumerated;
+            ++Stats.CyclesEnumerated;
+            if (Enumerated > MaxCyclesPerScc) {
+              HitCap = true;
+              break;
+            }
+            LockOrderCycle C;
+            if (cycleFeasible(Path, C)) {
+              Feasible.push_back(C);
+              ++Stats.CyclesFeasible;
+              AnyFeasible = true;
+            } else {
+              ++Stats.CyclesPrunedMhp;
+            }
+          } else if (!OnPath[Next]) {
+            if (Path.size() < MaxCycleLen)
+              Dfs(Next);
+            else
+              HitCap = true; // Length bound cut a branch: incomplete.
+          }
+        }
+        OnPath[L] = 0;
+        Path.pop_back();
+      };
+      Dfs(Start);
+    }
+
+    if (HitCap) {
+      Stats.EnumerationComplete = false;
+      if (!AnyFeasible) {
+        // Enumeration was truncated and nothing proved feasible:
+        // conservatively report one unverified witness over the SCC so
+        // acyclic() stays a proof.
+        LockOrderCycle C;
+        C.Verified = false;
+        for (uint32_t EIdx = 0; EIdx != Edges.size(); ++EIdx) {
+          const LockOrderEdge &E = Edges[EIdx];
+          if (E.Held != E.Acquired &&
+              Scc.Comp[E.Held] == Scc.Comp[SccLocks[0]] &&
+              Scc.Comp[E.Acquired] == Scc.Comp[SccLocks[0]]) {
+            C.Edges = {EIdx};
+            C.RootIdx = {0};
+            break;
+          }
+        }
+        if (!C.Edges.empty()) {
+          Feasible.push_back(C);
+          ++Stats.CyclesFeasible;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<uint32_t>> LockOrderGraph::cyclicLockSets() const {
+  // Union-find over locks joined by feasible cycles, so overlapping
+  // cycles coalesce into one repair set.
+  uint32_t NL = static_cast<uint32_t>(IM.WeakLocks.size());
+  std::vector<uint32_t> Parent(NL);
+  for (uint32_t L = 0; L != NL; ++L)
+    Parent[L] = L;
+  std::function<uint32_t(uint32_t)> Find = [&](uint32_t X) {
+    while (Parent[X] != X)
+      X = Parent[X] = Parent[Parent[X]];
+    return X;
+  };
+  std::vector<char> InCycle(NL, 0);
+  for (const LockOrderCycle &C : Feasible)
+    for (uint32_t EIdx : C.Edges) {
+      const LockOrderEdge &E = Edges[EIdx];
+      InCycle[E.Held] = InCycle[E.Acquired] = 1;
+      Parent[Find(E.Held)] = Find(E.Acquired);
+    }
+  std::map<uint32_t, std::vector<uint32_t>> Groups;
+  for (uint32_t L = 0; L != NL; ++L)
+    if (InCycle[L])
+      Groups[Find(L)].push_back(L);
+  std::vector<std::vector<uint32_t>> Out;
+  Out.reserve(Groups.size());
+  for (auto &[Rep, Locks] : Groups) {
+    std::sort(Locks.begin(), Locks.end());
+    Out.push_back(std::move(Locks));
+  }
+  return Out;
+}
+
+std::string LockOrderGraph::report() const {
+  auto lockName = [&](uint32_t L) {
+    std::string S = "wl" + std::to_string(L);
+    if (L < IM.WeakLocks.size() && !IM.WeakLocks[L].Name.empty())
+      S += " '" + IM.WeakLocks[L].Name + "'";
+    return S;
+  };
+  auto site = [&](uint32_t Func, BlockId Block) {
+    if (Func >= IM.Functions.size())
+      return std::string("?");
+    return IM.function(Func).Name + ":bb" + std::to_string(Block);
+  };
+
+  std::string Out;
+  if (Feasible.empty()) {
+    Out += "lock-order: acyclic (" + std::to_string(Stats.Edges) +
+           " held-while-acquiring edges, " +
+           std::to_string(Stats.CyclesPrunedMhp) +
+           " cycle(s) pruned by MHP)\n";
+    return Out;
+  }
+  Out += "lock-order: " + std::to_string(Feasible.size()) +
+         " deadlock-potential cycle(s)\n";
+  size_t Shown = 0;
+  for (const LockOrderCycle &C : Feasible) {
+    if (++Shown > 10) {
+      Out += "  ... (" + std::to_string(Feasible.size() - 10) + " more)\n";
+      break;
+    }
+    Out += "  cycle";
+    if (!C.Verified)
+      Out += " (unverified: search bound hit)";
+    Out += ":\n";
+    for (size_t H = 0; H != C.Edges.size(); ++H) {
+      const LockOrderEdge &E = Edges[C.Edges[H]];
+      Out += "    lock " + lockName(E.Held) + " held at " +
+             site(E.HeldFunc, E.HeldBlock) + " while acquiring " +
+             lockName(E.Acquired) + " at " + site(E.Func, E.Block);
+      if (H < C.RootIdx.size() && C.RootIdx[H] < Roots.size())
+        Out +=
+            " [thread root " + IM.function(Roots[C.RootIdx[H]]).Name + "]";
+      Out += "\n";
+    }
+  }
+  return Out;
+}

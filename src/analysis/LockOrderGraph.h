@@ -1,0 +1,158 @@
+//===- analysis/LockOrderGraph.h - Weak-lock order analysis -----*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program may-be-held-while-acquiring analysis over the weak-locks
+/// of an instrumented module. A deadlock among weak-locks needs a cycle
+/// of threads each holding one lock while blocked acquiring the next, so
+/// the analysis computes every ordered pair (H, L) such that some thread
+/// may hold H at a WeakAcquire of L:
+///
+///  - intraprocedurally, a forward may-held dataflow over the
+///    instrumented IR (the WeakAcquire/WeakRelease instructions the
+///    Instrumenter emitted are the only transfer points, exactly as in
+///    PlanAuditor's must-held proof — the analysis trusts the emitted
+///    code, not the Planner's bookkeeping);
+///  - interprocedurally, locks held at a Call site flow into the callee
+///    as an entry context, iterated to fixpoint over the call graph
+///    (spawn edges deliberately do not propagate: the spawner's holds
+///    are not the child thread's holds).
+///
+/// Edges are pruned with MayHappenInParallel: a cycle is a deadlock
+/// candidate only if its acquire sites can be assigned thread roots such
+/// that every pair of participating critical sections may overlap in
+/// time — in an actual deadlock all participants are simultaneously
+/// blocked, so any proven ordering between two sites refutes every cycle
+/// containing both. Cycle enumeration is bounded; when a bound is hit
+/// the affected SCC is conservatively reported cyclic (the analysis may
+/// over-report cycles but never under-reports: an "acyclic" verdict is a
+/// proof).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_ANALYSIS_LOCKORDERGRAPH_H
+#define CHIMERA_ANALYSIS_LOCKORDERGRAPH_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/MayHappenInParallel.h"
+#include "ir/Module.h"
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chimera {
+namespace analysis {
+
+/// What the pipeline does with the lock-order analysis: Off skips it
+/// entirely, Audit reports deadlock-potential cycles (and certifies
+/// acyclic plans), Enforce additionally repairs cyclic plans by
+/// coalescing each cyclic lock set into one coarser lock until the
+/// re-audit proves acyclicity.
+enum class LockOrderMode : uint8_t { Off, Audit, Enforce };
+
+const char *lockOrderModeName(LockOrderMode Mode);
+
+/// Parses "off" | "audit" | "enforce"; unknown spellings are a failure,
+/// never a silent default.
+support::Expected<LockOrderMode> parseLockOrderMode(const std::string &Text);
+
+/// One may-held-while-acquiring fact: some path through \p Func reaches
+/// a WeakAcquire of \p Acquired in \p Block with \p Held still held.
+struct LockOrderEdge {
+  uint32_t Held = 0;
+  uint32_t Acquired = 0;
+  uint32_t Func = ~0u;               ///< Function of the acquire site.
+  ir::BlockId Block = ir::NoBlock;   ///< Block of the acquire site.
+  /// First original-module instruction at or after the acquire (the
+  /// terminator in the worst case) — the anchor for MHP queries, which
+  /// only know original instruction ids.
+  ir::InstId Repr = ir::NoInst;
+  uint32_t HeldFunc = ~0u;           ///< Where Held was acquired...
+  ir::BlockId HeldBlock = ir::NoBlock; ///< ...on the witnessed path.
+  uint64_t Roots = 0;  ///< Thread-root mask (bit = index) that may run Func.
+  bool Interprocedural = false; ///< Held entered through a call context.
+};
+
+/// A deadlock-potential cycle: edge indices into edges(), one per hop,
+/// with the thread-root index the feasibility search assigned to each.
+struct LockOrderCycle {
+  std::vector<uint32_t> Edges;
+  std::vector<uint32_t> RootIdx; ///< Parallel to Edges.
+  /// True when the MHP feasibility search proved the assignment (rather
+  /// than giving up at a search bound and keeping the cycle
+  /// conservatively).
+  bool Verified = false;
+};
+
+struct LockOrderStats {
+  uint64_t Locks = 0;
+  uint64_t AcquireSites = 0;
+  uint64_t Edges = 0;
+  uint64_t InterprocEdges = 0;
+  uint64_t Sccs = 0;            ///< Multi-lock or self-edge SCCs examined.
+  uint64_t CyclesEnumerated = 0;
+  uint64_t CyclesPrunedMhp = 0;
+  uint64_t CyclesFeasible = 0;
+  bool EnumerationComplete = true; ///< No enumeration/search bound was hit.
+};
+
+class LockOrderGraph {
+public:
+  /// \p Instrumented is the weak-lock-rewritten module the analysis
+  /// reads; \p Original is the pre-instrumentation module (same function
+  /// ids, original instruction ids persist in the clone) that anchors
+  /// MHP queries; \p CG and \p Mhp are the pipeline's analyses over the
+  /// original module — the call structure is identical in both.
+  LockOrderGraph(const ir::Module &Instrumented, const ir::Module &Original,
+                 const CallGraph &CG, const MayHappenInParallel &Mhp);
+
+  /// True when no feasible cycle survives — the certificate claim.
+  bool acyclic() const { return Feasible.empty(); }
+
+  const std::vector<LockOrderEdge> &edges() const { return Edges; }
+  const std::vector<LockOrderCycle> &feasibleCycles() const {
+    return Feasible;
+  }
+  const LockOrderStats &stats() const { return Stats; }
+
+  /// Lock-id sets to coalesce under Enforce: the union of the locks of
+  /// every feasible cycle, grouped by SCC (sets are disjoint, each
+  /// sorted ascending).
+  std::vector<std::vector<uint32_t>> cyclicLockSets() const;
+
+  /// Human-readable deadlock-potential report: one witness chain per
+  /// feasible cycle ("lock A held at F:bb while acquiring lock B at
+  /// G:bb ..."), or a one-line acyclicity statement.
+  std::string report() const;
+
+private:
+  struct Origin {
+    uint32_t Func = ~0u;
+    ir::BlockId Block = ir::NoBlock;
+  };
+
+  void computeRootMasks(const ir::Module &M);
+  void runDataflow(const ir::Module &M, const ir::Module &Original);
+  void detectCycles();
+  bool cycleFeasible(const std::vector<uint32_t> &LockSeq,
+                     LockOrderCycle &Out);
+
+  const ir::Module &IM;
+  const MayHappenInParallel &Mhp;
+  std::vector<uint32_t> Roots;        ///< CG.threadRoots().
+  std::vector<uint64_t> FuncRoots;    ///< Per function: root-index mask.
+  std::vector<LockOrderEdge> Edges;
+  std::vector<LockOrderCycle> Feasible;
+  LockOrderStats Stats;
+  bool MasksValid = true; ///< Root count fits the 64-bit masks.
+};
+
+} // namespace analysis
+} // namespace chimera
+
+#endif // CHIMERA_ANALYSIS_LOCKORDERGRAPH_H

@@ -118,6 +118,26 @@ const std::vector<OptionSpec> &core::optionTable() {
          O.Mhp = *Mode;
          return support::Error::success();
        }},
+      {"--lock-order", "MODE", false,
+       "weak-lock order analysis: off|audit|enforce (audit certifies "
+       "acyclic plans; enforce also repairs cyclic ones; default off)",
+       [](CliOptions &O, const char *A) {
+         support::Expected<analysis::LockOrderMode> Mode =
+             analysis::parseLockOrderMode(A ? A : "");
+         if (!Mode)
+           return Mode.error();
+         O.LockOrder = *Mode;
+         return support::Error::success();
+       }},
+      {"--lock-order-report", nullptr, false,
+       "with `plan`: print the lock-order report (witness chains or the "
+       "acyclicity statement); implies --lock-order=audit if off",
+       [](CliOptions &O, const char *) {
+         O.LockOrderReport = true;
+         if (O.LockOrder == analysis::LockOrderMode::Off)
+           O.LockOrder = analysis::LockOrderMode::Audit;
+         return support::Error::success();
+       }},
       {"--metrics", "json|table", true,
        "print the observability snapshot after the command "
        "(default json); implies --obs=full",

@@ -20,6 +20,7 @@
 #ifndef CHIMERA_CORE_CLI_H
 #define CHIMERA_CORE_CLI_H
 
+#include "analysis/LockOrderGraph.h"
 #include "analysis/MayHappenInParallel.h"
 #include "instrument/Planner.h"
 #include "support/Expected.h"
@@ -58,6 +59,10 @@ struct CliOptions {
   bool VerifyLog = false; ///< replay: validate the log, don't replay.
   analysis::MhpMode Mhp = analysis::MhpMode::Barrier;
   instrument::PlannerOptions Planner = instrument::PlannerOptions::full();
+
+  // -- Lock-order analysis (ISSUE 8).
+  analysis::LockOrderMode LockOrder = analysis::LockOrderMode::Off;
+  bool LockOrderReport = false; ///< --lock-order-report: print witnesses.
 
   // -- Observability.
   MetricsFormat Metrics = MetricsFormat::None;

@@ -12,6 +12,7 @@
 #ifndef CHIMERA_CORE_OPTIONS_H
 #define CHIMERA_CORE_OPTIONS_H
 
+#include "analysis/LockOrderGraph.h"
 #include "analysis/MayHappenInParallel.h"
 #include "instrument/Planner.h"
 #include "runtime/CostModel.h"
@@ -59,6 +60,21 @@ struct PipelineConfig {
   /// range subsumption) before any instrumented execution; an audit
   /// failure turns record/replay into a hard error.
   bool AuditPlan = true;
+
+  /// Whole-program weak-lock order analysis (ISSUE 8). Off (the
+  /// default) skips it entirely; Audit runs it, reports
+  /// deadlock-potential cycles, and certifies acyclic plans; Enforce
+  /// additionally repairs cyclic plans (coalescing each cyclic lock set
+  /// into one coarser lock) until the re-audit proves acyclicity, and
+  /// hard-fails executions if any feasible cycle survives. Certified
+  /// plans elide the runtime's weak-timeout polling. Off by default
+  /// because certification changes the lock table under Enforce and
+  /// elides revocations tests deliberately provoke.
+  analysis::LockOrderMode LockOrder = analysis::LockOrderMode::Off;
+
+  /// Poll weak-lock timeouts even under a certified plan (the
+  /// bit-identity cross-check records with and without polling).
+  bool ForceWeakPolling = false;
 
   /// Weak-lock revocation threshold (cycles).
   uint64_t WeakLockTimeout = 500'000'000;

@@ -179,10 +179,69 @@ const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
     auto P = std::make_unique<instrument::InstrumentationPlan>(
         instrument::planInstrumentation(*EvalModule, Report, Prof,
                                         Config.Planner, ObsRegistry.get()));
+    if (Config.LockOrder != analysis::LockOrderMode::Off)
+      certifyOrRepair(*P);
+    // The corruptor runs AFTER certification, so tests can both forge
+    // certificates and make a freshly stamped one stale by editing the
+    // plan out from under it.
     if (PlanCorruptor)
       PlanCorruptor(*P);
     return P;
   });
+}
+
+/// Runs the lock-order analysis over \p P (instrumenting a scratch
+/// module clone — the cached instrumented module does not exist yet at
+/// plan time), repairs cyclic plans under Enforce by coalescing each
+/// cyclic lock set into one Function-granularity lock, re-analyzes
+/// until acyclic, and stamps the certificate. Under Audit a cyclic plan
+/// is certified as cyclic: the report carries the witness chains and
+/// executions still run (with polling).
+void ChimeraPipeline::certifyOrRepair(
+    instrument::InstrumentationPlan &P) const {
+  const Analyses &A = analyses();
+  const analysis::MayHappenInParallel &Mhp = mhp();
+  obs::ScopedTimer T(stageCounter("lockorder"));
+  CHIMERA_TRACE_SPAN(trace(), "pipeline.lockorder");
+
+  uint64_t Coalesced = 0, Rounds = 0;
+  uint64_t FirstCycles = 0, FirstEdges = 0;
+  // Each repair round strictly shrinks the set of locks carrying
+  // non-entry guards, so the loop terminates; the cap is a backstop.
+  const uint64_t MaxRounds = P.Locks.size() + 2;
+  for (;;) {
+    std::unique_ptr<ir::Module> IM =
+        instrument::instrumentModule(*EvalModule, P);
+    analysis::LockOrderGraph G(*IM, *EvalModule, A.CG, Mhp);
+    if (Rounds == 0) {
+      FirstCycles = G.stats().CyclesFeasible;
+      FirstEdges = G.stats().Edges;
+    }
+    if (G.acyclic() ||
+        Config.LockOrder != analysis::LockOrderMode::Enforce ||
+        Rounds >= MaxRounds) {
+      instrument::certifyLockOrder(P, G);
+      break;
+    }
+    Coalesced += instrument::repairLockOrder(P, G.cyclicLockSets());
+    ++Rounds;
+  }
+  // Keep the pre-repair findings in the certificate (certifyLockOrder
+  // records the final graph, which is cycle-free after a repair).
+  P.Certificate.CyclesFound = FirstCycles;
+  P.Certificate.CoalescedLocks = Coalesced;
+  P.Certificate.RepairRounds = Rounds;
+
+  if (ObsRegistry) {
+    obs::Scope LO =
+        obs::Scope(ObsRegistry.get(), "pipeline").sub("lockorder");
+    LO.counter("edges").add(FirstEdges);
+    LO.counter("cycles_found").add(FirstCycles);
+    LO.counter("locks_coalesced").add(Coalesced);
+    LO.counter("repair_rounds").add(Rounds);
+    if (P.Certificate.Acyclic)
+      LO.counter("certified_plans").inc();
+  }
 }
 
 const ir::Module &ChimeraPipeline::instrumentedModule() const {
@@ -211,12 +270,28 @@ const instrument::AuditResult &ChimeraPipeline::planAudit() const {
   });
 }
 
+const instrument::LockOrderAuditResult &
+ChimeraPipeline::lockOrderAudit() const {
+  return LockOrderCell.get([&] {
+    const instrument::InstrumentationPlan &P = plan();
+    const ir::Module &IM = instrumentedModule();
+    const Analyses &A = analyses();
+    const analysis::MayHappenInParallel &Mhp = mhp();
+    obs::ScopedTimer T(stageCounter("lockorder_audit"));
+    CHIMERA_TRACE_SPAN(trace(), "pipeline.lockorder_audit");
+    return std::make_unique<instrument::LockOrderAuditResult>(
+        instrument::auditLockOrder(*EvalModule, P, IM, A.CG, Mhp,
+                                   Config.LockOrder));
+  });
+}
+
 void ChimeraPipeline::setPlannerOptions(
     const instrument::PlannerOptions &Opts) {
   Config.Planner = Opts;
   Plan.reset();
   Instrumented.reset();
   Audit.reset();
+  LockOrderCell.reset();
 }
 
 void ChimeraPipeline::setMhpMode(analysis::MhpMode Mode) {
@@ -226,6 +301,15 @@ void ChimeraPipeline::setMhpMode(analysis::MhpMode Mode) {
   Plan.reset();
   Instrumented.reset();
   Audit.reset();
+  LockOrderCell.reset();
+}
+
+void ChimeraPipeline::setLockOrderMode(analysis::LockOrderMode Mode) {
+  Config.LockOrder = Mode;
+  Plan.reset();
+  Instrumented.reset();
+  Audit.reset();
+  LockOrderCell.reset();
 }
 
 void ChimeraPipeline::corruptPlanForTest(
@@ -234,15 +318,34 @@ void ChimeraPipeline::corruptPlanForTest(
   Plan.reset();
   Instrumented.reset();
   Audit.reset();
+  LockOrderCell.reset();
 }
 
 support::Error ChimeraPipeline::ensureAuditedPlan() {
-  if (!Config.AuditPlan)
+  if (Config.AuditPlan) {
+    const instrument::AuditResult &Result = planAudit();
+    if (!Result.ok())
+      return Result.Failure.context("plan audit failed");
+  }
+  return ensureLockOrder();
+}
+
+support::Error ChimeraPipeline::ensureLockOrder() {
+  if (Config.LockOrder == analysis::LockOrderMode::Off)
     return support::Error::success();
-  const instrument::AuditResult &Result = planAudit();
+  const instrument::LockOrderAuditResult &Result = lockOrderAudit();
   if (!Result.ok())
-    return Result.Failure.context("plan audit failed");
+    return Result.Failure.context("lock-order audit failed");
   return support::Error::success();
+}
+
+void ChimeraPipeline::applyLockOrder(rt::MachineOptions &MO) {
+  MO.ForceWeakPolling = Config.ForceWeakPolling;
+  // Elide only on a validated certificate: the audit stage already ran
+  // (ensureAuditedPlan precedes every instrumented execution), so
+  // Certified here means the recomputed graph agrees with the stamp.
+  MO.ElideWeakPolling = Config.LockOrder != analysis::LockOrderMode::Off &&
+                        lockOrderAudit().Certified;
 }
 
 rt::ExecutionResult ChimeraPipeline::runOriginalNative(
@@ -279,6 +382,7 @@ rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
+  applyLockOrder(MO);
   applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);
   return Machine.run();
@@ -296,6 +400,7 @@ rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
   MO.DispatchBatch = Config.DispatchBatch;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.Observer = Obs;
+  applyLockOrder(MO);
   applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);
   return Machine.run();
@@ -355,6 +460,7 @@ ChimeraPipeline::recordStreamed(const std::string &Path, uint64_t Seed,
   MO.Observer = Obs;
   MO.LogSink = &Writer;
   MO.CheckpointEvery = Config.CheckpointEvery;
+  applyLockOrder(MO);
   applyObs(MO);
   rt::Machine Machine(instrumentedModule(), MO);
   rt::ExecutionResult Result = Machine.run();

@@ -42,6 +42,7 @@
 
 #include "core/Options.h"
 #include "instrument/Instrumenter.h"
+#include "instrument/LockOrderAuditor.h"
 #include "instrument/PlanAuditor.h"
 #include "race/DynamicDetector.h"
 #include "race/RelayDetector.h"
@@ -92,6 +93,15 @@ public:
   /// every instrumented execution, which fails hard on a dirty audit.
   const instrument::AuditResult &planAudit() const;
 
+  /// Lock-order audit of the (possibly certified/repaired) plan against
+  /// the final instrumented module: recomputes the
+  /// may-be-held-while-acquiring graph and validates the plan's
+  /// certificate (stale or forged certificates, and cyclic plans under
+  /// Enforce, are hard errors gating every instrumented execution).
+  /// Computed once like the other stages; trivially ok() when
+  /// Config.LockOrder == Off.
+  const instrument::LockOrderAuditResult &lockOrderAudit() const;
+
   /// Re-plans under different optimizations (invalidates cached plan and
   /// instrumented module). Not thread-safe against concurrent stage
   /// accessors — reconfigure between, not during, analyses.
@@ -100,6 +110,17 @@ public:
   /// Switches the MHP filter mode (invalidates the race report and every
   /// downstream stage). Same thread-safety caveat as setPlannerOptions.
   void setMhpMode(analysis::MhpMode Mode);
+
+  /// Switches the lock-order mode (invalidates the plan and downstream
+  /// stages — Enforce may rewrite the lock table). Same thread-safety
+  /// caveat as setPlannerOptions.
+  void setLockOrderMode(analysis::LockOrderMode Mode);
+
+  /// Toggles forced weak-timeout polling for subsequent executions.
+  /// Purely an execution-time knob (no analysis stage depends on it),
+  /// so nothing is invalidated — tests and benches flip it to compare
+  /// certificate-elided against force-polled runs on one pipeline.
+  void setForceWeakPolling(bool On) { Config.ForceWeakPolling = On; }
 
   /// Test-only hook: mutates the plan right after planning, before
   /// instrumentation and audit, so tests can prove the auditor rejects
@@ -204,6 +225,14 @@ private:
   support::ThreadPool &pool() const;
   /// success() when audits are disabled or the plan proves out.
   support::Error ensureAuditedPlan();
+  /// success() when LockOrder is Off or the certificate validates.
+  support::Error ensureLockOrder();
+  /// Plan-stage lock-order analysis: analyze, repair under Enforce,
+  /// stamp the certificate (see Pipeline.cpp).
+  void certifyOrRepair(instrument::InstrumentationPlan &P) const;
+  /// Sets the weak-poll elision fields of \p MO from the lock-order
+  /// verdict (record/native executions only; replay never polls).
+  void applyLockOrder(rt::MachineOptions &MO);
 
   /// Wall-us counter for one pipeline stage ("pipeline.<stage>.wall_us");
   /// null handle when observability is off.
@@ -230,6 +259,7 @@ private:
   StageCell<instrument::InstrumentationPlan> Plan;
   StageCell<ir::Module> Instrumented;
   StageCell<instrument::AuditResult> Audit;
+  StageCell<instrument::LockOrderAuditResult> LockOrderCell;
 };
 
 } // namespace core

@@ -258,11 +258,22 @@ private:
         continue;
       }
 
-      // Calls: release every held lock (reverse), call, reacquire.
-      // The planner guarantees loop and block locks never cover calls,
-      // so only function locks are involved, but the general form keeps
-      // the invariant obvious.
-      if (Inst.Op == Opcode::Call) {
+      // Calls and blocking synchronization (mutex_lock, cond_wait,
+      // barrier_wait, join): release every held lock (reverse),
+      // execute, reacquire. Weak-lock critical sections are
+      // synchronization-delimited — a thread never holds a weak-lock
+      // while blocked on a strong primitive, so the only thing a weak
+      // holder can ever stall on is another weak acquisition. That is
+      // what lets an acyclic lock-order certificate discharge the
+      // revocation machinery statically: with no held-across-sync
+      // locks and no weak cycles, no ownership chain can stall. For
+      // calls specifically the planner guarantees loop and block locks
+      // never cover them, so only function locks are involved; sync
+      // ops can legitimately sit under loop or block guards and the
+      // general form handles every granularity.
+      if (Inst.Op == Opcode::Call || Inst.Op == Opcode::MutexLock ||
+          Inst.Op == Opcode::CondWait || Inst.Op == Opcode::BarrierWait ||
+          Inst.Op == Opcode::Join) {
         for (auto It = Held.Ordered.rbegin(); It != Held.Ordered.rend();
              ++It)
           emitRelease(Out, It->first, It->second);

@@ -1,0 +1,230 @@
+//===- instrument/LockOrderAuditor.cpp - Certificate gatekeeper ------------===//
+
+#include "instrument/LockOrderAuditor.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace chimera;
+using namespace chimera::instrument;
+using namespace chimera::analysis;
+
+static void addAffine(Hasher &H, const bounds::AffineExpr &E) {
+  H.addWord(E.valid());
+  if (!E.valid())
+    return;
+  H.addWord(static_cast<uint64_t>(E.constantValue()));
+  for (const auto &[Reg, Coeff] : E.coeffs()) {
+    H.addWord(Reg);
+    H.addWord(static_cast<uint64_t>(Coeff));
+  }
+}
+
+uint64_t instrument::planFingerprint(const InstrumentationPlan &Plan) {
+  Hasher H;
+  H.addWord(Plan.Locks.size());
+  for (const ir::WeakLockMeta &Meta : Plan.Locks) {
+    H.addWord(static_cast<uint64_t>(Meta.Granularity));
+    H.addString(Meta.Name);
+    H.addWord(Meta.HasRange);
+  }
+  H.addWord(Plan.Functions.size());
+  for (const auto &[FuncId, FP] : Plan.Functions) {
+    H.addWord(FuncId);
+    H.addWord(FP.EntryLocks.size());
+    for (uint32_t L : FP.EntryLocks)
+      H.addWord(L);
+    H.addWord(FP.Loops.size());
+    for (const LoopGuard &G : FP.Loops) {
+      H.addWord(G.LockId);
+      H.addWord(G.Header);
+      H.addWord(G.Preheader);
+      for (ir::BlockId B : G.LoopBlocks)
+        H.addWord(B);
+      H.addWord(G.HasRange);
+      H.addWord(G.LoList.size());
+      for (const bounds::AffineExpr &E : G.LoList)
+        addAffine(H, E);
+      H.addWord(G.HiList.size());
+      for (const bounds::AffineExpr &E : G.HiList)
+        addAffine(H, E);
+    }
+    H.addWord(FP.Blocks.size());
+    for (const BlockGuard &G : FP.Blocks) {
+      H.addWord(G.LockId);
+      H.addWord(G.Block);
+    }
+    H.addWord(FP.Instrs.size());
+    for (const InstrGuard &G : FP.Instrs) {
+      H.addWord(G.LockId);
+      H.addWord(G.Ident);
+    }
+  }
+  H.addWord(Plan.PairsTotal);
+  H.addWord(Plan.PairsFunctionCovered);
+  H.addWord(Plan.SidesLoopRanged);
+  H.addWord(Plan.SidesLoopUnranged);
+  H.addWord(Plan.SidesBasicBlock);
+  H.addWord(Plan.SidesInstr);
+  return H.digest();
+}
+
+void instrument::certifyLockOrder(InstrumentationPlan &Plan,
+                                  const LockOrderGraph &Graph) {
+  Plan.Certificate.Present = true;
+  Plan.Certificate.Acyclic = Graph.acyclic();
+  Plan.Certificate.PlanFingerprint = planFingerprint(Plan);
+  Plan.Certificate.Edges = Graph.stats().Edges;
+  Plan.Certificate.CyclesFound = Graph.stats().CyclesFeasible;
+}
+
+uint64_t instrument::repairLockOrder(
+    InstrumentationPlan &Plan,
+    const std::vector<std::vector<uint32_t>> &CyclicSets) {
+  if (CyclicSets.empty())
+    return 0;
+
+  // Old lock id -> representative (minimal member of its cyclic set).
+  std::map<uint32_t, uint32_t> Rep;
+  uint64_t Merged = 0;
+  for (const std::vector<uint32_t> &Set : CyclicSets) {
+    uint32_t R = Set.front();
+    std::string Name = "coalesced";
+    for (uint32_t L : Set) {
+      Rep[L] = R;
+      if (L != R)
+        ++Merged;
+      if (L < Plan.Locks.size() && !Plan.Locks[L].Name.empty())
+        Name += ":" + Plan.Locks[L].Name;
+    }
+    // The representative becomes one coarse Function-granularity lock:
+    // unranged, acquired at entry, released around calls — trivially
+    // acyclic against itself and auditable by PlanAuditor's coarsest-
+    // guard-kind check (a merged lock keeping mixed granularities would
+    // not be).
+    Plan.Locks[R].Granularity = ir::WeakLockGranularity::Function;
+    Plan.Locks[R].Name = Name;
+    Plan.Locks[R].HasRange = false;
+  }
+
+  for (auto &[FuncId, FP] : Plan.Functions) {
+    bool Touched = false;
+    auto isMember = [&](uint32_t L) { return Rep.count(L) != 0; };
+
+    std::vector<uint32_t> Entry;
+    for (uint32_t L : FP.EntryLocks) {
+      if (isMember(L)) {
+        Touched = true;
+        Entry.push_back(Rep[L]);
+      } else {
+        Entry.push_back(L);
+      }
+    }
+    std::vector<LoopGuard> Loops;
+    for (LoopGuard &G : FP.Loops) {
+      if (isMember(G.LockId)) {
+        Touched = true;
+        Entry.push_back(Rep[G.LockId]);
+      } else {
+        Loops.push_back(std::move(G));
+      }
+    }
+    std::vector<BlockGuard> Blocks;
+    for (const BlockGuard &G : FP.Blocks) {
+      if (isMember(G.LockId)) {
+        Touched = true;
+        Entry.push_back(Rep[G.LockId]);
+      } else {
+        Blocks.push_back(G);
+      }
+    }
+    std::vector<InstrGuard> Instrs;
+    for (const InstrGuard &G : FP.Instrs) {
+      if (isMember(G.LockId)) {
+        Touched = true;
+        Entry.push_back(Rep[G.LockId]);
+      } else {
+        Instrs.push_back(G);
+      }
+    }
+    if (!Touched)
+      continue;
+    std::sort(Entry.begin(), Entry.end());
+    Entry.erase(std::unique(Entry.begin(), Entry.end()), Entry.end());
+    FP.EntryLocks = std::move(Entry);
+    FP.Loops = std::move(Loops);
+    FP.Blocks = std::move(Blocks);
+    FP.Instrs = std::move(Instrs);
+  }
+
+  // Compact lock ids: merged-away ids vanish from the table and every
+  // surviving guard is renumbered, so downstream consumers (runtime
+  // WeakLockManager sizing, logs) see a dense table.
+  std::vector<uint32_t> NewId(Plan.Locks.size(), ~0u);
+  std::vector<ir::WeakLockMeta> NewLocks;
+  for (uint32_t L = 0; L != Plan.Locks.size(); ++L) {
+    if (Rep.count(L) && Rep[L] != L)
+      continue; // Merged away.
+    NewId[L] = static_cast<uint32_t>(NewLocks.size());
+    NewLocks.push_back(Plan.Locks[L]);
+  }
+  auto remap = [&](uint32_t L) { return NewId[Rep.count(L) ? Rep[L] : L]; };
+  for (auto &[FuncId, FP] : Plan.Functions) {
+    for (uint32_t &L : FP.EntryLocks)
+      L = remap(L);
+    std::sort(FP.EntryLocks.begin(), FP.EntryLocks.end());
+    for (LoopGuard &G : FP.Loops)
+      G.LockId = remap(G.LockId);
+    for (BlockGuard &G : FP.Blocks)
+      G.LockId = remap(G.LockId);
+    for (InstrGuard &G : FP.Instrs)
+      G.LockId = remap(G.LockId);
+  }
+  Plan.Locks = std::move(NewLocks);
+  return Merged;
+}
+
+LockOrderAuditResult instrument::auditLockOrder(
+    const ir::Module &Original, const InstrumentationPlan &Plan,
+    const ir::Module &Instrumented, const CallGraph &CG,
+    const MayHappenInParallel &Mhp, LockOrderMode Mode) {
+  LockOrderAuditResult R;
+  R.Failure = support::Error::success();
+  if (Mode == LockOrderMode::Off)
+    return R;
+
+  LockOrderGraph Graph(Instrumented, Original, CG, Mhp);
+  R.Stats = Graph.stats();
+  R.Report = Graph.report();
+
+  const LockOrderCertificate &Cert = Plan.Certificate;
+  if (Cert.Present) {
+    uint64_t Expect = planFingerprint(Plan);
+    if (Cert.PlanFingerprint != Expect) {
+      R.Failure = support::Error::failure(
+          "lock-order audit: stale certificate (plan fingerprint " +
+          std::to_string(Expect) + " != certified " +
+          std::to_string(Cert.PlanFingerprint) +
+          " — the plan was edited after certification)");
+      return R;
+    }
+    if (Cert.Acyclic && !Graph.acyclic()) {
+      R.Failure = support::Error::failure(
+          "lock-order audit: forged certificate (claims acyclic, "
+          "recomputation found " +
+          std::to_string(Graph.feasibleCycles().size()) +
+          " feasible cycle(s))\n" + R.Report);
+      return R;
+    }
+  }
+  if (Mode == LockOrderMode::Enforce && !Graph.acyclic()) {
+    R.Failure = support::Error::failure(
+        "lock-order enforce: plan has deadlock-potential cycles\n" +
+        R.Report);
+    return R;
+  }
+  R.Certified = Cert.Present && Cert.Acyclic && Graph.acyclic();
+  return R;
+}

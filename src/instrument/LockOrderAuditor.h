@@ -1,0 +1,79 @@
+//===- instrument/LockOrderAuditor.h - Certificate gatekeeper ---*- C++ -*-===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Certification, repair, and independent validation of a plan's
+/// weak-lock acquisition order (ISSUE 8, mirroring the PlanAuditor
+/// posture of ISSUE 3: the runtime trusts nothing it did not re-prove).
+///
+///  - planFingerprint() hashes the full plan content *excluding* the
+///    certificate fields, binding a certificate to one exact plan.
+///  - repairLockOrder() coalesces each cyclic lock set into one
+///    Function-granularity lock acquired at entry of every function that
+///    used any member — the coarsest repair, chosen so the repaired plan
+///    still passes PlanAuditor's granularity-consistency check (a merged
+///    lock with mixed-granularity guard sites could not).
+///  - auditLockOrder() recomputes the lock-order graph over the final
+///    instrumented module and cross-checks the carried certificate:
+///    a fingerprint mismatch (stale certificate — the plan was edited
+///    after stamping) or an acyclicity claim the recomputation refutes
+///    (forged certificate) is a hard error that gates record/replay,
+///    as is a cyclic plan under enforce mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHIMERA_INSTRUMENT_LOCKORDERAUDITOR_H
+#define CHIMERA_INSTRUMENT_LOCKORDERAUDITOR_H
+
+#include "analysis/LockOrderGraph.h"
+#include "instrument/Plan.h"
+#include "support/Expected.h"
+
+namespace chimera {
+namespace instrument {
+
+/// Content hash of \p Plan excluding its Certificate fields. Any edit to
+/// locks, guards, ranges, or stats changes the fingerprint. Public so
+/// tests can forge "internally consistent" lying certificates.
+uint64_t planFingerprint(const InstrumentationPlan &Plan);
+
+/// Stamps \p Plan's certificate from an analysis verdict: Present,
+/// Acyclic per \p Graph, fingerprint over the (post-repair) plan.
+void certifyLockOrder(InstrumentationPlan &Plan,
+                      const analysis::LockOrderGraph &Graph);
+
+/// Coalesces each lock set in \p CyclicSets (disjoint, sorted — from
+/// LockOrderGraph::cyclicLockSets()) into its minimal member, re-pointed
+/// to Function granularity and acquired at entry of every function that
+/// carried any member guard. Surviving lock ids are compacted. Returns
+/// the number of locks merged away.
+uint64_t repairLockOrder(InstrumentationPlan &Plan,
+                         const std::vector<std::vector<uint32_t>> &CyclicSets);
+
+struct LockOrderAuditResult {
+  support::Error Failure; ///< success() when the certificate checks out.
+  analysis::LockOrderStats Stats;
+  bool Certified = false; ///< Valid certificate proving acyclicity.
+  std::string Report;     ///< Witness chains / acyclicity statement.
+
+  bool ok() const { return !Failure; }
+};
+
+/// Recomputes the lock-order graph over \p Instrumented and validates
+/// \p Plan's certificate against it (see file comment). \p Mode Off is
+/// never an error; Audit fails only on certificate lies; Enforce
+/// additionally fails when feasible cycles remain.
+LockOrderAuditResult auditLockOrder(const ir::Module &Original,
+                                    const InstrumentationPlan &Plan,
+                                    const ir::Module &Instrumented,
+                                    const analysis::CallGraph &CG,
+                                    const analysis::MayHappenInParallel &Mhp,
+                                    analysis::LockOrderMode Mode);
+
+} // namespace instrument
+} // namespace chimera
+
+#endif // CHIMERA_INSTRUMENT_LOCKORDERAUDITOR_H

@@ -11,6 +11,13 @@ std::string InstrumentationPlan::summary(const ir::Module &M) const {
   Out += "race pairs: " + std::to_string(PairsTotal) +
          " (function-covered " + std::to_string(PairsFunctionCovered) +
          ")\n";
+  if (Certificate.Present)
+    Out += std::string("lock-order certificate: ") +
+           (Certificate.Acyclic ? "acyclic" : "cyclic") + " (" +
+           std::to_string(Certificate.Edges) + " edges, " +
+           std::to_string(Certificate.CyclesFound) + " cycles found, " +
+           std::to_string(Certificate.CoalescedLocks) +
+           " locks coalesced)\n";
   Out += "guard sites: loop+range " + std::to_string(SidesLoopRanged) +
          ", loop " + std::to_string(SidesLoopUnranged) + ", basic-block " +
          std::to_string(SidesBasicBlock) + ", instruction " +

@@ -71,11 +71,32 @@ struct FunctionPlan {
   }
 };
 
+/// The lock-order certificate a plan may carry (ISSUE 8). Stamped by the
+/// pipeline after the LockOrderGraph analysis proves the plan's weak-lock
+/// acquisition order acyclic; validated independently by the
+/// LockOrderAuditor before any instrumented execution. PlanFingerprint
+/// binds the claim to the exact plan content (certificate fields
+/// excluded), so editing the plan after stamping makes the certificate
+/// detectably stale.
+struct LockOrderCertificate {
+  bool Present = false;
+  bool Acyclic = false;
+  uint64_t PlanFingerprint = 0;
+  // Analysis/repair statistics carried for reporting.
+  uint64_t Edges = 0;
+  uint64_t CyclesFound = 0;    ///< Feasible cycles before repair.
+  uint64_t CoalescedLocks = 0; ///< Locks merged away by enforce-repair.
+  uint64_t RepairRounds = 0;
+};
+
 struct InstrumentationPlan {
   /// Weak-lock table; index = lock id (becomes Module::WeakLocks).
   std::vector<ir::WeakLockMeta> Locks;
   /// Per function id.
   std::map<uint32_t, FunctionPlan> Functions;
+
+  /// Lock-order certificate (Present == false when --lock-order=off).
+  LockOrderCertificate Certificate;
 
   // Planning statistics (reported by benches/tests).
   uint64_t PairsTotal = 0;

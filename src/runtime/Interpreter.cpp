@@ -45,24 +45,18 @@ void Machine::advance(Thread &T) {
 Machine::Step Machine::execPending(Thread &T, unsigned Core) {
   uint64_t Now = Sched.coreTime(Core);
 
-  // 1. Replay: a recorded revocation due at this instruction boundary.
-  if (isReplay() && T.Tid < RevocationCursor.size()) {
-    auto &Pending = PendingRevocations[T.Tid];
-    uint32_t &Cursor = RevocationCursor[T.Tid];
-    if (Cursor < Pending.size()) {
-      const RevocationEvent &Rev = Pending[Cursor];
-      if (Rev.Instret == T.Instret && T.holdsWeak(Rev.LockId)) {
-        uint32_t Obj = Log.weakLockObject(Rev.LockId);
-        if (!gateOpen(Obj, T.Tid, OrderedOp::WeakRelease)) {
-          blockOnGate(T, Obj, Now);
-          return Step::Blocked;
-        }
-        ++Cursor;
-        Step S = doWeakRelease(T, Rev.LockId, Core, /*Forced=*/true);
-        if (S == Step::Fault)
-          return S;
-      }
-    }
+  for (;;) {
+  // 1. Replay: recorded forced-release episodes due at this instruction
+  // boundary. The machine-side sweep in Machine::run covers blocked
+  // victims; this self-application covers a victim that reaches its
+  // boundary still running, before the next instruction dispatches. An
+  // episode can strip locks whose reacquisition (step 3) makes the NEXT
+  // episode at the same boundary applicable, so steps 1 and 3 repeat
+  // until neither makes progress.
+  if (isReplay()) {
+    Step S = applyForcedReleases(T, Core, /*ParkOnShutGate=*/true);
+    if (S != Step::Continue)
+      return S;
   }
 
   // 2. Cond-wait mutex reacquisition.
@@ -107,8 +101,12 @@ Machine::Step Machine::execPending(Thread &T, unsigned Core) {
     }
   }
 
-  // 3. Forced weak-lock reacquisitions, in revocation order.
-  while (!T.PendingReacquire.empty()) {
+  // 3. Forced weak-lock reacquisitions, in revocation order. Deferred
+  // while the thread is resuming a gate-blocked program acquire: the
+  // recorded order granted that acquire before any of these (see
+  // Thread::AcquireBeforeReacquire).
+  bool Reacquired = false;
+  while (!T.AcquireBeforeReacquire && !T.PendingReacquire.empty()) {
     HeldWeakLock Next = T.PendingReacquire.front();
     uint32_t Obj = Log.weakLockObject(Next.LockId);
     unsigned Gran = Next.SiteGran;
@@ -124,6 +122,7 @@ Machine::Step Machine::execPending(Thread &T, unsigned Core) {
         fail("replay divergence: forced reacquisition infeasible");
         return Step::Fault;
       }
+      Reacquired = true;
       T.PendingReacquire.erase(T.PendingReacquire.begin());
       T.HeldWeak.push_back(Next);
       ++Stats.WeakAcquires[Gran];
@@ -140,6 +139,7 @@ Machine::Step Machine::execPending(Thread &T, unsigned Core) {
     WeakRequest Req{T.Tid, Next.HasRange, Next.Lo, Next.Hi, Now,
                     Next.SiteGran};
     if (Weak.tryAcquire(Next.LockId, Req)) {
+      Reacquired = true;
       T.PendingReacquire.erase(T.PendingReacquire.begin());
       T.HeldWeak.push_back(Next);
       ++Stats.WeakAcquires[Gran];
@@ -162,7 +162,9 @@ Machine::Step Machine::execPending(Thread &T, unsigned Core) {
     return Step::Blocked; // grantWeakWaiters pops PendingReacquire.
   }
 
-  return Step::Continue;
+  if (!Reacquired)
+    return Step::Continue;
+  } // for (;;)
 }
 
 //===----------------------------------------------------------------------===//

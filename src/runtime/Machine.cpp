@@ -223,10 +223,50 @@ void Machine::reportStall() {
     case BlockReason::CondVar: Who += "cond"; break;
     case BlockReason::Join: Who += "join"; break;
     case BlockReason::WeakLock: Who += "weak"; break;
-    case BlockReason::ReplayGate: Who += "gate"; break;
+    case BlockReason::ReplayGate: {
+      // Name the object and what its recorded order expects next — gate
+      // stalls are unreadable without it.
+      Who += "gate obj" + std::to_string(T->WaitObject);
+      if (isReplay() && Opts.ReplayLog &&
+          T->WaitObject < Opts.ReplayLog->PerObject.size()) {
+        const auto &Seq = Opts.ReplayLog->PerObject[T->WaitObject];
+        uint32_t Cur = GateCursor[T->WaitObject];
+        if (Cur < Seq.size())
+          Who += " wants t" + std::to_string(Seq[Cur].Tid) + " op" +
+                 std::to_string(static_cast<int>(Seq[Cur].Op));
+        else
+          Who += " exhausted";
+      }
+      break;
+    }
     case BlockReason::EpochEnd: Who += "epoch-end"; break;
     }
     Who += ")";
+  }
+  // A replay stall with unapplied forced releases usually means one of
+  // them is stuck behind its application guard; name the first per
+  // victim so the divergence is diagnosable.
+  if (isReplay() && HasRevocations) {
+    for (uint32_t Tid = 0; Tid != PendingRevocations.size(); ++Tid) {
+      const auto &Pending = PendingRevocations[Tid];
+      if (RevocationCursor[Tid] >= Pending.size())
+        continue;
+      const RevocationEvent &Rev = Pending[RevocationCursor[Tid]];
+      Who += " [rev t" + std::to_string(Rev.Tid) + " wl" +
+             std::to_string(Rev.LockId) + "@" +
+             std::to_string(Rev.Instret);
+      if (Rev.Tid < Threads.size()) {
+        const Thread &V = *Threads[Rev.Tid];
+        Who += " instret=" + std::to_string(V.Instret) +
+               " holds=" + (V.holdsWeak(Rev.LockId) ? "y" : "n") +
+               " gate=" +
+               (gateOpen(Log.weakLockObject(Rev.LockId), Rev.Tid,
+                         OrderedOp::WeakRelease)
+                    ? "open"
+                    : "shut");
+      }
+      Who += "]";
+    }
   }
   fail(std::string(isReplay() ? "replay divergence: no runnable thread"
                               : "deadlock: no runnable thread") +
@@ -323,23 +363,15 @@ ExecutionResult Machine::run() {
     // Forced releases recorded against blocked victims must be applied
     // machine-side during replay, or their waiters would gate forever
     // (in the recording, the kernel preempted the victim asynchronously).
+    // A victim that reaches its boundary still running self-applies in
+    // execPending instead; see applyForcedReleases for the episode rules.
     if (HasRevocations) {
-      for (uint32_t Tid = 0; Tid != PendingRevocations.size(); ++Tid) {
-        auto &Pending = PendingRevocations[Tid];
-        uint32_t &Cursor = RevocationCursor[Tid];
-        while (Cursor < Pending.size()) {
-          const RevocationEvent &Rev = Pending[Cursor];
-          if (Rev.Tid >= Threads.size())
-            break; // Victim thread not spawned yet in this replay.
-          Thread &V = *Threads[Rev.Tid];
-          if (V.State == ThreadState::Running || V.Instret != Rev.Instret ||
-              !V.holdsWeak(Rev.LockId) ||
-              !gateOpen(Log.weakLockObject(Rev.LockId), Rev.Tid,
-                        OrderedOp::WeakRelease))
-            break;
-          doWeakRelease(V, Rev.LockId, Core, /*Forced=*/true);
-          ++Cursor;
-        }
+      for (uint32_t Tid = 0;
+           Tid != PendingRevocations.size() && Tid < Threads.size(); ++Tid) {
+        Thread &V = *Threads[Tid];
+        if (V.State == ThreadState::Running)
+          continue;
+        applyForcedReleases(V, Core, /*ParkOnShutGate=*/false);
       }
     }
 
@@ -351,12 +383,19 @@ ExecutionResult Machine::run() {
       for (unsigned C = 0; C != Opts.NumCores; ++C)
         if (CoreThread[C] >= 0)
           Wake = std::min(Wake, Sched.coreTime(C) + 1);
-      if (Wake == UINT64_MAX && !isReplay()) {
-        uint64_t Since = Weak.earliestWaiterSince();
-        // Saturate: an effectively-infinite timeout means no rescue.
-        if (Since != UINT64_MAX &&
-            Opts.WeakLockTimeout < UINT64_MAX - Since)
-          Wake = Since + Opts.WeakLockTimeout;
+      // The timeout rescue is also gated by the certificate: under a
+      // sound one an all-idle weak-lock deadlock is impossible, and
+      // under an unsound one this surfaces as a loud stall error below
+      // rather than a silent (log-diverging) revocation.
+      if (Wake == UINT64_MAX && !isReplay() &&
+          (!Opts.ElideWeakPolling || Opts.ForceWeakPolling)) {
+        // Wake exactly when the beneficiary's wait matures (saturating:
+        // an effectively-infinite timeout means no rescue). Its Since
+        // resets each time a revocation lets it acquire one more lock
+        // of its guard set, so the earliest waiter overall is the wrong
+        // clock — polling there would spin one cycle at a time until
+        // the beneficiary catches up.
+        Wake = revocationMaturityTime();
       }
       if (Wake == UINT64_MAX) {
         if (Opts.StopAt) {
@@ -370,7 +409,8 @@ ExecutionResult Machine::run() {
         break;
       }
       Sched.setCoreTime(Core, std::max(Now + 1, Wake));
-      if (!isReplay() && !M.WeakLocks.empty())
+      if (!isReplay() && !M.WeakLocks.empty() &&
+          (!Opts.ElideWeakPolling || Opts.ForceWeakPolling))
         checkWeakTimeouts(Sched.coreTime(Core));
       continue;
     }
@@ -484,6 +524,17 @@ void Machine::publishObs() {
     LogS.counter("revocation.bytes").add(ObsRevBytes);
   }
 
+  if (!isReplay()) {
+    // Weak-timeout poll attribution: how many scans ran, how many the
+    // held-gate skipped, and whether certification elided the cadence
+    // for this run entirely.
+    obs::Scope Wk = Root.sub("weak");
+    Wk.counter("poll").add(ObsWeakPolls);
+    Wk.counter("poll_skipped").add(ObsWeakPollsSkipped);
+    if (Opts.ElideWeakPolling && !Opts.ForceWeakPolling)
+      Wk.counter("poll_elided_runs").inc();
+  }
+
   obs::Scope SchedS = Root.sub("sched");
   SchedS.counter("quanta").add(ObsQuanta);
   SchedS.counter("quantum_cycles_granted").add(ObsQuantumGranted);
@@ -529,7 +580,11 @@ bool Machine::stepCore(unsigned Core) {
     CoreSliceStart[Core] = Sched.coreTime(Core);
   }
 
-  const bool PollWeak = !isReplay() && !M.WeakLocks.empty();
+  // A validated acyclicity certificate discharges the revocation safety
+  // net statically, so the per-instruction poll cadence is elided
+  // entirely (unless a cross-check force-enables it).
+  const bool PollWeak = !isReplay() && !M.WeakLocks.empty() &&
+                        (!Opts.ElideWeakPolling || Opts.ForceWeakPolling);
 
   Thread &T = *Threads[CoreThread[Core]];
   if (Failed) {
@@ -1220,9 +1275,14 @@ Machine::Step Machine::doWeakAcquire(Thread &T, uint32_t LockId,
 
   if (isReplay()) {
     if (!gateOpen(Obj, T.Tid, OrderedOp::WeakAcquire)) {
+      // Defers PendingReacquire processing until this acquire lands —
+      // the recorded order completed the blocked acquire first (via
+      // grantWeakWaiters) and any revocation-stripped locks after it.
+      T.AcquireBeforeReacquire = true;
       blockOnGate(T, Obj, Now);
       return Step::Blocked;
     }
+    T.AcquireBeforeReacquire = false;
     WeakRequest Req{T.Tid, HasRange, Lo, Hi, Now,
                     static_cast<uint8_t>(SiteGran)};
     if (!Weak.tryAcquire(LockId, Req)) {
@@ -1390,12 +1450,182 @@ Machine::Step Machine::doWeakRelease(Thread &T, uint32_t LockId,
   return Step::Continue;
 }
 
+Machine::Step Machine::applyForcedReleases(Thread &V, unsigned Core,
+                                           bool ParkOnShutGate) {
+  if (!isReplay() || V.Tid >= RevocationCursor.size())
+    return Step::Continue;
+  auto &Pending = PendingRevocations[V.Tid];
+  uint32_t &Cursor = RevocationCursor[V.Tid];
+
+  // Applied one EPISODE at a time, all-or-nothing. One revocation strips
+  // the victim's full weak-lock set in a single poll, so its events
+  // share (Tid, Instret) and name each lock once; a repeated lock can
+  // only begin the next episode (the victim reacquires its pending list
+  // front-first, so consecutive episodes at one instret always share
+  // that front lock). The instret alone does not pin the record-side
+  // moment — a thread passes many distinct block points without
+  // retiring an instruction, and applying one release at an earlier
+  // block point than the recording revoked at reorders the victim's
+  // acquires against its gates. Requiring every lock of the episode to
+  // be simultaneously held and gate-open re-pins the exact moment: only
+  // at the recorded block point has the victim assembled all the holds
+  // the episode strips.
+  while (Cursor < Pending.size()) {
+    const RevocationEvent &Head = Pending[Cursor];
+    if (Head.Instret != V.Instret)
+      return Step::Continue;
+    uint32_t End = Cursor;
+    bool HoldsAll = true;
+    int64_t ShutObj = -1;
+    while (End < Pending.size() && Pending[End].Instret == Head.Instret) {
+      const RevocationEvent &Rev = Pending[End];
+      bool Repeat = false;
+      for (uint32_t I = Cursor; I != End; ++I)
+        if (Pending[I].LockId == Rev.LockId)
+          Repeat = true;
+      if (Repeat)
+        break; // Next episode starts here.
+      if (!V.holdsWeak(Rev.LockId)) {
+        HoldsAll = false;
+        break;
+      }
+      uint32_t Obj = Log.weakLockObject(Rev.LockId);
+      if (!gateOpen(Obj, V.Tid, OrderedOp::WeakRelease)) {
+        ShutObj = Obj;
+        break;
+      }
+      ++End;
+    }
+    // A missing hold means an earlier strip of this episode's front lock
+    // has not been reacquired yet; the episode becomes applicable once
+    // the pending loop brings it back.
+    if (!HoldsAll)
+      return Step::Continue;
+    if (ShutObj >= 0) {
+      if (ParkOnShutGate) {
+        blockOnGate(V, static_cast<uint32_t>(ShutObj),
+                    Sched.coreTime(Core));
+        return Step::Blocked;
+      }
+      return Step::Continue;
+    }
+    if (End == Cursor)
+      return Step::Continue;
+    // Pending reacquisitions always drain before an instruction
+    // dispatches, so a victim sitting at a program WeakAcquire with
+    // nothing pending was revoked while blocked at that acquire — whose
+    // eventual grant completed the acquire BEFORE the stripped locks
+    // were reacquired. Mark the victim so the interpreter keeps that
+    // order (see Thread::AcquireBeforeReacquire). Any other position
+    // (mid-reacquisition, or strong-blocked elsewhere) reacquires
+    // front-first with no deferral.
+    bool AtProgramAcquire =
+        V.PendingReacquire.empty() && !V.Stack.empty() &&
+        V.frame().DFunc->Insts[V.frame().Ip].Op == ir::Opcode::WeakAcquire;
+    for (uint32_t I = Cursor; I != End; ++I)
+      doWeakRelease(V, Pending[I].LockId, Core, /*Forced=*/true);
+    if (AtProgramAcquire)
+      V.AcquireBeforeReacquire = true;
+    Cursor = End;
+  }
+  return Step::Continue;
+}
+
 bool Machine::checkWeakTimeouts(uint64_t Now) {
-  WeakLockManager::Timeout TO = Weak.findTimeout(Now, Opts.WeakLockTimeout);
+  // A revocation needs a conflicting holder; while nothing is held the
+  // scan cannot find one, so it is skipped outright (the log-preserving
+  // held-gated poll, independent of plan certification).
+  if (!Weak.anyHeld()) {
+    if (CollectObs)
+      ++ObsWeakPollsSkipped;
+    return false;
+  }
+  if (CollectObs)
+    ++ObsWeakPolls;
+  // Only a holder that genuinely cannot make progress is a revocation
+  // victim. A Running/Ready holder finishes its critical section and
+  // releases on its own; a Sleeping one wakes by the clock; and a
+  // holder blocked on another weak-lock is fine as long as its
+  // obstruction chain ends in a thread that still runs. What the
+  // timeout exists to break (paper §2.3) is the chain that cannot
+  // resolve itself: a holder stalled behind a strong primitive
+  // (condvar, mutex, barrier, join — the classic held-across-wait
+  // deadlock) or a cycle of weak-lock waits. The walk reads only
+  // simulated scheduler and lock state, so record stays deterministic
+  // — and it is exactly the dynamic mirror of the static lock-order
+  // certificate: instrumented plans never hold a weak-lock across a
+  // strong wait, so with an acyclic certificate no stuck chain can
+  // exist and the poll provably never fires.
+  //
+  // All revocations feed ONE distinguished beneficiary — the lowest-tid
+  // stuck weak-waiter — until it stops being stuck. The beneficiary is
+  // never a victim (victims are holders of the lock it waits on), so
+  // its holds only grow: each matured wait revokes one stuck holder
+  // obstructing it, it acquires, blocks on the next lock of its guard
+  // set, and repeats until the set is complete and it retires real
+  // instructions. Without a stable priority the grants of round N are
+  // robbed by round N+1 before any thread completes a set, and ≥3
+  // overlapping stuck chains rotate forever (observed as an unbounded
+  // acquire/release storm with zero instructions retiring).
+  std::vector<uint8_t> Mark(Threads.size(), 0);
+  uint32_t B = stuckBeneficiary(Mark);
+  if (B == UINT32_MAX)
+    return false;
+  WeakLockManager::Timeout TO = Weak.findVictimFor(
+      Threads[B]->WaitObject, B, Now, Opts.WeakLockTimeout,
+      [&](uint32_t Tid) {
+        std::fill(Mark.begin(), Mark.end(), 0);
+        return weakChainStuck(Tid, Mark);
+      });
   if (!TO.Found)
     return false;
   performRevocation(TO, Now);
   return true;
+}
+
+uint32_t Machine::stuckBeneficiary(std::vector<uint8_t> &Mark) const {
+  for (uint32_t Tid = 0; Tid != Threads.size(); ++Tid) {
+    const Thread &T = *Threads[Tid];
+    if (T.State != ThreadState::Blocked || T.Reason != BlockReason::WeakLock)
+      continue;
+    std::fill(Mark.begin(), Mark.end(), 0);
+    if (weakChainStuck(Tid, Mark))
+      return Tid;
+  }
+  return UINT32_MAX;
+}
+
+uint64_t Machine::revocationMaturityTime() const {
+  if (Opts.WeakLockTimeout == UINT64_MAX)
+    return UINT64_MAX;
+  std::vector<uint8_t> Mark(Threads.size(), 0);
+  uint32_t B = stuckBeneficiary(Mark);
+  if (B == UINT32_MAX)
+    return UINT64_MAX;
+  uint64_t Since = Weak.waiterSince(Threads[B]->WaitObject, B);
+  if (Since == UINT64_MAX || Opts.WeakLockTimeout >= UINT64_MAX - Since)
+    return UINT64_MAX;
+  return Since + Opts.WeakLockTimeout;
+}
+
+bool Machine::weakChainStuck(uint32_t Tid, std::vector<uint8_t> &Mark) const {
+  const Thread &T = *Threads[Tid];
+  if (T.State != ThreadState::Blocked)
+    return false; // Runs, is ready, or wakes by the clock.
+  if (T.Reason != BlockReason::WeakLock)
+    return true; // Strong blockage: nothing guarantees a wakeup.
+  if (Mark[Tid] == 1)
+    return true; // Weak-wait cycle: a genuine weak-lock deadlock.
+  if (Mark[Tid] == 2)
+    return false; // Already proven alive on this walk.
+  Mark[Tid] = 1;
+  bool Stuck = false;
+  Weak.forEachBlocker(T.WaitObject, Tid, [&](uint32_t Blocker) {
+    if (!Stuck && weakChainStuck(Blocker, Mark))
+      Stuck = true;
+  });
+  Mark[Tid] = Stuck ? 1 : 2;
+  return Stuck;
 }
 
 void Machine::performRevocation(const WeakLockManager::Timeout &TO,
@@ -1404,7 +1634,24 @@ void Machine::performRevocation(const WeakLockManager::Timeout &TO,
   assert(Victim.holdsWeak(TO.LockId) && "victim does not hold the lock");
   // Forced release on behalf of the victim: the kernel preempts it at its
   // current instruction count (paper §2.3 / DoublePlay mechanism).
+  //
+  // The victim surrenders its ENTIRE weak-lock set, not just the
+  // contested lock. It is stuck (that is what made it a victim), so its
+  // remaining holds can only obstruct other threads; and a partial
+  // revocation livelocks when two stuck threads need overlapping sets —
+  // each revocation round hands one lock across, the beneficiary
+  // immediately blocks reassembling the rest, and the mirrored deadlock
+  // re-forms with the roles swapped, forever. Releasing everything
+  // removes the victim from the obstruction graph outright, so the
+  // beneficiary can assemble its full set and retire real instructions
+  // before any further timeout matures. The victim reacquires the whole
+  // set (FIFO) when it next runs.
   unsigned Core = Sched.minTimeCore();
   Sched.setCoreTime(Core, std::max(Sched.coreTime(Core), Now));
   doWeakRelease(Victim, TO.LockId, Core, /*Forced=*/true);
+  std::vector<uint32_t> Rest;
+  for (const HeldWeakLock &H : Victim.HeldWeak)
+    Rest.push_back(H.LockId);
+  for (uint32_t LockId : Rest)
+    doWeakRelease(Victim, LockId, Core, /*Forced=*/true);
 }

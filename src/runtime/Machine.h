@@ -111,6 +111,21 @@ struct MachineOptions {
   /// (overshoot, cursor divergence, thread-count drift) fails the run.
   const MachineSnapshot *StopAt = nullptr;
 
+  /// Record/native mode: the plan carries a validated lock-order
+  /// certificate proving no weak-lock deadlock is possible, so the
+  /// per-instruction weak-timeout polls AND the idle-path timeout
+  /// rescue are skipped entirely (ISSUE 8). Under a sound certificate
+  /// no revocation would have fired either way, so logs stay
+  /// bit-identical; under an unsound one a genuine deadlock surfaces
+  /// as a loud all-idle stall error rather than a silent revocation.
+  /// Replay mode never polls, so this only affects record/native.
+  bool ElideWeakPolling = false;
+
+  /// Test/bench override: poll even when ElideWeakPolling is set (the
+  /// bit-identity cross-check records the same certified plan with and
+  /// without polling and compares logs).
+  bool ForceWeakPolling = false;
+
   /// Observability sinks (both optional, both host-side only).
   ///
   /// Unlike \c Observer, attaching these does NOT disable the execFast
@@ -258,6 +273,16 @@ private:
                      bool HasRange, uint64_t Lo, uint64_t Hi, unsigned Core);
   Step doWeakRelease(Thread &T, uint32_t LockId, unsigned Core,
                      bool Forced);
+  /// Replay: apply every recorded forced-release episode due at \p V's
+  /// current instruction boundary. An episode is the run of consecutive
+  /// pending revocation events with \p V's instret and no repeated lock,
+  /// and applies all-or-nothing once every lock in it is held with its
+  /// release gate open. With \p ParkOnShutGate (the self-application
+  /// path, where \p V is the running thread) a due-but-gated episode
+  /// blocks \p V on the shut gate; otherwise (the machine-side sweep
+  /// over blocked victims) it is simply retried later. Returns Blocked
+  /// only in the former case.
+  Step applyForcedReleases(Thread &V, unsigned Core, bool ParkOnShutGate);
 
   void grantMutexToNextWaiter(uint32_t MutexId, uint64_t Now,
                               unsigned Core);
@@ -265,6 +290,26 @@ private:
   /// Returns true when a revocation was performed (it may touch another
   /// core's clock, so a dispatch batch must end).
   bool checkWeakTimeouts(uint64_t Now);
+  /// True when thread \p Tid is stalled with no way to make progress on
+  /// its own: blocked on a strong primitive, or blocked on a weak-lock
+  /// whose obstruction chain (holders and earlier conflicting waiters)
+  /// itself bottoms out in a strong blockage or a weak-wait cycle.
+  /// Chains whose tail is Running/Ready/Sleeping are alive — every
+  /// participant eventually releases — so revoking them is unnecessary.
+  /// \p Mark is the DFS state (0 unseen / 1 on path / 2 known-alive).
+  bool weakChainStuck(uint32_t Tid, std::vector<uint8_t> &Mark) const;
+  /// The distinguished revocation beneficiary: the lowest-tid thread
+  /// blocked on a weak-lock whose obstruction chain is stuck, or
+  /// UINT32_MAX when none. Revocations feed only this thread (and its
+  /// choice depends only on simulated state, so record is
+  /// deterministic); a stable priority is what guarantees progress —
+  /// see checkWeakTimeouts.
+  uint32_t stuckBeneficiary(std::vector<uint8_t> &Mark) const;
+  /// Absolute time at which the current beneficiary's wait matures
+  /// (Since + WeakLockTimeout, saturating); UINT64_MAX when there is no
+  /// beneficiary or the timeout is effectively infinite. Drives the
+  /// all-idle rescue wakeup.
+  uint64_t revocationMaturityTime() const;
   void performRevocation(const WeakLockManager::Timeout &TO, uint64_t Now);
   void makeReady(uint32_t Tid, uint64_t Now);
   void finishThread(Thread &T, uint64_t Now);
@@ -349,6 +394,8 @@ private:
   uint64_t ObsRevCount = 0, ObsRevBytes = 0;
   uint64_t ObsQuanta = 0;
   uint64_t ObsQuantumGranted = 0, ObsQuantumUsed = 0;
+  uint64_t ObsWeakPolls = 0;        ///< checkWeakTimeouts scans performed.
+  uint64_t ObsWeakPollsSkipped = 0; ///< Polls skipped (nothing held).
   std::vector<uint64_t> CoreSliceStart; ///< Bind-time clock per core.
 };
 

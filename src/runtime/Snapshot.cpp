@@ -84,9 +84,15 @@ MachineSnapshot Machine::captureSnapshot() const {
                 Reason == BlockReason::WeakLock)) {
       // Mutex / weak-lock wait queues are record-only; the thread
       // re-executes its acquire, which replay gates on the recorded
-      // order (see Snapshot.h).
+      // order (see Snapshot.h). A WeakLock reason survives as a
+      // breadcrumb: paired with WaitObject it tells the resumed replay
+      // whether the thread was waiting at a program acquire (which
+      // must complete before PendingReacquire is processed — see
+      // Thread::AcquireBeforeReacquire) or inside the reacquisition
+      // loop itself.
       State = ThreadState::Ready;
-      Reason = BlockReason::None;
+      if (Reason == BlockReason::Mutex)
+        Reason = BlockReason::None;
       ReadyTime = std::max(ReadyTime, T.BlockStart);
     }
     TS.State = static_cast<uint8_t>(State);
@@ -221,6 +227,18 @@ void Machine::restoreFromSnapshot(const MachineSnapshot &Snap) {
     T->HeldWeak = TS.HeldWeak;
     T->PendingReacquire = TS.PendingReacquire;
     T->JoinWaiters = TS.JoinWaiters;
+    if (T->State == ThreadState::Ready &&
+        T->Reason == BlockReason::WeakLock) {
+      // Breadcrumb from capture: the thread was waiting on a weak-lock.
+      // At a program acquire (WaitObject is not the front pending
+      // reacquisition — a thread never waits at an acquire of a lock it
+      // also has pending) the acquire must land before the pending list
+      // is processed, exactly as the recorded grant did it.
+      T->AcquireBeforeReacquire =
+          T->PendingReacquire.empty() ||
+          T->PendingReacquire.front().LockId != T->WaitObject;
+      T->Reason = BlockReason::None;
+    }
     if (T->State == ThreadState::Sleeping)
       ++SleepingThreads;
     if (T->State != ThreadState::Finished)

@@ -87,6 +87,15 @@ struct Thread {
   /// Pending forced reacquisitions after a revocation, in order.
   std::vector<HeldWeakLock> PendingReacquire;
 
+  /// Replay only: this thread is gate-blocked at a program WeakAcquire
+  /// instruction, so PendingReacquire processing is deferred until that
+  /// acquire completes. A revocation can strip a thread's holds while
+  /// it waits at an acquire; in record the eventual grant completes the
+  /// blocked acquire first (machine-side) and the stripped locks are
+  /// reacquired after it, so replay must keep the same order or the
+  /// per-object gates cross-deadlock.
+  bool AcquireBeforeReacquire = false;
+
   bool runnable() const { return State == ThreadState::Ready; }
   bool done() const { return State == ThreadState::Finished; }
 

@@ -13,6 +13,7 @@ void WeakLockManager::init(uint32_t NumLocks) {
   Locks.clear();
   Locks.resize(NumLocks);
   TotalWaiters = 0;
+  TotalHolders = 0;
 }
 
 bool WeakLockManager::conflicts(const WeakRequest &A, bool HasRange,
@@ -94,6 +95,7 @@ bool WeakLockManager::tryAcquire(uint32_t LockId, const WeakRequest &Req) {
   if (wouldConflict(LockId, Req.HasRange, Req.Lo, Req.Hi))
     return false;
   indexHolder(L, Req);
+  ++TotalHolders;
   return true;
 }
 
@@ -121,6 +123,7 @@ bool WeakLockManager::removeHolder(uint32_t LockId, uint32_t Tid) {
       else
         --L.UnrangedHolders;
       Holders.erase(Holders.begin() + static_cast<ptrdiff_t>(I));
+      --TotalHolders;
       return true;
     }
   }
@@ -144,6 +147,7 @@ std::vector<WeakRequest> WeakLockManager::grantWaiters(uint32_t LockId,
     WeakRequest Grant = Front;
     Grant.Since = Now;
     indexHolder(L, Grant);
+    ++TotalHolders;
     Granted.push_back(Grant);
     L.Waiters.pop_front();
     --TotalWaiters;
@@ -156,28 +160,7 @@ std::vector<WeakRequest> WeakLockManager::grantWaiters(uint32_t LockId,
 WeakLockManager::Timeout WeakLockManager::findTimeout(uint64_t Now,
                                                       uint64_t TimeoutCycles)
     const {
-  Timeout Result;
-  if (!TotalWaiters)
-    return Result;
-  for (uint32_t LockId = 0; LockId != Locks.size(); ++LockId) {
-    const LockState &L = Locks[LockId];
-    if (L.Waiters.empty())
-      continue;
-    const WeakRequest &Oldest = L.Waiters.front();
-    if (Now < Oldest.Since || Now - Oldest.Since < TimeoutCycles)
-      continue;
-    // Find a holder blocking the stalled waiter.
-    for (const WeakRequest &H : L.Holders) {
-      if (conflicts(H, Oldest.HasRange, Oldest.Lo, Oldest.Hi)) {
-        Result.Found = true;
-        Result.LockId = LockId;
-        Result.VictimTid = H.Tid;
-        Result.WaiterTid = Oldest.Tid;
-        return Result;
-      }
-    }
-  }
-  return Result;
+  return findTimeoutIf(Now, TimeoutCycles, [](uint32_t) { return true; });
 }
 
 size_t WeakLockManager::numHolders(uint32_t LockId) const {

@@ -86,6 +86,116 @@ public:
   /// small). Returns the first one found.
   Timeout findTimeout(uint64_t Now, uint64_t Timeout) const;
 
+  /// Like findTimeout, but only holders for which \p VictimEligible
+  /// returns true qualify as revocation victims. The machine passes
+  /// "the holder itself cannot make progress": revocation exists to
+  /// break stalled ownership chains (paper §2.3 times out instead of
+  /// deadlocking), not to preempt a holder that is still running its
+  /// critical section — a running holder releases on its own, so
+  /// skipping it preserves liveness while avoiding spurious
+  /// revocations under tiny timeouts.
+  template <typename PredT>
+  Timeout findTimeoutIf(uint64_t Now, uint64_t TimeoutCycles,
+                        PredT &&VictimEligible) const {
+    Timeout Result;
+    if (!TotalWaiters)
+      return Result;
+    for (uint32_t LockId = 0; LockId != Locks.size(); ++LockId) {
+      const LockState &L = Locks[LockId];
+      if (L.Waiters.empty())
+        continue;
+      const WeakRequest &Oldest = L.Waiters.front();
+      if (Now < Oldest.Since || Now - Oldest.Since < TimeoutCycles)
+        continue;
+      for (const WeakRequest &H : L.Holders) {
+        if (!conflicts(H, Oldest.HasRange, Oldest.Lo, Oldest.Hi))
+          continue;
+        if (!VictimEligible(H.Tid))
+          continue;
+        Result.Found = true;
+        Result.LockId = LockId;
+        Result.VictimTid = H.Tid;
+        Result.WaiterTid = Oldest.Tid;
+        return Result;
+      }
+    }
+    return Result;
+  }
+
+  /// Victim search for one designated beneficiary: \p WaiterTid's queued
+  /// request on \p LockId must have stalled at least \p TimeoutCycles,
+  /// and the returned victim is the first conflicting holder for which
+  /// \p VictimEligible holds. The machine passes "the holder is stuck"
+  /// and calls this only for its highest-priority stuck waiter, so
+  /// revocations always feed the same beneficiary until it makes real
+  /// progress — a rotating beneficiary livelocks under mass contention
+  /// (each round's grantee is robbed by the next round before it can
+  /// assemble its full guard set).
+  template <typename PredT>
+  Timeout findVictimFor(uint32_t LockId, uint32_t WaiterTid, uint64_t Now,
+                        uint64_t TimeoutCycles,
+                        PredT &&VictimEligible) const {
+    Timeout Result;
+    if (LockId >= Locks.size())
+      return Result;
+    const LockState &L = Locks[LockId];
+    const WeakRequest *Req = nullptr;
+    for (const WeakRequest &W : L.Waiters) {
+      if (W.Tid == WaiterTid) {
+        Req = &W;
+        break;
+      }
+    }
+    if (!Req)
+      return Result;
+    if (Now < Req->Since || Now - Req->Since < TimeoutCycles)
+      return Result;
+    for (const WeakRequest &H : L.Holders) {
+      if (!conflicts(H, Req->HasRange, Req->Lo, Req->Hi))
+        continue;
+      if (!VictimEligible(H.Tid))
+        continue;
+      Result.Found = true;
+      Result.LockId = LockId;
+      Result.VictimTid = H.Tid;
+      Result.WaiterTid = WaiterTid;
+      return Result;
+    }
+    return Result;
+  }
+
+  /// Calls \p Fn(Tid) for every thread obstructing \p Tid's queued
+  /// request on \p LockId: holders whose grant conflicts with it, and
+  /// earlier FIFO waiters it conflicts with (a compatible request still
+  /// queues behind a conflicting one — see tryAcquire's fairness rule —
+  /// so those waiters gate progress exactly like holders do). No-op when
+  /// \p Tid is not waiting on \p LockId. Drives the machine's
+  /// stalled-ownership-chain walk for revocation eligibility.
+  template <typename FnT>
+  void forEachBlocker(uint32_t LockId, uint32_t Tid, FnT &&Fn) const {
+    if (LockId >= Locks.size())
+      return;
+    const LockState &L = Locks[LockId];
+    const WeakRequest *Req = nullptr;
+    for (const WeakRequest &W : L.Waiters) {
+      if (W.Tid == Tid) {
+        Req = &W;
+        break;
+      }
+    }
+    if (!Req)
+      return;
+    for (const WeakRequest &H : L.Holders)
+      if (conflicts(H, Req->HasRange, Req->Lo, Req->Hi))
+        Fn(H.Tid);
+    for (const WeakRequest &W : L.Waiters) {
+      if (W.Tid == Tid)
+        break; // Only waiters queued ahead of us gate our grant.
+      if (conflicts(W, Req->HasRange, Req->Lo, Req->Hi))
+        Fn(W.Tid);
+    }
+  }
+
   /// Number of threads currently holding / waiting on \p LockId.
   size_t numHolders(uint32_t LockId) const;
   size_t numWaiters(uint32_t LockId) const;
@@ -94,6 +204,24 @@ public:
   /// nothing is waiting. Drives timeout wakeups when every thread is
   /// blocked.
   uint64_t earliestWaiterSince() const;
+
+  /// Since of \p Tid's queued request on \p LockId; UINT64_MAX when it
+  /// is not waiting there. The machine times revocation maturity off
+  /// the designated beneficiary's own wait, not the oldest wait.
+  uint64_t waiterSince(uint32_t LockId, uint32_t Tid) const {
+    if (LockId >= Locks.size())
+      return UINT64_MAX;
+    for (const WeakRequest &W : Locks[LockId].Waiters)
+      if (W.Tid == Tid)
+        return W.Since;
+    return UINT64_MAX;
+  }
+
+  /// True when any thread holds any weak-lock. findTimeout() needs a
+  /// conflicting *holder* to revoke, so polls while nothing is held can
+  /// be skipped without changing any outcome (satellite: held-gated
+  /// polling, independent of plan certification).
+  bool anyHeld() const { return TotalHolders != 0; }
 
   /// The holder entry for (LockId, Tid); null if absent.
   const WeakRequest *holder(uint32_t LockId, uint32_t Tid) const;
@@ -135,6 +263,7 @@ private:
 
   std::vector<LockState> Locks;
   size_t TotalWaiters = 0; ///< Across all locks (fast timeout early-out).
+  size_t TotalHolders = 0; ///< Across all locks (held-gated polling).
 };
 
 } // namespace rt

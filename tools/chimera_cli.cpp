@@ -165,6 +165,7 @@ int main(int argc, char **argv) {
   Config.SegmentBytes = Opts.SegmentBytes;
   Config.CheckpointEvery = Opts.CheckpointEvery;
   Config.ReplayJobs = Opts.ReplayJobs;
+  Config.LockOrder = Opts.LockOrder;
   auto MaybePipeline =
       core::ChimeraPipeline::fromSource(Source, Source, Config);
   if (!MaybePipeline) {
@@ -235,6 +236,20 @@ int main(int argc, char **argv) {
                     Audit.Stats.AccessesChecked),
                 static_cast<unsigned long long>(
                     Audit.Stats.RangedGuardsChecked));
+    if (Opts.LockOrderReport ||
+        Opts.LockOrder != analysis::LockOrderMode::Off) {
+      const instrument::LockOrderAuditResult &LO =
+          Pipeline->lockOrderAudit();
+      if (!LO.ok()) {
+        std::fprintf(stderr, "lock-order audit FAILED: %s\n",
+                     LO.Failure.message().c_str());
+        return 1;
+      }
+      std::printf("%s", LO.Report.c_str());
+      if (LO.Certified)
+        std::printf("lock-order certificate: valid (weak-timeout polling "
+                    "elided at record time)\n");
+    }
     return emitObservability(*Pipeline, Opts, Trace.get()) ? 0 : 1;
   }
 
