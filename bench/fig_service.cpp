@@ -1,0 +1,289 @@
+//===- bench/fig_service.cpp - Multi-session service economics -------------===//
+//
+// What the service layer (ISSUE 9) buys over one-shot pipelines, on the
+// nine Table-1 workloads:
+//
+//   sequential   `repeat` fully cold one-shot runs per workload (the
+//                process summary cache cleared before each, no artifact
+//                cache): build -> plan -> record -> replay;
+//   batch        the same requests as concurrent sessions on one
+//                SessionManager sharing a persistent ArtifactCache and
+//                the process summary cache — the repeat runs amortize
+//                the whole analysis chain through the caches;
+//   warm         the batch's cache serialized and reloaded into a fresh
+//                cache (a simulated process restart): per-workload
+//                analysis (plan) wall, cold vs. warm.
+//
+// Every session is checked bit-identical to its one-shot reference
+// (plan fingerprint, record/replay state hashes, encoded log), and a
+// deliberately broken request is batched alongside two good ones to
+// demonstrate failure isolation. Emits BENCH_service.json; exits
+// nonzero if batch fails to beat sequential, any artifact differs, the
+// warm start fails to cut analysis wall, or the fault leaks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "race/SummaryCache.h"
+#include "replay/LogCodec.h"
+#include "service/SessionManager.h"
+
+#include <chrono>
+#include <map>
+
+using namespace chimera;
+using namespace chimera::bench;
+using namespace chimera::service;
+using namespace chimera::workloads;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned Repeat = 2;
+constexpr unsigned Workers = 4;
+constexpr unsigned Sessions = 2;
+
+double seconds(Clock::time_point A, Clock::time_point B) {
+  return std::chrono::duration<double>(B - A).count();
+}
+
+/// The bench's request for one workload (smaller profiling than the
+/// paper setup so the 18-run sweep stays tractable).
+core::PipelineRequest requestFor(WorkloadKind K) {
+  core::PipelineRequest R = pipelineRequest(K, Workers);
+  R.Config.ProfileRuns = 5;
+  return R;
+}
+
+struct Reference {
+  double OneShotSec = 0; ///< First (cold) one-shot wall.
+  uint64_t PlanFp = 0;
+  uint64_t StateHash = 0;
+  std::vector<uint8_t> LogBytes;
+};
+
+} // namespace
+
+int main() {
+  std::printf("Multi-session service: %u workloads x repeat %u, "
+              "%u concurrent sessions\n\n",
+              static_cast<unsigned>(allWorkloads().size()), Repeat,
+              Sessions);
+
+  // -- Sequential baseline: every run fully cold. ---------------------------
+  std::map<std::string, Reference> Ref;
+  auto SeqT0 = Clock::now();
+  for (unsigned Rep = 0; Rep < Repeat; ++Rep)
+    for (WorkloadKind K : allWorkloads()) {
+      race::SummaryCache::global().clear();
+      auto RunT0 = Clock::now();
+      auto P = core::ChimeraPipeline::create(requestFor(K));
+      if (!P) {
+        std::fprintf(stderr, "%s\n", P.error().message().c_str());
+        return 1;
+      }
+      uint64_t Fp = instrument::planFingerprint((*P)->plan());
+      rt::ExecutionResult Rec = (*P)->record(BenchSeed);
+      requireOk(Rec, "record");
+      rt::ExecutionResult Rep2 = (*P)->replay(Rec.Log);
+      requireOk(Rep2, "replay");
+      if (Rep2.StateHash != Rec.StateHash) {
+        std::fprintf(stderr, "one-shot replay diverged\n");
+        return 1;
+      }
+      if (Rep == 0) {
+        Reference &R = Ref[workloadInfo(K).Name];
+        R.OneShotSec = seconds(RunT0, Clock::now());
+        R.PlanFp = Fp;
+        R.StateHash = Rec.StateHash;
+        R.LogBytes = replay::encodeLog(Rec.Log);
+      }
+    }
+  double SeqWall = seconds(SeqT0, Clock::now());
+
+  // -- Batch: same requests, concurrent sessions, shared caches. ------------
+  race::SummaryCache::global().clear();
+  ArtifactCache Cache;
+  obs::Registry Metrics;
+  double BatchWall = 0;
+  bool AllIdentical = true;
+  std::map<std::string, std::vector<double>> SessionWalls;
+  {
+    SessionManager::Options MO;
+    MO.Concurrency = Sessions;
+    MO.Artifacts = &Cache;
+    MO.Metrics = &Metrics;
+    auto BatchT0 = Clock::now();
+    SessionManager M(MO);
+    SessionOptions SO;
+    SO.Seed = BenchSeed;
+    for (unsigned Rep = 0; Rep < Repeat; ++Rep)
+      for (WorkloadKind K : allWorkloads())
+        if (auto Id = M.submit(requestFor(K), SO); !Id) {
+          std::fprintf(stderr, "%s\n", Id.error().message().c_str());
+          return 1;
+        }
+    std::vector<SessionResult> Results = M.drainAll();
+    M.shutdown();
+    BatchWall = seconds(BatchT0, Clock::now());
+
+    for (const SessionResult &R : Results) {
+      if (!R.Ok) {
+        std::fprintf(stderr, "session %s failed: %s\n", R.Tag.c_str(),
+                     R.Error.c_str());
+        return 1;
+      }
+      const Reference &Want = Ref[R.Tag];
+      bool Identical = R.PlanFingerprint == Want.PlanFp &&
+                       R.RecordStateHash == Want.StateHash &&
+                       R.ReplayStateHash == Want.StateHash &&
+                       R.LogBytes == Want.LogBytes;
+      if (!Identical)
+        std::fprintf(stderr, "session %s NOT bit-identical to one-shot\n",
+                     R.Tag.c_str());
+      AllIdentical = AllIdentical && Identical;
+      SessionWalls[R.Tag].push_back(double(R.WallUs) / 1e6);
+    }
+  }
+  exportSummaries(race::SummaryCache::global(), Cache);
+
+  std::printf("%-10s %12s %14s %14s\n", "app", "oneshot", "session-r1",
+              "session-r2");
+  hrule(54);
+  for (WorkloadKind K : allWorkloads()) {
+    const char *Name = workloadInfo(K).Name;
+    const std::vector<double> &W = SessionWalls[Name];
+    std::printf("%-10s %11.3fs %13.3fs %13.3fs\n", Name,
+                Ref[Name].OneShotSec, W.empty() ? 0 : W[0],
+                W.size() < 2 ? 0 : W[1]);
+  }
+  hrule(54);
+  std::printf("sequential %.3fs   batch %.3fs   speedup %.2fx   %s\n\n",
+              SeqWall, BatchWall, SeqWall / BatchWall,
+              AllIdentical ? "all bit-identical" : "MISMATCH");
+
+  // -- Warm restart: reload the persisted image, re-plan every workload. ----
+  double ColdAnalysis = 0, WarmAnalysis = 0;
+  for (WorkloadKind K : allWorkloads()) {
+    race::SummaryCache::global().clear();
+    auto P = core::ChimeraPipeline::create(requestFor(K));
+    if (!P) {
+      std::fprintf(stderr, "%s\n", P.error().message().c_str());
+      return 1;
+    }
+    auto T0 = Clock::now();
+    (*P)->plan();
+    ColdAnalysis += seconds(T0, Clock::now());
+  }
+  ArtifactCache Restarted;
+  if (auto N = Restarted.loadBytes(Cache.serialize()); !N) {
+    std::fprintf(stderr, "%s\n", N.error().message().c_str());
+    return 1;
+  }
+  race::SummaryCache::global().clear();
+  importSummaries(Restarted, race::SummaryCache::global());
+  bool WarmIdentical = true;
+  for (WorkloadKind K : allWorkloads()) {
+    core::PipelineRequest R = requestFor(K);
+    R.Config.Artifacts = &Restarted;
+    auto P = core::ChimeraPipeline::create(std::move(R));
+    if (!P) {
+      std::fprintf(stderr, "%s\n", P.error().message().c_str());
+      return 1;
+    }
+    auto T0 = Clock::now();
+    uint64_t Fp = instrument::planFingerprint((*P)->plan());
+    WarmAnalysis += seconds(T0, Clock::now());
+    WarmIdentical =
+        WarmIdentical && Fp == Ref[workloadInfo(K).Name].PlanFp;
+  }
+  std::printf("analysis wall, all workloads: cold %.3fs, warm restart "
+              "%.3fs (%.1fx)%s\n",
+              ColdAnalysis, WarmAnalysis, ColdAnalysis / WarmAnalysis,
+              WarmIdentical ? "" : "  PLAN MISMATCH");
+
+  // -- Failure isolation: one broken request among good sessions. -----------
+  bool FaultIsolated = true;
+  {
+    SessionManager::Options MO;
+    MO.Concurrency = Sessions;
+    MO.Artifacts = &Cache;
+    SessionManager M(MO);
+    SessionOptions SO;
+    SO.Seed = BenchSeed;
+    core::PipelineRequest Broken;
+    Broken.Eval = "int main(";
+    Broken.Tag = "broken";
+    auto G1 = M.submit(requestFor(WorkloadKind::Aget), SO);
+    auto B = M.submit(std::move(Broken), SO);
+    auto G2 = M.submit(requestFor(WorkloadKind::Pfscan), SO);
+    if (!G1 || !B || !G2) {
+      std::fprintf(stderr, "fault-isolation submit failed\n");
+      return 1;
+    }
+    SessionResult RB = M.wait(*B);
+    FaultIsolated = FaultIsolated && !RB.Ok && !RB.Error.empty();
+    for (auto [Id, Name] : {std::pair<uint64_t, const char *>{*G1, "aget"},
+                            {*G2, "pfscan"}}) {
+      SessionResult R = M.wait(Id);
+      FaultIsolated = FaultIsolated && R.Ok &&
+                      R.RecordStateHash == Ref[Name].StateHash &&
+                      R.LogBytes == Ref[Name].LogBytes;
+    }
+  }
+  std::printf("failure isolation: %s\n",
+              FaultIsolated ? "broken session contained, siblings "
+                              "bit-identical"
+                            : "FAULT LEAKED");
+
+  // -- Report. --------------------------------------------------------------
+  FILE *Json = std::fopen("BENCH_service.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(Json,
+               "{\n  \"sessions\": %u,\n  \"repeat\": %u,\n"
+               "  \"sequential_seconds\": %.6f,\n"
+               "  \"batch_seconds\": %.6f,\n  \"speedup\": %.3f,\n"
+               "  \"cold_analysis_seconds\": %.6f,\n"
+               "  \"warm_analysis_seconds\": %.6f,\n"
+               "  \"warm_speedup\": %.3f,\n"
+               "  \"cache_entries\": %zu,\n"
+               "  \"all_bit_identical\": %s,\n"
+               "  \"fault_isolated\": %s,\n  \"apps\": [\n",
+               Sessions, Repeat, SeqWall, BatchWall, SeqWall / BatchWall,
+               ColdAnalysis, WarmAnalysis, ColdAnalysis / WarmAnalysis,
+               Cache.entryCount(), AllIdentical ? "true" : "false",
+               FaultIsolated ? "true" : "false");
+  size_t I = 0;
+  for (WorkloadKind K : allWorkloads()) {
+    const char *Name = workloadInfo(K).Name;
+    const std::vector<double> &W = SessionWalls[Name];
+    std::fprintf(Json,
+                 "    {\"app\": \"%s\", \"oneshot_seconds\": %.6f, "
+                 "\"session_seconds\": [%.6f, %.6f]}%s\n",
+                 Name, Ref[Name].OneShotSec, W.empty() ? 0 : W[0],
+                 W.size() < 2 ? 0 : W[1],
+                 ++I == allWorkloads().size() ? "" : ",");
+  }
+  std::fprintf(Json, "  ]\n}\n");
+  std::fclose(Json);
+  std::printf("wrote BENCH_service.json\n");
+
+  if (!AllIdentical || !WarmIdentical || !FaultIsolated)
+    return 1;
+  if (BatchWall >= SeqWall) {
+    std::fprintf(stderr, "batch (%.3fs) failed to beat sequential "
+                         "(%.3fs)\n",
+                 BatchWall, SeqWall);
+    return 1;
+  }
+  if (WarmAnalysis >= ColdAnalysis) {
+    std::fprintf(stderr, "warm restart failed to cut analysis wall\n");
+    return 1;
+  }
+  return 0;
+}

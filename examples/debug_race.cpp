@@ -57,7 +57,8 @@ int main() {
   core::PipelineConfig Config;
   Config.Name = "bank";
   Config.ProfileRuns = 8;
-  auto Built = core::ChimeraPipeline::fromSource(Bank, Bank, Config);
+  auto Built =
+      core::ChimeraPipeline::create({.Eval = Bank, .Config = Config});
   if (!Built) {
     std::fprintf(stderr, "compile error:\n%s\n",
                  Built.error().message().c_str());

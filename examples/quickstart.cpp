@@ -48,7 +48,8 @@ int main() {
   core::PipelineConfig Config;
   Config.Name = "quickstart";
   Config.ProfileRuns = 10;
-  auto Built = core::ChimeraPipeline::fromSource(Program, Program, Config);
+  auto Built =
+      core::ChimeraPipeline::create({.Eval = Program, .Config = Config});
   if (!Built) {
     std::fprintf(stderr, "compile error:\n%s\n",
                  Built.error().message().c_str());

@@ -138,6 +138,37 @@ const std::vector<OptionSpec> &core::optionTable() {
            O.LockOrder = analysis::LockOrderMode::Audit;
          return support::Error::success();
        }},
+      {"--sessions", "N", false,
+       "with `batch`: concurrent analysis sessions (default 2; 1 runs "
+       "them serially)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsignedFits(A, O.Sessions) || O.Sessions == 0)
+           return badValue("--sessions", A);
+         return support::Error::success();
+       }},
+      {"--repeat", "N", false,
+       "with `batch`: sessions submitted per program (default 1; >1 "
+       "cross-checks bit-identity between duplicates)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsignedFits(A, O.Repeat) || O.Repeat == 0)
+           return badValue("--repeat", A);
+         return support::Error::success();
+       }},
+      {"--deadline-ms", "N", false,
+       "with `batch`: per-session wall-clock budget in milliseconds, "
+       "checked at stage boundaries (default 0 = none)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsigned(A, O.DeadlineMs))
+           return badValue("--deadline-ms", A);
+         return support::Error::success();
+       }},
+      {"--cache", "FILE", false,
+       "with `batch`: persistent artifact cache (docs/CACHE_FORMAT.md); "
+       "loaded if present, saved back on success",
+       [](CliOptions &O, const char *A) {
+         O.CachePath = A;
+         return support::Error::success();
+       }},
       {"--metrics", "json|table", true,
        "print the observability snapshot after the command "
        "(default json); implies --obs=full",
@@ -215,6 +246,16 @@ std::string core::usageText() {
       "  run      execute natively and print the program output\n"
       "  record   record an execution (-o FILE, default prog.clog)\n"
       "  replay   replay a recorded log file deterministically\n"
+      "  batch    run several programs as concurrent analysis sessions\n"
+      "           (extra .mc files are positional; see --sessions,\n"
+      "           --repeat, --cache, --deadline-ms)\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  1  pipeline or session failure (compile, analysis, audit,\n"
+      "     record/replay, determinism mismatch, I/O)\n"
+      "  2  usage error (unknown command or flag, bad value, missing\n"
+      "     argument)\n"
       "\n"
       "options (value-taking flags accept --flag VALUE and "
       "--flag=VALUE):\n";
@@ -262,6 +303,10 @@ support::Error core::parseCliOptions(int Argc, char **Argv, int Start,
     if (!Match) {
       if (Command == "replay" && Opts.LogPath.empty() && Arg[0] != '-') {
         Opts.LogPath = Arg;
+        continue;
+      }
+      if (Command == "batch" && Arg[0] != '-') {
+        Opts.Inputs.push_back(Arg);
         continue;
       }
       return support::Error::failure("unknown option: " + Arg);

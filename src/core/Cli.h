@@ -64,6 +64,15 @@ struct CliOptions {
   analysis::LockOrderMode LockOrder = analysis::LockOrderMode::Off;
   bool LockOrderReport = false; ///< --lock-order-report: print witnesses.
 
+  // -- Multi-session batch service (ISSUE 9).
+  unsigned Sessions = 2;   ///< --sessions: concurrent batch sessions.
+  unsigned Repeat = 1;     ///< --repeat: sessions submitted per program.
+  uint64_t DeadlineMs = 0; ///< --deadline-ms: per-session budget (0 = none).
+  std::string CachePath;   ///< --cache: persistent artifact cache file.
+  /// batch's extra positional programs (beyond the first, which rides in
+  /// argv[2] like every other command's).
+  std::vector<std::string> Inputs;
+
   // -- Observability.
   MetricsFormat Metrics = MetricsFormat::None;
   std::string TraceOutPath; ///< --trace-out: Chrome trace_event sink.
@@ -101,8 +110,9 @@ const std::vector<OptionSpec> &optionTable();
 /// showing the `--flag=VALUE` form (brackets for optional values).
 std::string usageText();
 
-/// Applies the option table to argv[Start..). \p Command gates the one
-/// positional argument (replay's log file). Returns a failure naming
+/// Applies the option table to argv[Start..). \p Command gates the
+/// positional arguments (replay's log file; batch's extra program
+/// files). Returns a failure naming
 /// the offending argument on unknown flags, missing/forbidden values,
 /// or values the spec rejects.
 support::Error parseCliOptions(int Argc, char **Argv, int Start,

@@ -24,6 +24,9 @@
 #include <string>
 
 namespace chimera {
+namespace service {
+class ArtifactCache;
+}
 namespace core {
 
 struct PipelineConfig {
@@ -116,12 +119,43 @@ struct PipelineConfig {
   /// Observability != Off; ignored when Off.
   obs::TraceRecorder *Trace = nullptr;
 
+  /// Optional persistent artifact cache (service::ArtifactCache), not
+  /// owned; one instance is typically shared by every concurrent
+  /// session and persisted across processes (docs/CACHE_FORMAT.md).
+  /// When set, the plan stage consults it under a content-hash key
+  /// covering every plan input — a hit skips RELAY, the profile runs,
+  /// the planner, and the lock-order certification loop, and is
+  /// bit-identical to recomputation (the decoded plan's certificate is
+  /// re-fingerprinted, and the usual plan/lock-order audits still gate
+  /// every instrumented execution). Null = no persistence.
+  service::ArtifactCache *Artifacts = nullptr;
+
   /// AnalysisJobs resolved to a concrete worker count.
   unsigned effectiveAnalysisJobs() const;
 
   /// Sanity-checks the configuration (worker counts, run counts);
-  /// ChimeraPipeline::fromSource rejects configs that fail this.
+  /// ChimeraPipeline::create rejects configs that fail this.
   support::Error validate() const;
+};
+
+/// A pipeline request: everything needed to build one ChimeraPipeline,
+/// with named fields instead of the old positional
+/// `fromSource(eval, profile, config)` trio (which survives one PR as a
+/// deprecated shim). This is also the unit of work the service layer
+/// queues — `service::SessionManager::submit` takes exactly this
+/// struct, so the one-shot and many-session paths share a vocabulary.
+struct PipelineRequest {
+  /// MiniC source to analyze, instrument, and execute.
+  std::string Eval = {};
+  /// Profiling source; empty means "same as Eval". May differ from
+  /// Eval only in global initializer values and barrier party counts
+  /// (the paper profiles smaller inputs) — the IR shapes must match.
+  std::string Profile = {};
+  PipelineConfig Config = {};
+  /// Caller-chosen label surfaced in error contexts and per-session
+  /// service metrics ("service.session.<Tag>.*"). Empty is fine for
+  /// one-shot use.
+  std::string Tag = {};
 };
 
 } // namespace core

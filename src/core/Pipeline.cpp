@@ -3,13 +3,16 @@
 #include "core/Pipeline.h"
 
 #include "codegen/CodeGen.h"
+#include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "profile/Profiler.h"
 #include "race/SummaryCache.h"
 #include "replay/LogWriter.h"
+#include "service/ArtifactCache.h"
 #include "support/Hash.h"
 
 #include <cassert>
+#include <type_traits>
 
 using namespace chimera;
 using namespace chimera::core;
@@ -18,31 +21,39 @@ ChimeraPipeline::Analyses::Analyses(const ir::Module &M)
     : CG(M), PT(M, analysis::PointsToFlavor::Andersen), Escape(M, PT) {}
 
 support::Expected<std::unique_ptr<ChimeraPipeline>>
-ChimeraPipeline::fromSource(const std::string &EvalSource,
-                            const std::string &ProfileSource,
-                            PipelineConfig Config) {
-  if (support::Error E = Config.validate())
-    return E.context("invalid pipeline config");
+ChimeraPipeline::create(PipelineRequest Request) {
+  // Failures carry the request's Tag so a batch of concurrent sessions
+  // yields attributable errors.
+  // Copied, not referenced: Request.Tag is moved into the pipeline
+  // below, and failures after that point must still carry it.
+  const std::string Tag = Request.Tag;
+  auto Tagged = [&Tag](support::Error E) -> support::Error {
+    return Tag.empty() ? E : E.context("request '" + Tag + "'");
+  };
+
+  if (support::Error E = Request.Config.validate())
+    return Tagged(E.context("invalid pipeline config"));
 
   auto P = std::unique_ptr<ChimeraPipeline>(new ChimeraPipeline());
-  P->Config = std::move(Config);
+  P->Config = std::move(Request.Config);
+  P->Tag = std::move(Request.Tag);
   if (P->Config.Observability != obs::ObsMode::Off)
     P->ObsRegistry = std::make_unique<obs::Registry>();
   obs::Registry *Reg = P->ObsRegistry.get();
   obs::TraceRecorder *Trace = Reg ? P->Config.Trace : nullptr;
 
-  auto Eval = compileMiniCEx(EvalSource, P->Config.Name, Reg, Trace);
+  auto Eval = compileMiniCEx(Request.Eval, P->Config.Name, Reg, Trace);
   if (!Eval)
-    return Eval.error();
+    return Tagged(Eval.error());
   P->EvalModule = Eval.take();
 
-  if (ProfileSource == EvalSource || ProfileSource.empty()) {
+  if (Request.Profile == Request.Eval || Request.Profile.empty()) {
     P->ProfileModule = P->EvalModule->clone();
   } else {
-    auto Prof =
-        compileMiniCEx(ProfileSource, P->Config.Name + ".profile", Reg, Trace);
+    auto Prof = compileMiniCEx(Request.Profile, P->Config.Name + ".profile",
+                               Reg, Trace);
     if (!Prof)
-      return Prof.error().context("profile source");
+      return Tagged(Prof.error().context("profile source"));
     P->ProfileModule = Prof.take();
     // Profile and eval sources must have the same IR shape (they may
     // differ only in constants) so that function ids transfer.
@@ -50,8 +61,8 @@ ChimeraPipeline::fromSource(const std::string &EvalSource,
             P->EvalModule->Functions.size() ||
         P->ProfileModule->totalInstructions() !=
             P->EvalModule->totalInstructions())
-      return support::Error::failure(
-          "profile source has a different shape than eval source");
+      return Tagged(support::Error::failure(
+          "profile source has a different shape than eval source"));
   }
 
   std::vector<std::string> Problems = ir::verifyModule(*P->EvalModule);
@@ -59,16 +70,29 @@ ChimeraPipeline::fromSource(const std::string &EvalSource,
     std::string Msg = "IR verification failed:";
     for (const std::string &Problem : Problems)
       Msg += "\n  " + Problem;
-    return support::Error::failure(std::move(Msg));
+    return Tagged(support::Error::failure(std::move(Msg)));
   }
   return P;
+}
+
+support::Expected<std::unique_ptr<ChimeraPipeline>>
+ChimeraPipeline::fromSource(const std::string &EvalSource,
+                            const std::string &ProfileSource,
+                            PipelineConfig Config) {
+  PipelineRequest Request;
+  Request.Eval = EvalSource;
+  Request.Profile = ProfileSource;
+  Request.Config = std::move(Config);
+  return create(std::move(Request));
 }
 
 support::Expected<obs::Snapshot> ChimeraPipeline::metrics() const {
   if (!ObsRegistry)
     return support::Error::failure(
-        "pipeline observability is off "
-        "(PipelineConfig::Observability == ObsMode::Off)");
+        "pipeline observability is off; enable it with "
+        "PipelineConfig::Observability = obs::ObsMode::Sampled (or Full) "
+        "before building the pipeline, or pass --obs=sampled|full on the "
+        "command line");
   return ObsRegistry->snapshot();
 }
 
@@ -166,8 +190,67 @@ const profile::ProfileData &ChimeraPipeline::profileData() const {
   });
 }
 
+uint64_t ChimeraPipeline::planCacheKey() const {
+  // The cost model is all uint64_t fields, so its object representation
+  // is exactly its value — safe to hash as raw bytes. If a non-integer
+  // field is ever added, hash fields explicitly instead.
+  static_assert(std::has_unique_object_representations_v<rt::CostModel>,
+                "CostModel gained padding or non-integer fields; "
+                "planCacheKey must hash its fields explicitly");
+  Hasher H;
+  H.addString(ir::printModule(*EvalModule));
+  H.addString(ir::printModule(*ProfileModule));
+  H.addWord(Config.ProfileRuns);
+  H.addWord(Config.ProfileCores);
+  H.addWord(Config.ProfileSeedBase);
+  H.addBytes(&Config.Costs, sizeof(Config.Costs));
+  H.addWord(static_cast<uint64_t>(Config.Mhp));
+  H.addWord(Config.Planner.UseFunctionLocks);
+  H.addWord(Config.Planner.UseLoopLocks);
+  H.addWord(Config.Planner.UseBasicBlockLocks);
+  H.addWord(Config.Planner.LoopBodyThreshold);
+  H.addWord(static_cast<uint64_t>(Config.LockOrder));
+  return H.digest();
+}
+
+std::unique_ptr<instrument::InstrumentationPlan>
+ChimeraPipeline::planFromArtifacts(uint64_t Key) const {
+  std::vector<uint8_t> Bytes;
+  if (!Config.Artifacts->lookup(service::ArtifactKind::Plan, Key, Bytes))
+    return nullptr;
+  replay::ByteCursor C(Bytes);
+  auto P = std::make_unique<instrument::InstrumentationPlan>();
+  // Structural damage (or a certificate whose fingerprint does not
+  // match the decoded content) degrades to a miss — the planner runs
+  // and overwrites nothing (first writer wins keeps load-time bytes).
+  if (!service::decodePlan(C, *P) || !C.atEnd())
+    return nullptr;
+  return P;
+}
+
 const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
-  return Plan.get([&] {
+  return Plan.get([&]() -> std::unique_ptr<instrument::InstrumentationPlan> {
+    // Persistent plan cache: every input to the stages below is folded
+    // into the key, so a decoded hit is bit-identical to running them.
+    // Skipped entirely while a test corruptor is installed — a forged
+    // plan must never be persisted or satisfied from persistence.
+    const uint64_t CacheKey =
+        Config.Artifacts && !PlanCorruptor ? planCacheKey() : 0;
+    if (Config.Artifacts && !PlanCorruptor) {
+      if (auto Cached = planFromArtifacts(CacheKey)) {
+        if (ObsRegistry)
+          obs::Scope(ObsRegistry.get(), "pipeline")
+              .sub("plan.cache")
+              .counter("hits")
+              .inc();
+        return Cached;
+      }
+      if (ObsRegistry)
+        obs::Scope(ObsRegistry.get(), "pipeline")
+            .sub("plan.cache")
+            .counter("misses")
+            .inc();
+    }
     const race::RaceReport &Report = raceReport();
     // Without the function-lock optimization the planner ignores the
     // profile, so don't pay for profile runs.
@@ -184,8 +267,14 @@ const instrument::InstrumentationPlan &ChimeraPipeline::plan() const {
     // The corruptor runs AFTER certification, so tests can both forge
     // certificates and make a freshly stamped one stale by editing the
     // plan out from under it.
-    if (PlanCorruptor)
+    if (PlanCorruptor) {
       PlanCorruptor(*P);
+    } else if (Config.Artifacts) {
+      std::vector<uint8_t> Bytes;
+      service::encodePlan(*P, Bytes);
+      Config.Artifacts->insert(service::ArtifactKind::Plan, CacheKey,
+                               std::move(Bytes));
+    }
     return P;
   });
 }

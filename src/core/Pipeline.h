@@ -12,13 +12,20 @@
 ///
 /// Typical use:
 /// \code
-///   auto P = core::ChimeraPipeline::fromSource(EvalSrc, ProfileSrc,
-///                                              Config);
+///   core::PipelineRequest Req;
+///   Req.Eval = EvalSrc;
+///   Req.Config.NumCores = 8;
+///   auto P = core::ChimeraPipeline::create(std::move(Req));
 ///   if (!P)
 ///     report(P.error().message());
 ///   auto Outcome = (*P)->recordAndReplay(/*Seed=*/42);
 ///   assert(Outcome.Deterministic);
 /// \endcode
+///
+/// Many concurrent pipelines are run by `service::SessionManager`,
+/// which queues the same `PipelineRequest` struct; a request whose
+/// `Config.Artifacts` points at a `service::ArtifactCache` reuses
+/// persisted instrumentation plans across pipelines and processes.
 ///
 /// Stage accessors (`raceReport`, `profileData`, `plan`,
 /// `instrumentedModule`) are const, thread-safe, and compute each stage
@@ -61,15 +68,23 @@ namespace core {
 
 class ChimeraPipeline {
 public:
-  /// Compiles and assembles a pipeline. \p ProfileSource may equal
-  /// \p EvalSource (or be empty, meaning "same source"). Fails when
+  /// Compiles and assembles a pipeline from \p Request. Fails when
   /// either source does not compile, the sources' IR shapes differ, or
-  /// \p Config fails validation.
+  /// the config fails validation; failures carry the request's Tag as
+  /// context when one was set.
+  static support::Expected<std::unique_ptr<ChimeraPipeline>>
+  create(PipelineRequest Request);
+
+  /// Pre-PipelineRequest spelling, kept for exactly one PR.
+  [[deprecated("build a core::PipelineRequest and call "
+               "ChimeraPipeline::create instead")]]
   static support::Expected<std::unique_ptr<ChimeraPipeline>>
   fromSource(const std::string &EvalSource, const std::string &ProfileSource,
              PipelineConfig Config);
 
   const PipelineConfig &config() const { return Config; }
+  /// The request's Tag (possibly empty).
+  const std::string &tag() const { return Tag; }
 
   // -- Observability. The pipeline owns one obs::Registry (created when
   // Config.Observability != Off) and hands it down to every stage and
@@ -234,6 +249,18 @@ private:
   /// verdict (record/native executions only; replay never polls).
   void applyLockOrder(rt::MachineOptions &MO);
 
+  /// Content-hash key covering every input the plan stage consumes
+  /// (both modules' printed IR, the profiling environment, cost model,
+  /// planner options, MHP and lock-order modes) — the ArtifactCache key
+  /// for this pipeline's plan. Execution-only knobs (NumCores,
+  /// DispatchBatch, WeakLockTimeout, observability) are excluded: the
+  /// plan is invariant in them.
+  uint64_t planCacheKey() const;
+  /// Decoded plan out of Config.Artifacts, or null on miss/damage.
+  /// Never consulted while a test PlanCorruptor is installed.
+  std::unique_ptr<instrument::InstrumentationPlan>
+  planFromArtifacts(uint64_t Key) const;
+
   /// Wall-us counter for one pipeline stage ("pipeline.<stage>.wall_us");
   /// null handle when observability is off.
   obs::Counter stageCounter(const char *Stage) const;
@@ -246,6 +273,7 @@ private:
   void applyObs(rt::MachineOptions &MO) const;
 
   PipelineConfig Config;
+  std::string Tag; ///< From the request; labels errors and metrics.
   std::unique_ptr<obs::Registry> ObsRegistry; ///< Null when Off.
   std::unique_ptr<ir::Module> EvalModule;
   std::unique_ptr<ir::Module> ProfileModule;

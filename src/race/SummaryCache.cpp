@@ -41,6 +41,13 @@ void SummaryCache::clear() {
   Hits = Misses = Evictions = 0;
 }
 
+void SummaryCache::forEach(
+    const std::function<void(uint64_t, const FunctionSummary &)> &Fn) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Key, Summary] : Map)
+    Fn(Key, Summary);
+}
+
 void SummaryCache::publishTo(const obs::Scope &Scope) const {
   if (!Scope)
     return;

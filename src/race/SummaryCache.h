@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 
@@ -54,6 +55,14 @@ public:
   void insert(uint64_t Key, const FunctionSummary &Summary);
 
   void clear();
+
+  /// Calls \p Fn for every cached (key, summary) pair under the cache
+  /// lock (\p Fn must not reenter the cache). Iteration order is
+  /// unspecified — persistence layers that need a canonical order sort
+  /// on their side (service::ArtifactCache keys entries in a sorted
+  /// map, so the exported image is deterministic regardless).
+  void forEach(
+      const std::function<void(uint64_t, const FunctionSummary &)> &Fn) const;
 
   /// Publishes the cache counters into \p Scope as gauges ("hits",
   /// "misses", "entries", "evictions") — gauges because the cache is

@@ -443,8 +443,9 @@ ExecutionResult Machine::run() {
 support::Expected<obs::Snapshot> Machine::metrics() const {
   if (!Opts.Metrics)
     return support::Error::failure(
-        "machine has no metrics registry attached "
-        "(MachineOptions::Metrics is null)");
+        "machine has no metrics registry attached; point "
+        "MachineOptions::Metrics at an obs::Registry (pipelines do this "
+        "automatically when PipelineConfig::Observability != Off)");
   return Opts.Metrics->snapshot();
 }
 

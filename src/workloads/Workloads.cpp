@@ -1174,16 +1174,26 @@ WorkloadParams chimera::workloads::evalParams(WorkloadKind Kind,
   return P;
 }
 
-support::Expected<std::unique_ptr<core::ChimeraPipeline>>
-chimera::workloads::buildPipelineEx(WorkloadKind Kind, unsigned Workers,
+core::PipelineRequest
+chimera::workloads::pipelineRequest(WorkloadKind Kind, unsigned Workers,
                                     core::PipelineConfig Config) {
   Config.Name = workloadInfo(Kind).Name;
   Config.NumCores = 8;
   Config.ProfileRuns = 20;
   Config.ProfileCores = 8;
-  return core::ChimeraPipeline::fromSource(
-      workloadSource(Kind, evalParams(Kind, Workers)),
-      workloadSource(Kind, profileParams(Kind)), std::move(Config));
+  core::PipelineRequest Request;
+  Request.Eval = workloadSource(Kind, evalParams(Kind, Workers));
+  Request.Profile = workloadSource(Kind, profileParams(Kind));
+  Request.Tag = workloadInfo(Kind).Name;
+  Request.Config = std::move(Config);
+  return Request;
+}
+
+support::Expected<std::unique_ptr<core::ChimeraPipeline>>
+chimera::workloads::buildPipelineEx(WorkloadKind Kind, unsigned Workers,
+                                    core::PipelineConfig Config) {
+  return core::ChimeraPipeline::create(
+      pipelineRequest(Kind, Workers, std::move(Config)));
 }
 
 unsigned chimera::workloads::workloadLineCount(WorkloadKind Kind) {

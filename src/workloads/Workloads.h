@@ -86,9 +86,17 @@ WorkloadParams profileParams(WorkloadKind Kind);
 /// Evaluation environment: \p Workers workers, full inputs.
 WorkloadParams evalParams(WorkloadKind Kind, unsigned Workers = 4);
 
-/// Builds a ready-to-run pipeline (8 simulated cores, paper profiling
-/// setup). \p Config seeds the non-workload settings (AnalysisJobs,
-/// planner, caching); the workload fields are overwritten.
+/// The PipelineRequest for one workload (8 simulated cores, paper
+/// profiling setup): eval + profile sources filled in, Tag set to the
+/// workload name. \p Config seeds the non-workload settings
+/// (AnalysisJobs, planner, caching); the workload fields are
+/// overwritten. Feed it to ChimeraPipeline::create for a one-shot run
+/// or to service::SessionManager::submit for a concurrent session.
+core::PipelineRequest
+pipelineRequest(WorkloadKind Kind, unsigned Workers,
+                core::PipelineConfig Config = core::PipelineConfig());
+
+/// Builds a ready-to-run pipeline from pipelineRequest().
 support::Expected<std::unique_ptr<core::ChimeraPipeline>>
 buildPipelineEx(WorkloadKind Kind, unsigned Workers,
                 core::PipelineConfig Config = core::PipelineConfig());

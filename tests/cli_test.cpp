@@ -164,6 +164,32 @@ TEST(CliObsMode, ExplicitObsWinsOverImplication) {
   EXPECT_EQ(Off.effectiveObsMode(), obs::ObsMode::Off);
 }
 
+TEST(CliParse, BatchTakesManyPositionalsAndServiceFlags) {
+  CliOptions O;
+  EXPECT_FALSE(bool(parse({"b.mc", "--sessions=3", "c.mc", "--repeat=2",
+                           "--cache=x.cart", "--deadline-ms=50"},
+                          O, "batch")));
+  EXPECT_EQ(O.Inputs, (std::vector<std::string>{"b.mc", "c.mc"}));
+  EXPECT_EQ(O.Sessions, 3u);
+  EXPECT_EQ(O.Repeat, 2u);
+  EXPECT_EQ(O.CachePath, "x.cart");
+  EXPECT_EQ(O.DeadlineMs, 50u);
+  // Zero sessions/repeat are rejected; other commands still reject
+  // extra positionals.
+  CliOptions Bad;
+  EXPECT_TRUE(bool(parse({"--sessions=0"}, Bad, "batch")));
+  EXPECT_TRUE(bool(parse({"--repeat=0"}, Bad, "batch")));
+  CliOptions NotBatch;
+  EXPECT_TRUE(bool(parse({"b.mc"}, NotBatch, "record")));
+}
+
+TEST(CliHelp, DocumentsBatchAndExitCodes) {
+  const std::string Help = usageText();
+  EXPECT_NE(Help.find("batch"), std::string::npos);
+  EXPECT_NE(Help.find("exit codes"), std::string::npos);
+  EXPECT_NE(Help.find("usage error"), std::string::npos);
+}
+
 TEST(CliParse, PlannerAblationsAndHelpFlag) {
   CliOptions O;
   EXPECT_FALSE(bool(parse({"--naive", "--help"}, O)));

@@ -23,7 +23,7 @@ std::unique_ptr<core::ChimeraPipeline> pipelineFor(
   Config.NumCores = 4;
   Config.ProfileRuns = 6;
   Config.Planner = Opts;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  auto P = core::ChimeraPipeline::create({.Eval = Source, .Config = Config});
   EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }

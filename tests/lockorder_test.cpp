@@ -95,7 +95,7 @@ pipelineFor(const char *Source, analysis::LockOrderMode Mode,
   Config.WeakLockTimeout = Timeout;
   Config.LockOrder = Mode;
   Config.Observability = Obs;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  auto P = core::ChimeraPipeline::create({.Eval = Source, .Config = Config});
   EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }

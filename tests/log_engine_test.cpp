@@ -59,7 +59,7 @@ pipelineFor(const char *Source, unsigned Jobs, uint64_t SegmentBytes,
   Config.AnalysisJobs = Jobs;
   Config.SegmentBytes = SegmentBytes;
   Config.CheckpointEvery = CheckpointEvery;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  auto P = core::ChimeraPipeline::create({.Eval = Source, .Config = Config});
   EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }

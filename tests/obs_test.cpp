@@ -254,8 +254,8 @@ core::PipelineConfig obsConfig(ObsMode Mode) {
 }
 
 std::unique_ptr<core::ChimeraPipeline> obsPipeline(ObsMode Mode) {
-  auto P = core::ChimeraPipeline::fromSource(RacyLoops, RacyLoops,
-                                             obsConfig(Mode));
+  auto P = core::ChimeraPipeline::create(
+      {.Eval = RacyLoops, .Config = obsConfig(Mode)});
   EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }
@@ -402,7 +402,7 @@ TEST(ObsDeterminism, LogsAndHashesIdenticalAcrossModes) {
     if (Modes[I] != ObsMode::Off)
       Config.Trace = &Trace; // Tracing on top must also be inert.
     auto P =
-        core::ChimeraPipeline::fromSource(RacyLoops, RacyLoops, Config);
+        core::ChimeraPipeline::create({.Eval = RacyLoops, .Config = Config});
     ASSERT_TRUE(P.hasValue()) << P.error().message();
     rt::ExecutionResult Rec = (*P)->record(42);
     ASSERT_TRUE(Rec.Ok) << Rec.Error;

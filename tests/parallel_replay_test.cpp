@@ -64,7 +64,7 @@ pipelineFor(const char *Source, uint64_t CheckpointEvery) {
   Config.AnalysisJobs = 8; // Real pool: epochs must actually overlap.
   Config.SegmentBytes = 512;
   Config.CheckpointEvery = CheckpointEvery;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  auto P = core::ChimeraPipeline::create({.Eval = Source, .Config = Config});
   EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }
@@ -292,8 +292,8 @@ TEST(EpochReporting, StitcherPublishesMetrics) {
   Config.SegmentBytes = 512;
   Config.CheckpointEvery = 64;
   Config.Observability = obs::ObsMode::Full;
-  auto MaybeP = core::ChimeraPipeline::fromSource(RacyCounter, RacyCounter,
-                                                  Config);
+  auto MaybeP = core::ChimeraPipeline::create(
+      {.Eval = RacyCounter, .Config = Config});
   ASSERT_TRUE(MaybeP.hasValue()) << MaybeP.error().message();
   auto P = MaybeP.take();
   auto Bytes = recordBytes(*P, "preplay_metrics", 7);

@@ -29,7 +29,7 @@ PipelineConfig config() {
 }
 
 std::unique_ptr<ChimeraPipeline> build(PipelineConfig C) {
-  auto P = ChimeraPipeline::fromSource(Src, Src, std::move(C));
+  auto P = ChimeraPipeline::create({.Eval = Src, .Config = std::move(C)});
   EXPECT_TRUE(P) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }
@@ -37,14 +37,14 @@ std::unique_ptr<ChimeraPipeline> build(PipelineConfig C) {
 } // namespace
 
 TEST(Pipeline, RejectsBadSource) {
-  auto P = ChimeraPipeline::fromSource("int main(", "", config());
+  auto P = ChimeraPipeline::create({.Eval = "int main(", .Config = config()});
   EXPECT_FALSE(P);
   EXPECT_FALSE(P.error().message().empty());
 }
 
 TEST(Pipeline, RejectsMismatchedProfileSource) {
-  auto P = ChimeraPipeline::fromSource(Src, "int main() { return 0; }",
-                                       config());
+  auto P = ChimeraPipeline::create(
+      {.Eval = Src, .Profile = "int main() { return 0; }", .Config = config()});
   ASSERT_FALSE(P);
   EXPECT_NE(P.error().message().find("shape"), std::string::npos);
 }
@@ -52,28 +52,28 @@ TEST(Pipeline, RejectsMismatchedProfileSource) {
 TEST(Pipeline, RejectsInvalidConfig) {
   PipelineConfig C = config();
   C.AnalysisJobs = 100000;
-  auto P = ChimeraPipeline::fromSource(Src, Src, C);
+  auto P = ChimeraPipeline::create({.Eval = Src, .Config = C});
   ASSERT_FALSE(P);
   EXPECT_NE(P.error().message().find("AnalysisJobs"), std::string::npos);
 
   C = config();
   C.ProfileRuns = 0;
-  auto P2 = ChimeraPipeline::fromSource(Src, Src, C);
+  auto P2 = ChimeraPipeline::create({.Eval = Src, .Config = C});
   ASSERT_FALSE(P2);
   EXPECT_NE(P2.error().message().find("ProfileRuns"), std::string::npos);
 }
 
 TEST(Pipeline, CompileErrorCarriesDiagnostics) {
-  auto Bad = ChimeraPipeline::fromSource("int main(", "", config());
+  auto Bad = ChimeraPipeline::create({.Eval = "int main(", .Config = config()});
   ASSERT_FALSE(Bad);
   EXPECT_FALSE(Bad.error().message().empty());
-  auto Good = ChimeraPipeline::fromSource(Src, Src, config());
+  auto Good = ChimeraPipeline::create({.Eval = Src, .Config = config()});
   ASSERT_TRUE(Good.hasValue()) << (Good ? "" : Good.error().message());
   EXPECT_FALSE((*Good)->raceReport().Pairs.empty());
 }
 
 TEST(Pipeline, EmptyProfileSourceMeansSameSource) {
-  auto P = ChimeraPipeline::fromSource(Src, "", config());
+  auto P = ChimeraPipeline::create({.Eval = Src, .Config = config()});
   ASSERT_TRUE(P) << P.error().message();
   EXPECT_FALSE((*P)->raceReport().Pairs.empty());
 }

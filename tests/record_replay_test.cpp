@@ -52,7 +52,7 @@ const char *SyncHeavyProgram =
 std::unique_ptr<core::ChimeraPipeline> pipelineFor(const char *Source) {
   core::PipelineConfig Config;
   Config.ProfileRuns = 5;
-  auto P = core::ChimeraPipeline::fromSource(Source, Source, Config);
+  auto P = core::ChimeraPipeline::create({.Eval = Source, .Config = Config});
   EXPECT_TRUE(P.hasValue()) << (P ? "" : P.error().message());
   return P ? P.take() : nullptr;
 }

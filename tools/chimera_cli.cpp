@@ -15,6 +15,8 @@
 //   chimera record  prog.mc -o run.clog [--seed N] [--cores N]
 //                   [--segment-bytes N] [--checkpoint-every N]
 //   chimera replay  prog.mc run.clog [--verify-log] [--replay-jobs N]
+//   chimera batch   a.mc b.mc ... [--sessions N] [--repeat N]
+//                   [--cache cache.cart] [--deadline-ms N]
 //
 // `record` streams events into the crash-safe segmented log format
 // (docs/LOG_FORMAT.md) with periodic state checkpoints; `replay` reads
@@ -22,6 +24,14 @@
 // from damaged files). With --replay-jobs=N the log is partitioned at
 // its checkpoints and the epochs replay concurrently — bit-identical
 // to sequential replay for every N.
+//
+// `batch` runs every listed program as a concurrent analysis *session*
+// (service::SessionManager) over one shared persistent artifact cache:
+// with --cache=FILE the cache is loaded before the first session and
+// saved back afterwards, so a second batch run warm-starts past RELAY
+// and the planning/certification loop. Exit codes are uniform and
+// documented in --help: 0 success, 1 pipeline/session failure, 2 usage
+// error.
 //
 // Observability is uniform across commands: `--metrics[=json|table]`
 // prints the pipeline's registry snapshot after the command finishes,
@@ -35,12 +45,15 @@
 #include "core/Cli.h"
 #include "core/Pipeline.h"
 #include "ir/Printer.h"
+#include "race/SummaryCache.h"
 #include "replay/LogCodec.h"
 #include "replay/LogReader.h"
+#include "service/SessionManager.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -116,6 +129,130 @@ bool emitObservability(const core::ChimeraPipeline &Pipeline,
   return true;
 }
 
+/// `chimera batch`: every program in \p Paths becomes one session per
+/// --repeat on a shared SessionManager; artifacts persist through
+/// --cache across processes. Returns the process exit code.
+int runBatch(const std::vector<std::string> &Paths,
+             const core::CliOptions &Opts) {
+  // Read every program up front so a missing file fails the batch
+  // before any session is admitted.
+  std::vector<std::string> Sources(Paths.size());
+  for (size_t I = 0; I < Paths.size(); ++I)
+    if (!readFile(Paths[I], Sources[I])) {
+      std::fprintf(stderr, "cannot read %s\n", Paths[I].c_str());
+      return 1;
+    }
+
+  service::ArtifactCache Cache;
+  if (!Opts.CachePath.empty()) {
+    support::Expected<uint64_t> Loaded = Cache.loadFile(Opts.CachePath);
+    if (!Loaded) {
+      std::fprintf(stderr, "%s\n", Loaded.error().message().c_str());
+      return 1;
+    }
+    if (*Loaded) {
+      std::fprintf(stderr,
+                   "[chimera] warm start: %llu artifact(s) loaded from %s\n",
+                   static_cast<unsigned long long>(*Loaded),
+                   Opts.CachePath.c_str());
+      importSummaries(Cache, race::SummaryCache::global());
+    }
+  }
+
+  obs::Registry Metrics;
+  service::SessionManager::Options MO;
+  MO.Concurrency = Opts.Sessions;
+  MO.MaxSessions = Paths.size() * Opts.Repeat;
+  MO.Artifacts = &Cache;
+  MO.Metrics = &Metrics;
+  service::SessionManager Manager(MO);
+
+  for (unsigned Rep = 0; Rep < Opts.Repeat; ++Rep)
+    for (size_t I = 0; I < Paths.size(); ++I) {
+      core::PipelineConfig Config;
+      Config.Name = Paths[I];
+      Config.NumCores = Opts.Cores;
+      Config.AnalysisJobs = Opts.Jobs;
+      Config.Planner = Opts.Planner;
+      Config.Mhp = Opts.Mhp;
+      Config.LockOrder = Opts.LockOrder;
+      Config.Observability = Opts.effectiveObsMode();
+      service::SessionOptions SO;
+      SO.Seed = Opts.Seed;
+      SO.DeadlineMs = Opts.DeadlineMs;
+      support::Expected<uint64_t> Id = Manager.submit(
+          {.Eval = Sources[I], .Config = Config, .Tag = Paths[I]}, SO);
+      if (!Id) {
+        std::fprintf(stderr, "%s\n", Id.error().message().c_str());
+        return 1;
+      }
+    }
+
+  std::vector<service::SessionResult> Results = Manager.drainAll();
+
+  bool AllOk = true;
+  for (const service::SessionResult &R : Results) {
+    if (R.Ok) {
+      std::printf("session %llu %s: ok (plan %016llx, state %016llx, "
+                  "%llu us)\n",
+                  static_cast<unsigned long long>(R.Id), R.Tag.c_str(),
+                  static_cast<unsigned long long>(R.PlanFingerprint),
+                  static_cast<unsigned long long>(R.RecordStateHash),
+                  static_cast<unsigned long long>(R.WallUs));
+    } else {
+      std::printf("session %llu %s: FAILED: %s\n",
+                  static_cast<unsigned long long>(R.Id), R.Tag.c_str(),
+                  R.Error.c_str());
+      AllOk = false;
+    }
+  }
+
+  // Duplicate sessions of the same program must be bit-identical:
+  // same plan fingerprint, same state hashes, same encoded log.
+  bool Identical = true;
+  std::map<std::string, const service::SessionResult *> FirstByTag;
+  for (const service::SessionResult &R : Results) {
+    if (!R.Ok)
+      continue;
+    auto [It, Inserted] = FirstByTag.emplace(R.Tag, &R);
+    if (Inserted)
+      continue;
+    const service::SessionResult *F = It->second;
+    if (R.PlanFingerprint != F->PlanFingerprint ||
+        R.RecordStateHash != F->RecordStateHash ||
+        R.ReplayStateHash != F->ReplayStateHash ||
+        R.LogBytes != F->LogBytes) {
+      std::fprintf(stderr,
+                   "bit-identity MISMATCH between sessions %llu and %llu "
+                   "of %s\n",
+                   static_cast<unsigned long long>(F->Id),
+                   static_cast<unsigned long long>(R.Id), R.Tag.c_str());
+      Identical = false;
+    }
+  }
+  if (Identical && !Results.empty())
+    std::printf("bit-identity: ok across %zu session(s)\n", Results.size());
+
+  if (!Opts.CachePath.empty() && AllOk) {
+    exportSummaries(race::SummaryCache::global(), Cache);
+    if (support::Error E = Cache.saveFile(Opts.CachePath)) {
+      std::fprintf(stderr, "%s\n", E.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[chimera] %zu artifact(s) saved to %s\n",
+                 Cache.entryCount(), Opts.CachePath.c_str());
+  }
+
+  Cache.publishTo(obs::Scope(&Metrics, "service").sub("cache"));
+  if (Opts.Metrics != core::MetricsFormat::None) {
+    obs::Snapshot Snap = Metrics.snapshot();
+    std::printf("%s\n", Opts.Metrics == core::MetricsFormat::Table
+                            ? Snap.toTable().c_str()
+                            : Snap.toJson().c_str());
+  }
+  return AllOk && Identical ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -138,6 +275,13 @@ int main(int argc, char **argv) {
           core::parseCliOptions(argc, argv, 3, Command, Opts)) {
     std::fprintf(stderr, "%s\n", E.message().c_str());
     return 2;
+  }
+
+  if (Command == "batch") {
+    std::vector<std::string> Paths;
+    Paths.push_back(Path);
+    Paths.insert(Paths.end(), Opts.Inputs.begin(), Opts.Inputs.end());
+    return runBatch(Paths, Opts);
   }
 
   std::string Source;
@@ -167,7 +311,7 @@ int main(int argc, char **argv) {
   Config.ReplayJobs = Opts.ReplayJobs;
   Config.LockOrder = Opts.LockOrder;
   auto MaybePipeline =
-      core::ChimeraPipeline::fromSource(Source, Source, Config);
+      core::ChimeraPipeline::create({.Eval = Source, .Config = Config});
   if (!MaybePipeline) {
     std::fprintf(stderr, "%s\n", MaybePipeline.error().message().c_str());
     return 1;
