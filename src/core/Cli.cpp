@@ -169,6 +169,54 @@ const std::vector<OptionSpec> &core::optionTable() {
          O.CachePath = A;
          return support::Error::success();
        }},
+      {"--seeds", "N", false,
+       "with `stress`: campaign trials to derive and run (default 100)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsigned(A, O.StressSeeds) || O.StressSeeds == 0)
+           return badValue("--seeds", A);
+         return support::Error::success();
+       }},
+      {"--base-seed", "N", false,
+       "with `stress`: base seed trials derive from (default 1; same "
+       "base + index = same trial, forever)",
+       [](CliOptions &O, const char *A) {
+         if (!parseUnsigned(A, O.BaseSeed))
+           return badValue("--base-seed", A);
+         return support::Error::success();
+       }},
+      {"--shrink", nullptr, false,
+       "with `stress`: delta-debug failing trials to minimal repros "
+       "(the default)",
+       [](CliOptions &O, const char *) {
+         O.Shrink = true;
+         return support::Error::success();
+       }},
+      {"--no-shrink", nullptr, false,
+       "with `stress`: report failures without shrinking them",
+       [](CliOptions &O, const char *) {
+         O.Shrink = false;
+         return support::Error::success();
+       }},
+      {"--repro", "FILE", false,
+       "with `stress`: re-run one minimized repro file and exit "
+       "(0 = passes, 1 = still fails)",
+       [](CliOptions &O, const char *A) {
+         O.ReproPath = A;
+         return support::Error::success();
+       }},
+      {"--repro-dir", "DIR", false,
+       "with `stress`: directory for minimized repro files "
+       "(default stress-repros; empty disables writing)",
+       [](CliOptions &O, const char *A) {
+         O.ReproDir = A;
+         return support::Error::success();
+       }},
+      {"--report", "FILE", false,
+       "with `stress`: write the JSON campaign report to FILE",
+       [](CliOptions &O, const char *A) {
+         O.ReportPath = A;
+         return support::Error::success();
+       }},
       {"--metrics", "json|table", true,
        "print the observability snapshot after the command "
        "(default json); implies --obs=full",
@@ -238,6 +286,7 @@ const std::vector<OptionSpec> &core::optionTable() {
 std::string core::usageText() {
   std::string Text =
       "usage: chimera <command> <program.mc> [options]\n"
+      "       chimera stress [options]\n"
       "\n"
       "commands:\n"
       "  races    report the static (RELAY) race pairs\n"
@@ -249,6 +298,9 @@ std::string core::usageText() {
       "  batch    run several programs as concurrent analysis sessions\n"
       "           (extra .mc files are positional; see --sessions,\n"
       "           --repeat, --cache, --deadline-ms)\n"
+      "  stress   run a seeded differential stress campaign over the\n"
+      "           built-in source catalog (takes no program argument;\n"
+      "           see --seeds, --base-seed, --repro, --report)\n"
       "\n"
       "exit codes:\n"
       "  0  success\n"

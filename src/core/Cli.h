@@ -73,6 +73,15 @@ struct CliOptions {
   /// argv[2] like every other command's).
   std::vector<std::string> Inputs;
 
+  // -- Stress campaign (ISSUE 10).
+  uint64_t StressSeeds = 100; ///< --seeds: campaign trials to run.
+  uint64_t BaseSeed = 1;      ///< --base-seed: trial derivation seed.
+  bool Shrink = true;         ///< --no-shrink disables delta-debugging.
+  std::string ReproPath;      ///< --repro: run one repro file, then exit.
+  /// --repro-dir: where minimized repro files land ("" = don't write).
+  std::string ReproDir = "stress-repros";
+  std::string ReportPath;     ///< --report: JSON campaign report file.
+
   // -- Observability.
   MetricsFormat Metrics = MetricsFormat::None;
   std::string TraceOutPath; ///< --trace-out: Chrome trace_event sink.

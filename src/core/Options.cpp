@@ -34,5 +34,9 @@ support::Error PipelineConfig::validate() const {
     return support::Error::failure(
         "SegmentBytes must be at least 512, got " +
         std::to_string(SegmentBytes));
+  if (QuantumMin == 0 || QuantumMin > QuantumMax)
+    return support::Error::failure(
+        "quantum bounds must satisfy 1 <= QuantumMin <= QuantumMax, got [" +
+        std::to_string(QuantumMin) + ", " + std::to_string(QuantumMax) + "]");
   return support::Error::success();
 }

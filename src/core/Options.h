@@ -82,6 +82,15 @@ struct PipelineConfig {
   /// Weak-lock revocation threshold (cycles).
   uint64_t WeakLockTimeout = 500'000'000;
 
+  /// Scheduler quantum bounds in cycles for every Machine the pipeline
+  /// constructs (record/native draws uniformly in [Min, Max]; replay
+  /// uses Min). Unlike DispatchBatch these are *simulated-time* knobs:
+  /// changing them changes which schedules record observes, but any
+  /// recorded log still replays bit-identically — including under a
+  /// different quantum than it was recorded with.
+  uint64_t QuantumMin = 3000;
+  uint64_t QuantumMax = 9000;
+
   /// Instructions dispatched per scheduling decision in every Machine
   /// the pipeline constructs (see MachineOptions::DispatchBatch). Purely
   /// a host-speed knob — results are bit-identical for every value.
@@ -138,12 +147,10 @@ struct PipelineConfig {
   support::Error validate() const;
 };
 
-/// A pipeline request: everything needed to build one ChimeraPipeline,
-/// with named fields instead of the old positional
-/// `fromSource(eval, profile, config)` trio (which survives one PR as a
-/// deprecated shim). This is also the unit of work the service layer
-/// queues — `service::SessionManager::submit` takes exactly this
-/// struct, so the one-shot and many-session paths share a vocabulary.
+/// A pipeline request: everything needed to build one ChimeraPipeline.
+/// This is also the unit of work the service layer queues —
+/// `service::SessionManager::submit` takes exactly this struct, so the
+/// one-shot and many-session paths share a vocabulary.
 struct PipelineRequest {
   /// MiniC source to analyze, instrument, and execute.
   std::string Eval = {};

@@ -75,17 +75,6 @@ ChimeraPipeline::create(PipelineRequest Request) {
   return P;
 }
 
-support::Expected<std::unique_ptr<ChimeraPipeline>>
-ChimeraPipeline::fromSource(const std::string &EvalSource,
-                            const std::string &ProfileSource,
-                            PipelineConfig Config) {
-  PipelineRequest Request;
-  Request.Eval = EvalSource;
-  Request.Profile = ProfileSource;
-  Request.Config = std::move(Config);
-  return create(std::move(Request));
-}
-
 support::Expected<obs::Snapshot> ChimeraPipeline::metrics() const {
   if (!ObsRegistry)
     return support::Error::failure(
@@ -175,7 +164,17 @@ const profile::ProfileData &ChimeraPipeline::profileData() const {
           MO.NumCores = CoreVariants[Run % 4];
           MO.Seed = Config.ProfileSeedBase + Run;
           MO.Costs = Config.Costs;
-          MO.DispatchBatch = Config.DispatchBatch;
+          // Execution-only schedule knobs (DispatchBatch, Quantum*)
+          // deliberately stay at the MachineOptions defaults here:
+          // profiling is a PLANNER input, keyed by planCacheKey, which
+          // excludes those knobs so one plan serves every run
+          // configuration. Letting them leak in makes the plan — and
+          // with it the module's weak-lock table sizes — vary with the
+          // run schedule, so a log recorded under one quantum cannot
+          // even be opened for replay under another, and a warm
+          // artifact cache can serve a plan cold compute would not
+          // produce. Found by the stress campaign's replay-perturbed
+          // oracle (tests/stress_test.cpp pins the repro).
           MO.Observer = &Prof;
           rt::Machine Machine(*ProfileModule, MO);
           rt::ExecutionResult Result = Machine.run();
@@ -445,6 +444,8 @@ rt::ExecutionResult ChimeraPipeline::runOriginalNative(
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
+  MO.QuantumMin = Config.QuantumMin;
+  MO.QuantumMax = Config.QuantumMax;
   MO.Observer = Obs;
   applyObs(MO);
   rt::Machine Machine(*EvalModule, MO);
@@ -470,6 +471,8 @@ rt::ExecutionResult ChimeraPipeline::runInstrumentedNative(uint64_t Seed) {
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
+  MO.QuantumMin = Config.QuantumMin;
+  MO.QuantumMax = Config.QuantumMax;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   applyLockOrder(MO);
   applyObs(MO);
@@ -487,6 +490,8 @@ rt::ExecutionResult ChimeraPipeline::record(uint64_t Seed,
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
+  MO.QuantumMin = Config.QuantumMin;
+  MO.QuantumMax = Config.QuantumMax;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.Observer = Obs;
   applyLockOrder(MO);
@@ -505,6 +510,8 @@ rt::ExecutionResult ChimeraPipeline::replay(const rt::ExecutionLog &Log,
   MO.Seed = 0xdeadbeef; // Replay must not depend on the seed.
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
+  MO.QuantumMin = Config.QuantumMin;
+  MO.QuantumMax = Config.QuantumMax;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.ReplayLog = &Log;
   MO.Observer = Obs;
@@ -545,6 +552,8 @@ ChimeraPipeline::recordStreamed(const std::string &Path, uint64_t Seed,
   MO.Seed = Seed;
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
+  MO.QuantumMin = Config.QuantumMin;
+  MO.QuantumMax = Config.QuantumMax;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.Observer = Obs;
   MO.LogSink = &Writer;
@@ -572,6 +581,8 @@ ChimeraPipeline::replayResumed(const rt::ExecutionLog &Log,
   MO.Seed = 0xdeadbeef; // Replay must not depend on the seed.
   MO.Costs = Config.Costs;
   MO.DispatchBatch = Config.DispatchBatch;
+  MO.QuantumMin = Config.QuantumMin;
+  MO.QuantumMax = Config.QuantumMax;
   MO.WeakLockTimeout = Config.WeakLockTimeout;
   MO.ReplayLog = &Log;
   MO.ResumeFrom = &Snap;
@@ -595,6 +606,8 @@ ChimeraPipeline::replayParallel(replay::LogReader &Reader, unsigned Jobs) {
   PO.Machine.NumCores = Config.NumCores;
   PO.Machine.Costs = Config.Costs;
   PO.Machine.DispatchBatch = Config.DispatchBatch;
+  PO.Machine.QuantumMin = Config.QuantumMin;
+  PO.Machine.QuantumMax = Config.QuantumMax;
   PO.Machine.WeakLockTimeout = Config.WeakLockTimeout;
   return replay::ParallelReplayer::replay(instrumentedModule(), Reader, PO);
 }

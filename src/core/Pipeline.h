@@ -75,13 +75,6 @@ public:
   static support::Expected<std::unique_ptr<ChimeraPipeline>>
   create(PipelineRequest Request);
 
-  /// Pre-PipelineRequest spelling, kept for exactly one PR.
-  [[deprecated("build a core::PipelineRequest and call "
-               "ChimeraPipeline::create instead")]]
-  static support::Expected<std::unique_ptr<ChimeraPipeline>>
-  fromSource(const std::string &EvalSource, const std::string &ProfileSource,
-             PipelineConfig Config);
-
   const PipelineConfig &config() const { return Config; }
   /// The request's Tag (possibly empty).
   const std::string &tag() const { return Tag; }

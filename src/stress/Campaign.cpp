@@ -1,0 +1,176 @@
+//===- stress/Campaign.cpp - Seed fan-out, shrink, and report --------------===//
+//
+// Part of the Chimera reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress/Stress.h"
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+
+using namespace chimera;
+using namespace chimera::stress;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (uint8_t(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string CampaignReport::toJson() const {
+  std::ostringstream Out;
+  Out << "{\n"
+      << "  \"trials\": " << Trials << ",\n"
+      << "  \"passed\": " << Passed << ",\n"
+      << "  \"failed\": " << Failed << ",\n";
+  Out << "  \"per_oracle\": {";
+  bool First = true;
+  for (const auto &[Name, Count] : TrialsPerOracle) {
+    if (!First)
+      Out << ",";
+    First = false;
+    auto FIt = FailuresPerOracle.find(Name);
+    uint64_t Fails = FIt == FailuresPerOracle.end() ? 0 : FIt->second;
+    Out << "\n    \"" << jsonEscape(Name) << "\": {\"trials\": " << Count
+        << ", \"failed\": " << Fails << "}";
+  }
+  Out << (TrialsPerOracle.empty() ? "" : "\n  ") << "},\n";
+  Out << "  \"failures\": [";
+  for (size_t I = 0; I != Failures.size(); ++I) {
+    const CampaignFailure &F = Failures[I];
+    if (I)
+      Out << ",";
+    Out << "\n    {\n"
+        << "      \"index\": " << F.Index << ",\n"
+        << "      \"oracle\": \"" << jsonEscape(oracleName(F.Case.Oracle))
+        << "\",\n"
+        << "      \"source\": \"" << jsonEscape(F.Case.SourceName)
+        << "\",\n"
+        << "      \"seed\": " << F.Case.Seed << ",\n"
+        << "      \"failure\": \"" << jsonEscape(F.Result.Failure)
+        << "\",\n"
+        << "      \"minimized_failure\": \""
+        << jsonEscape(F.MinimizedResult.Failure) << "\",\n"
+        << "      \"minimized_source\": \""
+        << jsonEscape(F.Minimized.SourceName) << "\",\n"
+        << "      \"shrink\": {\"tried\": " << F.Shrink.Tried
+        << ", \"adopted\": " << F.Shrink.Adopted
+        << ", \"rounds\": " << F.Shrink.Rounds << "},\n"
+        << "      \"repro\": \"" << jsonEscape(F.ReproPath) << "\"\n"
+        << "    }";
+  }
+  Out << (Failures.empty() ? "" : "\n  ") << "]\n}\n";
+  return Out.str();
+}
+
+CampaignReport stress::runCampaign(const CampaignOptions &Opts) {
+  CampaignReport Rep;
+  Rep.Trials = Opts.Seeds;
+
+  std::vector<TrialCase> Cases(size_t(Opts.Seeds));
+  std::vector<TrialResult> Results(size_t(Opts.Seeds));
+  std::atomic<uint64_t> Done{0};
+
+  unsigned Workers =
+      Opts.Jobs ? Opts.Jobs : support::ThreadPool::defaultConcurrency();
+  support::ThreadPool Pool(Workers);
+  Pool.parallelFor(size_t(Opts.Seeds), [&](size_t I) {
+    Cases[I] = deriveCase(Opts.BaseSeed, I);
+    Results[I] = runTrial(Cases[I]);
+    uint64_t N = Done.fetch_add(1) + 1;
+    if (Opts.Progress)
+      Opts.Progress(N, Opts.Seeds);
+  });
+
+  // Merge in index order (deterministic regardless of Jobs), then
+  // shrink failures sequentially — the Minimizer re-runs trials, and
+  // interleaving those with campaign trials would only add noise to
+  // the progress story, not change any result.
+  Minimizer Mini;
+  for (size_t I = 0; I != Cases.size(); ++I) {
+    ++Rep.TrialsPerOracle[oracleName(Cases[I].Oracle)];
+    if (Results[I].Passed) {
+      ++Rep.Passed;
+      continue;
+    }
+    ++Rep.Failed;
+    ++Rep.FailuresPerOracle[oracleName(Cases[I].Oracle)];
+
+    CampaignFailure F;
+    F.Index = I;
+    F.Case = Cases[I];
+    F.Result = Results[I];
+    F.Minimized = F.Case;
+    F.MinimizedResult = F.Result;
+    if (Opts.Shrink) {
+      F.Minimized =
+          Mini.minimize(F.Case, sameFailurePredicate(F.Result), &F.Shrink);
+      F.MinimizedResult = runTrial(F.Minimized);
+    }
+    if (!Opts.ReproDir.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Opts.ReproDir, Ec);
+      F.ReproPath = (std::filesystem::path(Opts.ReproDir) /
+                     ("repro_" + std::to_string(I) + "_" +
+                      oracleName(F.Minimized.Oracle) + ".txt"))
+                        .string();
+      if (auto Err = writeReproFile(F.ReproPath, F.Minimized); Err)
+        F.ReproPath = "";
+    }
+    Rep.Failures.push_back(std::move(F));
+  }
+
+  if (Opts.Metrics) {
+    obs::Scope S(Opts.Metrics, "stress");
+    S.counter("trials").add(Rep.Trials);
+    S.counter("passed").add(Rep.Passed);
+    S.counter("failed").add(Rep.Failed);
+    uint64_t Tried = 0, Adopted = 0;
+    for (const CampaignFailure &F : Rep.Failures) {
+      Tried += F.Shrink.Tried;
+      Adopted += F.Shrink.Adopted;
+    }
+    S.counter("shrink.tried").add(Tried);
+    S.counter("shrink.adopted").add(Adopted);
+    for (const auto &[Name, Count] : Rep.TrialsPerOracle)
+      S.counter("oracle." + Name + ".trials").add(Count);
+    for (const auto &[Name, Count] : Rep.FailuresPerOracle)
+      S.counter("oracle." + Name + ".failed").add(Count);
+  }
+  return Rep;
+}

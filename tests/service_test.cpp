@@ -11,8 +11,8 @@
 //    bit-identical; a failing session leaves siblings untouched;
 //    cancellation and deadlines land at stage boundaries; admission is
 //    bounded; drain/shutdown is graceful.
-//  * The deprecated fromSource spelling still compiles and agrees with
-//    ChimeraPipeline::create.
+//  * Request-API equivalences: explicit-vs-implied profile source,
+//    Tag threading through error contexts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -456,14 +456,14 @@ TEST(SessionManagerTest, WaitOnUnknownIdFailsTyped) {
 }
 
 //===----------------------------------------------------------------------===//
-// Deprecated API shim
+// Request API
 //===----------------------------------------------------------------------===//
 
-TEST(PipelineRequestApi, DeprecatedFromSourceAgreesWithCreate) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto Old = core::ChimeraPipeline::fromSource(Src, "", config());
-#pragma GCC diagnostic pop
+TEST(PipelineRequestApi, ExplicitProfileSourceAgreesWithImplied) {
+  // An explicit Profile equal to Eval must build the same plan as the
+  // empty-Profile ("same as Eval") spelling.
+  auto Old = core::ChimeraPipeline::create(
+      {.Eval = Src, .Profile = Src, .Config = config()});
   ASSERT_TRUE(Old) << Old.error().message();
   auto New = core::ChimeraPipeline::create({.Eval = Src, .Config = config()});
   ASSERT_TRUE(New) << New.error().message();

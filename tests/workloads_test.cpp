@@ -35,7 +35,7 @@ TEST_P(WorkloadSuite, CompilesAndVerifies) {
 }
 
 TEST_P(WorkloadSuite, ProfileAndEvalShapesMatch) {
-  // The profile environment differs only in constants; fromSource
+  // The profile environment differs only in constants; create
   // enforces matching instruction counts, so building is the assertion.
     auto P = test::pipelineOrNull(GetParam(), 2);
 }

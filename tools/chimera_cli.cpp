@@ -17,6 +17,8 @@
 //   chimera replay  prog.mc run.clog [--verify-log] [--replay-jobs N]
 //   chimera batch   a.mc b.mc ... [--sessions N] [--repeat N]
 //                   [--cache cache.cart] [--deadline-ms N]
+//   chimera stress  [--seeds N] [--base-seed N] [--jobs N] [--no-shrink]
+//                   [--repro-dir DIR] [--report FILE] [--repro FILE]
 //
 // `record` streams events into the crash-safe segmented log format
 // (docs/LOG_FORMAT.md) with periodic state checkpoints; `replay` reads
@@ -49,6 +51,7 @@
 #include "replay/LogCodec.h"
 #include "replay/LogReader.h"
 #include "service/SessionManager.h"
+#include "stress/Stress.h"
 
 #include <cstdio>
 #include <cstring>
@@ -253,6 +256,101 @@ int runBatch(const std::vector<std::string> &Paths,
   return AllOk && Identical ? 0 : 1;
 }
 
+/// `chimera stress --repro FILE`: re-run one minimized repro. Exit 0
+/// when the trial passes (the bug is fixed), 1 when it still fails.
+int runRepro(const core::CliOptions &Opts) {
+  support::Expected<stress::TrialCase> Case =
+      stress::readReproFile(Opts.ReproPath);
+  if (!Case) {
+    std::fprintf(stderr, "%s\n", Case.error().message().c_str());
+    return 1;
+  }
+  stress::TrialResult R = stress::runTrial(*Case);
+  if (R.Passed) {
+    std::printf("repro %s: PASS (oracle %s, seed %llu, state %016llx)\n",
+                Opts.ReproPath.c_str(), stress::oracleName(Case->Oracle),
+                static_cast<unsigned long long>(Case->Seed),
+                static_cast<unsigned long long>(R.RecordHash));
+    return 0;
+  }
+  std::printf("repro %s: FAIL (oracle %s, seed %llu)\n  %s\n",
+              Opts.ReproPath.c_str(), stress::oracleName(Case->Oracle),
+              static_cast<unsigned long long>(Case->Seed),
+              R.Failure.c_str());
+  return 1;
+}
+
+/// `chimera stress`: the seeded differential campaign (ISSUE 10).
+int runStress(const core::CliOptions &Opts) {
+  if (!Opts.ReproPath.empty())
+    return runRepro(Opts);
+
+  obs::Registry Metrics;
+  stress::CampaignOptions CO;
+  CO.Seeds = Opts.StressSeeds;
+  CO.BaseSeed = Opts.BaseSeed;
+  CO.Jobs = Opts.Jobs;
+  CO.Shrink = Opts.Shrink;
+  CO.ReproDir = Opts.ReproDir;
+  CO.Metrics = &Metrics;
+  uint64_t Stride = Opts.StressSeeds / 20 ? Opts.StressSeeds / 20 : 1;
+  CO.Progress = [Stride](uint64_t Done, uint64_t Total) {
+    if (Done % Stride == 0 || Done == Total)
+      std::fprintf(stderr, "\r[chimera] stress %llu/%llu trial(s)",
+                   static_cast<unsigned long long>(Done),
+                   static_cast<unsigned long long>(Total));
+    if (Done == Total)
+      std::fputc('\n', stderr);
+  };
+
+  stress::CampaignReport Rep = stress::runCampaign(CO);
+
+  std::printf("stress: %llu trial(s), %llu passed, %llu failed "
+              "(base seed %llu)\n",
+              static_cast<unsigned long long>(Rep.Trials),
+              static_cast<unsigned long long>(Rep.Passed),
+              static_cast<unsigned long long>(Rep.Failed),
+              static_cast<unsigned long long>(Opts.BaseSeed));
+  for (const auto &[Name, Count] : Rep.TrialsPerOracle) {
+    auto It = Rep.FailuresPerOracle.find(Name);
+    uint64_t Fails = It == Rep.FailuresPerOracle.end() ? 0 : It->second;
+    std::printf("  %-18s %5llu trial(s)  %llu failed\n", Name.c_str(),
+                static_cast<unsigned long long>(Count),
+                static_cast<unsigned long long>(Fails));
+  }
+  for (const stress::CampaignFailure &F : Rep.Failures) {
+    std::printf("FAILURE #%llu: oracle %s, source %s, seed %llu\n  %s\n",
+                static_cast<unsigned long long>(F.Index),
+                stress::oracleName(F.Case.Oracle),
+                F.Case.SourceName.c_str(),
+                static_cast<unsigned long long>(F.Case.Seed),
+                F.Result.Failure.c_str());
+    if (!F.ReproPath.empty())
+      std::printf("  minimized repro: %s (replay with `chimera stress "
+                  "--repro %s`)\n",
+                  F.ReproPath.c_str(), F.ReproPath.c_str());
+  }
+
+  if (!Opts.ReportPath.empty()) {
+    std::ofstream Out(Opts.ReportPath, std::ios::trunc);
+    if (!Out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", Opts.ReportPath.c_str());
+      return 1;
+    }
+    Out << Rep.toJson();
+    Out.close();
+    std::fprintf(stderr, "[chimera] campaign report written to %s\n",
+                 Opts.ReportPath.c_str());
+  }
+  if (Opts.Metrics != core::MetricsFormat::None) {
+    obs::Snapshot Snap = Metrics.snapshot();
+    std::printf("%s\n", Opts.Metrics == core::MetricsFormat::Table
+                            ? Snap.toTable().c_str()
+                            : Snap.toJson().c_str());
+  }
+  return Rep.allPassed() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -263,6 +361,18 @@ int main(int argc, char **argv) {
       std::fputs(core::usageText().c_str(), stdout);
       return 0;
     }
+  // `stress` takes no program argument — every flag after the command
+  // belongs to the option table.
+  if (argc >= 2 && std::string(argv[1]) == "stress") {
+    core::CliOptions Opts;
+    if (support::Error E =
+            core::parseCliOptions(argc, argv, 2, "stress", Opts)) {
+      std::fprintf(stderr, "%s\n", E.message().c_str());
+      return 2;
+    }
+    return runStress(Opts);
+  }
+
   if (argc < 3) {
     std::fputs(core::usageText().c_str(), stderr);
     return 2;
